@@ -1,0 +1,368 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark family per
+// figure). Each Fig12/Fig13 benchmark executes a full measured run of one
+// (query, technique) cell and reports the paper's metrics — throughput,
+// latency, memory — as custom benchmark outputs, so
+//
+//	go test -bench BenchmarkFig12 -benchmem
+//
+// prints the rows of Figure 12. BenchmarkFig14 isolates the contribution
+// graph traversal on the four queries' graph shapes. For tabular output
+// with confidence intervals, use cmd/genealog-bench instead.
+package genealog_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"genealog/internal/core"
+	"genealog/internal/harness"
+	"genealog/internal/linearroad"
+	"genealog/internal/ops"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+	"genealog/internal/smartgrid"
+	"genealog/internal/transport"
+)
+
+// benchOptions is the workload used by the figure benchmarks: large enough
+// for stable rates, small enough to iterate.
+func benchOptions() harness.Options {
+	return harness.Options{
+		LR: linearroad.Config{
+			Cars: 100, Steps: 300, StopEvery: 10, StopDuration: 6,
+			AccidentEvery: 40, Seed: 42,
+		},
+		SG: smartgrid.Config{
+			Meters: 60, Days: 40, BlackoutEvery: 7,
+			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 1,
+			AnomalyEvery:   5, AnomalyValue: 300, Seed: 7,
+		},
+		MemSampleEvery: 2 * time.Millisecond,
+	}
+}
+
+func benchFigure(b *testing.B, deployment harness.Deployment) {
+	for _, q := range harness.Queries {
+		for _, m := range harness.Modes {
+			b.Run(string(q)+"/"+string(m), func(b *testing.B) {
+				o := benchOptions()
+				o.Query, o.Mode, o.Deployment = q, m, deployment
+				var last harness.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := harness.Run(context.Background(), o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.StopTimer()
+				b.ReportMetric(last.ThroughputTPS, "tuples/s")
+				b.ReportMetric(last.AvgLatencyMs, "lat-ms")
+				b.ReportMetric(last.AvgMemMB, "avgmem-MB")
+				b.ReportMetric(last.MaxMemMB, "maxmem-MB")
+				if deployment == harness.Inter {
+					b.ReportMetric(float64(last.NetBytes), "net-B")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: intra-process overhead of NP, GL
+// and BL on Q1-Q4.
+func BenchmarkFig12(b *testing.B) { benchFigure(b, harness.Intra) }
+
+// BenchmarkFig13 regenerates Figure 13: the same grid across three SPE
+// instances connected by serialising links.
+func BenchmarkFig13(b *testing.B) { benchFigure(b, harness.Inter) }
+
+// BenchmarkFig14 regenerates Figure 14's intra-process panel: the cost of
+// one contribution-graph traversal for each query's graph shape (Q1: 4
+// sources through one aggregate; Q2: 8 through two; Q3: 192 through nested
+// daily aggregates; Q4: 25 through a join over a daily window).
+func BenchmarkFig14(b *testing.B) {
+	b.Run("Q1", func(b *testing.B) { benchTraversal(b, aggregateGraph(4)) })
+	b.Run("Q2", func(b *testing.B) { benchTraversal(b, q2Graph()) })
+	b.Run("Q3", func(b *testing.B) { benchTraversal(b, q3Graph()) })
+	b.Run("Q4", func(b *testing.B) { benchTraversal(b, q4Graph()) })
+}
+
+func benchTraversal(b *testing.B, root core.Tuple) {
+	want := len(core.FindProvenance(root))
+	b.ReportMetric(float64(want), "graph-size")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.FindProvenance(root); len(got) != want {
+			b.Fatalf("traversal returned %d tuples, want %d", len(got), want)
+		}
+	}
+}
+
+// benchTuple is a minimal Traceable tuple for graph construction.
+type benchTuple struct{ core.Base }
+
+func bt(ts int64) *benchTuple { return &benchTuple{Base: core.NewBase(ts)} }
+
+// aggregateGraph builds one aggregate output over n chained source tuples
+// (Q1's shape with n=4).
+func aggregateGraph(n int) core.Tuple {
+	srcs := make([]*benchTuple, n)
+	for i := range srcs {
+		srcs[i] = bt(int64(i))
+		srcs[i].SetKind(core.KindSource)
+		if i > 0 {
+			srcs[i-1].SetNext(srcs[i])
+		}
+	}
+	out := bt(0)
+	out.SetKind(core.KindAggregate)
+	out.SetU2(srcs[0])
+	out.SetU1(srcs[n-1])
+	return out
+}
+
+// q2Graph: an aggregate of two Q1-shaped aggregates (8 sources).
+func q2Graph() core.Tuple {
+	in1 := aggregateGraph(4).(*benchTuple)
+	in2 := aggregateGraph(4).(*benchTuple)
+	in1.SetNext(in2)
+	out := bt(0)
+	out.SetKind(core.KindAggregate)
+	out.SetU2(in1)
+	out.SetU1(in2)
+	return out
+}
+
+// q3Graph: an aggregate of 8 daily aggregates of 24 readings each (192
+// sources).
+func q3Graph() core.Tuple {
+	days := make([]*benchTuple, 8)
+	for i := range days {
+		days[i] = aggregateGraph(24).(*benchTuple)
+		if i > 0 {
+			days[i-1].SetNext(days[i])
+		}
+	}
+	out := bt(0)
+	out.SetKind(core.KindAggregate)
+	out.SetU2(days[0])
+	out.SetU1(days[7])
+	return out
+}
+
+// q4Graph: a join of a daily aggregate (24 readings) with a midnight
+// reading (25 sources).
+func q4Graph() core.Tuple {
+	daily := aggregateGraph(24)
+	midnight := bt(24)
+	midnight.SetKind(core.KindSource)
+	out := bt(24)
+	out.SetKind(core.KindJoin)
+	out.SetU1(midnight)
+	out.SetU2(daily)
+	return out
+}
+
+// BenchmarkSizeReport regenerates the §7 provenance-volume remark: GL
+// provenance bytes as a fraction of source bytes per query.
+func BenchmarkSizeReport(b *testing.B) {
+	for _, q := range harness.Queries {
+		b.Run(string(q), func(b *testing.B) {
+			o := benchOptions()
+			o.Query, o.Mode, o.Deployment = q, harness.ModeGL, harness.Intra
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				r, err := harness.Run(context.Background(), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(100*last.ProvRatio(), "prov-%")
+			b.ReportMetric(float64(last.ProvBytes), "prov-B")
+			b.ReportMetric(float64(last.SourceBytes), "source-B")
+		})
+	}
+}
+
+// BenchmarkAblationSelectiveProvenance measures the paper's future-work
+// item (i): an Aggregate whose output depends on a single window tuple
+// (max) with full-window provenance versus selective provenance. The
+// selective variant traverses and retains one tuple per window instead of
+// the whole window.
+func BenchmarkAblationSelectiveProvenance(b *testing.B) {
+	for _, selective := range []bool{false, true} {
+		name := "full-window"
+		if selective {
+			name = "selective"
+		}
+		b.Run(name, func(b *testing.B) {
+			var traversed float64
+			for i := 0; i < b.N; i++ {
+				traversed = runMaxAggregate(b, selective)
+			}
+			b.ReportMetric(traversed, "prov-tuples/sink")
+		})
+	}
+}
+
+func runMaxAggregate(b *testing.B, selective bool) float64 {
+	qb := query.New("ablation", query.WithInstrumenter(&core.Genealog{}))
+	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; i < 50_000; i++ {
+			if err := emit(&ablTuple{Base: core.NewBase(int64(i)), Val: int64(i % 997)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	spec := ops.AggregateSpec{
+		WS: 100, WA: 100,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			max := w[0].(*ablTuple)
+			for _, t := range w {
+				if v := t.(*ablTuple); v.Val > max.Val {
+					max = v
+				}
+			}
+			return &ablTuple{Base: core.NewBase(start), Val: max.Val}
+		},
+	}
+	if selective {
+		spec.Contributors = func(w []core.Tuple) []core.Tuple {
+			max := w[0]
+			for _, t := range w {
+				if t.(*ablTuple).Val > max.(*ablTuple).Val {
+					max = t
+				}
+			}
+			return []core.Tuple{max}
+		}
+	}
+	agg := qb.AddAggregate("max", spec)
+	qb.Connect(src, agg)
+	so, u := provenance.AddSU(qb, "su", agg, provenance.SUConfig{})
+	qb.Connect(so, qb.AddSink("sink", nil))
+	var results, sources int
+	provenance.AddCollector(qb, "prov", u, func(r provenance.Result) {
+		results++
+		sources += len(r.Sources)
+	})
+	q, err := qb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if results == 0 {
+		b.Fatal("no provenance results")
+	}
+	return float64(sources) / float64(results)
+}
+
+type ablTuple struct {
+	core.Base
+	Val int64
+}
+
+func (t *ablTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+// BenchmarkCodec measures the serialisation cost of one tuple crossing an
+// inter-process link (the dominant cost of Fig. 13's Q3/Q4 deployments).
+func BenchmarkCodec(b *testing.B) {
+	linearroad.RegisterWire()
+	link := transport.NewLink(transport.WithBuffer(1 << 24))
+	in := linearroad.NewPositionReport(1, 2, 3, 4)
+	in.SetID(42)
+	in.SetKind(core.KindSource)
+	b.Run("encode-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := link.Enc.Encode(in); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := link.Dec.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTraversalScaling measures FindProvenance against growing window
+// sizes (the Fig. 14 trend: traversal time grows linearly with the
+// contribution graph).
+func BenchmarkTraversalScaling(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		root := aggregateGraph(n)
+		b.Run(fmt.Sprintf("window-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := core.FindProvenance(root); len(got) != n {
+					b.Fatal("wrong traversal")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecComparison is the serialisation ablation: the gob codec
+// (reflection, self-describing) versus the hand-rolled binary codec on the
+// tuple types that dominate Fig. 13's network volume.
+func BenchmarkCodecComparison(b *testing.B) {
+	linearroad.RegisterWire()
+	provenance.RegisterWire()
+	report := linearroad.NewPositionReport(1, 2, 3, 4)
+	report.SetID(42)
+	report.SetKind(core.KindSource)
+	rec := &provenance.Record{
+		Base:     core.NewBase(9),
+		SinkID:   7,
+		OrigID:   42,
+		OrigTs:   1,
+		OrigKind: core.KindSource,
+		Sink:     linearroad.NewPositionReport(9, 2, 0, 4),
+		Orig:     report,
+	}
+	cases := []struct {
+		name  string
+		codec transport.Codec
+		tuple core.Tuple
+	}{
+		{"gob/position-report", transport.GobCodec{}, report},
+		{"binary/position-report", transport.BinaryCodec{}, report},
+		{"gob/unfolded-record", transport.GobCodec{}, rec},
+		{"binary/unfolded-record", transport.BinaryCodec{}, rec},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			pipe := transport.NewPipe(1 << 24)
+			enc := c.codec.NewEncoder(pipe)
+			dec := c.codec.NewDecoder(pipe)
+			count := transport.NewCountingWriter(io.Discard)
+			sizeEnc := c.codec.NewEncoder(count)
+			if err := sizeEnc.Encode(c.tuple); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(count.Bytes()), "first-tuple-B")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := enc.Encode(c.tuple); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dec.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

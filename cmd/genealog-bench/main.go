@@ -1,0 +1,132 @@
+// Command genealog-bench reproduces the paper's evaluation (§7). It runs
+// the four use-case queries under NP (no provenance), GL (GeneaLog) and BL
+// (the Ariadne-style baseline), intra-process and across three SPE
+// instances, and prints the rows of Figures 12, 13 and 14 plus the
+// provenance-volume report.
+//
+// Usage:
+//
+//	genealog-bench -experiment fig12            # intra-process grid
+//	genealog-bench -experiment fig13 -runs 5    # inter-process grid, 5 runs
+//	genealog-bench -experiment fig14            # traversal-cost panels
+//	genealog-bench -experiment size             # provenance volume report
+//	genealog-bench -experiment all -scale 4     # everything, 4x workload
+//
+// The -throttle flag (bytes/second) models a constrained link, e.g.
+// -throttle 12500000 for the paper's 100 Mbps switch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"genealog/internal/harness"
+	"genealog/internal/linearroad"
+	"genealog/internal/smartgrid"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genealog-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("genealog-bench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "fig12 | fig13 | fig14 | size | all")
+	runs := fs.Int("runs", 3, "measured runs per configuration (the paper uses 5)")
+	scale := fs.Int("scale", 1, "workload scale multiplier")
+	throttle := fs.Float64("throttle", 0, "link throttle in bytes/second (0 = unlimited; 12.5e6 = 100 Mbps)")
+	rate := fs.Float64("rate", 0, "source rate in tuples/second (0 = unthrottled)")
+	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
+	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale < 1 {
+		*scale = 1
+	}
+
+	base := harness.Options{
+		LR:                  lrConfig(*scale),
+		SG:                  sgConfig(*scale),
+		ThrottleBytesPerSec: *throttle,
+		SourceRate:          *rate,
+		UseBinaryCodec:      *codec == "binary",
+	}
+	if *codec != "gob" && *codec != "binary" {
+		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	ran := false
+	if want("fig12") {
+		ran = true
+		fig, err := harness.Fig12(ctx, base, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("fig13") {
+		ran = true
+		fig, err := harness.Fig13(ctx, base, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("fig14") {
+		ran = true
+		fig, err := harness.Fig14(ctx, base, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	if want("size") {
+		ran = true
+		rep, err := harness.Size(ctx, base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig12, fig13, fig14, size or all)", *experiment)
+	}
+	return nil
+}
+
+// lrConfig scales the Linear Road workload: more cars and longer runs keep
+// the alert density realistic while increasing volume.
+func lrConfig(scale int) linearroad.Config {
+	return linearroad.Config{
+		Cars:          100 * scale,
+		Steps:         600,
+		StopEvery:     10,
+		StopDuration:  6,
+		AccidentEvery: 40,
+		Seed:          42,
+	}
+}
+
+// sgConfig scales the Smart Grid workload.
+func sgConfig(scale int) smartgrid.Config {
+	return smartgrid.Config{
+		Meters:         100 * scale,
+		Days:           60,
+		BlackoutEvery:  7,
+		BlackoutMeters: smartgrid.BlackoutMeterThreshold + 1,
+		AnomalyEvery:   5,
+		AnomalyValue:   300,
+		Seed:           7,
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}, os.Stdout); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunRejectsUnknownCodec(t *testing.T) {
+	if err := run([]string{"-experiment", "size", "-codec", "xml"}, os.Stdout); err == nil {
+		t.Fatal("unknown codec must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Fatal("unknown flags must fail")
+	}
+}
+
+func TestSizeExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four queries")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "size-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-experiment", "size"}, f); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("size experiment produced no output")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lr.csv")
+	if err := run([]string{"-cars", "3", "-steps", "4", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "ts,car_id,speed,pos" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+3*4 {
+		t.Fatalf("lines = %d, want header + 12 records", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,0,") {
+		t.Fatalf("first record = %q", lines[1])
+	}
+}
+
+func TestRunNoHeader(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lr.csv")
+	if err := run([]string{"-cars", "1", "-steps", "2", "-header=false", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if strings.Contains(string(data), "ts,car_id") {
+		t.Fatal("header must be suppressed")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flags must fail")
+	}
+}
+
+func TestRunRejectsUnwritablePath(t *testing.T) {
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv")}); err == nil {
+		t.Fatal("unwritable output path must fail")
+	}
+}

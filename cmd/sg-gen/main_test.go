@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sg.csv")
+	if err := run([]string{"-meters", "2", "-days", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "ts,meter_id,cons" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+2*24 {
+		t.Fatalf("lines = %d, want header + 48 records", len(lines))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flags must fail")
+	}
+}

@@ -1,0 +1,217 @@
+// Command spe-node runs one SPE instance of a distributed GeneaLog
+// deployment over real TCP, reproducing the paper's three-node Odroid
+// testbed with three OS processes (possibly on three machines).
+//
+// Instance roles follow the paper's Figs. 7, 9C, 10C, 11C:
+//
+//	role 1 — Source + query stage 1 (+ SU per delivering stream under GL)
+//	role 2 — query stage 2 + Sink (+ SU producing the derived stream)
+//	role 3 — provenance node (GL: MU + collector; BL: source store + join)
+//
+// Every directed link uses one TCP connection with a fixed port offset from
+// -base-port on the receiving node's host. Start role 3 first, then role 2,
+// then role 1 (senders retry while listeners come up, so any order works in
+// practice).
+//
+// Example (three shells, one query):
+//
+//	spe-node -query Q1 -mode GL -role 3 -base-port 7400
+//	spe-node -query Q1 -mode GL -role 2 -base-port 7400 -spe3 127.0.0.1
+//	spe-node -query Q1 -mode GL -role 1 -base-port 7400 -spe2 127.0.0.1 -spe3 127.0.0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/harness"
+	"genealog/internal/linearroad"
+	"genealog/internal/provenance"
+	"genealog/internal/smartgrid"
+	"genealog/internal/transport"
+)
+
+// Port offsets from -base-port, per link. The listener is always the
+// receiving role.
+const (
+	portMain    = 0  // role 2 listens: main stream i at base+portMain+i
+	portU1      = 10 // role 3 listens: upstream unfolded stream i
+	portDerived = 20 // role 3 listens: derived stream
+	portSources = 30 // role 3 listens: BL source stream
+	portSinks   = 31 // role 3 listens: BL annotated sink stream
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spe-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spe-node", flag.ContinueOnError)
+	queryID := fs.String("query", "Q1", "Q1 | Q2 | Q3 | Q4")
+	mode := fs.String("mode", "GL", "NP | GL | BL")
+	role := fs.Int("role", 0, "SPE instance role: 1, 2 or 3")
+	basePort := fs.Int("base-port", 7400, "base TCP port for the deployment's links")
+	spe2 := fs.String("spe2", "127.0.0.1", "host of SPE instance 2 (used by role 1)")
+	spe3 := fs.String("spe3", "127.0.0.1", "host of SPE instance 3 (used by roles 1 and 2)")
+	scale := fs.Int("scale", 1, "workload scale multiplier")
+	codec := fs.String("codec", "gob", "link codec: gob | binary (all roles must agree)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := harness.Options{
+		Query:      harness.QueryID(*queryID),
+		Mode:       harness.Mode(*mode),
+		Deployment: harness.Inter,
+		LR: linearroad.Config{
+			Cars: 50 * *scale, Steps: 300, StopEvery: 10, StopDuration: 6,
+			AccidentEvery: 40, Seed: 42,
+		},
+		SG: smartgrid.Config{
+			Meters: 50 * *scale, Days: 30, BlackoutEvery: 7,
+			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 1,
+			AnomalyEvery:   5, AnomalyValue: 300, Seed: 7,
+		},
+	}
+	nMain, err := harness.MainLinkCount(o.Query)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var linkOpts []transport.LinkOption
+	switch *codec {
+	case "gob":
+	case "binary":
+		linkOpts = append(linkOpts, transport.WithCodec(transport.BinaryCodec{}))
+	default:
+		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)
+	}
+	addr := func(host string, off int) string { return fmt.Sprintf("%s:%d", host, *basePort+off) }
+	listen := func(off int) (*transport.Link, error) {
+		return transport.Listen(ctx, addr("0.0.0.0", off), linkOpts...)
+	}
+	dial := func(host string, off int) (*transport.Link, error) {
+		return transport.Dial(ctx, addr(host, off), linkOpts...)
+	}
+
+	links := harness.InterLinks{}
+	hooks := harness.InterHooks{}
+	begin := time.Now()
+	var srcTuples, sinkTuples, provResults int
+
+	switch *role {
+	case 1:
+		for i := 0; i < nMain; i++ {
+			l, err := dial(*spe2, portMain+i)
+			if err != nil {
+				return err
+			}
+			links.Main = append(links.Main, l)
+		}
+		switch o.Mode {
+		case harness.ModeGL:
+			for i := 0; i < nMain; i++ {
+				l, err := dial(*spe3, portU1+i)
+				if err != nil {
+					return err
+				}
+				links.U1 = append(links.U1, l)
+			}
+		case harness.ModeBL:
+			if links.Sources, err = dial(*spe3, portSources); err != nil {
+				return err
+			}
+		}
+		hooks.OnSourceEmit = func(core.Tuple) { srcTuples++ }
+		q, err := harness.BuildSPE1(o, links, hooks)
+		if err != nil {
+			return err
+		}
+		if err := q.Run(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("spe1: %d source tuples shipped in %v\n", srcTuples, time.Since(begin).Round(time.Millisecond))
+	case 2:
+		for i := 0; i < nMain; i++ {
+			l, err := listen(portMain + i)
+			if err != nil {
+				return err
+			}
+			links.Main = append(links.Main, l)
+		}
+		switch o.Mode {
+		case harness.ModeGL:
+			if links.Derived, err = dial(*spe3, portDerived); err != nil {
+				return err
+			}
+		case harness.ModeBL:
+			if links.Sinks, err = dial(*spe3, portSinks); err != nil {
+				return err
+			}
+		}
+		hooks.OnSinkTuple = func(t core.Tuple) {
+			sinkTuples++
+			fmt.Printf("sink tuple ts=%d\n", t.Timestamp())
+		}
+		q, err := harness.BuildSPE2(o, links, hooks)
+		if err != nil {
+			return err
+		}
+		if err := q.Run(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("spe2: %d sink tuples in %v\n", sinkTuples, time.Since(begin).Round(time.Millisecond))
+	case 3:
+		if o.Mode == harness.ModeNP {
+			return fmt.Errorf("NP deployments have no provenance node (role 3)")
+		}
+		switch o.Mode {
+		case harness.ModeGL:
+			for i := 0; i < nMain; i++ {
+				l, err := listen(portU1 + i)
+				if err != nil {
+					return err
+				}
+				links.U1 = append(links.U1, l)
+			}
+			if links.Derived, err = listen(portDerived); err != nil {
+				return err
+			}
+		case harness.ModeBL:
+			if links.Sources, err = listen(portSources); err != nil {
+				return err
+			}
+			if links.Sinks, err = listen(portSinks); err != nil {
+				return err
+			}
+			hooks.Store = baseline.NewStore()
+		}
+		hooks.OnProvenance = func(r provenance.Result) {
+			provResults++
+			fmt.Printf("provenance: sink ts=%d <- %d source tuple(s)\n", r.Sink.Timestamp(), len(r.Sources))
+		}
+		q, err := harness.BuildSPE3(o, links, hooks)
+		if err != nil {
+			return err
+		}
+		if err := q.Run(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("spe3: %d provenance results in %v\n", provResults, time.Since(begin).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("role must be 1, 2 or 3 (got %d)", *role)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadRole(t *testing.T) {
+	if err := run([]string{"-role", "5", "-timeout", "1s"}); err == nil {
+		t.Fatal("invalid role must fail")
+	}
+}
+
+func TestRunRejectsBadCodec(t *testing.T) {
+	if err := run([]string{"-role", "1", "-codec", "xml", "-timeout", "1s"}); err == nil {
+		t.Fatal("invalid codec must fail")
+	}
+}
+
+func TestRunRejectsNPRole3(t *testing.T) {
+	if err := run([]string{"-role", "3", "-mode", "NP", "-timeout", "1s"}); err == nil {
+		t.Fatal("NP has no provenance node")
+	}
+}
+
+func TestRunRejectsUnknownQuery(t *testing.T) {
+	if err := run([]string{"-role", "1", "-query", "Q9", "-timeout", "1s"}); err == nil {
+		t.Fatal("unknown query must fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flags must fail")
+	}
+}

@@ -1,0 +1,24 @@
+package baseline
+
+import (
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// AddStoreSink adds a sink node that retains every incoming tuple in store,
+// keyed by its ID meta-attribute. In a distributed BL deployment this is the
+// provenance node's ingestion of the shipped source streams: the paper's BL
+// transmits the entire source streams over the network so the provenance
+// node can later join them with the annotated sink tuples (§7).
+func AddStoreSink(b *query.Builder, name string, from *query.Node, store *Store) {
+	node := b.AddCustom(name, 1, 0, func(ins, outs []*ops.Stream) (ops.Operator, error) {
+		return ops.NewSink(name, ins[0], func(t core.Tuple) error {
+			if m := core.MetaOf(t); m != nil && m.ID() != 0 {
+				store.Put(m.ID(), t)
+			}
+			return nil
+		}), nil
+	})
+	b.Connect(from, node)
+}

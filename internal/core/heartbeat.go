@@ -1,0 +1,39 @@
+package core
+
+// Heartbeat is a watermark marker: a Heartbeat with event time T on a stream
+// promises that no later tuple on that stream carries an event time below T.
+//
+// Deterministic timestamp-sorted merging (paper §2) blocks until every input
+// has a buffered head, so a stream that goes quiet — a Filter dropping
+// everything, an Aggregate between alerts, the derived stream of a
+// multi-stream unfolder while no sink tuples are produced — would stall its
+// merge peers and, through backpressure, can deadlock a distributed
+// deployment. Operators that *create* sparsity therefore emit Heartbeats
+// whenever their output watermark advances without data; every operator
+// forwards them transparently and user functions never observe them.
+//
+// Heartbeats carry no payload and no provenance; they are dropped at Sinks
+// and provenance collectors (where they first trigger a flush of completed
+// groups).
+type Heartbeat struct {
+	Base
+}
+
+// NewHeartbeat returns a watermark marker for event time ts.
+func NewHeartbeat(ts int64) *Heartbeat {
+	return &Heartbeat{Base: NewBase(ts)}
+}
+
+// CloneTuple implements Cloneable (instrumented Multiplex operators may
+// clone anything they forward).
+func (h *Heartbeat) CloneTuple() Tuple {
+	cp := *h
+	cp.ResetProvenance()
+	return &cp
+}
+
+// IsHeartbeat reports whether t is a watermark marker.
+func IsHeartbeat(t Tuple) bool {
+	_, ok := t.(*Heartbeat)
+	return ok
+}

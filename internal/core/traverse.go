@@ -1,0 +1,91 @@
+package core
+
+// FindProvenance traverses the contribution graph rooted at root and returns
+// its originating tuples (paper Definition 4.1): the tuples of kind SOURCE
+// or REMOTE reachable through the U1/U2/N meta-attributes. It is a direct
+// implementation of the breadth-first search of the paper's Listing 1.
+//
+// The returned slice preserves discovery (BFS) order, which is deterministic
+// for a deterministic query execution. Each originating tuple appears once.
+//
+// A tuple of kind NONE (never instrumented, or instrumentation disabled) is
+// treated as its own originating tuple so that traversal degrades gracefully
+// when provenance capture is off.
+func FindProvenance(root Tuple) []Tuple {
+	var result []Tuple
+	visited := make(map[Tuple]struct{})
+	queue := make([]Tuple, 0, 8)
+
+	enqueue := func(t Tuple) {
+		if t == nil {
+			return
+		}
+		if _, ok := visited[t]; ok {
+			return
+		}
+		visited[t] = struct{}{}
+		queue = append(queue, t)
+	}
+
+	enqueue(root)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		m := MetaOf(t)
+		if m == nil {
+			result = append(result, t)
+			continue
+		}
+		switch m.Kind() {
+		case KindSource, KindRemote, KindNone:
+			result = append(result, t)
+		case KindMap, KindMultiplex:
+			enqueue(m.U1())
+		case KindJoin:
+			enqueue(m.U1())
+			enqueue(m.U2())
+		case KindAggregate:
+			enqueue(m.U2())
+			// Walk the N chain from U2's successor up to (exclusive) U1.
+			// When U1 == U2 the window holds a single tuple and there is
+			// nothing to walk: U2's N may already point past the window,
+			// set by a later overlapping window of the same group.
+			if u2 := MetaOf(m.U2()); u2 != nil && m.U1() != m.U2() {
+				for temp := u2.Next(); temp != nil && temp != m.U1(); {
+					enqueue(temp)
+					tm := MetaOf(temp)
+					if tm == nil {
+						break
+					}
+					temp = tm.Next()
+				}
+			}
+			enqueue(m.U1())
+		}
+	}
+	return result
+}
+
+// CountProvenance returns the number of originating tuples of root without
+// materialising the result slice. It walks the same graph as FindProvenance.
+func CountProvenance(root Tuple) int {
+	return len(FindProvenance(root))
+}
+
+// Resolver maps a sink tuple to the source tuples contributing to it. The
+// GeneaLog resolver traverses pointers; the baseline resolver consults its
+// source store. Having both behind one interface lets the harness treat the
+// two techniques symmetrically.
+type Resolver interface {
+	// Resolve returns the originating tuples of sink.
+	Resolve(sink Tuple) []Tuple
+}
+
+// GenealogResolver resolves provenance by traversing the contribution graph
+// (FindProvenance). The zero value is ready to use.
+type GenealogResolver struct{}
+
+var _ Resolver = GenealogResolver{}
+
+// Resolve implements Resolver.
+func (GenealogResolver) Resolve(sink Tuple) []Tuple { return FindProvenance(sink) }

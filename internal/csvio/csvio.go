@@ -1,0 +1,118 @@
+// Package csvio replays and persists tuple streams as CSV files, bridging
+// the workload generators (cmd/lr-gen, cmd/sg-gen) and the queries: a
+// recorded trace can be replayed through any query, and sink tuples or
+// provenance results can be persisted for offline inspection — the paper's
+// evaluation stores each sink tuple's provenance on disk (§7).
+package csvio
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// ParseFunc converts one CSV record (already split into fields) into a
+// tuple.
+type ParseFunc func(fields []string) (core.Tuple, error)
+
+// FormatFunc converts a tuple into CSV fields.
+type FormatFunc func(t core.Tuple) ([]string, error)
+
+// Source returns an ops.SourceFunc replaying the CSV stream from r. A
+// leading header line is skipped when header is true. Records must be in
+// non-decreasing timestamp order (the generators guarantee it); violations
+// fail the query rather than silently breaking determinism.
+func Source(r io.Reader, header bool, parse ParseFunc) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		last := int64(0)
+		started := false
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			if header && line == 1 {
+				continue
+			}
+			t, err := parse(strings.Split(text, ","))
+			if err != nil {
+				return fmt.Errorf("csvio: line %d: %w", line, err)
+			}
+			if started && t.Timestamp() < last {
+				return fmt.Errorf("csvio: line %d: timestamp %d regresses below %d", line, t.Timestamp(), last)
+			}
+			last, started = t.Timestamp(), true
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		return nil
+	}
+}
+
+// Sink returns an ops.SinkFunc writing one CSV record per sink tuple to w.
+// Call Flush (on the returned writer) after the query drains.
+func Sink(w *bufio.Writer, format FormatFunc) ops.SinkFunc {
+	return func(t core.Tuple) error {
+		fields, err := format(t)
+		if err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		if _, err := w.WriteString(strings.Join(fields, ",")); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		return nil
+	}
+}
+
+// Int32Field parses a CSV field as int32.
+func Int32Field(fields []string, i int) (int32, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing field %d", i)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("field %d: %w", i, err)
+	}
+	return int32(v), nil
+}
+
+// Int64Field parses a CSV field as int64.
+func Int64Field(fields []string, i int) (int64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing field %d", i)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %d: %w", i, err)
+	}
+	return v, nil
+}
+
+// Float64Field parses a CSV field as float64.
+func Float64Field(fields []string, i int) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing field %d", i)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %d: %w", i, err)
+	}
+	return v, nil
+}

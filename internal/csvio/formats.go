@@ -1,0 +1,75 @@
+package csvio
+
+import (
+	"fmt"
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/linearroad"
+	"genealog/internal/smartgrid"
+)
+
+// ParsePositionReport parses the lr-gen format: ts,car_id,speed,pos.
+func ParsePositionReport(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	car, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	speed, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := Int32Field(fields, 3)
+	if err != nil {
+		return nil, err
+	}
+	return linearroad.NewPositionReport(ts, car, speed, pos), nil
+}
+
+// FormatPositionReport renders the lr-gen format.
+func FormatPositionReport(t core.Tuple) ([]string, error) {
+	p, ok := t.(*linearroad.PositionReport)
+	if !ok {
+		return nil, fmt.Errorf("want *linearroad.PositionReport, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(p.Timestamp(), 10),
+		strconv.Itoa(int(p.CarID)),
+		strconv.Itoa(int(p.Speed)),
+		strconv.Itoa(int(p.Pos)),
+	}, nil
+}
+
+// ParseMeterReading parses the sg-gen format: ts,meter_id,cons.
+func ParseMeterReading(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := Float64Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return smartgrid.NewMeterReading(ts, meter, cons), nil
+}
+
+// FormatMeterReading renders the sg-gen format.
+func FormatMeterReading(t core.Tuple) ([]string, error) {
+	m, ok := t.(*smartgrid.MeterReading)
+	if !ok {
+		return nil, fmt.Errorf("want *smartgrid.MeterReading, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(m.Timestamp(), 10),
+		strconv.Itoa(int(m.MeterID)),
+		strconv.FormatFloat(m.Cons, 'f', 4, 64),
+	}, nil
+}

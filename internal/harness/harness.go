@@ -1,0 +1,160 @@
+// Package harness orchestrates the paper's evaluation (§7): it deploys the
+// four use-case queries (Q1/Q2 Linear Road, Q3/Q4 Smart Grid) under the
+// three provenance techniques (NP = none, GL = GeneaLog, BL = Ariadne-style
+// baseline), intra-process and across three SPE instances, measures
+// throughput, latency, memory, contribution-graph traversal time and
+// provenance volume, and renders the rows of Figures 12, 13 and 14.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"genealog/internal/linearroad"
+	"genealog/internal/smartgrid"
+)
+
+// Mode selects the provenance technique, the paper's NP/GL/BL.
+type Mode string
+
+// Provenance techniques.
+const (
+	ModeNP Mode = "NP"
+	ModeGL Mode = "GL"
+	ModeBL Mode = "BL"
+)
+
+// Modes lists the techniques in the paper's plotting order.
+var Modes = []Mode{ModeNP, ModeGL, ModeBL}
+
+// QueryID identifies one of the four evaluation queries.
+type QueryID string
+
+// Evaluation queries.
+const (
+	Q1 QueryID = "Q1"
+	Q2 QueryID = "Q2"
+	Q3 QueryID = "Q3"
+	Q4 QueryID = "Q4"
+)
+
+// Queries lists the evaluation queries in the paper's order.
+var Queries = []QueryID{Q1, Q2, Q3, Q4}
+
+// Deployment selects intra-process (Fig. 12) or inter-process (Fig. 13)
+// execution.
+type Deployment uint8
+
+// Deployments.
+const (
+	Intra Deployment = iota + 1
+	Inter
+)
+
+func (d Deployment) String() string {
+	switch d {
+	case Intra:
+		return "intra-process"
+	case Inter:
+		return "inter-process"
+	default:
+		return "invalid"
+	}
+}
+
+// Options configures one measured run.
+type Options struct {
+	Query      QueryID
+	Mode       Mode
+	Deployment Deployment
+	// LR and SG parameterise the workload generators; zero values select the
+	// package defaults.
+	LR linearroad.Config
+	SG smartgrid.Config
+	// MemSampleEvery is the heap sampling period (default 5 ms).
+	MemSampleEvery time.Duration
+	// ThrottleBytesPerSec throttles every inter-process link (0 =
+	// unlimited; 12.5e6 models the paper's 100 Mbps switch).
+	ThrottleBytesPerSec float64
+	// ChannelCapacity overrides the stream capacity (0 = default).
+	ChannelCapacity int
+	// SourceRate paces the sources in tuples/second (0 = as fast as
+	// possible, measuring peak sustainable throughput).
+	SourceRate float64
+	// UseBinaryCodec switches inter-process links from the gob codec to the
+	// hand-rolled binary codec (the serialisation ablation).
+	UseBinaryCodec bool
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Query      QueryID
+	Mode       Mode
+	Deployment Deployment
+
+	// SourceTuples is the number of source tuples processed.
+	SourceTuples int64
+	// SinkTuples is the number of sink tuples (alerts) produced.
+	SinkTuples int64
+	// ThroughputTPS is source tuples per second.
+	ThroughputTPS float64
+	// AvgLatencyMs is the paper's latency: sink emission minus the
+	// wall-clock arrival of the latest contributing source tuple.
+	AvgLatencyMs float64
+	// P50LatencyMs and P99LatencyMs are latency quantiles (reservoir
+	// sampled; exact for the typical alert volumes).
+	P50LatencyMs float64
+	P99LatencyMs float64
+	// AvgMemMB and MaxMemMB are the sampled heap statistics.
+	AvgMemMB float64
+	MaxMemMB float64
+	// ProvResults and ProvSources count assembled provenance results and
+	// their (deduplicated) originating tuples.
+	ProvResults int64
+	ProvSources int64
+	// TraversalAvgMs is the mean contribution-graph traversal time per sink
+	// tuple (Fig. 14); per SPE instance in the inter-process case (index 0
+	// = SPE instance 1).
+	TraversalAvgMs       float64
+	TraversalAvgMsPerSPE []float64
+	// SourceBytes and ProvBytes approximate the source-data and
+	// provenance-data volumes (the §7 "0.003%-0.5%" remark).
+	SourceBytes int64
+	ProvBytes   int64
+	// NetBytes is the byte volume that crossed inter-process links.
+	NetBytes int64
+	// StoreBytes is the BL source store's final payload volume.
+	StoreBytes int64
+	// Elapsed is the wall-clock run duration.
+	Elapsed time.Duration
+}
+
+// ProvRatio returns provenance bytes over source bytes (e.g. 0.005 = 0.5%).
+func (r Result) ProvRatio() float64 {
+	if r.SourceBytes == 0 {
+		return 0
+	}
+	return float64(r.ProvBytes) / float64(r.SourceBytes)
+}
+
+func (o *Options) validate() error {
+	switch o.Query {
+	case Q1, Q2, Q3, Q4:
+	default:
+		return fmt.Errorf("harness: unknown query %q", o.Query)
+	}
+	switch o.Mode {
+	case ModeNP, ModeGL, ModeBL:
+	default:
+		return fmt.Errorf("harness: unknown mode %q", o.Mode)
+	}
+	switch o.Deployment {
+	case Intra, Inter:
+	default:
+		return fmt.Errorf("harness: unknown deployment %d", o.Deployment)
+	}
+	if o.MemSampleEvery <= 0 {
+		o.MemSampleEvery = 5 * time.Millisecond
+	}
+	return nil
+}

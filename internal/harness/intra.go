@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"context"
+	"time"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/metrics"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+)
+
+// Run executes one measured run and returns its metrics.
+func Run(ctx context.Context, o Options) (Result, error) {
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
+	spec, err := specFor(o.Query)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Deployment == Inter {
+		return runInter(ctx, o, spec)
+	}
+	return runIntra(ctx, o, spec)
+}
+
+// provAccount accumulates provenance-volume statistics from assembled
+// results.
+type provAccount struct {
+	spec    querySpec
+	results int64
+	sources int64
+	bytes   int64
+}
+
+func (p *provAccount) add(r provenance.Result) {
+	p.results++
+	p.sources += int64(len(r.Sources))
+	b := int64(p.spec.sized(r.Sink))
+	for _, s := range r.Sources {
+		b += int64(p.spec.sized(s))
+	}
+	p.bytes += b
+}
+
+// runIntra deploys the whole query in one SPE instance (Fig. 12).
+func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra}
+
+	gen, total, perTuple := spec.source(o)
+	res.SourceTuples = int64(total)
+	res.SourceBytes = int64(total) * int64(perTuple)
+
+	var store *baseline.Store
+	if o.Mode == ModeBL {
+		store = baseline.NewStore()
+	}
+	instr := instrumenterFor(o.Mode, 0, store)
+
+	b := query.New(string(o.Query), query.WithInstrumenter(instr),
+		query.WithChannelCapacity(o.ChannelCapacity))
+	src := b.AddSource("source", gen)
+	src.Rate = o.SourceRate
+	var srcCount metrics.Counter
+	src.OnEmit = func(core.Tuple) { srcCount.Mark(time.Now().UnixNano()) }
+
+	last := spec.addWhole(b, src)
+
+	var lat metrics.Welford
+	latQ := metrics.NewReservoir(0)
+	var trav metrics.Welford
+	account := &provAccount{spec: spec}
+	observeLatency := func(ns int64) {
+		lat.Add(float64(ns))
+		latQ.Add(float64(ns))
+	}
+
+	switch o.Mode {
+	case ModeGL:
+		so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{
+			OnTraversal: func(d time.Duration, _ int) { trav.Add(float64(d.Nanoseconds())) },
+		})
+		sink := b.AddSink("sink", func(t core.Tuple) error { res.SinkTuples++; return nil })
+		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
+		b.Connect(so, sink)
+		provenance.AddCollector(b, "prov-sink", u, account.add)
+	case ModeBL:
+		resolver := baseline.Resolver{Store: store}
+		sink := b.AddSink("sink", func(t core.Tuple) error {
+			res.SinkTuples++
+			begin := time.Now()
+			sources := resolver.Resolve(t)
+			trav.Add(float64(time.Since(begin).Nanoseconds()))
+			account.add(provenance.Result{Sink: t, Sources: sources})
+			return nil
+		})
+		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
+		b.Connect(last, sink)
+	default: // NP
+		sink := b.AddSink("sink", func(t core.Tuple) error { res.SinkTuples++; return nil })
+		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
+		b.Connect(last, sink)
+	}
+
+	q, err := b.Build()
+	if err != nil {
+		return Result{}, err
+	}
+
+	mem := metrics.NewMemSampler(o.MemSampleEvery)
+	mem.Start()
+	begin := time.Now()
+	runErr := q.Run(ctx)
+	res.Elapsed = time.Since(begin)
+	mem.Stop()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res.ThroughputTPS = srcCount.Rate()
+	res.AvgLatencyMs = lat.Mean() / 1e6
+	res.P50LatencyMs = latQ.Quantile(0.5) / 1e6
+	res.P99LatencyMs = latQ.Quantile(0.99) / 1e6
+	res.AvgMemMB = mem.AvgBytes() / (1 << 20)
+	res.MaxMemMB = mem.MaxBytes() / (1 << 20)
+	res.TraversalAvgMs = trav.Mean() / 1e6
+	res.ProvResults = account.results
+	res.ProvSources = account.sources
+	res.ProvBytes = account.bytes
+	if store != nil {
+		res.StoreBytes = store.ApproxBytes()
+	}
+	return res, nil
+}

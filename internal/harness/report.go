@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"genealog/internal/metrics"
+)
+
+// Summaries aggregates the metrics of repeated runs of one configuration
+// (the paper averages five runs and reports 95% confidence intervals).
+type Summaries struct {
+	Query      QueryID
+	Mode       Mode
+	Deployment Deployment
+
+	Throughput metrics.Summary // tuples/s
+	Latency    metrics.Summary // ms
+	AvgMem     metrics.Summary // MB
+	MaxMem     metrics.Summary // MB
+	Traversal  metrics.Summary // ms per sink tuple
+	// TraversalPerSPE holds Fig. 14's per-instance traversal summaries for
+	// inter-process GL runs (index 0 = SPE instance 1).
+	TraversalPerSPE []metrics.Summary
+
+	// Last is the final run's full result (counts, volumes).
+	Last Result
+}
+
+// Repeat performs runs measured executions of one configuration.
+func Repeat(ctx context.Context, o Options, runs int) (Summaries, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	s := Summaries{Query: o.Query, Mode: o.Mode, Deployment: o.Deployment}
+	var tput, lat, avgMem, maxMem, trav []float64
+	perSPE := map[int][]float64{}
+	for i := 0; i < runs; i++ {
+		r, err := Run(ctx, o)
+		if err != nil {
+			return Summaries{}, fmt.Errorf("run %d/%d (%s %s): %w", i+1, runs, o.Query, o.Mode, err)
+		}
+		tput = append(tput, r.ThroughputTPS)
+		lat = append(lat, r.AvgLatencyMs)
+		avgMem = append(avgMem, r.AvgMemMB)
+		maxMem = append(maxMem, r.MaxMemMB)
+		trav = append(trav, r.TraversalAvgMs)
+		for j, v := range r.TraversalAvgMsPerSPE {
+			perSPE[j] = append(perSPE[j], v)
+		}
+		s.Last = r
+	}
+	s.Throughput = metrics.Summarize(tput)
+	s.Latency = metrics.Summarize(lat)
+	s.AvgMem = metrics.Summarize(avgMem)
+	s.MaxMem = metrics.Summarize(maxMem)
+	s.Traversal = metrics.Summarize(trav)
+	for j := 0; j < len(perSPE); j++ {
+		s.TraversalPerSPE = append(s.TraversalPerSPE, metrics.Summarize(perSPE[j]))
+	}
+	return s, nil
+}
+
+// Figure holds the measured grid of one paper figure: queries x modes.
+type Figure struct {
+	Title string
+	// Cells[query][mode]
+	Cells map[QueryID]map[Mode]Summaries
+}
+
+// runFigure measures every query under every mode for the given deployment.
+func runFigure(ctx context.Context, base Options, deployment Deployment, runs int, title string) (*Figure, error) {
+	fig := &Figure{Title: title, Cells: make(map[QueryID]map[Mode]Summaries)}
+	for _, q := range Queries {
+		fig.Cells[q] = make(map[Mode]Summaries)
+		for _, m := range Modes {
+			o := base
+			o.Query = q
+			o.Mode = m
+			o.Deployment = deployment
+			s, err := Repeat(ctx, o, runs)
+			if err != nil {
+				return nil, err
+			}
+			fig.Cells[q][m] = s
+		}
+	}
+	return fig, nil
+}
+
+// Fig12 reproduces Figure 12: intra-process throughput, latency and memory
+// for Q1-Q4 under NP, GL and BL.
+func Fig12(ctx context.Context, base Options, runs int) (*Figure, error) {
+	return runFigure(ctx, base, Intra, runs,
+		"Figure 12: intra-process provenance overhead (single SPE instance)")
+}
+
+// Fig13 reproduces Figure 13: the same grid for the three-instance
+// inter-process deployments.
+func Fig13(ctx context.Context, base Options, runs int) (*Figure, error) {
+	return runFigure(ctx, base, Inter, runs,
+		"Figure 13: inter-process provenance overhead (3 SPE instances)")
+}
+
+// Render formats the figure as the paper's rows: one block per query, one
+// line per metric, with GL and BL percentage deltas against NP.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", f.Title)
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("=", len(f.Title)))
+	for _, q := range Queries {
+		cells := f.Cells[q]
+		np, gl, bl := cells[ModeNP], cells[ModeGL], cells[ModeBL]
+		fmt.Fprintf(&sb, "\n%s (source tuples: %d, sink tuples: NP=%d GL=%d BL=%d)\n",
+			q, np.Last.SourceTuples, np.Last.SinkTuples, gl.Last.SinkTuples, bl.Last.SinkTuples)
+		row := func(metric, unit string, pick func(Summaries) metrics.Summary) {
+			n, g, b := pick(np), pick(gl), pick(bl)
+			fmt.Fprintf(&sb, "  %-12s NP %12.1f ±%-8.1f GL %12.1f ±%-8.1f (%+6.1f%%)  BL %12.1f ±%-8.1f (%+6.1f%%)  %s\n",
+				metric,
+				n.Mean, n.CI95,
+				g.Mean, g.CI95, metrics.PercentDelta(n.Mean, g.Mean),
+				b.Mean, b.CI95, metrics.PercentDelta(n.Mean, b.Mean),
+				unit)
+		}
+		row("Throughput", "t/s", func(s Summaries) metrics.Summary { return s.Throughput })
+		row("Latency", "ms", func(s Summaries) metrics.Summary { return s.Latency })
+		row("Avg memory", "MB", func(s Summaries) metrics.Summary { return s.AvgMem })
+		row("Max memory", "MB", func(s Summaries) metrics.Summary { return s.MaxMem })
+		if gl.Last.Deployment == Inter {
+			fmt.Fprintf(&sb, "  %-12s GL %d bytes  BL %d bytes\n", "Net volume",
+				gl.Last.NetBytes, bl.Last.NetBytes)
+		}
+	}
+	return sb.String()
+}
+
+// Fig14 reproduces Figure 14: the mean contribution-graph traversal time per
+// sink tuple, intra-process and per SPE instance inter-process, for GL.
+type Fig14Result struct {
+	// Intra[q] is the intra-process traversal summary (ms).
+	Intra map[QueryID]metrics.Summary
+	// Inter[q] is the per-instance traversal summary (ms), index 0 = SPE 1.
+	Inter map[QueryID][]metrics.Summary
+}
+
+// Fig14 measures the traversal cost of every query under GL.
+func Fig14(ctx context.Context, base Options, runs int) (*Fig14Result, error) {
+	out := &Fig14Result{
+		Intra: make(map[QueryID]metrics.Summary),
+		Inter: make(map[QueryID][]metrics.Summary),
+	}
+	for _, q := range Queries {
+		o := base
+		o.Query = q
+		o.Mode = ModeGL
+		o.Deployment = Intra
+		s, err := Repeat(ctx, o, runs)
+		if err != nil {
+			return nil, err
+		}
+		out.Intra[q] = s.Traversal
+		o.Deployment = Inter
+		s, err = Repeat(ctx, o, runs)
+		if err != nil {
+			return nil, err
+		}
+		out.Inter[q] = s.TraversalPerSPE
+	}
+	return out, nil
+}
+
+// Render formats Figure 14's two panels.
+func (f *Fig14Result) Render() string {
+	var sb strings.Builder
+	title := "Figure 14: contribution-graph traversal time per sink tuple (GL)"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&sb, "\nIntra-process (ms):\n")
+	for _, q := range Queries {
+		s := f.Intra[q]
+		fmt.Fprintf(&sb, "  %s  %8.4f ±%.4f\n", q, s.Mean, s.CI95)
+	}
+	fmt.Fprintf(&sb, "\nInter-process (ms, per SPE instance):\n")
+	for _, q := range Queries {
+		fmt.Fprintf(&sb, "  %s ", q)
+		for i, s := range f.Inter[q] {
+			fmt.Fprintf(&sb, " SPE%d %8.4f ±%.4f ", i+1, s.Mean, s.CI95)
+		}
+		fmt.Fprintln(&sb)
+	}
+	return sb.String()
+}
+
+// SizeReport reproduces the §7 remark that provenance volume is 0.003%-0.5%
+// of the source data volume.
+type SizeReport struct {
+	Rows map[QueryID]Result
+}
+
+// Size measures the provenance-to-source volume ratio for every query (GL,
+// intra-process).
+func Size(ctx context.Context, base Options) (*SizeReport, error) {
+	out := &SizeReport{Rows: make(map[QueryID]Result)}
+	for _, q := range Queries {
+		o := base
+		o.Query = q
+		o.Mode = ModeGL
+		o.Deployment = Intra
+		r, err := Run(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows[q] = r
+	}
+	return out, nil
+}
+
+// Render formats the size report.
+func (s *SizeReport) Render() string {
+	var sb strings.Builder
+	title := "Provenance volume vs source volume (GL, intra-process)"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, q := range Queries {
+		r := s.Rows[q]
+		fmt.Fprintf(&sb, "  %s  source %10d B  provenance %8d B  ratio %.4f%%  (%d results, %d source tuples linked)\n",
+			q, r.SourceBytes, r.ProvBytes, 100*r.ProvRatio(), r.ProvResults, r.ProvSources)
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/linearroad"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+	"genealog/internal/smartgrid"
+)
+
+// querySpec describes how to assemble one evaluation query, both as a whole
+// (intra-process) and split into the two stages of the paper's distributed
+// deployments (stage 1 at SPE instance 1 next to the Source, stage 2 at SPE
+// instance 2 next to the Sink).
+type querySpec struct {
+	id QueryID
+	// source returns the generator function, the total tuple count and the
+	// approximate per-tuple payload bytes.
+	source func(o Options) (ops.SourceFunc, int, int)
+	// addWhole appends the complete query.
+	addWhole func(b *query.Builder, src *query.Node) *query.Node
+	// addStage1 appends the SPE-instance-1 part and returns its delivering
+	// nodes (one per stream shipped to instance 2), in deterministic order.
+	addStage1 func(b *query.Builder, src *query.Node) []*query.Node
+	// addStage2 appends the SPE-instance-2 part, consuming the received
+	// streams in the same order.
+	addStage2 func(b *query.Builder, ins []*query.Node) *query.Node
+	// muWindow is the multi-stream unfolder's join window (§6.1): the sum of
+	// the stateful window sizes at the instance producing the derived
+	// stream.
+	muWindow int64
+	// registerWire registers the workload's tuple types with the codec.
+	registerWire func()
+	// sized reports the approximate payload bytes of a tuple (provenance
+	// volume accounting).
+	sized func(core.Tuple) int
+}
+
+func specFor(id QueryID) (querySpec, error) {
+	switch id {
+	case Q1:
+		return querySpec{
+			id:     Q1,
+			source: lrSource,
+			addWhole: func(b *query.Builder, src *query.Node) *query.Node {
+				return linearroad.AddQ1(b, src)
+			},
+			addStage1: func(b *query.Builder, src *query.Node) []*query.Node {
+				return []*query.Node{linearroad.AddQ1Stage1(b, src)}
+			},
+			addStage2: func(b *query.Builder, ins []*query.Node) *query.Node {
+				return linearroad.AddQ1Stage2(b, ins[0])
+			},
+			muWindow:     linearroad.MUWindowQ1,
+			registerWire: linearroad.RegisterWire,
+			sized:        sizedBytes,
+		}, nil
+	case Q2:
+		return querySpec{
+			id:     Q2,
+			source: lrSource,
+			addWhole: func(b *query.Builder, src *query.Node) *query.Node {
+				return linearroad.AddQ2(b, src)
+			},
+			addStage1: func(b *query.Builder, src *query.Node) []*query.Node {
+				return []*query.Node{linearroad.AddQ1(b, src)}
+			},
+			addStage2: func(b *query.Builder, ins []*query.Node) *query.Node {
+				return linearroad.AddQ2Stage2(b, ins[0])
+			},
+			muWindow:     linearroad.MUWindowQ2,
+			registerWire: linearroad.RegisterWire,
+			sized:        sizedBytes,
+		}, nil
+	case Q3:
+		return querySpec{
+			id:     Q3,
+			source: sgSource,
+			addWhole: func(b *query.Builder, src *query.Node) *query.Node {
+				return smartgrid.AddQ3(b, src)
+			},
+			addStage1: func(b *query.Builder, src *query.Node) []*query.Node {
+				return []*query.Node{smartgrid.AddQ3Stage1(b, src)}
+			},
+			addStage2: func(b *query.Builder, ins []*query.Node) *query.Node {
+				return smartgrid.AddQ3Stage2(b, ins[0])
+			},
+			muWindow:     smartgrid.MUWindowQ3,
+			registerWire: smartgrid.RegisterWire,
+			sized:        sizedBytes,
+		}, nil
+	case Q4:
+		return querySpec{
+			id:     Q4,
+			source: sgSource,
+			addWhole: func(b *query.Builder, src *query.Node) *query.Node {
+				return smartgrid.AddQ4(b, src)
+			},
+			addStage1: func(b *query.Builder, src *query.Node) []*query.Node {
+				out := smartgrid.AddQ4Stage1(b, src)
+				return []*query.Node{out.Daily, out.Midnight}
+			},
+			addStage2: func(b *query.Builder, ins []*query.Node) *query.Node {
+				return smartgrid.AddQ4Stage2(b, smartgrid.Q4Stage1Outputs{Daily: ins[0], Midnight: ins[1]})
+			},
+			muWindow:     smartgrid.MUWindowQ4,
+			registerWire: smartgrid.RegisterWire,
+			sized:        sizedBytes,
+		}, nil
+	default:
+		return querySpec{}, fmt.Errorf("harness: unknown query %q", id)
+	}
+}
+
+func lrSource(o Options) (ops.SourceFunc, int, int) {
+	g := linearroad.NewGenerator(o.LR)
+	return g.SourceFunc(), g.Tuples(), (&linearroad.PositionReport{}).ApproxBytes()
+}
+
+func sgSource(o Options) (ops.SourceFunc, int, int) {
+	g := smartgrid.NewGenerator(o.SG)
+	return g.SourceFunc(), g.Tuples(), (&smartgrid.MeterReading{}).ApproxBytes()
+}
+
+func sizedBytes(t core.Tuple) int {
+	if s, ok := t.(baseline.Sized); ok {
+		return s.ApproxBytes()
+	}
+	return 64
+}
+
+// instrumenterFor returns the instrumenter for the given mode. node numbers
+// the SPE instance for ID generation (inter-process); the BL store is shared
+// across instances when provided.
+func instrumenterFor(mode Mode, node uint16, store *baseline.Store) core.Instrumenter {
+	switch mode {
+	case ModeGL:
+		if node == 0 {
+			return &core.Genealog{}
+		}
+		return &core.Genealog{IDs: core.NewIDGen(node)}
+	case ModeBL:
+		n := node
+		if n == 0 {
+			n = 1
+		}
+		return &baseline.Instrumenter{IDs: core.NewIDGen(n), Store: store}
+	default:
+		return core.Noop{}
+	}
+}

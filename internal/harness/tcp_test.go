@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+	"genealog/internal/transport"
+)
+
+// tcpPair establishes one directed TCP link on addr and returns the
+// receiving (listening) and sending (dialing) halves.
+func tcpPair(ctx context.Context, t *testing.T, addr string) (recv, send *transport.Link) {
+	t.Helper()
+	type res struct {
+		l   *transport.Link
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		l, err := transport.Listen(ctx, addr)
+		ch <- res{l, err}
+	}()
+	send, err := transport.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return r.l, send
+}
+
+// TestDistributedOverTCP runs the full Fig. 7 GL deployment of Q1 across
+// three query graphs connected by real TCP loopback connections — the
+// cmd/spe-node topology inside one test — and checks the provenance node
+// reconstructs the same results as an intra-process run.
+func TestDistributedOverTCP(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeGL, Inter
+
+	const base = 18150
+	addr := func(off int) string { return fmt.Sprintf("127.0.0.1:%d", base+off) }
+	mainRecv, mainSend := tcpPair(ctx, t, addr(0))
+	u1Recv, u1Send := tcpPair(ctx, t, addr(1))
+	derivedRecv, derivedSend := tcpPair(ctx, t, addr(2))
+
+	var mu sync.Mutex
+	var sinkTuples int64
+	var results []provenance.Result
+	hooks := InterHooks{
+		OnSinkTuple: func(core.Tuple) {
+			mu.Lock()
+			sinkTuples++
+			mu.Unlock()
+		},
+		OnProvenance: func(r provenance.Result) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		},
+	}
+
+	spe1, err := BuildSPE1(o, InterLinks{
+		Main: []*transport.Link{mainSend},
+		U1:   []*transport.Link{u1Send},
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spe2, err := BuildSPE2(o, InterLinks{
+		Main:    []*transport.Link{mainRecv},
+		Derived: derivedSend,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spe3, err := BuildSPE3(o, InterLinks{
+		U1:      []*transport.Link{u1Recv},
+		Derived: derivedRecv,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	for _, q := range []*query.Query{spe1, spe2, spe3} {
+		wg.Add(1)
+		go func(q *query.Query) {
+			defer wg.Done()
+			errc <- q.Run(ctx)
+		}(q)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: the same configuration intra-process.
+	ref := run(t, Q1, ModeGL, Intra)
+	if sinkTuples != ref.SinkTuples {
+		t.Fatalf("TCP sink tuples = %d, intra = %d", sinkTuples, ref.SinkTuples)
+	}
+	if int64(len(results)) != ref.ProvResults {
+		t.Fatalf("TCP provenance results = %d, intra = %d", len(results), ref.ProvResults)
+	}
+	var sources int64
+	for _, r := range results {
+		sources += int64(len(r.Sources))
+	}
+	if sources != ref.ProvSources {
+		t.Fatalf("TCP provenance sources = %d, intra = %d", sources, ref.ProvSources)
+	}
+}
+
+// TestDistributedOverTCPBaseline runs the BL deployment over TCP: source
+// stream and annotated sink tuples shipped to the provenance node.
+func TestDistributedOverTCPBaseline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeBL, Inter
+
+	const base = 18170
+	addr := func(off int) string { return fmt.Sprintf("127.0.0.1:%d", base+off) }
+	mainRecv, mainSend := tcpPair(ctx, t, addr(0))
+	srcRecv, srcSend := tcpPair(ctx, t, addr(1))
+	sinkRecv, sinkSend := tcpPair(ctx, t, addr(2))
+
+	var mu sync.Mutex
+	var results []provenance.Result
+	hooks := InterHooks{
+		OnProvenance: func(r provenance.Result) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		},
+		Store: baseline.NewStore(),
+	}
+
+	spe1, err := BuildSPE1(o, InterLinks{
+		Main:    []*transport.Link{mainSend},
+		Sources: srcSend,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spe2, err := BuildSPE2(o, InterLinks{
+		Main:  []*transport.Link{mainRecv},
+		Sinks: sinkSend,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spe3, err := BuildSPE3(o, InterLinks{
+		Sources: srcRecv,
+		Sinks:   sinkRecv,
+	}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	for _, q := range []*query.Query{spe1, spe2, spe3} {
+		wg.Add(1)
+		go func(q *query.Query) {
+			defer wg.Done()
+			errc <- q.Run(ctx)
+		}(q)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ref := run(t, Q1, ModeGL, Intra)
+	if int64(len(results)) != ref.ProvResults {
+		t.Fatalf("BL TCP provenance results = %d, GL intra = %d", len(results), ref.ProvResults)
+	}
+	var sources int64
+	for _, r := range results {
+		sources += int64(len(r.Sources))
+	}
+	if sources != ref.ProvSources {
+		t.Fatalf("BL TCP provenance sources = %d, GL intra = %d", sources, ref.ProvSources)
+	}
+}

@@ -1,0 +1,143 @@
+package linearroad
+
+import (
+	"context"
+	"math/rand"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// Config parameterises the deterministic Linear Road traffic generator. The
+// generator simulates one expressway: every car emits a position report each
+// ReportPeriod seconds; breakdowns (one car stopping) and accidents (two
+// cars stopped at the same position) are injected on a fixed schedule so
+// runs are reproducible and alert counts are predictable.
+type Config struct {
+	// Cars is the number of vehicles on the expressway.
+	Cars int
+	// Steps is the number of 30-second reporting rounds to generate
+	// (Cars*Steps source tuples in total).
+	Steps int
+	// StopEvery injects a breakdown every StopEvery steps (0 disables).
+	StopEvery int
+	// StopDuration is how many consecutive reports a broken-down car stays
+	// stopped (>= StopReports triggers Q1 alerts).
+	StopDuration int
+	// AccidentEvery injects a two-car accident every AccidentEvery steps
+	// (0 disables).
+	AccidentEvery int
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+// DefaultConfig returns the workload used by the experiment harness: a
+// steady stream with regular breakdowns and occasional accidents.
+func DefaultConfig() Config {
+	return Config{
+		Cars:          50,
+		Steps:         200,
+		StopEvery:     5,
+		StopDuration:  6,
+		AccidentEvery: 20,
+		Seed:          42,
+	}
+}
+
+// Generator produces the position-report stream.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator returns a generator for the given configuration. Zero or
+// negative core fields fall back to DefaultConfig values.
+func NewGenerator(cfg Config) *Generator {
+	def := DefaultConfig()
+	if cfg.Cars <= 0 {
+		cfg.Cars = def.Cars
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = def.Steps
+	}
+	if cfg.StopDuration <= 0 {
+		cfg.StopDuration = def.StopDuration
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Tuples returns the total number of source tuples the generator emits.
+func (g *Generator) Tuples() int { return g.cfg.Cars * g.cfg.Steps }
+
+type carState struct {
+	pos         int32
+	speed       int32
+	stoppedLeft int // remaining zero-speed reports
+}
+
+// SourceFunc returns the ops.SourceFunc emitting the timestamp-sorted
+// position reports.
+func (g *Generator) SourceFunc() ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		rng := rand.New(rand.NewSource(g.cfg.Seed))
+		cars := make([]carState, g.cfg.Cars)
+		for i := range cars {
+			cars[i] = carState{pos: int32(rng.Intn(10000)), speed: 40 + int32(rng.Intn(60))}
+		}
+		for step := 0; step < g.cfg.Steps; step++ {
+			g.inject(rng, cars, step)
+			ts := int64(step) * ReportPeriod
+			for i := range cars {
+				c := &cars[i]
+				speed := c.speed
+				if c.stoppedLeft > 0 {
+					speed = 0
+					c.stoppedLeft--
+				} else {
+					// Drive on: advance position, drift speed.
+					c.pos += c.speed
+					c.speed += int32(rng.Intn(11)) - 5
+					if c.speed < 30 {
+						c.speed = 30
+					}
+					if c.speed > 120 {
+						c.speed = 120
+					}
+				}
+				if err := emit(NewPositionReport(ts, int32(i), speed, c.pos)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// inject applies the breakdown/accident schedule at the given step.
+func (g *Generator) inject(rng *rand.Rand, cars []carState, step int) {
+	if g.cfg.StopEvery > 0 && step > 0 && step%g.cfg.StopEvery == 0 {
+		if car := g.pickMoving(rng, cars); car >= 0 {
+			cars[car].stoppedLeft = g.cfg.StopDuration
+		}
+	}
+	if g.cfg.AccidentEvery > 0 && step > 0 && step%g.cfg.AccidentEvery == 0 {
+		a := g.pickMoving(rng, cars)
+		b := g.pickMoving(rng, cars)
+		if a >= 0 && b >= 0 && a != b {
+			// Both cars stop at the same position: an accident.
+			cars[b].pos = cars[a].pos
+			cars[a].stoppedLeft = g.cfg.StopDuration
+			cars[b].stoppedLeft = g.cfg.StopDuration
+		}
+	}
+}
+
+// pickMoving returns a random car that is currently driving, or -1.
+func (g *Generator) pickMoving(rng *rand.Rand, cars []carState) int {
+	for attempt := 0; attempt < 8; attempt++ {
+		i := rng.Intn(len(cars))
+		if cars[i].stoppedLeft == 0 {
+			return i
+		}
+	}
+	return -1
+}

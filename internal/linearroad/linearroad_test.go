@@ -1,0 +1,286 @@
+package linearroad
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+)
+
+// runQuery builds source -> addQuery -> SU -> sink and returns the sink
+// tuples and the per-sink provenance results.
+func runQuery(t *testing.T, gen ops.SourceFunc, instr core.Instrumenter,
+	addQuery func(*query.Builder, *query.Node) *query.Node) ([]core.Tuple, []provenance.Result) {
+	t.Helper()
+	b := query.New("lr", query.WithInstrumenter(instr))
+	src := b.AddSource("src", gen)
+	last := addQuery(b, src)
+	so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
+	var sunk []core.Tuple
+	b.Connect(so, b.AddSink("k", func(tp core.Tuple) error { sunk = append(sunk, tp); return nil }))
+	var results []provenance.Result
+	provenance.AddCollector(b, "prov", u, func(r provenance.Result) { results = append(results, r) })
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sunk, results
+}
+
+// stopScenario emits reports for 2 cars: car 0 drives normally, car 1 stops
+// at position 500 for `stops` consecutive reports starting at step 4.
+func stopScenario(steps, stops int) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for s := 0; s < steps; s++ {
+			ts := int64(s) * ReportPeriod
+			if err := emit(NewPositionReport(ts, 0, 80, int32(1000+s*80))); err != nil {
+				return err
+			}
+			speed, pos := int32(60), int32(500+s*60)
+			if s >= 4 && s < 4+stops {
+				speed, pos = 0, 500+4*60
+			}
+			if err := emit(NewPositionReport(ts, 1, speed, pos)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestQ1DetectsStoppedCar(t *testing.T) {
+	// Car 1 stops for exactly 4 reports (steps 4..7): exactly one window
+	// ([120,240), start step 4) holds 4 zero-speed same-position reports.
+	sunk, results := runQuery(t, stopScenario(16, 4), &core.Genealog{}, AddQ1)
+	if len(sunk) != 1 {
+		t.Fatalf("Q1 alerts = %d, want 1", len(sunk))
+	}
+	alert := sunk[0].(*StoppedCar)
+	if alert.CarID != 1 || alert.Count != 4 || alert.DistinctPos != 1 {
+		t.Fatalf("alert = %+v", alert)
+	}
+	if alert.Timestamp() != 4*ReportPeriod {
+		t.Fatalf("alert ts = %d, want %d", alert.Timestamp(), 4*ReportPeriod)
+	}
+	if len(results) != 1 {
+		t.Fatalf("provenance results = %d, want 1", len(results))
+	}
+	r := results[0]
+	if len(r.Sources) != StopReports {
+		t.Fatalf("provenance size = %d, want %d", len(r.Sources), StopReports)
+	}
+	provenance.SortSourcesByTs(&r)
+	for i, s := range r.Sources {
+		p := s.(*PositionReport)
+		if p.CarID != 1 || p.Speed != 0 {
+			t.Fatalf("source %d = %+v, want car 1 stopped", i, p)
+		}
+		if p.Timestamp() != int64(4+i)*ReportPeriod {
+			t.Fatalf("source %d ts = %d, want %d", i, p.Timestamp(), int64(4+i)*ReportPeriod)
+		}
+	}
+}
+
+func TestQ1LongerStopYieldsSlidingAlerts(t *testing.T) {
+	// Stopped for 6 reports -> windows starting at steps 4, 5, 6 all hold
+	// exactly 4 zero reports: 3 alerts.
+	sunk, results := runQuery(t, stopScenario(20, 6), &core.Genealog{}, AddQ1)
+	if len(sunk) != 3 {
+		t.Fatalf("Q1 alerts = %d, want 3", len(sunk))
+	}
+	for _, r := range results {
+		if len(r.Sources) != StopReports {
+			t.Fatalf("provenance size = %d, want %d", len(r.Sources), StopReports)
+		}
+	}
+}
+
+func TestQ1NoAlertForShortStop(t *testing.T) {
+	sunk, _ := runQuery(t, stopScenario(16, 3), &core.Genealog{}, AddQ1)
+	if len(sunk) != 0 {
+		t.Fatalf("Q1 alerts = %d, want 0 for a 3-report stop", len(sunk))
+	}
+}
+
+// accidentScenario stops cars 1 and 2 at the same position for 4 reports
+// starting at step 4; car 0 keeps driving.
+func accidentScenario(steps int) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for s := 0; s < steps; s++ {
+			ts := int64(s) * ReportPeriod
+			if err := emit(NewPositionReport(ts, 0, 80, int32(1000+s*80))); err != nil {
+				return err
+			}
+			for car := int32(1); car <= 2; car++ {
+				speed, pos := int32(60), int32(500+int32(s)*60+car)
+				if s >= 4 && s < 8 {
+					speed, pos = 0, 777
+				}
+				if err := emit(NewPositionReport(ts, car, speed, pos)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func TestQ2DetectsAccident(t *testing.T) {
+	sunk, results := runQuery(t, accidentScenario(16), &core.Genealog{}, AddQ2)
+	if len(sunk) != 1 {
+		t.Fatalf("Q2 alerts = %d, want 1", len(sunk))
+	}
+	alert := sunk[0].(*AccidentAlert)
+	if alert.Count != 2 || alert.Pos != 777 {
+		t.Fatalf("alert = %+v", alert)
+	}
+	if len(results) != 1 {
+		t.Fatalf("provenance results = %d, want 1", len(results))
+	}
+	// 2 cars x 4 reports = 8 source tuples, the paper's Fig. 9B.
+	if len(results[0].Sources) != AccidentCars*StopReports {
+		t.Fatalf("provenance size = %d, want %d", len(results[0].Sources), AccidentCars*StopReports)
+	}
+	cars := map[int32]int{}
+	for _, s := range results[0].Sources {
+		cars[s.(*PositionReport).CarID]++
+	}
+	if cars[1] != 4 || cars[2] != 4 {
+		t.Fatalf("per-car contributions = %v, want 4 each for cars 1,2", cars)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	collect := func() []string {
+		g := NewGenerator(Config{Cars: 10, Steps: 40, StopEvery: 5, StopDuration: 5, AccidentEvery: 13, Seed: 3})
+		var out []string
+		err := g.SourceFunc()(context.Background(), func(tp core.Tuple) error {
+			p := tp.(*PositionReport)
+			out = append(out, fmt.Sprintf("%d/%d/%d/%d", p.Timestamp(), p.CarID, p.Speed, p.Pos))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 400 {
+		t.Fatalf("generated %d tuples, want 400", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorTimestampSorted(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	last := int64(-1)
+	err := g.SourceFunc()(context.Background(), func(tp core.Tuple) error {
+		if tp.Timestamp() < last {
+			t.Fatalf("timestamps regress: %d after %d", tp.Timestamp(), last)
+		}
+		last = tp.Timestamp()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tuples() != DefaultConfig().Cars*DefaultConfig().Steps {
+		t.Fatalf("Tuples() = %d", g.Tuples())
+	}
+}
+
+func TestGeneratorProducesAlerts(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	sunk1, _ := runQuery(t, g.SourceFunc(), &core.Genealog{}, AddQ1)
+	if len(sunk1) == 0 {
+		t.Fatal("default workload must produce Q1 alerts")
+	}
+	sunk2, results2 := runQuery(t, NewGenerator(DefaultConfig()).SourceFunc(), &core.Genealog{}, AddQ2)
+	if len(sunk2) == 0 {
+		t.Fatal("default workload must produce Q2 alerts")
+	}
+	for _, r := range results2 {
+		if len(r.Sources)%StopReports != 0 || len(r.Sources) < AccidentCars*StopReports {
+			t.Fatalf("Q2 provenance size = %d, want a multiple of 4, >= 8", len(r.Sources))
+		}
+	}
+}
+
+// canonical renders provenance results in a stable, technique-independent
+// form for equivalence checks.
+func canonical(results []provenance.Result) []string {
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		var ids []string
+		for _, s := range r.Sources {
+			p := s.(*PositionReport)
+			ids = append(ids, fmt.Sprintf("%d/%d", p.Timestamp(), p.CarID))
+		}
+		sort.Strings(ids)
+		out = append(out, fmt.Sprintf("%d:%v", r.Sink.Timestamp(), ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQ1Q2GenealogMatchesBaseline cross-checks GL provenance against the BL
+// (Ariadne-style) technique on the default workload.
+func TestQ1Q2GenealogMatchesBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		add  func(*query.Builder, *query.Node) *query.Node
+	}{
+		{"Q1", AddQ1},
+		{"Q2", AddQ2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gen := NewGenerator(DefaultConfig())
+			_, glResults := runQuery(t, gen.SourceFunc(), &core.Genealog{}, tc.add)
+
+			store := baseline.NewStore()
+			blInstr := &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}
+			b := query.New("bl", query.WithInstrumenter(blInstr))
+			src := b.AddSource("src", NewGenerator(DefaultConfig()).SourceFunc())
+			last := tc.add(b, src)
+			var blResults []provenance.Result
+			b.Connect(last, b.AddSink("k", func(tp core.Tuple) error {
+				srcs := baseline.Resolver{Store: store}.Resolve(tp)
+				blResults = append(blResults, provenance.Result{Sink: tp, Sources: srcs})
+				return nil
+			}))
+			q, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			gl, bl := canonical(glResults), canonical(blResults)
+			if len(gl) == 0 {
+				t.Fatal("no provenance results to compare")
+			}
+			if len(gl) != len(bl) {
+				t.Fatalf("GL %d results, BL %d", len(gl), len(bl))
+			}
+			for i := range gl {
+				if gl[i] != bl[i] {
+					t.Fatalf("provenance mismatch at %d:\nGL: %s\nBL: %s", i, gl[i], bl[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package linearroad
+
+import (
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// AddQ1Stage1 appends Q1's stateless prefix — the speed==0 Filter — to the
+// builder. In the distributed deployment (Fig. 7) this stage runs at SPE
+// instance 1, next to the Source.
+func AddQ1Stage1(b *query.Builder, from *query.Node) *query.Node {
+	f := b.AddFilter("q1.zero-speed", func(t core.Tuple) bool {
+		return t.(*PositionReport).Speed == 0
+	})
+	b.Connect(from, f)
+	return f
+}
+
+// AddQ1Stage2 appends Q1's stateful suffix — the per-car 120 s/30 s
+// Aggregate and the stopped-car Filter — producing *StoppedCar alerts. In
+// the distributed deployment this stage runs at SPE instance 2.
+func AddQ1Stage2(b *query.Builder, from *query.Node) *query.Node {
+	agg := b.AddAggregate("q1.window", ops.AggregateSpec{
+		WS:  Q1WindowSize,
+		WA:  Q1WindowAdvance,
+		Key: func(t core.Tuple) string { return strconv.Itoa(int(t.(*PositionReport).CarID)) },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			out := &StoppedCar{Base: core.NewBase(start)}
+			distinct := make(map[int32]struct{}, 2)
+			for _, t := range w {
+				p := t.(*PositionReport)
+				out.Count++
+				out.LastPos = p.Pos
+				out.CarID = p.CarID
+				distinct[p.Pos] = struct{}{}
+			}
+			out.DistinctPos = int32(len(distinct))
+			return out
+		},
+	})
+	stopped := b.AddFilter("q1.stopped", func(t core.Tuple) bool {
+		s := t.(*StoppedCar)
+		return s.Count == StopReports && s.DistinctPos == 1
+	})
+	b.Connect(from, agg)
+	b.Connect(agg, stopped)
+	return stopped
+}
+
+// AddQ1 appends the whole broken-down-car query (Fig. 1) and returns its
+// final node, which emits *StoppedCar sink tuples. Each sink tuple's
+// provenance is the car's StopReports position reports (4 source tuples).
+func AddQ1(b *query.Builder, from *query.Node) *query.Node {
+	return AddQ1Stage2(b, AddQ1Stage1(b, from))
+}
+
+// AddQ2Stage2 appends Q2's second stage — the per-position 30 s Aggregate
+// counting stopped cars and the >= AccidentCars Filter — producing
+// *AccidentAlert sink tuples. In the distributed deployment (Fig. 9C) this
+// stage runs at SPE instance 2, after the whole of Q1 at instance 1.
+func AddQ2Stage2(b *query.Builder, from *query.Node) *query.Node {
+	agg := b.AddAggregate("q2.window", ops.AggregateSpec{
+		WS:  Q2WindowSize,
+		WA:  Q2WindowAdvance,
+		Key: func(t core.Tuple) string { return strconv.Itoa(int(t.(*StoppedCar).LastPos)) },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			out := &AccidentAlert{Base: core.NewBase(start)}
+			for _, t := range w {
+				s := t.(*StoppedCar)
+				out.Count++
+				out.Pos = s.LastPos
+			}
+			return out
+		},
+	})
+	accident := b.AddFilter("q2.accident", func(t core.Tuple) bool {
+		return t.(*AccidentAlert).Count >= AccidentCars
+	})
+	b.Connect(from, agg)
+	b.Connect(agg, accident)
+	return accident
+}
+
+// AddQ2 appends the whole accident-detection query (Fig. 9): Q1 followed by
+// the per-position stopped-car count. Each *AccidentAlert's provenance is
+// AccidentCars * StopReports source tuples (8 in the paper's setting).
+func AddQ2(b *query.Builder, from *query.Node) *query.Node {
+	return AddQ2Stage2(b, AddQ1(b, from))
+}

@@ -1,0 +1,123 @@
+// Package linearroad implements the paper's vehicular use cases: a
+// deterministic Linear Road-style position-report generator (one expressway,
+// reports every 30 s, §7) and the two queries built on it — Q1, detecting
+// broken-down cars (Fig. 1), and Q2, detecting accidents (Fig. 9) — with
+// intra-process and distributed (Figs. 7, 9C) deployments.
+package linearroad
+
+import (
+	"sync"
+
+	"genealog/internal/core"
+	"genealog/internal/transport"
+)
+
+// ReportPeriod is the position-report interval in seconds (the benchmark's
+// 30 s cadence).
+const ReportPeriod = 30
+
+// Query window parameters (Figs. 1 and 9).
+const (
+	// Q1WindowSize and Q1WindowAdvance are the per-car aggregation window
+	// (120 s / 30 s): four consecutive reports per full window.
+	Q1WindowSize    = 120
+	Q1WindowAdvance = 30
+	// Q2WindowSize and Q2WindowAdvance aggregate stopped-car tuples per
+	// position (30 s tumbling).
+	Q2WindowSize    = 30
+	Q2WindowAdvance = 30
+	// StopReports is how many consecutive zero-speed same-position reports
+	// define a stopped car.
+	StopReports = 4
+	// AccidentCars is how many stopped cars at one position define an
+	// accident.
+	AccidentCars = 2
+)
+
+// MU join windows for the distributed deployments (§6.1: the sum of the
+// stateful operators' window sizes at the instance producing the derived
+// stream).
+const (
+	// MUWindowQ1 covers SPE instance 2's Aggregate (WS=120).
+	MUWindowQ1 = Q1WindowSize
+	// MUWindowQ2 covers SPE instance 2's Aggregate (WS=30).
+	MUWindowQ2 = Q2WindowSize
+)
+
+// PositionReport is the source tuple: ⟨ts, car_id, speed, pos⟩ (§2). The
+// benchmark's several position attributes are collapsed into one, as in the
+// paper's presentation.
+type PositionReport struct {
+	core.Base
+	CarID int32
+	Speed int32
+	Pos   int32
+}
+
+// NewPositionReport returns a position report at event time ts.
+func NewPositionReport(ts int64, car, speed, pos int32) *PositionReport {
+	return &PositionReport{Base: core.NewBase(ts), CarID: car, Speed: speed, Pos: pos}
+}
+
+// CloneTuple implements core.Cloneable.
+func (p *PositionReport) CloneTuple() core.Tuple {
+	cp := *p
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (p *PositionReport) ApproxBytes() int { return 8 + 3*4 }
+
+// StoppedCar is Q1's aggregate output: per-car window statistics with the
+// extra last_pos field Q2 groups by (paper footnote 4).
+type StoppedCar struct {
+	core.Base
+	CarID       int32
+	Count       int32
+	DistinctPos int32
+	LastPos     int32
+}
+
+// CloneTuple implements core.Cloneable.
+func (s *StoppedCar) CloneTuple() core.Tuple {
+	cp := *s
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (s *StoppedCar) ApproxBytes() int { return 8 + 4*4 }
+
+// AccidentAlert is Q2's sink tuple: the number of stopped cars observed at
+// one position in one window.
+type AccidentAlert struct {
+	core.Base
+	Pos   int32
+	Count int32
+}
+
+// CloneTuple implements core.Cloneable.
+func (a *AccidentAlert) CloneTuple() core.Tuple {
+	cp := *a
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (a *AccidentAlert) ApproxBytes() int { return 8 + 2*4 }
+
+var registerOnce sync.Once
+
+// RegisterWire registers the package's tuple types with both transport
+// codecs (gob and binary). Safe to call multiple times.
+func RegisterWire() {
+	registerOnce.Do(func() {
+		transport.Register(&PositionReport{})
+		transport.Register(&StoppedCar{})
+		transport.Register(&AccidentAlert{})
+		transport.RegisterBinary(tagPositionReport, func() transport.WireTuple { return &PositionReport{} })
+		transport.RegisterBinary(tagStoppedCar, func() transport.WireTuple { return &StoppedCar{} })
+		transport.RegisterBinary(tagAccidentAlert, func() transport.WireTuple { return &AccidentAlert{} })
+	})
+}

@@ -1,0 +1,82 @@
+package linearroad
+
+import (
+	"genealog/internal/transport"
+)
+
+// Binary wire tags for the Linear Road tuple types (stable across the
+// deployment; 1-9 reserved for this package).
+const (
+	tagPositionReport uint16 = 1
+	tagStoppedCar     uint16 = 2
+	tagAccidentAlert  uint16 = 3
+)
+
+var (
+	_ transport.WireTuple = (*PositionReport)(nil)
+	_ transport.WireTuple = (*StoppedCar)(nil)
+	_ transport.WireTuple = (*AccidentAlert)(nil)
+)
+
+// MarshalWire implements transport.WireTuple.
+func (p *PositionReport) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, p.CarID)
+	buf = transport.AppendInt32(buf, p.Speed)
+	buf = transport.AppendInt32(buf, p.Pos)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (p *PositionReport) UnmarshalWire(data []byte) error {
+	var err error
+	if p.CarID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	if p.Speed, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	p.Pos, _, err = transport.ReadInt32(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (s *StoppedCar) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, s.CarID)
+	buf = transport.AppendInt32(buf, s.Count)
+	buf = transport.AppendInt32(buf, s.DistinctPos)
+	buf = transport.AppendInt32(buf, s.LastPos)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (s *StoppedCar) UnmarshalWire(data []byte) error {
+	var err error
+	if s.CarID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	if s.Count, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	if s.DistinctPos, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	s.LastPos, _, err = transport.ReadInt32(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (a *AccidentAlert) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, a.Pos)
+	buf = transport.AppendInt32(buf, a.Count)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (a *AccidentAlert) UnmarshalWire(data []byte) error {
+	var err error
+	if a.Pos, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	a.Count, _, err = transport.ReadInt32(data)
+	return err
+}

@@ -1,0 +1,220 @@
+// Package metrics implements the measurements of the paper's §7: throughput
+// (source tuples per second), latency (sink emission minus the wall-clock
+// arrival of the latest contributing source tuple, captured through the
+// tuples' stimulus), memory footprint (average and maximum heap in use,
+// sampled), contribution-graph traversal time, and mean / 95% confidence
+// interval aggregation across repeated runs.
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter counts events and derives a rate from the enclosing time window.
+type Counter struct {
+	n     atomic.Int64
+	start atomic.Int64 // UnixNano of first Mark, set once
+	end   atomic.Int64 // UnixNano of the latest Mark
+}
+
+// Mark counts one event at time now (UnixNano).
+func (c *Counter) Mark(now int64) {
+	c.n.Add(1)
+	c.start.CompareAndSwap(0, now)
+	c.end.Store(now)
+}
+
+// Count returns the number of events.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Rate returns events per second between the first and last Mark.
+func (c *Counter) Rate() float64 {
+	n := c.n.Load()
+	start, end := c.start.Load(), c.end.Load()
+	if n < 2 || end <= start {
+		return 0
+	}
+	return float64(n) / (time.Duration(end - start)).Seconds()
+}
+
+// Welford accumulates streaming mean/variance/extrema without retaining
+// samples.
+type Welford struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	m2    float64
+	min   float64
+	max   float64
+	total float64
+}
+
+// Add ingests one sample.
+func (w *Welford) Add(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+	w.total += x
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { w.mu.Lock(); defer w.mu.Unlock(); return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { w.mu.Lock(); defer w.mu.Unlock(); return w.mean }
+
+// Max returns the largest sample (0 with no samples).
+func (w *Welford) Max() float64 { w.mu.Lock(); defer w.mu.Unlock(); return w.max }
+
+// Min returns the smallest sample (0 with no samples).
+func (w *Welford) Min() float64 { w.mu.Lock(); defer w.mu.Unlock(); return w.min }
+
+// Sum returns the sample total.
+func (w *Welford) Sum() float64 { w.mu.Lock(); defer w.mu.Unlock(); return w.total }
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// MemSampler periodically samples the Go heap (HeapAlloc) on a background
+// goroutine, giving the paper's average and maximum memory footprint.
+type MemSampler struct {
+	interval time.Duration
+	stats    Welford
+	stop     chan struct{}
+	done     chan struct{}
+	readMem  func() uint64
+}
+
+// NewMemSampler returns a sampler with the given period (<= 0 selects 10 ms).
+func NewMemSampler(interval time.Duration) *MemSampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &MemSampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		readMem: func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		},
+	}
+}
+
+// Start launches the sampling goroutine.
+func (m *MemSampler) Start() {
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		m.sample()
+		for {
+			select {
+			case <-ticker.C:
+				m.sample()
+			case <-m.stop:
+				m.sample()
+				return
+			}
+		}
+	}()
+}
+
+func (m *MemSampler) sample() { m.stats.Add(float64(m.readMem())) }
+
+// Stop halts sampling and waits for the goroutine to exit.
+func (m *MemSampler) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// AvgBytes returns the average sampled heap size.
+func (m *MemSampler) AvgBytes() float64 { return m.stats.Mean() }
+
+// MaxBytes returns the maximum sampled heap size.
+func (m *MemSampler) MaxBytes() float64 { return m.stats.Max() }
+
+// Summary is the mean and 95% confidence half-interval of repeated-run
+// values, the format of the paper's plots ("results are averaged over five
+// runs and present the 95% confidence interval").
+type Summary struct {
+	N    int
+	Mean float64
+	CI95 float64
+}
+
+// Summarize aggregates one value per run.
+func Summarize(runs []float64) Summary {
+	s := Summary{N: len(runs)}
+	if len(runs) == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range runs {
+		sum += v
+	}
+	s.Mean = sum / float64(len(runs))
+	if len(runs) < 2 {
+		return s
+	}
+	var sq float64
+	for _, v := range runs {
+		d := v - s.Mean
+		sq += d * d
+	}
+	sd := math.Sqrt(sq / float64(len(runs)-1))
+	s.CI95 = tCritical95(len(runs)-1) * sd / math.Sqrt(float64(len(runs)))
+	return s
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (1.96 asymptotically).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// PercentDelta returns 100*(v-base)/base, the annotation format of the
+// paper's bar charts (e.g. "-3.7%").
+func PercentDelta(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (v - base) / base
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	base := time.Now().UnixNano()
+	for i := 0; i <= 100; i++ {
+		c.Mark(base + int64(i)*int64(time.Millisecond))
+	}
+	if c.Count() != 101 {
+		t.Fatalf("count = %d, want 101", c.Count())
+	}
+	// 101 events over 100 ms -> 1010/s.
+	if r := c.Rate(); math.Abs(r-1010) > 1 {
+		t.Fatalf("rate = %f, want ~1010", r)
+	}
+}
+
+func TestCounterRateDegenerate(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Fatal("empty counter must have zero rate")
+	}
+	c.Mark(5)
+	if c.Rate() != 0 {
+		t.Fatal("single-event counter must have zero rate")
+	}
+}
+
+func TestCounterConcurrentMarks(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Mark(int64(w*1000 + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", c.Count())
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Fatalf("n=%d mean=%f, want 8/5", w.N(), w.Mean())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min=%f max=%f", w.Min(), w.Max())
+	}
+	if w.Sum() != 40 {
+		t.Fatalf("sum=%f, want 40", w.Sum())
+	}
+	if sd := w.StdDev(); math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev = %f, want ~2.138", sd)
+	}
+}
+
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		return math.Abs(w.Mean()-mean) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemSampler(t *testing.T) {
+	m := NewMemSampler(time.Millisecond)
+	var fake uint64 = 100
+	var mu sync.Mutex
+	m.readMem = func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		fake += 100
+		return fake
+	}
+	m.Start()
+	time.Sleep(10 * time.Millisecond)
+	m.Stop()
+	if m.AvgBytes() <= 0 || m.MaxBytes() < m.AvgBytes() {
+		t.Fatalf("avg=%f max=%f", m.AvgBytes(), m.MaxBytes())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 12, 8, 11, 9})
+	if s.N != 5 || s.Mean != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// sd = sqrt(10/4) = 1.5811; CI = 2.776*1.5811/sqrt(5) = 1.963.
+	if math.Abs(s.CI95-1.963) > 0.01 {
+		t.Fatalf("CI95 = %f, want ~1.963", s.CI95)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Mean != 7 || s.CI95 != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(4) != 2.776 {
+		t.Fatalf("t(4) = %f", tCritical95(4))
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Fatalf("t(1000) = %f", tCritical95(1000))
+	}
+	if tCritical95(0) != 0 {
+		t.Fatalf("t(0) = %f", tCritical95(0))
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if d := PercentDelta(100, 96.3); math.Abs(d+3.7) > 1e-9 {
+		t.Fatalf("delta = %f, want -3.7", d)
+	}
+	if PercentDelta(0, 5) != 0 {
+		t.Fatal("zero base must give 0")
+	}
+}

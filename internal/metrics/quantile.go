@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Reservoir estimates quantiles from a stream of samples with bounded
+// memory: below the capacity it is exact; beyond it, uniform reservoir
+// sampling (Vitter's algorithm R) keeps an unbiased sample. Latency streams
+// in the harness are usually small (one sample per sink tuple), so the
+// reported quantiles are typically exact.
+type Reservoir struct {
+	mu   sync.Mutex
+	cap  int
+	n    int64
+	buf  []float64
+	rng  *rand.Rand
+	sort []float64 // scratch, reused between Quantile calls
+}
+
+// DefaultReservoirSize bounds the retained samples when no size is given.
+const DefaultReservoirSize = 4096
+
+// NewReservoir returns a reservoir with the given capacity (<= 0 selects
+// DefaultReservoirSize). Sampling is seeded deterministically so repeated
+// runs of a deterministic workload report identical quantiles.
+func NewReservoir(capacity int) *Reservoir {
+	if capacity <= 0 {
+		capacity = DefaultReservoirSize
+	}
+	return &Reservoir{
+		cap: capacity,
+		rng: rand.New(rand.NewSource(1)),
+	}
+}
+
+// Add ingests one sample.
+func (r *Reservoir) Add(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, x)
+		return
+	}
+	if i := r.rng.Int63n(r.n); i < int64(r.cap) {
+		r.buf[i] = x
+	}
+}
+
+// N returns the number of ingested samples.
+func (r *Reservoir) N() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample,
+// using nearest-rank interpolation. It returns 0 with no samples.
+func (r *Reservoir) Quantile(q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	r.sort = append(r.sort[:0], r.buf...)
+	sort.Float64s(r.sort)
+	pos := q * float64(len(r.sort)-1)
+	lo := int(pos)
+	if lo == len(r.sort)-1 {
+		return r.sort[lo]
+	}
+	frac := pos - float64(lo)
+	return r.sort[lo]*(1-frac) + r.sort[lo+1]*frac
+}
+
+// Quantiles returns several quantiles in one locked pass.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = r.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(100)
+	for i := 1; i <= 99; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 99 {
+		t.Fatalf("n = %d", r.N())
+	}
+	if q := r.Quantile(0.5); math.Abs(q-50) > 1e-9 {
+		t.Fatalf("p50 = %f, want 50", q)
+	}
+	if q := r.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %f, want 1", q)
+	}
+	if q := r.Quantile(1); q != 99 {
+		t.Fatalf("p100 = %f, want 99", q)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(10)
+	if r.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir must report 0")
+	}
+}
+
+func TestReservoirClampsQ(t *testing.T) {
+	r := NewReservoir(10)
+	r.Add(3)
+	if r.Quantile(-1) != 3 || r.Quantile(2) != 3 {
+		t.Fatal("out-of-range quantiles must clamp")
+	}
+}
+
+func TestReservoirSamplingApproximation(t *testing.T) {
+	r := NewReservoir(512)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100_000; i++ {
+		r.Add(rng.Float64() * 1000)
+	}
+	if r.N() != 100_000 {
+		t.Fatalf("n = %d", r.N())
+	}
+	p50 := r.Quantile(0.5)
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("p50 of uniform(0,1000) = %f, want ~500", p50)
+	}
+	p99 := r.Quantile(0.99)
+	if p99 < 930 {
+		t.Fatalf("p99 = %f, want near 990", p99)
+	}
+}
+
+func TestReservoirQuantilesMonotoneProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewReservoir(0)
+		for _, v := range raw {
+			r.Add(float64(v))
+		}
+		qs := r.Quantiles(0, 0.25, 0.5, 0.75, 0.9, 0.99, 1)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	mk := func() float64 {
+		r := NewReservoir(64)
+		for i := 0; i < 10_000; i++ {
+			r.Add(float64(i % 777))
+		}
+		return r.Quantile(0.9)
+	}
+	if mk() != mk() {
+		t.Fatal("reservoir sampling must be deterministic across runs")
+	}
+}

@@ -1,0 +1,100 @@
+// Package aggfn provides reusable window-fold building blocks for the
+// Aggregate operator — the paper's "functions such as max, min or sum" (§2)
+// — so applications can compose window semantics without hand-rolling
+// loops. A Fold extracts a float64 feature per tuple and reduces it; Combine
+// evaluates several folds over one window pass.
+package aggfn
+
+import (
+	"math"
+
+	"genealog/internal/core"
+)
+
+// Extract reads the aggregated feature from a tuple.
+type Extract func(core.Tuple) float64
+
+// Fold reduces a window (timestamp-ordered, never empty) to one value.
+type Fold func(window []core.Tuple) float64
+
+// Count returns the number of tuples in the window.
+func Count() Fold {
+	return func(w []core.Tuple) float64 { return float64(len(w)) }
+}
+
+// Sum adds the extracted feature over the window.
+func Sum(f Extract) Fold {
+	return func(w []core.Tuple) float64 {
+		var s float64
+		for _, t := range w {
+			s += f(t)
+		}
+		return s
+	}
+}
+
+// Avg averages the extracted feature over the window.
+func Avg(f Extract) Fold {
+	sum := Sum(f)
+	return func(w []core.Tuple) float64 { return sum(w) / float64(len(w)) }
+}
+
+// Min returns the smallest extracted feature in the window.
+func Min(f Extract) Fold {
+	return func(w []core.Tuple) float64 {
+		m := math.Inf(1)
+		for _, t := range w {
+			if v := f(t); v < m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// Max returns the largest extracted feature in the window.
+func Max(f Extract) Fold {
+	return func(w []core.Tuple) float64 {
+		m := math.Inf(-1)
+		for _, t := range w {
+			if v := f(t); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// First returns the feature of the earliest tuple in the window.
+func First(f Extract) Fold {
+	return func(w []core.Tuple) float64 { return f(w[0]) }
+}
+
+// Last returns the feature of the latest tuple in the window.
+func Last(f Extract) Fold {
+	return func(w []core.Tuple) float64 { return f(w[len(w)-1]) }
+}
+
+// DistinctCount counts the distinct values of a key over the window (e.g.
+// Q1's distinct(pos) and Q2's count(distinct(car_id))).
+func DistinctCount(key func(core.Tuple) string) Fold {
+	return func(w []core.Tuple) float64 {
+		seen := make(map[string]struct{}, len(w))
+		for _, t := range w {
+			seen[key(t)] = struct{}{}
+		}
+		return float64(len(seen))
+	}
+}
+
+// Combine evaluates several folds over the same window in one call,
+// returning the results in order.
+func Combine(folds ...Fold) func(window []core.Tuple) []float64 {
+	return func(w []core.Tuple) []float64 {
+		out := make([]float64, len(folds))
+		for i, f := range folds {
+			out[i] = f(w)
+		}
+		return out
+	}
+}

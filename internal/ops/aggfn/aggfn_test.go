@@ -1,0 +1,100 @@
+package aggfn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"genealog/internal/core"
+)
+
+type vTuple struct {
+	core.Base
+	Val float64
+}
+
+func vt(ts int64, v float64) *vTuple { return &vTuple{Base: core.NewBase(ts), Val: v} }
+
+func val(t core.Tuple) float64 { return t.(*vTuple).Val }
+
+func window(vals ...float64) []core.Tuple {
+	out := make([]core.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = vt(int64(i), v)
+	}
+	return out
+}
+
+func TestFolds(t *testing.T) {
+	w := window(3, 1, 4, 1, 5)
+	cases := []struct {
+		name string
+		fold Fold
+		want float64
+	}{
+		{"count", Count(), 5},
+		{"sum", Sum(val), 14},
+		{"avg", Avg(val), 2.8},
+		{"min", Min(val), 1},
+		{"max", Max(val), 5},
+		{"first", First(val), 3},
+		{"last", Last(val), 5},
+		{"distinct", DistinctCount(func(tp core.Tuple) string {
+			return strconv.FormatFloat(val(tp), 'f', -1, 64)
+		}), 4},
+	}
+	for _, c := range cases {
+		if got := c.fold(w); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	w := window(2, 4)
+	got := Combine(Count(), Sum(val), Max(val))(w)
+	want := []float64{2, 6, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("combine = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingletonWindow(t *testing.T) {
+	w := window(7)
+	if Min(val)(w) != 7 || Max(val)(w) != 7 || Avg(val)(w) != 7 || First(val)(w) != 7 || Last(val)(w) != 7 {
+		t.Fatal("singleton window folds must all return the single value")
+	}
+}
+
+func TestFoldInvariantsProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		w := window(vals...)
+		min, max, avg := Min(val)(w), Max(val)(w), Avg(val)(w)
+		if min > max {
+			return false
+		}
+		if avg < min-1e-9 || avg > max+1e-9 {
+			return false
+		}
+		if Sum(val)(w) != avg*float64(len(w)) && math.Abs(Sum(val)(w)-avg*float64(len(w))) > 1e-6 {
+			return false
+		}
+		d := DistinctCount(func(tp core.Tuple) string {
+			return strconv.FormatFloat(val(tp), 'f', -1, 64)
+		})(w)
+		return d >= 1 && d <= float64(len(w))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// Filter forwards the tuples satisfying a predicate and discards the rest
+// (paper §2). It forwards the same tuple object — it creates no tuples — so,
+// per §4.1, it needs no provenance instrumentation.
+//
+// A Filter creates sparsity: when it drops tuples, it emits a Heartbeat so
+// downstream deterministic merges keep learning the stream's watermark.
+type Filter struct {
+	name string
+	in   *Stream
+	out  *Stream
+	pred func(core.Tuple) bool
+
+	lastOut  int64 // watermark already visible downstream
+	haveLast bool
+}
+
+var _ Operator = (*Filter)(nil)
+
+// NewFilter returns a Filter operator.
+func NewFilter(name string, in, out *Stream, pred func(core.Tuple) bool) *Filter {
+	return &Filter{name: name, in: in, out: out, pred: pred}
+}
+
+// Name implements Operator.
+func (f *Filter) Name() string { return f.name }
+
+// Run implements Operator.
+func (f *Filter) Run(ctx context.Context) error {
+	defer f.out.Close()
+	for {
+		t, ok, err := f.in.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("filter %q: %w", f.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		forward := core.IsHeartbeat(t) || f.pred(t)
+		if forward {
+			f.lastOut, f.haveLast = t.Timestamp(), true
+			if err := f.out.Send(ctx, t); err != nil {
+				return fmt.Errorf("filter %q: %w", f.name, err)
+			}
+			continue
+		}
+		// Dropped: advertise watermark progress, once per distinct time.
+		if !f.haveLast || t.Timestamp() > f.lastOut {
+			f.lastOut, f.haveLast = t.Timestamp(), true
+			if err := f.out.Send(ctx, core.NewHeartbeat(t.Timestamp())); err != nil {
+				return fmt.Errorf("filter %q: %w", f.name, err)
+			}
+		}
+	}
+}

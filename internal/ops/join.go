@@ -1,0 +1,176 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// JoinSpec configures a Join operator.
+type JoinSpec struct {
+	// WS is the join window: a left tuple l and right tuple r can match only
+	// if |l.ts - r.ts| <= WS.
+	WS int64
+	// Predicate decides whether a (left, right) pair joins.
+	Predicate func(l, r core.Tuple) bool
+	// Combine builds the output tuple of a matched pair. The operator
+	// overwrites its timestamp with max(l.ts, r.ts) (keeping the output
+	// sorted) and merges the pair's stimuli; Combine only fills the payload.
+	Combine func(l, r core.Tuple) core.Tuple
+}
+
+func (s JoinSpec) validate() error {
+	if s.WS < 0 {
+		return errors.New("join: WS must be non-negative")
+	}
+	if s.Predicate == nil || s.Combine == nil {
+		return errors.New("join: Predicate and Combine are required")
+	}
+	return nil
+}
+
+// Join produces one output tuple for every pair of left/right tuples within
+// event-time distance WS that satisfies the predicate (paper §2). The two
+// inputs are consumed through the deterministic timestamp-sorted merge, so
+// the match order — and therefore the output — is deterministic. Each output
+// is linked to its two contributors through the instrumenter (U1 = the more
+// recent, U2 = the older, Type=JOIN; paper §4.1).
+type Join struct {
+	name  string
+	left  *Stream
+	right *Stream
+	out   *Stream
+	spec  JoinSpec
+	instr core.Instrumenter
+
+	bufL []core.Tuple
+	bufR []core.Tuple
+
+	lastOut  int64 // watermark already visible downstream (tuple or heartbeat)
+	haveLast bool
+}
+
+var _ Operator = (*Join)(nil)
+
+// NewJoin returns a Join operator; it panics if the spec is invalid (a
+// programming error caught at query-construction time).
+func NewJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter) *Join {
+	if err := spec.validate(); err != nil {
+		panic(fmt.Sprintf("join %q: %v", name, err))
+	}
+	return &Join{name: name, left: left, right: right, out: out, spec: spec, instr: instr}
+}
+
+// Name implements Operator.
+func (j *Join) Name() string { return j.name }
+
+// Run implements Operator.
+func (j *Join) Run(ctx context.Context) error {
+	defer j.out.Close()
+	merge := newTSMerge([]*Stream{j.left, j.right})
+	for {
+		t, input, ok, err := merge.Next(ctx)
+		if err != nil {
+			return fmt.Errorf("join %q: %w", j.name, err)
+		}
+		if !ok {
+			j.bufL, j.bufR = nil, nil
+			return nil
+		}
+		// The watermark (t.ts) bounds every future tuple's timestamp from
+		// below, so tuples older than ts-WS on either side can never match
+		// again.
+		horizon := t.Timestamp() - j.spec.WS
+		j.bufL = purgeBefore(j.bufL, horizon)
+		j.bufR = purgeBefore(j.bufR, horizon)
+		if core.IsHeartbeat(t) {
+			// Forward watermark progress: every future output has an event
+			// time at or after the merged watermark.
+			if err := j.advertise(ctx, t.Timestamp()); err != nil {
+				return fmt.Errorf("join %q: %w", j.name, err)
+			}
+			continue
+		}
+		fromLeft := input == 0
+		opposite := j.bufR
+		if !fromLeft {
+			opposite = j.bufL
+		}
+		for _, o := range opposite {
+			l, r := t, o
+			if fromLeft {
+				l, r = t, o
+			} else {
+				l, r = o, t
+			}
+			if !j.spec.Predicate(l, r) {
+				continue
+			}
+			out := j.spec.Combine(l, r)
+			if out == nil {
+				continue
+			}
+			if m := core.MetaOf(out); m != nil {
+				m.SetTimestamp(maxInt64(l.Timestamp(), r.Timestamp()))
+				if lm := core.MetaOf(l); lm != nil {
+					m.MergeStimulus(lm.Stimulus())
+				}
+				if rm := core.MetaOf(r); rm != nil {
+					m.MergeStimulus(rm.Stimulus())
+				}
+			}
+			// The incoming tuple t is at least as recent as the buffered o.
+			j.instr.OnJoin(out, t, o)
+			j.lastOut, j.haveLast = out.Timestamp(), true
+			if err := j.out.Send(ctx, out); err != nil {
+				return fmt.Errorf("join %q: %w", j.name, err)
+			}
+		}
+		if fromLeft {
+			j.bufL = append(j.bufL, t)
+		} else {
+			j.bufR = append(j.bufR, t)
+		}
+		// A join between matches creates sparsity; keep downstream merges
+		// informed of the watermark.
+		if err := j.advertise(ctx, t.Timestamp()); err != nil {
+			return fmt.Errorf("join %q: %w", j.name, err)
+		}
+	}
+}
+
+// advertise emits a Heartbeat once per watermark advance: every future
+// output pairs the incoming side's tuple (timestamp >= the merged watermark)
+// with a buffered one, so its event time — the pair maximum — cannot precede
+// the watermark.
+func (j *Join) advertise(ctx context.Context, watermark int64) error {
+	if j.haveLast && watermark <= j.lastOut {
+		return nil
+	}
+	j.lastOut, j.haveLast = watermark, true
+	return j.out.Send(ctx, core.NewHeartbeat(watermark))
+}
+
+// purgeBefore drops the (timestamp-ordered) prefix of buf strictly older
+// than horizon, clearing references so the garbage collector can reclaim
+// non-contributing tuples immediately (challenge C2).
+func purgeBefore(buf []core.Tuple, horizon int64) []core.Tuple {
+	i := 0
+	for i < len(buf) && buf[i].Timestamp() < horizon {
+		buf[i] = nil
+		i++
+	}
+	if i == 0 {
+		return buf
+	}
+	return append(buf[:0], buf[i:]...)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

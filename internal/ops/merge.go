@@ -1,0 +1,69 @@
+package ops
+
+import (
+	"context"
+
+	"genealog/internal/core"
+)
+
+// tsMerge deterministically merges multiple timestamp-sorted input streams
+// into a single timestamp-sorted sequence, the property that makes query
+// executions deterministic (paper §2, citing [18-20]). A tuple is only
+// released once every still-open input has a buffered head, so the minimum
+// timestamp is always chosen; ties are broken by input index.
+type tsMerge struct {
+	inputs []*Stream
+	heads  []core.Tuple
+	has    []bool
+	done   []bool
+	open   int
+}
+
+func newTSMerge(inputs []*Stream) *tsMerge {
+	return &tsMerge{
+		inputs: inputs,
+		heads:  make([]core.Tuple, len(inputs)),
+		has:    make([]bool, len(inputs)),
+		done:   make([]bool, len(inputs)),
+		open:   len(inputs),
+	}
+}
+
+// Next returns the next tuple in deterministic timestamp order along with
+// the index of the input it came from. ok is false once every input has
+// ended.
+func (m *tsMerge) Next(ctx context.Context) (t core.Tuple, input int, ok bool, err error) {
+	// Refill: block until every open input has a head (or ends).
+	for i := range m.inputs {
+		if m.done[i] || m.has[i] {
+			continue
+		}
+		tup, alive, err := m.inputs[i].Recv(ctx)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if !alive {
+			m.done[i] = true
+			m.open--
+			continue
+		}
+		m.heads[i] = tup
+		m.has[i] = true
+	}
+	best := -1
+	for i := range m.heads {
+		if !m.has[i] {
+			continue
+		}
+		if best == -1 || m.heads[i].Timestamp() < m.heads[best].Timestamp() {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, 0, false, nil
+	}
+	t = m.heads[best]
+	m.heads[best] = nil
+	m.has[best] = false
+	return t, best, true, nil
+}

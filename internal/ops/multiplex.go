@@ -1,0 +1,68 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// ErrNotCloneable is returned when a provenance-instrumented Multiplex
+// receives a tuple that does not implement core.Cloneable.
+var ErrNotCloneable = errors.New("multiplex: tuple does not implement core.Cloneable")
+
+// Multiplex copies each input tuple to every output stream (paper §2). When
+// the instrumenter requires per-branch copies (GL, BL), each branch receives
+// a clone linked to the original (U1, Type=MULTIPLEX); under NP the same
+// tuple object is forwarded to every branch.
+type Multiplex struct {
+	name  string
+	in    *Stream
+	outs  []*Stream
+	instr core.Instrumenter
+}
+
+var _ Operator = (*Multiplex)(nil)
+
+// NewMultiplex returns a Multiplex operator with the given output branches.
+func NewMultiplex(name string, in *Stream, outs []*Stream, instr core.Instrumenter) *Multiplex {
+	return &Multiplex{name: name, in: in, outs: outs, instr: instr}
+}
+
+// Name implements Operator.
+func (x *Multiplex) Name() string { return x.name }
+
+// Run implements Operator.
+func (x *Multiplex) Run(ctx context.Context) error {
+	defer closeAll(x.outs)
+	clone := x.instr.NeedsMultiplexClone()
+	for {
+		t, ok, err := x.in.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("multiplex %q: %w", x.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		for _, out := range x.outs {
+			branch := t
+			switch {
+			case core.IsHeartbeat(t):
+				// Each branch gets its own marker: a shared one could be
+				// mutated concurrently by the branches' instrumenters.
+				branch = core.NewHeartbeat(t.Timestamp())
+			case clone:
+				c, ok := t.(core.Cloneable)
+				if !ok {
+					return fmt.Errorf("multiplex %q: %w (%T)", x.name, ErrNotCloneable, t)
+				}
+				branch = c.CloneTuple()
+				x.instr.OnMultiplex(branch, t)
+			}
+			if err := out.Send(ctx, branch); err != nil {
+				return fmt.Errorf("multiplex %q: %w", x.name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"genealog/internal/core"
+)
+
+// SinkFunc consumes a sink tuple. Returning an error aborts the query.
+type SinkFunc func(core.Tuple) error
+
+// Sink receives the sink tuples produced by a query (paper §2) and reports
+// per-tuple latency — emission instant minus the tuple's stimulus, i.e. the
+// wall-clock arrival of the most recent contributing source tuple, which is
+// the paper's latency definition (§7).
+type Sink struct {
+	name string
+	in   *Stream
+	fn   SinkFunc
+
+	// Now supplies the wall clock for latency; defaults to time.Now().UnixNano.
+	Now func() int64
+	// OnLatency, when non-nil, observes each sink tuple's latency in
+	// nanoseconds (metrics hook).
+	OnLatency func(t core.Tuple, latencyNs int64)
+}
+
+var _ Operator = (*Sink)(nil)
+
+// NewSink returns a Sink named name consuming in with fn. A nil fn discards
+// tuples (useful for throughput measurements).
+func NewSink(name string, in *Stream, fn SinkFunc) *Sink {
+	if fn == nil {
+		fn = func(core.Tuple) error { return nil }
+	}
+	return &Sink{name: name, in: in, fn: fn}
+}
+
+// Name implements Operator.
+func (s *Sink) Name() string { return s.name }
+
+// Run implements Operator.
+func (s *Sink) Run(ctx context.Context) error {
+	now := s.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	for {
+		t, ok, err := s.in.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("sink %q: %w", s.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		if core.IsHeartbeat(t) {
+			continue // watermark markers never reach the sink function
+		}
+		if s.OnLatency != nil {
+			if m := core.MetaOf(t); m != nil && m.Stimulus() > 0 {
+				s.OnLatency(t, now()-m.Stimulus())
+			}
+		}
+		if err := s.fn(t); err != nil {
+			return fmt.Errorf("sink %q: %w", s.name, err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"genealog/internal/core"
+)
+
+// SourceFunc generates the source tuples of a query. It must call emit with
+// tuples in non-decreasing timestamp order and return when the stream is
+// exhausted (or when emit returns an error, which it must propagate).
+type SourceFunc func(ctx context.Context, emit func(core.Tuple) error) error
+
+// Source creates the source tuples fed to a query (paper §2). It stamps each
+// tuple with the wall-clock stimulus used for latency measurement, applies
+// the instrumenter's OnSource hook, and optionally paces emission to a fixed
+// rate.
+type Source struct {
+	name  string
+	out   *Stream
+	gen   SourceFunc
+	instr core.Instrumenter
+
+	// Rate, when > 0, paces emission to about Rate tuples per second.
+	Rate float64
+	// Now supplies the wall clock for stimulus stamping; defaults to
+	// time.Now().UnixNano. Tests inject deterministic clocks.
+	Now func() int64
+	// OnEmit, when non-nil, observes every emitted tuple (metrics hook).
+	OnEmit func(core.Tuple)
+}
+
+var _ Operator = (*Source)(nil)
+
+// NewSource returns a Source named name that generates tuples with gen and
+// emits them on out.
+func NewSource(name string, gen SourceFunc, out *Stream, instr core.Instrumenter) *Source {
+	return &Source{name: name, out: out, gen: gen, instr: instr}
+}
+
+// Name implements Operator.
+func (s *Source) Name() string { return s.name }
+
+// Run implements Operator.
+func (s *Source) Run(ctx context.Context) error {
+	defer s.out.Close()
+	now := s.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	var pacer *rateLimiter
+	if s.Rate > 0 {
+		pacer = newRateLimiter(s.Rate)
+	}
+	emit := func(t core.Tuple) error {
+		if pacer != nil {
+			if err := pacer.wait(ctx); err != nil {
+				return fmt.Errorf("source %q: %w", s.name, err)
+			}
+		}
+		if m := core.MetaOf(t); m != nil {
+			m.SetStimulus(now())
+		}
+		s.instr.OnSource(t)
+		if s.OnEmit != nil {
+			s.OnEmit(t)
+		}
+		return s.out.Send(ctx, t)
+	}
+	if err := s.gen(ctx, emit); err != nil {
+		return fmt.Errorf("source %q: %w", s.name, err)
+	}
+	return nil
+}
+
+// rateLimiter paces emissions to a fixed average rate using a virtual
+// schedule: the i-th event is due at start + i/rate. Sleeping only when more
+// than a millisecond ahead keeps high rates cheap.
+type rateLimiter struct {
+	interval time.Duration
+	next     time.Time
+}
+
+func newRateLimiter(perSecond float64) *rateLimiter {
+	return &rateLimiter{
+		interval: time.Duration(float64(time.Second) / perSecond),
+		next:     time.Now(),
+	}
+}
+
+func (r *rateLimiter) wait(ctx context.Context) error {
+	r.next = r.next.Add(r.interval)
+	d := time.Until(r.next)
+	if d < time.Millisecond {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SliceSource returns a SourceFunc that replays the given tuples in order.
+// It is convenient in tests and examples.
+func SliceSource(tuples []core.Tuple) SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for _, t := range tuples {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

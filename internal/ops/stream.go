@@ -1,0 +1,82 @@
+// Package ops implements the standard data-streaming operators of the paper's
+// §2 — Source, Sink, Map, Filter, Multiplex, Union, Aggregate and Join — on
+// top of bounded Go channels, with deterministic timestamp-sorted merging of
+// multi-input operators. Provenance side effects are delegated to a
+// core.Instrumenter so the same operator code serves the NP, GL and BL
+// evaluation modes.
+package ops
+
+import (
+	"context"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// DefaultStreamCapacity is the channel capacity used when a stream is created
+// without an explicit capacity. Streams are the inter-operator queues of an
+// SPE instance (paper §2); they need slack for pipelining, unlike the
+// signalling channels for which idiomatic Go prefers capacity one or none.
+const DefaultStreamCapacity = 256
+
+// Stream is a named, bounded, timestamp-sorted sequence of tuples connecting
+// exactly one producer operator to exactly one consumer operator. The
+// producer closes the stream to signal end-of-stream.
+type Stream struct {
+	name string
+	ch   chan core.Tuple
+}
+
+// NewStream returns a stream with the given name and capacity (capacity <= 0
+// selects DefaultStreamCapacity).
+func NewStream(name string, capacity int) *Stream {
+	if capacity <= 0 {
+		capacity = DefaultStreamCapacity
+	}
+	return &Stream{name: name, ch: make(chan core.Tuple, capacity)}
+}
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// Send delivers t downstream, blocking while the stream is full. It fails
+// with ctx.Err() if the query is cancelled first.
+func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
+	select {
+	case s.ch <- t:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("stream %q: send: %w", s.name, ctx.Err())
+	}
+}
+
+// Recv returns the next tuple. ok is false when the stream has ended.
+func (s *Stream) Recv(ctx context.Context) (t core.Tuple, ok bool, err error) {
+	select {
+	case t, ok = <-s.ch:
+		return t, ok, nil
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("stream %q: recv: %w", s.name, ctx.Err())
+	}
+}
+
+// Close signals end-of-stream to the consumer. Only the producer may call it,
+// exactly once.
+func (s *Stream) Close() { close(s.ch) }
+
+// Operator is a runnable query vertex. Run consumes the operator's input
+// streams until they end (or ctx is cancelled), produces output tuples, and
+// closes every output stream before returning. Run is called exactly once,
+// on its own goroutine.
+type Operator interface {
+	Name() string
+	Run(ctx context.Context) error
+}
+
+// closeAll closes every stream in outs; operators defer it so downstream
+// consumers always observe end-of-stream, even on error paths.
+func closeAll(outs []*Stream) {
+	for _, s := range outs {
+		s.Close()
+	}
+}

@@ -1,0 +1,54 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// Union deterministically merges multiple timestamp-sorted input streams
+// into one timestamp-sorted output stream (paper §2). Like Filter, it
+// forwards existing tuples and therefore needs no provenance
+// instrumentation (§4.1). Redundant heartbeats (several inputs advertising
+// the same watermark) are coalesced.
+type Union struct {
+	name string
+	ins  []*Stream
+	out  *Stream
+
+	lastOut  int64
+	haveLast bool
+}
+
+var _ Operator = (*Union)(nil)
+
+// NewUnion returns a Union operator over the given inputs.
+func NewUnion(name string, ins []*Stream, out *Stream) *Union {
+	return &Union{name: name, ins: ins, out: out}
+}
+
+// Name implements Operator.
+func (u *Union) Name() string { return u.name }
+
+// Run implements Operator.
+func (u *Union) Run(ctx context.Context) error {
+	defer u.out.Close()
+	merge := newTSMerge(u.ins)
+	for {
+		t, _, ok, err := merge.Next(ctx)
+		if err != nil {
+			return fmt.Errorf("union %q: %w", u.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		if core.IsHeartbeat(t) && u.haveLast && t.Timestamp() <= u.lastOut {
+			continue // watermark already visible downstream
+		}
+		u.lastOut, u.haveLast = t.Timestamp(), true
+		if err := u.out.Send(ctx, t); err != nil {
+			return fmt.Errorf("union %q: %w", u.name, err)
+		}
+	}
+}

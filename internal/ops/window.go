@@ -1,0 +1,33 @@
+package ops
+
+// Window arithmetic for time-based sliding windows of size ws and advance wa
+// (paper §2, Aggregate). Windows are aligned at integer multiples of wa:
+// window k covers event times [k*wa, k*wa+ws).
+
+// floorDiv returns floor(a/b) for b > 0, correct for negative a (Go's
+// integer division truncates toward zero).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// firstWindowStart returns the start of the earliest window containing ts:
+// the smallest multiple s of wa with s+ws > ts.
+func firstWindowStart(ts, ws, wa int64) int64 {
+	return floorDiv(ts-ws, wa)*wa + wa
+}
+
+// lastWindowStart returns the start of the latest window containing ts: the
+// largest multiple of wa that is <= ts.
+func lastWindowStart(ts, wa int64) int64 {
+	return floorDiv(ts, wa) * wa
+}
+
+// windowContains reports whether the window starting at s (size ws) contains
+// event time ts.
+func windowContains(s, ws, ts int64) bool {
+	return ts >= s && ts < s+ws
+}

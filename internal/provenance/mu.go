@@ -1,0 +1,77 @@
+package provenance
+
+import (
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// MUConfig configures a multi-stream unfolder.
+type MUConfig struct {
+	// Window is the MU Join's window size: the sum of the window sizes of
+	// the stateful operators deployed at the SPE instance producing the
+	// derived stream (paper §6.1). It bounds how long upstream records are
+	// retained before they can no longer match.
+	Window int64
+}
+
+// AddMU adds a multi-stream unfolder (paper §6, Def. 6.4) assembled from the
+// standard operators exactly as in Fig. 8:
+//
+//	upstreams ──► Union ─────────────────────────┐
+//	derived ──► Multiplex ─► Filter(¬SOURCE) ──► Join ─► Union ─► out
+//	                 └─────► Filter(SOURCE) ────────────►│
+//
+// Each derived-stream record whose originating tuple is of type SOURCE is
+// forwarded unchanged; every other record is replaced by the upstream
+// records whose SinkID matches its OrigID, substituting the true
+// originating tuples for the REMOTE placeholder (Def. 6.4).
+//
+// derived and upstreams must produce *Record tuples (unfolded streams).
+// AddMU returns the node producing the MU's output stream.
+func AddMU(b *query.Builder, name string, derived *query.Node, upstreams []*query.Node, cfg MUConfig) *query.Node {
+	// Upstream side: a Union merges multiple upstream unfolded streams
+	// deterministically (the Union is pass-through for a single upstream).
+	up := b.AddUnion(name + ".up")
+	for _, u := range upstreams {
+		b.Connect(u, up)
+	}
+
+	// Derived side: split SOURCE records from records needing resolution.
+	mux := b.AddMultiplex(name + ".mux")
+	b.Connect(derived, mux)
+	needJoin := b.AddFilter(name+".remote", func(t core.Tuple) bool {
+		return t.(*Record).OrigKind != core.KindSource
+	})
+	passThrough := b.AddFilter(name+".local", func(t core.Tuple) bool {
+		return t.(*Record).OrigKind == core.KindSource
+	})
+	b.Connect(mux, needJoin)
+	b.Connect(mux, passThrough)
+
+	join := b.AddJoin(name+".join", ops.JoinSpec{
+		WS: cfg.Window,
+		Predicate: func(l, r core.Tuple) bool {
+			return l.(*Record).OrigID == r.(*Record).SinkID
+		},
+		Combine: func(l, r core.Tuple) core.Tuple {
+			d, u := l.(*Record), r.(*Record)
+			return &Record{
+				Base:     core.NewBase(d.Timestamp()),
+				SinkID:   d.SinkID,
+				Sink:     d.Sink,
+				OrigID:   u.OrigID,
+				OrigTs:   u.OrigTs,
+				OrigKind: u.OrigKind,
+				Orig:     u.Orig,
+			}
+		},
+	})
+	b.ConnectPort(needJoin, join, query.PortLeft)
+	b.ConnectPort(up, join, query.PortRight)
+
+	out := b.AddUnion(name + ".out")
+	b.Connect(join, out)
+	b.Connect(passThrough, out)
+	return out
+}

@@ -1,0 +1,65 @@
+// Package provenance implements GeneaLog's provenance operators: the
+// single-stream unfolder SU (paper §5) and the multi-stream unfolder MU
+// (paper §6), both composed from the standard operators of internal/ops —
+// establishing the paper's challenge C3 — plus the unfolded-stream record
+// type and a provenance sink that assembles per-sink-tuple provenance sets.
+package provenance
+
+import (
+	"genealog/internal/core"
+)
+
+// Record is one tuple of an unfolded (delivering) stream (paper Defs. 5.1
+// and 6.2): a delivering tuple paired with one of its originating tuples.
+// The record's own event time is the delivering tuple's, keeping unfolded
+// streams timestamp-sorted.
+//
+// SinkID and OrigID carry the ID meta-attributes used by the inter-process
+// algorithm (t'.IDO in Def. 6.2 is OrigID; the MU matches it against
+// upstream records' SinkID). They are zero in intra-process deployments,
+// where the Sink and Orig references suffice.
+type Record struct {
+	core.Base
+	// SinkID is the delivering tuple's unique ID (0 intra-process).
+	SinkID uint64
+	// OrigID is the originating tuple's unique ID (t'.IDO; 0 intra-process).
+	OrigID uint64
+	// OrigTs is the originating tuple's event time (t'.tsO).
+	OrigTs int64
+	// OrigKind is the originating tuple's Type meta-attribute: SOURCE, or
+	// REMOTE when the originating tuple was produced by another SPE
+	// instance and still needs MU resolution.
+	OrigKind core.Kind
+	// Sink is the delivering tuple.
+	Sink core.Tuple
+	// Orig is the originating tuple.
+	Orig core.Tuple
+}
+
+var _ core.Traceable = (*Record)(nil)
+var _ core.Cloneable = (*Record)(nil)
+
+// CloneTuple implements core.Cloneable so records can pass through
+// provenance-instrumented Multiplex operators (inside the MU).
+func (r *Record) CloneTuple() core.Tuple {
+	cp := *r
+	cp.ResetProvenance()
+	return &cp
+}
+
+// sinkKey identifies the sink tuple a record belongs to: the ID when the
+// inter-process algorithm assigned one, the reference otherwise.
+func (r *Record) sinkKey() any {
+	if r.SinkID != 0 {
+		return r.SinkID
+	}
+	return r.Sink
+}
+
+// origKey identifies the originating tuple for deduplication.
+func (r *Record) origKey() any {
+	if r.OrigID != 0 {
+		return r.OrigID
+	}
+	return r.Orig
+}

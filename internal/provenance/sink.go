@@ -1,0 +1,179 @@
+package provenance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// Result is the assembled provenance of one sink tuple.
+type Result struct {
+	// Sink is the sink tuple (as carried by the unfolded stream's records).
+	Sink core.Tuple
+	// Sources are the originating tuples, deduplicated, in first-seen order.
+	Sources []core.Tuple
+}
+
+// Collector consumes an unfolded stream (SU output intra-process, MU output
+// inter-process) and assembles one Result per sink tuple. Records of one
+// sink tuple may interleave with records of other sink tuples (the MU's
+// Join emits matches as both sides arrive), so the collector groups by sink
+// key and flushes when the watermark passes the record's horizon, or at
+// end-of-stream.
+type Collector struct {
+	// OnResult receives each assembled Result. It is invoked from the
+	// collector's operator goroutine.
+	OnResult func(Result)
+	// Horizon is how far (in event time) past a sink tuple's timestamp the
+	// collector waits for more of its records before flushing. Use the MU
+	// window (plus any upstream delay) inter-process; 0 is safe
+	// intra-process, where each sink tuple's records arrive contiguously
+	// from the single SU.
+	Horizon int64
+
+	groups map[any]*group
+	order  []any // first-seen order, for deterministic flushing
+}
+
+type group struct {
+	sink    core.Tuple
+	ts      int64
+	seen    map[any]struct{}
+	sources []core.Tuple
+}
+
+// AddCollector adds a provenance sink node consuming the unfolded stream
+// produced by from, and returns the collector for inspection after the run.
+func AddCollector(b *query.Builder, name string, from *query.Node, onResult func(Result)) *Collector {
+	return AddCollectorHorizon(b, name, from, 0, onResult)
+}
+
+// AddCollectorHorizon is AddCollector with an explicit flush horizon.
+func AddCollectorHorizon(b *query.Builder, name string, from *query.Node, horizon int64, onResult func(Result)) *Collector {
+	c := &Collector{OnResult: onResult, Horizon: horizon}
+	node := b.AddCustom(name, 1, 0, func(ins, outs []*ops.Stream) (ops.Operator, error) {
+		return newCollectorOp(name, ins[0], c), nil
+	})
+	b.Connect(from, node)
+	return c
+}
+
+// Add ingests one record.
+func (c *Collector) Add(rec *Record) {
+	if c.groups == nil {
+		c.groups = make(map[any]*group)
+	}
+	key := rec.sinkKey()
+	g := c.groups[key]
+	if g == nil {
+		g = &group{sink: rec.Sink, ts: rec.Timestamp(), seen: make(map[any]struct{})}
+		c.groups[key] = g
+		c.order = append(c.order, key)
+	}
+	ok := rec.origKey()
+	if _, dup := g.seen[ok]; dup {
+		return
+	}
+	g.seen[ok] = struct{}{}
+	g.sources = append(g.sources, rec.Orig)
+	// Flush every group whose horizon the watermark has passed.
+	c.flushBefore(rec.Timestamp() - c.Horizon)
+}
+
+// flushBefore emits and removes groups with sink timestamp < ts, in
+// first-seen order.
+func (c *Collector) flushBefore(ts int64) {
+	kept := c.order[:0]
+	for _, key := range c.order {
+		g := c.groups[key]
+		if g.ts < ts {
+			c.emit(g)
+			delete(c.groups, key)
+			continue
+		}
+		kept = append(kept, key)
+	}
+	c.order = kept
+}
+
+// Flush emits every pending group (end-of-stream).
+func (c *Collector) Flush() {
+	for _, key := range c.order {
+		c.emit(c.groups[key])
+		delete(c.groups, key)
+	}
+	c.order = c.order[:0]
+}
+
+func (c *Collector) emit(g *group) {
+	if c.OnResult == nil {
+		return
+	}
+	c.OnResult(Result{Sink: g.sink, Sources: g.sources})
+}
+
+// collectorOp adapts a Collector to the Operator interface: a sink consuming
+// an unfolded stream of *Record tuples.
+type collectorOp struct {
+	name string
+	in   *ops.Stream
+	c    *Collector
+}
+
+func newCollectorOp(name string, in *ops.Stream, c *Collector) *collectorOp {
+	return &collectorOp{name: name, in: in, c: c}
+}
+
+var _ ops.Operator = (*collectorOp)(nil)
+
+// Name implements ops.Operator.
+func (o *collectorOp) Name() string { return o.name }
+
+// Run implements ops.Operator.
+func (o *collectorOp) Run(ctx context.Context) error {
+	for {
+		t, ok, err := o.in.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("provenance collector %q: %w", o.name, err)
+		}
+		if !ok {
+			o.c.Flush()
+			return nil
+		}
+		if core.IsHeartbeat(t) {
+			// Watermark progress: flush every group whose horizon passed.
+			o.c.flushBefore(t.Timestamp() - o.c.Horizon)
+			continue
+		}
+		rec, isRec := t.(*Record)
+		if !isRec {
+			return fmt.Errorf("provenance collector %q: unexpected tuple type %T on unfolded stream", o.name, t)
+		}
+		o.c.Add(rec)
+	}
+}
+
+// SortSourcesByTs orders a Result's sources by (event time, ID) — handy for
+// stable assertions and reports.
+func SortSourcesByTs(r *Result) {
+	sort.SliceStable(r.Sources, func(i, j int) bool {
+		a, b := r.Sources[i], r.Sources[j]
+		if a.Timestamp() != b.Timestamp() {
+			return a.Timestamp() < b.Timestamp()
+		}
+		am, bm := core.MetaOf(a), core.MetaOf(b)
+		if am != nil && bm != nil {
+			return am.ID() < bm.ID()
+		}
+		return false
+	})
+}
+
+// String renders a result compactly for logs and examples.
+func (r Result) String() string {
+	return fmt.Sprintf("sink@%d <- %d source tuple(s)", r.Sink.Timestamp(), len(r.Sources))
+}

@@ -1,0 +1,419 @@
+// Package query assembles standard operators (internal/ops) into runnable
+// continuous queries: a directed acyclic graph of operators connected by
+// bounded, timestamp-sorted streams, executed with one goroutine per
+// operator — the SPE-instance model of the paper's §2.
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// NodeKind identifies the operator type of a query node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindSource NodeKind = iota + 1
+	KindSink
+	KindMap
+	KindFilter
+	KindMultiplex
+	KindUnion
+	KindAggregate
+	KindJoin
+	KindCustom
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindSink:
+		return "sink"
+	case KindMap:
+		return "map"
+	case KindFilter:
+		return "filter"
+	case KindMultiplex:
+		return "multiplex"
+	case KindUnion:
+		return "union"
+	case KindAggregate:
+		return "aggregate"
+	case KindJoin:
+		return "join"
+	case KindCustom:
+		return "custom"
+	default:
+		return "invalid"
+	}
+}
+
+// Port names for operators with distinguished inputs.
+const (
+	PortDefault = ""
+	// PortLeft and PortRight are the Join operator's two inputs.
+	PortLeft  = "left"
+	PortRight = "right"
+)
+
+// CustomFactory builds a user-defined operator once the builder has
+// materialised its input and output streams (in connection order).
+type CustomFactory func(ins, outs []*ops.Stream) (ops.Operator, error)
+
+// Node is an operator under construction. Exported fields may be set between
+// Add* and Build.
+type Node struct {
+	name string
+	kind NodeKind
+
+	srcFn    ops.SourceFunc
+	sinkFn   ops.SinkFunc
+	mapFn    ops.MapFunc
+	pred     func(core.Tuple) bool
+	aggSpec  ops.AggregateSpec
+	joinSpec ops.JoinSpec
+	factory  CustomFactory
+	nIn      int // custom: required input count (-1 = any)
+	nOut     int // custom: required output count (-1 = any)
+
+	// Rate paces a Source to about Rate tuples per second (0 = unlimited).
+	Rate float64
+	// Now overrides the wall clock of a Source or Sink (tests).
+	Now func() int64
+	// OnEmit observes every tuple emitted by a Source (metrics hook).
+	OnEmit func(core.Tuple)
+	// OnLatency observes each sink tuple's latency in nanoseconds.
+	OnLatency func(core.Tuple, int64)
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Kind returns the node's operator kind.
+func (n *Node) Kind() NodeKind { return n.kind }
+
+type edge struct {
+	from, to *Node
+	port     string
+}
+
+// Builder accumulates nodes and edges and validates them into a Query.
+type Builder struct {
+	name    string
+	instr   core.Instrumenter
+	chanCap int
+	nodes   []*Node
+	byName  map[string]*Node
+	edges   []edge
+	err     error
+}
+
+// Option configures a Builder.
+type Option func(*Builder)
+
+// WithInstrumenter selects the provenance instrumentation strategy (NP, GL
+// or BL). The default is core.Noop (NP).
+func WithInstrumenter(in core.Instrumenter) Option {
+	return func(b *Builder) { b.instr = in }
+}
+
+// WithChannelCapacity sets the capacity of every stream the builder creates.
+func WithChannelCapacity(n int) Option {
+	return func(b *Builder) { b.chanCap = n }
+}
+
+// New returns a Builder for a query with the given name.
+func New(name string, opts ...Option) *Builder {
+	b := &Builder{
+		name:   name,
+		instr:  core.Noop{},
+		byName: make(map[string]*Node),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Instrumenter returns the provenance strategy the query is built with.
+func (b *Builder) Instrumenter() core.Instrumenter { return b.instr }
+
+func (b *Builder) add(n *Node) *Node {
+	if _, dup := b.byName[n.name]; dup {
+		b.fail(fmt.Errorf("duplicate operator name %q", n.name))
+		return n
+	}
+	b.byName[n.name] = n
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// AddSource adds a Source node.
+func (b *Builder) AddSource(name string, gen ops.SourceFunc) *Node {
+	return b.add(&Node{name: name, kind: KindSource, srcFn: gen})
+}
+
+// AddSink adds a Sink node. fn may be nil to discard tuples.
+func (b *Builder) AddSink(name string, fn ops.SinkFunc) *Node {
+	return b.add(&Node{name: name, kind: KindSink, sinkFn: fn})
+}
+
+// AddMap adds a Map node.
+func (b *Builder) AddMap(name string, fn ops.MapFunc) *Node {
+	return b.add(&Node{name: name, kind: KindMap, mapFn: fn})
+}
+
+// AddFilter adds a Filter node.
+func (b *Builder) AddFilter(name string, pred func(core.Tuple) bool) *Node {
+	return b.add(&Node{name: name, kind: KindFilter, pred: pred})
+}
+
+// AddMultiplex adds a Multiplex node; its fan-out is the number of outgoing
+// connections made from it.
+func (b *Builder) AddMultiplex(name string) *Node {
+	return b.add(&Node{name: name, kind: KindMultiplex})
+}
+
+// AddUnion adds a Union node; its fan-in is the number of incoming
+// connections made to it.
+func (b *Builder) AddUnion(name string) *Node {
+	return b.add(&Node{name: name, kind: KindUnion})
+}
+
+// AddAggregate adds an Aggregate node.
+func (b *Builder) AddAggregate(name string, spec ops.AggregateSpec) *Node {
+	return b.add(&Node{name: name, kind: KindAggregate, aggSpec: spec})
+}
+
+// AddJoin adds a Join node; connect its inputs with ConnectPort(...,
+// PortLeft) and ConnectPort(..., PortRight).
+func (b *Builder) AddJoin(name string, spec ops.JoinSpec) *Node {
+	return b.add(&Node{name: name, kind: KindJoin, joinSpec: spec})
+}
+
+// AddCustom adds a user-defined operator node. nIn/nOut constrain the number
+// of connections (use -1 for "any"). The factory receives the materialised
+// streams in connection order.
+func (b *Builder) AddCustom(name string, nIn, nOut int, factory CustomFactory) *Node {
+	return b.add(&Node{name: name, kind: KindCustom, factory: factory, nIn: nIn, nOut: nOut})
+}
+
+// Connect adds a stream from the default output of from to the default
+// input of to.
+func (b *Builder) Connect(from, to *Node) { b.ConnectPort(from, to, PortDefault) }
+
+// ConnectPort adds a stream from from to the named input port of to
+// (PortLeft/PortRight for Join inputs).
+func (b *Builder) ConnectPort(from, to *Node, port string) {
+	if from == nil || to == nil {
+		b.fail(errors.New("connect: nil node"))
+		return
+	}
+	b.edges = append(b.edges, edge{from: from, to: to, port: port})
+}
+
+// Query is a validated, runnable operator DAG.
+type Query struct {
+	name      string
+	operators []ops.Operator
+}
+
+// Name returns the query's name.
+func (q *Query) Name() string { return q.name }
+
+// Operators returns the materialised operators in construction order.
+func (q *Query) Operators() []ops.Operator { return q.operators }
+
+// Build validates the DAG and materialises streams and operators.
+func (b *Builder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("query %q: %w", b.name, b.err)
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("query %q: no operators", b.name)
+	}
+	ins := make(map[*Node][]*ops.Stream)
+	outs := make(map[*Node][]*ops.Stream)
+	inPorts := make(map[*Node]map[string]*ops.Stream)
+	for _, e := range b.edges {
+		s := ops.NewStream(fmt.Sprintf("%s->%s", e.from.name, e.to.name), b.chanCap)
+		outs[e.from] = append(outs[e.from], s)
+		ins[e.to] = append(ins[e.to], s)
+		if e.port != PortDefault {
+			if inPorts[e.to] == nil {
+				inPorts[e.to] = make(map[string]*ops.Stream)
+			}
+			if _, dup := inPorts[e.to][e.port]; dup {
+				return nil, fmt.Errorf("query %q: node %q: duplicate input port %q", b.name, e.to.name, e.port)
+			}
+			inPorts[e.to][e.port] = s
+		}
+	}
+	if err := b.checkAcyclic(); err != nil {
+		return nil, fmt.Errorf("query %q: %w", b.name, err)
+	}
+	q := &Query{name: b.name}
+	for _, n := range b.nodes {
+		op, err := b.materialise(n, ins[n], outs[n], inPorts[n])
+		if err != nil {
+			return nil, fmt.Errorf("query %q: node %q: %w", b.name, n.name, err)
+		}
+		q.operators = append(q.operators, op)
+	}
+	return q, nil
+}
+
+func (b *Builder) materialise(n *Node, in, out []*ops.Stream, ports map[string]*ops.Stream) (ops.Operator, error) {
+	need := func(nIn, nOut int) error {
+		if nIn >= 0 && len(in) != nIn {
+			return fmt.Errorf("%s needs %d input(s), has %d", n.kind, nIn, len(in))
+		}
+		if nOut >= 0 && len(out) != nOut {
+			return fmt.Errorf("%s needs %d output(s), has %d", n.kind, nOut, len(out))
+		}
+		return nil
+	}
+	switch n.kind {
+	case KindSource:
+		if err := need(0, 1); err != nil {
+			return nil, err
+		}
+		src := ops.NewSource(n.name, n.srcFn, out[0], b.instr)
+		src.Rate = n.Rate
+		src.Now = n.Now
+		src.OnEmit = n.OnEmit
+		return src, nil
+	case KindSink:
+		if err := need(1, 0); err != nil {
+			return nil, err
+		}
+		sink := ops.NewSink(n.name, in[0], n.sinkFn)
+		sink.Now = n.Now
+		sink.OnLatency = n.OnLatency
+		return sink, nil
+	case KindMap:
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return ops.NewMap(n.name, in[0], out[0], n.mapFn, b.instr), nil
+	case KindFilter:
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return ops.NewFilter(n.name, in[0], out[0], n.pred), nil
+	case KindMultiplex:
+		if err := need(1, -1); err != nil {
+			return nil, err
+		}
+		if len(out) == 0 {
+			return nil, errors.New("multiplex needs at least one output")
+		}
+		return ops.NewMultiplex(n.name, in[0], out, b.instr), nil
+	case KindUnion:
+		if err := need(-1, 1); err != nil {
+			return nil, err
+		}
+		if len(in) == 0 {
+			return nil, errors.New("union needs at least one input")
+		}
+		return ops.NewUnion(n.name, in, out[0]), nil
+	case KindAggregate:
+		if err := need(1, 1); err != nil {
+			return nil, err
+		}
+		return ops.NewAggregate(n.name, in[0], out[0], n.aggSpec, b.instr), nil
+	case KindJoin:
+		if err := need(2, 1); err != nil {
+			return nil, err
+		}
+		left, right := ports[PortLeft], ports[PortRight]
+		if left == nil || right == nil {
+			return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
+		}
+		return ops.NewJoin(n.name, left, right, out[0], n.joinSpec, b.instr), nil
+	case KindCustom:
+		if err := need(n.nIn, n.nOut); err != nil {
+			return nil, err
+		}
+		return n.factory(in, out)
+	default:
+		return nil, fmt.Errorf("unknown node kind %d", n.kind)
+	}
+}
+
+// checkAcyclic verifies the connection graph is a DAG (Kahn's algorithm).
+func (b *Builder) checkAcyclic() error {
+	indeg := make(map[*Node]int, len(b.nodes))
+	succ := make(map[*Node][]*Node, len(b.nodes))
+	for _, e := range b.edges {
+		indeg[e.to]++
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	var frontier []*Node
+	for _, n := range b.nodes {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	seen := 0
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		seen++
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if seen != len(b.nodes) {
+		return errors.New("operator graph has a cycle")
+	}
+	return nil
+}
+
+// Run executes every operator on its own goroutine and blocks until the
+// query drains (all sources exhausted and all tuples processed) or an
+// operator fails, in which case the context shared by all operators is
+// cancelled and the first error is returned (joined with any secondary
+// errors caused by the cancellation).
+func (q *Query) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for _, op := range q.operators {
+		wg.Add(1)
+		go func(op ops.Operator) {
+			defer wg.Done()
+			if err := op.Run(ctx); err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("operator %q: %w", op.Name(), err))
+				mu.Unlock()
+				cancel()
+			}
+		}(op)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return fmt.Errorf("query %q: %w", q.name, errors.Join(errs...))
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+type vTuple struct {
+	core.Base
+	Key string
+	Val int64
+}
+
+func vt(ts int64, key string, val int64) *vTuple {
+	return &vTuple{Base: core.NewBase(ts), Key: key, Val: val}
+}
+
+func (t *vTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+func sliceSource(n int, step int64) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; i < n; i++ {
+			if err := emit(vt(int64(i)*step, "k"+strconv.Itoa(i%3), int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestQueryLinearPipeline(t *testing.T) {
+	b := New("lin", WithInstrumenter(&core.Genealog{}))
+	src := b.AddSource("src", sliceSource(100, 1))
+	f := b.AddFilter("f", func(tp core.Tuple) bool { return tp.(*vTuple).Val%2 == 0 })
+	m := b.AddMap("m", func(tp core.Tuple, emit func(core.Tuple)) {
+		emit(vt(tp.Timestamp(), "out", tp.(*vTuple).Val*10))
+	})
+	var got []core.Tuple
+	k := b.AddSink("k", func(tp core.Tuple) error { got = append(got, tp); return nil })
+	b.Connect(src, f)
+	b.Connect(f, m)
+	b.Connect(m, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d sink tuples, want 50", len(got))
+	}
+	for _, tup := range got {
+		prov := core.FindProvenance(tup)
+		if len(prov) != 1 || core.MetaOf(prov[0]).Kind() != core.KindSource {
+			t.Fatalf("provenance of %v wrong: %v", tup, prov)
+		}
+	}
+}
+
+func TestQueryMultiplexUnionDiamond(t *testing.T) {
+	b := New("diamond", WithInstrumenter(&core.Genealog{}))
+	src := b.AddSource("src", sliceSource(20, 1))
+	x := b.AddMultiplex("x")
+	f1 := b.AddFilter("f1", func(tp core.Tuple) bool { return tp.(*vTuple).Val < 5 })
+	f2 := b.AddFilter("f2", func(tp core.Tuple) bool { return tp.(*vTuple).Val >= 15 })
+	u := b.AddUnion("u")
+	var got []core.Tuple
+	k := b.AddSink("k", func(tp core.Tuple) error { got = append(got, tp); return nil })
+	b.Connect(src, x)
+	b.Connect(x, f1)
+	b.Connect(x, f2)
+	b.Connect(f1, u)
+	b.Connect(f2, u)
+	b.Connect(u, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d sink tuples, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Timestamp() < got[i-1].Timestamp() {
+			t.Fatal("union output must stay timestamp-sorted")
+		}
+	}
+	for _, tup := range got {
+		prov := core.FindProvenance(tup)
+		if len(prov) != 1 || core.MetaOf(prov[0]).Kind() != core.KindSource {
+			t.Fatalf("diamond provenance wrong: %v", prov)
+		}
+	}
+}
+
+func TestQueryJoinPorts(t *testing.T) {
+	b := New("join", WithInstrumenter(&core.Genealog{}))
+	l := b.AddSource("l", sliceSource(10, 2))
+	r := b.AddSource("r", sliceSource(10, 3))
+	j := b.AddJoin("j", ops.JoinSpec{
+		WS:        2,
+		Predicate: func(l, r core.Tuple) bool { return true },
+		Combine: func(l, r core.Tuple) core.Tuple {
+			return vt(0, "j", l.(*vTuple).Val*100+r.(*vTuple).Val)
+		},
+	})
+	var got []core.Tuple
+	k := b.AddSink("k", func(tp core.Tuple) error { got = append(got, tp); return nil })
+	b.ConnectPort(l, j, PortLeft)
+	b.ConnectPort(r, j, PortRight)
+	b.Connect(j, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("join produced no matches")
+	}
+	for _, tup := range got {
+		if n := len(core.FindProvenance(tup)); n != 2 {
+			t.Fatalf("join provenance = %d, want 2", n)
+		}
+	}
+}
+
+func TestQueryDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		b := New("det", WithInstrumenter(&core.Genealog{}), WithChannelCapacity(4))
+		s1 := b.AddSource("s1", sliceSource(200, 2))
+		s2 := b.AddSource("s2", sliceSource(200, 3))
+		u := b.AddUnion("u")
+		a := b.AddAggregate("a", ops.AggregateSpec{
+			WS: 12, WA: 4,
+			Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+				var sum int64
+				for _, x := range w {
+					sum += x.(*vTuple).Val
+				}
+				return vt(0, key, sum)
+			},
+		})
+		var got []int64
+		k := b.AddSink("k", func(tp core.Tuple) error {
+			got = append(got, tp.Timestamp()*1_000_000+tp.(*vTuple).Val)
+			return nil
+		})
+		b.Connect(s1, u)
+		b.Connect(s2, u)
+		b.Connect(u, a)
+		b.Connect(a, k)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d outputs vs %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: output %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	t.Run("duplicate name", func(t *testing.T) {
+		b := New("dup")
+		b.AddSource("x", sliceSource(1, 1))
+		b.AddSink("x", nil)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("duplicate names must fail Build")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		b := New("cycle")
+		f1 := b.AddFilter("f1", func(core.Tuple) bool { return true })
+		f2 := b.AddFilter("f2", func(core.Tuple) bool { return true })
+		b.Connect(f1, f2)
+		b.Connect(f2, f1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("cycles must fail Build")
+		}
+	})
+	t.Run("source with input", func(t *testing.T) {
+		b := New("badsrc")
+		s := b.AddSource("s", sliceSource(1, 1))
+		s2 := b.AddSource("s2", sliceSource(1, 1))
+		b.Connect(s2, s)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("source with an input must fail Build")
+		}
+	})
+	t.Run("join without ports", func(t *testing.T) {
+		b := New("badjoin")
+		l := b.AddSource("l", sliceSource(1, 1))
+		r := b.AddSource("r", sliceSource(1, 1))
+		j := b.AddJoin("j", ops.JoinSpec{
+			WS:        1,
+			Predicate: func(l, r core.Tuple) bool { return true },
+			Combine:   func(l, r core.Tuple) core.Tuple { return nil },
+		})
+		k := b.AddSink("k", nil)
+		b.Connect(l, j)
+		b.Connect(r, j)
+		b.Connect(j, k)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("join inputs without named ports must fail Build")
+		}
+	})
+	t.Run("empty query", func(t *testing.T) {
+		if _, err := New("empty").Build(); err == nil {
+			t.Fatal("empty query must fail Build")
+		}
+	})
+	t.Run("nil connect", func(t *testing.T) {
+		b := New("nil")
+		b.Connect(nil, nil)
+		b.AddSink("k", nil)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("nil connect must fail Build")
+		}
+	})
+}
+
+func TestQueryOperatorErrorCancelsRun(t *testing.T) {
+	boom := errors.New("boom")
+	b := New("err")
+	src := b.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; ; i++ { // unbounded: only the sink error stops it
+			if err := emit(vt(int64(i), "k", 0)); err != nil {
+				return nil // cancelled by the failing sink
+			}
+		}
+	})
+	n := 0
+	k := b.AddSink("k", func(core.Tuple) error {
+		n++
+		if n > 10 {
+			return boom
+		}
+		return nil
+	})
+	b.Connect(src, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run err = %v, want boom", err)
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	b := New("cancel")
+	src := b.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; ; i++ {
+			if err := emit(vt(int64(i), "k", 0)); err != nil {
+				return err
+			}
+		}
+	})
+	k := b.AddSink("k", nil)
+	b.Connect(src, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- q.Run(ctx) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryCustomOperator(t *testing.T) {
+	b := New("custom")
+	src := b.AddSource("src", sliceSource(5, 1))
+	// A pass-through custom operator.
+	c := b.AddCustom("c", 1, 1, func(ins, outs []*ops.Stream) (ops.Operator, error) {
+		return ops.NewFilter("c", ins[0], outs[0], func(core.Tuple) bool { return true }), nil
+	})
+	var got int
+	k := b.AddSink("k", func(core.Tuple) error { got++; return nil })
+	b.Connect(src, c)
+	b.Connect(c, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("custom pipeline delivered %d tuples, want 5", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := []NodeKind{KindSource, KindSink, KindMap, KindFilter, KindMultiplex, KindUnion, KindAggregate, KindJoin, KindCustom, NodeKind(0)}
+	want := []string{"source", "sink", "map", "filter", "multiplex", "union", "aggregate", "join", "custom", "invalid"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d String = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}

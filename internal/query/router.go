@@ -1,0 +1,31 @@
+package query
+
+import (
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// AddRouter adds the paper's §2 routing operator: it forwards each input
+// tuple to the output branches whose predicates accept it, built — exactly
+// as the paper describes — "by combining a Multiplex and several Filter
+// operators". It returns the composite's input node (connect the routed
+// stream to it) and one output node per predicate, in order.
+//
+// Because the composite is made of standard operators, provenance holds
+// unchanged: under GL each accepted branch copy is a MULTIPLEX-typed tuple
+// pointing at the routed input.
+func AddRouter(b *Builder, name string, preds ...func(core.Tuple) bool) (in *Node, outs []*Node) {
+	if len(preds) == 0 {
+		b.fail(fmt.Errorf("router %q: needs at least one predicate", name))
+		return nil, nil
+	}
+	mux := b.AddMultiplex(name + ".mux")
+	outs = make([]*Node, len(preds))
+	for i, pred := range preds {
+		f := b.AddFilter(fmt.Sprintf("%s.route-%d", name, i), pred)
+		b.Connect(mux, f)
+		outs[i] = f
+	}
+	return mux, outs
+}

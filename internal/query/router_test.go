@@ -1,0 +1,73 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+func TestRouterForwardsByPredicate(t *testing.T) {
+	b := New("router", WithInstrumenter(&core.Genealog{}))
+	src := b.AddSource("src", sliceSource(30, 1))
+	in, outs := AddRouter(b, "route",
+		func(tp core.Tuple) bool { return tp.(*vTuple).Val%3 == 0 },
+		func(tp core.Tuple) bool { return tp.(*vTuple).Val%3 == 1 },
+		func(tp core.Tuple) bool { return tp.(*vTuple).Val >= 0 }, // catches all
+	)
+	b.Connect(src, in)
+	counts := make([]int, len(outs))
+	for i, out := range outs {
+		i := i
+		b.Connect(out, b.AddSink("k"+string(rune('0'+i)), func(core.Tuple) error {
+			counts[i]++
+			return nil
+		}))
+	}
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 10 || counts[1] != 10 || counts[2] != 30 {
+		t.Fatalf("route counts = %v, want [10 10 30]", counts)
+	}
+}
+
+func TestRouterProvenanceTracksThroughBranches(t *testing.T) {
+	b := New("router-prov", WithInstrumenter(&core.Genealog{}))
+	src := b.AddSource("src", sliceSource(10, 1))
+	in, outs := AddRouter(b, "route",
+		func(tp core.Tuple) bool { return true },
+	)
+	b.Connect(src, in)
+	var got []core.Tuple
+	b.Connect(outs[0], b.AddSink("k", func(tp core.Tuple) error {
+		got = append(got, tp)
+		return nil
+	}))
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range got {
+		prov := core.FindProvenance(tp)
+		if len(prov) != 1 || core.MetaOf(prov[0]).Kind() != core.KindSource {
+			t.Fatalf("router branch provenance = %v", prov)
+		}
+	}
+}
+
+func TestRouterWithoutPredicatesFailsBuild(t *testing.T) {
+	b := New("bad-router")
+	b.AddSink("k", nil)
+	AddRouter(b, "route")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("router without predicates must fail Build")
+	}
+}

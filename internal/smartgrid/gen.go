@@ -1,0 +1,123 @@
+package smartgrid
+
+import (
+	"context"
+	"math/rand"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// Config parameterises the deterministic smart-meter generator. Timestamps
+// are hours; each meter reports once per hour. Blackouts (a set of meters
+// reporting zero for a whole day) and anomalies (a meter reporting a large
+// compensating value at midnight) are injected on a fixed schedule.
+type Config struct {
+	// Meters is the number of smart meters.
+	Meters int
+	// Days is the number of simulated days (Meters*Days*24 source tuples).
+	Days int
+	// BlackoutEvery injects a blackout day every BlackoutEvery days
+	// (0 disables).
+	BlackoutEvery int
+	// BlackoutMeters is how many meters report zero on a blackout day
+	// (> BlackoutMeterThreshold raises a Q3 alert).
+	BlackoutMeters int
+	// AnomalyEvery injects a midnight anomaly every AnomalyEvery days
+	// (0 disables).
+	AnomalyEvery int
+	// AnomalyValue is the compensating consumption reported at midnight
+	// (well above AnomalyThreshold to guarantee a Q4 alert).
+	AnomalyValue float64
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+// DefaultConfig returns the workload used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Meters:         40,
+		Days:           30,
+		BlackoutEvery:  5,
+		BlackoutMeters: BlackoutMeterThreshold + 1,
+		AnomalyEvery:   3,
+		AnomalyValue:   300,
+		Seed:           7,
+	}
+}
+
+// Generator produces the hourly meter-reading stream.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator returns a generator for the given configuration. Zero or
+// negative core fields fall back to DefaultConfig values.
+func NewGenerator(cfg Config) *Generator {
+	def := DefaultConfig()
+	if cfg.Meters <= 0 {
+		cfg.Meters = def.Meters
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = def.Days
+	}
+	if cfg.BlackoutMeters <= 0 {
+		cfg.BlackoutMeters = def.BlackoutMeters
+	}
+	if cfg.AnomalyValue <= 0 {
+		cfg.AnomalyValue = def.AnomalyValue
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Tuples returns the total number of source tuples the generator emits.
+func (g *Generator) Tuples() int { return g.cfg.Meters * g.cfg.Days * HoursPerDay }
+
+// SourceFunc returns the ops.SourceFunc emitting the timestamp-sorted meter
+// readings.
+func (g *Generator) SourceFunc() ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		rng := rand.New(rand.NewSource(g.cfg.Seed))
+		blackout := make(map[int32]bool, g.cfg.BlackoutMeters)
+		anomalyMeter := int32(-1)
+		for day := 0; day < g.cfg.Days; day++ {
+			// Schedule injections for this day.
+			clear(blackout)
+			if g.cfg.BlackoutEvery > 0 && day > 0 && day%g.cfg.BlackoutEvery == 0 {
+				for len(blackout) < g.cfg.BlackoutMeters && len(blackout) < g.cfg.Meters {
+					blackout[int32(rng.Intn(g.cfg.Meters))] = true
+				}
+			}
+			for hour := 0; hour < HoursPerDay; hour++ {
+				ts := int64(day)*HoursPerDay + int64(hour)
+				for m := 0; m < g.cfg.Meters; m++ {
+					meter := int32(m)
+					var cons float64
+					switch {
+					case blackout[meter]:
+						// Blackout wins over a scheduled spike so the Q3
+						// meter count stays exact; the spike simply fires
+						// at the next midnight instead.
+						cons = 0
+					case hour == 0 && meter == anomalyMeter:
+						// The compensating midnight spike scheduled at the
+						// end of a previous day.
+						cons = g.cfg.AnomalyValue
+						anomalyMeter = -1
+					default:
+						cons = 0.5 + rng.Float64()*1.5
+					}
+					if err := emit(NewMeterReading(ts, meter, cons)); err != nil {
+						return err
+					}
+				}
+			}
+			// Schedule next-midnight anomalies: pick a healthy meter whose
+			// next reading (ts = (day+1)*24, i.e. ts%24 == 0) spikes.
+			if g.cfg.AnomalyEvery > 0 && day%g.cfg.AnomalyEvery == 0 {
+				anomalyMeter = int32(rng.Intn(g.cfg.Meters))
+			}
+		}
+		return nil
+	}
+}

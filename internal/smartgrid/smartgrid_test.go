@@ -1,0 +1,283 @@
+package smartgrid
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+)
+
+func runQuery(t *testing.T, gen ops.SourceFunc, instr core.Instrumenter,
+	addQuery func(*query.Builder, *query.Node) *query.Node) ([]core.Tuple, []provenance.Result) {
+	t.Helper()
+	b := query.New("sg", query.WithInstrumenter(instr))
+	src := b.AddSource("src", gen)
+	last := addQuery(b, src)
+	so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
+	var sunk []core.Tuple
+	b.Connect(so, b.AddSink("k", func(tp core.Tuple) error { sunk = append(sunk, tp); return nil }))
+	var results []provenance.Result
+	provenance.AddCollector(b, "prov", u, func(r provenance.Result) { results = append(results, r) })
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sunk, results
+}
+
+// blackoutScenario: `meters` meters over `days` days; on day 2 the first
+// `dark` meters report zero all day.
+func blackoutScenario(meters, days, dark int) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for day := 0; day < days; day++ {
+			for hour := 0; hour < HoursPerDay; hour++ {
+				ts := int64(day)*HoursPerDay + int64(hour)
+				for m := 0; m < meters; m++ {
+					cons := 1.0
+					if day == 2 && m < dark {
+						cons = 0
+					}
+					if err := emit(NewMeterReading(ts, int32(m), cons)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func TestQ3DetectsBlackout(t *testing.T) {
+	sunk, results := runQuery(t, blackoutScenario(12, 4, 8), &core.Genealog{}, AddQ3)
+	if len(sunk) != 1 {
+		t.Fatalf("Q3 alerts = %d, want 1", len(sunk))
+	}
+	alert := sunk[0].(*BlackoutAlert)
+	if alert.Count != 8 {
+		t.Fatalf("alert count = %d, want 8", alert.Count)
+	}
+	if alert.Timestamp() != 2*HoursPerDay {
+		t.Fatalf("alert ts = %d, want day 2 start", alert.Timestamp())
+	}
+	if len(results) != 1 {
+		t.Fatalf("provenance results = %d, want 1", len(results))
+	}
+	// 8 meters x 24 hourly readings = 192 source tuples — the paper's Q3
+	// contribution graph (Fig. 10B).
+	if len(results[0].Sources) != 192 {
+		t.Fatalf("provenance size = %d, want 192", len(results[0].Sources))
+	}
+	for _, s := range results[0].Sources {
+		r := s.(*MeterReading)
+		if r.Cons != 0 || r.MeterID >= 8 {
+			t.Fatalf("unexpected contributing reading %+v", r)
+		}
+		if day := r.Timestamp() / HoursPerDay; day != 2 {
+			t.Fatalf("contributing reading from day %d, want 2", day)
+		}
+	}
+}
+
+func TestQ3NoAlertBelowThreshold(t *testing.T) {
+	sunk, _ := runQuery(t, blackoutScenario(12, 4, BlackoutMeterThreshold), &core.Genealog{}, AddQ3)
+	if len(sunk) != 0 {
+		t.Fatalf("Q3 alerts = %d, want 0 at exactly the threshold", len(sunk))
+	}
+}
+
+// anomalyScenario: 3 meters over `days` days, steady 1.0 consumption, except
+// meter 1 reports `spike` at the midnight opening day 2 (ts = 48).
+func anomalyScenario(days int, spike float64) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for day := 0; day < days; day++ {
+			for hour := 0; hour < HoursPerDay; hour++ {
+				ts := int64(day)*HoursPerDay + int64(hour)
+				for m := 0; m < 3; m++ {
+					cons := 1.0
+					if ts == 2*HoursPerDay && m == 1 {
+						cons = spike
+					}
+					if err := emit(NewMeterReading(ts, int32(m), cons)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func TestQ4DetectsMidnightAnomaly(t *testing.T) {
+	// Meter 1's day-1 sum is 24; the midnight reading opening day 2 is 300:
+	// |24-300| = 276 > 200 — the primary alert. The spike also inflates
+	// day 2's sum (300+23=323), so the comparison at the next midnight
+	// (|323-1| = 322) echoes a second alert; that echo is inherent to Q4's
+	// semantics.
+	sunk, results := runQuery(t, anomalyScenario(4, 300), &core.Genealog{}, AddQ4)
+	if len(sunk) != 2 {
+		t.Fatalf("Q4 alerts = %d, want 2 (primary + echo)", len(sunk))
+	}
+	alert := sunk[0].(*AnomalyAlert)
+	if alert.MeterID != 1 {
+		t.Fatalf("alert meter = %d, want 1", alert.MeterID)
+	}
+	if alert.ConsDiff != 276 {
+		t.Fatalf("cons diff = %f, want 276", alert.ConsDiff)
+	}
+	if echo := sunk[1].(*AnomalyAlert); echo.ConsDiff != 322 {
+		t.Fatalf("echo cons diff = %f, want 322", echo.ConsDiff)
+	}
+	if len(results) != 2 {
+		t.Fatalf("provenance results = %d, want 2", len(results))
+	}
+	// 24 day-1 readings + the midnight reading = 25 (the paper counts 24;
+	// see EXPERIMENTS.md).
+	if len(results[0].Sources) != HoursPerDay+1 {
+		t.Fatalf("provenance size = %d, want %d", len(results[0].Sources), HoursPerDay+1)
+	}
+	for _, s := range results[0].Sources {
+		r := s.(*MeterReading)
+		if r.MeterID != 1 {
+			t.Fatalf("foreign meter %d in provenance", r.MeterID)
+		}
+		if r.Timestamp() < HoursPerDay || r.Timestamp() > 2*HoursPerDay {
+			t.Fatalf("contributing reading at ts %d outside day 1 window", r.Timestamp())
+		}
+	}
+}
+
+func TestQ4NoAlertWithoutSpike(t *testing.T) {
+	sunk, _ := runQuery(t, anomalyScenario(4, 1), &core.Genealog{}, AddQ4)
+	if len(sunk) != 0 {
+		t.Fatalf("Q4 alerts = %d, want 0", len(sunk))
+	}
+}
+
+func TestGeneratorDeterministicAndSorted(t *testing.T) {
+	collect := func() []string {
+		g := NewGenerator(Config{Meters: 5, Days: 6, BlackoutEvery: 2, BlackoutMeters: 3, AnomalyEvery: 2, AnomalyValue: 250, Seed: 11})
+		var out []string
+		last := int64(-1)
+		err := g.SourceFunc()(context.Background(), func(tp core.Tuple) error {
+			r := tp.(*MeterReading)
+			if r.Timestamp() < last {
+				t.Fatalf("timestamps regress at %d", r.Timestamp())
+			}
+			last = r.Timestamp()
+			out = append(out, fmt.Sprintf("%d/%d/%.4f", r.Timestamp(), r.MeterID, r.Cons))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 5*6*24 {
+		t.Fatalf("generated %d tuples, want %d", len(a), 5*6*24)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGeneratorBlackoutAlertSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	g := NewGenerator(cfg)
+	sunk, results := runQuery(t, g.SourceFunc(), &core.Genealog{}, AddQ3)
+	// Blackouts on days 5,10,15,20,25 with 8 > 7 meters: 5 alerts.
+	want := (cfg.Days - 1) / cfg.BlackoutEvery
+	if len(sunk) != want {
+		t.Fatalf("Q3 alerts = %d, want %d", len(sunk), want)
+	}
+	for _, r := range results {
+		if len(r.Sources) != cfg.BlackoutMeters*HoursPerDay {
+			t.Fatalf("provenance size = %d, want %d", len(r.Sources), cfg.BlackoutMeters*HoursPerDay)
+		}
+	}
+}
+
+func TestGeneratorAnomalyAlerts(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	sunk, results := runQuery(t, g.SourceFunc(), &core.Genealog{}, AddQ4)
+	if len(sunk) == 0 {
+		t.Fatal("default workload must produce Q4 alerts")
+	}
+	for _, r := range results {
+		if len(r.Sources) != HoursPerDay+1 {
+			t.Fatalf("Q4 provenance size = %d, want %d", len(r.Sources), HoursPerDay+1)
+		}
+	}
+}
+
+func canonical(results []provenance.Result) []string {
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		var ids []string
+		for _, s := range r.Sources {
+			m := s.(*MeterReading)
+			ids = append(ids, fmt.Sprintf("%d/%d", m.Timestamp(), m.MeterID))
+		}
+		sort.Strings(ids)
+		out = append(out, fmt.Sprintf("%d:%v", r.Sink.Timestamp(), ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQ3Q4GenealogMatchesBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		add  func(*query.Builder, *query.Node) *query.Node
+	}{
+		{"Q3", AddQ3},
+		{"Q4", AddQ4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, glResults := runQuery(t, NewGenerator(DefaultConfig()).SourceFunc(), &core.Genealog{}, tc.add)
+
+			store := baseline.NewStore()
+			blInstr := &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}
+			b := query.New("bl", query.WithInstrumenter(blInstr))
+			src := b.AddSource("src", NewGenerator(DefaultConfig()).SourceFunc())
+			last := tc.add(b, src)
+			var blResults []provenance.Result
+			b.Connect(last, b.AddSink("k", func(tp core.Tuple) error {
+				srcs := baseline.Resolver{Store: store}.Resolve(tp)
+				blResults = append(blResults, provenance.Result{Sink: tp, Sources: srcs})
+				return nil
+			}))
+			q, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			gl, bl := canonical(glResults), canonical(blResults)
+			if len(gl) == 0 {
+				t.Fatal("no provenance results to compare")
+			}
+			if len(gl) != len(bl) {
+				t.Fatalf("GL %d results, BL %d", len(gl), len(bl))
+			}
+			for i := range gl {
+				if gl[i] != bl[i] {
+					t.Fatalf("provenance mismatch at %d:\nGL: %s\nBL: %s", i, gl[i], bl[i])
+				}
+			}
+		})
+	}
+}

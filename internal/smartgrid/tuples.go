@@ -1,0 +1,132 @@
+// Package smartgrid implements the paper's Smart Grid use cases: a
+// deterministic hourly smart-meter generator and the two queries built on
+// it — Q3, long-term blackout detection (Fig. 10), and Q4, midnight
+// consumption-anomaly detection (Fig. 11) — with intra-process and
+// distributed (Figs. 10C, 11C) deployments.
+package smartgrid
+
+import (
+	"sync"
+
+	"genealog/internal/core"
+	"genealog/internal/transport"
+)
+
+// HoursPerDay is the tumbling-window size of the daily aggregations;
+// timestamps are in hours.
+const HoursPerDay = 24
+
+// Query parameters (Figs. 10 and 11).
+const (
+	// BlackoutMeterThreshold: an alert is raised when more than this many
+	// meters report zero consumption for a whole day ("more than seven").
+	BlackoutMeterThreshold = 7
+	// AnomalyThreshold: an alert is raised when |daily sum - midnight
+	// reading| exceeds this.
+	AnomalyThreshold = 200.0
+	// Q4JoinWindow is the join window between the daily aggregate and the
+	// midnight reading (1 hour).
+	Q4JoinWindow = 1
+)
+
+// MU join windows for the distributed deployments (§6.1).
+const (
+	// MUWindowQ3 covers SPE instance 2's daily count Aggregate.
+	MUWindowQ3 = HoursPerDay
+	// MUWindowQ4 covers SPE instance 2's 1-hour Join.
+	MUWindowQ4 = Q4JoinWindow
+)
+
+// MeterReading is the source tuple: ⟨ts, meter_id, consumption⟩, emitted
+// every hour by each meter (§7). ts is in hours since the epoch; readings at
+// ts%24 == 0 are the "midnight" readings Q4 inspects.
+type MeterReading struct {
+	core.Base
+	MeterID int32
+	Cons    float64
+}
+
+// NewMeterReading returns a meter reading at event time ts (hours).
+func NewMeterReading(ts int64, meter int32, cons float64) *MeterReading {
+	return &MeterReading{Base: core.NewBase(ts), MeterID: meter, Cons: cons}
+}
+
+// CloneTuple implements core.Cloneable.
+func (m *MeterReading) CloneTuple() core.Tuple {
+	cp := *m
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (m *MeterReading) ApproxBytes() int { return 8 + 4 + 8 }
+
+// DailyCons is the per-meter daily consumption sum produced by the first
+// Aggregate of Q3 and Q4.
+type DailyCons struct {
+	core.Base
+	MeterID int32
+	ConsSum float64
+}
+
+// CloneTuple implements core.Cloneable.
+func (d *DailyCons) CloneTuple() core.Tuple {
+	cp := *d
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (d *DailyCons) ApproxBytes() int { return 8 + 4 + 8 }
+
+// BlackoutAlert is Q3's sink tuple: the number of meters that reported zero
+// consumption for a whole day.
+type BlackoutAlert struct {
+	core.Base
+	Count int32
+}
+
+// CloneTuple implements core.Cloneable.
+func (a *BlackoutAlert) CloneTuple() core.Tuple {
+	cp := *a
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (a *BlackoutAlert) ApproxBytes() int { return 8 + 4 }
+
+// AnomalyAlert is Q4's sink tuple: a meter whose midnight reading deviates
+// from its previous daily sum by more than AnomalyThreshold.
+type AnomalyAlert struct {
+	core.Base
+	MeterID  int32
+	ConsDiff float64
+}
+
+// CloneTuple implements core.Cloneable.
+func (a *AnomalyAlert) CloneTuple() core.Tuple {
+	cp := *a
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (a *AnomalyAlert) ApproxBytes() int { return 8 + 4 + 8 }
+
+var registerOnce sync.Once
+
+// RegisterWire registers the package's tuple types with both transport
+// codecs (gob and binary). Safe to call multiple times.
+func RegisterWire() {
+	registerOnce.Do(func() {
+		transport.Register(&MeterReading{})
+		transport.Register(&DailyCons{})
+		transport.Register(&BlackoutAlert{})
+		transport.Register(&AnomalyAlert{})
+		transport.RegisterBinary(tagMeterReading, func() transport.WireTuple { return &MeterReading{} })
+		transport.RegisterBinary(tagDailyCons, func() transport.WireTuple { return &DailyCons{} })
+		transport.RegisterBinary(tagBlackoutAlert, func() transport.WireTuple { return &BlackoutAlert{} })
+		transport.RegisterBinary(tagAnomalyAlert, func() transport.WireTuple { return &AnomalyAlert{} })
+	})
+}

@@ -1,0 +1,84 @@
+package smartgrid
+
+import (
+	"genealog/internal/transport"
+)
+
+// Binary wire tags for the Smart Grid tuple types (10-19 reserved for this
+// package).
+const (
+	tagMeterReading  uint16 = 10
+	tagDailyCons     uint16 = 11
+	tagBlackoutAlert uint16 = 12
+	tagAnomalyAlert  uint16 = 13
+)
+
+var (
+	_ transport.WireTuple = (*MeterReading)(nil)
+	_ transport.WireTuple = (*DailyCons)(nil)
+	_ transport.WireTuple = (*BlackoutAlert)(nil)
+	_ transport.WireTuple = (*AnomalyAlert)(nil)
+)
+
+// MarshalWire implements transport.WireTuple.
+func (m *MeterReading) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, m.MeterID)
+	buf = transport.AppendFloat64(buf, m.Cons)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (m *MeterReading) UnmarshalWire(data []byte) error {
+	var err error
+	if m.MeterID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	m.Cons, _, err = transport.ReadFloat64(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (d *DailyCons) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, d.MeterID)
+	buf = transport.AppendFloat64(buf, d.ConsSum)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (d *DailyCons) UnmarshalWire(data []byte) error {
+	var err error
+	if d.MeterID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	d.ConsSum, _, err = transport.ReadFloat64(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (a *BlackoutAlert) MarshalWire(buf []byte) ([]byte, error) {
+	return transport.AppendInt32(buf, a.Count), nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (a *BlackoutAlert) UnmarshalWire(data []byte) error {
+	var err error
+	a.Count, _, err = transport.ReadInt32(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (a *AnomalyAlert) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, a.MeterID)
+	buf = transport.AppendFloat64(buf, a.ConsDiff)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (a *AnomalyAlert) UnmarshalWire(data []byte) error {
+	var err error
+	if a.MeterID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	a.ConsDiff, _, err = transport.ReadFloat64(data)
+	return err
+}

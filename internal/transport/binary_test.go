@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// bwTuple is the binary-codec test tuple.
+type bwTuple struct {
+	core.Base
+	A int32
+	B float64
+}
+
+var _ WireTuple = (*bwTuple)(nil)
+
+func (t *bwTuple) MarshalWire(buf []byte) ([]byte, error) {
+	buf = AppendInt32(buf, t.A)
+	buf = AppendFloat64(buf, t.B)
+	return buf, nil
+}
+
+func (t *bwTuple) UnmarshalWire(data []byte) error {
+	var err error
+	if t.A, data, err = ReadInt32(data); err != nil {
+		return err
+	}
+	t.B, _, err = ReadFloat64(data)
+	return err
+}
+
+// bwNested nests another tuple.
+type bwNested struct {
+	core.Base
+	Inner core.Tuple
+}
+
+var _ WireTuple = (*bwNested)(nil)
+
+func (t *bwNested) MarshalWire(buf []byte) ([]byte, error) {
+	return AppendTupleWire(buf, t.Inner)
+}
+
+func (t *bwNested) UnmarshalWire(data []byte) error {
+	var err error
+	t.Inner, _, err = ReadTupleWire(data)
+	return err
+}
+
+var registerBinaryOnce sync.Once
+
+func registerBinaryTest() {
+	registerBinaryOnce.Do(func() {
+		RegisterBinary(200, func() WireTuple { return &bwTuple{} })
+		RegisterBinary(201, func() WireTuple { return &bwNested{} })
+	})
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	enc := BinaryCodec{}.NewEncoder(pipe)
+	dec := BinaryCodec{}.NewDecoder(pipe)
+
+	in := &bwTuple{Base: core.NewBase(42), A: 7, B: 3.25}
+	in.SetStimulus(99)
+	in.SetID(123)
+	in.SetKind(core.KindAggregate)
+	in.SetAnnotation([]uint64{1, 2, 3})
+	in.SetU1(&bwTuple{}) // must not survive
+
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(*bwTuple)
+	if out.Timestamp() != 42 || out.A != 7 || out.B != 3.25 {
+		t.Fatalf("payload lost: %+v", out)
+	}
+	m := out.ProvMeta()
+	if m.Stimulus() != 99 || m.ID() != 123 || m.Kind() != core.KindAggregate {
+		t.Fatalf("meta lost: %+v", m)
+	}
+	if len(m.Annotation()) != 3 || m.Annotation()[2] != 3 {
+		t.Fatalf("annotation lost: %v", m.Annotation())
+	}
+	if m.U1() != nil {
+		t.Fatal("pointers must not survive")
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBinaryCodecHeartbeat(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	enc := BinaryCodec{}.NewEncoder(pipe)
+	dec := BinaryCodec{}.NewDecoder(pipe)
+	if err := enc.Encode(core.NewHeartbeat(77)); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsHeartbeat(got) || got.Timestamp() != 77 {
+		t.Fatalf("heartbeat lost: %T %d", got, got.Timestamp())
+	}
+}
+
+func TestBinaryCodecNestedTuples(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	enc := BinaryCodec{}.NewEncoder(pipe)
+	dec := BinaryCodec{}.NewDecoder(pipe)
+
+	inner := &bwTuple{Base: core.NewBase(5), A: 1, B: 2}
+	inner.SetID(55)
+	inner.SetKind(core.KindSource)
+	in := &bwNested{Base: core.NewBase(9), Inner: inner}
+	if err := enc.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	empty := &bwNested{Base: core.NewBase(10)} // nil inner
+	if err := enc.Encode(empty); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(*bwNested)
+	gi, ok := out.Inner.(*bwTuple)
+	if !ok {
+		t.Fatalf("inner = %T", out.Inner)
+	}
+	if gi.Timestamp() != 5 || gi.A != 1 || core.MetaOf(gi).ID() != 55 || core.MetaOf(gi).Kind() != core.KindSource {
+		t.Fatalf("inner lost: %+v", gi)
+	}
+	got, err = dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*bwNested).Inner != nil {
+		t.Fatal("nil inner must round-trip as nil")
+	}
+}
+
+func TestBinaryCodecUnregisteredType(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	enc := BinaryCodec{}.NewEncoder(pipe)
+	if err := enc.Encode(wt(1, "k", 1)); err == nil {
+		t.Fatal("unregistered types must fail to encode")
+	}
+}
+
+func TestBinaryCodecMalformedFrames(t *testing.T) {
+	registerBinaryTest()
+	// Implausible frame length.
+	pipe := NewPipe(0)
+	pipe.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	pipe.Close()
+	if _, err := (BinaryCodec{}).NewDecoder(pipe).Decode(); err == nil {
+		t.Fatal("oversized frame must fail")
+	}
+	// Truncated frame.
+	pipe = NewPipe(0)
+	pipe.Write([]byte{10, 0, 0, 0, 1, 2, 3})
+	pipe.Close()
+	if _, err := (BinaryCodec{}).NewDecoder(pipe).Decode(); err == nil {
+		t.Fatal("truncated frame must fail")
+	}
+	// Unknown tag.
+	pipe = NewPipe(0)
+	var frame []byte
+	frame = append(frame, 0xEE, 0xEE) // tag 0xEEEE
+	frame = appendMeta(frame, nil, 0)
+	hdr := []byte{byte(len(frame)), 0, 0, 0}
+	pipe.Write(hdr)
+	pipe.Write(frame)
+	pipe.Close()
+	if _, err := (BinaryCodec{}).NewDecoder(pipe).Decode(); err == nil {
+		t.Fatal("unknown tag must fail")
+	}
+}
+
+func TestBinaryCodecManyTuples(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	enc := BinaryCodec{}.NewEncoder(pipe)
+	dec := BinaryCodec{}.NewDecoder(pipe)
+	const n = 2000
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := enc.Encode(&bwTuple{Base: core.NewBase(int64(i)), A: int32(i), B: float64(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		pipe.Close()
+	}()
+	for i := 0; i < n; i++ {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if got.Timestamp() != int64(i) || got.(*bwTuple).A != int32(i) {
+			t.Fatalf("tuple %d corrupted", i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRegisterBinaryReservedTag(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tag 0 must be rejected")
+		}
+	}()
+	RegisterBinary(0, func() WireTuple { return &bwTuple{} })
+}

@@ -1,0 +1,92 @@
+// Package transport implements the inter-process substrate of the paper's
+// §6: Send and Receive operators that move tuples between SPE instances
+// across a serialisation boundary, a gob-based codec, an in-memory
+// serialising pipe, a TCP transport, and a token-bucket throttle that models
+// constrained edge links (the paper's 100 Mbps switch).
+//
+// Crossing a Send/Receive pair is what destroys the in-process U1/U2/N
+// pointers; the Receive re-types every non-SOURCE tuple as REMOTE, exactly
+// the situation GeneaLog's multi-stream unfolder resolves.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"genealog/internal/core"
+)
+
+// Encoder serialises tuples onto one connection.
+type Encoder interface {
+	Encode(core.Tuple) error
+}
+
+// Decoder deserialises tuples from one connection. It returns io.EOF once
+// the peer has closed the stream.
+type Decoder interface {
+	Decode() (core.Tuple, error)
+}
+
+// Codec builds per-connection encoders and decoders.
+type Codec interface {
+	NewEncoder(w io.Writer) Encoder
+	NewDecoder(r io.Reader) Decoder
+}
+
+// Register makes a concrete tuple type known to the gob codec. Call it once
+// per application tuple type (typically from the workload package's
+// RegisterWire function). The engine's own wire-crossing types (watermark
+// heartbeats) are registered automatically on first use.
+func Register(value any) {
+	registerBuiltins()
+	gob.Register(value)
+}
+
+var builtinsOnce sync.Once
+
+func registerBuiltins() {
+	builtinsOnce.Do(func() {
+		gob.Register(&core.Heartbeat{})
+	})
+}
+
+// GobCodec serialises tuples with encoding/gob. Tuple structs embed
+// core.Meta, whose GobEncode keeps event time, stimulus, ID, kind and the
+// baseline annotation — and drops the process-local U1/U2/N pointers.
+type GobCodec struct{}
+
+var _ Codec = GobCodec{}
+
+type gobEncoder struct{ enc *gob.Encoder }
+
+type gobDecoder struct{ dec *gob.Decoder }
+
+// NewEncoder implements Codec.
+func (GobCodec) NewEncoder(w io.Writer) Encoder {
+	return &gobEncoder{enc: gob.NewEncoder(w)}
+}
+
+// NewDecoder implements Codec.
+func (GobCodec) NewDecoder(r io.Reader) Decoder {
+	return &gobDecoder{dec: gob.NewDecoder(r)}
+}
+
+func (e *gobEncoder) Encode(t core.Tuple) error {
+	if err := e.enc.Encode(&t); err != nil {
+		return fmt.Errorf("transport: gob encode %T: %w", t, err)
+	}
+	return nil
+}
+
+func (d *gobDecoder) Decode() (core.Tuple, error) {
+	var t core.Tuple
+	if err := d.dec.Decode(&t); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: gob decode: %w", err)
+	}
+	return t, nil
+}

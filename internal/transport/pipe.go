@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrPipeClosed is returned by writes to a closed pipe.
+var ErrPipeClosed = errors.New("transport: pipe closed")
+
+// Pipe is an in-memory byte stream with an internal buffer: writes block
+// once the buffer is full, reads block while it is empty, and reads observe
+// io.EOF after Close once the buffer drains. Unlike io.Pipe it is buffered,
+// so a Send operator is not lock-stepped with the matching Receive.
+//
+// Everything written still crosses a real serialisation boundary — a Pipe
+// carries bytes, not object references — so intra-machine deployments of
+// multiple SPE instances exercise the same REMOTE-tuple code paths as TCP.
+type Pipe struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []byte
+	max      int
+	closed   bool
+}
+
+// DefaultPipeBuffer is the pipe buffer size used when none is given.
+const DefaultPipeBuffer = 1 << 20
+
+// NewPipe returns a pipe with the given buffer size (<= 0 selects
+// DefaultPipeBuffer).
+func NewPipe(size int) *Pipe {
+	if size <= 0 {
+		size = DefaultPipeBuffer
+	}
+	p := &Pipe{max: size}
+	p.notFull = sync.NewCond(&p.mu)
+	p.notEmpty = sync.NewCond(&p.mu)
+	return p
+}
+
+var (
+	_ io.WriteCloser = (*Pipe)(nil)
+	_ io.Reader      = (*Pipe)(nil)
+)
+
+// Write implements io.Writer; it blocks while the buffer is full.
+func (p *Pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for written < len(b) {
+		for len(p.buf) >= p.max && !p.closed {
+			p.notFull.Wait()
+		}
+		if p.closed {
+			return written, ErrPipeClosed
+		}
+		n := p.max - len(p.buf)
+		if rem := len(b) - written; n > rem {
+			n = rem
+		}
+		p.buf = append(p.buf, b[written:written+n]...)
+		written += n
+		p.notEmpty.Broadcast()
+	}
+	return written, nil
+}
+
+// Read implements io.Reader; it blocks while the buffer is empty and the
+// pipe is open.
+func (p *Pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.closed {
+			return 0, io.EOF
+		}
+		p.notEmpty.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	p.notFull.Broadcast()
+	return n, nil
+}
+
+// Close implements io.Closer: readers drain the buffer and then observe
+// io.EOF; blocked writers fail with ErrPipeClosed.
+func (p *Pipe) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.notFull.Broadcast()
+	p.notEmpty.Broadcast()
+	return nil
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// TCP transport: real multi-node deployments (cmd/spe-node) connect SPE
+// instances over TCP exactly like the paper's Odroid testbed. Each directed
+// stream uses one connection; the sender dials, the receiver listens.
+
+// DialTimeout bounds one connection attempt.
+const DialTimeout = 5 * time.Second
+
+// DialRetry is the pause between connection attempts while the peer's
+// listener is still coming up.
+const DialRetry = 200 * time.Millisecond
+
+// Listen accepts exactly one peer connection on addr and returns a link
+// reading from it. It blocks until the peer connects or ctx is cancelled.
+func Listen(ctx context.Context, addr string, opts ...LinkOption) (*Link, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("transport: accept on %s: %w", addr, r.err)
+		}
+		return NewConnLink(r.conn, opts...), nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: accept on %s: %w", addr, ctx.Err())
+	}
+}
+
+// Dial connects to a peer's listener, retrying until it is up or ctx is
+// cancelled, and returns a link writing to it.
+func Dial(ctx context.Context, addr string, opts ...LinkOption) (*Link, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return NewConnLink(conn, opts...), nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: dial %s: %w (last error: %v)", addr, ctx.Err(), err)
+		case <-time.After(DialRetry):
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// ThrottledWriter limits the byte rate of an underlying writer with a token
+// bucket, modelling a constrained network link (the paper's testbed uses a
+// 100 Mbps switch; the baseline saturates it by shipping whole source
+// streams, §7). The zero rate means unlimited.
+type ThrottledWriter struct {
+	w io.Writer
+
+	mu          sync.Mutex
+	bytesPerSec float64
+	tokens      float64
+	burst       float64
+	last        time.Time
+	now         func() time.Time
+	sleep       func(time.Duration)
+}
+
+// NewThrottledWriter wraps w with a byte-rate limit. bytesPerSec <= 0
+// disables throttling.
+func NewThrottledWriter(w io.Writer, bytesPerSec float64) *ThrottledWriter {
+	return &ThrottledWriter{
+		w:           w,
+		bytesPerSec: bytesPerSec,
+		burst:       bytesPerSec / 10, // 100 ms of burst
+		tokens:      bytesPerSec / 10,
+		now:         time.Now,
+		sleep:       time.Sleep,
+	}
+}
+
+var _ io.Writer = (*ThrottledWriter)(nil)
+
+// Write implements io.Writer, sleeping as needed to respect the byte rate.
+func (t *ThrottledWriter) Write(b []byte) (int, error) {
+	if t.bytesPerSec > 0 {
+		t.reserve(float64(len(b)))
+	}
+	return t.w.Write(b)
+}
+
+func (t *ThrottledWriter) reserve(n float64) {
+	t.mu.Lock()
+	now := t.now()
+	if t.last.IsZero() {
+		t.last = now
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.bytesPerSec
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	t.last = now
+	t.tokens -= n
+	var wait time.Duration
+	if t.tokens < 0 {
+		wait = time.Duration(-t.tokens / t.bytesPerSec * float64(time.Second))
+	}
+	t.mu.Unlock()
+	if wait > 0 {
+		t.sleep(wait)
+	}
+}
+
+// CountingWriter counts the bytes written through it; the harness uses it to
+// measure per-technique network volume (GL ships only provenance data, BL
+// ships entire source streams).
+type CountingWriter struct {
+	w io.Writer
+
+	mu sync.Mutex
+	n  int64
+}
+
+// NewCountingWriter wraps w.
+func NewCountingWriter(w io.Writer) *CountingWriter { return &CountingWriter{w: w} }
+
+var _ io.Writer = (*CountingWriter)(nil)
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.mu.Lock()
+	c.n += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Bytes returns the number of bytes written so far.
+func (c *CountingWriter) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
