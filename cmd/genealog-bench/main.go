@@ -11,9 +11,13 @@
 //	genealog-bench -experiment fig14            # traversal-cost panels
 //	genealog-bench -experiment size             # provenance volume report
 //	genealog-bench -experiment all -scale 4     # everything, 4x workload
+//	genealog-bench -experiment fig12 -parallelism 4  # shard-parallel keyed operators
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
-// -throttle 12500000 for the paper's 100 Mbps switch.
+// -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
+// shard-parallelises every keyed stateful operator; sink tuples and
+// provenance match serial execution at any level (aggregates byte for
+// byte, joins as the same timestamp-sorted multiset).
 package main
 
 import (
@@ -42,6 +46,7 @@ func run(args []string, out *os.File) error {
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	throttle := fs.Float64("throttle", 0, "link throttle in bytes/second (0 = unlimited; 12.5e6 = 100 Mbps)")
 	rate := fs.Float64("rate", 0, "source rate in tuples/second (0 = unthrottled)")
+	parallelism := fs.Int("parallelism", 0, "shard parallelism for keyed stateful operators (0/1 = serial)")
 	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
 	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +61,7 @@ func run(args []string, out *os.File) error {
 		SG:                  sgConfig(*scale),
 		ThrottleBytesPerSec: *throttle,
 		SourceRate:          *rate,
+		Parallelism:         *parallelism,
 		UseBinaryCodec:      *codec == "binary",
 	}
 	if *codec != "gob" && *codec != "binary" {

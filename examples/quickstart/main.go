@@ -79,6 +79,10 @@ func main() {
 
 	// 3. The analysis: keep hot readings, average them per sensor over a
 	//    3-second tumbling window, alert when the window is full and hot.
+	//    Parallel(4) shard-parallelises the keyed aggregate across four
+	//    instances (hash-partitioned by sensor); alerts, their order and
+	//    their provenance are identical to serial execution — only the core
+	//    utilisation changes.
 	hot := b.AddFilter("hot", func(t core.Tuple) bool { return t.(*Reading).TempC > 50 })
 	avg := b.AddAggregate("avg", ops.AggregateSpec{
 		WS: 3, WA: 3,
@@ -94,7 +98,7 @@ func main() {
 			}
 			return &Alert{Base: core.NewBase(start), Sensor: sensor, AvgC: sum / float64(len(w))}
 		},
-	})
+	}).Parallel(4)
 	b.Connect(src, hot)
 	b.Connect(hot, avg)
 

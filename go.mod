@@ -1,0 +1,3 @@
+module genealog
+
+go 1.24.0

@@ -81,6 +81,15 @@ type Options struct {
 	// SourceRate paces the sources in tuples/second (0 = as fast as
 	// possible, measuring peak sustainable throughput).
 	SourceRate float64
+	// Parallelism shard-parallelises every keyed stateful operator
+	// (Aggregate with a group-by key, Join with equi-join keys) across this
+	// many instances; 0 or 1 selects serial execution. Sink tuples and
+	// provenance are the same at every level — byte-identical sequences for
+	// aggregates, the same timestamp-sorted multiset for joins (same-
+	// timestamp matches emit in key order rather than arrival order; see
+	// ops.ShardJoin) — only the core utilisation changes
+	// (query.Builder.ParallelizeStateful).
+	Parallelism int
 	// UseBinaryCodec switches inter-process links from the gob codec to the
 	// hand-rolled binary codec (the serialisation ablation).
 	UseBinaryCodec bool
@@ -91,6 +100,9 @@ type Result struct {
 	Query      QueryID
 	Mode       Mode
 	Deployment Deployment
+	// Parallelism is the shard parallelism the run executed with (0/1 =
+	// serial).
+	Parallelism int
 
 	// SourceTuples is the number of source tuples processed.
 	SourceTuples int64

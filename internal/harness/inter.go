@@ -129,6 +129,7 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 			transport.AddSend(b, fmt.Sprintf("send-main-%d", i), out, links.Main[i].Enc, links.Main[i].Closer)
 		}
 	}
+	b.ParallelizeStateful(o.Parallelism)
 	return b.Build()
 }
 
@@ -190,6 +191,7 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	default: // NP
 		b.Connect(last, newSink())
 	}
+	b.ParallelizeStateful(o.Parallelism)
 	return b.Build()
 }
 
@@ -247,7 +249,7 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 // serialising links, following the paper's Figs. 7, 9C, 10C and 11C: NP uses
 // two instances, GL and BL add the provenance node.
 func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)

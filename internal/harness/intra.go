@@ -47,7 +47,7 @@ func (p *provAccount) add(r provenance.Result) {
 
 // runIntra deploys the whole query in one SPE instance (Fig. 12).
 func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism}
 
 	gen, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
@@ -104,6 +104,7 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 		b.Connect(last, sink)
 	}
 
+	b.ParallelizeStateful(o.Parallelism)
 	q, err := b.Build()
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/linearroad"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+	"genealog/internal/smartgrid"
+)
+
+// parallelTestOptions is a small but alert-producing workload shared by the
+// equivalence runs.
+func parallelTestOptions(id QueryID, mode Mode, parallelism int) Options {
+	return Options{
+		Query:       id,
+		Mode:        mode,
+		Deployment:  Intra,
+		Parallelism: parallelism,
+		LR: linearroad.Config{
+			Cars: 40, Steps: 120, StopEvery: 8, StopDuration: 6,
+			AccidentEvery: 20, Seed: 11,
+		},
+		SG: smartgrid.Config{
+			Meters: 23, Days: 10, BlackoutEvery: 3,
+			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 2,
+			AnomalyEvery:   4, AnomalyValue: 250, Seed: 5,
+		},
+		MemSampleEvery: time.Second,
+	}
+}
+
+// renderPayload renders a workload tuple's payload and event time — never
+// its provenance pointers — as a canonical string.
+func renderPayload(t core.Tuple) string {
+	switch v := t.(type) {
+	case *linearroad.PositionReport:
+		return fmt.Sprintf("pr/%d/%d/%d/%d", v.Timestamp(), v.CarID, v.Speed, v.Pos)
+	case *linearroad.StoppedCar:
+		return fmt.Sprintf("sc/%d/%d/%d/%d/%d", v.Timestamp(), v.CarID, v.Count, v.DistinctPos, v.LastPos)
+	case *linearroad.AccidentAlert:
+		return fmt.Sprintf("aa/%d/%d/%d", v.Timestamp(), v.Pos, v.Count)
+	case *smartgrid.MeterReading:
+		return fmt.Sprintf("mr/%d/%d/%g", v.Timestamp(), v.MeterID, v.Cons)
+	case *smartgrid.DailyCons:
+		return fmt.Sprintf("dc/%d/%d/%g", v.Timestamp(), v.MeterID, v.ConsSum)
+	case *smartgrid.BlackoutAlert:
+		return fmt.Sprintf("ba/%d/%d", v.Timestamp(), v.Count)
+	case *smartgrid.AnomalyAlert:
+		return fmt.Sprintf("an/%d/%d/%g", v.Timestamp(), v.MeterID, v.ConsDiff)
+	default:
+		return fmt.Sprintf("%T/%d", t, t.Timestamp())
+	}
+}
+
+// captured is one run's observable outcome: the sink tuple sequence and the
+// traversed provenance of every sink tuple.
+type captured struct {
+	sinks []string
+	prov  []string
+}
+
+// captureRun executes one query the way runIntra does — same graph, same
+// instrumenter, same provenance plumbing — but records canonical sink and
+// provenance strings instead of metrics.
+func captureRun(t *testing.T, id QueryID, mode Mode, parallelism int) captured {
+	t.Helper()
+	o := parallelTestOptions(id, mode, parallelism)
+	spec, err := specFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, _ := spec.source(o)
+
+	var store *baseline.Store
+	if mode == ModeBL {
+		store = baseline.NewStore()
+	}
+	instr := instrumenterFor(mode, 0, store)
+
+	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr))
+	src := b.AddSource("source", gen)
+	last := spec.addWhole(b, src)
+
+	var cap captured
+	addProv := func(r provenance.Result) {
+		srcs := make([]string, 0, len(r.Sources))
+		for _, s := range r.Sources {
+			srcs = append(srcs, renderPayload(s))
+		}
+		sort.Strings(srcs)
+		cap.prov = append(cap.prov, renderPayload(r.Sink)+"<-"+strings.Join(srcs, ","))
+	}
+	switch mode {
+	case ModeGL:
+		so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
+		sink := b.AddSink("sink", func(tp core.Tuple) error {
+			cap.sinks = append(cap.sinks, renderPayload(tp))
+			return nil
+		})
+		b.Connect(so, sink)
+		provenance.AddCollector(b, "prov-sink", u, addProv)
+	case ModeBL:
+		resolver := baseline.Resolver{Store: store}
+		sink := b.AddSink("sink", func(tp core.Tuple) error {
+			cap.sinks = append(cap.sinks, renderPayload(tp))
+			addProv(provenance.Result{Sink: tp, Sources: resolver.Resolve(tp)})
+			return nil
+		})
+		b.Connect(last, sink)
+	default:
+		sink := b.AddSink("sink", func(tp core.Tuple) error {
+			cap.sinks = append(cap.sinks, renderPayload(tp))
+			return nil
+		})
+		b.Connect(last, sink)
+	}
+
+	b.ParallelizeStateful(parallelism)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+// sortedCopy returns a sorted copy of ss.
+func sortedCopy(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+// TestShardParallelEquivalence is the tentpole's acceptance test: for each
+// of Q1-Q4 under NP, GL and BL, execution with Parallelism(4) must yield
+// sink output and contribution-graph traversal results identical to
+// Parallelism(1). Aggregate-only queries (Q1-Q3) must match the serial sink
+// sequence byte for byte; Q4's join may permute same-timestamp outputs into
+// key order, so its sequences are compared as sorted multisets (both runs
+// are asserted timestamp-sorted by construction of the fan-in merge).
+func TestShardParallelEquivalence(t *testing.T) {
+	for _, id := range Queries {
+		for _, mode := range Modes {
+			t.Run(string(id)+"/"+string(mode), func(t *testing.T) {
+				serial := captureRun(t, id, mode, 1)
+				if len(serial.sinks) == 0 {
+					t.Fatalf("%s/%s: serial run produced no sink tuples; workload too small", id, mode)
+				}
+				parallel := captureRun(t, id, mode, 4)
+				if len(parallel.sinks) != len(serial.sinks) {
+					t.Fatalf("sink count differs: parallel %d, serial %d", len(parallel.sinks), len(serial.sinks))
+				}
+				sser, spar := serial.sinks, parallel.sinks
+				if id == Q4 {
+					sser, spar = sortedCopy(sser), sortedCopy(spar)
+				}
+				for i := range sser {
+					if sser[i] != spar[i] {
+						t.Fatalf("sink tuple %d differs:\nserial:   %s\nparallel: %s", i, sser[i], spar[i])
+					}
+				}
+				pser, ppar := sortedCopy(serial.prov), sortedCopy(parallel.prov)
+				if len(pser) != len(ppar) {
+					t.Fatalf("provenance result count differs: parallel %d, serial %d", len(ppar), len(pser))
+				}
+				for i := range pser {
+					if pser[i] != ppar[i] {
+						t.Fatalf("provenance result %d differs:\nserial:   %s\nparallel: %s", i, pser[i], ppar[i])
+					}
+				}
+				if mode != ModeNP && len(serial.prov) == 0 {
+					t.Fatalf("%s/%s: no provenance results; workload too small", id, mode)
+				}
+			})
+		}
+	}
+}
+
+// TestHarnessParallelismDimension: a measured harness run accepts the
+// parallelism dimension and reports it back in its result row.
+func TestHarnessParallelismDimension(t *testing.T) {
+	o := parallelTestOptions(Q1, ModeGL, 4)
+	r, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Parallelism != 4 {
+		t.Fatalf("Result.Parallelism = %d, want 4", r.Parallelism)
+	}
+	if r.SinkTuples == 0 {
+		t.Fatal("parallel harness run produced no sink tuples")
+	}
+}

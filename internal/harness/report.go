@@ -112,8 +112,12 @@ func (f *Figure) Render() string {
 	for _, q := range Queries {
 		cells := f.Cells[q]
 		np, gl, bl := cells[ModeNP], cells[ModeGL], cells[ModeBL]
-		fmt.Fprintf(&sb, "\n%s (source tuples: %d, sink tuples: NP=%d GL=%d BL=%d)\n",
-			q, np.Last.SourceTuples, np.Last.SinkTuples, gl.Last.SinkTuples, bl.Last.SinkTuples)
+		par := ""
+		if np.Last.Parallelism > 1 {
+			par = fmt.Sprintf(", parallelism %d", np.Last.Parallelism)
+		}
+		fmt.Fprintf(&sb, "\n%s (source tuples: %d, sink tuples: NP=%d GL=%d BL=%d%s)\n",
+			q, np.Last.SourceTuples, np.Last.SinkTuples, gl.Last.SinkTuples, bl.Last.SinkTuples, par)
 		row := func(metric, unit string, pick func(Summaries) metrics.Summary) {
 			n, g, b := pick(np), pick(gl), pick(bl)
 			fmt.Fprintf(&sb, "  %-12s NP %12.1f ±%-8.1f GL %12.1f ±%-8.1f (%+6.1f%%)  BL %12.1f ±%-8.1f (%+6.1f%%)  %s\n",

@@ -60,8 +60,10 @@ func genSegments(rng *rand.Rand) []segment {
 	return segs
 }
 
-// buildPipeline appends the segments to b, returning the final node.
-func buildPipeline(b *query.Builder, src *query.Node, segs []segment) *query.Node {
+// buildPipeline appends the segments to b, returning the final node. The
+// stateful segments (keyed aggregate, self-join) are shard-parallelised
+// across parallelism instances (<= 1 keeps them serial).
+func buildPipeline(b *query.Builder, src *query.Node, segs []segment, parallelism int) *query.Node {
 	cur := src
 	for i, s := range segs {
 		id := strconv.Itoa(i)
@@ -96,7 +98,7 @@ func buildPipeline(b *query.Builder, src *query.Node, segs []segment) *query.Nod
 					}
 					return rt(0, key, sum)
 				},
-			})
+			}).Parallel(parallelism)
 			b.Connect(cur, a)
 			cur = a
 		case 3: // diamond: multiplex -> 2 filters -> union
@@ -115,14 +117,16 @@ func buildPipeline(b *query.Builder, src *query.Node, segs []segment) *query.Nod
 			ws := s.p1
 			x := b.AddMultiplex("jmux" + id)
 			j := b.AddJoin("join"+id, ops.JoinSpec{
-				WS: ws,
+				WS:       ws,
+				LeftKey:  func(t core.Tuple) string { return t.(*rTuple).Key },
+				RightKey: func(t core.Tuple) string { return t.(*rTuple).Key },
 				Predicate: func(l, r core.Tuple) bool {
 					return l.(*rTuple).Key == r.(*rTuple).Key && l.Timestamp() < r.Timestamp()
 				},
 				Combine: func(l, r core.Tuple) core.Tuple {
 					return rt(0, l.(*rTuple).Key, l.(*rTuple).Val*1000+r.(*rTuple).Val)
 				},
-			})
+			}).Parallel(parallelism)
 			b.Connect(cur, x)
 			b.ConnectPort(x, j, query.PortLeft)
 			b.ConnectPort(x, j, query.PortRight)
@@ -165,11 +169,11 @@ func canonicalize(results []provenance.Result) []string {
 	return out
 }
 
-func runGL(t *testing.T, seed int64, segs []segment) []provenance.Result {
+func runGL(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
 	t.Helper()
 	b := query.New("gl", query.WithInstrumenter(&core.Genealog{}))
 	src := b.AddSource("src", sourceFor(seed, 150))
-	last := buildPipeline(b, src, segs)
+	last := buildPipeline(b, src, segs, parallelism)
 	so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
 	b.Connect(so, b.AddSink("k", nil))
 	var results []provenance.Result
@@ -184,13 +188,13 @@ func runGL(t *testing.T, seed int64, segs []segment) []provenance.Result {
 	return results
 }
 
-func runBL(t *testing.T, seed int64, segs []segment) []provenance.Result {
+func runBL(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
 	t.Helper()
 	store := baseline.NewStore()
 	instr := &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}
 	b := query.New("bl", query.WithInstrumenter(instr))
 	src := b.AddSource("src", sourceFor(seed, 150))
-	last := buildPipeline(b, src, segs)
+	last := buildPipeline(b, src, segs, parallelism)
 	var results []provenance.Result
 	b.Connect(last, b.AddSink("k", func(tp core.Tuple) error {
 		results = append(results, provenance.Result{
@@ -217,8 +221,8 @@ func TestRandomTopologyEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		segs := genSegments(rng)
-		gl := canonicalize(runGL(t, seed, segs))
-		bl := canonicalize(runBL(t, seed, segs))
+		gl := canonicalize(runGL(t, seed, segs, 1))
+		bl := canonicalize(runBL(t, seed, segs, 1))
 		if len(gl) != len(bl) {
 			t.Fatalf("seed %d (%v): GL %d results, BL %d", seed, segs, len(gl), len(bl))
 		}
@@ -237,15 +241,84 @@ func TestRandomTopologyEquivalence(t *testing.T) {
 	}
 }
 
+// runNP executes the pipeline without provenance and returns the sink
+// tuples as provenance-free results.
+func runNP(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
+	t.Helper()
+	b := query.New("np", query.WithInstrumenter(core.Noop{}))
+	src := b.AddSource("src", sourceFor(seed, 150))
+	last := buildPipeline(b, src, segs, parallelism)
+	var results []provenance.Result
+	b.Connect(last, b.AddSink("k", func(tp core.Tuple) error {
+		results = append(results, provenance.Result{Sink: tp})
+		return nil
+	}))
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestRandomTopologyParallelismEquivalence is the shard-parallelism
+// property test: on random operator pipelines, execution with every keyed
+// stateful operator at Parallelism(4) must produce the same sink tuples —
+// and, under GL and BL, the same traversed provenance sets — as serial
+// execution, in all three modes.
+func TestRandomTopologyParallelismEquivalence(t *testing.T) {
+	runs := map[string]func(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result{
+		"NP": runNP, "GL": runGL, "BL": runBL,
+	}
+	interesting := 0
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		segs := genSegments(rng)
+		// Chained self-joins multiply the output combinatorially (and with it
+		// the runtime of six executions per seed); keep at most one per
+		// pipeline, downgrading the rest to diamonds.
+		joins := 0
+		for i := range segs {
+			if segs[i].kind == 4 {
+				if joins++; joins > 1 {
+					segs[i].kind = 3
+				}
+			}
+		}
+		for mode, run := range runs {
+			serial := canonicalize(run(t, seed, segs, 1))
+			parallel := canonicalize(run(t, seed, segs, 4))
+			if len(serial) != len(parallel) {
+				t.Fatalf("seed %d (%v) %s: serial %d results, parallel %d",
+					seed, segs, mode, len(serial), len(parallel))
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("seed %d (%v) %s: parallelism mismatch:\nserial:   %s\nparallel: %s",
+						seed, segs, mode, serial[i], parallel[i])
+				}
+			}
+			if mode == "NP" && len(serial) > 0 {
+				interesting++
+			}
+		}
+	}
+	if interesting < 15 {
+		t.Fatalf("only %d/30 random topologies produced sink tuples; generator too restrictive", interesting)
+	}
+}
+
 // TestRandomTopologyDeterminism: the same random topology must produce an
 // identical provenance report on every run.
 func TestRandomTopologyDeterminism(t *testing.T) {
 	for seed := int64(100); seed < 106; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		segs := genSegments(rng)
-		first := canonicalize(runGL(t, seed, segs))
+		first := canonicalize(runGL(t, seed, segs, 1))
 		for rep := 0; rep < 3; rep++ {
-			again := canonicalize(runGL(t, seed, segs))
+			again := canonicalize(runGL(t, seed, segs, 1))
 			if len(first) != len(again) {
 				t.Fatalf("seed %d rep %d: %d vs %d results", seed, rep, len(first), len(again))
 			}

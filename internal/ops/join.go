@@ -19,6 +19,13 @@ type JoinSpec struct {
 	// overwrites its timestamp with max(l.ts, r.ts) (keeping the output
 	// sorted) and merges the pair's stimuli; Combine only fills the payload.
 	Combine func(l, r core.Tuple) core.Tuple
+	// LeftKey and RightKey extract the equi-join key of each side. A serial
+	// Join ignores them; shard-parallel execution (ShardJoin) requires both
+	// and partitions each input by its key, so the Predicate must only match
+	// pairs whose keys are equal — pairs spanning different keys would land
+	// on different shards and never meet.
+	LeftKey  func(t core.Tuple) string
+	RightKey func(t core.Tuple) string
 }
 
 func (s JoinSpec) validate() error {

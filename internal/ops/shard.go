@@ -1,0 +1,330 @@
+package ops
+
+import (
+	"errors"
+	"fmt"
+
+	"context"
+
+	"genealog/internal/core"
+)
+
+// This file is the keyed shard-parallel execution layer: it expands one
+// stateful operator (Aggregate, Join) into N independent shard instances
+// that each own a hash-partition of the key space, bracketed by a Partition
+// operator that routes tuples by key and a FanIn operator that restores the
+// serial operator's deterministic emission order. Because GeneaLog's
+// meta-attributes (paper §4.1) only ever link tuples that share a group-by
+// or join key, partitioning by that key keeps every contribution graph
+// entirely within one shard — provenance capture and traversal are
+// unaffected by the parallelism level.
+
+// shardIndex assigns a key to one of n shards with FNV-1a. The assignment
+// only decides *where* a key's tuples are processed, never the observable
+// output (FanIn restores the deterministic order), but a stable hash keeps
+// shard load repeatable across runs.
+func shardIndex(key string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// shardTagged wraps a shard instance's output tuple with the partition key
+// it was produced under, so the FanIn can restore the serial operator's
+// (timestamp, key) emission order without inspecting payloads. It delegates
+// event time and provenance metadata to the wrapped tuple and never leaves
+// the shard subgraph: the FanIn unwraps it before forwarding downstream.
+type shardTagged struct {
+	inner core.Tuple
+	key   string
+}
+
+var _ core.Traceable = (*shardTagged)(nil)
+
+// Timestamp implements core.Tuple by delegation.
+func (s *shardTagged) Timestamp() int64 { return s.inner.Timestamp() }
+
+// ProvMeta implements core.Traceable by delegation, so the shard operator's
+// timestamp/stimulus writes and instrumenter hooks land on the wrapped tuple.
+func (s *shardTagged) ProvMeta() *core.Meta { return core.MetaOf(s.inner) }
+
+// shardKeyOf returns the partition key a fan-in head was produced under
+// (empty for heartbeats and untagged tuples).
+func shardKeyOf(t core.Tuple) string {
+	if st, ok := t.(*shardTagged); ok {
+		return st.key
+	}
+	return ""
+}
+
+// Partition hash-routes one timestamp-sorted keyed stream across n shard
+// streams. Every shard's output stays timestamp-sorted (a subsequence of a
+// sorted stream), and whenever the input watermark advances the other
+// shards receive a Heartbeat carrying it: a shard whose keys go quiet would
+// otherwise stop closing windows, stalling the FanIn's deterministic merge
+// and — through backpressure — its sibling shards.
+type Partition struct {
+	name string
+	in   *Stream
+	outs []*Stream
+	key  func(core.Tuple) string
+
+	lastWM int64
+	haveWM bool
+}
+
+var _ Operator = (*Partition)(nil)
+
+// NewPartition returns a Partition routing in across outs by key.
+func NewPartition(name string, in *Stream, outs []*Stream, key func(core.Tuple) string) *Partition {
+	return &Partition{name: name, in: in, outs: outs, key: key}
+}
+
+// Name implements Operator.
+func (p *Partition) Name() string { return p.name }
+
+// Run implements Operator.
+func (p *Partition) Run(ctx context.Context) error {
+	defer closeAll(p.outs)
+	for {
+		t, ok, err := p.in.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("partition %q: %w", p.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		if core.IsHeartbeat(t) {
+			if err := p.broadcast(ctx, t.Timestamp(), -1); err != nil {
+				return fmt.Errorf("partition %q: %w", p.name, err)
+			}
+			continue
+		}
+		shard := shardIndex(p.key(t), len(p.outs))
+		// The routed tuple itself advances its shard's watermark; the
+		// siblings need a marker before it is sent so no shard lags.
+		if err := p.broadcast(ctx, t.Timestamp(), shard); err != nil {
+			return fmt.Errorf("partition %q: %w", p.name, err)
+		}
+		if err := p.outs[shard].Send(ctx, t); err != nil {
+			return fmt.Errorf("partition %q: %w", p.name, err)
+		}
+	}
+}
+
+// broadcast sends a watermark Heartbeat to every shard except skip when the
+// watermark advances. Each shard gets its own marker object (a shared one
+// could be mutated concurrently downstream). Coalescing on the last
+// broadcast watermark keeps the cost to one fan-out per distinct timestamp.
+func (p *Partition) broadcast(ctx context.Context, ts int64, skip int) error {
+	if p.haveWM && ts <= p.lastWM {
+		return nil
+	}
+	p.lastWM, p.haveWM = ts, true
+	for i, out := range p.outs {
+		if i == skip {
+			continue
+		}
+		if err := out.Send(ctx, core.NewHeartbeat(ts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FanIn merges the timestamp-sorted outputs of the shard instances back into
+// one stream. Like tsMerge it blocks until every open input has a head, but
+// ties are broken by partition key rather than input index: a serial keyed
+// Aggregate emits each window's groups in ascending key order, every shard
+// emits an ascending-key subsequence of that, and the (timestamp, key) merge
+// re-interleaves them into exactly the serial sequence — the property that
+// makes shard-parallel execution observably identical to Parallelism(1).
+// Tagged outputs are unwrapped before forwarding; redundant heartbeats are
+// coalesced as in Union.
+type FanIn struct {
+	name string
+	ins  []*Stream
+	out  *Stream
+
+	lastOut  int64
+	haveLast bool
+}
+
+var _ Operator = (*FanIn)(nil)
+
+// NewFanIn returns a FanIn merging ins into out.
+func NewFanIn(name string, ins []*Stream, out *Stream) *FanIn {
+	return &FanIn{name: name, ins: ins, out: out}
+}
+
+// Name implements Operator.
+func (f *FanIn) Name() string { return f.name }
+
+// Run implements Operator.
+func (f *FanIn) Run(ctx context.Context) error {
+	defer f.out.Close()
+	heads := make([]core.Tuple, len(f.ins))
+	has := make([]bool, len(f.ins))
+	done := make([]bool, len(f.ins))
+	for {
+		for i, in := range f.ins {
+			if done[i] || has[i] {
+				continue
+			}
+			t, alive, err := in.Recv(ctx)
+			if err != nil {
+				return fmt.Errorf("fan-in %q: %w", f.name, err)
+			}
+			if !alive {
+				done[i] = true
+				continue
+			}
+			heads[i], has[i] = t, true
+		}
+		best := -1
+		for i := range heads {
+			if !has[i] {
+				continue
+			}
+			if best == -1 || headLess(heads[i], heads[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		t := heads[best]
+		heads[best], has[best] = nil, false
+		if core.IsHeartbeat(t) {
+			if f.haveLast && t.Timestamp() <= f.lastOut {
+				continue // watermark already visible downstream
+			}
+			f.lastOut, f.haveLast = t.Timestamp(), true
+			if err := f.out.Send(ctx, t); err != nil {
+				return fmt.Errorf("fan-in %q: %w", f.name, err)
+			}
+			continue
+		}
+		f.lastOut, f.haveLast = t.Timestamp(), true
+		if tagged, ok := t.(*shardTagged); ok {
+			t = tagged.inner
+		}
+		if err := f.out.Send(ctx, t); err != nil {
+			return fmt.Errorf("fan-in %q: %w", f.name, err)
+		}
+	}
+}
+
+// headLess orders fan-in heads by (timestamp, partition key). Heartbeats
+// carry the empty key and therefore sort before data at equal timestamps,
+// which is harmless: a heartbeat only promises no *later* tuple below its
+// event time. Equal (timestamp, key) pairs cannot come from different
+// shards — a key lives on exactly one — so the order is total.
+func headLess(a, b core.Tuple) bool {
+	at, bt := a.Timestamp(), b.Timestamp()
+	if at != bt {
+		return at < bt
+	}
+	return shardKeyOf(a) < shardKeyOf(b)
+}
+
+// ShardAggregate expands a keyed Aggregate into parallelism independent
+// instances, each folding the hash-partition of the key space assigned to
+// it, bracketed by a Partition and a FanIn. It returns the operators of the
+// subgraph (instances, then partitioner, then fan-in), which the caller
+// runs like any other operators.
+//
+// The sink-observable output is identical to a serial Aggregate for every
+// instrumentation mode: windows close at the same watermarks on every shard
+// (the Partition broadcasts watermark progress), each group's buffer — and
+// therefore its provenance chain and window folds — is byte-identical to
+// the serial operator's, and the FanIn restores the (window, key) emission
+// order. chanCap sizes the internal shard streams (<= 0 selects
+// DefaultStreamCapacity).
+func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap int) ([]Operator, error) {
+	if parallelism < 2 {
+		return nil, errors.New("sharded aggregate: parallelism must be at least 2")
+	}
+	if spec.Key == nil {
+		return nil, errors.New("sharded aggregate: a group-by Key is required to partition by")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("sharded aggregate: %w", err)
+	}
+	fold := spec.Fold
+	shardSpec := spec
+	shardSpec.Fold = func(w []core.Tuple, start, end int64, key string) core.Tuple {
+		t := fold(w, start, end, key)
+		if t == nil {
+			return nil
+		}
+		return &shardTagged{inner: t, key: key}
+	}
+	operators := make([]Operator, 0, parallelism+2)
+	shardIns := make([]*Stream, parallelism)
+	shardOuts := make([]*Stream, parallelism)
+	for i := range shardIns {
+		shardIns[i] = NewStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap)
+		shardOuts[i] = NewStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap)
+		operators = append(operators, NewAggregate(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, instr))
+	}
+	operators = append(operators,
+		NewPartition(name+"/part", in, shardIns, spec.Key),
+		NewFanIn(name+"/merge", shardOuts, out))
+	return operators, nil
+}
+
+// ShardJoin expands an equi-Join into parallelism independent instances:
+// both inputs are hash-partitioned by their join key (LeftKey/RightKey), so
+// every matching pair meets on exactly one shard, and the shard outputs are
+// recombined by a FanIn. The JoinSpec's Predicate must only match pairs
+// with equal keys — pairs spanning different keys would be routed to
+// different shards and silently lost.
+//
+// Unlike the Aggregate expansion, same-timestamp outputs under different
+// keys are emitted in key order rather than the serial operator's arrival
+// order; the output is an identical timestamp-sorted multiset with a
+// deterministic order for every parallelism level.
+func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap int) ([]Operator, error) {
+	if parallelism < 2 {
+		return nil, errors.New("sharded join: parallelism must be at least 2")
+	}
+	if spec.LeftKey == nil || spec.RightKey == nil {
+		return nil, errors.New("sharded join: LeftKey and RightKey are required to partition by")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("sharded join: %w", err)
+	}
+	combine := spec.Combine
+	leftKey := spec.LeftKey
+	shardSpec := spec
+	shardSpec.Combine = func(l, r core.Tuple) core.Tuple {
+		t := combine(l, r)
+		if t == nil {
+			return nil
+		}
+		return &shardTagged{inner: t, key: leftKey(l)}
+	}
+	operators := make([]Operator, 0, parallelism+3)
+	leftIns := make([]*Stream, parallelism)
+	rightIns := make([]*Stream, parallelism)
+	shardOuts := make([]*Stream, parallelism)
+	for i := range leftIns {
+		leftIns[i] = NewStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap)
+		rightIns[i] = NewStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap)
+		shardOuts[i] = NewStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap)
+		operators = append(operators, NewJoin(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, instr))
+	}
+	operators = append(operators,
+		NewPartition(name+"/part-l", left, leftIns, spec.LeftKey),
+		NewPartition(name+"/part-r", right, rightIns, spec.RightKey),
+		NewFanIn(name+"/merge", shardOuts, out))
+	return operators, nil
+}

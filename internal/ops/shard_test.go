@@ -1,0 +1,252 @@
+package ops
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// runShardSubgraph materialises a sharded aggregate or join subgraph and
+// runs it together with the given extra operators.
+func runShardSubgraph(t *testing.T, operators []Operator, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOps(t, operators...)
+}
+
+func TestPartitionRoutesByKeyAndBroadcastsWatermarks(t *testing.T) {
+	in := NewStream("in", 16)
+	outs := []*Stream{NewStream("s0", 16), NewStream("s1", 16), NewStream("s2", 16)}
+	p := NewPartition("part", in, outs, keyOf)
+
+	tuples := []core.Tuple{
+		vt(1, "a", 1), vt(1, "b", 2), vt(2, "c", 3), vt(3, "a", 4),
+	}
+	go func() {
+		for _, tp := range tuples {
+			in.ch <- tp
+		}
+		in.Close()
+	}()
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	perShard := make([][]core.Tuple, len(outs))
+	for i, out := range outs {
+		perShard[i] = drainAll(t, out)
+	}
+
+	// Every data tuple lands on the shard its key hashes to, and nowhere else.
+	for i, got := range perShard {
+		lastTs := int64(-1 << 62)
+		for _, tp := range got {
+			if tp.Timestamp() < lastTs {
+				t.Fatalf("shard %d: timestamps went backwards: %v", i, timestamps(got))
+			}
+			lastTs = tp.Timestamp()
+			if core.IsHeartbeat(tp) {
+				continue
+			}
+			if want := shardIndex(keyOf(tp), len(outs)); want != i {
+				t.Fatalf("tuple with key %q on shard %d, want %d", keyOf(tp), i, want)
+			}
+		}
+	}
+
+	// Each shard has seen the final watermark (ts=3), either as its own data
+	// tuple or as a broadcast heartbeat, so no shard can lag its siblings.
+	for i, got := range perShard {
+		if len(got) == 0 || got[len(got)-1].Timestamp() != 3 {
+			t.Fatalf("shard %d did not observe the final watermark: %v", i, timestamps(got))
+		}
+	}
+
+	// The data tuples, re-merged, are exactly the input.
+	var data []core.Tuple
+	for _, got := range perShard {
+		for _, tp := range got {
+			if !core.IsHeartbeat(tp) {
+				data = append(data, tp)
+			}
+		}
+	}
+	if len(data) != len(tuples) {
+		t.Fatalf("partition dropped or duplicated tuples: got %d, want %d", len(data), len(tuples))
+	}
+}
+
+func TestFanInRestoresKeyOrderAndUnwraps(t *testing.T) {
+	// Two shards emit tagged same-timestamp outputs whose keys interleave;
+	// the fan-in must produce the global (ts, key) order a serial operator
+	// would have emitted, with the tags stripped.
+	s0 := NewStream("s0", 8)
+	s1 := NewStream("s1", 8)
+	out := NewStream("out", 16)
+	s0.ch <- &shardTagged{inner: vt(1, "a", 0), key: "a"}
+	s0.ch <- &shardTagged{inner: vt(1, "c", 0), key: "c"}
+	s0.ch <- &shardTagged{inner: vt(2, "a", 0), key: "a"}
+	s0.Close()
+	s1.ch <- &shardTagged{inner: vt(1, "b", 0), key: "b"}
+	s1.ch <- &shardTagged{inner: vt(2, "d", 0), key: "d"}
+	s1.Close()
+
+	f := NewFanIn("merge", []*Stream{s0, s1}, out)
+	if err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, out)
+	want := []string{"1/a", "1/b", "1/c", "2/a", "2/d"}
+	if len(got) != len(want) {
+		t.Fatalf("fan-in emitted %d tuples, want %d", len(got), len(want))
+	}
+	for i, tp := range got {
+		v, ok := tp.(*vTuple)
+		if !ok {
+			t.Fatalf("fan-in leaked a tagged tuple: %T", tp)
+		}
+		if s := strconv.FormatInt(v.Timestamp(), 10) + "/" + v.Key; s != want[i] {
+			t.Fatalf("position %d: got %s, want %s", i, s, want[i])
+		}
+	}
+}
+
+func TestShardAggregateMatchesSerialByteForByte(t *testing.T) {
+	// A keyed sliding-window aggregate over several keys with overlapping
+	// windows; the sharded execution must reproduce the serial operator's
+	// sink-observable sequence exactly, at every parallelism level.
+	build := func() []core.Tuple {
+		var tuples []core.Tuple
+		for ts := int64(0); ts < 40; ts++ {
+			for k := 0; k < 7; k++ {
+				if (int(ts)+k)%3 == 0 {
+					continue // some keys skip some timestamps
+				}
+				tuples = append(tuples, vt(ts, "k"+strconv.Itoa(k), ts+int64(k)))
+			}
+		}
+		return tuples
+	}
+	spec := AggregateSpec{WS: 6, WA: 2, Key: keyOf, Fold: sumFold}
+
+	serialOut := func() []core.Tuple {
+		in := feed(build()...)
+		out := NewStream("out", 1024)
+		a := NewAggregate("agg", in, out, spec, core.Noop{})
+		if err := a.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, out)
+	}()
+
+	for _, parallelism := range []int{2, 3, 4} {
+		in := feed(build()...)
+		out := NewStream("out", 4096)
+		operators, err := ShardAggregate("agg", in, out, spec, core.Noop{}, parallelism, 64)
+		runShardSubgraph(t, operators, err)
+		got := drain(t, out)
+		if len(got) != len(serialOut) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(got), len(serialOut))
+		}
+		for i := range got {
+			g, w := got[i].(*vTuple), serialOut[i].(*vTuple)
+			if g.Timestamp() != w.Timestamp() || g.Key != w.Key || g.Val != w.Val {
+				t.Fatalf("parallelism %d: output %d is %d/%s/%d, want %d/%s/%d",
+					parallelism, i, g.Timestamp(), g.Key, g.Val, w.Timestamp(), w.Key, w.Val)
+			}
+		}
+	}
+}
+
+func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
+	// An equi-join sharded by key must produce the same timestamp-sorted
+	// multiset of outputs as the serial join (same-timestamp outputs under
+	// different keys may permute into key order).
+	buildSide := func(side int64) []core.Tuple {
+		var tuples []core.Tuple
+		for ts := int64(0); ts < 30; ts++ {
+			for k := 0; k < 5; k++ {
+				tuples = append(tuples, vt(ts, "k"+strconv.Itoa(k), side*1000+ts))
+			}
+		}
+		return tuples
+	}
+	spec := JoinSpec{
+		WS:       2,
+		LeftKey:  keyOf,
+		RightKey: keyOf,
+		Predicate: func(l, r core.Tuple) bool {
+			return l.(*vTuple).Key == r.(*vTuple).Key && l.Timestamp() < r.Timestamp()
+		},
+		Combine: func(l, r core.Tuple) core.Tuple {
+			return vt(0, l.(*vTuple).Key, l.(*vTuple).Val*10000+r.(*vTuple).Val)
+		},
+	}
+	canon := func(tuples []core.Tuple) []string {
+		out := make([]string, len(tuples))
+		for i, tp := range tuples {
+			v := tp.(*vTuple)
+			out[i] = strconv.FormatInt(v.Timestamp(), 10) + "/" + v.Key + "/" + strconv.FormatInt(v.Val, 10)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	serial := func() []core.Tuple {
+		left, right := feed(buildSide(1)...), feed(buildSide(2)...)
+		out := NewStream("out", 1<<14)
+		j := NewJoin("join", left, right, out, spec, core.Noop{})
+		if err := j.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, out)
+	}()
+	wantCanon := canon(serial)
+
+	for _, parallelism := range []int{2, 4} {
+		left, right := feed(buildSide(1)...), feed(buildSide(2)...)
+		out := NewStream("out", 1<<14)
+		operators, err := ShardJoin("join", left, right, out, spec, core.Noop{}, parallelism, 64)
+		runShardSubgraph(t, operators, err)
+		got := drain(t, out)
+		gotCanon := canon(got)
+		if len(gotCanon) != len(wantCanon) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(gotCanon), len(wantCanon))
+		}
+		for i := range gotCanon {
+			if gotCanon[i] != wantCanon[i] {
+				t.Fatalf("parallelism %d: multiset mismatch at %d: got %s, want %s",
+					parallelism, i, gotCanon[i], wantCanon[i])
+			}
+		}
+		// The sharded output must itself be timestamp-sorted.
+		for i := 1; i < len(got); i++ {
+			if got[i].Timestamp() < got[i-1].Timestamp() {
+				t.Fatalf("parallelism %d: output not timestamp-sorted at %d", parallelism, i)
+			}
+		}
+	}
+}
+
+func TestShardSpecValidation(t *testing.T) {
+	in, out := NewStream("in", 1), NewStream("out", 1)
+	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Fold: sumFold}, core.Noop{}, 4, 0); err == nil {
+		t.Fatal("sharded aggregate without a Key must be rejected")
+	}
+	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Key: keyOf, Fold: sumFold}, core.Noop{}, 1, 0); err == nil {
+		t.Fatal("parallelism < 2 must be rejected")
+	}
+	spec := JoinSpec{
+		WS:        1,
+		Predicate: func(l, r core.Tuple) bool { return true },
+		Combine:   func(l, r core.Tuple) core.Tuple { return nil },
+	}
+	if _, err := ShardJoin("j", in, in, out, spec, core.Noop{}, 4, 0); err == nil {
+		t.Fatal("sharded join without key extractors must be rejected")
+	}
+}

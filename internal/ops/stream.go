@@ -40,8 +40,18 @@ func NewStream(name string, capacity int) *Stream {
 func (s *Stream) Name() string { return s.name }
 
 // Send delivers t downstream, blocking while the stream is full. It fails
-// with ctx.Err() if the query is cancelled first.
+// with ctx.Err() only if the query is cancelled while the stream is full:
+// like Recv it prefers progress over reporting cancellation, so after a
+// cancellation operators drain deterministically — a shard worker that can
+// still move tuples does so until a peer that noticed the cancellation
+// closes or stops consuming its stream — instead of racing ctx.Done against
+// a ready channel.
 func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
+	select {
+	case s.ch <- t:
+		return nil
+	default:
+	}
 	select {
 	case s.ch <- t:
 		return nil
@@ -51,7 +61,15 @@ func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
 }
 
 // Recv returns the next tuple. ok is false when the stream has ended.
+// Buffered tuples and end-of-stream are preferred over reporting
+// cancellation (see Send); ctx.Err() is returned only when the stream is
+// empty and still open.
 func (s *Stream) Recv(ctx context.Context) (t core.Tuple, ok bool, err error) {
+	select {
+	case t, ok = <-s.ch:
+		return t, ok, nil
+	default:
+	}
 	select {
 	case t, ok = <-s.ch:
 		return t, ok, nil

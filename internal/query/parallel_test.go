@@ -1,0 +1,314 @@
+package query_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// pTuple is the parallel-test tuple.
+type pTuple struct {
+	core.Base
+	Key string
+	Val int64
+}
+
+func pt(ts int64, key string, val int64) *pTuple {
+	return &pTuple{Base: core.NewBase(ts), Key: key, Val: val}
+}
+
+func (t *pTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+func pKey(t core.Tuple) string { return t.(*pTuple).Key }
+
+// parallelSource emits a deterministic keyed stream: several keys per
+// timestamp, some keys skipping some timestamps.
+func parallelSource(n int) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; i < n; i++ {
+			ts := int64(i / 5)
+			k := i % 5
+			if (i/5+k)%4 == 0 {
+				continue
+			}
+			if err := emit(pt(ts, "k"+strconv.Itoa(k), int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// instrumenterForMode returns a fresh instrumenter (and BL store) per run so
+// the two parallelism levels never share mutable provenance state.
+func instrumenterForMode(mode string) (core.Instrumenter, *baseline.Store) {
+	switch mode {
+	case "GL":
+		return &core.Genealog{}, nil
+	case "BL":
+		store := baseline.NewStore()
+		return &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}, store
+	default:
+		return core.Noop{}, nil
+	}
+}
+
+// runKeyedAggregate builds source -> keyed aggregate(parallelism) -> sink and
+// returns each sink tuple rendered with its traversed provenance (GL via the
+// meta-attribute walk, BL via the store join, NP payload-only).
+func runKeyedAggregate(t *testing.T, mode string, parallelism int) []string {
+	t.Helper()
+	instr, store := instrumenterForMode(mode)
+	b := query.New("parallel-"+mode, query.WithInstrumenter(instr), query.WithChannelCapacity(32))
+	src := b.AddSource("src", parallelSource(600))
+	agg := b.AddAggregate("agg", ops.AggregateSpec{
+		WS: 6, WA: 2, Key: pKey,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			var sum int64
+			for _, x := range w {
+				sum += x.(*pTuple).Val
+			}
+			return pt(0, key, sum)
+		},
+	}).Parallel(parallelism)
+	var got []string
+	sink := b.AddSink("sink", func(tp core.Tuple) error {
+		got = append(got, renderWithProvenance(tp, mode, store))
+		return nil
+	})
+	b.Connect(src, agg)
+	b.Connect(agg, sink)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// renderWithProvenance renders a sink tuple plus its provenance source set
+// (sorted) as one canonical string.
+func renderWithProvenance(tp core.Tuple, mode string, store *baseline.Store) string {
+	v := tp.(*pTuple)
+	s := fmt.Sprintf("%d/%s/%d", v.Timestamp(), v.Key, v.Val)
+	var sources []core.Tuple
+	switch mode {
+	case "GL":
+		sources = core.FindProvenance(tp)
+	case "BL":
+		sources = baseline.Resolver{Store: store}.Resolve(tp)
+	default:
+		return s
+	}
+	srcs := make([]string, 0, len(sources))
+	for _, src := range sources {
+		sv := src.(*pTuple)
+		srcs = append(srcs, fmt.Sprintf("%d/%s/%d", sv.Timestamp(), sv.Key, sv.Val))
+	}
+	sort.Strings(srcs)
+	return s + "<-" + strings.Join(srcs, ",")
+}
+
+// TestParallelAggregateIdenticalToSerial: for NP, GL and BL, a keyed
+// aggregate at Parallelism(4) must emit the byte-identical sink sequence —
+// same tuples, same order — and, under GL/BL, identical traversed
+// provenance sets, as at Parallelism(1).
+func TestParallelAggregateIdenticalToSerial(t *testing.T) {
+	for _, mode := range []string{"NP", "GL", "BL"} {
+		t.Run(mode, func(t *testing.T) {
+			serial := runKeyedAggregate(t, mode, 1)
+			if len(serial) == 0 {
+				t.Fatal("serial run produced no sink tuples; test workload is broken")
+			}
+			parallel := runKeyedAggregate(t, mode, 4)
+			if len(parallel) != len(serial) {
+				t.Fatalf("parallel run emitted %d sink tuples, serial %d", len(parallel), len(serial))
+			}
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("sink tuple %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelJoinIdenticalToSerial: an equi-join at Parallelism(4) must
+// produce the same timestamp-sorted output multiset and provenance as
+// serial execution (same-timestamp outputs may permute into key order).
+func TestParallelJoinIdenticalToSerial(t *testing.T) {
+	run := func(mode string, parallelism int) []string {
+		instr, store := instrumenterForMode(mode)
+		b := query.New("pjoin-"+mode, query.WithInstrumenter(instr), query.WithChannelCapacity(32))
+		src := b.AddSource("src", parallelSource(400))
+		mux := b.AddMultiplex("mux")
+		join := b.AddJoin("join", ops.JoinSpec{
+			WS:       3,
+			LeftKey:  pKey,
+			RightKey: pKey,
+			Predicate: func(l, r core.Tuple) bool {
+				return l.(*pTuple).Key == r.(*pTuple).Key && l.Timestamp() < r.Timestamp()
+			},
+			Combine: func(l, r core.Tuple) core.Tuple {
+				return pt(0, l.(*pTuple).Key, l.(*pTuple).Val*1000+r.(*pTuple).Val)
+			},
+		}).Parallel(parallelism)
+		var got []string
+		sink := b.AddSink("sink", func(tp core.Tuple) error {
+			got = append(got, renderWithProvenance(tp, mode, store))
+			return nil
+		})
+		b.Connect(src, mux)
+		b.ConnectPort(mux, join, query.PortLeft)
+		b.ConnectPort(mux, join, query.PortRight)
+		b.Connect(join, sink)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	for _, mode := range []string{"NP", "GL", "BL"} {
+		t.Run(mode, func(t *testing.T) {
+			serial := run(mode, 1)
+			if len(serial) == 0 {
+				t.Fatal("serial run produced no sink tuples; test workload is broken")
+			}
+			parallel := run(mode, 4)
+			if len(parallel) != len(serial) {
+				t.Fatalf("parallel run emitted %d sink tuples, serial %d", len(parallel), len(serial))
+			}
+			sort.Strings(serial)
+			sort.Strings(parallel)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("output multiset differs at %d:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCancelMidWindowDrains is the regression test for the shard
+// fan-in's cancellation behaviour: cancelling the query context while
+// windows are open and shard queues are full must not deadlock — every
+// shard worker drains, closes its outputs and returns the context error.
+func TestParallelCancelMidWindowDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := query.New("cancel", query.WithInstrumenter(&core.Genealog{}), query.WithChannelCapacity(4))
+	src := b.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for i := 0; ; i++ {
+			// Windows are huge (WS below), so the run is permanently
+			// mid-window; cancel once the shard queues have filled.
+			if i == 10_000 {
+				cancel()
+			}
+			if err := emit(pt(int64(i), "k"+strconv.Itoa(i%8), int64(i))); err != nil {
+				return err
+			}
+		}
+	})
+	agg := b.AddAggregate("agg", ops.AggregateSpec{
+		WS: 1 << 40, WA: 1 << 40, Key: pKey,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			return pt(0, key, int64(len(w)))
+		},
+	}).Parallel(4)
+	sink := b.AddSink("sink", nil)
+	b.Connect(src, agg)
+	b.Connect(agg, sink)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Run(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want a context.Canceled chain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query deadlocked after mid-window cancellation with Parallelism(4)")
+	}
+}
+
+// TestParallelValidation: Build must reject parallelism on nodes that
+// cannot be partitioned.
+func TestParallelValidation(t *testing.T) {
+	build := func(assemble func(b *query.Builder)) error {
+		b := query.New("invalid")
+		assemble(b)
+		_, err := b.Build()
+		return err
+	}
+	err := build(func(b *query.Builder) {
+		src := b.AddSource("src", parallelSource(10))
+		f := b.AddFilter("f", func(core.Tuple) bool { return true }).Parallel(4)
+		b.Connect(src, f)
+		b.Connect(f, b.AddSink("sink", nil))
+	})
+	if err == nil || !strings.Contains(err.Error(), "only supported on aggregate and join") {
+		t.Fatalf("parallel filter: got %v, want unsupported-kind error", err)
+	}
+	err = build(func(b *query.Builder) {
+		src := b.AddSource("src", parallelSource(10))
+		a := b.AddAggregate("a", ops.AggregateSpec{
+			WS: 2, WA: 2,
+			Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple { return nil },
+		}).Parallel(4)
+		b.Connect(src, a)
+		b.Connect(a, b.AddSink("sink", nil))
+	})
+	if err == nil || !strings.Contains(err.Error(), "Key is required") {
+		t.Fatalf("parallel unkeyed aggregate: got %v, want missing-key error", err)
+	}
+}
+
+// TestParallelizeStateful: the builder-wide helper must only touch nodes
+// that can actually be partitioned.
+func TestParallelizeStateful(t *testing.T) {
+	b := query.New("helper")
+	src := b.AddSource("src", parallelSource(10))
+	keyed := b.AddAggregate("keyed", ops.AggregateSpec{
+		WS: 2, WA: 2, Key: pKey,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple { return w[0] },
+	})
+	unkeyed := b.AddAggregate("unkeyed", ops.AggregateSpec{
+		WS: 2, WA: 2,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple { return w[0] },
+	})
+	b.Connect(src, keyed)
+	b.Connect(keyed, unkeyed)
+	b.Connect(unkeyed, b.AddSink("sink", nil))
+	b.ParallelizeStateful(4)
+	if keyed.Parallelism != 4 {
+		t.Fatalf("keyed aggregate parallelism = %d, want 4", keyed.Parallelism)
+	}
+	if unkeyed.Parallelism != 0 {
+		t.Fatalf("unkeyed aggregate parallelism = %d, want 0 (serial)", unkeyed.Parallelism)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("build after ParallelizeStateful: %v", err)
+	}
+}

@@ -1,7 +1,11 @@
 // Package query assembles standard operators (internal/ops) into runnable
 // continuous queries: a directed acyclic graph of operators connected by
 // bounded, timestamp-sorted streams, executed with one goroutine per
-// operator — the SPE-instance model of the paper's §2.
+// operator — the SPE-instance model of the paper's §2. Stateful nodes
+// (Aggregate, Join) can additionally be shard-parallelised across their key
+// space with Node.Parallel, which expands them into multiple operator
+// instances at Build time while keeping the sink-observable output — and
+// every tuple's contribution graph — identical to serial execution.
 package query
 
 import (
@@ -91,6 +95,21 @@ type Node struct {
 	OnEmit func(core.Tuple)
 	// OnLatency observes each sink tuple's latency in nanoseconds.
 	OnLatency func(core.Tuple, int64)
+	// Parallelism, when > 1, shard-parallelises a stateful node: Build
+	// expands it into that many independent operator instances, each owning
+	// a hash-partition of the key space, bracketed by a partitioner and a
+	// deterministic (timestamp, key) fan-in merge, so the sink-observable
+	// output is identical to serial execution. Only Aggregate nodes with a
+	// group-by Key and Join nodes with LeftKey/RightKey support it; Build
+	// rejects it elsewhere.
+	Parallelism int
+}
+
+// Parallel sets the node's shard parallelism (see Parallelism) and returns
+// the node for chaining: b.AddAggregate(...).Parallel(4).
+func (n *Node) Parallel(p int) *Node {
+	n.Parallelism = p
+	return n
 }
 
 // Name returns the node's name.
@@ -267,6 +286,14 @@ func (b *Builder) Build() (*Query, error) {
 	}
 	q := &Query{name: b.name}
 	for _, n := range b.nodes {
+		if n.Parallelism > 1 {
+			expanded, err := b.materialiseParallel(n, ins[n], outs[n], inPorts[n])
+			if err != nil {
+				return nil, fmt.Errorf("query %q: node %q: %w", b.name, n.name, err)
+			}
+			q.operators = append(q.operators, expanded...)
+			continue
+		}
 		op, err := b.materialise(n, ins[n], outs[n], inPorts[n])
 		if err != nil {
 			return nil, fmt.Errorf("query %q: node %q: %w", b.name, n.name, err)
@@ -274,6 +301,53 @@ func (b *Builder) Build() (*Query, error) {
 		q.operators = append(q.operators, op)
 	}
 	return q, nil
+}
+
+// materialiseParallel expands a node with Parallelism > 1 into its shard
+// subgraph (partitioner, shard instances, fan-in).
+func (b *Builder) materialiseParallel(n *Node, in, out []*ops.Stream, ports map[string]*ops.Stream) ([]ops.Operator, error) {
+	switch n.kind {
+	case KindAggregate:
+		if len(in) != 1 || len(out) != 1 {
+			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
+		}
+		return ops.ShardAggregate(n.name, in[0], out[0], n.aggSpec, b.instr, n.Parallelism, b.chanCap)
+	case KindJoin:
+		if len(in) != 2 || len(out) != 1 {
+			return nil, fmt.Errorf("%s needs 2 inputs and 1 output, has %d/%d", n.kind, len(in), len(out))
+		}
+		left, right := ports[PortLeft], ports[PortRight]
+		if left == nil || right == nil {
+			return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
+		}
+		return ops.ShardJoin(n.name, left, right, out[0], n.joinSpec, b.instr, n.Parallelism, b.chanCap)
+	default:
+		return nil, fmt.Errorf("parallelism is only supported on aggregate and join nodes, not %s", n.kind)
+	}
+}
+
+// ParallelizeStateful applies shard parallelism p to every stateful node
+// that can be partitioned by key: Aggregates with a group-by Key and Joins
+// with both equi-join key extractors. Unkeyed stateful nodes keep serial
+// execution (there is no key space to partition). p < 2 is a no-op. It is a
+// convenience for callers — the harness's parallelism dimension — that
+// parameterise whole queries rather than individual nodes.
+func (b *Builder) ParallelizeStateful(p int) {
+	if p < 2 {
+		return
+	}
+	for _, n := range b.nodes {
+		switch n.kind {
+		case KindAggregate:
+			if n.aggSpec.Key != nil {
+				n.Parallelism = p
+			}
+		case KindJoin:
+			if n.joinSpec.LeftKey != nil && n.joinSpec.RightKey != nil {
+				n.Parallelism = p
+			}
+		}
+	}
 }
 
 func (b *Builder) materialise(n *Node, in, out []*ops.Stream, ports map[string]*ops.Stream) (ops.Operator, error) {

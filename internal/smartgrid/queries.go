@@ -114,6 +114,11 @@ func AddQ4Stage1(b *query.Builder, from *query.Node) Q4Stage1Outputs {
 func AddQ4Stage2(b *query.Builder, in Q4Stage1Outputs) *query.Node {
 	join := b.AddJoin("q4.join", ops.JoinSpec{
 		WS: Q4JoinWindow,
+		// The meter ID is the equi-join key on both sides, which lets the
+		// join shard-parallelise: each shard pairs the daily sums and
+		// midnight readings of its own meters.
+		LeftKey:  meterKey,
+		RightKey: meterKey,
 		Predicate: func(l, r core.Tuple) bool {
 			return l.(*DailyCons).MeterID == r.(*MeterReading).MeterID
 		},
