@@ -293,7 +293,7 @@ func BenchmarkShardScaling(b *testing.B) {
 			var tput float64
 			var sinks int
 			for i := 0; i < b.N; i++ {
-				tput, sinks = runScalingAggregate(b, p)
+				tput, sinks = runScalingAggregate(b, p, 1, 400)
 			}
 			if serialSinks == -1 {
 				serialSinks = sinks
@@ -305,15 +305,120 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedThroughput measures the batched stream transport on a
+// Q1/Q3-shaped pipeline — map and filter prefix stages feeding a keyed
+// aggregation with a cheap fold — where the per-tuple channel operations,
+// not the user functions, dominate: batch size 64 versus unbatched, serial
+// and at Parallelism(4). The acceptance target is >= 1.5x tuples/s at
+// Parallelism(4) with batching versus batch size 1; the sink count is
+// asserted identical across all cells. Run with
+//
+//	go test -bench BenchmarkBatchedThroughput -benchtime 1x
+func BenchmarkBatchedThroughput(b *testing.B) {
+	serialSinks := -1
+	for _, p := range []int{1, 4} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("parallelism-%d/batch-%d", p, batch), func(b *testing.B) {
+				var tput float64
+				var sinks int
+				for i := 0; i < b.N; i++ {
+					tput, sinks = runBatchedPipeline(b, p, batch)
+				}
+				if serialSinks == -1 {
+					serialSinks = sinks
+				} else if sinks != serialSinks {
+					b.Fatalf("parallelism %d batch %d produced %d sink tuples, serial %d", p, batch, sinks, serialSinks)
+				}
+				b.ReportMetric(tput, "tuples/s")
+			})
+		}
+	}
+}
+
+// runBatchedPipeline runs source -> map -> filter -> keyed aggregate ->
+// sink over keys x steps tuples, the transport-dominated workload of
+// BenchmarkBatchedThroughput, returning throughput and the sink count.
+func runBatchedPipeline(b *testing.B, parallelism, batch int) (float64, int) {
+	const (
+		keys  = 64
+		steps = 400
+	)
+	keyNames := make([]string, keys)
+	for k := range keyNames {
+		keyNames[k] = "k" + strconv.Itoa(k)
+	}
+	qb := query.New("batched", query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch))
+	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+		for ts := 0; ts < steps; ts++ {
+			for k := 0; k < keys; k++ {
+				if err := emit(&keyedTuple{Base: core.NewBase(int64(ts)), Key: keyNames[k], Val: int64(ts + k)}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	mp := qb.AddMap("map", func(t core.Tuple, emit func(core.Tuple)) { emit(t) })
+	fl := qb.AddFilter("filter", func(t core.Tuple) bool { return t.(*keyedTuple).Val >= 0 })
+	agg := qb.AddAggregate("agg", ops.AggregateSpec{
+		WS: 8, WA: 8,
+		Key: func(t core.Tuple) string { return t.(*keyedTuple).Key },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			var sum int64
+			for _, t := range w {
+				sum += t.(*keyedTuple).Val
+			}
+			return &keyedTuple{Base: core.NewBase(start), Key: key, Val: sum}
+		},
+	}).Parallel(parallelism)
+	var sinks int
+	sink := qb.AddSink("sink", func(core.Tuple) error { sinks++; return nil })
+	qb.Connect(src, mp)
+	qb.Connect(mp, fl)
+	qb.Connect(fl, agg)
+	qb.Connect(agg, sink)
+	q, err := qb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	begin := time.Now()
+	if err := q.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(begin)
+	if sinks == 0 {
+		b.Fatal("no sink tuples")
+	}
+	return float64(keys*steps) / elapsed.Seconds(), sinks
+}
+
+// keyedTuple carries a precomputed group key so key extraction allocates
+// nothing (the transport, not key formatting, is what the batching
+// benchmark measures).
+type keyedTuple struct {
+	core.Base
+	Key string
+	Val int64
+}
+
+func (t *keyedTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
 // runScalingAggregate runs one keyed aggregation over keys x steps source
-// tuples with a deliberately expensive fold, returning the source
-// throughput and the sink tuple count.
-func runScalingAggregate(b *testing.B, parallelism int) (float64, int) {
+// tuples, returning the source throughput and the sink tuple count.
+// foldCost scales the fold's CPU work: 0 selects the cheap payload-only
+// fold (channel plumbing dominates; the batching benchmark), higher values
+// add synthetic CPU work per window tuple (shard instances dominate; the
+// shard-scaling benchmark).
+func runScalingAggregate(b *testing.B, parallelism, batch, foldCost int) (float64, int) {
 	const (
 		keys  = 64
 		steps = 200
 	)
-	qb := query.New("scaling", query.WithInstrumenter(core.Noop{}))
+	qb := query.New("scaling", query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch))
 	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
 		for ts := 0; ts < steps; ts++ {
 			for k := 0; k < keys; k++ {
@@ -328,14 +433,17 @@ func runScalingAggregate(b *testing.B, parallelism int) (float64, int) {
 		WS: 8, WA: 2,
 		Key: func(t core.Tuple) string { return strconv.FormatInt(t.(*ablTuple).Val, 10) },
 		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
-			// A deliberately CPU-heavy fold: the shard instances, not the
-			// channel plumbing, must dominate so parallel speedup is visible.
+			// foldCost > 0 makes the fold deliberately CPU-heavy: the shard
+			// instances, not the channel plumbing, dominate so parallel
+			// speedup is visible. foldCost == 0 keeps the fold trivial so
+			// the transport overhead is what gets measured.
 			acc := 0.0
 			for _, t := range w {
 				v := float64(t.(*ablTuple).Val)
-				for i := 0; i < 400; i++ {
+				for i := 0; i < foldCost; i++ {
 					acc += math.Sqrt(v + float64(i))
 				}
+				acc += v
 			}
 			return &ablTuple{Base: core.NewBase(start), Val: int64(acc)}
 		},

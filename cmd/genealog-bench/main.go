@@ -12,12 +12,16 @@
 //	genealog-bench -experiment size             # provenance volume report
 //	genealog-bench -experiment all -scale 4     # everything, 4x workload
 //	genealog-bench -experiment fig12 -parallelism 4  # shard-parallel keyed operators
+//	genealog-bench -experiment fig12 -parallelism 0 -batch 64  # auto shards, batched streams
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
 // -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
-// shard-parallelises every keyed stateful operator; sink tuples and
-// provenance match serial execution at any level (aggregates byte for
-// byte, joins as the same timestamp-sorted multiset).
+// shard-parallelises every keyed stateful operator (1 = serial, 0 = auto:
+// choose from the CPU count); sink tuples and provenance match serial
+// execution at any level (aggregates byte for byte, joins as the same
+// timestamp-sorted multiset). The -batch flag moves tuples through operator
+// queues and links in vectors of up to that many, trading per-tuple latency
+// for throughput with byte-identical output.
 package main
 
 import (
@@ -25,11 +29,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
+	"genealog/internal/transport"
 )
 
 func main() {
@@ -46,7 +52,8 @@ func run(args []string, out *os.File) error {
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	throttle := fs.Float64("throttle", 0, "link throttle in bytes/second (0 = unlimited; 12.5e6 = 100 Mbps)")
 	rate := fs.Float64("rate", 0, "source rate in tuples/second (0 = unthrottled)")
-	parallelism := fs.Int("parallelism", 0, "shard parallelism for keyed stateful operators (0/1 = serial)")
+	parallelism := fs.Int("parallelism", 1, "shard parallelism for keyed stateful operators: 1 = serial, n > 1 = n shards, 0 = auto (choose from the CPU count)")
+	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
 	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
 	if err := fs.Parse(args); err != nil {
@@ -55,13 +62,24 @@ func run(args []string, out *os.File) error {
 	if *scale < 1 {
 		*scale = 1
 	}
+	p, err := resolveParallelism(*parallelism)
+	if err != nil {
+		return err
+	}
+	if *batch < 0 {
+		return fmt.Errorf("batch must be non-negative, got %d", *batch)
+	}
+	if *batch > transport.MaxBatchFrameTuples {
+		return fmt.Errorf("batch must not exceed the wire frame bound %d, got %d", transport.MaxBatchFrameTuples, *batch)
+	}
 
 	base := harness.Options{
 		LR:                  lrConfig(*scale),
 		SG:                  sgConfig(*scale),
 		ThrottleBytesPerSec: *throttle,
 		SourceRate:          *rate,
-		Parallelism:         *parallelism,
+		Parallelism:         p,
+		BatchSize:           *batch,
 		UseBinaryCodec:      *codec == "binary",
 	}
 	if *codec != "gob" && *codec != "binary" {
@@ -109,6 +127,24 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown experiment %q (want fig12, fig13, fig14, size or all)", *experiment)
 	}
 	return nil
+}
+
+// resolveParallelism maps the -parallelism flag to a shard count: 1 keeps
+// serial execution, n > 1 selects n shards, and 0 is the ROADMAP's auto
+// mode — choose from the machine's CPU count, leaving headroom below 2
+// cores where sharding only adds partition/fan-in overhead. Negative values
+// are rejected.
+func resolveParallelism(p int) (int, error) {
+	if p < 0 {
+		return 0, fmt.Errorf("parallelism must be >= 0 (1 = serial, 0 = auto), got %d", p)
+	}
+	if p != 0 {
+		return p, nil
+	}
+	if n := runtime.NumCPU(); n >= 2 {
+		return n, nil
+	}
+	return 1, nil
 }
 
 // lrConfig scales the Linear Road workload: more cars and longer runs keep

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"runtime"
 	"testing"
 )
 
@@ -41,5 +42,45 @@ func TestSizeExperimentEndToEnd(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("size experiment produced no output")
+	}
+}
+
+func TestRunRejectsNegativeParallelism(t *testing.T) {
+	if err := run([]string{"-experiment", "size", "-parallelism", "-2"}, os.Stdout); err == nil {
+		t.Fatal("negative parallelism must fail")
+	}
+}
+
+func TestRunRejectsNegativeBatch(t *testing.T) {
+	if err := run([]string{"-experiment", "size", "-batch", "-1"}, os.Stdout); err == nil {
+		t.Fatal("negative batch must fail")
+	}
+}
+
+func TestResolveParallelism(t *testing.T) {
+	if _, err := resolveParallelism(-1); err == nil {
+		t.Fatal("negative parallelism must be rejected")
+	}
+	if p, err := resolveParallelism(1); err != nil || p != 1 {
+		t.Fatalf("resolveParallelism(1) = %d, %v; want 1 (serial)", p, err)
+	}
+	if p, err := resolveParallelism(6); err != nil || p != 6 {
+		t.Fatalf("resolveParallelism(6) = %d, %v; want 6", p, err)
+	}
+	p, err := resolveParallelism(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1 {
+		t.Fatalf("auto parallelism = %d, want >= 1", p)
+	}
+	if n := runtime.NumCPU(); n >= 2 && p != n {
+		t.Fatalf("auto parallelism = %d, want NumCPU (%d)", p, n)
+	}
+}
+
+func TestRunRejectsOversizedBatch(t *testing.T) {
+	if err := run([]string{"-experiment", "size", "-batch", "2000000"}, os.Stdout); err == nil {
+		t.Fatal("batch above the wire frame bound must fail")
 	}
 }

@@ -10,7 +10,9 @@ import (
 // keyed by its ID meta-attribute. In a distributed BL deployment this is the
 // provenance node's ingestion of the shipped source streams: the paper's BL
 // transmits the entire source streams over the network so the provenance
-// node can later join them with the annotated sink tuples (§7).
+// node can later join them with the annotated sink tuples (§7). The
+// underlying ops.Sink iterates whole stream batches per channel operation,
+// so ingestion rides the batched transport like every other operator.
 func AddStoreSink(b *query.Builder, name string, from *query.Node, store *Store) {
 	node := b.AddCustom(name, 1, 0, func(ins, outs []*ops.Stream) (ops.Operator, error) {
 		return ops.NewSink(name, ins[0], func(t core.Tuple) error {

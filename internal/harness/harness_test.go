@@ -348,3 +348,49 @@ func TestInterBinaryCodecMatchesGob(t *testing.T) {
 		}
 	}
 }
+
+// TestInterBatchedMatchesUnbatched: batched stream transport — including
+// the batch wire frames on every inter-process link — must reproduce the
+// unbatched deployment's sink tuples and provenance exactly, under both
+// codecs.
+func TestInterBatchedMatchesUnbatched(t *testing.T) {
+	for _, q := range Queries {
+		for _, binary := range []bool{false, true} {
+			name := string(q) + "/gob"
+			if binary {
+				name = string(q) + "/binary"
+			}
+			t.Run(name, func(t *testing.T) {
+				o := testOptions()
+				o.Query, o.Mode, o.Deployment = q, ModeGL, Inter
+				o.UseBinaryCodec = binary
+				plain, err := Run(context.Background(), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.BatchSize = 64
+				batched, err := Run(context.Background(), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.SinkTuples != batched.SinkTuples {
+					t.Fatalf("sink tuples: batch 1 = %d, batch 64 = %d", plain.SinkTuples, batched.SinkTuples)
+				}
+				if plain.ProvResults != batched.ProvResults || plain.ProvSources != batched.ProvSources {
+					t.Fatalf("provenance: batch 1 = %d/%d, batch 64 = %d/%d",
+						plain.ProvResults, plain.ProvSources, batched.ProvResults, batched.ProvSources)
+				}
+				if batched.NetBytes == 0 {
+					t.Fatal("batched inter-process run must report link traffic")
+				}
+				// Unbatched links keep the per-tuple wire format, so gob
+				// batch frames ship strictly fewer bytes; binary batch
+				// frames add one u32 count per batch, largely offset by
+				// heartbeat coalescing — allow that 1% of framing slack.
+				if batched.NetBytes > plain.NetBytes+plain.NetBytes/100 {
+					t.Fatalf("batched links shipped %d B, unbatched %d B (more than 1%% framing slack)", batched.NetBytes, plain.NetBytes)
+				}
+			})
+		}
+	}
+}

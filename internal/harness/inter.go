@@ -90,7 +90,8 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 
 	b := query.New(string(o.Query)+"-spe1",
 		query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil)),
-		query.WithChannelCapacity(o.ChannelCapacity))
+		query.WithChannelCapacity(o.ChannelCapacity),
+		query.WithBatchSize(o.BatchSize))
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	src.OnEmit = hooks.OnSourceEmit
@@ -146,7 +147,8 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 
 	b := query.New(string(o.Query)+"-spe2",
 		query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil)),
-		query.WithChannelCapacity(o.ChannelCapacity))
+		query.WithChannelCapacity(o.ChannelCapacity),
+		query.WithBatchSize(o.BatchSize))
 	ins := make([]*query.Node, len(links.Main))
 	for i, l := range links.Main {
 		ins[i] = transport.AddReceive(b, fmt.Sprintf("recv-main-%d", i), l.Dec)
@@ -215,7 +217,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	case ModeGL:
 		b := query.New(string(o.Query)+"-spe3",
 			query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil)),
-			query.WithChannelCapacity(o.ChannelCapacity))
+			query.WithChannelCapacity(o.ChannelCapacity),
+			query.WithBatchSize(o.BatchSize))
 		ups := make([]*query.Node, len(links.U1))
 		for i, l := range links.U1 {
 			ups[i] = transport.AddReceive(b, fmt.Sprintf("recv-u1-%d", i), l.Dec)
@@ -233,7 +236,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		}
 		b := query.New(string(o.Query)+"-spe3",
 			query.WithInstrumenter(core.Noop{}),
-			query.WithChannelCapacity(o.ChannelCapacity))
+			query.WithChannelCapacity(o.ChannelCapacity),
+			query.WithBatchSize(o.BatchSize))
 		srcsIn := transport.AddReceive(b, "recv-sources", links.Sources.Dec)
 		storeDone := make(chan struct{})
 		addStoreIngest(b, "store-sink", srcsIn, hooks.Store, storeDone)
@@ -249,7 +253,7 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 // serialising links, following the paper's Figs. 7, 9C, 10C and 11C: NP uses
 // two instances, GL and BL add the provenance node.
 func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism, BatchSize: o.BatchSize}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)
@@ -363,8 +367,9 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 
 	res.ThroughputTPS = srcCount.Rate()
 	res.AvgLatencyMs = lat.Mean() / 1e6
-	res.P50LatencyMs = latQ.Quantile(0.5) / 1e6
-	res.P99LatencyMs = latQ.Quantile(0.99) / 1e6
+	latPcts := latQ.Quantiles(0.5, 0.99)
+	res.P50LatencyMs = latPcts[0] / 1e6
+	res.P99LatencyMs = latPcts[1] / 1e6
 	res.AvgMemMB = mem.AvgBytes() / (1 << 20)
 	res.MaxMemMB = mem.MaxBytes() / (1 << 20)
 	switch o.Mode {

@@ -47,7 +47,7 @@ func (p *provAccount) add(r provenance.Result) {
 
 // runIntra deploys the whole query in one SPE instance (Fig. 12).
 func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism, BatchSize: o.BatchSize}
 
 	gen, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
@@ -60,7 +60,8 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	instr := instrumenterFor(o.Mode, 0, store)
 
 	b := query.New(string(o.Query), query.WithInstrumenter(instr),
-		query.WithChannelCapacity(o.ChannelCapacity))
+		query.WithChannelCapacity(o.ChannelCapacity),
+		query.WithBatchSize(o.BatchSize))
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	var srcCount metrics.Counter
@@ -122,8 +123,9 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 
 	res.ThroughputTPS = srcCount.Rate()
 	res.AvgLatencyMs = lat.Mean() / 1e6
-	res.P50LatencyMs = latQ.Quantile(0.5) / 1e6
-	res.P99LatencyMs = latQ.Quantile(0.99) / 1e6
+	latPcts := latQ.Quantiles(0.5, 0.99)
+	res.P50LatencyMs = latPcts[0] / 1e6
+	res.P99LatencyMs = latPcts[1] / 1e6
 	res.AvgMemMB = mem.AvgBytes() / (1 << 20)
 	res.MaxMemMB = mem.MaxBytes() / (1 << 20)
 	res.TraversalAvgMs = trav.Mean() / 1e6

@@ -70,7 +70,7 @@ type captured struct {
 // captureRun executes one query the way runIntra does — same graph, same
 // instrumenter, same provenance plumbing — but records canonical sink and
 // provenance strings instead of metrics.
-func captureRun(t *testing.T, id QueryID, mode Mode, parallelism int) captured {
+func captureRun(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int) captured {
 	t.Helper()
 	o := parallelTestOptions(id, mode, parallelism)
 	spec, err := specFor(id)
@@ -85,7 +85,8 @@ func captureRun(t *testing.T, id QueryID, mode Mode, parallelism int) captured {
 	}
 	instr := instrumenterFor(mode, 0, store)
 
-	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr))
+	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr),
+		query.WithBatchSize(batchSize))
 	src := b.AddSource("source", gen)
 	last := spec.addWhole(b, src)
 
@@ -152,11 +153,11 @@ func TestShardParallelEquivalence(t *testing.T) {
 	for _, id := range Queries {
 		for _, mode := range Modes {
 			t.Run(string(id)+"/"+string(mode), func(t *testing.T) {
-				serial := captureRun(t, id, mode, 1)
+				serial := captureRun(t, id, mode, 1, 1)
 				if len(serial.sinks) == 0 {
 					t.Fatalf("%s/%s: serial run produced no sink tuples; workload too small", id, mode)
 				}
-				parallel := captureRun(t, id, mode, 4)
+				parallel := captureRun(t, id, mode, 4, 1)
 				if len(parallel.sinks) != len(serial.sinks) {
 					t.Fatalf("sink count differs: parallel %d, serial %d", len(parallel.sinks), len(serial.sinks))
 				}
@@ -186,16 +187,62 @@ func TestShardParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestBatchedTransportEquivalence is the batching tentpole's acceptance
+// test: for each of Q1-Q4 under NP, GL and BL, serial and Parallelism(4),
+// execution with BatchSize 64 must yield sink output and contribution-graph
+// traversal results byte-identical to BatchSize 1 — batching amortises
+// channel operations without changing a single observable byte.
+func TestBatchedTransportEquivalence(t *testing.T) {
+	for _, id := range Queries {
+		for _, mode := range Modes {
+			for _, parallelism := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/p%d", id, mode, parallelism)
+				t.Run(name, func(t *testing.T) {
+					unbatched := captureRun(t, id, mode, parallelism, 1)
+					if len(unbatched.sinks) == 0 {
+						t.Fatalf("%s: unbatched run produced no sink tuples; workload too small", name)
+					}
+					batched := captureRun(t, id, mode, parallelism, 64)
+					if len(batched.sinks) != len(unbatched.sinks) {
+						t.Fatalf("sink count differs: batched %d, unbatched %d", len(batched.sinks), len(unbatched.sinks))
+					}
+					for i := range unbatched.sinks {
+						if unbatched.sinks[i] != batched.sinks[i] {
+							t.Fatalf("sink tuple %d differs:\nbatch 1:  %s\nbatch 64: %s", i, unbatched.sinks[i], batched.sinks[i])
+						}
+					}
+					pu, pb := sortedCopy(unbatched.prov), sortedCopy(batched.prov)
+					if len(pu) != len(pb) {
+						t.Fatalf("provenance result count differs: batched %d, unbatched %d", len(pb), len(pu))
+					}
+					for i := range pu {
+						if pu[i] != pb[i] {
+							t.Fatalf("provenance result %d differs:\nbatch 1:  %s\nbatch 64: %s", i, pu[i], pb[i])
+						}
+					}
+					if mode != ModeNP && len(unbatched.prov) == 0 {
+						t.Fatalf("%s: no provenance results; workload too small", name)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestHarnessParallelismDimension: a measured harness run accepts the
-// parallelism dimension and reports it back in its result row.
+// parallelism and batch dimensions and reports them back in its result row.
 func TestHarnessParallelismDimension(t *testing.T) {
 	o := parallelTestOptions(Q1, ModeGL, 4)
+	o.BatchSize = 32
 	r, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Parallelism != 4 {
 		t.Fatalf("Result.Parallelism = %d, want 4", r.Parallelism)
+	}
+	if r.BatchSize != 32 {
+		t.Fatalf("Result.BatchSize = %d, want 32", r.BatchSize)
 	}
 	if r.SinkTuples == 0 {
 		t.Fatal("parallel harness run produced no sink tuples")

@@ -58,35 +58,55 @@ func (r *Reservoir) N() int64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the retained sample,
-// using nearest-rank interpolation. It returns 0 with no samples.
+// linearly interpolating between the two nearest order statistics. It
+// returns 0 with no samples.
 func (r *Reservoir) Quantile(q float64) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.buf) == 0 {
 		return 0
 	}
+	r.sortLocked()
+	return quantileOfSorted(r.sort, q)
+}
+
+// Quantiles returns several quantiles in one locked pass: the sample is
+// copied and sorted once, then every q is read from the sorted buffer.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return out
+	}
+	r.sortLocked()
+	for i, q := range qs {
+		out[i] = quantileOfSorted(r.sort, q)
+	}
+	return out
+}
+
+// sortLocked refreshes the sorted scratch copy of the sample; the caller
+// holds the lock.
+func (r *Reservoir) sortLocked() {
+	r.sort = append(r.sort[:0], r.buf...)
+	sort.Float64s(r.sort)
+}
+
+// quantileOfSorted reads the q-quantile from a sorted non-empty sample,
+// linearly interpolating between adjacent order statistics.
+func quantileOfSorted(sorted []float64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	r.sort = append(r.sort[:0], r.buf...)
-	sort.Float64s(r.sort)
-	pos := q * float64(len(r.sort)-1)
+	pos := q * float64(len(sorted)-1)
 	lo := int(pos)
-	if lo == len(r.sort)-1 {
-		return r.sort[lo]
+	if lo == len(sorted)-1 {
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return r.sort[lo]*(1-frac) + r.sort[lo+1]*frac
-}
-
-// Quantiles returns several quantiles in one locked pass.
-func (r *Reservoir) Quantiles(qs ...float64) []float64 {
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		out[i] = r.Quantile(q)
-	}
-	return out
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }

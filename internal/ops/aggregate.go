@@ -124,11 +124,12 @@ func NewAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.I
 // Name implements Operator.
 func (a *Aggregate) Name() string { return a.name }
 
-// Run implements Operator.
+// Run implements Operator. The inner loop iterates input batches and
+// flushes the output once per batch, before blocking for more input.
 func (a *Aggregate) Run(ctx context.Context) error {
-	defer a.out.Close()
+	defer a.out.CloseSend(ctx)
 	for {
-		t, ok, err := a.in.Recv(ctx)
+		batch, ok, err := a.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("aggregate %q: %w", a.name, err)
 		}
@@ -138,10 +139,15 @@ func (a *Aggregate) Run(ctx context.Context) error {
 			}
 			return nil
 		}
-		if err := a.process(ctx, t); err != nil {
-			return fmt.Errorf("aggregate %q: %w", a.name, err)
+		for _, t := range batch {
+			if err := a.process(ctx, t); err != nil {
+				return fmt.Errorf("aggregate %q: %w", a.name, err)
+			}
+			if err := a.advertise(ctx, t.Timestamp()); err != nil {
+				return fmt.Errorf("aggregate %q: %w", a.name, err)
+			}
 		}
-		if err := a.advertise(ctx, t.Timestamp()); err != nil {
+		if err := a.out.Flush(ctx); err != nil {
 			return fmt.Errorf("aggregate %q: %w", a.name, err)
 		}
 	}

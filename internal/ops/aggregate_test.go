@@ -253,12 +253,14 @@ func TestAggregateCoverageProperty(t *testing.T) {
 			return false
 		}
 		seen := make(map[core.Tuple]int)
-		for w := range out.ch {
-			if core.IsHeartbeat(w) {
-				continue
-			}
-			for _, p := range core.FindProvenance(w) {
-				seen[p]++
+		for batch := range out.ch {
+			for _, w := range batch {
+				if core.IsHeartbeat(w) {
+					continue
+				}
+				for _, p := range core.FindProvenance(w) {
+					seen[p]++
+				}
 			}
 		}
 		for _, in := range input {

@@ -33,31 +33,37 @@ func NewFilter(name string, in, out *Stream, pred func(core.Tuple) bool) *Filter
 // Name implements Operator.
 func (f *Filter) Name() string { return f.name }
 
-// Run implements Operator.
+// Run implements Operator. The inner loop iterates input batches and
+// flushes the output once per batch, before blocking for more input.
 func (f *Filter) Run(ctx context.Context) error {
-	defer f.out.Close()
+	defer f.out.CloseSend(ctx)
 	for {
-		t, ok, err := f.in.Recv(ctx)
+		batch, ok, err := f.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("filter %q: %w", f.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		forward := core.IsHeartbeat(t) || f.pred(t)
-		if forward {
-			f.lastOut, f.haveLast = t.Timestamp(), true
-			if err := f.out.Send(ctx, t); err != nil {
-				return fmt.Errorf("filter %q: %w", f.name, err)
+		for _, t := range batch {
+			forward := core.IsHeartbeat(t) || f.pred(t)
+			if forward {
+				f.lastOut, f.haveLast = t.Timestamp(), true
+				if err := f.out.Send(ctx, t); err != nil {
+					return fmt.Errorf("filter %q: %w", f.name, err)
+				}
+				continue
 			}
-			continue
+			// Dropped: advertise watermark progress, once per distinct time.
+			if !f.haveLast || t.Timestamp() > f.lastOut {
+				f.lastOut, f.haveLast = t.Timestamp(), true
+				if err := f.out.Send(ctx, core.NewHeartbeat(t.Timestamp())); err != nil {
+					return fmt.Errorf("filter %q: %w", f.name, err)
+				}
+			}
 		}
-		// Dropped: advertise watermark progress, once per distinct time.
-		if !f.haveLast || t.Timestamp() > f.lastOut {
-			f.lastOut, f.haveLast = t.Timestamp(), true
-			if err := f.out.Send(ctx, core.NewHeartbeat(t.Timestamp())); err != nil {
-				return fmt.Errorf("filter %q: %w", f.name, err)
-			}
+		if err := f.out.Flush(ctx); err != nil {
+			return fmt.Errorf("filter %q: %w", f.name, err)
 		}
 	}
 }

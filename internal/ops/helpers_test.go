@@ -44,11 +44,20 @@ func runOps(t *testing.T, operators ...Operator) {
 
 // feed sends the tuples on a fresh stream and closes it.
 func feed(tuples ...core.Tuple) *Stream {
-	s := NewStream("in", len(tuples)+1)
+	return feedBatched(1, tuples...)
+}
+
+// feedBatched sends the tuples on a fresh stream with the given batch size
+// and closes it.
+func feedBatched(batch int, tuples ...core.Tuple) *Stream {
+	s := NewBatchedStream("in", len(tuples)+1, batch)
+	ctx := context.Background()
 	for _, t := range tuples {
-		s.ch <- t
+		if err := s.Send(ctx, t); err != nil {
+			panic(err)
+		}
 	}
-	s.Close()
+	s.CloseSend(ctx)
 	return s
 }
 
@@ -57,11 +66,13 @@ func feed(tuples ...core.Tuple) *Stream {
 func drain(t *testing.T, s *Stream) []core.Tuple {
 	t.Helper()
 	var out []core.Tuple
-	for tup := range s.ch {
-		if core.IsHeartbeat(tup) {
-			continue
+	for batch := range s.ch {
+		for _, tup := range batch {
+			if core.IsHeartbeat(tup) {
+				continue
+			}
+			out = append(out, tup)
 		}
-		out = append(out, tup)
 	}
 	return out
 }
@@ -70,8 +81,8 @@ func drain(t *testing.T, s *Stream) []core.Tuple {
 func drainAll(t *testing.T, s *Stream) []core.Tuple {
 	t.Helper()
 	var out []core.Tuple
-	for tup := range s.ch {
-		out = append(out, tup)
+	for batch := range s.ch {
+		out = append(out, batch...)
 	}
 	return out
 }

@@ -75,8 +75,9 @@ func (j *Join) Name() string { return j.name }
 
 // Run implements Operator.
 func (j *Join) Run(ctx context.Context) error {
-	defer j.out.Close()
+	defer j.out.CloseSend(ctx)
 	merge := newTSMerge([]*Stream{j.left, j.right})
+	merge.onStarve = j.out.Flush
 	for {
 		t, input, ok, err := merge.Next(ctx)
 		if err != nil {

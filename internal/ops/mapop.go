@@ -40,46 +40,59 @@ func NewMap(name string, in, out *Stream, fn MapFunc, instr core.Instrumenter) *
 // Name implements Operator.
 func (m *Map) Name() string { return m.name }
 
-// Run implements Operator.
+// Run implements Operator. The inner loop iterates input batches and
+// flushes the output once per batch, before blocking for more input. The
+// emit closure is allocated once per Run — not once per tuple — and reads
+// the current input from the enclosing loop's variables.
 func (m *Map) Run(ctx context.Context) error {
-	defer m.out.Close()
+	defer m.out.CloseSend(ctx)
+	var (
+		cur     core.Tuple
+		emitted bool
+		emitErr error
+	)
+	emit := func(out core.Tuple) {
+		if emitErr != nil {
+			return
+		}
+		if om, im := core.MetaOf(out), core.MetaOf(cur); om != nil && im != nil {
+			om.MergeStimulus(im.Stimulus())
+		}
+		m.instr.OnMap(out, cur)
+		emitted = true
+		m.lastOut, m.haveLast = out.Timestamp(), true
+		emitErr = m.out.Send(ctx, out)
+	}
 	for {
-		t, ok, err := m.in.Recv(ctx)
+		batch, ok, err := m.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("map %q: %w", m.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		if core.IsHeartbeat(t) {
-			m.lastOut, m.haveLast = t.Timestamp(), true
-			if err := m.out.Send(ctx, t); err != nil {
-				return fmt.Errorf("map %q: %w", m.name, err)
+		for _, t := range batch {
+			if core.IsHeartbeat(t) {
+				m.lastOut, m.haveLast = t.Timestamp(), true
+				if err := m.out.Send(ctx, t); err != nil {
+					return fmt.Errorf("map %q: %w", m.name, err)
+				}
+				continue
 			}
-			continue
-		}
-		var emitErr error
-		emitted := false
-		m.fn(t, func(out core.Tuple) {
+			cur, emitted, emitErr = t, false, nil
+			m.fn(t, emit)
 			if emitErr != nil {
-				return
+				return fmt.Errorf("map %q: %w", m.name, emitErr)
 			}
-			if om, im := core.MetaOf(out), core.MetaOf(t); om != nil && im != nil {
-				om.MergeStimulus(im.Stimulus())
+			if !emitted && (!m.haveLast || t.Timestamp() > m.lastOut) {
+				m.lastOut, m.haveLast = t.Timestamp(), true
+				if err := m.out.Send(ctx, core.NewHeartbeat(t.Timestamp())); err != nil {
+					return fmt.Errorf("map %q: %w", m.name, err)
+				}
 			}
-			m.instr.OnMap(out, t)
-			emitted = true
-			m.lastOut, m.haveLast = out.Timestamp(), true
-			emitErr = m.out.Send(ctx, out)
-		})
-		if emitErr != nil {
-			return fmt.Errorf("map %q: %w", m.name, emitErr)
 		}
-		if !emitted && (!m.haveLast || t.Timestamp() > m.lastOut) {
-			m.lastOut, m.haveLast = t.Timestamp(), true
-			if err := m.out.Send(ctx, core.NewHeartbeat(t.Timestamp())); err != nil {
-				return fmt.Errorf("map %q: %w", m.name, err)
-			}
+		if err := m.out.Flush(ctx); err != nil {
+			return fmt.Errorf("map %q: %w", m.name, err)
 		}
 	}
 }

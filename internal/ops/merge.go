@@ -17,6 +17,12 @@ type tsMerge struct {
 	has    []bool
 	done   []bool
 	open   int
+
+	// onStarve, when non-nil, runs before a refill that would block on an
+	// input channel. Merge operators set it to flush their output stream, so
+	// everything they have produced is visible downstream while they wait —
+	// the batched-transport liveness rule (see Stream.Flush).
+	onStarve func(ctx context.Context) error
 }
 
 func newTSMerge(inputs []*Stream) *tsMerge {
@@ -37,6 +43,11 @@ func (m *tsMerge) Next(ctx context.Context) (t core.Tuple, input int, ok bool, e
 	for i := range m.inputs {
 		if m.done[i] || m.has[i] {
 			continue
+		}
+		if !m.inputs[i].CanRecv() && m.onStarve != nil {
+			if err := m.onStarve(ctx); err != nil {
+				return nil, 0, false, err
+			}
 		}
 		tup, alive, err := m.inputs[i].Recv(ctx)
 		if err != nil {

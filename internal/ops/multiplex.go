@@ -33,34 +33,42 @@ func NewMultiplex(name string, in *Stream, outs []*Stream, instr core.Instrument
 // Name implements Operator.
 func (x *Multiplex) Name() string { return x.name }
 
-// Run implements Operator.
+// Run implements Operator. The inner loop iterates input batches and
+// flushes every branch once per batch, before blocking for more input.
 func (x *Multiplex) Run(ctx context.Context) error {
-	defer closeAll(x.outs)
+	defer closeAll(ctx, x.outs)
 	clone := x.instr.NeedsMultiplexClone()
 	for {
-		t, ok, err := x.in.Recv(ctx)
+		batch, ok, err := x.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("multiplex %q: %w", x.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		for _, out := range x.outs {
-			branch := t
-			switch {
-			case core.IsHeartbeat(t):
-				// Each branch gets its own marker: a shared one could be
-				// mutated concurrently by the branches' instrumenters.
-				branch = core.NewHeartbeat(t.Timestamp())
-			case clone:
-				c, ok := t.(core.Cloneable)
-				if !ok {
-					return fmt.Errorf("multiplex %q: %w (%T)", x.name, ErrNotCloneable, t)
+		for _, t := range batch {
+			for _, out := range x.outs {
+				branch := t
+				switch {
+				case core.IsHeartbeat(t):
+					// Each branch gets its own marker: a shared one could be
+					// mutated concurrently by the branches' instrumenters.
+					branch = core.NewHeartbeat(t.Timestamp())
+				case clone:
+					c, ok := t.(core.Cloneable)
+					if !ok {
+						return fmt.Errorf("multiplex %q: %w (%T)", x.name, ErrNotCloneable, t)
+					}
+					branch = c.CloneTuple()
+					x.instr.OnMultiplex(branch, t)
 				}
-				branch = c.CloneTuple()
-				x.instr.OnMultiplex(branch, t)
+				if err := out.Send(ctx, branch); err != nil {
+					return fmt.Errorf("multiplex %q: %w", x.name, err)
+				}
 			}
-			if err := out.Send(ctx, branch); err != nil {
+		}
+		for _, out := range x.outs {
+			if err := out.Flush(ctx); err != nil {
 				return fmt.Errorf("multiplex %q: %w", x.name, err)
 			}
 		}

@@ -66,10 +66,22 @@ func shardKeyOf(t core.Tuple) string {
 
 // Partition hash-routes one timestamp-sorted keyed stream across n shard
 // streams. Every shard's output stays timestamp-sorted (a subsequence of a
-// sorted stream), and whenever the input watermark advances the other
-// shards receive a Heartbeat carrying it: a shard whose keys go quiet would
-// otherwise stop closing windows, stalling the FanIn's deterministic merge
-// and — through backpressure — its sibling shards.
+// sorted stream followed by at most one trailing watermark per flush), and
+// the shards whose watermark lags are brought up to date with a Heartbeat:
+// a shard whose keys go quiet would otherwise stop closing windows,
+// stalling the FanIn's deterministic merge and — through backpressure — its
+// sibling shards.
+//
+// Watermarks are broadcast once per flushed input batch, not once per
+// distinct input timestamp: the per-tuple (n-1)-way heartbeat fan-out of
+// the original design made the partitioner O(n) channel operations per
+// tuple on high-resolution streams, dominating the instrumentation overhead
+// the paper measures. Delaying a sibling's watermark to the batch boundary
+// never changes the sink-observable output — a shard aggregate's window
+// contents are fixed by its own routed tuples, watermarks only decide when
+// due windows close between appends, and the FanIn's (timestamp, key) merge
+// re-serialises emissions deterministically — it only coarsens heartbeat
+// traffic from O(n) per tuple to O(n / batch size).
 type Partition struct {
 	name string
 	in   *Stream
@@ -78,6 +90,9 @@ type Partition struct {
 
 	lastWM int64
 	haveWM bool
+	// shardWM[i] is the highest event time delivered to shard i (data or
+	// heartbeat); shards at the current watermark need no marker.
+	shardWM []int64
 }
 
 var _ Operator = (*Partition)(nil)
@@ -92,47 +107,59 @@ func (p *Partition) Name() string { return p.name }
 
 // Run implements Operator.
 func (p *Partition) Run(ctx context.Context) error {
-	defer closeAll(p.outs)
+	defer closeAll(ctx, p.outs)
+	p.shardWM = make([]int64, len(p.outs))
+	for i := range p.shardWM {
+		p.shardWM[i] = int64(-1) << 62
+	}
 	for {
-		t, ok, err := p.in.Recv(ctx)
+		batch, ok, err := p.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("partition %q: %w", p.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		if core.IsHeartbeat(t) {
-			if err := p.broadcast(ctx, t.Timestamp(), -1); err != nil {
+		for _, t := range batch {
+			ts := t.Timestamp()
+			if !p.haveWM || ts > p.lastWM {
+				p.lastWM, p.haveWM = ts, true
+			}
+			if core.IsHeartbeat(t) {
+				continue // folded into the batch-boundary broadcast
+			}
+			shard := shardIndex(p.key(t), len(p.outs))
+			if ts > p.shardWM[shard] {
+				p.shardWM[shard] = ts
+			}
+			if err := p.outs[shard].Send(ctx, t); err != nil {
 				return fmt.Errorf("partition %q: %w", p.name, err)
 			}
-			continue
 		}
-		shard := shardIndex(p.key(t), len(p.outs))
-		// The routed tuple itself advances its shard's watermark; the
-		// siblings need a marker before it is sent so no shard lags.
-		if err := p.broadcast(ctx, t.Timestamp(), shard); err != nil {
+		if err := p.broadcast(ctx); err != nil {
 			return fmt.Errorf("partition %q: %w", p.name, err)
 		}
-		if err := p.outs[shard].Send(ctx, t); err != nil {
-			return fmt.Errorf("partition %q: %w", p.name, err)
+		for _, out := range p.outs {
+			if err := out.Flush(ctx); err != nil {
+				return fmt.Errorf("partition %q: %w", p.name, err)
+			}
 		}
 	}
 }
 
-// broadcast sends a watermark Heartbeat to every shard except skip when the
-// watermark advances. Each shard gets its own marker object (a shared one
-// could be mutated concurrently downstream). Coalescing on the last
-// broadcast watermark keeps the cost to one fan-out per distinct timestamp.
-func (p *Partition) broadcast(ctx context.Context, ts int64, skip int) error {
-	if p.haveWM && ts <= p.lastWM {
+// broadcast sends the current watermark to every shard still below it, once
+// per flushed batch. Each shard gets its own marker object (a shared one
+// could be mutated concurrently downstream).
+func (p *Partition) broadcast(ctx context.Context) error {
+	if !p.haveWM {
 		return nil
 	}
-	p.lastWM, p.haveWM = ts, true
 	for i, out := range p.outs {
-		if i == skip {
+		if p.shardWM[i] >= p.lastWM {
 			continue
 		}
-		if err := out.Send(ctx, core.NewHeartbeat(ts)); err != nil {
+		p.shardWM[i] = p.lastWM
+		if err := out.Send(ctx, core.NewHeartbeat(p.lastWM)); err != nil {
 			return err
 		}
 	}
@@ -169,7 +196,7 @@ func (f *FanIn) Name() string { return f.name }
 
 // Run implements Operator.
 func (f *FanIn) Run(ctx context.Context) error {
-	defer f.out.Close()
+	defer f.out.CloseSend(ctx)
 	heads := make([]core.Tuple, len(f.ins))
 	has := make([]bool, len(f.ins))
 	done := make([]bool, len(f.ins))
@@ -177,6 +204,13 @@ func (f *FanIn) Run(ctx context.Context) error {
 		for i, in := range f.ins {
 			if done[i] || has[i] {
 				continue
+			}
+			if !in.CanRecv() {
+				// About to block on a shard: make everything merged so far
+				// visible downstream first (see Stream.Flush).
+				if err := f.out.Flush(ctx); err != nil {
+					return fmt.Errorf("fan-in %q: %w", f.name, err)
+				}
 			}
 			t, alive, err := in.Recv(ctx)
 			if err != nil {
@@ -247,8 +281,9 @@ func headLess(a, b core.Tuple) bool {
 // therefore its provenance chain and window folds — is byte-identical to
 // the serial operator's, and the FanIn restores the (window, key) emission
 // order. chanCap sizes the internal shard streams (<= 0 selects
-// DefaultStreamCapacity).
-func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap int) ([]Operator, error) {
+// DefaultStreamCapacity); batchSize sets their batch size (<= 0 selects 1),
+// amortising partition/fan-in channel operations across tuple vectors.
+func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded aggregate: parallelism must be at least 2")
 	}
@@ -271,8 +306,8 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 	shardIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range shardIns {
-		shardIns[i] = NewStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap)
-		shardOuts[i] = NewStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap)
+		shardIns[i] = NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
+		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
 		operators = append(operators, NewAggregate(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, instr))
 	}
 	operators = append(operators,
@@ -292,7 +327,7 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 // keys are emitted in key order rather than the serial operator's arrival
 // order; the output is an identical timestamp-sorted multiset with a
 // deterministic order for every parallelism level.
-func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap int) ([]Operator, error) {
+func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded join: parallelism must be at least 2")
 	}
@@ -317,9 +352,9 @@ func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.
 	rightIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range leftIns {
-		leftIns[i] = NewStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap)
-		rightIns[i] = NewStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap)
-		shardOuts[i] = NewStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap)
+		leftIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
+		rightIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
+		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
 		operators = append(operators, NewJoin(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, instr))
 	}
 	operators = append(operators,

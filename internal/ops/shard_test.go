@@ -29,7 +29,7 @@ func TestPartitionRoutesByKeyAndBroadcastsWatermarks(t *testing.T) {
 	}
 	go func() {
 		for _, tp := range tuples {
-			in.ch <- tp
+			in.ch <- Batch{tp}
 		}
 		in.Close()
 	}()
@@ -88,12 +88,12 @@ func TestFanInRestoresKeyOrderAndUnwraps(t *testing.T) {
 	s0 := NewStream("s0", 8)
 	s1 := NewStream("s1", 8)
 	out := NewStream("out", 16)
-	s0.ch <- &shardTagged{inner: vt(1, "a", 0), key: "a"}
-	s0.ch <- &shardTagged{inner: vt(1, "c", 0), key: "c"}
-	s0.ch <- &shardTagged{inner: vt(2, "a", 0), key: "a"}
+	s0.ch <- Batch{&shardTagged{inner: vt(1, "a", 0), key: "a"}}
+	s0.ch <- Batch{&shardTagged{inner: vt(1, "c", 0), key: "c"}}
+	s0.ch <- Batch{&shardTagged{inner: vt(2, "a", 0), key: "a"}}
 	s0.Close()
-	s1.ch <- &shardTagged{inner: vt(1, "b", 0), key: "b"}
-	s1.ch <- &shardTagged{inner: vt(2, "d", 0), key: "d"}
+	s1.ch <- Batch{&shardTagged{inner: vt(1, "b", 0), key: "b"}}
+	s1.ch <- Batch{&shardTagged{inner: vt(2, "d", 0), key: "d"}}
 	s1.Close()
 
 	f := NewFanIn("merge", []*Stream{s0, s1}, out)
@@ -147,7 +147,7 @@ func TestShardAggregateMatchesSerialByteForByte(t *testing.T) {
 	for _, parallelism := range []int{2, 3, 4} {
 		in := feed(build()...)
 		out := NewStream("out", 4096)
-		operators, err := ShardAggregate("agg", in, out, spec, core.Noop{}, parallelism, 64)
+		operators, err := ShardAggregate("agg", in, out, spec, core.Noop{}, parallelism, 64, 1)
 		runShardSubgraph(t, operators, err)
 		got := drain(t, out)
 		if len(got) != len(serialOut) {
@@ -211,7 +211,7 @@ func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
 	for _, parallelism := range []int{2, 4} {
 		left, right := feed(buildSide(1)...), feed(buildSide(2)...)
 		out := NewStream("out", 1<<14)
-		operators, err := ShardJoin("join", left, right, out, spec, core.Noop{}, parallelism, 64)
+		operators, err := ShardJoin("join", left, right, out, spec, core.Noop{}, parallelism, 64, 1)
 		runShardSubgraph(t, operators, err)
 		got := drain(t, out)
 		gotCanon := canon(got)
@@ -235,10 +235,10 @@ func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
 
 func TestShardSpecValidation(t *testing.T) {
 	in, out := NewStream("in", 1), NewStream("out", 1)
-	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Fold: sumFold}, core.Noop{}, 4, 0); err == nil {
+	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Fold: sumFold}, core.Noop{}, 4, 0, 0); err == nil {
 		t.Fatal("sharded aggregate without a Key must be rejected")
 	}
-	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Key: keyOf, Fold: sumFold}, core.Noop{}, 1, 0); err == nil {
+	if _, err := ShardAggregate("a", in, out, AggregateSpec{WS: 1, WA: 1, Key: keyOf, Fold: sumFold}, core.Noop{}, 1, 0, 0); err == nil {
 		t.Fatal("parallelism < 2 must be rejected")
 	}
 	spec := JoinSpec{
@@ -246,7 +246,7 @@ func TestShardSpecValidation(t *testing.T) {
 		Predicate: func(l, r core.Tuple) bool { return true },
 		Combine:   func(l, r core.Tuple) core.Tuple { return nil },
 	}
-	if _, err := ShardJoin("j", in, in, out, spec, core.Noop{}, 4, 0); err == nil {
+	if _, err := ShardJoin("j", in, in, out, spec, core.Noop{}, 4, 0, 0); err == nil {
 		t.Fatal("sharded join without key extractors must be rejected")
 	}
 }

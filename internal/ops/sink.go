@@ -48,23 +48,25 @@ func (s *Sink) Run(ctx context.Context) error {
 		now = func() int64 { return time.Now().UnixNano() }
 	}
 	for {
-		t, ok, err := s.in.Recv(ctx)
+		batch, ok, err := s.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("sink %q: %w", s.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		if core.IsHeartbeat(t) {
-			continue // watermark markers never reach the sink function
-		}
-		if s.OnLatency != nil {
-			if m := core.MetaOf(t); m != nil && m.Stimulus() > 0 {
-				s.OnLatency(t, now()-m.Stimulus())
+		for _, t := range batch {
+			if core.IsHeartbeat(t) {
+				continue // watermark markers never reach the sink function
 			}
-		}
-		if err := s.fn(t); err != nil {
-			return fmt.Errorf("sink %q: %w", s.name, err)
+			if s.OnLatency != nil {
+				if m := core.MetaOf(t); m != nil && m.Stimulus() > 0 {
+					s.OnLatency(t, now()-m.Stimulus())
+				}
+			}
+			if err := s.fn(t); err != nil {
+				return fmt.Errorf("sink %q: %w", s.name, err)
+			}
 		}
 	}
 }

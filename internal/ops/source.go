@@ -11,6 +11,13 @@ import (
 // SourceFunc generates the source tuples of a query. It must call emit with
 // tuples in non-decreasing timestamp order and return when the stream is
 // exhausted (or when emit returns an error, which it must propagate).
+//
+// On a batched stream (see query.WithBatchSize), emitted tuples are
+// published downstream when the batch fills, when the Source's Rate pacer
+// is about to sleep, and at end-of-stream. The engine cannot see the
+// generator blocking inside its own code, so a generator that paces itself
+// (live input, sleeps between emits) should either set Source.Rate or run
+// unbatched — otherwise a partial batch stays pending while it blocks.
 type SourceFunc func(ctx context.Context, emit func(core.Tuple) error) error
 
 // Source creates the source tuples fed to a query (paper §2). It stamps each
@@ -45,7 +52,7 @@ func (s *Source) Name() string { return s.name }
 
 // Run implements Operator.
 func (s *Source) Run(ctx context.Context) error {
-	defer s.out.Close()
+	defer s.out.CloseSend(ctx)
 	now := s.Now
 	if now == nil {
 		now = func() int64 { return time.Now().UnixNano() }
@@ -54,14 +61,30 @@ func (s *Source) Run(ctx context.Context) error {
 	if s.Rate > 0 {
 		pacer = newRateLimiter(s.Rate)
 	}
+	// The stimulus clock is read once per output batch: tuples sharing a
+	// batch cross every downstream queue together, so they share one
+	// arrival instant. At batch size 1 this is a read per tuple, the
+	// pre-batching behaviour.
+	var stamp int64
 	emit := func(t core.Tuple) error {
 		if pacer != nil {
-			if err := pacer.wait(ctx); err != nil {
-				return fmt.Errorf("source %q: %w", s.name, err)
+			if d := pacer.reserve(); d >= time.Millisecond {
+				// The source is about to idle: flush the pending batch so
+				// downstream is never starved by a slowly filling batch.
+				// A pacer that is not behind schedule keeps batching.
+				if err := s.out.Flush(ctx); err != nil {
+					return fmt.Errorf("source %q: %w", s.name, err)
+				}
+				if err := pacer.sleep(ctx, d); err != nil {
+					return fmt.Errorf("source %q: %w", s.name, err)
+				}
 			}
 		}
+		if s.out.PendingLen() == 0 {
+			stamp = now()
+		}
 		if m := core.MetaOf(t); m != nil {
-			m.SetStimulus(now())
+			m.SetStimulus(stamp)
 		}
 		s.instr.OnSource(t)
 		if s.OnEmit != nil {
@@ -90,12 +113,15 @@ func newRateLimiter(perSecond float64) *rateLimiter {
 	}
 }
 
-func (r *rateLimiter) wait(ctx context.Context) error {
+// reserve advances the virtual schedule by one event and returns how far
+// ahead of it the caller is — how long sleep would pause.
+func (r *rateLimiter) reserve() time.Duration {
 	r.next = r.next.Add(r.interval)
-	d := time.Until(r.next)
-	if d < time.Millisecond {
-		return nil
-	}
+	return time.Until(r.next)
+}
+
+// sleep pauses for d (a duration returned by reserve).
+func (r *rateLimiter) sleep(ctx context.Context, d time.Duration) error {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {

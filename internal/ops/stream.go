@@ -17,29 +17,101 @@ import (
 // without an explicit capacity. Streams are the inter-operator queues of an
 // SPE instance (paper §2); they need slack for pipelining, unlike the
 // signalling channels for which idiomatic Go prefers capacity one or none.
+// The capacity counts batches, not tuples, so a batched stream holds up to
+// capacity x batch size tuples.
 const DefaultStreamCapacity = 256
+
+// Batch is a vector of tuples moved across a stream in one channel
+// operation. Batches are never empty and preserve the stream's timestamp
+// order; the batch boundaries themselves carry no meaning — consumers may
+// observe different boundaries than the producer created (a consumer-side
+// remainder after per-tuple Recv calls is returned as a smaller batch).
+type Batch []core.Tuple
 
 // Stream is a named, bounded, timestamp-sorted sequence of tuples connecting
 // exactly one producer operator to exactly one consumer operator. The
 // producer closes the stream to signal end-of-stream.
+//
+// Tuples cross the underlying channel in batches of up to the stream's batch
+// size, amortising channel synchronisation across the batch (the framework
+// overhead the paper's small-constant-per-tuple claim competes with). A
+// batch is flushed downstream when it reaches the batch size, when the
+// producer calls Flush — operators flush whenever they would otherwise block
+// waiting for input, so a batch never stalls a downstream merge that is
+// ready to consume it — and on CloseSend (flush-on-close). Within a pending
+// batch, a watermark heartbeat is coalesced into whatever follows it: a
+// later heartbeat replaces it, and a data tuple at or past its event time
+// subsumes it (both advertise at least the same watermark), so batching
+// strictly reduces heartbeat traffic.
 type Stream struct {
 	name string
-	ch   chan core.Tuple
+	ch   chan Batch
+	max  int
+
+	// pending is the producer-side accumulating batch; owned by the single
+	// producer goroutine, so it needs no lock. nextCap adapts the capacity
+	// of each fresh pending batch to the size of the last flushed one, so a
+	// stream that flushes small partial batches (a starving merge, a sparse
+	// filter) does not allocate full-size vectors for them.
+	pending Batch
+	nextCap int
+
+	// free recycles drained batch backing arrays from the consumer back to
+	// the producer (synchronised by the channel itself), so steady-state
+	// transport allocates nothing per batch — and, at batch size 1, nothing
+	// per tuple, matching the pre-batching chan-of-tuples transport.
+	free chan Batch
+
+	// rq is the consumer-side dequeued batch being drained by Recv; owned by
+	// the single consumer goroutine. lent is the batch most recently handed
+	// out by RecvBatch; it is reclaimed at the consumer's next receive call,
+	// by which point the operator loop that borrowed it has fully processed
+	// it (returned batches are valid only until that next call).
+	rq    Batch
+	rqi   int
+	lent  Batch
+	ended bool
 }
 
-// NewStream returns a stream with the given name and capacity (capacity <= 0
-// selects DefaultStreamCapacity).
+// NewStream returns an unbatched stream (batch size 1) with the given name
+// and capacity (capacity <= 0 selects DefaultStreamCapacity): every Send
+// publishes immediately, the pre-batching behaviour.
 func NewStream(name string, capacity int) *Stream {
+	return NewBatchedStream(name, capacity, 1)
+}
+
+// NewBatchedStream returns a stream with the given name, channel capacity
+// (in batches; <= 0 selects DefaultStreamCapacity) and batch size (<= 0
+// selects 1, i.e. unbatched).
+func NewBatchedStream(name string, capacity, batch int) *Stream {
 	if capacity <= 0 {
 		capacity = DefaultStreamCapacity
 	}
-	return &Stream{name: name, ch: make(chan core.Tuple, capacity)}
+	if batch <= 0 {
+		batch = 1
+	}
+	return &Stream{
+		name:    name,
+		ch:      make(chan Batch, capacity),
+		max:     batch,
+		nextCap: batch,
+		free:    make(chan Batch, 8),
+	}
 }
 
 // Name returns the stream's name.
 func (s *Stream) Name() string { return s.name }
 
-// Send delivers t downstream, blocking while the stream is full. It fails
+// PendingLen returns the number of tuples accumulated in the producer-side
+// pending batch (0 right after a flush). Only the producer may call it.
+func (s *Stream) PendingLen() int { return len(s.pending) }
+
+// BatchSize returns the stream's maximum batch size.
+func (s *Stream) BatchSize() int { return s.max }
+
+// Send delivers t downstream, blocking while the stream is full. With a
+// batch size above one, t is first accumulated into the pending batch and
+// only published when the batch fills (or on Flush/CloseSend). It fails
 // with ctx.Err() only if the query is cancelled while the stream is full:
 // like Recv it prefers progress over reporting cancellation, so after a
 // cancellation operators drain deterministically — a shard worker that can
@@ -47,13 +119,58 @@ func (s *Stream) Name() string { return s.name }
 // closes or stops consuming its stream — instead of racing ctx.Done against
 // a ready channel.
 func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
+	if n := len(s.pending); n > 0 && core.IsHeartbeat(s.pending[n-1]) && s.pending[n-1].Timestamp() <= t.Timestamp() {
+		// A trailing pending heartbeat is subsumed by anything at or past
+		// its event time: the successor advertises at least the same
+		// watermark.
+		s.pending[n-1] = t
+	} else {
+		if s.pending == nil {
+			select {
+			case b := <-s.free:
+				s.pending = b
+			default:
+				s.pending = make(Batch, 0, s.nextCap)
+			}
+		}
+		s.pending = append(s.pending, t)
+	}
+	if len(s.pending) >= s.max {
+		return s.Flush(ctx)
+	}
+	return nil
+}
+
+// Flush publishes the pending batch, if any. Operators call it after
+// processing each input batch and before blocking for more input, so every
+// tuple an operator has produced is visible downstream whenever the
+// operator is idle — the liveness property deterministic multi-input merges
+// rely on.
+func (s *Stream) Flush(ctx context.Context) error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	b := s.pending
+	s.pending = nil
+	if s.max > 1 {
+		// The next batch will likely be about this size; cap the fresh
+		// allocation accordingly (append still grows it when traffic
+		// bursts past the estimate).
+		s.nextCap = len(b)
+		if s.nextCap < 4 {
+			s.nextCap = 4
+		}
+		if s.nextCap > s.max {
+			s.nextCap = s.max
+		}
+	}
 	select {
-	case s.ch <- t:
+	case s.ch <- b:
 		return nil
 	default:
 	}
 	select {
-	case s.ch <- t:
+	case s.ch <- b:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("stream %q: send: %w", s.name, ctx.Err())
@@ -65,21 +182,136 @@ func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
 // cancellation (see Send); ctx.Err() is returned only when the stream is
 // empty and still open.
 func (s *Stream) Recv(ctx context.Context) (t core.Tuple, ok bool, err error) {
+	if s.rqi < len(s.rq) {
+		t = s.rq[s.rqi]
+		s.rq[s.rqi] = nil
+		s.rqi++
+		if s.rqi == len(s.rq) {
+			s.recycle(s.rq)
+			s.rq, s.rqi = nil, 0
+		}
+		return t, true, nil
+	}
+	b, ok, err := s.recvBatch(ctx)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	t, b[0] = b[0], nil
+	if len(b) == 1 {
+		s.recycle(b)
+	} else {
+		s.rq, s.rqi = b, 1
+	}
+	return t, true, nil
+}
+
+// RecvBatch returns the next batch of tuples — the remainder of a batch
+// partially drained by Recv, or the next published batch. ok is false when
+// the stream has ended. Cancellation semantics match Recv. The returned
+// batch is only valid until the consumer's next Recv/RecvBatch/CanRecv
+// call, which reclaims its backing array for reuse; operator loops fully
+// process one batch before requesting the next, so they never observe the
+// reuse.
+func (s *Stream) RecvBatch(ctx context.Context) (b Batch, ok bool, err error) {
+	if s.rqi < len(s.rq) {
+		b = s.rq[s.rqi:]
+		s.lent, s.rq, s.rqi = s.rq, nil, 0
+		return b, true, nil
+	}
+	b, ok, err = s.recvBatch(ctx)
+	if ok {
+		s.lent = b
+	}
+	return b, ok, err
+}
+
+// recvBatch dequeues the next published batch, blocking while the stream is
+// empty and open. It first reclaims the batch lent out by the previous
+// RecvBatch, which the operator loop has finished with by now.
+func (s *Stream) recvBatch(ctx context.Context) (b Batch, ok bool, err error) {
+	if s.lent != nil {
+		s.recycle(s.lent)
+		s.lent = nil
+	}
+	if s.ended {
+		return nil, false, nil
+	}
 	select {
-	case t, ok = <-s.ch:
-		return t, ok, nil
+	case b, ok = <-s.ch:
+		if !ok {
+			s.ended = true
+			return nil, false, nil
+		}
+		return b, true, nil
 	default:
 	}
 	select {
-	case t, ok = <-s.ch:
-		return t, ok, nil
+	case b, ok = <-s.ch:
+		if !ok {
+			s.ended = true
+			return nil, false, nil
+		}
+		return b, true, nil
 	case <-ctx.Done():
 		return nil, false, fmt.Errorf("stream %q: recv: %w", s.name, ctx.Err())
 	}
 }
 
-// Close signals end-of-stream to the consumer. Only the producer may call it,
-// exactly once.
+// recycle clears a drained batch and offers its backing array back to the
+// producer. Slots at or past len are nil by construction (fresh arrays are
+// zeroed and recycles clear the used prefix), so clearing the used prefix
+// keeps the whole array reference-free.
+func (s *Stream) recycle(b Batch) {
+	if cap(b) == 0 {
+		return
+	}
+	for i := range b {
+		b[i] = nil
+	}
+	select {
+	case s.free <- b[:0]:
+	default:
+	}
+}
+
+// CanRecv reports whether Recv (or RecvBatch) would return without blocking
+// on the channel: a batch is being drained, a published batch is waiting, or
+// the stream has ended. Multi-input merges use it to flush their own output
+// before a refill that would block.
+func (s *Stream) CanRecv() bool {
+	if s.rqi < len(s.rq) || s.ended {
+		return true
+	}
+	if s.lent != nil {
+		s.recycle(s.lent)
+		s.lent = nil
+	}
+	select {
+	case b, ok := <-s.ch:
+		if !ok {
+			s.ended = true
+			return true
+		}
+		s.rq, s.rqi = b, 0
+		return true
+	default:
+		return false
+	}
+}
+
+// CloseSend flushes the pending batch and signals end-of-stream to the
+// consumer (flush-on-close). Only the producer may call it, exactly once.
+// If the query is cancelled while the stream is full, the pending batch is
+// dropped — the consumer is aborting anyway — so close never blocks past
+// cancellation.
+func (s *Stream) CloseSend(ctx context.Context) {
+	_ = s.Flush(ctx)
+	close(s.ch)
+}
+
+// Close signals end-of-stream without flushing; callers that batch (batch
+// size > 1) must use CloseSend. It remains for producers that bypass Send,
+// e.g. tests pre-filling a stream.
 func (s *Stream) Close() { close(s.ch) }
 
 // Operator is a runnable query vertex. Run consumes the operator's input
@@ -91,10 +323,10 @@ type Operator interface {
 	Run(ctx context.Context) error
 }
 
-// closeAll closes every stream in outs; operators defer it so downstream
-// consumers always observe end-of-stream, even on error paths.
-func closeAll(outs []*Stream) {
+// closeAll flush-closes every stream in outs; operators defer it so
+// downstream consumers always observe end-of-stream, even on error paths.
+func closeAll(ctx context.Context, outs []*Stream) {
 	for _, s := range outs {
-		s.Close()
+		s.CloseSend(ctx)
 	}
 }

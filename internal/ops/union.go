@@ -33,8 +33,9 @@ func (u *Union) Name() string { return u.name }
 
 // Run implements Operator.
 func (u *Union) Run(ctx context.Context) error {
-	defer u.out.Close()
+	defer u.out.CloseSend(ctx)
 	merge := newTSMerge(u.ins)
+	merge.onStarve = u.out.Flush
 	for {
 		t, _, ok, err := merge.Next(ctx)
 		if err != nil {

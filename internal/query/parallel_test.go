@@ -212,44 +212,52 @@ func TestParallelJoinIdenticalToSerial(t *testing.T) {
 // fan-in's cancellation behaviour: cancelling the query context while
 // windows are open and shard queues are full must not deadlock — every
 // shard worker drains, closes its outputs and returns the context error.
+// The batched variants exercise the same drain with multi-tuple stream
+// batches: a cancelled operator must also dispose of its pending
+// (unflushed) batch without blocking on a dead consumer.
 func TestParallelCancelMidWindowDrains(t *testing.T) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	b := query.New("cancel", query.WithInstrumenter(&core.Genealog{}), query.WithChannelCapacity(4))
-	src := b.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
-		for i := 0; ; i++ {
-			// Windows are huge (WS below), so the run is permanently
-			// mid-window; cancel once the shard queues have filled.
-			if i == 10_000 {
-				cancel()
+	for _, batch := range []int{1, 64} {
+		t.Run("batch-"+strconv.Itoa(batch), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			b := query.New("cancel", query.WithInstrumenter(&core.Genealog{}),
+				query.WithChannelCapacity(4), query.WithBatchSize(batch))
+			src := b.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
+				for i := 0; ; i++ {
+					// Windows are huge (WS below), so the run is permanently
+					// mid-window; cancel once the shard queues have filled.
+					if i == 10_000 {
+						cancel()
+					}
+					if err := emit(pt(int64(i), "k"+strconv.Itoa(i%8), int64(i))); err != nil {
+						return err
+					}
+				}
+			})
+			agg := b.AddAggregate("agg", ops.AggregateSpec{
+				WS: 1 << 40, WA: 1 << 40, Key: pKey,
+				Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+					return pt(0, key, int64(len(w)))
+				},
+			}).Parallel(4)
+			sink := b.AddSink("sink", nil)
+			b.Connect(src, agg)
+			b.Connect(agg, sink)
+			q, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
 			}
-			if err := emit(pt(int64(i), "k"+strconv.Itoa(i%8), int64(i))); err != nil {
-				return err
+			done := make(chan error, 1)
+			go func() { done <- q.Run(ctx) }()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("Run returned %v, want a context.Canceled chain", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("query deadlocked after mid-window cancellation with Parallelism(4)")
 			}
-		}
-	})
-	agg := b.AddAggregate("agg", ops.AggregateSpec{
-		WS: 1 << 40, WA: 1 << 40, Key: pKey,
-		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
-			return pt(0, key, int64(len(w)))
-		},
-	}).Parallel(4)
-	sink := b.AddSink("sink", nil)
-	b.Connect(src, agg)
-	b.Connect(agg, sink)
-	q, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- q.Run(ctx) }()
-	select {
-	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("Run returned %v, want a context.Canceled chain", err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("query deadlocked after mid-window cancellation with Parallelism(4)")
+		})
 	}
 }
 

@@ -125,13 +125,14 @@ type edge struct {
 
 // Builder accumulates nodes and edges and validates them into a Query.
 type Builder struct {
-	name    string
-	instr   core.Instrumenter
-	chanCap int
-	nodes   []*Node
-	byName  map[string]*Node
-	edges   []edge
-	err     error
+	name      string
+	instr     core.Instrumenter
+	chanCap   int
+	batchSize int
+	nodes     []*Node
+	byName    map[string]*Node
+	edges     []edge
+	err       error
 }
 
 // Option configures a Builder.
@@ -143,9 +144,27 @@ func WithInstrumenter(in core.Instrumenter) Option {
 	return func(b *Builder) { b.instr = in }
 }
 
-// WithChannelCapacity sets the capacity of every stream the builder creates.
+// WithChannelCapacity sets the capacity of every stream the builder creates
+// (in batches — a batched stream holds up to capacity x batch size tuples).
 func WithChannelCapacity(n int) Option {
 	return func(b *Builder) { b.chanCap = n }
+}
+
+// WithBatchSize sets the batch size of every stream the builder creates
+// (including the internal streams of shard-parallel subgraphs): tuples cross
+// each stream in vectors of up to n, amortising per-tuple channel operations.
+// n <= 1 (the default) preserves unbatched per-tuple transport. Batching
+// never changes the sink-observable output or any tuple's contribution
+// graph — operators flush partial batches whenever they would otherwise
+// block on their streams — it only trades per-tuple latency for throughput.
+//
+// One caveat: the engine cannot observe a Source generator blocking inside
+// user code (a live feed, a sleep between emits). A rate-paced Source
+// (Node.Rate) flushes before every pacer sleep; a self-pacing generator
+// that batches should emit steadily or run with batch size 1, or up to
+// n-1 tuples can sit unpublished while it blocks.
+func WithBatchSize(n int) Option {
+	return func(b *Builder) { b.batchSize = n }
 }
 
 // New returns a Builder for a query with the given name.
@@ -268,7 +287,7 @@ func (b *Builder) Build() (*Query, error) {
 	outs := make(map[*Node][]*ops.Stream)
 	inPorts := make(map[*Node]map[string]*ops.Stream)
 	for _, e := range b.edges {
-		s := ops.NewStream(fmt.Sprintf("%s->%s", e.from.name, e.to.name), b.chanCap)
+		s := ops.NewBatchedStream(fmt.Sprintf("%s->%s", e.from.name, e.to.name), b.chanCap, b.batchSize)
 		outs[e.from] = append(outs[e.from], s)
 		ins[e.to] = append(ins[e.to], s)
 		if e.port != PortDefault {
@@ -311,7 +330,7 @@ func (b *Builder) materialiseParallel(n *Node, in, out []*ops.Stream, ports map[
 		if len(in) != 1 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
 		}
-		return ops.ShardAggregate(n.name, in[0], out[0], n.aggSpec, b.instr, n.Parallelism, b.chanCap)
+		return ops.ShardAggregate(n.name, in[0], out[0], n.aggSpec, b.instr, n.Parallelism, b.chanCap, b.batchSize)
 	case KindJoin:
 		if len(in) != 2 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 2 inputs and 1 output, has %d/%d", n.kind, len(in), len(out))
@@ -320,7 +339,7 @@ func (b *Builder) materialiseParallel(n *Node, in, out []*ops.Stream, ports map[
 		if left == nil || right == nil {
 			return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
 		}
-		return ops.ShardJoin(n.name, left, right, out[0], n.joinSpec, b.instr, n.Parallelism, b.chanCap)
+		return ops.ShardJoin(n.name, left, right, out[0], n.joinSpec, b.instr, n.Parallelism, b.chanCap, b.batchSize)
 	default:
 		return nil, fmt.Errorf("parallelism is only supported on aggregate and join nodes, not %s", n.kind)
 	}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// encodeDecodeBatch round-trips one batch through a codec's batch framing
+// over an in-memory pipe.
+func encodeDecodeBatch(t testing.TB, codec Codec, batch []core.Tuple) []core.Tuple {
+	t.Helper()
+	pipe := NewPipe(0)
+	enc := codec.NewEncoder(pipe).(BatchEncoder)
+	dec := codec.NewDecoder(pipe).(BatchDecoder)
+	if err := enc.EncodeBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeBatch(); err != io.EOF {
+		t.Fatalf("expected EOF after one batch, got %v", err)
+	}
+	return got
+}
+
+func TestGobBatchRoundTrip(t *testing.T) {
+	registerWire()
+	in := []core.Tuple{
+		wt(1, "a", 10),
+		core.NewHeartbeat(2),
+		wt(3, "b", 30),
+	}
+	in[0].(*wireTuple).SetID(77)
+	got := encodeDecodeBatch(t, GobCodec{}, in)
+	if len(got) != len(in) {
+		t.Fatalf("decoded %d tuples, want %d", len(got), len(in))
+	}
+	if v := got[0].(*wireTuple); v.Timestamp() != 1 || v.Key != "a" || v.Val != 10 || v.ProvMeta().ID() != 77 {
+		t.Fatalf("tuple 0 mangled: %+v", v)
+	}
+	if !core.IsHeartbeat(got[1]) || got[1].Timestamp() != 2 {
+		t.Fatalf("heartbeat mangled: %T@%d", got[1], got[1].Timestamp())
+	}
+	if v := got[2].(*wireTuple); v.Key != "b" || v.Val != 30 {
+		t.Fatalf("tuple 2 mangled: %+v", v)
+	}
+}
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	registerBinaryTest()
+	in := []core.Tuple{
+		&bwTuple{Base: core.NewBase(5), A: -1, B: 2.5},
+		core.NewHeartbeat(6),
+		&bwTuple{Base: core.NewBase(7), A: 42, B: -0.25},
+	}
+	got := encodeDecodeBatch(t, BinaryCodec{}, in)
+	if len(got) != len(in) {
+		t.Fatalf("decoded %d tuples, want %d", len(got), len(in))
+	}
+	if v := got[0].(*bwTuple); v.Timestamp() != 5 || v.A != -1 || v.B != 2.5 {
+		t.Fatalf("tuple 0 mangled: %+v", v)
+	}
+	if !core.IsHeartbeat(got[1]) || got[1].Timestamp() != 6 {
+		t.Fatalf("heartbeat mangled: %T@%d", got[1], got[1].Timestamp())
+	}
+	if v := got[2].(*bwTuple); v.A != 42 || v.B != -0.25 {
+		t.Fatalf("tuple 2 mangled: %+v", v)
+	}
+}
+
+func TestBinaryBatchRejectsImplausibleCount(t *testing.T) {
+	registerBinaryTest()
+	pipe := NewPipe(0)
+	// A zero count is never produced by EncodeBatch.
+	if _, err := pipe.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	dec := BinaryCodec{}.NewDecoder(pipe).(BatchDecoder)
+	if _, err := dec.DecodeBatch(); err == nil {
+		t.Fatal("zero-count batch frame must be rejected")
+	}
+}
+
+// FuzzBatchRoundTrip fuzzes batch encode/decode round-trips through both
+// codecs: arbitrary batch shapes (sizes, heartbeat positions, extreme field
+// values) must come back exactly, and never crash the decoders.
+func FuzzBatchRoundTrip(f *testing.F) {
+	registerWire()
+	registerBinaryTest()
+	f.Add(uint8(1), uint8(0), int64(0), int64(0), uint64(0), int32(0), 0.0)
+	f.Add(uint8(16), uint8(0xAA), int64(-1), int64(1<<62), uint64(math.MaxUint64), int32(math.MinInt32), math.Inf(1))
+	f.Add(uint8(3), uint8(7), int64(math.MaxInt64), int64(-5), uint64(1), int32(-1), math.SmallestNonzeroFloat64)
+	f.Fuzz(func(t *testing.T, nRaw, hbMask uint8, ts, stim int64, id uint64, a int32, b float64) {
+		n := int(nRaw%16) + 1
+		batch := make([]core.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			its := ts + int64(i)
+			if hbMask&(1<<(i%8)) != 0 {
+				batch = append(batch, core.NewHeartbeat(its))
+				continue
+			}
+			tup := &bwTuple{Base: core.NewBase(its), A: a + int32(i), B: b}
+			tup.SetStimulus(stim)
+			tup.SetID(id)
+			batch = append(batch, tup)
+		}
+		got := encodeDecodeBatch(t, BinaryCodec{}, batch)
+		checkBatch(t, "binary", batch, got)
+
+		// The gob path carries the same batch; heartbeats and payloads must
+		// survive identically. (wireTuple is the registered gob test type.)
+		gobBatch := make([]core.Tuple, len(batch))
+		for i, tup := range batch {
+			if core.IsHeartbeat(tup) {
+				gobBatch[i] = tup
+				continue
+			}
+			w := wt(tup.Timestamp(), "k", int64(tup.(*bwTuple).A))
+			w.SetStimulus(stim)
+			w.SetID(id)
+			gobBatch[i] = w
+		}
+		gotGob := encodeDecodeBatch(t, GobCodec{}, gobBatch)
+		checkBatch(t, "gob", gobBatch, gotGob)
+	})
+}
+
+// checkBatch asserts a decoded batch matches the encoded one in shape,
+// timestamps, heartbeat positions and meta fields.
+func checkBatch(t *testing.T, codec string, want, got []core.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: decoded %d tuples, want %d", codec, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Timestamp() != want[i].Timestamp() {
+			t.Fatalf("%s: tuple %d ts = %d, want %d", codec, i, got[i].Timestamp(), want[i].Timestamp())
+		}
+		if core.IsHeartbeat(want[i]) != core.IsHeartbeat(got[i]) {
+			t.Fatalf("%s: tuple %d heartbeat-ness flipped (%T)", codec, i, got[i])
+		}
+		if core.IsHeartbeat(want[i]) {
+			continue
+		}
+		wm, gm := core.MetaOf(want[i]), core.MetaOf(got[i])
+		if gm.Stimulus() != wm.Stimulus() || gm.ID() != wm.ID() {
+			t.Fatalf("%s: tuple %d meta lost: stim %d/%d id %d/%d",
+				codec, i, gm.Stimulus(), wm.Stimulus(), gm.ID(), wm.ID())
+		}
+		switch w := want[i].(type) {
+		case *bwTuple:
+			g := got[i].(*bwTuple)
+			if g.A != w.A || (g.B != w.B && !(math.IsNaN(g.B) && math.IsNaN(w.B))) {
+				t.Fatalf("%s: tuple %d payload lost: %+v vs %+v", codec, i, g, w)
+			}
+		case *wireTuple:
+			g := got[i].(*wireTuple)
+			if g.Key != w.Key || g.Val != w.Val {
+				t.Fatalf("%s: tuple %d payload lost: %+v vs %+v", codec, i, g, w)
+			}
+		}
+	}
+}

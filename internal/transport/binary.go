@@ -109,8 +109,53 @@ func (BinaryCodec) NewDecoder(r io.Reader) Decoder {
 	return &binaryDecoder{r: bufio.NewReader(r)}
 }
 
+// MaxBatchFrameTuples bounds the tuple count of one binary batch frame, a
+// plausibility check mirroring the per-frame length bound. Callers that
+// accept a user-facing batch size (the harness, genealog-bench) validate
+// against it up front so a run cannot fail mid-flight at the first flush.
+const MaxBatchFrameTuples = 1 << 20
+
 // Encode implements Encoder.
 func (e *binaryEncoder) Encode(t core.Tuple) error {
+	if err := e.writeFrame(t); err != nil {
+		return err
+	}
+	// Flush per tuple: peers must observe tuples promptly (streams, not
+	// batch files). bufio still coalesces the header+payload writes.
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("transport: binary encode: %w", err)
+	}
+	return nil
+}
+
+// EncodeBatch implements BatchEncoder: a u32 tuple count followed by the
+// tuples' individual frames, flushed once — the framing-amortisation the
+// batched stream transport exists for.
+func (e *binaryEncoder) EncodeBatch(batch []core.Tuple) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) > MaxBatchFrameTuples {
+		return fmt.Errorf("transport: binary encode: batch of %d exceeds frame bound %d", len(batch), MaxBatchFrameTuples)
+	}
+	var cntHdr [4]byte
+	binary.LittleEndian.PutUint32(cntHdr[:], uint32(len(batch)))
+	if _, err := e.w.Write(cntHdr[:]); err != nil {
+		return fmt.Errorf("transport: binary encode: %w", err)
+	}
+	for _, t := range batch {
+		if err := e.writeFrame(t); err != nil {
+			return err
+		}
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("transport: binary encode: %w", err)
+	}
+	return nil
+}
+
+// writeFrame writes one tuple's length-prefixed frame without flushing.
+func (e *binaryEncoder) writeFrame(t core.Tuple) error {
 	e.buf = e.buf[:0]
 	var tag uint16
 	var wt WireTuple
@@ -144,11 +189,6 @@ func (e *binaryEncoder) Encode(t core.Tuple) error {
 	if _, err := e.w.Write(e.buf); err != nil {
 		return fmt.Errorf("transport: binary encode: %w", err)
 	}
-	// Flush per tuple: peers must observe tuples promptly (streams, not
-	// batch files). bufio still coalesces the header+payload writes.
-	if err := e.w.Flush(); err != nil {
-		return fmt.Errorf("transport: binary encode: %w", err)
-	}
 	return nil
 }
 
@@ -161,7 +201,40 @@ func (d *binaryDecoder) Decode() (core.Tuple, error) {
 		}
 		return nil, fmt.Errorf("transport: binary decode: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(lenHdr[:])
+	return d.readFrame(binary.LittleEndian.Uint32(lenHdr[:]))
+}
+
+// DecodeBatch implements BatchDecoder, reversing EncodeBatch.
+func (d *binaryDecoder) DecodeBatch() ([]core.Tuple, error) {
+	var cntHdr [4]byte
+	if _, err := io.ReadFull(d.r, cntHdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: binary decode: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(cntHdr[:])
+	if count == 0 || count > MaxBatchFrameTuples {
+		return nil, fmt.Errorf("transport: binary decode: implausible batch count %d", count)
+	}
+	batch := make([]core.Tuple, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var lenHdr [4]byte
+		if _, err := io.ReadFull(d.r, lenHdr[:]); err != nil {
+			return nil, fmt.Errorf("transport: binary decode: truncated batch: %w", err)
+		}
+		t, err := d.readFrame(binary.LittleEndian.Uint32(lenHdr[:]))
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, t)
+	}
+	return batch, nil
+}
+
+// readFrame reads and decodes one tuple frame whose length prefix has
+// already been consumed.
+func (d *binaryDecoder) readFrame(n uint32) (core.Tuple, error) {
 	if n < 2 || n > 1<<24 {
 		return nil, fmt.Errorf("transport: binary decode: implausible frame length %d", n)
 	}

@@ -29,7 +29,24 @@ type Decoder interface {
 	Decode() (core.Tuple, error)
 }
 
-// Codec builds per-connection encoders and decoders.
+// BatchEncoder serialises whole tuple batches in one wire frame, amortising
+// framing and flushing across the batch. A Send operator prefers it over
+// per-tuple Encode when the link's encoder implements it; both peers of a
+// link must then use the batch framing (Receive does so automatically).
+type BatchEncoder interface {
+	EncodeBatch([]core.Tuple) error
+}
+
+// BatchDecoder deserialises the frames a BatchEncoder produces. It returns
+// io.EOF once the peer has closed the stream; returned batches are never
+// empty.
+type BatchDecoder interface {
+	DecodeBatch() ([]core.Tuple, error)
+}
+
+// Codec builds per-connection encoders and decoders. Both built-in codecs
+// (GobCodec, BinaryCodec) also implement BatchEncoder/BatchDecoder on the
+// values they return.
 type Codec interface {
 	NewEncoder(w io.Writer) Encoder
 	NewDecoder(r io.Reader) Decoder
@@ -89,4 +106,31 @@ func (d *gobDecoder) Decode() (core.Tuple, error) {
 		return nil, fmt.Errorf("transport: gob decode: %w", err)
 	}
 	return t, nil
+}
+
+// EncodeBatch implements BatchEncoder: one gob value per batch instead of
+// one per tuple.
+func (e *gobEncoder) EncodeBatch(batch []core.Tuple) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := e.enc.Encode(&batch); err != nil {
+		return fmt.Errorf("transport: gob encode batch of %d: %w", len(batch), err)
+	}
+	return nil
+}
+
+// DecodeBatch implements BatchDecoder.
+func (d *gobDecoder) DecodeBatch() ([]core.Tuple, error) {
+	var batch []core.Tuple
+	if err := d.dec.Decode(&batch); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: gob decode batch: %w", err)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("transport: gob decode batch: empty batch frame")
+	}
+	return batch, nil
 }

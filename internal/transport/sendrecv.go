@@ -34,26 +34,46 @@ func NewSend(name string, in *ops.Stream, enc Encoder, closer io.Closer, instr c
 // Name implements ops.Operator.
 func (s *Send) Name() string { return s.name }
 
-// Run implements ops.Operator.
+// Run implements ops.Operator. When the query runs batched (the input
+// stream's batch size is above one) and the link's encoder supports it
+// (both built-in codecs do), whole input batches are encoded in one wire
+// frame, so the serialisation boundary amortises framing and flushing
+// exactly like the in-process streams amortise channel operations. At
+// batch size 1 the per-tuple wire format is unchanged from unbatched
+// builds; the receiving peer must be configured with the same batch mode.
 func (s *Send) Run(ctx context.Context) error {
 	defer func() {
 		if s.closer != nil {
 			_ = s.closer.Close()
 		}
 	}()
+	var batchEnc BatchEncoder
+	if s.in.BatchSize() > 1 {
+		batchEnc, _ = s.enc.(BatchEncoder)
+	}
 	for {
-		t, ok, err := s.in.Recv(ctx)
+		batch, ok, err := s.in.RecvBatch(ctx)
 		if err != nil {
 			return fmt.Errorf("send %q: %w", s.name, err)
 		}
 		if !ok {
 			return nil
 		}
-		if !core.IsHeartbeat(t) {
-			s.instr.OnSend(t)
+		for _, t := range batch {
+			if !core.IsHeartbeat(t) {
+				s.instr.OnSend(t)
+			}
 		}
-		if err := s.enc.Encode(t); err != nil {
-			return fmt.Errorf("send %q: %w", s.name, err)
+		if batchEnc != nil {
+			if err := batchEnc.EncodeBatch(batch); err != nil {
+				return fmt.Errorf("send %q: %w", s.name, err)
+			}
+			continue
+		}
+		for _, t := range batch {
+			if err := s.enc.Encode(t); err != nil {
+				return fmt.Errorf("send %q: %w", s.name, err)
+			}
 		}
 	}
 }
@@ -79,19 +99,45 @@ func NewReceive(name string, out *ops.Stream, dec Decoder, instr core.Instrument
 // Name implements ops.Operator.
 func (r *Receive) Name() string { return r.name }
 
-// Run implements ops.Operator.
+// Run implements ops.Operator. Batch frames (see Send) are decoded whole
+// and re-published as one stream batch; each decoded batch is flushed
+// immediately, since the next frame may be arbitrarily far away. The
+// framing mode mirrors Send's: batch frames only when this instance runs
+// batched (the output stream's batch size is above one).
 func (r *Receive) Run(ctx context.Context) error {
-	defer r.out.Close()
+	defer r.out.CloseSend(ctx)
+	var batchDec BatchDecoder
+	if r.out.BatchSize() > 1 {
+		batchDec, _ = r.dec.(BatchDecoder)
+	}
 	for {
-		t, err := r.dec.Decode()
-		if errors.Is(err, io.EOF) {
-			return nil
+		var batch []core.Tuple
+		if batchDec != nil {
+			b, err := batchDec.DecodeBatch()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("receive %q: %w", r.name, err)
+			}
+			batch = b
+		} else {
+			t, err := r.dec.Decode()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("receive %q: %w", r.name, err)
+			}
+			batch = []core.Tuple{t}
 		}
-		if err != nil {
-			return fmt.Errorf("receive %q: %w", r.name, err)
+		for _, t := range batch {
+			r.instr.OnReceive(t)
+			if err := r.out.Send(ctx, t); err != nil {
+				return fmt.Errorf("receive %q: %w", r.name, err)
+			}
 		}
-		r.instr.OnReceive(t)
-		if err := r.out.Send(ctx, t); err != nil {
+		if err := r.out.Flush(ctx); err != nil {
 			return fmt.Errorf("receive %q: %w", r.name, err)
 		}
 	}
