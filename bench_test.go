@@ -322,7 +322,7 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 				var tput float64
 				var sinks int
 				for i := 0; i < b.N; i++ {
-					tput, sinks = runBatchedPipeline(b, p, batch)
+					tput, sinks = runBatchedPipeline(b, p, batch, true)
 				}
 				if serialSinks == -1 {
 					serialSinks = sinks
@@ -335,10 +335,46 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedThroughput measures the physical planner on the same
+// map -> filter -> keyed-aggregate pipeline: fusion off (one goroutine and
+// stream per logical operator, the pre-planner engine) versus fusion on
+// (map+filter fused, and — at Parallelism(4) — the fused prefix hoisted
+// into the shard lanes behind a partitioner that routes by the map's
+// declared ShardKey), serial and at Parallelism(4), unbatched and at batch
+// 64. The sink count is asserted identical across all cells. Run with
+//
+//	go test -bench BenchmarkFusedThroughput -benchtime 1x
+func BenchmarkFusedThroughput(b *testing.B) {
+	serialSinks := -1
+	for _, fused := range []bool{false, true} {
+		for _, p := range []int{1, 4} {
+			for _, batch := range []int{1, 64} {
+				b.Run(fmt.Sprintf("fused-%v/parallelism-%d/batch-%d", fused, p, batch), func(b *testing.B) {
+					var tput float64
+					var sinks int
+					for i := 0; i < b.N; i++ {
+						tput, sinks = runBatchedPipeline(b, p, batch, fused)
+					}
+					if serialSinks == -1 {
+						serialSinks = sinks
+					} else if sinks != serialSinks {
+						b.Fatalf("fused=%v parallelism %d batch %d produced %d sink tuples, serial %d",
+							fused, p, batch, sinks, serialSinks)
+					}
+					b.ReportMetric(tput, "tuples/s")
+				})
+			}
+		}
+	}
+}
+
 // runBatchedPipeline runs source -> map -> filter -> keyed aggregate ->
 // sink over keys x steps tuples, the transport-dominated workload of
-// BenchmarkBatchedThroughput, returning throughput and the sink count.
-func runBatchedPipeline(b *testing.B, parallelism, batch int) (float64, int) {
+// BenchmarkBatchedThroughput and BenchmarkFusedThroughput, returning
+// throughput and the sink count. fuse toggles the physical planner; the map
+// declares its input partition key so the fused map+filter prefix hoists
+// into the shard lanes at parallelism > 1.
+func runBatchedPipeline(b *testing.B, parallelism, batch int, fuse bool) (float64, int) {
 	const (
 		keys  = 64
 		steps = 400
@@ -347,7 +383,8 @@ func runBatchedPipeline(b *testing.B, parallelism, batch int) (float64, int) {
 	for k := range keyNames {
 		keyNames[k] = "k" + strconv.Itoa(k)
 	}
-	qb := query.New("batched", query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch))
+	qb := query.New("batched", query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch),
+		query.WithFusion(fuse))
 	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
 		for ts := 0; ts < steps; ts++ {
 			for k := 0; k < keys; k++ {
@@ -358,7 +395,8 @@ func runBatchedPipeline(b *testing.B, parallelism, batch int) (float64, int) {
 		}
 		return nil
 	})
-	mp := qb.AddMap("map", func(t core.Tuple, emit func(core.Tuple)) { emit(t) })
+	mp := qb.AddMap("map", func(t core.Tuple, emit func(core.Tuple)) { emit(t) }).
+		ShardKeyed(func(t core.Tuple) string { return t.(*keyedTuple).Key })
 	fl := qb.AddFilter("filter", func(t core.Tuple) bool { return t.(*keyedTuple).Val >= 0 })
 	agg := qb.AddAggregate("agg", ops.AggregateSpec{
 		WS: 8, WA: 8,

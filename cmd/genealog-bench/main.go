@@ -13,6 +13,8 @@
 //	genealog-bench -experiment all -scale 4     # everything, 4x workload
 //	genealog-bench -experiment fig12 -parallelism 4  # shard-parallel keyed operators
 //	genealog-bench -experiment fig12 -parallelism 0 -batch 64  # auto shards, batched streams
+//	genealog-bench -experiment fig12 -fuse=false     # planner off: one goroutine per operator
+//	genealog-bench -experiment fig12 -v              # print every cell's physical plan
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
 // -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
@@ -21,7 +23,11 @@
 // execution at any level (aggregates byte for byte, joins as the same
 // timestamp-sorted multiset). The -batch flag moves tuples through operator
 // queues and links in vectors of up to that many, trading per-tuple latency
-// for throughput with byte-identical output.
+// for throughput with byte-identical output. The -fuse flag (default on)
+// controls the physical planner: stateless operator chains fuse into single
+// goroutines and stateless prefixes of shard-parallel operators replicate
+// into the shard lanes; output and provenance are byte-identical either
+// way. -v prints each cell's physical plan before the runs.
 package main
 
 import (
@@ -54,11 +60,19 @@ func run(args []string, out *os.File) error {
 	rate := fs.Float64("rate", 0, "source rate in tuples/second (0 = unthrottled)")
 	parallelism := fs.Int("parallelism", 1, "shard parallelism for keyed stateful operators: 1 = serial, n > 1 = n shards, 0 = auto (choose from the CPU count)")
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
+	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
+	verbose := fs.Bool("v", false, "print the physical plan of every (query, mode) cell before running")
 	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
 	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fuseExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "fuse" {
+			fuseExplicit = true
+		}
+	})
 	if *scale < 1 {
 		*scale = 1
 	}
@@ -81,6 +95,7 @@ func run(args []string, out *os.File) error {
 		Parallelism:         p,
 		BatchSize:           *batch,
 		UseBinaryCodec:      *codec == "binary",
+		NoFusion:            !*fuse,
 	}
 	if *codec != "gob" && *codec != "binary" {
 		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)
@@ -90,6 +105,9 @@ func run(args []string, out *os.File) error {
 	defer cancel()
 
 	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	if err := reportPlans(out, base, *experiment, *verbose, *fuse && fuseExplicit); err != nil {
+		return err
+	}
 	ran := false
 	if want("fig12") {
 		ran = true
@@ -125,6 +143,46 @@ func run(args []string, out *os.File) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want fig12, fig13, fig14, size or all)", *experiment)
+	}
+	return nil
+}
+
+// reportPlans inspects the physical plan of every (query, mode) cell the
+// experiment will run. Under -v it prints each plan; when -fuse was asked
+// for explicitly but a cell's topology gives the planner nothing to rewrite
+// (no fusible stateless chain, no hoistable prefix), it prints a note so the
+// flag never silently does nothing.
+func reportPlans(out *os.File, base harness.Options, experiment string, verbose, warnUnfusible bool) error {
+	if !verbose && !warnUnfusible {
+		return nil
+	}
+	// Cover exactly the deployments the experiment selection will run:
+	// fig13 is inter-process, fig12/fig14/size are intra, "all" runs both.
+	var deployments []harness.Deployment
+	if experiment != "fig13" {
+		deployments = append(deployments, harness.Intra)
+	}
+	if experiment == "fig13" || experiment == "all" {
+		deployments = append(deployments, harness.Inter)
+	}
+	for _, deployment := range deployments {
+		for _, q := range harness.Queries {
+			for _, m := range harness.Modes {
+				o := base
+				o.Query, o.Mode, o.Deployment = q, m, deployment
+				info, err := harness.Explain(o)
+				if err != nil {
+					return fmt.Errorf("plan %s/%s: %w", q, m, err)
+				}
+				if verbose {
+					fmt.Fprintf(out, "--- %s/%s (%s) ---\n%s\n", q, m, deployment, info.Text)
+				}
+				if warnUnfusible && info.FusedChains == 0 && info.HoistedPrefixes == 0 {
+					fmt.Fprintf(out, "note: -fuse requested, but %s/%s (%s, parallelism %d) has no fusible stateless chain or hoistable prefix; the plan is unchanged\n",
+						q, m, deployment, o.Parallelism)
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +83,74 @@ func TestResolveParallelism(t *testing.T) {
 func TestRunRejectsOversizedBatch(t *testing.T) {
 	if err := run([]string{"-experiment", "size", "-batch", "2000000"}, os.Stdout); err == nil {
 		t.Fatal("batch above the wire frame bound must fail")
+	}
+}
+
+func TestVerbosePrintsPhysicalPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four queries")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "plan-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-experiment", "size", "-parallelism", "4", "-v"}, f); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "physical plan") {
+		t.Fatal("-v output misses the physical plan dump")
+	}
+	if !strings.Contains(string(body), "hoisted above") {
+		t.Fatal("-v output at parallelism 4 misses the hoisted prefixes")
+	}
+}
+
+func TestExplicitFuseWarnsOnUnfusibleTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four queries")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "fuse-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// At parallelism 1 the evaluation queries interleave stateless and
+	// stateful operators, so several cells have nothing to fuse; asking for
+	// -fuse explicitly must say so instead of silently doing nothing.
+	if err := run([]string{"-experiment", "size", "-fuse"}, f); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "no fusible stateless chain") {
+		t.Fatal("explicit -fuse on an unfusible topology must print a note")
+	}
+}
+
+func TestFuseOffEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four queries")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "nofuse-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-experiment", "size", "-fuse=false"}, f); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("-fuse=false run produced no output")
 	}
 }

@@ -120,11 +120,15 @@ func main() {
 		fmt.Println()
 	})
 
-	// 5. Build and run to completion.
+	// 5. Build and run to completion. Build plans the physical graph first:
+	//    the hot Filter is hoisted into the aggregate's four shard lanes
+	//    (Explain shows the rewrite), with output and provenance identical
+	//    to the unfused serial plan.
 	q, err := b.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Print(q.Explain())
 	if err := q.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}

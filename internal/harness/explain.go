@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+
+	"genealog/internal/baseline"
+	"genealog/internal/query"
+	"genealog/internal/transport"
+)
+
+// ExplainInfo is the physical plan of one harness configuration, obtained
+// without executing anything: the Query.Explain dumps of every SPE instance
+// the deployment would run, plus the planner's rewrite counts
+// (genealog-bench prints the text under -v and uses the counts to warn when
+// -fuse finds nothing to rewrite).
+type ExplainInfo struct {
+	// Text is the concatenated plan dump, one block per SPE instance.
+	Text string
+	// FusedChains counts standalone fused-chain operators across the plans.
+	FusedChains int
+	// HoistedPrefixes counts stateless prefixes replicated into shard lanes.
+	HoistedPrefixes int
+}
+
+// Explain builds — without running — the queries a measured run of o would
+// execute and returns their physical plans. Inter-process configurations
+// report one plan per SPE instance (the links are throwaway in-memory
+// pipes; nothing is serialised).
+func Explain(o Options) (ExplainInfo, error) {
+	if err := o.validate(); err != nil {
+		return ExplainInfo{}, err
+	}
+	queries, err := explainQueries(o)
+	if err != nil {
+		return ExplainInfo{}, err
+	}
+	var info ExplainInfo
+	var sb strings.Builder
+	for i, q := range queries {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(q.Explain())
+		info.FusedChains += q.FusedChains()
+		info.HoistedPrefixes += q.HoistedPrefixes()
+	}
+	info.Text = sb.String()
+	return info, nil
+}
+
+func explainQueries(o Options) ([]*query.Query, error) {
+	spec, err := specFor(o.Query)
+	if err != nil {
+		return nil, err
+	}
+	if o.Deployment != Inter {
+		// The exact graph a measured run executes, with discarding sinks:
+		// assembleIntraQuery is the single intra-process assembly point.
+		var asm intraAssembly
+		if o.Mode == ModeBL {
+			asm.store = baseline.NewStore()
+		}
+		q, err := assembleIntraQuery(o, spec, asm)
+		if err != nil {
+			return nil, err
+		}
+		return []*query.Query{q}, nil
+	}
+	nMain, err := MainLinkCount(o.Query)
+	if err != nil {
+		return nil, err
+	}
+	links := InterLinks{}
+	for i := 0; i < nMain; i++ {
+		links.Main = append(links.Main, transport.NewLink())
+	}
+	var store *baseline.Store
+	switch o.Mode {
+	case ModeGL:
+		for i := 0; i < nMain; i++ {
+			links.U1 = append(links.U1, transport.NewLink())
+		}
+		links.Derived = transport.NewLink()
+	case ModeBL:
+		links.Sources = transport.NewLink()
+		links.Sinks = transport.NewLink()
+		store = baseline.NewStore()
+	}
+	hooks := InterHooks{Store: store}
+	q1, err := BuildSPE1(o, links, hooks)
+	if err != nil {
+		return nil, err
+	}
+	q2, err := BuildSPE2(o, links, hooks)
+	if err != nil {
+		return nil, err
+	}
+	q3, err := BuildSPE3(o, links, hooks)
+	if err != nil {
+		return nil, err
+	}
+	queries := []*query.Query{q1, q2}
+	if q3 != nil {
+		queries = append(queries, q3)
+	}
+	return queries, nil
+}

@@ -101,6 +101,13 @@ type Options struct {
 	// UseBinaryCodec switches inter-process links from the gob codec to the
 	// hand-rolled binary codec (the serialisation ablation).
 	UseBinaryCodec bool
+	// NoFusion disables the physical query planner (query.WithFusion):
+	// every logical operator materialises as its own goroutine and stream
+	// instead of fusing stateless chains and replicating stateless prefixes
+	// into shard lanes. Sink tuples and provenance are identical either way;
+	// only the framework overhead changes. The zero value keeps the planner
+	// on (the engine default).
+	NoFusion bool
 }
 
 // Result is the outcome of one measured run.
@@ -114,6 +121,9 @@ type Result struct {
 	// BatchSize is the stream batch size the run executed with (0/1 =
 	// unbatched).
 	BatchSize int
+	// Fusion reports whether the run executed with the physical planner
+	// enabled (operator fusion + shard-prefix replication).
+	Fusion bool
 
 	// SourceTuples is the number of source tuples processed.
 	SourceTuples int64

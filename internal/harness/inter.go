@@ -91,7 +91,8 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	b := query.New(string(o.Query)+"-spe1",
 		query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize))
+		query.WithBatchSize(o.BatchSize),
+		query.WithFusion(!o.NoFusion))
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	src.OnEmit = hooks.OnSourceEmit
@@ -148,7 +149,8 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	b := query.New(string(o.Query)+"-spe2",
 		query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize))
+		query.WithBatchSize(o.BatchSize),
+		query.WithFusion(!o.NoFusion))
 	ins := make([]*query.Node, len(links.Main))
 	for i, l := range links.Main {
 		ins[i] = transport.AddReceive(b, fmt.Sprintf("recv-main-%d", i), l.Dec)
@@ -218,7 +220,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		b := query.New(string(o.Query)+"-spe3",
 			query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil)),
 			query.WithChannelCapacity(o.ChannelCapacity),
-			query.WithBatchSize(o.BatchSize))
+			query.WithBatchSize(o.BatchSize),
+			query.WithFusion(!o.NoFusion))
 		ups := make([]*query.Node, len(links.U1))
 		for i, l := range links.U1 {
 			ups[i] = transport.AddReceive(b, fmt.Sprintf("recv-u1-%d", i), l.Dec)
@@ -237,7 +240,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		b := query.New(string(o.Query)+"-spe3",
 			query.WithInstrumenter(core.Noop{}),
 			query.WithChannelCapacity(o.ChannelCapacity),
-			query.WithBatchSize(o.BatchSize))
+			query.WithBatchSize(o.BatchSize),
+			query.WithFusion(!o.NoFusion))
 		srcsIn := transport.AddReceive(b, "recv-sources", links.Sources.Dec)
 		storeDone := make(chan struct{})
 		addStoreIngest(b, "store-sink", srcsIn, hooks.Store, storeDone)
@@ -253,7 +257,7 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 // serialising links, following the paper's Figs. 7, 9C, 10C and 11C: NP uses
 // two instances, GL and BL add the provenance node.
 func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism, BatchSize: o.BatchSize}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism, BatchSize: o.BatchSize, Fusion: !o.NoFusion}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)

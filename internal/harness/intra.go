@@ -7,6 +7,7 @@ import (
 	"genealog/internal/baseline"
 	"genealog/internal/core"
 	"genealog/internal/metrics"
+	"genealog/internal/ops"
 	"genealog/internal/provenance"
 	"genealog/internal/query"
 )
@@ -45,11 +46,65 @@ func (p *provAccount) add(r provenance.Result) {
 	p.bytes += b
 }
 
+// intraAssembly parameterises the intra-process graph's observation points.
+// The graph shape — source, query, provenance plumbing, sink, parallelism
+// expansion — is fixed by assembleIntraQuery; callers only choose what to
+// observe, so a measured run (runIntra) and a plan inspection (Explain)
+// can never build different topologies.
+type intraAssembly struct {
+	// store is the BL instrumenter's source store (required for ModeBL).
+	store *baseline.Store
+	// onEmit observes every source tuple (throughput accounting).
+	onEmit func(core.Tuple)
+	// sinkFn consumes each sink tuple (nil discards).
+	sinkFn ops.SinkFunc
+	// onLatency observes each sink tuple's latency in nanoseconds.
+	onLatency func(core.Tuple, int64)
+	// suCfg configures the GL single-stream unfolder (traversal timing).
+	suCfg provenance.SUConfig
+	// onProv observes each assembled GL provenance result (nil discards).
+	onProv func(provenance.Result)
+}
+
+// assembleIntraQuery builds the whole intra-process query of o (Fig. 12's
+// deployment): the workload source, the evaluation query, the
+// mode-dependent provenance plumbing (GL: SU + collector; BL/NP: plain
+// sink) and the parallelism expansion.
+func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Query, error) {
+	gen, _, _ := spec.source(o)
+	instr := instrumenterFor(o.Mode, 0, asm.store)
+	b := query.New(string(o.Query), query.WithInstrumenter(instr),
+		query.WithChannelCapacity(o.ChannelCapacity),
+		query.WithBatchSize(o.BatchSize),
+		query.WithFusion(!o.NoFusion))
+	src := b.AddSource("source", gen)
+	src.Rate = o.SourceRate
+	src.OnEmit = asm.onEmit
+
+	last := spec.addWhole(b, src)
+
+	if o.Mode == ModeGL {
+		so, u := provenance.AddSU(b, "su", last, asm.suCfg)
+		last = so
+		onProv := asm.onProv
+		if onProv == nil {
+			onProv = func(provenance.Result) {}
+		}
+		provenance.AddCollector(b, "prov-sink", u, onProv)
+	}
+	sink := b.AddSink("sink", asm.sinkFn)
+	sink.OnLatency = asm.onLatency
+	b.Connect(last, sink)
+
+	b.ParallelizeStateful(o.Parallelism)
+	return b.Build()
+}
+
 // runIntra deploys the whole query in one SPE instance (Fig. 12).
 func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism, BatchSize: o.BatchSize}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism, BatchSize: o.BatchSize, Fusion: !o.NoFusion}
 
-	gen, total, perTuple := spec.source(o)
+	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)
 
@@ -57,56 +112,43 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	if o.Mode == ModeBL {
 		store = baseline.NewStore()
 	}
-	instr := instrumenterFor(o.Mode, 0, store)
 
-	b := query.New(string(o.Query), query.WithInstrumenter(instr),
-		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize))
-	src := b.AddSource("source", gen)
-	src.Rate = o.SourceRate
 	var srcCount metrics.Counter
-	src.OnEmit = func(core.Tuple) { srcCount.Mark(time.Now().UnixNano()) }
-
-	last := spec.addWhole(b, src)
-
 	var lat metrics.Welford
 	latQ := metrics.NewReservoir(0)
 	var trav metrics.Welford
 	account := &provAccount{spec: spec}
-	observeLatency := func(ns int64) {
-		lat.Add(float64(ns))
-		latQ.Add(float64(ns))
-	}
 
+	asm := intraAssembly{
+		store:  store,
+		onEmit: func(core.Tuple) { srcCount.Mark(time.Now().UnixNano()) },
+		onLatency: func(_ core.Tuple, ns int64) {
+			lat.Add(float64(ns))
+			latQ.Add(float64(ns))
+		},
+	}
 	switch o.Mode {
 	case ModeGL:
-		so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{
+		asm.sinkFn = func(t core.Tuple) error { res.SinkTuples++; return nil }
+		asm.suCfg = provenance.SUConfig{
 			OnTraversal: func(d time.Duration, _ int) { trav.Add(float64(d.Nanoseconds())) },
-		})
-		sink := b.AddSink("sink", func(t core.Tuple) error { res.SinkTuples++; return nil })
-		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
-		b.Connect(so, sink)
-		provenance.AddCollector(b, "prov-sink", u, account.add)
+		}
+		asm.onProv = account.add
 	case ModeBL:
 		resolver := baseline.Resolver{Store: store}
-		sink := b.AddSink("sink", func(t core.Tuple) error {
+		asm.sinkFn = func(t core.Tuple) error {
 			res.SinkTuples++
 			begin := time.Now()
 			sources := resolver.Resolve(t)
 			trav.Add(float64(time.Since(begin).Nanoseconds()))
 			account.add(provenance.Result{Sink: t, Sources: sources})
 			return nil
-		})
-		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
-		b.Connect(last, sink)
+		}
 	default: // NP
-		sink := b.AddSink("sink", func(t core.Tuple) error { res.SinkTuples++; return nil })
-		sink.OnLatency = func(_ core.Tuple, ns int64) { observeLatency(ns) }
-		b.Connect(last, sink)
+		asm.sinkFn = func(t core.Tuple) error { res.SinkTuples++; return nil }
 	}
 
-	b.ParallelizeStateful(o.Parallelism)
-	q, err := b.Build()
+	q, err := assembleIntraQuery(o, spec, asm)
 	if err != nil {
 		return Result{}, err
 	}

@@ -71,6 +71,11 @@ type captured struct {
 // instrumenter, same provenance plumbing — but records canonical sink and
 // provenance strings instead of metrics.
 func captureRun(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int) captured {
+	return captureRunFusion(t, id, mode, parallelism, batchSize, true)
+}
+
+// captureRunFusion is captureRun with the physical planner switchable.
+func captureRunFusion(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int, fusion bool) captured {
 	t.Helper()
 	o := parallelTestOptions(id, mode, parallelism)
 	spec, err := specFor(id)
@@ -86,7 +91,8 @@ func captureRun(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int)
 	instr := instrumenterFor(mode, 0, store)
 
 	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr),
-		query.WithBatchSize(batchSize))
+		query.WithBatchSize(batchSize),
+		query.WithFusion(fusion))
 	src := b.AddSource("source", gen)
 	last := spec.addWhole(b, src)
 
@@ -229,8 +235,52 @@ func TestBatchedTransportEquivalence(t *testing.T) {
 	}
 }
 
+// TestFusedPlanEquivalence is the planner tentpole's acceptance test: for
+// each of Q1-Q4 under NP, GL and BL, at parallelism 1 and 4, execution with
+// the physical planner (operator fusion + shard-prefix replication) must
+// yield sink output byte-identical to the unfused plan, and identical
+// traversed provenance — fusion removes goroutine hops and hoists stateless
+// prefixes into shard lanes without changing one observable byte.
+func TestFusedPlanEquivalence(t *testing.T) {
+	for _, id := range Queries {
+		for _, mode := range Modes {
+			for _, parallelism := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/p%d", id, mode, parallelism)
+				t.Run(name, func(t *testing.T) {
+					unfused := captureRunFusion(t, id, mode, parallelism, 1, false)
+					if len(unfused.sinks) == 0 {
+						t.Fatalf("%s: unfused run produced no sink tuples; workload too small", name)
+					}
+					fused := captureRunFusion(t, id, mode, parallelism, 1, true)
+					if len(fused.sinks) != len(unfused.sinks) {
+						t.Fatalf("sink count differs: fused %d, unfused %d", len(fused.sinks), len(unfused.sinks))
+					}
+					for i := range unfused.sinks {
+						if unfused.sinks[i] != fused.sinks[i] {
+							t.Fatalf("sink tuple %d differs:\nunfused: %s\nfused:   %s", i, unfused.sinks[i], fused.sinks[i])
+						}
+					}
+					pu, pf := sortedCopy(unfused.prov), sortedCopy(fused.prov)
+					if len(pu) != len(pf) {
+						t.Fatalf("provenance result count differs: fused %d, unfused %d", len(pf), len(pu))
+					}
+					for i := range pu {
+						if pu[i] != pf[i] {
+							t.Fatalf("provenance result %d differs:\nunfused: %s\nfused:   %s", i, pu[i], pf[i])
+						}
+					}
+					if mode != ModeNP && len(unfused.prov) == 0 {
+						t.Fatalf("%s: no provenance results; workload too small", name)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestHarnessParallelismDimension: a measured harness run accepts the
-// parallelism and batch dimensions and reports them back in its result row.
+// parallelism, batch and fusion dimensions and reports them back in its
+// result row.
 func TestHarnessParallelismDimension(t *testing.T) {
 	o := parallelTestOptions(Q1, ModeGL, 4)
 	o.BatchSize = 32
@@ -244,7 +294,54 @@ func TestHarnessParallelismDimension(t *testing.T) {
 	if r.BatchSize != 32 {
 		t.Fatalf("Result.BatchSize = %d, want 32", r.BatchSize)
 	}
+	if !r.Fusion {
+		t.Fatal("Result.Fusion = false, want true (the default)")
+	}
 	if r.SinkTuples == 0 {
 		t.Fatal("parallel harness run produced no sink tuples")
+	}
+	o.NoFusion = true
+	r, err = Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fusion {
+		t.Fatal("Result.Fusion = true under Options.NoFusion")
+	}
+	if r.SinkTuples == 0 {
+		t.Fatal("unfused harness run produced no sink tuples")
+	}
+}
+
+// TestHarnessExplain: the plan helper reports the physical plan of a
+// configuration without running it, intra- and inter-process.
+func TestHarnessExplain(t *testing.T) {
+	o := parallelTestOptions(Q1, ModeGL, 4)
+	info, err := Explain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Text, "physical plan") {
+		t.Fatalf("Explain text misses the plan header:\n%s", info.Text)
+	}
+	if info.HoistedPrefixes == 0 {
+		t.Fatalf("Q1 at parallelism 4 should hoist its zero-speed filter:\n%s", info.Text)
+	}
+	o.NoFusion = true
+	info, err = Explain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FusedChains != 0 || info.HoistedPrefixes != 0 {
+		t.Fatalf("NoFusion plan still rewrites: %+v", info)
+	}
+	o.NoFusion = false
+	o.Deployment = Inter
+	info, err = Explain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(info.Text, "physical plan"); got != 3 {
+		t.Fatalf("inter-process GL Explain lists %d plans, want 3 (SPE1-3):\n%s", got, info.Text)
 	}
 }

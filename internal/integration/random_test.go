@@ -60,6 +60,11 @@ func genSegments(rng *rand.Rand) []segment {
 	return segs
 }
 
+// rKey is the partition key every pipeline tuple carries; the random maps
+// preserve it, so stateless nodes can declare it (ShardKeyed) and let the
+// planner hoist prefixes containing maps into the shard lanes.
+func rKey(t core.Tuple) string { return t.(*rTuple).Key }
+
 // buildPipeline appends the segments to b, returning the final node. The
 // stateful segments (keyed aggregate, self-join) are shard-parallelised
 // across parallelism instances (<= 1 keeps them serial).
@@ -70,7 +75,8 @@ func buildPipeline(b *query.Builder, src *query.Node, segs []segment, parallelis
 		switch s.kind {
 		case 0: // filter on value modulus
 			mod := s.p1
-			f := b.AddFilter("flt"+id, func(t core.Tuple) bool { return t.(*rTuple).Val%mod != 0 })
+			f := b.AddFilter("flt"+id, func(t core.Tuple) bool { return t.(*rTuple).Val%mod != 0 }).
+				ShardKeyed(rKey)
 			b.Connect(cur, f)
 			cur = f
 		case 1: // map transforming the value
@@ -78,7 +84,7 @@ func buildPipeline(b *query.Builder, src *query.Node, segs []segment, parallelis
 			m := b.AddMap("map"+id, func(t core.Tuple, emit func(core.Tuple)) {
 				v := t.(*rTuple)
 				emit(rt(v.Timestamp(), v.Key, v.Val+add))
-			})
+			}).ShardKeyed(rKey)
 			b.Connect(cur, m)
 			cur = m
 		case 2: // keyed aggregate
@@ -169,9 +175,9 @@ func canonicalize(results []provenance.Result) []string {
 	return out
 }
 
-func runGL(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
+func runGL(t *testing.T, seed int64, segs []segment, parallelism int, fusion bool) []provenance.Result {
 	t.Helper()
-	b := query.New("gl", query.WithInstrumenter(&core.Genealog{}))
+	b := query.New("gl", query.WithInstrumenter(&core.Genealog{}), query.WithFusion(fusion))
 	src := b.AddSource("src", sourceFor(seed, 150))
 	last := buildPipeline(b, src, segs, parallelism)
 	so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
@@ -188,11 +194,11 @@ func runGL(t *testing.T, seed int64, segs []segment, parallelism int) []provenan
 	return results
 }
 
-func runBL(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
+func runBL(t *testing.T, seed int64, segs []segment, parallelism int, fusion bool) []provenance.Result {
 	t.Helper()
 	store := baseline.NewStore()
 	instr := &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}
-	b := query.New("bl", query.WithInstrumenter(instr))
+	b := query.New("bl", query.WithInstrumenter(instr), query.WithFusion(fusion))
 	src := b.AddSource("src", sourceFor(seed, 150))
 	last := buildPipeline(b, src, segs, parallelism)
 	var results []provenance.Result
@@ -221,8 +227,8 @@ func TestRandomTopologyEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		segs := genSegments(rng)
-		gl := canonicalize(runGL(t, seed, segs, 1))
-		bl := canonicalize(runBL(t, seed, segs, 1))
+		gl := canonicalize(runGL(t, seed, segs, 1, true))
+		bl := canonicalize(runBL(t, seed, segs, 1, true))
 		if len(gl) != len(bl) {
 			t.Fatalf("seed %d (%v): GL %d results, BL %d", seed, segs, len(gl), len(bl))
 		}
@@ -243,9 +249,9 @@ func TestRandomTopologyEquivalence(t *testing.T) {
 
 // runNP executes the pipeline without provenance and returns the sink
 // tuples as provenance-free results.
-func runNP(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result {
+func runNP(t *testing.T, seed int64, segs []segment, parallelism int, fusion bool) []provenance.Result {
 	t.Helper()
-	b := query.New("np", query.WithInstrumenter(core.Noop{}))
+	b := query.New("np", query.WithInstrumenter(core.Noop{}), query.WithFusion(fusion))
 	src := b.AddSource("src", sourceFor(seed, 150))
 	last := buildPipeline(b, src, segs, parallelism)
 	var results []provenance.Result
@@ -269,7 +275,7 @@ func runNP(t *testing.T, seed int64, segs []segment, parallelism int) []provenan
 // and, under GL and BL, the same traversed provenance sets — as serial
 // execution, in all three modes.
 func TestRandomTopologyParallelismEquivalence(t *testing.T) {
-	runs := map[string]func(t *testing.T, seed int64, segs []segment, parallelism int) []provenance.Result{
+	runs := map[string]func(t *testing.T, seed int64, segs []segment, parallelism int, fusion bool) []provenance.Result{
 		"NP": runNP, "GL": runGL, "BL": runBL,
 	}
 	interesting := 0
@@ -288,8 +294,8 @@ func TestRandomTopologyParallelismEquivalence(t *testing.T) {
 			}
 		}
 		for mode, run := range runs {
-			serial := canonicalize(run(t, seed, segs, 1))
-			parallel := canonicalize(run(t, seed, segs, 4))
+			serial := canonicalize(run(t, seed, segs, 1, true))
+			parallel := canonicalize(run(t, seed, segs, 4, true))
 			if len(serial) != len(parallel) {
 				t.Fatalf("seed %d (%v) %s: serial %d results, parallel %d",
 					seed, segs, mode, len(serial), len(parallel))
@@ -316,9 +322,9 @@ func TestRandomTopologyDeterminism(t *testing.T) {
 	for seed := int64(100); seed < 106; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		segs := genSegments(rng)
-		first := canonicalize(runGL(t, seed, segs, 1))
+		first := canonicalize(runGL(t, seed, segs, 1, true))
 		for rep := 0; rep < 3; rep++ {
-			again := canonicalize(runGL(t, seed, segs, 1))
+			again := canonicalize(runGL(t, seed, segs, 1, true))
 			if len(first) != len(again) {
 				t.Fatalf("seed %d rep %d: %d vs %d results", seed, rep, len(first), len(again))
 			}
@@ -328,5 +334,52 @@ func TestRandomTopologyDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRandomTopologyFusionEquivalence is the physical planner's property
+// test: on random operator pipelines, execution with operator fusion and
+// shard-prefix replication must produce the same sink tuples — and, under
+// GL and BL, the same traversed provenance sets — as the unfused plan, in
+// all three modes, serial and at Parallelism(4) (where stateless prefixes
+// hoist into the shard lanes via the declared ShardKey).
+func TestRandomTopologyFusionEquivalence(t *testing.T) {
+	runs := map[string]func(t *testing.T, seed int64, segs []segment, parallelism int, fusion bool) []provenance.Result{
+		"NP": runNP, "GL": runGL, "BL": runBL,
+	}
+	interesting := 0
+	for seed := int64(300); seed < 324; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		segs := genSegments(rng)
+		joins := 0
+		for i := range segs {
+			if segs[i].kind == 4 {
+				if joins++; joins > 1 {
+					segs[i].kind = 3
+				}
+			}
+		}
+		for mode, run := range runs {
+			for _, parallelism := range []int{1, 4} {
+				unfused := canonicalize(run(t, seed, segs, parallelism, false))
+				fused := canonicalize(run(t, seed, segs, parallelism, true))
+				if len(unfused) != len(fused) {
+					t.Fatalf("seed %d (%v) %s p%d: unfused %d results, fused %d",
+						seed, segs, mode, parallelism, len(unfused), len(fused))
+				}
+				for i := range unfused {
+					if unfused[i] != fused[i] {
+						t.Fatalf("seed %d (%v) %s p%d: fusion mismatch:\nunfused: %s\nfused:   %s",
+							seed, segs, mode, parallelism, unfused[i], fused[i])
+					}
+				}
+				if mode == "NP" && parallelism == 1 && len(unfused) > 0 {
+					interesting++
+				}
+			}
+		}
+	}
+	if interesting < 12 {
+		t.Fatalf("only %d/24 random topologies produced sink tuples; generator too restrictive", interesting)
 	}
 }

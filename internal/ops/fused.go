@@ -1,0 +1,251 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// StageKind identifies the per-tuple behaviour of one stage of a FusedChain.
+type StageKind uint8
+
+// Fused stage kinds.
+const (
+	// StageMap applies a MapFunc: zero or more outputs per input, each linked
+	// to the input through the instrumenter (U1, Type=MAP) exactly as the
+	// standalone Map operator does.
+	StageMap StageKind = iota + 1
+	// StageFilter applies a predicate and drops non-matching tuples,
+	// advertising watermark progress for the dropped ones.
+	StageFilter
+	// StageMultiplex is a single-branch pass-through Multiplex: under an
+	// instrumenter that needs per-branch copies (GL, BL) the stage clones the
+	// tuple and links it (U1, Type=MULTIPLEX); under NP it forwards the tuple
+	// unchanged.
+	StageMultiplex
+	// StagePass forwards tuples unchanged (a single-input Union).
+	StagePass
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case StageMap:
+		return "map"
+	case StageFilter:
+		return "filter"
+	case StageMultiplex:
+		return "multiplex"
+	case StagePass:
+		return "pass"
+	default:
+		return "invalid"
+	}
+}
+
+// FusedStage is one logical stateless operator folded into a FusedChain.
+type FusedStage struct {
+	// Name is the logical operator's name (error messages, plan dumps).
+	Name string
+	// Kind selects the stage behaviour.
+	Kind StageKind
+	// Map is the stage function of a StageMap.
+	Map MapFunc
+	// Pred is the predicate of a StageFilter.
+	Pred func(core.Tuple) bool
+}
+
+func (s FusedStage) validate() error {
+	switch s.Kind {
+	case StageMap:
+		if s.Map == nil {
+			return fmt.Errorf("stage %q: map stage needs a Map function", s.Name)
+		}
+	case StageFilter:
+		if s.Pred == nil {
+			return fmt.Errorf("stage %q: filter stage needs a Pred function", s.Name)
+		}
+	case StageMultiplex, StagePass:
+	default:
+		return fmt.Errorf("stage %q: unknown stage kind %d", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// FusedChain executes a linear chain of stateless logical operators (Map,
+// Filter, pass-through Multiplex/Union) in a single goroutine with no
+// intermediate streams: each input tuple is pushed through the composed
+// stage functions by plain function calls, eliminating the per-hop channel
+// synchronisation a chain of standalone operators pays — the framework
+// overhead the paper's fixed-per-tuple provenance cost competes with.
+//
+// Fusion is purely physical: every instrumenter hook fires once per logical
+// stage exactly as in the unfused chain (OnMap per Map stage, OnMultiplex
+// per cloning pass-through), dropped tuples advertise watermark progress
+// with a Heartbeat once per distinct event time, and heartbeats entering the
+// chain are forwarded (coalesced against the chain's output watermark). The
+// sink-observable output and every tuple's contribution graph are identical
+// to running the stages as separate operators.
+type FusedChain struct {
+	name   string
+	in     *Stream
+	out    *Stream
+	stages []FusedStage
+	instr  core.Instrumenter
+
+	ctx      context.Context
+	err      error
+	lastOut  int64
+	haveLast bool
+}
+
+var _ Operator = (*FusedChain)(nil)
+
+// NewFusedChain returns a FusedChain applying the given stages in order; it
+// panics if the stage list is empty or a stage is invalid (a programming
+// error caught at query-construction time, like NewAggregate).
+func NewFusedChain(name string, in, out *Stream, stages []FusedStage, instr core.Instrumenter) *FusedChain {
+	if len(stages) == 0 {
+		panic(fmt.Sprintf("fused chain %q: no stages", name))
+	}
+	for _, s := range stages {
+		if err := s.validate(); err != nil {
+			panic(fmt.Sprintf("fused chain %q: %v", name, err))
+		}
+	}
+	return &FusedChain{name: name, in: in, out: out, stages: stages, instr: instr}
+}
+
+// Name implements Operator.
+func (f *FusedChain) Name() string { return f.name }
+
+// Stages returns the number of logical stages fused into the chain.
+func (f *FusedChain) Stages() int { return len(f.stages) }
+
+// Run implements Operator. The inner loop iterates input batches and flushes
+// the output once per batch, before blocking for more input. Stage errors
+// (cancellation while sending, a non-cloneable tuple at a cloning stage) are
+// latched into f.err by the composed closures and surfaced after the tuple
+// that caused them.
+func (f *FusedChain) Run(ctx context.Context) error {
+	defer f.out.CloseSend(ctx)
+	f.ctx = ctx
+	apply := f.compose()
+	for {
+		batch, ok, err := f.in.RecvBatch(ctx)
+		if err != nil {
+			return fmt.Errorf("fused chain %q: %w", f.name, err)
+		}
+		if !ok {
+			return nil
+		}
+		for _, t := range batch {
+			if core.IsHeartbeat(t) {
+				// Heartbeats bypass the stages; like Union, ones at or below
+				// the watermark already visible downstream are coalesced.
+				f.advertise(t.Timestamp())
+			} else {
+				apply(t)
+			}
+			if f.err != nil {
+				return fmt.Errorf("fused chain %q: %w", f.name, f.err)
+			}
+		}
+		if err := f.out.Flush(ctx); err != nil {
+			return fmt.Errorf("fused chain %q: %w", f.name, err)
+		}
+	}
+}
+
+// deliver sends a data tuple that survived every stage downstream.
+func (f *FusedChain) deliver(t core.Tuple) {
+	if f.err != nil {
+		return
+	}
+	f.lastOut, f.haveLast = t.Timestamp(), true
+	if err := f.out.Send(f.ctx, t); err != nil {
+		f.err = err
+	}
+}
+
+// advertise publishes watermark progress for a dropped tuple (or an incoming
+// heartbeat), once per distinct event time: any output at or past ts already
+// promises the same watermark, streams being timestamp-sorted.
+func (f *FusedChain) advertise(ts int64) {
+	if f.err != nil || (f.haveLast && ts <= f.lastOut) {
+		return
+	}
+	f.lastOut, f.haveLast = ts, true
+	if err := f.out.Send(f.ctx, core.NewHeartbeat(ts)); err != nil {
+		f.err = err
+	}
+}
+
+// compose builds the per-tuple pipeline back to front: each stage closure
+// processes one data tuple and hands its survivors to the next stage by a
+// direct call. The closures are allocated once per Run, not per tuple.
+func (f *FusedChain) compose() func(core.Tuple) {
+	apply := f.deliver
+	clone := f.instr.NeedsMultiplexClone()
+	for i := len(f.stages) - 1; i >= 0; i-- {
+		st := f.stages[i]
+		next := apply
+		switch st.Kind {
+		case StageFilter:
+			pred := st.Pred
+			apply = func(t core.Tuple) {
+				if pred(t) {
+					next(t)
+					return
+				}
+				f.advertise(t.Timestamp())
+			}
+		case StageMap:
+			fn := st.Map
+			// cur and emitted live across the emit closure and the stage
+			// body; they are rebound per input tuple, never allocated.
+			var cur core.Tuple
+			var emitted bool
+			emit := func(out core.Tuple) {
+				if f.err != nil {
+					return
+				}
+				if om, im := core.MetaOf(out), core.MetaOf(cur); om != nil && im != nil {
+					om.MergeStimulus(im.Stimulus())
+				}
+				f.instr.OnMap(out, cur)
+				emitted = true
+				next(out)
+			}
+			apply = func(t core.Tuple) {
+				cur, emitted = t, false
+				fn(t, emit)
+				if !emitted {
+					// A dropping Map creates sparsity, like Filter.
+					f.advertise(t.Timestamp())
+				}
+			}
+		case StageMultiplex:
+			if !clone {
+				apply = next // NP forwards the same tuple object
+				continue
+			}
+			name := st.Name
+			apply = func(t core.Tuple) {
+				c, ok := t.(core.Cloneable)
+				if !ok {
+					if f.err == nil {
+						f.err = fmt.Errorf("stage %q: %w (%T)", name, ErrNotCloneable, t)
+					}
+					return
+				}
+				branch := c.CloneTuple()
+				f.instr.OnMultiplex(branch, t)
+				next(branch)
+			}
+		case StagePass:
+			apply = next
+		}
+	}
+	return apply
+}

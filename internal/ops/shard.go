@@ -105,8 +105,18 @@ func NewPartition(name string, in *Stream, outs []*Stream, key func(core.Tuple) 
 // Name implements Operator.
 func (p *Partition) Name() string { return p.name }
 
-// Run implements Operator.
-func (p *Partition) Run(ctx context.Context) error {
+// Run implements Operator. A panicking routing key is converted into a
+// query error instead of crashing the process: with a hoisted stateless
+// prefix the partitioner applies the key to the *pre-prefix* stream, and a
+// key function written for the narrowed post-prefix stream (say, after a
+// type-guard Filter) would otherwise take down the whole program on the
+// first tuple the prefix used to drop.
+func (p *Partition) Run(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("partition %q: routing key panicked on an input tuple: %v (if a stateless prefix was hoisted above this partitioner, its key must accept every pre-prefix tuple — declare a total Node.ShardKey on the chain head or disable fusion)", p.name, r)
+		}
+	}()
 	defer closeAll(ctx, p.outs)
 	p.shardWM = make([]int64, len(p.outs))
 	for i := range p.shardWM {
@@ -269,6 +279,62 @@ func headLess(a, b core.Tuple) bool {
 	return shardKeyOf(a) < shardKeyOf(b)
 }
 
+// ShardPrefix describes a fused stateless prefix hoisted into a shard
+// subgraph: the partitioner moves upstream of the prefix and one FusedChain
+// replica of the prefix runs inside every shard lane, in front of the
+// stateful instance, so the prefix work scales with the shard count instead
+// of serialising on one goroutine (the planner's pass 2).
+type ShardPrefix struct {
+	// Name names the fused prefix (operator names, plan dumps).
+	Name string
+	// Stages are the prefix's logical stages, upstream first.
+	Stages []FusedStage
+	// Key, when non-nil, routes the pre-prefix tuples at the hoisted
+	// partitioner; it must assign every tuple the partition its post-prefix
+	// descendants' key hashes to. When nil, the stateful spec's own key
+	// function is applied to the pre-prefix tuples — sound when every prefix
+	// stage forwards the tuple object (or a payload-identical clone), i.e.
+	// the prefix contains no Map.
+	Key func(core.Tuple) string
+}
+
+func (p *ShardPrefix) validate() error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Stages) == 0 {
+		return errors.New("shard prefix: no stages")
+	}
+	for _, s := range p.Stages {
+		if err := s.validate(); err != nil {
+			return fmt.Errorf("shard prefix: %w", err)
+		}
+	}
+	return nil
+}
+
+// routeKey returns the key the hoisted partitioner routes by: the declared
+// prefix key, or the stateful operator's own key for object-preserving
+// prefixes (and for subgraphs with no prefix at all).
+func (p *ShardPrefix) routeKey(specKey func(core.Tuple) string) func(core.Tuple) string {
+	if p != nil && p.Key != nil {
+		return p.Key
+	}
+	return specKey
+}
+
+// lane prepends the prefix's FusedChain replica to shard lane i: it returns
+// the stream the partitioner must feed and appends the chain operator, if
+// any, to operators. laneIn is the stateful instance's input stream.
+func (p *ShardPrefix) lane(name string, i int, laneIn *Stream, instr core.Instrumenter, chanCap, batchSize int, operators []Operator) (*Stream, []Operator) {
+	if p == nil {
+		return laneIn, operators
+	}
+	in := NewBatchedStream(fmt.Sprintf("%s/part->%s/%s#%d", name, name, p.Name, i), chanCap, batchSize)
+	chain := NewFusedChain(fmt.Sprintf("%s/%s#%d", name, p.Name, i), in, laneIn, p.Stages, instr)
+	return in, append(operators, chain)
+}
+
 // ShardAggregate expands a keyed Aggregate into parallelism independent
 // instances, each folding the hash-partition of the key space assigned to
 // it, bracketed by a Partition and a FanIn. It returns the operators of the
@@ -284,6 +350,17 @@ func headLess(a, b core.Tuple) bool {
 // DefaultStreamCapacity); batchSize sets their batch size (<= 0 selects 1),
 // amortising partition/fan-in channel operations across tuple vectors.
 func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int) ([]Operator, error) {
+	return ShardAggregatePrefixed(name, in, out, spec, instr, parallelism, chanCap, batchSize, nil)
+}
+
+// ShardAggregatePrefixed is ShardAggregate with an optional fused stateless
+// prefix replicated into every shard lane (see ShardPrefix): the partitioner
+// consumes the pre-prefix stream and each lane runs prefix stages and then
+// its Aggregate instance. Every shard still receives exactly the serial
+// prefix output restricted to its keys, in order, so output and provenance
+// remain identical to the serial chain — the prefix work just runs on
+// parallelism goroutines instead of one.
+func ShardAggregatePrefixed(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, prefix *ShardPrefix) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded aggregate: parallelism must be at least 2")
 	}
@@ -291,6 +368,9 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 		return nil, errors.New("sharded aggregate: a group-by Key is required to partition by")
 	}
 	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("sharded aggregate: %w", err)
+	}
+	if err := prefix.validate(); err != nil {
 		return nil, fmt.Errorf("sharded aggregate: %w", err)
 	}
 	fold := spec.Fold
@@ -302,16 +382,17 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 		}
 		return &shardTagged{inner: t, key: key}
 	}
-	operators := make([]Operator, 0, parallelism+2)
+	operators := make([]Operator, 0, 2*parallelism+2)
 	shardIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range shardIns {
-		shardIns[i] = NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
+		aggIn := NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		operators = append(operators, NewAggregate(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, instr))
+		shardIns[i], operators = prefix.lane(name, i, aggIn, instr, chanCap, batchSize, operators)
+		operators = append(operators, NewAggregate(fmt.Sprintf("%s#%d", name, i), aggIn, shardOuts[i], shardSpec, instr))
 	}
 	operators = append(operators,
-		NewPartition(name+"/part", in, shardIns, spec.Key),
+		NewPartition(name+"/part", in, shardIns, prefix.routeKey(spec.Key)),
 		NewFanIn(name+"/merge", shardOuts, out))
 	return operators, nil
 }
@@ -328,6 +409,14 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 // order; the output is an identical timestamp-sorted multiset with a
 // deterministic order for every parallelism level.
 func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int) ([]Operator, error) {
+	return ShardJoinPrefixed(name, left, right, out, spec, instr, parallelism, chanCap, batchSize, nil, nil)
+}
+
+// ShardJoinPrefixed is ShardJoin with an optional fused stateless prefix per
+// input side, replicated into every shard lane (see ShardPrefix): each side's
+// partitioner consumes the pre-prefix stream and every lane runs that side's
+// prefix stages in front of its Join instance.
+func ShardJoinPrefixed(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, leftPrefix, rightPrefix *ShardPrefix) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded join: parallelism must be at least 2")
 	}
@@ -336,6 +425,12 @@ func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.
 	}
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("sharded join: %w", err)
+	}
+	if err := leftPrefix.validate(); err != nil {
+		return nil, fmt.Errorf("sharded join: left %w", err)
+	}
+	if err := rightPrefix.validate(); err != nil {
+		return nil, fmt.Errorf("sharded join: right %w", err)
 	}
 	combine := spec.Combine
 	leftKey := spec.LeftKey
@@ -347,19 +442,21 @@ func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.
 		}
 		return &shardTagged{inner: t, key: leftKey(l)}
 	}
-	operators := make([]Operator, 0, parallelism+3)
+	operators := make([]Operator, 0, 3*parallelism+3)
 	leftIns := make([]*Stream, parallelism)
 	rightIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range leftIns {
-		leftIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
-		rightIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
+		joinL := NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
+		joinR := NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		operators = append(operators, NewJoin(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, instr))
+		leftIns[i], operators = leftPrefix.lane(name, i, joinL, instr, chanCap, batchSize, operators)
+		rightIns[i], operators = rightPrefix.lane(name, i, joinR, instr, chanCap, batchSize, operators)
+		operators = append(operators, NewJoin(fmt.Sprintf("%s#%d", name, i), joinL, joinR, shardOuts[i], shardSpec, instr))
 	}
 	operators = append(operators,
-		NewPartition(name+"/part-l", left, leftIns, spec.LeftKey),
-		NewPartition(name+"/part-r", right, rightIns, spec.RightKey),
+		NewPartition(name+"/part-l", left, leftIns, leftPrefix.routeKey(spec.LeftKey)),
+		NewPartition(name+"/part-r", right, rightIns, rightPrefix.routeKey(spec.RightKey)),
 		NewFanIn(name+"/merge", shardOuts, out))
 	return operators, nil
 }

@@ -250,3 +250,166 @@ func TestShardSpecValidation(t *testing.T) {
 		t.Fatal("sharded join without key extractors must be rejected")
 	}
 }
+
+// TestShardAggregatePrefixedMatchesSerial: hoisting a fused stateless
+// prefix into the shard lanes — the partitioner consuming the pre-prefix
+// stream — must reproduce the serial filter+map+aggregate chain byte for
+// byte.
+func TestShardAggregatePrefixedMatchesSerial(t *testing.T) {
+	build := func() []core.Tuple {
+		var tuples []core.Tuple
+		for ts := int64(0); ts < 40; ts++ {
+			for k := 0; k < 7; k++ {
+				tuples = append(tuples, vt(ts, "k"+strconv.Itoa(k), ts+int64(k)))
+			}
+		}
+		return tuples
+	}
+	pred := func(t core.Tuple) bool { return t.(*vTuple).Val%3 != 0 }
+	double := func(t core.Tuple, emit func(core.Tuple)) {
+		v := t.(*vTuple)
+		emit(vt(v.Timestamp(), v.Key, v.Val*2))
+	}
+	stages := func() []FusedStage {
+		return []FusedStage{
+			{Name: "keep", Kind: StageFilter, Pred: pred},
+			{Name: "double", Kind: StageMap, Map: double},
+		}
+	}
+	spec := AggregateSpec{WS: 6, WA: 2, Key: keyOf, Fold: sumFold}
+
+	serialOut := func() []core.Tuple {
+		in := feed(build()...)
+		mid := NewStream("mid", 1024)
+		out := NewStream("out", 4096)
+		chain := NewFusedChain("prefix", in, mid, stages(), core.Noop{})
+		a := NewAggregate("agg", mid, out, spec, core.Noop{})
+		done := make(chan []core.Tuple)
+		go func() { done <- drain(t, out) }()
+		runOps(t, chain, a)
+		return <-done
+	}()
+	if len(serialOut) == 0 {
+		t.Fatal("serial chain produced no outputs")
+	}
+
+	for _, parallelism := range []int{2, 4} {
+		in := feed(build()...)
+		out := NewStream("out", 4096)
+		// The prefix contains a Map, so the hoisted partitioner routes by a
+		// declared pre-prefix key (the map is key-preserving here).
+		prefix := &ShardPrefix{Name: "keep+double", Stages: stages(), Key: keyOf}
+		operators, err := ShardAggregatePrefixed("agg", in, out, spec, core.Noop{}, parallelism, 64, 1, prefix)
+		runShardSubgraph(t, operators, err)
+		got := drain(t, out)
+		if len(got) != len(serialOut) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(got), len(serialOut))
+		}
+		for i := range got {
+			g, w := got[i].(*vTuple), serialOut[i].(*vTuple)
+			if g.Timestamp() != w.Timestamp() || g.Key != w.Key || g.Val != w.Val {
+				t.Fatalf("parallelism %d: output %d is %d/%s/%d, want %d/%s/%d",
+					parallelism, i, g.Timestamp(), g.Key, g.Val, w.Timestamp(), w.Key, w.Val)
+			}
+		}
+	}
+}
+
+// TestShardJoinPrefixedMatchesSerial: per-side fused prefixes replicated
+// into the join lanes must reproduce the serial prefix+join multiset.
+func TestShardJoinPrefixedMatchesSerial(t *testing.T) {
+	buildSide := func(side int64) []core.Tuple {
+		var tuples []core.Tuple
+		for ts := int64(0); ts < 30; ts++ {
+			for k := 0; k < 5; k++ {
+				tuples = append(tuples, vt(ts, "k"+strconv.Itoa(k), side*1000+ts))
+			}
+		}
+		return tuples
+	}
+	rightPred := func(t core.Tuple) bool { return t.(*vTuple).Val%2 == 0 }
+	rightStages := func() []FusedStage {
+		return []FusedStage{{Name: "evens", Kind: StageFilter, Pred: rightPred}}
+	}
+	spec := JoinSpec{
+		WS:       2,
+		LeftKey:  keyOf,
+		RightKey: keyOf,
+		Predicate: func(l, r core.Tuple) bool {
+			return l.(*vTuple).Key == r.(*vTuple).Key && l.Timestamp() < r.Timestamp()
+		},
+		Combine: func(l, r core.Tuple) core.Tuple {
+			return vt(0, l.(*vTuple).Key, l.(*vTuple).Val*10000+r.(*vTuple).Val)
+		},
+	}
+	canon := func(tuples []core.Tuple) []string {
+		out := make([]string, len(tuples))
+		for i, tp := range tuples {
+			v := tp.(*vTuple)
+			out[i] = strconv.FormatInt(v.Timestamp(), 10) + "/" + v.Key + "/" + strconv.FormatInt(v.Val, 10)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	serial := func() []core.Tuple {
+		left := feed(buildSide(1)...)
+		right := feed(buildSide(2)...)
+		mid := NewStream("mid", 1024)
+		out := NewStream("out", 1<<14)
+		chain := NewFusedChain("evens", right, mid, rightStages(), core.Noop{})
+		j := NewJoin("join", left, mid, out, spec, core.Noop{})
+		done := make(chan []core.Tuple)
+		go func() { done <- drain(t, out) }()
+		runOps(t, chain, j)
+		return <-done
+	}()
+	if len(serial) == 0 {
+		t.Fatal("serial prefixed join produced no outputs")
+	}
+	wantCanon := canon(serial)
+
+	for _, parallelism := range []int{2, 4} {
+		left := feed(buildSide(1)...)
+		right := feed(buildSide(2)...)
+		out := NewStream("out", 1<<14)
+		prefix := &ShardPrefix{Name: "evens", Stages: rightStages()} // filter-only: route by RightKey
+		operators, err := ShardJoinPrefixed("join", left, right, out, spec, core.Noop{}, parallelism, 64, 1, nil, prefix)
+		runShardSubgraph(t, operators, err)
+		gotCanon := canon(drain(t, out))
+		if len(gotCanon) != len(wantCanon) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(gotCanon), len(wantCanon))
+		}
+		for i := range gotCanon {
+			if gotCanon[i] != wantCanon[i] {
+				t.Fatalf("parallelism %d: multiset mismatch at %d: got %s, want %s",
+					parallelism, i, gotCanon[i], wantCanon[i])
+			}
+		}
+	}
+}
+
+// TestShardPrefixValidation: malformed prefixes are rejected up front.
+func TestShardPrefixValidation(t *testing.T) {
+	in, out := NewStream("in", 1), NewStream("out", 1)
+	aggSpec := AggregateSpec{WS: 1, WA: 1, Key: keyOf, Fold: sumFold}
+	if _, err := ShardAggregatePrefixed("a", in, out, aggSpec, core.Noop{}, 2, 0, 0,
+		&ShardPrefix{Name: "empty"}); err == nil {
+		t.Fatal("a prefix without stages must be rejected")
+	}
+	if _, err := ShardAggregatePrefixed("a", in, out, aggSpec, core.Noop{}, 2, 0, 0,
+		&ShardPrefix{Name: "bad", Stages: []FusedStage{{Name: "m", Kind: StageMap}}}); err == nil {
+		t.Fatal("a prefix with an invalid stage must be rejected")
+	}
+	joinSpec := JoinSpec{
+		WS:        1,
+		LeftKey:   keyOf,
+		RightKey:  keyOf,
+		Predicate: func(l, r core.Tuple) bool { return true },
+		Combine:   func(l, r core.Tuple) core.Tuple { return nil },
+	}
+	if _, err := ShardJoinPrefixed("j", in, in, out, joinSpec, core.Noop{}, 2, 0, 0,
+		&ShardPrefix{Name: "empty"}, nil); err == nil {
+		t.Fatal("a left prefix without stages must be rejected")
+	}
+}

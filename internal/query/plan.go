@@ -1,0 +1,392 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// This file is the physical query planner: after the builder's DAG
+// validation and before streams and operators are materialised, the logical
+// graph is rewritten into a physical plan. Two passes run when fusion is
+// enabled (the default):
+//
+//  1. Fusion — maximal linear chains of stateless nodes (Map, Filter, and
+//     pass-through Multiplex/Union) collapse into one ops.FusedChain that
+//     applies the stages by direct function calls in a single goroutine,
+//     eliminating the per-hop stream and goroutine the unfused chain pays.
+//     Instrumenter hooks still fire once per logical stage, so contribution
+//     graphs and sink bytes are identical to the unfused plan.
+//
+//  2. Parallel prefix replication — a stateless chain feeding a Parallel(n)
+//     Aggregate or Join is absorbed into the shard subgraph: the partitioner
+//     hoists upstream of the chain and a fused replica of the chain runs in
+//     every shard lane, so the whole pipeline scales across cores instead of
+//     only the stateful stage. Hoisting routes the pre-prefix tuples with
+//     the stateful operator's own key when every chain stage forwards the
+//     tuple object (no Map in the chain); a chain containing a Map is only
+//     hoisted when its first node declares Node.ShardKey.
+//
+// With fusion disabled every logical node materialises as its own operator,
+// the pre-planner behaviour.
+
+// physKind classifies a physical plan node.
+type physKind uint8
+
+const (
+	// physSingle materialises one logical node as one operator.
+	physSingle physKind = iota + 1
+	// physFused materialises a stateless chain as one ops.FusedChain.
+	physFused
+	// physShard materialises a Parallel(n) stateful node as its shard
+	// subgraph (partitioner(s), lanes, fan-in), absorbing hoisted prefixes.
+	physShard
+)
+
+// physNode is one vertex of the physical plan; it owns one or more logical
+// nodes.
+type physNode struct {
+	kind  physKind
+	node  *Node   // the logical node (single/shard); the chain head (fused)
+	chain []*Node // fused: the stage nodes, upstream first
+
+	// shard only: hoisted prefix chains by input port (PortDefault for
+	// aggregates, PortLeft/PortRight for joins).
+	prefix map[string][]*Node
+}
+
+// name returns the physical node's display name (stream names, plan dumps).
+func (p *physNode) name() string {
+	if p.kind != physFused {
+		return p.node.name
+	}
+	names := make([]string, len(p.chain))
+	for i, n := range p.chain {
+		names[i] = n.name
+	}
+	return "fused[" + strings.Join(names, "+") + "]"
+}
+
+// physEdge is one stream of the physical plan.
+type physEdge struct {
+	from, to *physNode
+	port     string
+}
+
+// physPlan is the rewritten graph Build materialises.
+type physPlan struct {
+	nodes []*physNode
+	edges []physEdge
+	owner map[*Node]*physNode
+
+	fusedChains     int // standalone FusedChain operators
+	hoistedPrefixes int // chains replicated into shard lanes
+}
+
+// plan rewrites the validated logical graph into a physical plan.
+func (b *Builder) plan() *physPlan {
+	pl := &physPlan{owner: make(map[*Node]*physNode, len(b.nodes))}
+	inE := make(map[*Node][]edge, len(b.nodes))
+	outE := make(map[*Node][]edge, len(b.nodes))
+	for _, e := range b.edges {
+		inE[e.to] = append(inE[e.to], e)
+		outE[e.from] = append(outE[e.from], e)
+	}
+
+	var chains [][]*Node
+	chainByTail := make(map[*Node][]*Node)
+	if b.fusion {
+		chains = b.findChains(inE, outE)
+		for _, c := range chains {
+			chainByTail[c[len(c)-1]] = c
+		}
+	}
+
+	// Pass 2: absorb chains feeding shard-parallel stateful nodes.
+	absorbed := make(map[*Node]*physNode)   // chain member -> shard node
+	absorbedPort := make(map[*Node]string)  // chain head -> shard input port
+	shardNodes := make(map[*Node]*physNode) // stateful node -> its phys node
+	for _, n := range b.nodes {
+		if n.Parallelism <= 1 {
+			continue
+		}
+		pn := &physNode{kind: physShard, node: n, prefix: make(map[string][]*Node)}
+		shardNodes[n] = pn
+		if !b.fusion {
+			continue
+		}
+		for _, e := range inE[n] {
+			c := chainByTail[e.from]
+			if c == nil {
+				continue
+			}
+			port, ok := hoistPort(n, e.port, c)
+			if !ok {
+				continue
+			}
+			if _, dup := pn.prefix[port]; dup {
+				continue // one prefix per input port
+			}
+			pn.prefix[port] = c
+			pl.hoistedPrefixes++
+			for _, m := range c {
+				absorbed[m] = pn
+			}
+			absorbedPort[c[0]] = port
+			delete(chainByTail, e.from)
+		}
+	}
+
+	// Assign every logical node to its physical node, in b.nodes order.
+	fusedByHead := make(map[*Node][]*Node)
+	inChain := make(map[*Node]bool)
+	for _, c := range chainByTail {
+		if len(c) < 2 {
+			continue // a lone stateless node gains nothing from fusing
+		}
+		fusedByHead[c[0]] = c
+		for _, m := range c {
+			inChain[m] = true
+		}
+		pl.fusedChains++
+	}
+	for _, n := range b.nodes {
+		if pn := absorbed[n]; pn != nil {
+			pl.owner[n] = pn
+			continue
+		}
+		if pn := shardNodes[n]; pn != nil {
+			pl.owner[n] = pn
+			pl.nodes = append(pl.nodes, pn)
+			continue
+		}
+		if c := fusedByHead[n]; c != nil {
+			pn := &physNode{kind: physFused, node: n, chain: c}
+			for _, m := range c {
+				pl.owner[m] = pn
+			}
+			pl.nodes = append(pl.nodes, pn)
+			continue
+		}
+		if inChain[n] {
+			continue // owned by the chain rooted at its head
+		}
+		pn := &physNode{kind: physSingle, node: n}
+		pl.owner[n] = pn
+		pl.nodes = append(pl.nodes, pn)
+	}
+
+	// Physical edges: logical edges between distinct physical nodes. An edge
+	// into an absorbed chain head feeds the shard subgraph directly and takes
+	// over the chain's original input port on the stateful node.
+	for _, e := range b.edges {
+		from, to := pl.owner[e.from], pl.owner[e.to]
+		if from == to {
+			continue // fused away or internal to a shard subgraph
+		}
+		port := e.port
+		if p, ok := absorbedPort[e.to]; ok {
+			port = p
+		}
+		pl.edges = append(pl.edges, physEdge{from: from, to: to, port: port})
+	}
+	return pl
+}
+
+// fusible reports whether a logical node can be a fused chain stage: a
+// stateless per-tuple operator with exactly one default-port input and one
+// output.
+func fusible(n *Node, inE, outE map[*Node][]edge) bool {
+	if n.Parallelism > 1 {
+		return false
+	}
+	switch n.kind {
+	case KindMap, KindFilter:
+	case KindMultiplex:
+		// A multi-branch Multiplex duplicates the stream; only the
+		// single-branch (pass-through) case is linear.
+	case KindUnion:
+		// A multi-input Union merges streams; only the single-input
+		// (pass-through) case is linear.
+	default:
+		return false
+	}
+	return len(inE[n]) == 1 && len(outE[n]) == 1 && inE[n][0].port == PortDefault
+}
+
+// findChains returns the maximal linear chains of fusible nodes, upstream
+// first. Chains of length one are returned too: they fuse with nothing but
+// may still hoist into a shard subgraph.
+func (b *Builder) findChains(inE, outE map[*Node][]edge) [][]*Node {
+	linked := func(a, c *Node) bool { // a's only output feeds c's only input
+		return outE[a][0].to == c && outE[a][0].port == PortDefault
+	}
+	var chains [][]*Node
+	for _, n := range b.nodes {
+		if !fusible(n, inE, outE) {
+			continue
+		}
+		if pred := inE[n][0].from; fusible(pred, inE, outE) && linked(pred, n) {
+			continue // not a chain head
+		}
+		c := []*Node{n}
+		for cur := n; ; {
+			next := outE[cur][0].to
+			if !fusible(next, inE, outE) || !linked(cur, next) {
+				break
+			}
+			c = append(c, next)
+			cur = next
+		}
+		chains = append(chains, c)
+	}
+	return chains
+}
+
+// hoistPort decides whether a chain feeding shard-parallel stateful node n
+// on edge port eport may hoist, and onto which shard input port.
+func hoistPort(n *Node, eport string, c []*Node) (port string, ok bool) {
+	var specKey func(core.Tuple) string
+	switch n.kind {
+	case KindAggregate:
+		if eport != PortDefault {
+			return "", false
+		}
+		port, specKey = PortDefault, n.aggSpec.Key
+	case KindJoin:
+		switch eport {
+		case PortLeft:
+			port, specKey = PortLeft, n.joinSpec.LeftKey
+		case PortRight:
+			port, specKey = PortRight, n.joinSpec.RightKey
+		default:
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	if specKey == nil {
+		return "", false // unkeyed: not shardable, Build will reject it
+	}
+	if c[0].ShardKey != nil {
+		// The head declares the partition key of its own input stream: the
+		// partitioner can route by it whatever the chain contains.
+		return port, true
+	}
+	for _, m := range c {
+		if m.kind == KindMap {
+			// A Map creates new tuples the stateful key function may not
+			// apply to; without a declared head key the partitioner cannot
+			// move above it.
+			return "", false
+		}
+	}
+	// Filter and pass-through stages forward the tuple object (or a
+	// payload-identical clone), so the stateful operator's key applies
+	// unchanged to the pre-prefix stream.
+	return port, true
+}
+
+// stageFor translates a logical chain node into its fused stage.
+func stageFor(n *Node) ops.FusedStage {
+	switch n.kind {
+	case KindMap:
+		return ops.FusedStage{Name: n.name, Kind: ops.StageMap, Map: n.mapFn}
+	case KindFilter:
+		return ops.FusedStage{Name: n.name, Kind: ops.StageFilter, Pred: n.pred}
+	case KindMultiplex:
+		return ops.FusedStage{Name: n.name, Kind: ops.StageMultiplex}
+	case KindUnion:
+		return ops.FusedStage{Name: n.name, Kind: ops.StagePass}
+	default:
+		panic(fmt.Sprintf("planner: node %q (%s) is not a fusible stage", n.name, n.kind))
+	}
+}
+
+// stagesFor translates a chain into its fused stage list.
+func stagesFor(c []*Node) []ops.FusedStage {
+	stages := make([]ops.FusedStage, len(c))
+	for i, n := range c {
+		stages[i] = stageFor(n)
+	}
+	return stages
+}
+
+// shardPrefixFor builds the ops.ShardPrefix for one hoisted chain (nil when
+// the port has none).
+func (p *physNode) shardPrefixFor(port string) *ops.ShardPrefix {
+	c := p.prefix[port]
+	if c == nil {
+		return nil
+	}
+	names := make([]string, len(c))
+	for i, n := range c {
+		names[i] = n.name
+	}
+	// ops defaults the partitioner's routing key to the stateful spec's own
+	// key; only a head-declared ShardKey needs passing down explicitly.
+	return &ops.ShardPrefix{
+		Name:   strings.Join(names, "+"),
+		Stages: stagesFor(c),
+		Key:    c[0].ShardKey,
+	}
+}
+
+// render formats the physical plan as the Query.Explain dump.
+func (pl *physPlan) render(queryName string, fusion bool) string {
+	var sb strings.Builder
+	state := "on"
+	if !fusion {
+		state = "off"
+	}
+	fmt.Fprintf(&sb, "physical plan %q (fusion %s, %d operator groups)\n", queryName, state, len(pl.nodes))
+	width := 0
+	for _, pn := range pl.nodes {
+		if n := len(pn.name()); n > width {
+			width = n
+		}
+	}
+	for _, pn := range pl.nodes {
+		fmt.Fprintf(&sb, "  %-*s  %s\n", width, pn.name(), pn.describe())
+	}
+	return sb.String()
+}
+
+// describe renders one physical node's right-hand plan column.
+func (p *physNode) describe() string {
+	switch p.kind {
+	case physFused:
+		parts := make([]string, len(p.chain))
+		for i, n := range p.chain {
+			parts[i] = fmt.Sprintf("%s %s", n.kind, n.name)
+		}
+		return "fused chain: " + strings.Join(parts, " => ")
+	case physShard:
+		n := p.node
+		if len(p.prefix) == 0 {
+			return fmt.Sprintf("%s x%d: partition -> %d instances -> merge", n.kind, n.Parallelism, n.Parallelism)
+		}
+		var hoists []string
+		for _, port := range []string{PortDefault, PortLeft, PortRight} {
+			c, ok := p.prefix[port]
+			if !ok {
+				continue
+			}
+			names := make([]string, len(c))
+			for i, m := range c {
+				names[i] = m.name
+			}
+			label := strings.Join(names, "+")
+			if port != PortDefault {
+				label = port + ": " + label
+			}
+			hoists = append(hoists, label)
+		}
+		return fmt.Sprintf("%s x%d: partition(hoisted above %s) -> %d x (prefix => %s) -> merge",
+			n.kind, n.Parallelism, strings.Join(hoists, "; "), n.Parallelism, n.name)
+	default:
+		return p.node.kind.String()
+	}
+}

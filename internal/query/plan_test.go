@@ -1,0 +1,380 @@
+package query
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// runPipeline builds src -> map -> filter -> map -> sink with the given
+// options and returns the sink payloads and, under GL, the traversed
+// provenance size per sink tuple.
+func runPipeline(t *testing.T, instr core.Instrumenter, fusion bool) (*Query, []string, []int) {
+	t.Helper()
+	b := New("pipe", WithInstrumenter(instr), WithFusion(fusion))
+	src := b.AddSource("src", sliceSource(60, 1))
+	m1 := b.AddMap("m1", func(tp core.Tuple, emit func(core.Tuple)) {
+		v := tp.(*vTuple)
+		emit(vt(v.Timestamp(), v.Key, v.Val*2))
+	})
+	f := b.AddFilter("f", func(tp core.Tuple) bool { return tp.(*vTuple).Val%4 == 0 })
+	m2 := b.AddMap("m2", func(tp core.Tuple, emit func(core.Tuple)) {
+		v := tp.(*vTuple)
+		emit(vt(v.Timestamp(), v.Key, v.Val+1))
+	})
+	var sinks []string
+	var prov []int
+	k := b.AddSink("k", func(tp core.Tuple) error {
+		sinks = append(sinks, renderV(tp.(*vTuple)))
+		prov = append(prov, len(core.FindProvenance(tp)))
+		return nil
+	})
+	b.Connect(src, m1)
+	b.Connect(m1, f)
+	b.Connect(f, m2)
+	b.Connect(m2, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return q, sinks, prov
+}
+
+func renderV(v *vTuple) string {
+	return v.Key + "/" + strconv.FormatInt(v.Timestamp(), 10) + "/" + strconv.FormatInt(v.Val, 10)
+}
+
+// TestPlannerFusesStatelessChains: with fusion on, the map-filter-map chain
+// collapses into one operator; output and provenance are unchanged.
+func TestPlannerFusesStatelessChains(t *testing.T) {
+	fused, fs, fp := runPipeline(t, &core.Genealog{}, true)
+	unfused, us, up := runPipeline(t, &core.Genealog{}, false)
+	if got, want := len(fused.Operators()), 3; got != want {
+		t.Fatalf("fused plan has %d operators, want %d (src, fused chain, sink)", got, want)
+	}
+	if got, want := len(unfused.Operators()), 5; got != want {
+		t.Fatalf("unfused plan has %d operators, want %d", got, want)
+	}
+	if fused.FusedChains() != 1 || unfused.FusedChains() != 0 {
+		t.Fatalf("FusedChains: fused %d (want 1), unfused %d (want 0)",
+			fused.FusedChains(), unfused.FusedChains())
+	}
+	if len(fs) == 0 || len(fs) != len(us) {
+		t.Fatalf("sink counts: fused %d, unfused %d", len(fs), len(us))
+	}
+	for i := range fs {
+		if fs[i] != us[i] {
+			t.Fatalf("sink %d differs: fused %s, unfused %s", i, fs[i], us[i])
+		}
+	}
+	for i := range fp {
+		if fp[i] != up[i] {
+			t.Fatalf("provenance size %d differs: fused %d, unfused %d", i, fp[i], up[i])
+		}
+	}
+	if !strings.Contains(fused.Explain(), "fused chain") {
+		t.Fatalf("Explain misses the fused chain:\n%s", fused.Explain())
+	}
+	if !strings.Contains(unfused.Explain(), "fusion off") {
+		t.Fatalf("Explain misses the fusion state:\n%s", unfused.Explain())
+	}
+}
+
+// keyedAggPipeline builds src -> [stateless prefix] -> keyed agg(P) -> sink.
+func keyedAggPipeline(t *testing.T, fusion bool, parallelism int, mapPrefix, declareKey bool) (*Query, []string) {
+	t.Helper()
+	b := New("hoist", WithInstrumenter(&core.Genealog{}), WithFusion(fusion))
+	src := b.AddSource("src", sliceSource(200, 1))
+	var prefix *Node
+	if mapPrefix {
+		prefix = b.AddMap("prefix", func(tp core.Tuple, emit func(core.Tuple)) {
+			v := tp.(*vTuple)
+			emit(vt(v.Timestamp(), v.Key, v.Val*3))
+		})
+		if declareKey {
+			prefix.ShardKeyed(func(tp core.Tuple) string { return tp.(*vTuple).Key })
+		}
+	} else {
+		prefix = b.AddFilter("prefix", func(tp core.Tuple) bool { return tp.(*vTuple).Val%5 != 0 })
+	}
+	agg := b.AddAggregate("agg", ops.AggregateSpec{
+		WS: 8, WA: 4,
+		Key: func(tp core.Tuple) string { return tp.(*vTuple).Key },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			var sum int64
+			for _, x := range w {
+				sum += x.(*vTuple).Val
+			}
+			return vt(0, key, sum)
+		},
+	}).Parallel(parallelism)
+	var sinks []string
+	k := b.AddSink("k", func(tp core.Tuple) error {
+		v := tp.(*vTuple)
+		sinks = append(sinks, renderV(v))
+		return nil
+	})
+	b.Connect(src, prefix)
+	b.Connect(prefix, agg)
+	b.Connect(agg, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return q, sinks
+}
+
+// TestPlannerHoistsFilterPrefix: a filter prefix of a Parallel aggregate is
+// hoisted into the shard lanes without any declaration, and the output stays
+// byte-identical to serial execution.
+func TestPlannerHoistsFilterPrefix(t *testing.T) {
+	serial, ss := keyedAggPipeline(t, true, 1, false, false)
+	parallel, ps := keyedAggPipeline(t, true, 4, false, false)
+	if serial.HoistedPrefixes() != 0 {
+		t.Fatalf("serial plan hoisted %d prefixes, want 0", serial.HoistedPrefixes())
+	}
+	if parallel.HoistedPrefixes() != 1 {
+		t.Fatalf("parallel plan hoisted %d prefixes, want 1\n%s", parallel.HoistedPrefixes(), parallel.Explain())
+	}
+	if !strings.Contains(parallel.Explain(), "hoisted above") {
+		t.Fatalf("Explain misses the hoist:\n%s", parallel.Explain())
+	}
+	if len(ss) == 0 || len(ss) != len(ps) {
+		t.Fatalf("sink counts: serial %d, parallel %d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i] != ps[i] {
+			t.Fatalf("sink %d differs: serial %s, parallel %s", i, ss[i], ps[i])
+		}
+	}
+}
+
+// TestPlannerMapPrefixNeedsShardKey: a prefix containing a Map hoists only
+// when its head declares the pre-prefix partition key; either way the output
+// matches serial execution.
+func TestPlannerMapPrefixNeedsShardKey(t *testing.T) {
+	_, want := keyedAggPipeline(t, true, 1, true, false)
+	undeclared, us := keyedAggPipeline(t, true, 4, true, false)
+	if undeclared.HoistedPrefixes() != 0 {
+		t.Fatalf("undeclared map prefix was hoisted:\n%s", undeclared.Explain())
+	}
+	declared, ds := keyedAggPipeline(t, true, 4, true, true)
+	if declared.HoistedPrefixes() != 1 {
+		t.Fatalf("declared map prefix was not hoisted:\n%s", declared.Explain())
+	}
+	for name, got := range map[string][]string{"undeclared": us, "declared": ds} {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d sink tuples, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: sink %d differs: got %s, want %s", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlannerFusesPassThroughMuxAndUnion: a single-branch Multiplex and a
+// single-input Union are legal chain stages; under GL the multiplex stage
+// still clones, so provenance matches the unfused graph.
+func TestPlannerFusesPassThroughMuxAndUnion(t *testing.T) {
+	run := func(fusion bool) (*Query, []string, []int) {
+		b := New("pass", WithInstrumenter(&core.Genealog{}), WithFusion(fusion))
+		src := b.AddSource("src", sliceSource(30, 1))
+		x := b.AddMultiplex("x")
+		u := b.AddUnion("u")
+		f := b.AddFilter("f", func(tp core.Tuple) bool { return tp.(*vTuple).Val%2 == 0 })
+		var sinks []string
+		var prov []int
+		k := b.AddSink("k", func(tp core.Tuple) error {
+			sinks = append(sinks, renderV(tp.(*vTuple)))
+			prov = append(prov, len(core.FindProvenance(tp)))
+			return nil
+		})
+		b.Connect(src, x)
+		b.Connect(x, u)
+		b.Connect(u, f)
+		b.Connect(f, k)
+		q, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return q, sinks, prov
+	}
+	fused, fs, fp := run(true)
+	_, us, up := run(false)
+	if got, want := len(fused.Operators()), 3; got != want {
+		t.Fatalf("fused plan has %d operators, want %d:\n%s", got, want, fused.Explain())
+	}
+	if len(fs) == 0 || len(fs) != len(us) {
+		t.Fatalf("sink counts: fused %d, unfused %d", len(fs), len(us))
+	}
+	for i := range fs {
+		if fs[i] != us[i] || fp[i] != up[i] {
+			t.Fatalf("sink %d differs: fused %s/%d, unfused %s/%d", i, fs[i], fp[i], us[i], up[i])
+		}
+	}
+}
+
+// TestPlannerKeepsBranchingTopologies: a branching Multiplex and a merging
+// Union must not fuse, and the diamond still runs correctly fused elsewhere.
+func TestPlannerKeepsBranchingTopologies(t *testing.T) {
+	b := New("diamond", WithInstrumenter(&core.Genealog{}))
+	src := b.AddSource("src", sliceSource(20, 1))
+	x := b.AddMultiplex("x")
+	f1 := b.AddFilter("f1", func(tp core.Tuple) bool { return tp.(*vTuple).Val < 5 })
+	f2 := b.AddFilter("f2", func(tp core.Tuple) bool { return tp.(*vTuple).Val >= 15 })
+	u := b.AddUnion("u")
+	var got int
+	k := b.AddSink("k", func(core.Tuple) error { got++; return nil })
+	b.Connect(src, x)
+	b.Connect(x, f1)
+	b.Connect(x, f2)
+	b.Connect(f1, u)
+	b.Connect(f2, u)
+	b.Connect(u, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FusedChains() != 0 {
+		t.Fatalf("diamond fused %d chains, want 0:\n%s", q.FusedChains(), q.Explain())
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("diamond delivered %d tuples, want 10", got)
+	}
+}
+
+// TestExplainListsEveryPhysicalOperator: the plan dump names each physical
+// operator group exactly once.
+func TestExplainListsEveryPhysicalOperator(t *testing.T) {
+	q, _, _ := runPipeline(t, core.Noop{}, true)
+	ex := q.Explain()
+	for _, want := range []string{"physical plan", "src", "fused[m1+f+m2]", "k"} {
+		if !strings.Contains(ex, want) {
+			t.Fatalf("Explain misses %q:\n%s", want, ex)
+		}
+	}
+}
+
+// wTuple is a second tuple type for heterogeneous-stream tests.
+type wTuple struct {
+	core.Base
+	Tag string
+}
+
+func (t *wTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+// typeGuardPipeline builds a heterogeneous source whose type-guard filter
+// narrows the stream before a keyed Parallel aggregate. key selects the
+// aggregate's key function; declared optionally sets a total ShardKey on
+// the guard so the hoisted partitioner can route the mixed stream.
+func typeGuardPipeline(t *testing.T, parallelism int, declared bool) (*Query, []string, error) {
+	t.Helper()
+	b := New("guard", WithInstrumenter(core.Noop{}))
+	src := b.AddSource("src", func(ctx context.Context, emit func(tp core.Tuple) error) error {
+		for i := 0; i < 120; i++ {
+			var tp core.Tuple
+			if i%3 == 0 {
+				tp = &wTuple{Base: core.NewBase(int64(i)), Tag: "w"}
+			} else {
+				tp = vt(int64(i), "k"+strconv.Itoa(i%4), int64(i))
+			}
+			if err := emit(tp); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	guard := b.AddFilter("guard", func(tp core.Tuple) bool {
+		_, ok := tp.(*vTuple)
+		return ok
+	})
+	if declared {
+		guard.ShardKeyed(func(tp core.Tuple) string {
+			if v, ok := tp.(*vTuple); ok {
+				return v.Key
+			}
+			return "" // foreign tuples: any stable route, the guard drops them in-lane
+		})
+	}
+	agg := b.AddAggregate("agg", ops.AggregateSpec{
+		WS: 8, WA: 8,
+		// The key type-asserts: it only ever sees post-guard tuples in the
+		// unfused plan.
+		Key: func(tp core.Tuple) string { return tp.(*vTuple).Key },
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			var sum int64
+			for _, x := range w {
+				sum += x.(*vTuple).Val
+			}
+			return vt(0, key, sum)
+		},
+	}).Parallel(parallelism)
+	var sinks []string
+	k := b.AddSink("k", func(tp core.Tuple) error {
+		sinks = append(sinks, renderV(tp.(*vTuple)))
+		return nil
+	})
+	b.Connect(src, guard)
+	b.Connect(guard, agg)
+	b.Connect(agg, k)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, sinks, q.Run(context.Background())
+}
+
+// TestHoistedTypeGuardFilter: hoisting moves the partitioner's key onto the
+// pre-filter stream. With a type-asserting key and no declared ShardKey the
+// query must fail with a descriptive error (not crash the process); with a
+// declared total ShardKey it must hoist and match the serial output.
+func TestHoistedTypeGuardFilter(t *testing.T) {
+	_, want, err := typeGuardPipeline(t, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial type-guard pipeline produced no sink tuples")
+	}
+	_, _, err = typeGuardPipeline(t, 4, false)
+	if err == nil || !strings.Contains(err.Error(), "routing key panicked") {
+		t.Fatalf("hoisted type-asserting key: err = %v, want a routing-key error", err)
+	}
+	q, got, err := typeGuardPipeline(t, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HoistedPrefixes() != 1 {
+		t.Fatalf("declared guard was not hoisted:\n%s", q.Explain())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("declared-key run: %d sink tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sink %d differs: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}

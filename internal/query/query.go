@@ -103,12 +103,31 @@ type Node struct {
 	// group-by Key and Join nodes with LeftKey/RightKey support it; Build
 	// rejects it elsewhere.
 	Parallelism int
+	// ShardKey, on a stateless node heading a chain that feeds a
+	// shard-parallel stateful node, declares the partition key of the
+	// tuples *entering* this node: routing them by ShardKey must land every
+	// tuple on the shard its descendants' group-by/join key hashes to. The
+	// planner needs the declaration to hoist the shard partitioner above a
+	// prefix containing a Map (Maps create new tuples the stateful key
+	// function may not apply to); prefixes of Filters and pass-through
+	// stages hoist without it, routed by the stateful key itself. A declared
+	// ShardKey always takes precedence over the stateful key at the hoisted
+	// partitioner, so it is also the way to hoist a prefix that narrows a
+	// heterogeneous stream the stateful key cannot read (see WithFusion).
+	ShardKey func(core.Tuple) string
 }
 
 // Parallel sets the node's shard parallelism (see Parallelism) and returns
 // the node for chaining: b.AddAggregate(...).Parallel(4).
 func (n *Node) Parallel(p int) *Node {
 	n.Parallelism = p
+	return n
+}
+
+// ShardKeyed sets the node's declared partition key (see ShardKey) and
+// returns the node for chaining: b.AddMap(...).ShardKeyed(key).
+func (n *Node) ShardKeyed(key func(core.Tuple) string) *Node {
+	n.ShardKey = key
 	return n
 }
 
@@ -129,6 +148,7 @@ type Builder struct {
 	instr     core.Instrumenter
 	chanCap   int
 	batchSize int
+	fusion    bool
 	nodes     []*Node
 	byName    map[string]*Node
 	edges     []edge
@@ -167,11 +187,35 @@ func WithBatchSize(n int) Option {
 	return func(b *Builder) { b.batchSize = n }
 }
 
+// WithFusion enables or disables the physical planner (default enabled):
+// Build rewrites the logical graph before materialisation, collapsing
+// maximal stateless chains into single fused operators and replicating
+// stateless prefixes of shard-parallel stateful nodes into the shard lanes.
+// The rewrite never changes the sink-observable output or any tuple's
+// contribution graph — instrumenter hooks fire once per logical stage either
+// way — it only removes framework overhead. Disabling it materialises every
+// logical node as its own operator and stream (useful to measure the
+// planner's effect, or as an escape hatch).
+//
+// One contract comes with prefix hoisting: the partitioner of a hoisted
+// prefix applies the stateful operator's key function to the *pre-prefix*
+// stream. For chains of Filters and pass-through stages over a homogeneous
+// stream — the common case — that is the same tuple type the key already
+// accepts. A prefix that *narrows* a heterogeneous stream (say, a
+// type-guard Filter in front of a key that type-asserts) must either
+// declare a total ShardKey on the chain's first node, which then routes
+// instead, or disable fusion; a key that panics on a pre-prefix tuple
+// fails the query with a descriptive error rather than crashing.
+func WithFusion(on bool) Option {
+	return func(b *Builder) { b.fusion = on }
+}
+
 // New returns a Builder for a query with the given name.
 func New(name string, opts ...Option) *Builder {
 	b := &Builder{
 		name:   name,
 		instr:  core.Noop{},
+		fusion: true,
 		byName: make(map[string]*Node),
 	}
 	for _, o := range opts {
@@ -267,6 +311,10 @@ func (b *Builder) ConnectPort(from, to *Node, port string) {
 type Query struct {
 	name      string
 	operators []ops.Operator
+
+	explain         string
+	fusedChains     int
+	hoistedPrefixes int
 }
 
 // Name returns the query's name.
@@ -275,7 +323,22 @@ func (q *Query) Name() string { return q.name }
 // Operators returns the materialised operators in construction order.
 func (q *Query) Operators() []ops.Operator { return q.operators }
 
-// Build validates the DAG and materialises streams and operators.
+// Explain returns the physical plan Build materialised: one row per
+// physical operator group, naming fused chains and shard subgraphs with
+// their hoisted prefixes.
+func (q *Query) Explain() string { return q.explain }
+
+// FusedChains returns how many standalone fused-chain operators the plan
+// contains (hoisted prefixes not included).
+func (q *Query) FusedChains() int { return q.fusedChains }
+
+// HoistedPrefixes returns how many stateless prefixes the plan replicated
+// into shard-parallel subgraphs.
+func (q *Query) HoistedPrefixes() int { return q.hoistedPrefixes }
+
+// Build validates the DAG, plans the physical graph (operator fusion and
+// shard-prefix replication, unless disabled with WithFusion(false)) and
+// materialises streams and operators.
 func (b *Builder) Build() (*Query, error) {
 	if b.err != nil {
 		return nil, fmt.Errorf("query %q: %w", b.name, b.err)
@@ -283,11 +346,18 @@ func (b *Builder) Build() (*Query, error) {
 	if len(b.nodes) == 0 {
 		return nil, fmt.Errorf("query %q: no operators", b.name)
 	}
-	ins := make(map[*Node][]*ops.Stream)
-	outs := make(map[*Node][]*ops.Stream)
-	inPorts := make(map[*Node]map[string]*ops.Stream)
-	for _, e := range b.edges {
-		s := ops.NewBatchedStream(fmt.Sprintf("%s->%s", e.from.name, e.to.name), b.chanCap, b.batchSize)
+	if err := b.checkRegistered(); err != nil {
+		return nil, fmt.Errorf("query %q: %w", b.name, err)
+	}
+	if err := b.checkAcyclic(); err != nil {
+		return nil, fmt.Errorf("query %q: %w", b.name, err)
+	}
+	pl := b.plan()
+	ins := make(map[*physNode][]*ops.Stream)
+	outs := make(map[*physNode][]*ops.Stream)
+	inPorts := make(map[*physNode]map[string]*ops.Stream)
+	for _, e := range pl.edges {
+		s := ops.NewBatchedStream(fmt.Sprintf("%s->%s", e.from.name(), e.to.name()), b.chanCap, b.batchSize)
 		outs[e.from] = append(outs[e.from], s)
 		ins[e.to] = append(ins[e.to], s)
 		if e.port != PortDefault {
@@ -295,42 +365,84 @@ func (b *Builder) Build() (*Query, error) {
 				inPorts[e.to] = make(map[string]*ops.Stream)
 			}
 			if _, dup := inPorts[e.to][e.port]; dup {
-				return nil, fmt.Errorf("query %q: node %q: duplicate input port %q", b.name, e.to.name, e.port)
+				return nil, fmt.Errorf("query %q: node %q: duplicate input port %q", b.name, e.to.name(), e.port)
 			}
 			inPorts[e.to][e.port] = s
 		}
 	}
-	if err := b.checkAcyclic(); err != nil {
-		return nil, fmt.Errorf("query %q: %w", b.name, err)
+	q := &Query{
+		name:            b.name,
+		explain:         pl.render(b.name, b.fusion),
+		fusedChains:     pl.fusedChains,
+		hoistedPrefixes: pl.hoistedPrefixes,
 	}
-	q := &Query{name: b.name}
-	for _, n := range b.nodes {
-		if n.Parallelism > 1 {
-			expanded, err := b.materialiseParallel(n, ins[n], outs[n], inPorts[n])
+	for _, pn := range pl.nodes {
+		switch pn.kind {
+		case physShard:
+			expanded, err := b.materialiseShard(pn, ins[pn], outs[pn], inPorts[pn])
 			if err != nil {
-				return nil, fmt.Errorf("query %q: node %q: %w", b.name, n.name, err)
+				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.node.name, err)
 			}
 			q.operators = append(q.operators, expanded...)
-			continue
+		case physFused:
+			op, err := b.materialiseFused(pn, ins[pn], outs[pn])
+			if err != nil {
+				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.name(), err)
+			}
+			q.operators = append(q.operators, op)
+		default:
+			op, err := b.materialise(pn.node, ins[pn], outs[pn], inPorts[pn])
+			if err != nil {
+				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.node.name, err)
+			}
+			q.operators = append(q.operators, op)
 		}
-		op, err := b.materialise(n, ins[n], outs[n], inPorts[n])
-		if err != nil {
-			return nil, fmt.Errorf("query %q: node %q: %w", b.name, n.name, err)
-		}
-		q.operators = append(q.operators, op)
 	}
 	return q, nil
 }
 
-// materialiseParallel expands a node with Parallelism > 1 into its shard
-// subgraph (partitioner, shard instances, fan-in).
-func (b *Builder) materialiseParallel(n *Node, in, out []*ops.Stream, ports map[string]*ops.Stream) ([]ops.Operator, error) {
+// checkRegistered rejects edges to *Node values that were never added to
+// this builder (e.g. nodes of another builder, or hand-constructed ones):
+// their streams would have no operator draining them and the query would
+// hang at Run.
+func (b *Builder) checkRegistered() error {
+	check := func(n *Node) error {
+		if reg, ok := b.byName[n.name]; !ok || reg != n {
+			return fmt.Errorf("connect: node %q was not added to this builder", n.name)
+		}
+		return nil
+	}
+	for _, e := range b.edges {
+		if err := check(e.from); err != nil {
+			return err
+		}
+		if err := check(e.to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materialiseFused builds the single operator of a fused stateless chain.
+func (b *Builder) materialiseFused(pn *physNode, in, out []*ops.Stream) (ops.Operator, error) {
+	if len(in) != 1 || len(out) != 1 {
+		return nil, fmt.Errorf("fused chain needs 1 input and 1 output, has %d/%d", len(in), len(out))
+	}
+	return ops.NewFusedChain(pn.name(), in[0], out[0], stagesFor(pn.chain), b.instr), nil
+}
+
+// materialiseShard expands a node with Parallelism > 1 into its shard
+// subgraph (partitioner, shard instances with optional hoisted prefixes,
+// fan-in).
+func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports map[string]*ops.Stream) ([]ops.Operator, error) {
+	n := pn.node
 	switch n.kind {
 	case KindAggregate:
 		if len(in) != 1 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
 		}
-		return ops.ShardAggregate(n.name, in[0], out[0], n.aggSpec, b.instr, n.Parallelism, b.chanCap, b.batchSize)
+		return ops.ShardAggregatePrefixed(n.name, in[0], out[0], n.aggSpec, b.instr,
+			n.Parallelism, b.chanCap, b.batchSize, pn.shardPrefixFor(PortDefault))
 	case KindJoin:
 		if len(in) != 2 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 2 inputs and 1 output, has %d/%d", n.kind, len(in), len(out))
@@ -339,7 +451,8 @@ func (b *Builder) materialiseParallel(n *Node, in, out []*ops.Stream, ports map[
 		if left == nil || right == nil {
 			return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
 		}
-		return ops.ShardJoin(n.name, left, right, out[0], n.joinSpec, b.instr, n.Parallelism, b.chanCap, b.batchSize)
+		return ops.ShardJoinPrefixed(n.name, left, right, out[0], n.joinSpec, b.instr,
+			n.Parallelism, b.chanCap, b.batchSize, pn.shardPrefixFor(PortLeft), pn.shardPrefixFor(PortRight))
 	default:
 		return nil, fmt.Errorf("parallelism is only supported on aggregate and join nodes, not %s", n.kind)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strconv"
+	"strings"
 	"testing"
 
 	"genealog/internal/core"
@@ -234,6 +235,86 @@ func TestQueryValidationErrors(t *testing.T) {
 	t.Run("empty query", func(t *testing.T) {
 		if _, err := New("empty").Build(); err == nil {
 			t.Fatal("empty query must fail Build")
+		}
+	})
+	t.Run("foreign node", func(t *testing.T) {
+		other := New("other")
+		foreign := other.AddSink("k", nil)
+		b := New("foreign")
+		src := b.AddSource("src", sliceSource(1, 1))
+		b.Connect(src, foreign)
+		_, err := b.Build()
+		if err == nil {
+			t.Fatal("an edge to another builder's node must fail Build")
+		}
+		if !strings.Contains(err.Error(), "was not added to this builder") {
+			t.Fatalf("foreign-node error = %v, want a not-added message", err)
+		}
+	})
+	t.Run("foreign node shadowing a registered name", func(t *testing.T) {
+		// A foreign node whose name collides with a registered one must
+		// still be rejected: the name matches, the node does not.
+		other := New("other")
+		foreign := other.AddFilter("f", func(core.Tuple) bool { return true })
+		b := New("shadow")
+		src := b.AddSource("src", sliceSource(1, 1))
+		b.AddFilter("f", func(core.Tuple) bool { return true }) // registered "f"
+		b.Connect(src, foreign)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("a foreign node shadowing a registered name must fail Build")
+		}
+	})
+	t.Run("never-connected foreign source", func(t *testing.T) {
+		other := New("other")
+		foreign := other.AddSource("s2", sliceSource(1, 1))
+		b := New("fsrc")
+		k := b.AddSink("k", nil)
+		b.Connect(foreign, k)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("an edge from another builder's node must fail Build")
+		}
+	})
+	t.Run("duplicate input port", func(t *testing.T) {
+		b := New("dupport")
+		l := b.AddSource("l", sliceSource(1, 1))
+		r := b.AddSource("r", sliceSource(1, 1))
+		j := b.AddJoin("j", ops.JoinSpec{
+			WS:        1,
+			Predicate: func(l, r core.Tuple) bool { return true },
+			Combine:   func(l, r core.Tuple) core.Tuple { return nil },
+		})
+		b.ConnectPort(l, j, PortLeft)
+		b.ConnectPort(r, j, PortLeft)
+		b.Connect(j, b.AddSink("k", nil))
+		_, err := b.Build()
+		if err == nil {
+			t.Fatal("two edges on one input port must fail Build")
+		}
+		if !strings.Contains(err.Error(), "duplicate input port") {
+			t.Fatalf("duplicate-port error = %v, want a duplicate-port message", err)
+		}
+	})
+	t.Run("custom wrong arity", func(t *testing.T) {
+		b := New("arity")
+		src := b.AddSource("src", sliceSource(1, 1))
+		c := b.AddCustom("c", 2, 1, func(ins, outs []*ops.Stream) (ops.Operator, error) {
+			t.Fatal("factory must not run on arity mismatch")
+			return nil, nil
+		})
+		b.Connect(src, c)
+		b.Connect(c, b.AddSink("k", nil))
+		if _, err := b.Build(); err == nil {
+			t.Fatal("a custom node with too few inputs must fail Build")
+		}
+	})
+	t.Run("parallelism on stateless node", func(t *testing.T) {
+		b := New("badpar")
+		src := b.AddSource("src", sliceSource(1, 1))
+		f := b.AddFilter("f", func(core.Tuple) bool { return true }).Parallel(4)
+		b.Connect(src, f)
+		b.Connect(f, b.AddSink("k", nil))
+		if _, err := b.Build(); err == nil {
+			t.Fatal("Parallel on a filter must fail Build")
 		}
 	})
 	t.Run("nil connect", func(t *testing.T) {
