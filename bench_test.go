@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
@@ -188,6 +189,48 @@ func BenchmarkSizeReport(b *testing.B) {
 			b.ReportMetric(float64(last.ProvBytes), "prov-B")
 			b.ReportMetric(float64(last.SourceBytes), "source-B")
 		})
+	}
+}
+
+// BenchmarkProvStoreOverhead measures the cost of serving-side provenance
+// persistence: a full GL run of Q1 with the durable provenance store off
+// versus on (append-only file log), serial and at Parallelism(4). The store
+// ingests every assembled contribution set — deduplicated, watermark-retired
+// — so the delta over store-off is the price of turning provenance from a
+// run-time observation into a queryable artifact. Run with
+//
+//	go test -bench BenchmarkProvStoreOverhead -benchtime 1x
+func BenchmarkProvStoreOverhead(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		for _, store := range []bool{false, true} {
+			b.Run(fmt.Sprintf("parallelism-%d/store-%v", p, store), func(b *testing.B) {
+				o := benchOptions()
+				o.Query, o.Mode, o.Deployment = harness.Q1, harness.ModeGL, harness.Intra
+				o.Parallelism = p
+				if store {
+					o.StorePath = filepath.Join(b.TempDir(), "prov.glprov")
+				}
+				var last harness.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := harness.Run(context.Background(), o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.StopTimer()
+				if store && (last.ProvStoreSinks != last.SinkTuples || last.ProvStoreBytes == 0) {
+					b.Fatalf("store did not persist every result: %d sinks stored, %d delivered, %d bytes",
+						last.ProvStoreSinks, last.SinkTuples, last.ProvStoreBytes)
+				}
+				b.ReportMetric(last.ThroughputTPS, "tuples/s")
+				if store {
+					b.ReportMetric(float64(last.ProvStoreBytes), "store-B")
+					b.ReportMetric(last.ProvStoreDedup, "dedup-x")
+				}
+			})
+		}
 	}
 }
 

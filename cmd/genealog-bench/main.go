@@ -15,6 +15,7 @@
 //	genealog-bench -experiment fig12 -parallelism 0 -batch 64  # auto shards, batched streams
 //	genealog-bench -experiment fig12 -fuse=false     # planner off: one goroutine per operator
 //	genealog-bench -experiment fig12 -v              # print every cell's physical plan
+//	genealog-bench -experiment fig12 -store /tmp/prov  # persist per-cell provenance stores
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
 // -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
@@ -27,7 +28,12 @@
 // controls the physical planner: stateless operator chains fuse into single
 // goroutines and stateless prefixes of shard-parallel operators replicate
 // into the shard lanes; output and provenance are byte-identical either
-// way. -v prints each cell's physical plan before the runs.
+// way. -v prints each cell's physical plan before the runs. The -store flag
+// persists every cell's assembled provenance into durable store files (one
+// per query x mode cell, "-inter" suffix for the inter-process grid); after
+// the runs, cmd/genealog-prov answers backward/forward queries against them,
+// and the report gains per-cell store rows (bytes, dedup ratio) comparing
+// GL's deduplicated store with BL's retain-everything source store.
 package main
 
 import (
@@ -61,6 +67,7 @@ func run(args []string, out *os.File) error {
 	parallelism := fs.Int("parallelism", 1, "shard parallelism for keyed stateful operators: 1 = serial, n > 1 = n shards, 0 = auto (choose from the CPU count)")
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
+	storePath := fs.String("store", "", "persist each cell's assembled provenance into durable store files at this path prefix (suffix: -<query>-<mode>[-inter]); query them with genealog-prov")
 	verbose := fs.Bool("v", false, "print the physical plan of every (query, mode) cell before running")
 	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
 	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
@@ -96,6 +103,7 @@ func run(args []string, out *os.File) error {
 		BatchSize:           *batch,
 		UseBinaryCodec:      *codec == "binary",
 		NoFusion:            !*fuse,
+		StorePath:           *storePath,
 	}
 	if *codec != "gob" && *codec != "binary" {
 		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)

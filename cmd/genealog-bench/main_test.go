@@ -2,9 +2,12 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"genealog/internal/provstore"
 )
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
@@ -131,6 +134,37 @@ func TestExplicitFuseWarnsOnUnfusibleTopology(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "no fusible stateless chain") {
 		t.Fatal("explicit -fuse on an unfusible topology must print a note")
+	}
+}
+
+func TestStoreFlagWritesPerCellStores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four queries")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "store-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prefix := filepath.Join(t.TempDir(), "prov")
+	if err := run([]string{"-experiment", "size", "-store", prefix}, f); err != nil {
+		t.Fatal(err)
+	}
+	// The size experiment runs Q1-Q4 under GL intra-process: one store file
+	// per cell, each answering queries after the run.
+	for _, q := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		path := prefix + "-" + q + "-GL"
+		st, err := provstore.OpenRead(path)
+		if err != nil {
+			t.Fatalf("cell store %s: %v", path, err)
+		}
+		ss := st.Stats()
+		if ss.Sinks == 0 || ss.Sources == 0 {
+			t.Fatalf("cell store %s is empty: %+v", path, ss)
+		}
+		if _, _, err := st.Backward(st.SinkIDs()[0]); err != nil {
+			t.Fatalf("cell store %s: %v", path, err)
+		}
 	}
 }
 

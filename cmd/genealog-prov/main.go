@@ -1,0 +1,139 @@
+// Command genealog-prov answers provenance queries against a store file
+// written by a previous run (harness Options.StorePath, genealog-bench
+// -store, examples/quickstart -store): the serving side of GeneaLog — ask
+// *after* the run ended which source tuples caused an alert (backward) and
+// which alerts a source tuple contributed to (forward).
+//
+// Usage:
+//
+//	genealog-prov -store prov.glprov                  # store statistics
+//	genealog-prov -store prov.glprov -list 5          # first 5 sink entries
+//	genealog-prov -store prov.glprov -backward 3      # sources of sink entry 3
+//	genealog-prov -store prov.glprov -forward 17      # sinks fed by source 17
+//
+// Entries print as "id ts format payload"; payloads are the CSV renderings
+// of the run's registered csvio formats, so the output is readable without
+// the workload's Go types.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"genealog/internal/provstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genealog-prov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genealog-prov", flag.ContinueOnError)
+	store := fs.String("store", "", "path to a provenance store file (required)")
+	backward := fs.Uint64("backward", 0, "print the source entries contributing to this sink entry ID")
+	forward := fs.Uint64("forward", 0, "print the sink entries this source entry ID contributed to")
+	list := fs.Int("list", 0, "print the first N sink entries (-1 = all)")
+	stats := fs.Bool("stats", false, "print store statistics (default when no query flag is given)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("missing -store (path to a provenance store file)")
+	}
+	st, err := provstore.OpenRead(*store)
+	if err != nil {
+		return err
+	}
+
+	queried := false
+	if *list != 0 {
+		queried = true
+		if err := printList(out, st, *list); err != nil {
+			return err
+		}
+	}
+	if *backward != 0 {
+		queried = true
+		if err := printBackward(out, st, *backward); err != nil {
+			return err
+		}
+	}
+	if *forward != 0 {
+		queried = true
+		if err := printForward(out, st, *forward); err != nil {
+			return err
+		}
+	}
+	if *stats || !queried {
+		printStats(out, *store, st.Stats())
+	}
+	return nil
+}
+
+func printStats(out io.Writer, path string, s provstore.Stats) {
+	fmt.Fprintf(out, "store %s\n", path)
+	fmt.Fprintf(out, "  sink entries    %d\n", s.Sinks)
+	fmt.Fprintf(out, "  source entries  %d (referenced %d times, dedup %.2fx)\n",
+		s.Sources, s.SourceRefs, s.DedupRatio())
+	fmt.Fprintf(out, "  bytes           %d\n", s.Bytes)
+	fmt.Fprintf(out, "  watermark       %d (retention horizon %d)\n", s.Watermark, s.Horizon)
+	fmt.Fprintf(out, "  retired         %d source entries (live %d)\n", s.RetiredSources, s.LiveSources)
+}
+
+func printSink(out io.Writer, e provstore.SinkEntry) {
+	fmt.Fprintf(out, "sink %d  ts=%d  %s  %s  <- %d source(s)\n",
+		e.ID, e.Ts, formatName(e.Format), e.Payload, len(e.Sources))
+}
+
+func printSource(out io.Writer, e provstore.SourceEntry) {
+	fmt.Fprintf(out, "  source %d  ts=%d  %s  %s  (refs %d)\n",
+		e.ID, e.Ts, formatName(e.Format), e.Payload, e.Refs)
+}
+
+func formatName(name string) string {
+	if name == "" {
+		return "(unregistered)"
+	}
+	return name
+}
+
+func printList(out io.Writer, st *provstore.Store, n int) error {
+	for _, id := range st.HeadSinkIDs(n) {
+		sink, err := st.Sink(id)
+		if err != nil {
+			return err
+		}
+		printSink(out, sink)
+	}
+	return nil
+}
+
+func printBackward(out io.Writer, st *provstore.Store, id uint64) error {
+	sink, sources, err := st.Backward(id)
+	if err != nil {
+		return err
+	}
+	printSink(out, sink)
+	for _, src := range sources {
+		printSource(out, src)
+	}
+	return nil
+}
+
+func printForward(out io.Writer, st *provstore.Store, id uint64) error {
+	src, sinks, err := st.Forward(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "source %d  ts=%d  %s  %s  -> %d sink(s)\n",
+		src.ID, src.Ts, formatName(src.Format), src.Payload, len(sinks))
+	for _, sink := range sinks {
+		fmt.Fprintf(out, "  sink %d  ts=%d  %s  %s\n", sink.ID, sink.Ts, formatName(sink.Format), sink.Payload)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/provstore"
+	"genealog/internal/smartgrid"
+)
+
+// writeStore builds a small store file: two alerts sharing one reading.
+func writeStore(t *testing.T) (path string, sinkIDs []uint64) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "prov.glprov")
+	st, err := provstore.Create(path, provstore.Options{Horizon: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := smartgrid.NewMeterReading(1, 7, 0)
+	alert := func(ts int64) core.Tuple {
+		return &smartgrid.BlackoutAlert{Base: core.NewBase(ts), Count: 8}
+	}
+	id1, err := st.Ingest(alert(24), []core.Tuple{shared, smartgrid.NewMeterReading(2, 8, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Ingest(alert(48), []core.Tuple{shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, []uint64{id1, id2}
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestStatsDefault(t *testing.T) {
+	path, _ := writeStore(t)
+	out := runCLI(t, "-store", path)
+	for _, want := range []string{"sink entries    2", "source entries  2", "dedup 1.50x", "retention horizon 48"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBackwardForwardAndList(t *testing.T) {
+	path, ids := writeStore(t)
+	out := runCLI(t, "-store", path, "-backward", "1")
+	if !strings.Contains(out, "sg.blackout") || !strings.Contains(out, "sg.reading") {
+		t.Fatalf("backward output missing formats:\n%s", out)
+	}
+	if !strings.Contains(out, "1,7,0.0000") {
+		t.Fatalf("backward output missing the shared reading:\n%s", out)
+	}
+
+	// The shared reading was ingested first, so it is source entry 1; its
+	// forward query must list both alerts.
+	fwdOut := runCLI(t, "-store", path, "-forward", "1")
+	if !strings.Contains(fwdOut, "-> 2 sink(s)") {
+		t.Fatalf("forward output should list both alerts:\n%s", fwdOut)
+	}
+
+	listOut := runCLI(t, "-store", path, "-list", "1")
+	if strings.Count(listOut, "sink ") != 1 {
+		t.Fatalf("-list 1 should print one sink entry:\n%s", listOut)
+	}
+	_ = ids
+}
+
+func TestErrors(t *testing.T) {
+	path, _ := writeStore(t)
+	var sb strings.Builder
+	if err := run([]string{"-store", path, "-backward", "999"}, &sb); err == nil {
+		t.Fatal("unknown sink ID must fail")
+	}
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing -store must fail")
+	}
+	if err := run([]string{"-store", filepath.Join(t.TempDir(), "missing.glprov")}, &sb); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

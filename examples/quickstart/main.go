@@ -3,22 +3,29 @@
 // source tuples that caused it.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -store /tmp/quickstart.glprov
 //
 // The query watches a stream of temperature readings and raises an alert
 // when three consecutive readings from the same sensor within a window
 // average above a threshold; GeneaLog links each alert back to the readings
-// involved.
+// involved. With -store the provenance survives the run: it is persisted
+// into a durable store file, and after the query drains the example reopens
+// the file and replays a backward and a forward query against it (the same
+// file answers cmd/genealog-prov queries).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"strconv"
 
 	"genealog/internal/core"
+	"genealog/internal/csvio"
 	"genealog/internal/ops"
 	"genealog/internal/provenance"
+	"genealog/internal/provstore"
 	"genealog/internal/query"
 )
 
@@ -54,10 +61,83 @@ func (a *Alert) CloneTuple() core.Tuple {
 	return &cp
 }
 
+// registerFormats teaches csvio how to persist the example's tuple types:
+// the provenance store encodes payloads through registered formats, so a
+// store file is readable (and re-parsable) without the Go types.
+func registerFormats() {
+	csvio.RegisterFormat("quickstart.reading", &Reading{},
+		func(fields []string) (core.Tuple, error) {
+			ts, err := csvio.Int64Field(fields, 0)
+			if err != nil {
+				return nil, err
+			}
+			sensor, err := csvio.Int32Field(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			temp, err := csvio.Float64Field(fields, 2)
+			if err != nil {
+				return nil, err
+			}
+			return &Reading{Base: core.NewBase(ts), Sensor: int(sensor), TempC: temp}, nil
+		},
+		func(t core.Tuple) ([]string, error) {
+			r := t.(*Reading)
+			return []string{
+				strconv.FormatInt(r.Timestamp(), 10),
+				strconv.Itoa(r.Sensor),
+				strconv.FormatFloat(r.TempC, 'f', 1, 64),
+			}, nil
+		})
+	csvio.RegisterFormat("quickstart.alert", &Alert{},
+		func(fields []string) (core.Tuple, error) {
+			ts, err := csvio.Int64Field(fields, 0)
+			if err != nil {
+				return nil, err
+			}
+			sensor, err := csvio.Int32Field(fields, 1)
+			if err != nil {
+				return nil, err
+			}
+			avg, err := csvio.Float64Field(fields, 2)
+			if err != nil {
+				return nil, err
+			}
+			return &Alert{Base: core.NewBase(ts), Sensor: int(sensor), AvgC: avg}, nil
+		},
+		func(t core.Tuple) ([]string, error) {
+			a := t.(*Alert)
+			return []string{
+				strconv.FormatInt(a.Timestamp(), 10),
+				strconv.Itoa(a.Sensor),
+				strconv.FormatFloat(a.AvgC, 'f', 1, 64),
+			}, nil
+		})
+}
+
 func main() {
+	storePath := flag.String("store", "", "persist provenance into this store file and replay a query after the run")
+	flag.Parse()
+
 	// 1. A builder with the GeneaLog instrumenter: the same query built with
-	//    core.Noop{} runs with zero provenance overhead.
-	b := query.New("quickstart", query.WithInstrumenter(&core.Genealog{}))
+	//    core.Noop{} runs with zero provenance overhead. With -store, the
+	//    provenance collector additionally persists every (alert, readings)
+	//    pair it assembles into a durable store.
+	opts := []query.Option{query.WithInstrumenter(&core.Genealog{})}
+	var store *provstore.Store
+	if *storePath != "" {
+		registerFormats()
+		var err error
+		// Horizon 6 (two 3-second windows): once the watermark is 6 s past a
+		// reading, no open window can reference it any more and its dedup
+		// handle is retired.
+		store, err = provstore.Create(*storePath, provstore.Options{Horizon: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, query.WithProvenanceStore(store))
+	}
+	b := query.New("quickstart", opts...)
 
 	// 2. Source: six sensors, reading every second; sensor 3 overheats
 	//    between t=10 and t=20.
@@ -132,4 +212,57 @@ func main() {
 	if err := q.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
+
+	// 6. Serving: with -store the provenance outlived the run. Close the
+	//    store (final-watermark retirement + flush), reopen the file cold —
+	//    as cmd/genealog-prov would — and ask it questions.
+	if store == nil {
+		return
+	}
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	replayQueries(*storePath)
+}
+
+// replayQueries reopens the store file and replays a backward and a forward
+// query against it: everything printed here comes from disk, not from the
+// run's memory.
+func replayQueries(path string) {
+	st, err := provstore.OpenRead(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := st.Stats()
+	fmt.Printf("\nstore %s: %d alerts, %d readings (referenced %d times, dedup %.2fx), %d bytes\n",
+		path, stats.Sinks, stats.Sources, stats.SourceRefs, stats.DedupRatio(), stats.Bytes)
+
+	// Backward: which readings caused the first alert?
+	sinkIDs := st.HeadSinkIDs(1)
+	if len(sinkIDs) == 0 {
+		return
+	}
+	sink, sources, err := st.Backward(sinkIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed Backward(%d): alert [%s] caused by %d readings:", sink.ID, sink.Payload, len(sources))
+	for _, s := range sources {
+		fmt.Printf(" [%s]", s.Payload)
+	}
+	fmt.Println()
+	if len(sources) == 0 {
+		return
+	}
+
+	// Forward: which alerts did the first of those readings contribute to?
+	src, sinks, err := st.Forward(sources[0].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed Forward(%d): reading [%s] contributed to %d alert(s):", src.ID, src.Payload, len(sinks))
+	for _, s := range sinks {
+		fmt.Printf(" [%s]", s.Payload)
+	}
+	fmt.Println()
 }

@@ -9,6 +9,19 @@ import (
 	"genealog/internal/smartgrid"
 )
 
+// The workload formats register at init so any importer — trace replay, the
+// provenance store's file log, cmd/genealog-prov — can encode and decode the
+// evaluation queries' tuple types by name.
+func init() {
+	RegisterFormat("lr.position", &linearroad.PositionReport{}, ParsePositionReport, FormatPositionReport)
+	RegisterFormat("lr.stopped", &linearroad.StoppedCar{}, ParseStoppedCar, FormatStoppedCar)
+	RegisterFormat("lr.accident", &linearroad.AccidentAlert{}, ParseAccidentAlert, FormatAccidentAlert)
+	RegisterFormat("sg.reading", &smartgrid.MeterReading{}, ParseMeterReading, FormatMeterReading)
+	RegisterFormat("sg.daily", &smartgrid.DailyCons{}, ParseDailyCons, FormatDailyCons)
+	RegisterFormat("sg.blackout", &smartgrid.BlackoutAlert{}, ParseBlackoutAlert, FormatBlackoutAlert)
+	RegisterFormat("sg.anomaly", &smartgrid.AnomalyAlert{}, ParseAnomalyAlert, FormatAnomalyAlert)
+}
+
 // ParsePositionReport parses the lr-gen format: ts,car_id,speed,pos.
 func ParsePositionReport(fields []string) (core.Tuple, error) {
 	ts, err := Int64Field(fields, 0)
@@ -71,5 +84,162 @@ func FormatMeterReading(t core.Tuple) ([]string, error) {
 		strconv.FormatInt(m.Timestamp(), 10),
 		strconv.Itoa(int(m.MeterID)),
 		strconv.FormatFloat(m.Cons, 'f', 4, 64),
+	}, nil
+}
+
+// ParseStoppedCar parses Q1's sink tuple: ts,car_id,count,distinct_pos,last_pos.
+func ParseStoppedCar(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	car, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	count, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	distinct, err := Int32Field(fields, 3)
+	if err != nil {
+		return nil, err
+	}
+	last, err := Int32Field(fields, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &linearroad.StoppedCar{
+		Base: core.NewBase(ts), CarID: car, Count: count, DistinctPos: distinct, LastPos: last,
+	}, nil
+}
+
+// FormatStoppedCar renders Q1's sink tuple.
+func FormatStoppedCar(t core.Tuple) ([]string, error) {
+	s, ok := t.(*linearroad.StoppedCar)
+	if !ok {
+		return nil, fmt.Errorf("want *linearroad.StoppedCar, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(s.Timestamp(), 10),
+		strconv.Itoa(int(s.CarID)),
+		strconv.Itoa(int(s.Count)),
+		strconv.Itoa(int(s.DistinctPos)),
+		strconv.Itoa(int(s.LastPos)),
+	}, nil
+}
+
+// ParseAccidentAlert parses Q2's sink tuple: ts,pos,count.
+func ParseAccidentAlert(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	count, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &linearroad.AccidentAlert{Base: core.NewBase(ts), Pos: pos, Count: count}, nil
+}
+
+// FormatAccidentAlert renders Q2's sink tuple.
+func FormatAccidentAlert(t core.Tuple) ([]string, error) {
+	a, ok := t.(*linearroad.AccidentAlert)
+	if !ok {
+		return nil, fmt.Errorf("want *linearroad.AccidentAlert, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(a.Timestamp(), 10),
+		strconv.Itoa(int(a.Pos)),
+		strconv.Itoa(int(a.Count)),
+	}, nil
+}
+
+// ParseDailyCons parses the daily consumption sum: ts,meter_id,cons_sum.
+func ParseDailyCons(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := Float64Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &smartgrid.DailyCons{Base: core.NewBase(ts), MeterID: meter, ConsSum: sum}, nil
+}
+
+// FormatDailyCons renders the daily consumption sum.
+func FormatDailyCons(t core.Tuple) ([]string, error) {
+	d, ok := t.(*smartgrid.DailyCons)
+	if !ok {
+		return nil, fmt.Errorf("want *smartgrid.DailyCons, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(d.Timestamp(), 10),
+		strconv.Itoa(int(d.MeterID)),
+		strconv.FormatFloat(d.ConsSum, 'f', 4, 64),
+	}, nil
+}
+
+// ParseBlackoutAlert parses Q3's sink tuple: ts,count.
+func ParseBlackoutAlert(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	count, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &smartgrid.BlackoutAlert{Base: core.NewBase(ts), Count: count}, nil
+}
+
+// FormatBlackoutAlert renders Q3's sink tuple.
+func FormatBlackoutAlert(t core.Tuple) ([]string, error) {
+	a, ok := t.(*smartgrid.BlackoutAlert)
+	if !ok {
+		return nil, fmt.Errorf("want *smartgrid.BlackoutAlert, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(a.Timestamp(), 10),
+		strconv.Itoa(int(a.Count)),
+	}, nil
+}
+
+// ParseAnomalyAlert parses Q4's sink tuple: ts,meter_id,cons_diff.
+func ParseAnomalyAlert(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	meter, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	diff, err := Float64Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &smartgrid.AnomalyAlert{Base: core.NewBase(ts), MeterID: meter, ConsDiff: diff}, nil
+}
+
+// FormatAnomalyAlert renders Q4's sink tuple.
+func FormatAnomalyAlert(t core.Tuple) ([]string, error) {
+	a, ok := t.(*smartgrid.AnomalyAlert)
+	if !ok {
+		return nil, fmt.Errorf("want *smartgrid.AnomalyAlert, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(a.Timestamp(), 10),
+		strconv.Itoa(int(a.MeterID)),
+		strconv.FormatFloat(a.ConsDiff, 'f', 4, 64),
 	}, nil
 }

@@ -1,0 +1,186 @@
+package csvio
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"genealog/internal/core"
+)
+
+// Format is a named, registered CSV encoding of one concrete tuple type.
+// Registered formats are how components that persist tuples without knowing
+// their concrete types — the provenance store's file log, offline traces —
+// encode payloads: the format name travels with the record, so any process
+// can render the fields, and a process that has the format registered can
+// reconstruct the tuple.
+type Format struct {
+	// Name identifies the format on disk (e.g. "lr.position").
+	Name string
+	// Parse converts CSV fields back into a tuple.
+	Parse ParseFunc
+	// Format converts a tuple into CSV fields.
+	Format FormatFunc
+}
+
+var (
+	regMu     sync.RWMutex
+	byName    = make(map[string]Format)
+	byTupType = make(map[reflect.Type]Format)
+)
+
+// RegisterFormat registers a named CSV format for the concrete type of proto.
+// Workload packages register their tuple types at init; applications with
+// custom tuple types (see examples/quickstart) register theirs before
+// persisting provenance. Registering a duplicate name or type panics: formats
+// are process-global wiring, and a silent overwrite would corrupt stores.
+func RegisterFormat(name string, proto core.Tuple, parse ParseFunc, format FormatFunc) {
+	if name == "" || proto == nil || parse == nil || format == nil {
+		panic("csvio: RegisterFormat needs a name, a prototype tuple, a parser and a formatter")
+	}
+	typ := reflect.TypeOf(proto)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("csvio: format %q already registered", name))
+	}
+	if f, dup := byTupType[typ]; dup {
+		panic(fmt.Sprintf("csvio: tuple type %v already registered as %q", typ, f.Name))
+	}
+	f := Format{Name: name, Parse: parse, Format: format}
+	byName[name] = f
+	byTupType[typ] = f
+}
+
+// FormatNamed returns the format registered under name.
+func FormatNamed(name string) (Format, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := byName[name]
+	return f, ok
+}
+
+// FormatOf returns the format registered for t's concrete type.
+func FormatOf(t core.Tuple) (Format, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := byTupType[reflect.TypeOf(t)]
+	return f, ok
+}
+
+// Formats returns every registered format, sorted by name.
+func Formats() []Format {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Format, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EncodeTuple renders t through its registered format and returns the format
+// name and the CSV fields. It fails when t's type has no registered format.
+func EncodeTuple(t core.Tuple) (name string, fields []string, err error) {
+	f, ok := FormatOf(t)
+	if !ok {
+		return "", nil, fmt.Errorf("csvio: no format registered for %T", t)
+	}
+	fields, err = f.Format(t)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.Name, fields, nil
+}
+
+// DecodeTuple reconstructs a tuple from a format name and CSV fields.
+func DecodeTuple(name string, fields []string) (core.Tuple, error) {
+	f, ok := FormatNamed(name)
+	if !ok {
+		return nil, fmt.Errorf("csvio: unknown format %q", name)
+	}
+	return f.Parse(fields)
+}
+
+// JoinFields renders fields as one CSV line, quoting only fields that need
+// it (RFC 4180 style: the field is wrapped in double quotes, inner quotes
+// doubled), so a field containing a comma, quote, CR or LF survives a round
+// trip through SplitFields byte-for-byte. Fields without such characters
+// join byte-identically to a plain comma join. (encoding/csv is not used
+// because its reader normalises CRLF inside quoted fields.) The one
+// ambiguity: a zero-field slice joins to "", which splits back to one empty
+// field — registered formats always render at least one field.
+func JoinFields(fields []string) string {
+	plain := true
+	for _, f := range fields {
+		if strings.ContainsAny(f, ",\"\r\n") {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return strings.Join(fields, ",")
+	}
+	var sb strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(f, ",\"\r\n") {
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(f, `"`, `""`))
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(f)
+		}
+	}
+	return sb.String()
+}
+
+// SplitFields is JoinFields' inverse: it recovers the field slice from a
+// joined payload line.
+func SplitFields(payload string) ([]string, error) {
+	if !strings.Contains(payload, `"`) {
+		return strings.Split(payload, ","), nil
+	}
+	var fields []string
+	i := 0
+	for {
+		if i < len(payload) && payload[i] == '"' {
+			var sb strings.Builder
+			i++
+			for {
+				j := strings.IndexByte(payload[i:], '"')
+				if j < 0 {
+					return nil, fmt.Errorf("csvio: split %q: unterminated quote", payload)
+				}
+				sb.WriteString(payload[i : i+j])
+				i += j + 1
+				if i < len(payload) && payload[i] == '"' {
+					sb.WriteByte('"') // doubled quote: literal
+					i++
+					continue
+				}
+				break
+			}
+			fields = append(fields, sb.String())
+			if i == len(payload) {
+				return fields, nil
+			}
+			if payload[i] != ',' {
+				return nil, fmt.Errorf("csvio: split %q: data after closing quote", payload)
+			}
+			i++
+			continue
+		}
+		j := strings.IndexByte(payload[i:], ',')
+		if j < 0 {
+			return append(fields, payload[i:]), nil
+		}
+		fields = append(fields, payload[i:i+j])
+		i += j + 1
+	}
+}

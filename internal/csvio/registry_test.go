@@ -1,0 +1,231 @@
+package csvio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/linearroad"
+	"genealog/internal/smartgrid"
+)
+
+// generators produces random tuples for every registered format. The
+// round-trip property test iterates Formats(), so registering a new format
+// without adding a generator here fails the test — coverage cannot rot
+// silently.
+var generators = map[string]func(r *rand.Rand) core.Tuple{
+	"lr.position": func(r *rand.Rand) core.Tuple {
+		return linearroad.NewPositionReport(r.Int63n(1e9), int32(r.Intn(1e6)), int32(r.Intn(200)), int32(r.Intn(1e6)))
+	},
+	"lr.stopped": func(r *rand.Rand) core.Tuple {
+		return &linearroad.StoppedCar{
+			Base:  core.NewBase(r.Int63n(1e9)),
+			CarID: int32(r.Intn(1e6)), Count: int32(r.Intn(100)),
+			DistinctPos: int32(r.Intn(100)), LastPos: int32(r.Intn(1e6)),
+		}
+	},
+	"lr.accident": func(r *rand.Rand) core.Tuple {
+		return &linearroad.AccidentAlert{
+			Base: core.NewBase(r.Int63n(1e9)),
+			Pos:  int32(r.Intn(1e6)), Count: int32(r.Intn(100)),
+		}
+	},
+	"sg.reading": func(r *rand.Rand) core.Tuple {
+		return smartgrid.NewMeterReading(r.Int63n(1e9), int32(r.Intn(1e6)), quantized(r))
+	},
+	"sg.daily": func(r *rand.Rand) core.Tuple {
+		return &smartgrid.DailyCons{
+			Base:    core.NewBase(r.Int63n(1e9)),
+			MeterID: int32(r.Intn(1e6)), ConsSum: quantized(r),
+		}
+	},
+	"sg.blackout": func(r *rand.Rand) core.Tuple {
+		return &smartgrid.BlackoutAlert{Base: core.NewBase(r.Int63n(1e9)), Count: int32(r.Intn(1000))}
+	},
+	"sg.anomaly": func(r *rand.Rand) core.Tuple {
+		return &smartgrid.AnomalyAlert{
+			Base:    core.NewBase(r.Int63n(1e9)),
+			MeterID: int32(r.Intn(1e6)), ConsDiff: quantized(r),
+		}
+	},
+}
+
+// quantized returns a float that survives the formats' 4-decimal rendering
+// exactly, so round-trips can be compared with ==.
+func quantized(r *rand.Rand) float64 {
+	return math.Round(r.Float64()*1e7) / 1e4
+}
+
+// TestFormatsRoundTripProperty: for every registered format, random tuples
+// survive format -> parse -> format with identical fields, and the parsed
+// tuple equals the original in payload and timestamp.
+func TestFormatsRoundTripProperty(t *testing.T) {
+	formats := Formats()
+	if len(formats) == 0 {
+		t.Fatal("no registered formats")
+	}
+	for _, f := range formats {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			gen := generators[f.Name]
+			if gen == nil {
+				t.Fatalf("no random generator for registered format %q — add one to keep the round-trip property covering every format", f.Name)
+			}
+			r := rand.New(rand.NewSource(int64(len(f.Name)) * 7919))
+			for i := 0; i < 200; i++ {
+				orig := gen(r)
+				fields, err := f.Format(orig)
+				if err != nil {
+					t.Fatalf("Format(%+v): %v", orig, err)
+				}
+				parsed, err := f.Parse(fields)
+				if err != nil {
+					t.Fatalf("Parse(%v): %v", fields, err)
+				}
+				if parsed.Timestamp() != orig.Timestamp() {
+					t.Fatalf("timestamp: parsed %d, want %d", parsed.Timestamp(), orig.Timestamp())
+				}
+				if reflect.TypeOf(parsed) != reflect.TypeOf(orig) {
+					t.Fatalf("type: parsed %T, want %T", parsed, orig)
+				}
+				again, err := f.Format(parsed)
+				if err != nil {
+					t.Fatalf("re-Format(%+v): %v", parsed, err)
+				}
+				if !reflect.DeepEqual(fields, again) {
+					t.Fatalf("round trip drifted: %v -> %v", fields, again)
+				}
+				// The registry resolves the tuple back to the same format.
+				byType, ok := FormatOf(parsed)
+				if !ok || byType.Name != f.Name {
+					t.Fatalf("FormatOf(%T) = %q, want %q", parsed, byType.Name, f.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestFormatsRejectMalformedLines: every registered parser must error (not
+// panic, not fabricate values) on truncated and non-numeric records.
+func TestFormatsRejectMalformedLines(t *testing.T) {
+	for _, f := range Formats() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			gen := generators[f.Name]
+			if gen == nil {
+				t.Fatalf("no generator for %q", f.Name)
+			}
+			good, err := f.Format(gen(rand.New(rand.NewSource(1))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Truncations: every prefix shorter than the full record.
+			for n := 0; n < len(good); n++ {
+				if _, err := f.Parse(good[:n]); err == nil {
+					t.Fatalf("Parse(%v) with %d/%d fields must fail", good[:n], n, len(good))
+				}
+			}
+			// Field corruption: each field replaced by junk.
+			for i := range good {
+				bad := append([]string(nil), good...)
+				bad[i] = "not-a-number"
+				if _, err := f.Parse(bad); err == nil {
+					t.Fatalf("Parse(%v) with corrupt field %d must fail", bad, i)
+				}
+			}
+			// Empty record.
+			if _, err := f.Parse(nil); err == nil {
+				t.Fatal("Parse(nil) must fail")
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeTuple covers the registry's convenience pair and its error
+// paths.
+func TestEncodeDecodeTuple(t *testing.T) {
+	name, fields, err := EncodeTuple(linearroad.NewPositionReport(30, 1, 2, 3))
+	if err != nil || name != "lr.position" {
+		t.Fatalf("EncodeTuple = %q, %v", name, err)
+	}
+	back, err := DecodeTuple(name, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := back.(*linearroad.PositionReport); !ok || p.Timestamp() != 30 || p.Pos != 3 {
+		t.Fatalf("DecodeTuple = %#v", back)
+	}
+
+	type unregistered struct{ core.Base }
+	if _, _, err := EncodeTuple(&unregistered{}); err == nil {
+		t.Fatal("EncodeTuple of an unregistered type must fail")
+	}
+	if _, err := DecodeTuple("no.such.format", nil); err == nil {
+		t.Fatal("DecodeTuple of an unknown format must fail")
+	}
+}
+
+// TestRegisterFormatGuards: duplicate names and types, and nil arguments,
+// panic loudly instead of silently overwriting process-global wiring.
+func TestRegisterFormatGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	parse := func([]string) (core.Tuple, error) { return nil, fmt.Errorf("unused") }
+	format := func(core.Tuple) ([]string, error) { return nil, fmt.Errorf("unused") }
+	mustPanic("duplicate name", func() {
+		RegisterFormat("lr.position", &struct{ core.Base }{}, parse, format)
+	})
+	mustPanic("duplicate type", func() {
+		RegisterFormat("lr.position-again", &linearroad.PositionReport{}, parse, format)
+	})
+	mustPanic("nil parser", func() {
+		RegisterFormat("x", &struct{ core.Base }{}, nil, format)
+	})
+}
+
+// TestJoinSplitFields covers the payload join used by the provenance store:
+// plain fields must join byte-identically to a comma join, and fields
+// containing CSV metacharacters must survive a round trip.
+func TestJoinSplitFields(t *testing.T) {
+	cases := [][]string{
+		{"42", "1", "5.0000"},
+		{"rack-1,bay-2", "ok"},
+		{`says "hi"`, "x"},
+		{"line\nbreak", "y"},
+		{"crlf\r\nkept", "z"}, // must survive byte-for-byte, not normalise to \n
+		{""},
+		{},
+	}
+	for _, fields := range cases {
+		joined := JoinFields(fields)
+		got, err := SplitFields(joined)
+		if err != nil {
+			t.Fatalf("SplitFields(%q): %v", joined, err)
+		}
+		want := fields
+		if len(fields) == 0 {
+			want = []string{""} // "" splits to one empty field
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %q -> %q -> %q", fields, joined, got)
+		}
+	}
+	if got := JoinFields([]string{"1", "2"}); got != "1,2" {
+		t.Fatalf("plain join = %q, want identical to comma join", got)
+	}
+	for _, malformed := range []string{`"unterminated`, `"closed"junk`} {
+		if _, err := SplitFields(malformed); err == nil {
+			t.Fatalf("SplitFields(%q) must fail", malformed)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"genealog/internal/linearroad"
+	"genealog/internal/provenance"
+	"genealog/internal/provstore"
 	"genealog/internal/smartgrid"
 	"genealog/internal/transport"
 )
@@ -108,6 +110,24 @@ type Options struct {
 	// only the framework overhead changes. The zero value keeps the planner
 	// on (the engine default).
 	NoFusion bool
+	// StorePath, when non-empty, persists every assembled provenance result
+	// (GL's traversed contribution graphs, BL's store joins) into a durable
+	// provenance store — an internal/provstore append-only file log created
+	// (truncated) at this path — with the query's retention horizon. After
+	// the run the file answers Backward/Forward queries via
+	// cmd/genealog-prov. The figure grids derive per-cell paths by appending
+	// "-<query>-<mode>" (plus "-inter" for the inter-process grid) so cells
+	// never overwrite each other; Repeat truncates the file per run, leaving
+	// the last run's store.
+	StorePath string
+	// Store, when non-nil, receives the assembled provenance instead of a
+	// StorePath-created file log: the caller owns the store's lifecycle
+	// (Close, queries after the run). Used by tests to inspect an in-memory
+	// store; takes precedence over StorePath.
+	Store *provstore.Store
+	// OnProvenance, when non-nil, observes every assembled provenance
+	// result, in delivery order, under any mode.
+	OnProvenance func(provenance.Result)
 }
 
 // Result is the outcome of one measured run.
@@ -156,8 +176,21 @@ type Result struct {
 	ProvBytes   int64
 	// NetBytes is the byte volume that crossed inter-process links.
 	NetBytes int64
-	// StoreBytes is the BL source store's final payload volume.
-	StoreBytes int64
+	// StoreBytes is the BL source store's final payload volume; StoreTuples
+	// is its entry count (the paper's BL retains the whole source stream, so
+	// with provenance-store rows next to these the BL-vs-GL serving cost is
+	// directly comparable).
+	StoreBytes  int64
+	StoreTuples int64
+	// ProvStoreBytes, ProvStoreSinks and ProvStoreSources describe the
+	// durable provenance store written by the run (zero without one):
+	// encoded volume, stored sink entries and deduplicated source entries.
+	ProvStoreBytes   int64
+	ProvStoreSinks   int64
+	ProvStoreSources int64
+	// ProvStoreDedup is source references per stored source entry (>= 1 when
+	// sink tuples share sources; the serving-side saving of deduplication).
+	ProvStoreDedup float64
 	// Elapsed is the wall-clock run duration.
 	Elapsed time.Duration
 }

@@ -60,6 +60,11 @@ type InterHooks struct {
 	OnResolve func(d time.Duration)
 	// Store is the BL provenance node's source store (required for BL SPE 3).
 	Store *baseline.Store
+	// ProvStore, when non-nil, durably persists the provenance node's
+	// assembled results: under GL the SPE 3 collector tees into it (the MU's
+	// unfolded Record stream is the ingestion path), under BL the buffered
+	// resolver's results are ingested via OnProvenance by the caller.
+	ProvStore query.ProvenanceStore
 }
 
 // MainLinkCount returns how many delivering streams stage 1 of q ships to
@@ -217,11 +222,15 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	}
 	switch o.Mode {
 	case ModeGL:
-		b := query.New(string(o.Query)+"-spe3",
+		opts := []query.Option{
 			query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil)),
 			query.WithChannelCapacity(o.ChannelCapacity),
 			query.WithBatchSize(o.BatchSize),
-			query.WithFusion(!o.NoFusion))
+			query.WithFusion(!o.NoFusion)}
+		if hooks.ProvStore != nil {
+			opts = append(opts, query.WithProvenanceStore(hooks.ProvStore))
+		}
+		b := query.New(string(o.Query)+"-spe3", opts...)
 		ups := make([]*query.Node, len(links.U1))
 		for i, l := range links.U1 {
 			ups[i] = transport.AddReceive(b, fmt.Sprintf("recv-u1-%d", i), l.Dec)
@@ -246,7 +255,19 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		storeDone := make(chan struct{})
 		addStoreIngest(b, "store-sink", srcsIn, hooks.Store, storeDone)
 		sinksIn := transport.AddReceive(b, "recv-sinks", links.Sinks.Dec)
-		addBufferedResolver(b, "resolver", sinksIn, hooks.Store, storeDone, hooks.OnResolve, onResult)
+		// BL has no collector to tee through query.WithProvenanceStore;
+		// persist each resolved result before observers see it. An ingest
+		// failure fails the resolver operator like any other error.
+		onResolved := func(r provenance.Result) error {
+			if hooks.ProvStore != nil {
+				if _, err := hooks.ProvStore.Ingest(r.Sink, r.Sources); err != nil {
+					return err
+				}
+			}
+			onResult(r)
+			return nil
+		}
+		addBufferedResolver(b, "resolver", sinksIn, hooks.Store, storeDone, hooks.OnResolve, onResolved)
 		return b.Build()
 	default:
 		return nil, nil
@@ -299,7 +320,22 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	if o.Mode == ModeBL {
 		store = baseline.NewStore()
 	}
+	provStore, ownStore, err := o.openProvStore(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if ownStore {
+		// Flush and release the file log on every error path too;
+		// finishProvStore closes first on success (re-Close is a no-op).
+		defer provStore.Close()
+	}
 	account := &provAccount{spec: spec}
+	observe := func(r provenance.Result) {
+		account.add(r)
+		if o.OnProvenance != nil {
+			o.OnProvenance(r)
+		}
+	}
 	var lat metrics.Welford
 	latQ := metrics.NewReservoir(0)
 	trav := []*metrics.Welford{{}, {}}
@@ -318,10 +354,13 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 		},
 		OnTraversal1: func(d time.Duration) { trav[0].Add(float64(d.Nanoseconds())) },
 		OnTraversal2: func(d time.Duration) { trav[1].Add(float64(d.Nanoseconds())) },
-		OnProvenance: account.add,
+		OnProvenance: observe,
 		// BL times its store join instead of a graph traversal.
 		OnResolve: func(d time.Duration) { trav[0].Add(float64(d.Nanoseconds())) },
 		Store:     store,
+	}
+	if provStore != nil {
+		hooks.ProvStore = provStore
 	}
 
 	var queries []*query.Query
@@ -391,6 +430,10 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	}
 	if store != nil {
 		res.StoreBytes = store.ApproxBytes()
+		res.StoreTuples = int64(store.Len())
+	}
+	if err := finishProvStore(provStore, ownStore, &res); err != nil {
+		return Result{}, err
 	}
 	return res, nil
 }
@@ -438,10 +481,11 @@ func (s *storeIngest) Run(ctx context.Context) error {
 // addBufferedResolver adds BL's provenance-node resolution: annotated sink
 // tuples are buffered until both their own stream and the shipped source
 // streams have drained (storeDone), and are then joined with the store.
-// onResolve, when non-nil, observes each resolution's duration.
+// onResolve, when non-nil, observes each resolution's duration. An onResult
+// error fails the operator.
 func addBufferedResolver(b *query.Builder, name string, from *query.Node,
 	store *baseline.Store, storeDone <-chan struct{}, onResolve func(time.Duration),
-	onResult func(provenance.Result)) {
+	onResult func(provenance.Result) error) {
 	node := b.AddCustom(name, 1, 0, func(ins, outs []*ops.Stream) (ops.Operator, error) {
 		return &bufferedResolver{
 			name: name, in: ins[0], store: store, storeDone: storeDone,
@@ -457,7 +501,7 @@ type bufferedResolver struct {
 	store     *baseline.Store
 	storeDone <-chan struct{}
 	onResolve func(time.Duration)
-	onResult  func(provenance.Result)
+	onResult  func(provenance.Result) error
 	buf       []core.Tuple
 }
 
@@ -489,7 +533,9 @@ func (r *bufferedResolver) Run(ctx context.Context) error {
 				if r.onResolve != nil {
 					r.onResolve(time.Since(begin))
 				}
-				r.onResult(provenance.Result{Sink: sink, Sources: sources})
+				if err := r.onResult(provenance.Result{Sink: sink, Sources: sources}); err != nil {
+					return fmt.Errorf("resolver %q: %w", r.name, err)
+				}
 			}
 			r.buf = nil
 			return nil

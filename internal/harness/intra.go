@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"genealog/internal/baseline"
@@ -9,6 +10,7 @@ import (
 	"genealog/internal/metrics"
 	"genealog/internal/ops"
 	"genealog/internal/provenance"
+	"genealog/internal/provstore"
 	"genealog/internal/query"
 )
 
@@ -54,6 +56,9 @@ func (p *provAccount) add(r provenance.Result) {
 type intraAssembly struct {
 	// store is the BL instrumenter's source store (required for ModeBL).
 	store *baseline.Store
+	// provStore, when non-nil, durably persists every assembled provenance
+	// result (the GL collector tees into it via query.WithProvenanceStore).
+	provStore query.ProvenanceStore
 	// onEmit observes every source tuple (throughput accounting).
 	onEmit func(core.Tuple)
 	// sinkFn consumes each sink tuple (nil discards).
@@ -73,10 +78,14 @@ type intraAssembly struct {
 func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Query, error) {
 	gen, _, _ := spec.source(o)
 	instr := instrumenterFor(o.Mode, 0, asm.store)
-	b := query.New(string(o.Query), query.WithInstrumenter(instr),
+	opts := []query.Option{query.WithInstrumenter(instr),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion))
+		query.WithFusion(!o.NoFusion)}
+	if asm.provStore != nil {
+		opts = append(opts, query.WithProvenanceStore(asm.provStore))
+	}
+	b := query.New(string(o.Query), opts...)
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	src.OnEmit = asm.onEmit
@@ -112,12 +121,27 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	if o.Mode == ModeBL {
 		store = baseline.NewStore()
 	}
+	provStore, ownStore, err := o.openProvStore(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if ownStore {
+		// Flush and release the file log on every error path too;
+		// finishProvStore closes first on success (re-Close is a no-op).
+		defer provStore.Close()
+	}
 
 	var srcCount metrics.Counter
 	var lat metrics.Welford
 	latQ := metrics.NewReservoir(0)
 	var trav metrics.Welford
 	account := &provAccount{spec: spec}
+	observe := func(r provenance.Result) {
+		account.add(r)
+		if o.OnProvenance != nil {
+			o.OnProvenance(r)
+		}
+	}
 
 	asm := intraAssembly{
 		store:  store,
@@ -129,11 +153,17 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	}
 	switch o.Mode {
 	case ModeGL:
+		// Only GL has a provenance collector to tee through the builder
+		// option; BL persists directly in its sink below (wiring the option
+		// there too would double-ingest if a BL collector were ever added).
+		if provStore != nil {
+			asm.provStore = provStore
+		}
 		asm.sinkFn = func(t core.Tuple) error { res.SinkTuples++; return nil }
 		asm.suCfg = provenance.SUConfig{
 			OnTraversal: func(d time.Duration, _ int) { trav.Add(float64(d.Nanoseconds())) },
 		}
-		asm.onProv = account.add
+		asm.onProv = observe
 	case ModeBL:
 		resolver := baseline.Resolver{Store: store}
 		asm.sinkFn = func(t core.Tuple) error {
@@ -141,7 +171,13 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 			begin := time.Now()
 			sources := resolver.Resolve(t)
 			trav.Add(float64(time.Since(begin).Nanoseconds()))
-			account.add(provenance.Result{Sink: t, Sources: sources})
+			// BL has no collector; persist the store join directly.
+			if provStore != nil {
+				if _, err := provStore.Ingest(t, sources); err != nil {
+					return err
+				}
+			}
+			observe(provenance.Result{Sink: t, Sources: sources})
 			return nil
 		}
 	default: // NP
@@ -176,6 +212,52 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	res.ProvBytes = account.bytes
 	if store != nil {
 		res.StoreBytes = store.ApproxBytes()
+		res.StoreTuples = int64(store.Len())
+	}
+	if err := finishProvStore(provStore, ownStore, &res); err != nil {
+		return Result{}, err
 	}
 	return res, nil
+}
+
+// openProvStore opens the run's durable provenance store: the
+// caller-provided one, or a file log at StorePath with the query's retention
+// horizon. The boolean reports whether the run owns (and must close) it.
+// NP assembles no provenance, so a store request under NP is an error —
+// better than leaving a misleading header-only file behind (the figure grids
+// blank NP cells' paths instead of tripping this).
+func (o *Options) openProvStore(spec querySpec) (*provstore.Store, bool, error) {
+	if o.Mode == ModeNP && (o.Store != nil || o.StorePath != "") {
+		return nil, false, fmt.Errorf("mode %s assembles no provenance to store", o.Mode)
+	}
+	if o.Store != nil {
+		return o.Store, false, nil
+	}
+	if o.StorePath == "" {
+		return nil, false, nil
+	}
+	st, err := provstore.Create(o.StorePath, provstore.Options{Horizon: spec.storeHorizon})
+	if err != nil {
+		return nil, false, err
+	}
+	return st, true, nil
+}
+
+// finishProvStore finalises an owned store (final-watermark retirement and
+// flush to disk) and folds the store's accounting into the result.
+func finishProvStore(st *provstore.Store, owned bool, res *Result) error {
+	if st == nil {
+		return nil
+	}
+	if owned {
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	ss := st.Stats()
+	res.ProvStoreBytes = ss.Bytes
+	res.ProvStoreSinks = ss.Sinks
+	res.ProvStoreSources = ss.Sources
+	res.ProvStoreDedup = ss.DedupRatio()
+	return nil
 }

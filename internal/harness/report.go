@@ -69,6 +69,22 @@ type Figure struct {
 	Cells map[QueryID]map[Mode]Summaries
 }
 
+// cellStorePath derives a per-cell provenance-store path from a base path,
+// so grid experiments (many queries x modes x deployments sharing one base
+// Options) write one store file per cell instead of overwriting each other.
+// NP assembles no provenance, so NP cells get no store file at all rather
+// than a misleading header-only one.
+func cellStorePath(base string, q QueryID, m Mode, d Deployment) string {
+	if base == "" || m == ModeNP {
+		return ""
+	}
+	path := fmt.Sprintf("%s-%s-%s", base, q, m)
+	if d == Inter {
+		path += "-inter"
+	}
+	return path
+}
+
 // runFigure measures every query under every mode for the given deployment.
 func runFigure(ctx context.Context, base Options, deployment Deployment, runs int, title string) (*Figure, error) {
 	fig := &Figure{Title: title, Cells: make(map[QueryID]map[Mode]Summaries)}
@@ -79,6 +95,7 @@ func runFigure(ctx context.Context, base Options, deployment Deployment, runs in
 			o.Query = q
 			o.Mode = m
 			o.Deployment = deployment
+			o.StorePath = cellStorePath(base.StorePath, q, m, deployment)
 			s, err := Repeat(ctx, o, runs)
 			if err != nil {
 				return nil, err
@@ -141,6 +158,18 @@ func (f *Figure) Render() string {
 			fmt.Fprintf(&sb, "  %-12s GL %d bytes  BL %d bytes\n", "Net volume",
 				gl.Last.NetBytes, bl.Last.NetBytes)
 		}
+		// The serving-side store cost: BL retains every source tuple for its
+		// provenance join (§7's pathology), GL persists only delivered
+		// provenance — deduplicated — into the provenance store when one is
+		// configured.
+		fmt.Fprintf(&sb, "  %-12s BL %d B (%d source tuples retained)\n", "BL store",
+			bl.Last.StoreBytes, bl.Last.StoreTuples)
+		if gl.Last.ProvStoreBytes > 0 || bl.Last.ProvStoreBytes > 0 {
+			fmt.Fprintf(&sb, "  %-12s GL %d B (%d sinks, %d sources, dedup %.2fx)  BL %d B (dedup %.2fx)\n",
+				"Prov store",
+				gl.Last.ProvStoreBytes, gl.Last.ProvStoreSinks, gl.Last.ProvStoreSources, gl.Last.ProvStoreDedup,
+				bl.Last.ProvStoreBytes, bl.Last.ProvStoreDedup)
+		}
 	}
 	return sb.String()
 }
@@ -165,12 +194,14 @@ func Fig14(ctx context.Context, base Options, runs int) (*Fig14Result, error) {
 		o.Query = q
 		o.Mode = ModeGL
 		o.Deployment = Intra
+		o.StorePath = cellStorePath(base.StorePath, q, ModeGL, Intra)
 		s, err := Repeat(ctx, o, runs)
 		if err != nil {
 			return nil, err
 		}
 		out.Intra[q] = s.Traversal
 		o.Deployment = Inter
+		o.StorePath = cellStorePath(base.StorePath, q, ModeGL, Inter)
 		s, err = Repeat(ctx, o, runs)
 		if err != nil {
 			return nil, err
@@ -216,6 +247,7 @@ func Size(ctx context.Context, base Options) (*SizeReport, error) {
 		o.Query = q
 		o.Mode = ModeGL
 		o.Deployment = Intra
+		o.StorePath = cellStorePath(base.StorePath, q, ModeGL, Intra)
 		r, err := Run(ctx, o)
 		if err != nil {
 			return nil, err

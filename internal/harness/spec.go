@@ -32,6 +32,11 @@ type querySpec struct {
 	// the stateful window sizes at the instance producing the derived
 	// stream.
 	muWindow int64
+	// storeHorizon is the provenance store's retention horizon: how far (in
+	// event time) behind the delivered watermark a source tuple can still be
+	// referenced by a future sink tuple. Twice the sum of the query's
+	// stateful window spans covers every open window with slack.
+	storeHorizon int64
 	// registerWire registers the workload's tuple types with the codec.
 	registerWire func()
 	// sized reports the approximate payload bytes of a tuple (provenance
@@ -55,6 +60,7 @@ func specFor(id QueryID) (querySpec, error) {
 				return linearroad.AddQ1Stage2(b, ins[0])
 			},
 			muWindow:     linearroad.MUWindowQ1,
+			storeHorizon: 2 * linearroad.Q1WindowSize,
 			registerWire: linearroad.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -72,6 +78,7 @@ func specFor(id QueryID) (querySpec, error) {
 				return linearroad.AddQ2Stage2(b, ins[0])
 			},
 			muWindow:     linearroad.MUWindowQ2,
+			storeHorizon: 2 * (linearroad.Q1WindowSize + linearroad.Q2WindowSize),
 			registerWire: linearroad.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -89,6 +96,7 @@ func specFor(id QueryID) (querySpec, error) {
 				return smartgrid.AddQ3Stage2(b, ins[0])
 			},
 			muWindow:     smartgrid.MUWindowQ3,
+			storeHorizon: 2 * (2 * smartgrid.HoursPerDay),
 			registerWire: smartgrid.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -107,6 +115,7 @@ func specFor(id QueryID) (querySpec, error) {
 				return smartgrid.AddQ4Stage2(b, smartgrid.Q4Stage1Outputs{Daily: ins[0], Midnight: ins[1]})
 			},
 			muWindow:     smartgrid.MUWindowQ4,
+			storeHorizon: 2 * (smartgrid.HoursPerDay + smartgrid.Q4JoinWindow),
 			registerWire: smartgrid.RegisterWire,
 			sized:        sizedBytes,
 		}, nil

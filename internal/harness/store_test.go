@@ -1,0 +1,288 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/csvio"
+	"genealog/internal/provenance"
+	"genealog/internal/provstore"
+)
+
+// payload renders a tuple exactly as the provenance store does, so reference
+// traversals and store entries compare on equal terms.
+func payload(t *testing.T, tup core.Tuple) string {
+	t.Helper()
+	_, fields, err := csvio.EncodeTuple(tup)
+	if err != nil {
+		t.Fatalf("no csvio format for %T: %v", tup, err)
+	}
+	return csvio.JoinFields(fields)
+}
+
+// runWithStore executes one measured run with an in-memory provenance store
+// and captures every assembled provenance result (the in-run traversal
+// reference). The store is closed (final-watermark retirement) before
+// returning.
+func runWithStore(t *testing.T, o Options) (*provstore.Store, []provenance.Result) {
+	t.Helper()
+	spec, err := specFor(o.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := provstore.NewMemory(provstore.Options{Horizon: spec.storeHorizon})
+	var results []provenance.Result
+	o.Store = st
+	o.OnProvenance = func(r provenance.Result) { results = append(results, r) }
+	if _, err := Run(context.Background(), o); err != nil {
+		t.Fatalf("Run(%s,%s,%s): %v", o.Query, o.Mode, o.Deployment, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st, results
+}
+
+// refKey mirrors the store's dedup identity: meta-ID when assigned, object
+// identity otherwise.
+func refKey(tup core.Tuple) any {
+	if m := core.MetaOf(tup); m != nil && m.ID() != 0 {
+		return m.ID()
+	}
+	return tup
+}
+
+// verifyStoreMatchesTraversal asserts the acceptance contract between a
+// closed store and the run's in-memory traversal reference:
+//
+//   - Backward(sinkID) returns exactly the traversed contribution set of the
+//     corresponding sink tuple, in traversal order;
+//   - Forward is Backward's exact inverse;
+//   - each distinct source tuple is stored exactly once (dedup), with the
+//     reference count matching;
+//   - after the final watermark every entry is retired.
+//
+// It returns a deployment-independent digest of the store contents for
+// cross-configuration comparison.
+func verifyStoreMatchesTraversal(t *testing.T, st *provstore.Store, results []provenance.Result) string {
+	t.Helper()
+	ss := st.Stats()
+	sinkIDs := st.SinkIDs()
+	if len(sinkIDs) != len(results) {
+		t.Fatalf("store has %d sink entries, traversal delivered %d results", len(sinkIDs), len(results))
+	}
+	if ss.Sinks != int64(len(results)) {
+		t.Fatalf("stats sinks = %d, want %d", ss.Sinks, len(results))
+	}
+
+	// Backward: entry i corresponds to the i-th delivered result (ingestion
+	// happens in the same callback that delivers the result).
+	var digest []string
+	forwardRef := make(map[uint64][]uint64)
+	var totalRefs int64
+	uniq := make(map[any]struct{})
+	for i, id := range sinkIDs {
+		sink, sources, err := st.Backward(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := results[i]
+		if got, want := sink.Payload, payload(t, ref.Sink); got != want {
+			t.Fatalf("sink %d payload = %q, want %q", id, got, want)
+		}
+		if sink.Ts != ref.Sink.Timestamp() {
+			t.Fatalf("sink %d ts = %d, want %d", id, sink.Ts, ref.Sink.Timestamp())
+		}
+		if len(sources) != len(ref.Sources) {
+			t.Fatalf("Backward(%d) returned %d sources, traversal found %d", id, len(sources), len(ref.Sources))
+		}
+		line := make([]string, 0, len(sources)+1)
+		for j, src := range sources {
+			if got, want := src.Payload, payload(t, ref.Sources[j]); got != want {
+				t.Fatalf("sink %d source %d payload = %q, want %q", id, j, got, want)
+			}
+			forwardRef[src.ID] = append(forwardRef[src.ID], id)
+			uniq[refKey(ref.Sources[j])] = struct{}{}
+			totalRefs++
+			line = append(line, src.Payload)
+		}
+		sort.Strings(line)
+		digest = append(digest, payload(t, ref.Sink)+" <- "+strings.Join(line, "|"))
+	}
+
+	// Dedup: every distinct source tuple is stored exactly once.
+	if ss.Sources != int64(len(uniq)) {
+		t.Fatalf("store has %d source entries, traversal saw %d distinct sources", ss.Sources, len(uniq))
+	}
+	if ss.SourceRefs != totalRefs {
+		t.Fatalf("stats refs = %d, want %d", ss.SourceRefs, totalRefs)
+	}
+	if ss.ReEncoded != 0 {
+		t.Fatalf("%d sources were re-encoded after retirement (retention horizon too small)", ss.ReEncoded)
+	}
+	if totalRefs > int64(len(uniq)) && ss.DedupRatio() <= 1 {
+		t.Fatalf("dedup ratio = %f despite %d refs over %d sources", ss.DedupRatio(), totalRefs, len(uniq))
+	}
+
+	// Forward is the exact inverse of Backward.
+	srcIDs := st.SourceIDs()
+	if len(srcIDs) != len(uniq) {
+		t.Fatalf("SourceIDs lists %d entries, want %d", len(srcIDs), len(uniq))
+	}
+	for _, id := range srcIDs {
+		_, sinks, err := st.Forward(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := forwardRef[id]
+		if len(sinks) != len(want) {
+			t.Fatalf("Forward(%d) returned %d sinks, backward references it %d times", id, len(sinks), len(want))
+		}
+		for j, sink := range sinks {
+			if sink.ID != want[j] {
+				t.Fatalf("Forward(%d)[%d] = sink %d, want %d", id, j, sink.ID, want[j])
+			}
+		}
+	}
+
+	// Retention: the store is closed — the final watermark has retired every
+	// entry.
+	if ss.LiveSources != 0 || ss.RetiredSources != ss.Sources {
+		t.Fatalf("after the final watermark: live %d, retired %d of %d", ss.LiveSources, ss.RetiredSources, ss.Sources)
+	}
+
+	sort.Strings(digest)
+	return strings.Join(digest, "\n")
+}
+
+// TestStoreMatchesTraversalAcrossConfigs is the acceptance grid: for every
+// query (Linear Road Q1/Q2, Smart Grid Q3/Q4) under GL, across parallelism
+// 1/4 x batch 1/64 x fusion on/off x intra-/inter-process, the store's
+// Backward answers must equal the in-run traversals, Forward must invert
+// them, dedup must be exact, retention complete — and the store contents
+// must be identical across every configuration of the same query.
+func TestStoreMatchesTraversalAcrossConfigs(t *testing.T) {
+	for _, q := range Queries {
+		t.Run(string(q), func(t *testing.T) {
+			digests := make(map[string]string)
+			for _, deployment := range []Deployment{Intra, Inter} {
+				for _, p := range []int{1, 4} {
+					for _, batch := range []int{1, 64} {
+						for _, noFusion := range []bool{false, true} {
+							if testing.Short() && (batch == 64 || noFusion) {
+								continue
+							}
+							name := fmt.Sprintf("%s/P%d/B%d/fusion=%v", deployment, p, batch, !noFusion)
+							o := testOptions()
+							o.Query, o.Mode, o.Deployment = q, ModeGL, deployment
+							o.Parallelism, o.BatchSize, o.NoFusion = p, batch, noFusion
+							st, results := runWithStore(t, o)
+							if len(results) == 0 {
+								t.Fatalf("%s: no provenance delivered", name)
+							}
+							digests[name] = verifyStoreMatchesTraversal(t, st, results)
+						}
+					}
+				}
+			}
+			var refName, refDigest string
+			for name, d := range digests {
+				if refName == "" {
+					refName, refDigest = name, d
+					continue
+				}
+				if d != refDigest {
+					t.Fatalf("store contents diverge between %s and %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+						refName, name, refName, refDigest, name, d)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreMatchesResolutionUnderBL: the store also serves the baseline
+// technique — BL's store-join results are persisted with the same dedup and
+// retention semantics, and match GL's store contents exactly.
+func TestStoreMatchesResolutionUnderBL(t *testing.T) {
+	for _, q := range Queries {
+		t.Run(string(q), func(t *testing.T) {
+			o := testOptions()
+			o.Query, o.Mode, o.Deployment = q, ModeBL, Intra
+			blStore, blResults := runWithStore(t, o)
+			blDigest := verifyStoreMatchesTraversal(t, blStore, blResults)
+
+			o.Mode = ModeGL
+			glStore, glResults := runWithStore(t, o)
+			glDigest := verifyStoreMatchesTraversal(t, glStore, glResults)
+			if blDigest != glDigest {
+				t.Fatalf("BL and GL store contents diverge:\n--- BL ---\n%s\n--- GL ---\n%s", blDigest, glDigest)
+			}
+
+			// Inter-process BL ingests through the provenance node's buffered
+			// resolver; its store must match too.
+			o.Mode, o.Deployment = ModeBL, Inter
+			interStore, interResults := runWithStore(t, o)
+			if d := verifyStoreMatchesTraversal(t, interStore, interResults); d != glDigest {
+				t.Fatalf("inter-process BL store diverges from GL:\n--- BL inter ---\n%s\n--- GL ---\n%s", d, glDigest)
+			}
+		})
+	}
+}
+
+// TestStoreBoundedWorkingSet: on the long Linear Road streams (span 2400 s,
+// retention horizons 240/300 s) the watermark must retire dedup handles
+// during the run — the live working set peaks well below the total number of
+// stored sources, which is the store-side analogue of the paper's bounded
+// capture overhead.
+func TestStoreBoundedWorkingSet(t *testing.T) {
+	for _, q := range []QueryID{Q1, Q2} {
+		t.Run(string(q), func(t *testing.T) {
+			o := testOptions()
+			o.Query, o.Mode, o.Deployment = q, ModeGL, Intra
+			st, results := runWithStore(t, o)
+			if len(results) == 0 {
+				t.Fatal("no provenance delivered")
+			}
+			ss := st.Stats()
+			if ss.PeakLiveSources >= ss.Sources {
+				t.Fatalf("peak live %d of %d sources: retention never ran during the stream", ss.PeakLiveSources, ss.Sources)
+			}
+		})
+	}
+}
+
+// TestFigureGridWithStorePath: the figure grid derives one store file per
+// cell and the rendered report carries the store rows.
+func TestFigureGridWithStorePath(t *testing.T) {
+	o := testOptions()
+	o.LR.Steps = 40
+	o.SG.Days = 4
+	o.StorePath = t.TempDir() + "/prov"
+	fig, err := Fig12(context.Background(), o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := fig.Render()
+	for _, want := range []string{"BL store", "Prov store", "dedup"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	// Every GL and BL cell left a queryable store file behind.
+	for _, q := range Queries {
+		for _, m := range []Mode{ModeGL, ModeBL} {
+			path := cellStorePath(o.StorePath, q, m, Intra)
+			st, err := provstore.OpenRead(path)
+			if err != nil {
+				t.Fatalf("cell %s/%s: %v", q, m, err)
+			}
+			if len(st.SinkIDs()) == 0 {
+				t.Fatalf("cell %s/%s store is empty", q, m)
+			}
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Collector struct {
 	// OnResult receives each assembled Result. It is invoked from the
 	// collector's operator goroutine.
 	OnResult func(Result)
+	// Store, when non-nil, durably ingests each assembled Result (before
+	// OnResult observes it) and receives the unfolded stream's watermark
+	// progress for retention. AddCollector wires it from the builder's
+	// query.WithProvenanceStore option.
+	Store query.ProvenanceStore
 	// Horizon is how far (in event time) past a sink tuple's timestamp the
 	// collector waits for more of its records before flushing. Use the MU
 	// window (plus any upstream delay) inter-process; 0 is safe
@@ -54,7 +59,7 @@ func AddCollector(b *query.Builder, name string, from *query.Node, onResult func
 
 // AddCollectorHorizon is AddCollector with an explicit flush horizon.
 func AddCollectorHorizon(b *query.Builder, name string, from *query.Node, horizon int64, onResult func(Result)) *Collector {
-	c := &Collector{OnResult: onResult, Horizon: horizon}
+	c := &Collector{OnResult: onResult, Store: b.ProvenanceStore(), Horizon: horizon}
 	node := b.AddCustom(name, 1, 0, func(ins, outs []*ops.Stream) (ops.Operator, error) {
 		return newCollectorOp(name, ins[0], c), nil
 	})
@@ -62,8 +67,9 @@ func AddCollectorHorizon(b *query.Builder, name string, from *query.Node, horizo
 	return c
 }
 
-// Add ingests one record.
-func (c *Collector) Add(rec *Record) {
+// Add ingests one record. A store ingestion failure (triggered by a flush)
+// is returned so the collector's operator can fail the query.
+func (c *Collector) Add(rec *Record) error {
 	if c.groups == nil {
 		c.groups = make(map[any]*group)
 	}
@@ -76,44 +82,61 @@ func (c *Collector) Add(rec *Record) {
 	}
 	ok := rec.origKey()
 	if _, dup := g.seen[ok]; dup {
-		return
+		return nil
 	}
 	g.seen[ok] = struct{}{}
 	g.sources = append(g.sources, rec.Orig)
 	// Flush every group whose horizon the watermark has passed.
-	c.flushBefore(rec.Timestamp() - c.Horizon)
+	return c.flushBefore(rec.Timestamp() - c.Horizon)
 }
 
 // flushBefore emits and removes groups with sink timestamp < ts, in
-// first-seen order.
-func (c *Collector) flushBefore(ts int64) {
+// first-seen order. An emit failure is fatal to the query (the collector's
+// operator propagates it); the failed group and every later one are kept
+// only so the collector's state stays consistent — nothing re-emits them,
+// and Store.Ingest is not idempotent, so this is not a retry contract.
+func (c *Collector) flushBefore(ts int64) error {
 	kept := c.order[:0]
+	var err error
 	for _, key := range c.order {
 		g := c.groups[key]
-		if g.ts < ts {
-			c.emit(g)
-			delete(c.groups, key)
+		if err != nil || g.ts >= ts {
+			kept = append(kept, key)
 			continue
 		}
-		kept = append(kept, key)
+		if err = c.emit(g); err != nil {
+			kept = append(kept, key)
+			continue
+		}
+		delete(c.groups, key)
 	}
 	c.order = kept
+	return err
 }
 
 // Flush emits every pending group (end-of-stream).
-func (c *Collector) Flush() {
-	for _, key := range c.order {
-		c.emit(c.groups[key])
+func (c *Collector) Flush() error {
+	for i, key := range c.order {
+		if err := c.emit(c.groups[key]); err != nil {
+			c.order = c.order[i:]
+			return err
+		}
 		delete(c.groups, key)
 	}
 	c.order = c.order[:0]
+	return nil
 }
 
-func (c *Collector) emit(g *group) {
-	if c.OnResult == nil {
-		return
+func (c *Collector) emit(g *group) error {
+	if c.Store != nil {
+		if _, err := c.Store.Ingest(g.sink, g.sources); err != nil {
+			return err
+		}
 	}
-	c.OnResult(Result{Sink: g.sink, Sources: g.sources})
+	if c.OnResult != nil {
+		c.OnResult(Result{Sink: g.sink, Sources: g.sources})
+	}
+	return nil
 }
 
 // collectorOp adapts a Collector to the Operator interface: a sink consuming
@@ -141,19 +164,31 @@ func (o *collectorOp) Run(ctx context.Context) error {
 			return fmt.Errorf("provenance collector %q: %w", o.name, err)
 		}
 		if !ok {
-			o.c.Flush()
+			if err := o.c.Flush(); err != nil {
+				return fmt.Errorf("provenance collector %q: %w", o.name, err)
+			}
 			return nil
 		}
 		if core.IsHeartbeat(t) {
-			// Watermark progress: flush every group whose horizon passed.
-			o.c.flushBefore(t.Timestamp() - o.c.Horizon)
+			// Watermark progress: flush every group whose horizon passed,
+			// then let the store retire what can no longer be referenced.
+			// The store's watermark trails by the flush horizon — groups
+			// within it are still pending here.
+			if err := o.c.flushBefore(t.Timestamp() - o.c.Horizon); err != nil {
+				return fmt.Errorf("provenance collector %q: %w", o.name, err)
+			}
+			if o.c.Store != nil {
+				o.c.Store.Advance(t.Timestamp() - o.c.Horizon)
+			}
 			continue
 		}
 		rec, isRec := t.(*Record)
 		if !isRec {
 			return fmt.Errorf("provenance collector %q: unexpected tuple type %T on unfolded stream", o.name, t)
 		}
-		o.c.Add(rec)
+		if err := o.c.Add(rec); err != nil {
+			return fmt.Errorf("provenance collector %q: %w", o.name, err)
+		}
 	}
 }
 

@@ -1,0 +1,246 @@
+// Package provstore is the serving side of GeneaLog provenance: a durable,
+// deduplicated store of delivered sink tuples and the source tuples that
+// contributed to them.
+//
+// The capture side of this repository (internal/core, internal/provenance)
+// reproduces the paper's bounded-overhead provenance *capture*; everything it
+// assembles was previously traversed in memory at the sink and dropped. The
+// store persists each assembled contribution set instead: every sink tuple
+// becomes one sink entry referencing its originating tuples by ID, and every
+// originating tuple is encoded exactly once no matter how many sink tuples it
+// contributes to (deduplicated by meta-ID inter-process, by object identity
+// intra-process). A watermark-driven retention pass bounds the mutable state
+// the same way the paper bounds capture: once every stateful window that
+// could still reference a source tuple has closed, its dedup handle is
+// retired — the durable entry stays queryable forever, but the store no
+// longer pins the live tuple.
+//
+// Two backends implement persistence: an in-memory backend (tests, ephemeral
+// runs) and an append-only file log with an ID index rebuilt on open
+// (cmd/genealog-prov answers Backward/Forward queries from it after the run
+// ends). Both are stdlib-only.
+package provstore
+
+import "fmt"
+
+// SourceEntry is one stored originating tuple.
+type SourceEntry struct {
+	// ID is the entry's store-wide identifier: the tuple's meta-ID when the
+	// run assigned one (inter-process deployments, BL), a store-assigned
+	// sequential ID otherwise. Store-assigned IDs live below 1<<48, meta-IDs
+	// above (core.IDGen packs the SPE instance number into the top 16 bits),
+	// so the two ranges never collide.
+	ID uint64
+	// Ts is the tuple's event time.
+	Ts int64
+	// Format names the csvio format the payload is encoded with ("" when the
+	// tuple's type had no registered format).
+	Format string
+	// Payload is the CSV rendering of the tuple (csvio.JoinFields; recover
+	// the fields with csvio.SplitFields).
+	Payload string
+	// Refs is how many sink entries reference this source (filled in by the
+	// query API from the forward index, not stored).
+	Refs int
+}
+
+// SinkEntry is one stored delivered sink tuple with its contribution set.
+type SinkEntry struct {
+	ID      uint64
+	Ts      int64
+	Format  string
+	Payload string
+	// Sources are the IDs of the originating tuples, in traversal
+	// (first-seen) order.
+	Sources []uint64
+}
+
+// Backend is the pluggable persistence layer under Store. Append methods are
+// called in ingestion order; query methods must reflect every append made so
+// far. Implementations are not required to be goroutine-safe — Store
+// serialises access.
+type Backend interface {
+	// AppendSource persists one source entry (Refs is derived, not stored).
+	AppendSource(e SourceEntry) error
+	// AppendSink persists one sink entry.
+	AppendSink(e SinkEntry) error
+	// AppendWatermark persists retention progress so a reopened store knows
+	// how far the run's watermark got.
+	AppendWatermark(ts int64) error
+	// Source and Sink look an entry up by ID.
+	Source(id uint64) (SourceEntry, bool)
+	Sink(id uint64) (SinkEntry, bool)
+	// SourceIDs and SinkIDs list up to max entry IDs in append order (all of
+	// them when max < 0); SourceCount and SinkCount report the totals
+	// without copying the ID slices.
+	SourceIDs(max int) []uint64
+	SinkIDs(max int) []uint64
+	SourceCount() int
+	SinkCount() int
+	// SinksOf is the forward index: the IDs of the sink entries referencing
+	// the given source, in append order. RefCount reports its length without
+	// copying the slice.
+	SinksOf(sourceID uint64) []uint64
+	RefCount(sourceID uint64) int
+	// Watermark returns the highest persisted watermark (0 if none).
+	Watermark() int64
+	// Horizon returns the retention horizon the store was created with.
+	Horizon() int64
+	// Bytes returns the encoded byte volume of the store.
+	Bytes() int64
+	// Close flushes and releases resources. Query methods must keep working
+	// on the in-memory index after Close.
+	Close() error
+}
+
+// index is the ID index shared by both backends: the memory backend's whole
+// state, and the file-log backend's in-memory view (rebuilt on open by
+// scanning the log).
+type index struct {
+	sources   map[uint64]SourceEntry
+	sinks     map[uint64]SinkEntry
+	srcOrder  []uint64
+	sinkOrder []uint64
+	forward   map[uint64][]uint64
+	watermark int64
+}
+
+func newIndex() *index {
+	return &index{
+		sources: make(map[uint64]SourceEntry),
+		sinks:   make(map[uint64]SinkEntry),
+		forward: make(map[uint64][]uint64),
+	}
+}
+
+func (ix *index) addSource(e SourceEntry) {
+	if _, dup := ix.sources[e.ID]; !dup {
+		ix.srcOrder = append(ix.srcOrder, e.ID)
+	}
+	ix.sources[e.ID] = e
+}
+
+func (ix *index) addSink(e SinkEntry) {
+	if _, dup := ix.sinks[e.ID]; !dup {
+		ix.sinkOrder = append(ix.sinkOrder, e.ID)
+	}
+	ix.sinks[e.ID] = e
+	for _, src := range e.Sources {
+		// Sink entries written by Store never carry duplicate source
+		// references, but the index is also rebuilt from on-disk logs, which
+		// must not corrupt the forward index. A duplicate within this entry
+		// shows up as this entry's own ID at the tail of the forward list,
+		// so the check costs no allocation on the per-sink-tuple ingest path.
+		if fwd := ix.forward[src]; len(fwd) > 0 && fwd[len(fwd)-1] == e.ID {
+			continue
+		}
+		ix.forward[src] = append(ix.forward[src], e.ID)
+	}
+}
+
+func (ix *index) addWatermark(ts int64) {
+	if ts > ix.watermark {
+		ix.watermark = ts
+	}
+}
+
+// Memory is the in-memory backend: the ID index plus encoded-size accounting
+// that mirrors the file log's framing, so Stats().Bytes is comparable across
+// backends.
+type Memory struct {
+	ix      *index
+	horizon int64
+	bytes   int64
+}
+
+var _ Backend = (*Memory)(nil)
+
+// NewMemoryBackend returns an empty in-memory backend with the given
+// retention horizon.
+func NewMemoryBackend(horizon int64) *Memory {
+	return &Memory{ix: newIndex(), horizon: horizon, bytes: int64(len(fileMagic)) + 8}
+}
+
+// AppendSource implements Backend. The file log's entry limits are enforced
+// here too, so a query ingests or fails identically under either backend.
+func (m *Memory) AppendSource(e SourceEntry) error {
+	if err := checkEntryLimits("source", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	m.ix.addSource(e)
+	m.bytes += sourceRecordSize(e)
+	return nil
+}
+
+// AppendSink implements Backend.
+func (m *Memory) AppendSink(e SinkEntry) error {
+	if err := checkEntryLimits("sink", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	if len(e.Sources) > maxSinkSources {
+		return fmt.Errorf("provstore: sink entry %d references %d sources (limit %d)",
+			e.ID, len(e.Sources), maxSinkSources)
+	}
+	m.ix.addSink(e)
+	m.bytes += sinkRecordSize(e)
+	return nil
+}
+
+// AppendWatermark implements Backend.
+func (m *Memory) AppendWatermark(ts int64) error {
+	m.ix.addWatermark(ts)
+	m.bytes += watermarkRecordSize
+	return nil
+}
+
+// Source implements Backend.
+func (m *Memory) Source(id uint64) (SourceEntry, bool) {
+	e, ok := m.ix.sources[id]
+	return e, ok
+}
+
+// Sink implements Backend.
+func (m *Memory) Sink(id uint64) (SinkEntry, bool) {
+	e, ok := m.ix.sinks[id]
+	return e, ok
+}
+
+// headIDs copies up to max IDs from order (all when max < 0).
+func headIDs(order []uint64, max int) []uint64 {
+	if max >= 0 && max < len(order) {
+		order = order[:max]
+	}
+	return append([]uint64(nil), order...)
+}
+
+// SourceIDs implements Backend.
+func (m *Memory) SourceIDs(max int) []uint64 { return headIDs(m.ix.srcOrder, max) }
+
+// SinkIDs implements Backend.
+func (m *Memory) SinkIDs(max int) []uint64 { return headIDs(m.ix.sinkOrder, max) }
+
+// SourceCount implements Backend.
+func (m *Memory) SourceCount() int { return len(m.ix.srcOrder) }
+
+// SinkCount implements Backend.
+func (m *Memory) SinkCount() int { return len(m.ix.sinkOrder) }
+
+// SinksOf implements Backend.
+func (m *Memory) SinksOf(sourceID uint64) []uint64 {
+	return append([]uint64(nil), m.ix.forward[sourceID]...)
+}
+
+// RefCount implements Backend.
+func (m *Memory) RefCount(sourceID uint64) int { return len(m.ix.forward[sourceID]) }
+
+// Watermark implements Backend.
+func (m *Memory) Watermark() int64 { return m.ix.watermark }
+
+// Horizon implements Backend.
+func (m *Memory) Horizon() int64 { return m.horizon }
+
+// Bytes implements Backend.
+func (m *Memory) Bytes() int64 { return m.bytes }
+
+// Close implements Backend.
+func (m *Memory) Close() error { return nil }

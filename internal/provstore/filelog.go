@@ -1,0 +1,439 @@
+package provstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The append-only file log. Layout:
+//
+//	header:  8-byte magic "GLPROV1\n" | horizon int64
+//	records: kind byte | kind-specific body
+//
+//	source record ('S'):    id u64 | ts i64 | format str16 | payload str32
+//	sink record ('K'):      id u64 | ts i64 | format str16 | payload str32 |
+//	                        count u32 | count x source-id u64
+//	watermark record ('W'): ts i64
+//
+// strN is an N-bit little-endian length followed by that many bytes. All
+// integers are little-endian. The log is written once, append-only, by a
+// single run; the ID index is rebuilt by scanning the log on open. A
+// truncated final record (crash mid-append) is tolerated on open — every
+// record before it is indexed.
+const fileMagic = "GLPROV1\n"
+
+// Record kinds.
+const (
+	recSource    = 'S'
+	recSink      = 'K'
+	recWatermark = 'W'
+)
+
+// Limits guarding the decoder against corrupt or adversarial logs: a bogus
+// length prefix must not make the reader allocate gigabytes. The append path
+// enforces the same limits (checkEntryLimits), so every record a FileLog
+// accepts is one OpenFileLog can read back — a payload the reader would
+// reject as corrupt, or a format name putStr16's uint16 prefix would
+// silently truncate (desynchronising the record stream), is refused at
+// write time instead.
+const (
+	maxFormatLen   = 1<<16 - 1 // str16 prefix capacity
+	maxStringLen   = 1 << 20   // 1 MiB per format name or payload
+	maxSinkSources = 1 << 24   // source references per sink entry
+)
+
+func checkEntryLimits(kind string, id uint64, format, payload string) error {
+	if len(format) > maxFormatLen {
+		return fmt.Errorf("provstore: %s entry %d: format name %d bytes exceeds limit %d",
+			kind, id, len(format), maxFormatLen)
+	}
+	if len(payload) > maxStringLen {
+		return fmt.Errorf("provstore: %s entry %d: payload %d bytes exceeds limit %d",
+			kind, id, len(payload), maxStringLen)
+	}
+	return nil
+}
+
+// Record sizes mirror the encoders exactly; the open scan and the memory
+// backend account bytes arithmetically instead of re-encoding every record.
+func sourceRecordSize(e SourceEntry) int64 {
+	return 1 + 8 + 8 + 2 + int64(len(e.Format)) + 4 + int64(len(e.Payload))
+}
+
+func sinkRecordSize(e SinkEntry) int64 {
+	return 1 + 8 + 8 + 2 + int64(len(e.Format)) + 4 + int64(len(e.Payload)) + 4 + 8*int64(len(e.Sources))
+}
+
+const watermarkRecordSize = 1 + 8
+
+func putU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func putStr16(buf *bytes.Buffer, s string) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+	buf.Write(b[:])
+	buf.WriteString(s)
+}
+
+func putStr32(buf *bytes.Buffer, s string) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+	buf.Write(b[:])
+	buf.WriteString(s)
+}
+
+func encodeSourceRecord(e SourceEntry) []byte {
+	var buf bytes.Buffer
+	buf.Grow(1 + 16 + 2 + len(e.Format) + 4 + len(e.Payload))
+	buf.WriteByte(recSource)
+	putU64(&buf, e.ID)
+	putU64(&buf, uint64(e.Ts))
+	putStr16(&buf, e.Format)
+	putStr32(&buf, e.Payload)
+	return buf.Bytes()
+}
+
+func encodeSinkRecord(e SinkEntry) []byte {
+	var buf bytes.Buffer
+	buf.Grow(1 + 16 + 2 + len(e.Format) + 4 + len(e.Payload) + 4 + 8*len(e.Sources))
+	buf.WriteByte(recSink)
+	putU64(&buf, e.ID)
+	putU64(&buf, uint64(e.Ts))
+	putStr16(&buf, e.Format)
+	putStr32(&buf, e.Payload)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(e.Sources)))
+	buf.Write(b[:])
+	for _, id := range e.Sources {
+		putU64(&buf, id)
+	}
+	return buf.Bytes()
+}
+
+func encodeWatermarkRecord(ts int64) []byte {
+	var buf bytes.Buffer
+	buf.Grow(9)
+	buf.WriteByte(recWatermark)
+	putU64(&buf, uint64(ts))
+	return buf.Bytes()
+}
+
+// FileLog is the append-only file backend. It keeps the ID index in memory —
+// appends update it immediately, Open* rebuild it by scanning the log — so
+// queries never seek the file.
+type FileLog struct {
+	ix      *index
+	horizon int64
+	bytes   int64
+
+	f        *os.File // nil when opened read-only (index fully loaded)
+	w        *bufio.Writer
+	writable bool
+}
+
+var _ Backend = (*FileLog)(nil)
+
+// CreateFileLog creates (or truncates) the log at path with the given
+// retention horizon.
+func CreateFileLog(path string, horizon int64) (*FileLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("provstore: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr bytes.Buffer
+	hdr.WriteString(fileMagic)
+	putU64(&hdr, uint64(horizon))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("provstore: write header: %w", err)
+	}
+	return &FileLog{
+		ix: newIndex(), horizon: horizon, bytes: int64(hdr.Len()),
+		f: f, w: w, writable: true,
+	}, nil
+}
+
+// OpenFileLog opens an existing log read-only and rebuilds the ID index by
+// scanning every record. A truncated final record is tolerated; any other
+// corruption fails the open.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("provstore: %w", err)
+	}
+	defer f.Close()
+	fl := &FileLog{ix: newIndex()}
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("provstore: %s: read header: %w", path, err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("provstore: %s is not a provenance store (bad magic)", path)
+	}
+	h, err := readU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("provstore: %s: read horizon: %w", path, err)
+	}
+	fl.horizon = int64(h)
+	fl.bytes = int64(len(fileMagic)) + 8
+	for {
+		n, err := fl.readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn final record: everything before it is indexed.
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("provstore: %s: %w", path, err)
+		}
+		fl.bytes += n
+	}
+	return fl, nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readStr16(r io.Reader) (string, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(b[:]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readStr32(r io.Reader) (string, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(b[:])
+	if n > maxStringLen {
+		return "", fmt.Errorf("string length %d exceeds limit %d", n, maxStringLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readRecord decodes one record into the index and returns its encoded size.
+// An io.EOF on the kind byte is a clean end of log; a short read anywhere
+// later surfaces as io.ErrUnexpectedEOF (torn record).
+func (fl *FileLog) readRecord(r *bufio.Reader) (int64, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return 0, err // io.EOF: clean end
+	}
+	switch kind {
+	case recSource:
+		var e SourceEntry
+		id, err := readU64(r)
+		if err != nil {
+			return 0, torn(err)
+		}
+		ts, err := readU64(r)
+		if err != nil {
+			return 0, torn(err)
+		}
+		e.ID, e.Ts = id, int64(ts)
+		if e.Format, err = readStr16(r); err != nil {
+			return 0, torn(err)
+		}
+		if e.Payload, err = readStr32(r); err != nil {
+			return 0, torn(err)
+		}
+		fl.ix.addSource(e)
+		return sourceRecordSize(e), nil
+	case recSink:
+		var e SinkEntry
+		id, err := readU64(r)
+		if err != nil {
+			return 0, torn(err)
+		}
+		ts, err := readU64(r)
+		if err != nil {
+			return 0, torn(err)
+		}
+		e.ID, e.Ts = id, int64(ts)
+		if e.Format, err = readStr16(r); err != nil {
+			return 0, torn(err)
+		}
+		if e.Payload, err = readStr32(r); err != nil {
+			return 0, torn(err)
+		}
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, torn(err)
+		}
+		n := binary.LittleEndian.Uint32(b[:])
+		if n > maxSinkSources {
+			return 0, fmt.Errorf("sink entry %d references %d sources (limit %d)", e.ID, n, maxSinkSources)
+		}
+		if n > 0 {
+			// Cap the up-front allocation: a corrupt count must not make a
+			// tiny file allocate 8*maxSinkSources bytes before the short
+			// read is discovered.
+			e.Sources = make([]uint64, 0, min(int(n), 4096))
+		}
+		for i := uint32(0); i < n; i++ {
+			id, err := readU64(r)
+			if err != nil {
+				return 0, torn(err)
+			}
+			e.Sources = append(e.Sources, id)
+		}
+		fl.ix.addSink(e)
+		return sinkRecordSize(e), nil
+	case recWatermark:
+		ts, err := readU64(r)
+		if err != nil {
+			return 0, torn(err)
+		}
+		fl.ix.addWatermark(int64(ts))
+		return watermarkRecordSize, nil
+	default:
+		return 0, fmt.Errorf("unknown record kind 0x%02x", kind)
+	}
+}
+
+// torn maps a short read inside a record to io.ErrUnexpectedEOF so the open
+// scan can distinguish a truncated tail from real corruption.
+func torn(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (fl *FileLog) append(rec []byte) error {
+	if !fl.writable {
+		return errors.New("provstore: store is read-only")
+	}
+	if _, err := fl.w.Write(rec); err != nil {
+		return fmt.Errorf("provstore: append: %w", err)
+	}
+	fl.bytes += int64(len(rec))
+	return nil
+}
+
+// AppendSource implements Backend.
+func (fl *FileLog) AppendSource(e SourceEntry) error {
+	if err := checkEntryLimits("source", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	if err := fl.append(encodeSourceRecord(e)); err != nil {
+		return err
+	}
+	fl.ix.addSource(e)
+	return nil
+}
+
+// AppendSink implements Backend.
+func (fl *FileLog) AppendSink(e SinkEntry) error {
+	if err := checkEntryLimits("sink", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	if len(e.Sources) > maxSinkSources {
+		return fmt.Errorf("provstore: sink entry %d references %d sources (limit %d)",
+			e.ID, len(e.Sources), maxSinkSources)
+	}
+	if err := fl.append(encodeSinkRecord(e)); err != nil {
+		return err
+	}
+	fl.ix.addSink(e)
+	return nil
+}
+
+// AppendWatermark implements Backend.
+func (fl *FileLog) AppendWatermark(ts int64) error {
+	if err := fl.append(encodeWatermarkRecord(ts)); err != nil {
+		return err
+	}
+	fl.ix.addWatermark(ts)
+	return nil
+}
+
+// Source implements Backend.
+func (fl *FileLog) Source(id uint64) (SourceEntry, bool) {
+	e, ok := fl.ix.sources[id]
+	return e, ok
+}
+
+// Sink implements Backend.
+func (fl *FileLog) Sink(id uint64) (SinkEntry, bool) {
+	e, ok := fl.ix.sinks[id]
+	return e, ok
+}
+
+// SourceIDs implements Backend.
+func (fl *FileLog) SourceIDs(max int) []uint64 { return headIDs(fl.ix.srcOrder, max) }
+
+// SinkIDs implements Backend.
+func (fl *FileLog) SinkIDs(max int) []uint64 { return headIDs(fl.ix.sinkOrder, max) }
+
+// SourceCount implements Backend.
+func (fl *FileLog) SourceCount() int { return len(fl.ix.srcOrder) }
+
+// SinkCount implements Backend.
+func (fl *FileLog) SinkCount() int { return len(fl.ix.sinkOrder) }
+
+// SinksOf implements Backend.
+func (fl *FileLog) SinksOf(sourceID uint64) []uint64 {
+	return append([]uint64(nil), fl.ix.forward[sourceID]...)
+}
+
+// RefCount implements Backend.
+func (fl *FileLog) RefCount(sourceID uint64) int { return len(fl.ix.forward[sourceID]) }
+
+// Watermark implements Backend.
+func (fl *FileLog) Watermark() int64 { return fl.ix.watermark }
+
+// Horizon implements Backend.
+func (fl *FileLog) Horizon() int64 { return fl.horizon }
+
+// Bytes implements Backend.
+func (fl *FileLog) Bytes() int64 { return fl.bytes }
+
+// Close flushes and closes the file. The in-memory index keeps answering
+// queries afterwards.
+func (fl *FileLog) Close() error {
+	if fl.f == nil {
+		return nil
+	}
+	err := fl.w.Flush()
+	if cerr := fl.f.Close(); err == nil {
+		err = cerr
+	}
+	fl.f, fl.w, fl.writable = nil, nil, false
+	return err
+}
+
+// maxEventTime is the watermark Close advances to: end-of-stream means every
+// window has closed.
+const maxEventTime = math.MaxInt64

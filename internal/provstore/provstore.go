@@ -1,0 +1,425 @@
+package provstore
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"genealog/internal/core"
+	"genealog/internal/csvio"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Horizon is the retention horizon in event-time units: a source entry's
+	// dedup handle is retired once the watermark passes the entry's timestamp
+	// plus Horizon. Choose it to cover every stateful window that could still
+	// produce a sink tuple referencing the source — for the evaluation
+	// queries, twice the sum of the query's window sizes is comfortably safe
+	// (the harness sets this per query). 0 retires a source as soon as the
+	// watermark passes its timestamp, which is only correct for windowless
+	// queries.
+	Horizon int64
+}
+
+// Stats is a snapshot of the store's accounting.
+type Stats struct {
+	// Sinks and Sources count stored entries; SourceRefs counts source
+	// references across all sink entries. Sources < SourceRefs means
+	// deduplication saved encodings.
+	Sinks      int64
+	Sources    int64
+	SourceRefs int64
+	// LiveSources is the current number of un-retired dedup handles (each
+	// pins its tuple in memory); RetiredSources counts handles the watermark
+	// retired; PeakLiveSources is the high-water mark — the store's bounded
+	// working set.
+	LiveSources     int64
+	RetiredSources  int64
+	PeakLiveSources int64
+	// ReEncoded warns that the retention horizon was violated: it counts
+	// meta-ID-less source tuples first stored after the watermark had
+	// already passed their timestamp plus the horizon — each is either a
+	// true duplicate (its earlier handle was retired, so object identity
+	// cannot recognise it) or a straggler the horizon failed to cover.
+	// A correctly sized Horizon keeps it zero.
+	ReEncoded int64
+	// Bytes is the encoded store volume; Watermark and Horizon describe
+	// retention progress.
+	Bytes     int64
+	Watermark int64
+	Horizon   int64
+}
+
+// DedupRatio returns source references per stored source entry (1.0 = no
+// sharing; Q2's 2.0 means every position report served two alerts).
+func (s Stats) DedupRatio() float64 {
+	if s.Sources == 0 {
+		return 0
+	}
+	return float64(s.SourceRefs) / float64(s.Sources)
+}
+
+// Store ingests assembled provenance (a delivered sink tuple plus its
+// originating tuples) and serves forward/backward queries over it. It is
+// safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+	be Backend
+
+	horizon int64
+	live    map[any]liveRef // dedup key -> stored entry
+	retireQ retireHeap      // live keys ordered by event time
+	// Store-assigned IDs for tuples without meta-IDs. Sink and source
+	// entries are separate namespaces (Backward takes a sink ID, Forward a
+	// source ID), so each numbers from 1 in ingestion order — sink entry 1
+	// is the first delivered result, which CLI walkthroughs rely on.
+	nextSinkID   uint64
+	nextSourceID uint64
+
+	refs     int64
+	retired  int64
+	peakLive int64
+	reenc    int64
+	wm       int64
+	wmLogged int64
+	closed   bool
+}
+
+type liveRef struct {
+	id uint64
+	ts int64
+}
+
+type retireEntry struct {
+	ts  int64
+	key any
+}
+
+type retireHeap []retireEntry
+
+func (h retireHeap) Len() int           { return len(h) }
+func (h retireHeap) Less(i, j int) bool { return h[i].ts < h[j].ts }
+func (h retireHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *retireHeap) Push(x any)        { *h = append(*h, x.(retireEntry)) }
+func (h *retireHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// NewMemory returns a store over the in-memory backend.
+func NewMemory(opts Options) *Store {
+	return newStore(NewMemoryBackend(opts.Horizon), opts.Horizon)
+}
+
+// Create returns a store over a fresh append-only file log at path
+// (truncating any existing file).
+func Create(path string, opts Options) (*Store, error) {
+	be, err := CreateFileLog(path, opts.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	return newStore(be, opts.Horizon), nil
+}
+
+// OpenRead opens an existing file-log store for querying: the ID index is
+// rebuilt by scanning the log. Ingest and Advance fail on a read-only store.
+func OpenRead(path string) (*Store, error) {
+	be, err := OpenFileLog(path)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(be, be.Horizon())
+	s.wm = be.Watermark()
+	// Recompute the reference count from the forward index; dedup state is
+	// not needed (nothing will be ingested).
+	for _, id := range be.SourceIDs(-1) {
+		s.refs += int64(be.RefCount(id))
+	}
+	s.retired = int64(be.SourceCount())
+	s.closed = true // read-only: Ingest/Advance rejected, queries served
+	return s, nil
+}
+
+func newStore(be Backend, horizon int64) *Store {
+	return &Store{be: be, horizon: horizon, live: make(map[any]liveRef)}
+}
+
+// dedupKey identifies a source tuple across ingests: its meta-ID when the
+// run assigned one (inter-process, BL), the tuple's object identity
+// otherwise (intra-process GL, where contribution graphs share the very
+// source tuple objects).
+func dedupKey(t core.Tuple) any {
+	if m := core.MetaOf(t); m != nil && m.ID() != 0 {
+		return m.ID()
+	}
+	return t
+}
+
+// encodePayload renders a tuple through its registered csvio format. Tuples
+// of unregistered types are stored with an empty format name and a
+// best-effort rendering, so a store never loses the shape of a result —
+// only re-parsing needs the registration. A registered format's encoder
+// failing is a real error: it must fail the ingest (and with it the query),
+// not silently degrade the record to the fallback rendering.
+func encodePayload(t core.Tuple) (format, payload string, err error) {
+	f, ok := csvio.FormatOf(t)
+	if !ok {
+		return "", fmt.Sprintf("%T@%d", t, t.Timestamp()), nil
+	}
+	fields, err := f.Format(t)
+	if err != nil {
+		return "", "", fmt.Errorf("provstore: encode %T: %w", t, err)
+	}
+	return f.Name, csvio.JoinFields(fields), nil
+}
+
+// Ingest stores one delivered sink tuple and its originating tuples and
+// returns the sink entry's ID. Sources already stored (same meta-ID or same
+// object) are referenced, not re-encoded. The sink tuple's timestamp
+// advances the retention watermark: sink tuples arrive in watermark order
+// from the provenance collector.
+func (s *Store) Ingest(sink core.Tuple, sources []core.Tuple) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("provstore: store is closed")
+	}
+
+	srcIDs := make([]uint64, 0, len(sources))
+	for _, src := range sources {
+		id, err := s.ingestSourceLocked(src)
+		if err != nil {
+			return 0, err
+		}
+		srcIDs = append(srcIDs, id)
+	}
+
+	sinkID := s.entryID(sink, &s.nextSinkID)
+	format, payload, err := encodePayload(sink)
+	if err != nil {
+		return 0, err
+	}
+	e := SinkEntry{ID: sinkID, Ts: sink.Timestamp(), Format: format, Payload: payload, Sources: srcIDs}
+	if err := s.be.AppendSink(e); err != nil {
+		return 0, err
+	}
+	if err := s.advanceLocked(sink.Timestamp()); err != nil {
+		return 0, err
+	}
+	return sinkID, nil
+}
+
+// ingestSourceLocked stores (or re-references) one originating tuple and
+// returns its entry ID.
+func (s *Store) ingestSourceLocked(src core.Tuple) (uint64, error) {
+	key := dedupKey(src)
+	if h, ok := s.live[key]; ok {
+		s.refs++
+		return h.id, nil
+	}
+	// A meta-ID identifies the tuple even after its dedup handle was
+	// retired: reference the durable entry instead of re-encoding.
+	if id, ok := key.(uint64); ok {
+		if _, stored := s.be.Source(id); stored {
+			s.refs++
+			return id, nil
+		}
+	}
+	id := s.entryID(src, &s.nextSourceID)
+	format, payload, err := encodePayload(src)
+	if err != nil {
+		return 0, err
+	}
+	e := SourceEntry{ID: id, Ts: src.Timestamp(), Format: format, Payload: payload}
+	if err := s.be.AppendSource(e); err != nil {
+		return 0, err
+	}
+	if s.retired > 0 {
+		// Object identity cannot recognise a tuple whose handle was already
+		// retired; count possible duplicates for visibility. (With a meta-ID
+		// the branch above catches this case exactly.)
+		if _, isID := key.(uint64); !isID && src.Timestamp()+s.horizon <= s.wm {
+			s.reenc++
+		}
+	}
+	s.live[key] = liveRef{id: id, ts: src.Timestamp()}
+	heap.Push(&s.retireQ, retireEntry{ts: src.Timestamp(), key: key})
+	if n := int64(len(s.live)); n > s.peakLive {
+		s.peakLive = n
+	}
+	s.refs++
+	return id, nil
+}
+
+// entryID picks the durable ID for a tuple: its meta-ID when assigned,
+// otherwise the next store-assigned sequential ID from ctr. Store-assigned
+// IDs stay below 1<<48; core.IDGen's meta-IDs carry the SPE instance number
+// in the top 16 bits and therefore sit above — the ranges cannot collide.
+func (s *Store) entryID(t core.Tuple, ctr *uint64) uint64 {
+	if m := core.MetaOf(t); m != nil && m.ID() != 0 {
+		return m.ID()
+	}
+	*ctr++
+	return *ctr
+}
+
+// Advance raises the retention watermark to ts (watermarks from the query —
+// sink timestamps and heartbeats — are monotone per stream; lower values are
+// ignored) and retires every live source entry whose timestamp plus the
+// horizon the watermark has passed.
+func (s *Store) Advance(watermark int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	_ = s.advanceLocked(watermark) // retention bookkeeping; nothing to surface
+}
+
+func (s *Store) advanceLocked(watermark int64) error {
+	if watermark <= s.wm {
+		return nil
+	}
+	s.wm = watermark
+	retiredNow := false
+	for s.retireQ.Len() > 0 {
+		head := s.retireQ[0]
+		if head.ts > s.wm-s.horizon && s.wm != maxEventTime {
+			break
+		}
+		heap.Pop(&s.retireQ)
+		// The handle may have been replaced (re-encode after retirement);
+		// only retire the entry this heap node belongs to.
+		if h, ok := s.live[head.key]; ok && h.ts == head.ts {
+			delete(s.live, head.key)
+			s.retired++
+			retiredNow = true
+		}
+	}
+	if retiredNow && s.wm > s.wmLogged && s.wm != maxEventTime {
+		s.wmLogged = s.wm
+		return s.be.AppendWatermark(s.wm)
+	}
+	return nil
+}
+
+// Close retires every remaining live entry (end of stream: no window can
+// reference them any more), persists the final watermark and closes the
+// backend. Queries keep working on the in-memory index after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.be.Close()
+	}
+	final := s.wm
+	_ = s.advanceLocked(maxEventTime)
+	s.wm = final // keep the observed event-time watermark for Stats
+	s.closed = true
+	var err error
+	if final > s.wmLogged {
+		err = s.be.AppendWatermark(final)
+	}
+	if cerr := s.be.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Backward returns the sink entry with the given ID and its originating
+// source entries, in traversal order — "which source readings caused alert
+// X?".
+func (s *Store) Backward(sinkID uint64) (SinkEntry, []SourceEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sink, ok := s.be.Sink(sinkID)
+	if !ok {
+		return SinkEntry{}, nil, fmt.Errorf("provstore: no sink entry %d", sinkID)
+	}
+	sources := make([]SourceEntry, 0, len(sink.Sources))
+	for _, id := range sink.Sources {
+		e, ok := s.be.Source(id)
+		if !ok {
+			return SinkEntry{}, nil, fmt.Errorf("provstore: sink entry %d references missing source %d", sinkID, id)
+		}
+		e.Refs = s.be.RefCount(id)
+		sources = append(sources, e)
+	}
+	return sink, sources, nil
+}
+
+// Forward returns the source entry with the given ID and every sink entry
+// referencing it, in append order — "which alerts did meter reading Y
+// contribute to?".
+func (s *Store) Forward(sourceID uint64) (SourceEntry, []SinkEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.be.Source(sourceID)
+	if !ok {
+		return SourceEntry{}, nil, fmt.Errorf("provstore: no source entry %d", sourceID)
+	}
+	ids := s.be.SinksOf(sourceID)
+	src.Refs = len(ids)
+	sinks := make([]SinkEntry, 0, len(ids))
+	for _, id := range ids {
+		e, ok := s.be.Sink(id)
+		if !ok {
+			return SourceEntry{}, nil, fmt.Errorf("provstore: forward index references missing sink %d", id)
+		}
+		sinks = append(sinks, e)
+	}
+	return src, sinks, nil
+}
+
+// SinkIDs lists the stored sink entries in ingestion order.
+func (s *Store) SinkIDs() []uint64 { return s.HeadSinkIDs(-1) }
+
+// HeadSinkIDs lists up to n of the stored sink entries' IDs in ingestion
+// order (all of them when n < 0), without copying the rest.
+func (s *Store) HeadSinkIDs(n int) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.be.SinkIDs(n)
+}
+
+// Sink returns the sink entry with the given ID without materialising its
+// contribution set (use Backward for that).
+func (s *Store) Sink(sinkID uint64) (SinkEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sink, ok := s.be.Sink(sinkID)
+	if !ok {
+		return SinkEntry{}, fmt.Errorf("provstore: no sink entry %d", sinkID)
+	}
+	return sink, nil
+}
+
+// SourceIDs lists the stored source entries in ingestion order.
+func (s *Store) SourceIDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.be.SourceIDs(-1)
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Sinks:           int64(s.be.SinkCount()),
+		Sources:         int64(s.be.SourceCount()),
+		SourceRefs:      s.refs,
+		LiveSources:     int64(len(s.live)),
+		RetiredSources:  s.retired,
+		PeakLiveSources: s.peakLive,
+		ReEncoded:       s.reenc,
+		Bytes:           s.be.Bytes(),
+		Watermark:       s.wm,
+		Horizon:         s.horizon,
+	}
+}

@@ -1,0 +1,390 @@
+package provstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/csvio"
+	"genealog/internal/smartgrid"
+)
+
+func reading(ts int64, meter int32, cons float64) *smartgrid.MeterReading {
+	return smartgrid.NewMeterReading(ts, meter, cons)
+}
+
+func readingID(ts int64, meter int32, cons float64, id uint64) *smartgrid.MeterReading {
+	r := reading(ts, meter, cons)
+	r.SetID(id)
+	return r
+}
+
+// alert builds a sink tuple.
+func alert(ts int64, count int32) *smartgrid.BlackoutAlert {
+	return &smartgrid.BlackoutAlert{Base: core.NewBase(ts), Count: count}
+}
+
+func TestIngestDedupAndQueries(t *testing.T) {
+	for _, backend := range []string{"memory", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			st := openTestStore(t, backend, Options{Horizon: 100})
+
+			s1, s2, s3 := reading(1, 1, 5), reading(2, 2, 6), reading(3, 3, 7)
+			id1, err := st.Ingest(alert(10, 2), []core.Tuple{s1, s2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id2, err := st.Ingest(alert(20, 2), []core.Tuple{s2, s3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id1 == id2 {
+				t.Fatalf("sink IDs must differ, both %d", id1)
+			}
+
+			ss := st.Stats()
+			if ss.Sinks != 2 || ss.Sources != 3 || ss.SourceRefs != 4 {
+				t.Fatalf("stats = %+v, want 2 sinks, 3 sources, 4 refs", ss)
+			}
+			if got, want := ss.DedupRatio(), 4.0/3.0; got != want {
+				t.Fatalf("dedup ratio = %f, want %f", got, want)
+			}
+
+			sink, sources, err := st.Backward(id2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sink.Ts != 20 || len(sources) != 2 {
+				t.Fatalf("Backward(%d) = %+v with %d sources", id2, sink, len(sources))
+			}
+			if sources[0].Payload != "2,2,6.0000" || sources[1].Payload != "3,3,7.0000" {
+				t.Fatalf("unexpected source payloads %q, %q", sources[0].Payload, sources[1].Payload)
+			}
+			if sources[0].Refs != 2 || sources[1].Refs != 1 {
+				t.Fatalf("refs = %d/%d, want 2/1", sources[0].Refs, sources[1].Refs)
+			}
+
+			// Forward of the shared source must list both sinks, in order.
+			shared := sources[0]
+			src, sinks, err := st.Forward(shared.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src.Payload != shared.Payload || len(sinks) != 2 {
+				t.Fatalf("Forward(%d): %d sinks", shared.ID, len(sinks))
+			}
+			if sinks[0].ID != id1 || sinks[1].ID != id2 {
+				t.Fatalf("forward sinks = %d,%d, want %d,%d", sinks[0].ID, sinks[1].ID, id1, id2)
+			}
+
+			if _, _, err := st.Backward(9999); err == nil {
+				t.Fatal("Backward of unknown sink must fail")
+			}
+			if _, _, err := st.Forward(9999); err == nil {
+				t.Fatal("Forward of unknown source must fail")
+			}
+		})
+	}
+}
+
+func openTestStore(t *testing.T, backend string, opts Options) *Store {
+	t.Helper()
+	if backend == "memory" {
+		return NewMemory(opts)
+	}
+	st, err := Create(filepath.Join(t.TempDir(), "prov.glprov"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestWatermarkRetirement(t *testing.T) {
+	st := NewMemory(Options{Horizon: 10})
+	// Sink at ts carries one source at ts-5.
+	for ts := int64(0); ts < 100; ts += 5 {
+		if _, err := st.Ingest(alert(ts, 1), []core.Tuple{reading(ts-5, int32(ts), 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := st.Stats()
+	if ss.Sources != 20 {
+		t.Fatalf("sources = %d, want 20", ss.Sources)
+	}
+	// Watermark 95, horizon 10: sources with ts <= 85 (i.e. all but the last
+	// two, ts 90 and 85 is retired at ts+10 <= 95 → 85 retired too) retired.
+	if ss.LiveSources >= ss.Sources || ss.RetiredSources == 0 {
+		t.Fatalf("retention did not run: %+v", ss)
+	}
+	if ss.LiveSources+ss.RetiredSources != ss.Sources {
+		t.Fatalf("live %d + retired %d != sources %d", ss.LiveSources, ss.RetiredSources, ss.Sources)
+	}
+	// The live working set stays bounded by the horizon: at most
+	// horizon/spacing + 1 handles plus the not-yet-advanced tail.
+	if ss.PeakLiveSources > 4 {
+		t.Fatalf("peak live = %d, want <= 4 (horizon 10, one source per 5 ticks)", ss.PeakLiveSources)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss = st.Stats()
+	if ss.LiveSources != 0 || ss.RetiredSources != ss.Sources {
+		t.Fatalf("after Close: %+v, want everything retired", ss)
+	}
+	if ss.ReEncoded != 0 {
+		t.Fatalf("re-encoded = %d, want 0", ss.ReEncoded)
+	}
+	// The store stays queryable after Close.
+	if _, _, err := st.Backward(st.SinkIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetiredMetaIDReReference: a source referenced again after its dedup
+// handle was retired must be recognised by meta-ID and not re-encoded.
+func TestRetiredMetaIDReReference(t *testing.T) {
+	st := NewMemory(Options{Horizon: 5})
+	src := readingID(0, 1, 1, 0x0001000000000001)
+	if _, err := st.Ingest(alert(1, 1), []core.Tuple{src}); err != nil {
+		t.Fatal(err)
+	}
+	st.Advance(50) // retires the handle (ts 0 + horizon 5 <= 50)
+	if got := st.Stats().RetiredSources; got != 1 {
+		t.Fatalf("retired = %d, want 1", got)
+	}
+	// A decoded copy with the same meta-ID arrives much later.
+	copy := readingID(0, 1, 1, 0x0001000000000001)
+	if _, err := st.Ingest(alert(60, 1), []core.Tuple{copy}); err != nil {
+		t.Fatal(err)
+	}
+	ss := st.Stats()
+	if ss.Sources != 1 || ss.SourceRefs != 2 || ss.ReEncoded != 0 {
+		t.Fatalf("stats = %+v, want 1 source, 2 refs, 0 re-encoded", ss)
+	}
+}
+
+func TestFileRoundTripAndOpenRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.glprov")
+	st, err := Create(path, Options{Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := reading(1, 1, 5), reading(2, 2, 6)
+	sinkID, err := st.Ingest(alert(10, 2), []core.Tuple{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ingest(alert(90, 1), []core.Tuple{reading(88, 3, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Stats()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ro.Stats()
+	if got.Sinks != want.Sinks || got.Sources != want.Sources || got.SourceRefs != want.SourceRefs {
+		t.Fatalf("reopened stats %+v != written %+v", got, want)
+	}
+	if got.Bytes != want.Bytes {
+		t.Fatalf("reopened bytes %d != written %d", got.Bytes, want.Bytes)
+	}
+	if got.Horizon != 30 {
+		t.Fatalf("horizon = %d, want 30", got.Horizon)
+	}
+	if got.Watermark != want.Watermark {
+		t.Fatalf("watermark = %d, want %d", got.Watermark, want.Watermark)
+	}
+	sink, sources, err := ro.Backward(sinkID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Ts != 10 || len(sources) != 2 || sources[0].Payload != "1,1,5.0000" {
+		t.Fatalf("Backward after reopen: %+v, %d sources", sink, len(sources))
+	}
+	// Read-only stores reject ingestion.
+	if _, err := ro.Ingest(alert(100, 1), nil); err == nil {
+		t.Fatal("Ingest on a read-only store must fail")
+	}
+}
+
+func TestUnregisteredTupleFallback(t *testing.T) {
+	st := NewMemory(Options{})
+	type oddball struct{ core.Base }
+	if _, err := st.Ingest(&oddball{Base: core.NewBase(7)}, []core.Tuple{&oddball{Base: core.NewBase(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	sink, sources, err := st.Backward(st.SinkIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Format != "" || !strings.Contains(sink.Payload, "@7") {
+		t.Fatalf("fallback sink payload = %q (format %q)", sink.Payload, sink.Format)
+	}
+	if len(sources) != 1 || !strings.Contains(sources[0].Payload, "@3") {
+		t.Fatalf("fallback source payload missing: %+v", sources)
+	}
+}
+
+func TestOpenRejectsCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.glprov")
+	if err := os.WriteFile(path, []byte("NOTPROV0\x00\x00\x00\x00\x00\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRead(path); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("corrupt magic: err = %v", err)
+	}
+}
+
+// TestOpenToleratesTornTail: a crash mid-append leaves a truncated final
+// record; every record before it must still be indexed.
+func TestOpenToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.glprov")
+	st, err := Create(path, Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ingest(alert(10, 1), []core.Tuple{reading(9, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn source record: kind byte plus half an ID.
+	data = append(data, recSource, 0x01, 0x02)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := ro.Stats(); ss.Sinks != 1 || ss.Sources != 1 {
+		t.Fatalf("torn-tail reopen lost records: %+v", ss)
+	}
+}
+
+func TestMemoryAndFileBackendsAgree(t *testing.T) {
+	mem := NewMemory(Options{Horizon: 20})
+	path := filepath.Join(t.TempDir(), "prov.glprov")
+	file, err := Create(path, Options{Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(st *Store) {
+		t.Helper()
+		shared := reading(5, 9, 2)
+		for ts := int64(10); ts <= 50; ts += 10 {
+			if _, err := st.Ingest(alert(ts, 1), []core.Tuple{shared, reading(ts-1, int32(ts), 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(mem)
+	feed(file)
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ms, fs := mem.Stats(), file.Stats()
+	if ms != fs {
+		t.Fatalf("backend stats disagree:\nmemory: %+v\nfile:   %+v", ms, fs)
+	}
+	for _, id := range mem.SinkIDs() {
+		msink, msources, err := mem.Backward(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsink, fsources, err := file.Backward(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(msink, fsink) || !reflect.DeepEqual(msources, fsources) {
+			t.Fatalf("Backward(%d) disagrees", id)
+		}
+	}
+}
+
+func TestRecordSizesMatchEncoders(t *testing.T) {
+	src := SourceEntry{ID: 7, Ts: 42, Format: "sg.reading", Payload: "42,1,5.0000"}
+	if got, want := sourceRecordSize(src), int64(len(encodeSourceRecord(src))); got != want {
+		t.Fatalf("sourceRecordSize = %d, encoder emits %d", got, want)
+	}
+	sink := SinkEntry{ID: 9, Ts: 50, Format: "sg.alert", Payload: "50,2", Sources: []uint64{7, 8, 11}}
+	if got, want := sinkRecordSize(sink), int64(len(encodeSinkRecord(sink))); got != want {
+		t.Fatalf("sinkRecordSize = %d, encoder emits %d", got, want)
+	}
+	if got, want := int64(watermarkRecordSize), int64(len(encodeWatermarkRecord(99))); got != want {
+		t.Fatalf("watermarkRecordSize = %d, encoder emits %d", got, want)
+	}
+}
+
+func TestFileLogRejectsOversizedEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prov.glprov")
+	fl, err := CreateFileLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// A payload the reader would reject as corrupt must be refused at write
+	// time, not discovered when the store can no longer be opened.
+	big := strings.Repeat("x", maxStringLen+1)
+	if err := fl.AppendSource(SourceEntry{ID: 1, Payload: big}); err == nil {
+		t.Fatal("oversized source payload must be rejected")
+	}
+	if err := fl.AppendSink(SinkEntry{ID: 1, Payload: big}); err == nil {
+		t.Fatal("oversized sink payload must be rejected")
+	}
+	// A format name beyond the str16 prefix would silently truncate and
+	// desynchronise the record stream.
+	longName := strings.Repeat("f", maxFormatLen+1)
+	if err := fl.AppendSource(SourceEntry{ID: 2, Format: longName}); err == nil {
+		t.Fatal("oversized format name must be rejected")
+	}
+	// The accepted records (none here beyond the header) still open cleanly.
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ro.SourceCount(); n != 0 {
+		t.Fatalf("rejected records leaked into the log: %d sources", n)
+	}
+}
+
+// failingTuple's registered format errors at encode time: a real formatter
+// failure must fail the ingest, not silently degrade to the unregistered
+// fallback rendering.
+type failingTuple struct{ core.Base }
+
+func TestFormatterErrorFailsIngest(t *testing.T) {
+	csvio.RegisterFormat("test.failing", &failingTuple{},
+		func([]string) (core.Tuple, error) { return nil, errors.New("unparseable") },
+		func(core.Tuple) ([]string, error) { return nil, errors.New("boom") })
+	st := NewMemory(Options{})
+	if _, err := st.Ingest(&failingTuple{Base: core.NewBase(1)}, nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Ingest with a failing formatter: err = %v, want the formatter's error", err)
+	}
+	if _, err := st.Ingest(alert(2, 1), []core.Tuple{&failingTuple{Base: core.NewBase(1)}}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Ingest with a failing source formatter: err = %v, want the formatter's error", err)
+	}
+	if got := st.Stats().Sinks; got != 0 {
+		t.Fatalf("failed ingests must not store sink entries, got %d", got)
+	}
+}

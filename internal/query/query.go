@@ -142,6 +142,19 @@ type edge struct {
 	port     string
 }
 
+// ProvenanceStore receives assembled provenance for durable serving: each
+// delivered sink tuple with its originating tuples, plus watermark progress
+// driving the store's retention. internal/provstore implements it; the
+// provenance collector (internal/provenance) tees every assembled result
+// into the builder's configured store.
+type ProvenanceStore interface {
+	// Ingest stores one delivered sink tuple and its originating tuples and
+	// returns the durable sink-entry ID. An error fails the query.
+	Ingest(sink core.Tuple, sources []core.Tuple) (uint64, error)
+	// Advance raises the store's retention watermark.
+	Advance(watermark int64)
+}
+
 // Builder accumulates nodes and edges and validates them into a Query.
 type Builder struct {
 	name      string
@@ -149,6 +162,7 @@ type Builder struct {
 	chanCap   int
 	batchSize int
 	fusion    bool
+	provStore ProvenanceStore
 	nodes     []*Node
 	byName    map[string]*Node
 	edges     []edge
@@ -210,6 +224,16 @@ func WithFusion(on bool) Option {
 	return func(b *Builder) { b.fusion = on }
 }
 
+// WithProvenanceStore attaches a durable provenance store to the query:
+// every provenance collector added to the builder tees the (sink tuple,
+// originating tuples) pairs it assembles into the store and drives the
+// store's retention watermark from the unfolded stream's progress. The
+// default is nil — provenance is assembled, observed and dropped, as in the
+// paper's evaluation.
+func WithProvenanceStore(ps ProvenanceStore) Option {
+	return func(b *Builder) { b.provStore = ps }
+}
+
 // New returns a Builder for a query with the given name.
 func New(name string, opts ...Option) *Builder {
 	b := &Builder{
@@ -226,6 +250,10 @@ func New(name string, opts ...Option) *Builder {
 
 // Instrumenter returns the provenance strategy the query is built with.
 func (b *Builder) Instrumenter() core.Instrumenter { return b.instr }
+
+// ProvenanceStore returns the durable provenance store the query is built
+// with (nil when provenance is not persisted).
+func (b *Builder) ProvenanceStore() ProvenanceStore { return b.provStore }
 
 func (b *Builder) add(n *Node) *Node {
 	if _, dup := b.byName[n.name]; dup {
