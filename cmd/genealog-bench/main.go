@@ -16,6 +16,7 @@
 //	genealog-bench -experiment fig12 -fuse=false     # planner off: one goroutine per operator
 //	genealog-bench -experiment fig12 -v              # print every cell's physical plan
 //	genealog-bench -experiment fig12 -store /tmp/prov  # persist per-cell provenance stores
+//	genealog-bench -experiment fig12 -remote-store 127.0.0.1:7432  # stream provenance to a store node
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
 // -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
@@ -68,6 +69,7 @@ func run(args []string, out *os.File) error {
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
 	storePath := fs.String("store", "", "persist each cell's assembled provenance into durable store files at this path prefix (suffix: -<query>-<mode>[-inter]); query them with genealog-prov")
+	remoteStore := fs.String("remote-store", "", "stream each cell's assembled provenance to the store node at this address (spe-node -store-listen); query it live with genealog-prov -connect")
 	verbose := fs.Bool("v", false, "print the physical plan of every (query, mode) cell before running")
 	codec := fs.String("codec", "gob", "inter-process link codec: gob | binary")
 	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
@@ -104,6 +106,10 @@ func run(args []string, out *os.File) error {
 		UseBinaryCodec:      *codec == "binary",
 		NoFusion:            !*fuse,
 		StorePath:           *storePath,
+		RemoteStore:         *remoteStore,
+	}
+	if *storePath != "" && *remoteStore != "" {
+		return fmt.Errorf("-store and -remote-store are mutually exclusive")
 	}
 	if *codec != "gob" && *codec != "binary" {
 		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)

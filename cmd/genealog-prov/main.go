@@ -1,8 +1,10 @@
-// Command genealog-prov answers provenance queries against a store file
-// written by a previous run (harness Options.StorePath, genealog-bench
-// -store, examples/quickstart -store): the serving side of GeneaLog — ask
-// *after* the run ended which source tuples caused an alert (backward) and
-// which alerts a source tuple contributed to (forward).
+// Command genealog-prov answers provenance queries against a store written
+// by a run: the serving side of GeneaLog — ask which source tuples caused an
+// alert (backward) and which alerts a source tuple contributed to (forward).
+// It reads either a store file left behind by a finished run (harness
+// Options.StorePath, genealog-bench -store, examples/quickstart -store) or,
+// with -connect, a *running* store node (spe-node -store-listen) serving the
+// merged provenance of a live deployment.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	genealog-prov -store prov.glprov -list 5          # first 5 sink entries
 //	genealog-prov -store prov.glprov -backward 3      # sources of sink entry 3
 //	genealog-prov -store prov.glprov -forward 17      # sinks fed by source 17
+//	genealog-prov -connect 127.0.0.1:7432 -stats -list 5   # same, against a live store node
 //
 // Entries print as "id ts format payload"; payloads are the CSV renderings
 // of the run's registered csvio formats, so the output is readable without
@@ -17,10 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"genealog/internal/provstore"
 )
@@ -32,51 +37,122 @@ func main() {
 	}
 }
 
+// querier is the read API shared by a cold store file and a live store node.
+type querier interface {
+	stats() (provstore.Stats, error)
+	list(n int) ([]provstore.SinkEntry, error)
+	backward(id uint64) (provstore.SinkEntry, []provstore.SourceEntry, error)
+	forward(id uint64) (provstore.SourceEntry, []provstore.SinkEntry, error)
+}
+
+// fileQuerier serves a store file opened read-only.
+type fileQuerier struct{ st *provstore.Store }
+
+func (f fileQuerier) stats() (provstore.Stats, error) { return f.st.Stats(), nil }
+
+func (f fileQuerier) list(n int) ([]provstore.SinkEntry, error) {
+	ids := f.st.HeadSinkIDs(n)
+	sinks := make([]provstore.SinkEntry, 0, len(ids))
+	for _, id := range ids {
+		sink, err := f.st.Sink(id)
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, sink)
+	}
+	return sinks, nil
+}
+
+func (f fileQuerier) backward(id uint64) (provstore.SinkEntry, []provstore.SourceEntry, error) {
+	return f.st.Backward(id)
+}
+
+func (f fileQuerier) forward(id uint64) (provstore.SourceEntry, []provstore.SinkEntry, error) {
+	return f.st.Forward(id)
+}
+
+// remoteQuerier serves a live store node over one query connection.
+type remoteQuerier struct{ c *provstore.Client }
+
+func (r remoteQuerier) stats() (provstore.Stats, error) { return r.c.Stats() }
+
+func (r remoteQuerier) list(n int) ([]provstore.SinkEntry, error) { return r.c.List(n) }
+
+func (r remoteQuerier) backward(id uint64) (provstore.SinkEntry, []provstore.SourceEntry, error) {
+	return r.c.Backward(id)
+}
+
+func (r remoteQuerier) forward(id uint64) (provstore.SourceEntry, []provstore.SinkEntry, error) {
+	return r.c.Forward(id)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genealog-prov", flag.ContinueOnError)
-	store := fs.String("store", "", "path to a provenance store file (required)")
+	store := fs.String("store", "", "path to a provenance store file")
+	connect := fs.String("connect", "", "address of a running store node (spe-node -store-listen)")
 	backward := fs.Uint64("backward", 0, "print the source entries contributing to this sink entry ID")
 	forward := fs.Uint64("forward", 0, "print the sink entries this source entry ID contributed to")
 	list := fs.Int("list", 0, "print the first N sink entries (-1 = all)")
 	stats := fs.Bool("stats", false, "print store statistics (default when no query flag is given)")
+	dialTimeout := fs.Duration("dial-timeout", 10*time.Second, "how long -connect waits for the store node")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *store == "" {
-		return fmt.Errorf("missing -store (path to a provenance store file)")
+	if (*store == "") == (*connect == "") {
+		return fmt.Errorf("need exactly one of -store (a store file) or -connect (a running store node)")
 	}
-	st, err := provstore.OpenRead(*store)
-	if err != nil {
-		return err
+	var (
+		q    querier
+		name string
+	)
+	if *store != "" {
+		st, err := provstore.OpenRead(*store)
+		if err != nil {
+			return err
+		}
+		q, name = fileQuerier{st}, "store "+*store
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+		defer cancel()
+		c, err := provstore.DialQuery(ctx, *connect)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		q, name = remoteQuerier{c}, "store node "+*connect
 	}
 
 	queried := false
 	if *list != 0 {
 		queried = true
-		if err := printList(out, st, *list); err != nil {
+		if err := printList(out, q, *list); err != nil {
 			return err
 		}
 	}
 	if *backward != 0 {
 		queried = true
-		if err := printBackward(out, st, *backward); err != nil {
+		if err := printBackward(out, q, *backward); err != nil {
 			return err
 		}
 	}
 	if *forward != 0 {
 		queried = true
-		if err := printForward(out, st, *forward); err != nil {
+		if err := printForward(out, q, *forward); err != nil {
 			return err
 		}
 	}
 	if *stats || !queried {
-		printStats(out, *store, st.Stats())
+		s, err := q.stats()
+		if err != nil {
+			return err
+		}
+		printStats(out, name, s)
 	}
 	return nil
 }
 
-func printStats(out io.Writer, path string, s provstore.Stats) {
-	fmt.Fprintf(out, "store %s\n", path)
+func printStats(out io.Writer, name string, s provstore.Stats) {
+	fmt.Fprintf(out, "%s\n", name)
 	fmt.Fprintf(out, "  sink entries    %d\n", s.Sinks)
 	fmt.Fprintf(out, "  source entries  %d (referenced %d times, dedup %.2fx)\n",
 		s.Sources, s.SourceRefs, s.DedupRatio())
@@ -102,19 +178,19 @@ func formatName(name string) string {
 	return name
 }
 
-func printList(out io.Writer, st *provstore.Store, n int) error {
-	for _, id := range st.HeadSinkIDs(n) {
-		sink, err := st.Sink(id)
-		if err != nil {
-			return err
-		}
+func printList(out io.Writer, q querier, n int) error {
+	sinks, err := q.list(n)
+	if err != nil {
+		return err
+	}
+	for _, sink := range sinks {
 		printSink(out, sink)
 	}
 	return nil
 }
 
-func printBackward(out io.Writer, st *provstore.Store, id uint64) error {
-	sink, sources, err := st.Backward(id)
+func printBackward(out io.Writer, q querier, id uint64) error {
+	sink, sources, err := q.backward(id)
 	if err != nil {
 		return err
 	}
@@ -125,8 +201,8 @@ func printBackward(out io.Writer, st *provstore.Store, id uint64) error {
 	return nil
 }
 
-func printForward(out io.Writer, st *provstore.Store, id uint64) error {
-	src, sinks, err := st.Forward(id)
+func printForward(out io.Writer, q querier, id uint64) error {
+	src, sinks, err := q.forward(id)
 	if err != nil {
 		return err
 	}

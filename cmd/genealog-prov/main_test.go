@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,7 +89,69 @@ func TestErrors(t *testing.T) {
 	if err := run([]string{}, &sb); err == nil {
 		t.Fatal("missing -store must fail")
 	}
+	if err := run([]string{"-store", path, "-connect", "127.0.0.1:1"}, &sb); err == nil {
+		t.Fatal("-store with -connect must fail")
+	}
 	if err := run([]string{"-store", filepath.Join(t.TempDir(), "missing.glprov")}, &sb); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+// startStoreNode serves the same two-alert store as writeStore from a live
+// store node.
+func startStoreNode(t *testing.T) string {
+	t.Helper()
+	srv := provstore.NewServer(provstore.NewMemoryBackend(48))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	st, err := provstore.Connect(context.Background(), addr.String(), provstore.Options{Horizon: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := smartgrid.NewMeterReading(1, 7, 0)
+	alert := func(ts int64) core.Tuple {
+		return &smartgrid.BlackoutAlert{Base: core.NewBase(ts), Count: 8}
+	}
+	if _, err := st.Ingest(alert(24), []core.Tuple{shared, smartgrid.NewMeterReading(2, 8, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ingest(alert(48), []core.Tuple{shared}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr.String()
+}
+
+// TestConnectQueriesLiveStoreNode: -connect answers the same questions as
+// -store, but against a running deployment's store node.
+func TestConnectQueriesLiveStoreNode(t *testing.T) {
+	addr := startStoreNode(t)
+	out := runCLI(t, "-connect", addr)
+	for _, want := range []string{"store node " + addr, "sink entries    2", "source entries  2", "dedup 1.50x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	bwd := runCLI(t, "-connect", addr, "-backward", "1")
+	if !strings.Contains(bwd, "sg.blackout") || !strings.Contains(bwd, "1,7,0.0000") {
+		t.Fatalf("backward output missing the shared reading:\n%s", bwd)
+	}
+	fwd := runCLI(t, "-connect", addr, "-forward", "1")
+	if !strings.Contains(fwd, "-> 2 sink(s)") {
+		t.Fatalf("forward output should list both alerts:\n%s", fwd)
+	}
+	listOut := runCLI(t, "-connect", addr, "-list", "1")
+	if strings.Count(listOut, "sink ") != 1 {
+		t.Fatalf("-list 1 should print one sink entry:\n%s", listOut)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-connect", addr, "-backward", "999"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "no sink entry 999") {
+		t.Fatalf("unknown sink ID over -connect = %v, want a descriptive error", err)
 	}
 }

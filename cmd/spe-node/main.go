@@ -18,13 +18,28 @@
 //	spe-node -query Q1 -mode GL -role 3 -base-port 7400
 //	spe-node -query Q1 -mode GL -role 2 -base-port 7400 -spe3 127.0.0.1
 //	spe-node -query Q1 -mode GL -role 1 -base-port 7400 -spe2 127.0.0.1 -spe3 127.0.0.1
+//
+// A fourth role runs a shared provenance store node: `-store-listen` (no
+// -role) accepts ingestion from any number of deployments' provenance nodes
+// (role 3 with `-store`) and answers live Backward/Forward/Stats queries for
+// the merged store (cmd/genealog-prov -connect):
+//
+//	spe-node -store-listen :7432 -store-path prov.glprov
+//	spe-node -query Q1 -mode GL -role 3 -base-port 7400 -store 127.0.0.1:7432
+//
+// The store node runs until SIGINT/SIGTERM (or -timeout) and then flushes
+// and closes its file log; a restarted node reopens the log — keeping every
+// acknowledged entry — and continues serving and ingesting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"genealog/internal/baseline"
@@ -32,6 +47,7 @@ import (
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
 	"genealog/internal/provenance"
+	"genealog/internal/provstore"
 	"genealog/internal/smartgrid"
 	"genealog/internal/transport"
 )
@@ -63,9 +79,40 @@ func run(args []string) error {
 	spe3 := fs.String("spe3", "127.0.0.1", "host of SPE instance 3 (used by roles 1 and 2)")
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	codec := fs.String("codec", "gob", "link codec: gob | binary (all roles must agree)")
-	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	storeAddr := fs.String("store", "", "role 3: stream assembled provenance to the store node at this address (spe-node -store-listen)")
+	storeListen := fs.String("store-listen", "", "run as a shared provenance store node on this address instead of an SPE role")
+	storePath := fs.String("store-path", "", "store node: durable file log path (created, or reopened for appends; empty = in-memory)")
+	storeHorizon := fs.Int64("store-horizon", 0, "store node: retention horizon recorded in a newly created file log")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline (a store node defaults to none: it serves until SIGINT/SIGTERM)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	timeoutExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutExplicit = true
+		}
+	})
+	if *storeListen != "" {
+		if *role != 0 {
+			return fmt.Errorf("-store-listen runs a store node, not an SPE role; drop -role %d", *role)
+		}
+		// A serving role has no natural end: without an explicit -timeout the
+		// node runs until SIGINT/SIGTERM instead of silently exiting after
+		// the SPE roles' default deadline.
+		ctx := context.Background()
+		if timeoutExplicit {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return runStoreNode(ctx, *storeListen, *storePath, *storeHorizon)
+	}
+	if *storePath != "" || *storeHorizon != 0 {
+		return errors.New("-store-path and -store-horizon configure a store node; they need -store-listen")
+	}
+	if *storeAddr != "" && *role != 3 {
+		return fmt.Errorf("-store streams the provenance node's ingestion; it needs -role 3, not %d", *role)
 	}
 
 	o := harness.Options{
@@ -202,16 +249,91 @@ func run(args []string) error {
 			provResults++
 			fmt.Printf("provenance: sink ts=%d <- %d source tuple(s)\n", r.Sink.Timestamp(), len(r.Sources))
 		}
+		var remoteStore *provstore.Store
+		if *storeAddr != "" {
+			hz, err := harness.StoreHorizon(o.Query)
+			if err != nil {
+				return err
+			}
+			if remoteStore, err = provstore.Connect(ctx, *storeAddr, provstore.Options{Horizon: hz}); err != nil {
+				return err
+			}
+			hooks.ProvStore = remoteStore
+		}
 		q, err := harness.BuildSPE3(o, links, hooks)
 		if err != nil {
 			return err
 		}
-		if err := q.Run(ctx); err != nil {
-			return err
+		runErr := q.Run(ctx)
+		if remoteStore != nil {
+			// Flush the final batch and watermark; a store error fails the
+			// node like any other.
+			if cerr := remoteStore.Close(); runErr == nil {
+				runErr = cerr
+			}
+		}
+		if runErr != nil {
+			return runErr
+		}
+		if remoteStore != nil {
+			ss := remoteStore.Stats()
+			fmt.Printf("spe3: streamed %d sink entries (%d deduplicated sources) to store node %s\n",
+				ss.Sinks, ss.Sources, *storeAddr)
 		}
 		fmt.Printf("spe3: %d provenance results in %v\n", provResults, time.Since(begin).Round(time.Millisecond))
 	default:
 		return fmt.Errorf("role must be 1, 2 or 3 (got %d)", *role)
 	}
 	return nil
+}
+
+// runStoreNode runs the shared provenance store node: a provstore.Server
+// over an in-memory backend or a durable file log (created fresh, or — after
+// a crash or restart — reopened for appends with every acknowledged entry
+// intact). It serves until SIGINT/SIGTERM or the deadline, then flushes and
+// closes the backend.
+func runStoreNode(ctx context.Context, listen, path string, horizon int64) error {
+	var (
+		be  provstore.Backend
+		err error
+	)
+	switch {
+	case path == "":
+		be = provstore.NewMemoryBackend(horizon)
+	default:
+		if _, statErr := os.Stat(path); statErr == nil {
+			be, err = provstore.OpenFileLogAppend(path)
+		} else {
+			be, err = provstore.CreateFileLog(path, horizon)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	srv := provstore.NewServer(be)
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	backing := "in-memory"
+	if path != "" {
+		backing = "file log " + path
+	}
+	fmt.Printf("store node listening on %s (%s)\n", addr, backing)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-ctx.Done():
+	}
+	// Close first — it drains in-flight frames — then snapshot, so the
+	// summary counts everything the node acknowledged (Stats keeps working
+	// on the in-memory index after Close).
+	err = srv.Close()
+	ss := srv.Stats()
+	fmt.Printf("store node: %d sink entries, %d source entries (referenced %d times), %d bytes\n",
+		ss.Sinks, ss.Sources, ss.SourceRefs, ss.Bytes)
+	return err
 }

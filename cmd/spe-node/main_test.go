@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"genealog/internal/core"
+	"genealog/internal/provstore"
+	"genealog/internal/smartgrid"
+)
 
 func TestRunRejectsBadRole(t *testing.T) {
 	if err := run([]string{"-role", "5", "-timeout", "1s"}); err == nil {
@@ -29,5 +39,77 @@ func TestRunRejectsUnknownQuery(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flags must fail")
+	}
+}
+
+func TestRunRejectsStoreFlagMisuse(t *testing.T) {
+	if err := run([]string{"-store-listen", ":0", "-role", "3"}); err == nil {
+		t.Fatal("-store-listen with -role must fail")
+	}
+	if err := run([]string{"-role", "1", "-store", "127.0.0.1:1"}); err == nil {
+		t.Fatal("-store on a non-provenance role must fail")
+	}
+	if err := run([]string{"-role", "3", "-store-path", "x.glprov", "-timeout", "1s"}); err == nil {
+		t.Fatal("-store-path without -store-listen must fail")
+	}
+	if err := run([]string{"-store-listen", ":0", "-store-path", "/no/such/dir/x.glprov"}); err == nil {
+		t.Fatal("an uncreatable store path must fail")
+	}
+}
+
+// TestStoreNodeServesIngestionAndQueries runs the store-node role end to
+// end: a client streams entries to it over TCP, a query connection reads
+// them back, and the node shuts down cleanly at its deadline, leaving a
+// reopenable file log.
+func TestStoreNodeServesIngestionAndQueries(t *testing.T) {
+	// Reserve an ephemeral port for the node (run prints the bound address
+	// but cannot hand it back to the test).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	path := filepath.Join(t.TempDir(), "node.glprov")
+
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-store-listen", addr, "-store-path", path, "-timeout", "3s"}) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := provstore.Connect(ctx, addr, provstore.Options{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading := smartgrid.NewMeterReading(1, 7, 0)
+	alert := &smartgrid.BlackoutAlert{Base: core.NewBase(24), Count: 8}
+	if _, err := st.Ingest(alert, []core.Tuple{reading}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := provstore.DialQuery(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks, err := c.List(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) != 1 {
+		t.Fatalf("store node lists %d sinks, want 1", len(sinks))
+	}
+	c.Close()
+
+	if err := <-done; err != nil {
+		t.Fatalf("store node exit: %v", err)
+	}
+	ro, err := provstore.OpenRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ro.SinkIDs()); got != 1 {
+		t.Fatalf("reopened log has %d sinks, want 1", got)
 	}
 }

@@ -12,26 +12,40 @@
 //
 //	go run ./examples/distributed
 //
+// With -store, SPE 3 additionally streams every assembled provenance result
+// to a shared store node over TCP (start one with `spe-node -store-listen`),
+// and after the run the example queries the *live* node — Stats, Backward,
+// Forward — over the same kind of link, the full distributed serving path:
+//
+//	spe-node -store-listen 127.0.0.1:7432 -store-path /tmp/dist.glprov &
+//	go run ./examples/distributed -store 127.0.0.1:7432
+//	genealog-prov -connect 127.0.0.1:7432 -stats -list 3
+//
 // For a real three-process TCP deployment of the same topology, see
 // cmd/spe-node.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"genealog/internal/baseline"
 	"genealog/internal/core"
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
 	"genealog/internal/provenance"
+	"genealog/internal/provstore"
 	"genealog/internal/query"
 	"genealog/internal/transport"
 )
 
 func main() {
+	storeAddr := flag.String("store", "", "stream SPE 3's provenance to the store node at this address (spe-node -store-listen) and query it live after the run")
+	flag.Parse()
 	o := harness.Options{
 		Query:      harness.Q1,
 		Mode:       harness.ModeGL,
@@ -78,6 +92,19 @@ func main() {
 		Store: baseline.NewStore(), // unused under GL; required only for BL
 	}
 
+	// With -store, the provenance node streams its ingestion to the shared
+	// store node instead of dropping it after the print.
+	var remoteStore *provstore.Store
+	if *storeAddr != "" {
+		horizon, err := harness.StoreHorizon(o.Query)
+		must(err)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		remoteStore, err = provstore.Connect(ctx, *storeAddr, provstore.Options{Horizon: horizon})
+		cancel()
+		must(err)
+		hooks.ProvStore = remoteStore
+	}
+
 	spe1, err := harness.BuildSPE1(o, links, hooks)
 	must(err)
 	spe2, err := harness.BuildSPE2(o, links, hooks)
@@ -100,6 +127,44 @@ func main() {
 	fmt.Printf("\n%d sink tuples, %d provenance results (first 5 shown)\n", sinkTuples, provResults)
 	fmt.Printf("link traffic: main %d B, unfolded %d B, derived %d B\n",
 		links.Main[0].Count.Bytes(), links.U1[0].Count.Bytes(), links.Derived.Count.Bytes())
+
+	if remoteStore != nil {
+		must(remoteStore.Close()) // flush the final batch; a lost ack is an error
+		queryStoreNode(*storeAddr)
+	}
+}
+
+// queryStoreNode asks the live store node what it now holds: the remote
+// counterpart of the quickstart's cold-file replay.
+func queryStoreNode(addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := provstore.DialQuery(ctx, addr)
+	must(err)
+	defer c.Close()
+
+	ss, err := c.Stats()
+	must(err)
+	fmt.Printf("\nstore node %s now holds %d sink entries over %d deduplicated sources (%.2fx, %d B)\n",
+		addr, ss.Sinks, ss.Sources, ss.DedupRatio(), ss.Bytes)
+
+	sinks, err := c.List(1)
+	must(err)
+	if len(sinks) == 0 {
+		log.Fatal("store node holds no sink entries")
+	}
+	sink, sources, err := c.Backward(sinks[0].ID)
+	must(err)
+	fmt.Printf("backward(%d): %s <-", sink.ID, sink.Payload)
+	for _, src := range sources {
+		fmt.Printf(" [%s]", src.Payload)
+	}
+	fmt.Println()
+	if len(sources) > 0 {
+		src, fed, err := c.Forward(sources[0].ID)
+		must(err)
+		fmt.Printf("forward(%d): %s -> %d sink(s)\n", src.ID, src.Payload, len(fed))
+	}
 }
 
 func must(err error) {

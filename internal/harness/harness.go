@@ -120,10 +120,20 @@ type Options struct {
 	// never overwrite each other; Repeat truncates the file per run, leaving
 	// the last run's store.
 	StorePath string
+	// RemoteStore, when non-empty, streams every assembled provenance result
+	// to the store node at this address (cmd/spe-node -store-listen) instead
+	// of a local file: several SPE instances — or several whole deployments —
+	// can share one store node, which merges their streams with per-instance
+	// ID namespacing and answers global Backward/Forward queries live
+	// (cmd/genealog-prov -connect). Deduplication and retention still run on
+	// this instance; the run fails if the store node rejects or loses an
+	// ingestion frame. Mutually exclusive with StorePath.
+	RemoteStore string
 	// Store, when non-nil, receives the assembled provenance instead of a
-	// StorePath-created file log: the caller owns the store's lifecycle
-	// (Close, queries after the run). Used by tests to inspect an in-memory
-	// store; takes precedence over StorePath.
+	// StorePath-created file log or a RemoteStore connection: the caller owns
+	// the store's lifecycle (Close, queries after the run). Used by tests to
+	// inspect an in-memory or remote-backed store; takes precedence over
+	// StorePath and RemoteStore.
 	Store *provstore.Store
 	// OnProvenance, when non-nil, observes every assembled provenance
 	// result, in delivery order, under any mode.
@@ -191,8 +201,32 @@ type Result struct {
 	// ProvStoreDedup is source references per stored source entry (>= 1 when
 	// sink tuples share sources; the serving-side saving of deduplication).
 	ProvStoreDedup float64
+	// ProvStoreReEncoded counts source tuples the store had to encode again
+	// because their dedup handles were retired while sink tuples could still
+	// reference them — a correctly sized retention horizon keeps it zero, so
+	// any non-zero value is surfaced by Warnings.
+	ProvStoreReEncoded int64
+	// RemoteStore echoes Options.RemoteStore: the store node this run's
+	// provenance was streamed to ("" for local stores).
+	RemoteStore string
 	// Elapsed is the wall-clock run duration.
 	Elapsed time.Duration
+}
+
+// Warnings lists post-run conditions that deserve loud operator attention.
+// Today that is one: the provenance store re-encoding retired sources, which
+// means the retention horizon was too tight for the query's windows — the
+// store stayed correct (every entry is durable) but the working-set bound
+// was violated and duplicate encodings crept in. Widen the horizon
+// (harness specs derive it as twice the query's window-span sum).
+func (r Result) Warnings() []string {
+	var w []string
+	if r.ProvStoreReEncoded > 0 {
+		w = append(w, fmt.Sprintf(
+			"provenance store re-encoded %d source tuple(s): the retention horizon is too tight for %s's windows — dedup handles were retired while sink tuples could still reference them; widen the store horizon",
+			r.ProvStoreReEncoded, r.Query))
+	}
+	return w
 }
 
 // ProvRatio returns provenance bytes over source bytes (e.g. 0.005 = 0.5%).
@@ -228,6 +262,10 @@ func (o *Options) validate() error {
 	if o.BatchSize > transport.MaxBatchFrameTuples {
 		return fmt.Errorf("harness: batch size %d exceeds the wire frame bound %d",
 			o.BatchSize, transport.MaxBatchFrameTuples)
+	}
+	if o.StorePath != "" && o.RemoteStore != "" {
+		return fmt.Errorf("harness: StorePath and RemoteStore are mutually exclusive (got %q and %q)",
+			o.StorePath, o.RemoteStore)
 	}
 	return nil
 }

@@ -278,7 +278,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 // serialising links, following the paper's Figs. 7, 9C, 10C and 11C: NP uses
 // two instances, GL and BL add the provenance node.
 func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism, BatchSize: o.BatchSize, Fusion: !o.NoFusion}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism,
+		BatchSize: o.BatchSize, Fusion: !o.NoFusion, RemoteStore: o.RemoteStore}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)
@@ -320,7 +321,7 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	if o.Mode == ModeBL {
 		store = baseline.NewStore()
 	}
-	provStore, ownStore, err := o.openProvStore(spec)
+	provStore, ownStore, err := o.openProvStore(ctx, spec)
 	if err != nil {
 		return Result{}, err
 	}

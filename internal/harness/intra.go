@@ -111,7 +111,8 @@ func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Qu
 
 // runIntra deploys the whole query in one SPE instance (Fig. 12).
 func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
-	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism, BatchSize: o.BatchSize, Fusion: !o.NoFusion}
+	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism,
+		BatchSize: o.BatchSize, Fusion: !o.NoFusion, RemoteStore: o.RemoteStore}
 
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
@@ -121,7 +122,7 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	if o.Mode == ModeBL {
 		store = baseline.NewStore()
 	}
-	provStore, ownStore, err := o.openProvStore(spec)
+	provStore, ownStore, err := o.openProvStore(ctx, spec)
 	if err != nil {
 		return Result{}, err
 	}
@@ -221,17 +222,25 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 }
 
 // openProvStore opens the run's durable provenance store: the
-// caller-provided one, or a file log at StorePath with the query's retention
-// horizon. The boolean reports whether the run owns (and must close) it.
-// NP assembles no provenance, so a store request under NP is an error —
-// better than leaving a misleading header-only file behind (the figure grids
-// blank NP cells' paths instead of tripping this).
-func (o *Options) openProvStore(spec querySpec) (*provstore.Store, bool, error) {
-	if o.Mode == ModeNP && (o.Store != nil || o.StorePath != "") {
+// caller-provided one, a connection to the store node at RemoteStore, or a
+// file log at StorePath with the query's retention horizon. The boolean
+// reports whether the run owns (and must close) it. NP assembles no
+// provenance, so a store request under NP is an error — better than leaving
+// a misleading header-only file behind (the figure grids blank NP cells'
+// paths instead of tripping this).
+func (o *Options) openProvStore(ctx context.Context, spec querySpec) (*provstore.Store, bool, error) {
+	if o.Mode == ModeNP && (o.Store != nil || o.StorePath != "" || o.RemoteStore != "") {
 		return nil, false, fmt.Errorf("mode %s assembles no provenance to store", o.Mode)
 	}
 	if o.Store != nil {
 		return o.Store, false, nil
+	}
+	if o.RemoteStore != "" {
+		st, err := provstore.Connect(ctx, o.RemoteStore, provstore.Options{Horizon: spec.storeHorizon})
+		if err != nil {
+			return nil, false, err
+		}
+		return st, true, nil
 	}
 	if o.StorePath == "" {
 		return nil, false, nil
@@ -244,7 +253,10 @@ func (o *Options) openProvStore(spec querySpec) (*provstore.Store, bool, error) 
 }
 
 // finishProvStore finalises an owned store (final-watermark retirement and
-// flush to disk) and folds the store's accounting into the result.
+// flush to disk or to the store node) and folds the store's accounting into
+// the result. For a remote-backed store the accounting covers this
+// instance's own contribution; the store node's merged view is served by
+// genealog-prov -connect.
 func finishProvStore(st *provstore.Store, owned bool, res *Result) error {
 	if st == nil {
 		return nil
@@ -259,5 +271,6 @@ func finishProvStore(st *provstore.Store, owned bool, res *Result) error {
 	res.ProvStoreSinks = ss.Sinks
 	res.ProvStoreSources = ss.Sources
 	res.ProvStoreDedup = ss.DedupRatio()
+	res.ProvStoreReEncoded = ss.ReEncoded
 	return nil
 }

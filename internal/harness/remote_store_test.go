@@ -1,0 +1,445 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"genealog/internal/provenance"
+	"genealog/internal/provstore"
+)
+
+// The distributed provenance-store suite: SPE instances stream their
+// collectors' ingestion to one store node over the remote backend, and the
+// merged store must answer exactly what the in-run traversals delivered —
+// across instances, parallelism, batching and a store-node crash.
+
+// startStoreNode runs a store node over be on an ephemeral port.
+func startStoreNode(t *testing.T, be provstore.Backend) (*provstore.Server, string) {
+	t.Helper()
+	srv := provstore.NewServer(be)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr.String()
+}
+
+// connectStore dials the store node with the query's retention horizon.
+func connectStore(t *testing.T, addr string, q QueryID, ropts ...provstore.RemoteOption) *provstore.Store {
+	t.Helper()
+	spec, err := specFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := provstore.Connect(context.Background(), addr, provstore.Options{Horizon: spec.storeHorizon}, ropts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeDigest renders a store's contents as a sorted multiset of
+// "sink <- sources" payload lines — the ID-free form two deployments of the
+// same workload must agree on.
+func storeDigest(t *testing.T, st *provstore.Store) []string {
+	t.Helper()
+	var lines []string
+	for _, id := range st.SinkIDs() {
+		sink, sources, err := st.Backward(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := make([]string, 0, len(sources))
+		for _, src := range sources {
+			srcs = append(srcs, src.Payload)
+		}
+		sort.Strings(srcs)
+		lines = append(lines, sink.Payload+" <- "+strings.Join(srcs, "|"))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// backendDigest is storeDigest against a raw backend — the store node's
+// merged view.
+func backendDigest(t *testing.T, be provstore.Backend) []string {
+	t.Helper()
+	var lines []string
+	for _, id := range be.SinkIDs(-1) {
+		sink, ok := be.Sink(id)
+		if !ok {
+			t.Fatalf("backend lost sink %d", id)
+		}
+		srcs := make([]string, 0, len(sink.Sources))
+		for _, srcID := range sink.Sources {
+			src, ok := be.Source(srcID)
+			if !ok {
+				t.Fatalf("sink %d references missing source %d", id, srcID)
+			}
+			srcs = append(srcs, src.Payload)
+		}
+		sort.Strings(srcs)
+		lines = append(lines, sink.Payload+" <- "+strings.Join(srcs, "|"))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestRemoteStoreMatchesTraversal is the acceptance test for a query split
+// across SPE instances with one remote store node: the three-instance
+// inter-process deployment streams its collector's ingestion to the node,
+// and afterwards Backward(sinkID) must equal the traversed contribution set,
+// Forward must be its exact inverse, dedup must be exact and retention
+// complete (verifyStoreMatchesTraversal) — both on the instance's own view
+// and on the store node's merged view.
+func TestRemoteStoreMatchesTraversal(t *testing.T) {
+	for _, q := range Queries {
+		t.Run(string(q), func(t *testing.T) {
+			be := provstore.NewMemoryBackend(0)
+			srv, addr := startStoreNode(t, be)
+			defer srv.Close()
+
+			st := connectStore(t, addr, q)
+			var results []provenance.Result
+			o := testOptions()
+			o.Query, o.Mode, o.Deployment = q, ModeGL, Inter
+			o.Store = st
+			o.OnProvenance = func(r provenance.Result) { results = append(results, r) }
+			if _, err := Run(context.Background(), o); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(results) == 0 {
+				t.Fatal("no provenance delivered")
+			}
+			verifyStoreMatchesTraversal(t, st, results)
+
+			// The store node's merged view holds exactly the same contents
+			// (remapped onto global IDs).
+			local, merged := storeDigest(t, st), backendDigest(t, be)
+			if strings.Join(local, "\n") != strings.Join(merged, "\n") {
+				t.Fatalf("store node diverges from the instance's view:\n--- instance ---\n%s\n--- store node ---\n%s",
+					strings.Join(local, "\n"), strings.Join(merged, "\n"))
+			}
+			ss := srv.Stats()
+			ls := st.Stats()
+			if ss.Sinks != ls.Sinks || ss.Sources != ls.Sources || ss.SourceRefs != ls.SourceRefs {
+				t.Fatalf("store node stats %+v diverge from instance stats %+v", ss, ls)
+			}
+		})
+	}
+}
+
+// TestRemoteStoreRetiresMidStream: retention runs on the ingesting instance
+// while it streams to the node — the live working set peaks well below the
+// total stored sources on the long Linear Road streams, exactly as with a
+// local backend.
+func TestRemoteStoreRetiresMidStream(t *testing.T) {
+	srv, addr := startStoreNode(t, provstore.NewMemoryBackend(0))
+	defer srv.Close()
+	st := connectStore(t, addr, Q1)
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeGL, Intra
+	o.Store = st
+	if _, err := Run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss := st.Stats()
+	if ss.PeakLiveSources >= ss.Sources {
+		t.Fatalf("peak live %d of %d sources: retention never ran during the stream", ss.PeakLiveSources, ss.Sources)
+	}
+	if ss.ReEncoded != 0 {
+		t.Fatalf("%d sources re-encoded: the horizon is too tight", ss.ReEncoded)
+	}
+}
+
+// mergeDigests joins per-instance digests into the multiset their union
+// forms on a shared store.
+func mergeDigests(parts ...[]string) []string {
+	var all []string
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Strings(all)
+	return all
+}
+
+// TestTwoInstancesShareOneStoreNode is the equivalence satellite: two SPE
+// instances running distinct workloads and sharing one remote store node
+// yield exactly the union of their per-instance local stores — payload-set
+// digests equal, global dedup exact (each instance's source entries encoded
+// once, counts additive) — for Q1/Q4 x parallelism 1/4 x batch 1/64, with
+// the two instances ingesting concurrently.
+func TestTwoInstancesShareOneStoreNode(t *testing.T) {
+	for _, q := range []QueryID{Q1, Q4} {
+		t.Run(string(q), func(t *testing.T) {
+			optsA := testOptions()
+			optsB := testOptions()
+			// Distinct workloads: instance B sees different streams.
+			optsB.LR.Seed, optsB.SG.Seed = 9, 11
+			optsB.LR.Cars, optsB.SG.Meters = 8, 10
+
+			// Reference: each instance against its own local store. Store
+			// contents are configuration-independent (the PR-4 acceptance
+			// grid), so one local run per instance serves every config below.
+			prep := func(o Options) ([]string, provstore.Stats) {
+				o.Query, o.Mode, o.Deployment = q, ModeGL, Intra
+				st, results := runWithStore(t, o)
+				if len(results) == 0 {
+					t.Fatal("no provenance delivered")
+				}
+				return storeDigest(t, st), st.Stats()
+			}
+			digestA, statsA := prep(optsA)
+			digestB, statsB := prep(optsB)
+			want := strings.Join(mergeDigests(digestA, digestB), "\n")
+
+			for _, p := range []int{1, 4} {
+				for _, batch := range []int{1, 64} {
+					if testing.Short() && batch == 64 {
+						continue
+					}
+					t.Run(fmt.Sprintf("P%d/B%d", p, batch), func(t *testing.T) {
+						be := provstore.NewMemoryBackend(0)
+						srv, addr := startStoreNode(t, be)
+						defer srv.Close()
+
+						runInstance := func(o Options) error {
+							o.Query, o.Mode, o.Deployment = q, ModeGL, Intra
+							o.Parallelism, o.BatchSize = p, batch
+							st := connectStore(t, addr, q)
+							o.Store = st
+							if _, err := Run(context.Background(), o); err != nil {
+								return err
+							}
+							return st.Close()
+						}
+						var wg sync.WaitGroup
+						errs := make([]error, 2)
+						for i, o := range []Options{optsA, optsB} {
+							wg.Add(1)
+							go func(i int, o Options) {
+								defer wg.Done()
+								errs[i] = runInstance(o)
+							}(i, o)
+						}
+						wg.Wait()
+						for i, err := range errs {
+							if err != nil {
+								t.Fatalf("instance %d: %v", i, err)
+							}
+						}
+
+						got := strings.Join(backendDigest(t, be), "\n")
+						if got != want {
+							t.Fatalf("shared store diverges from the union of the local stores:\n--- shared ---\n%s\n--- union ---\n%s", got, want)
+						}
+						ss := srv.Stats()
+						if ss.Sinks != statsA.Sinks+statsB.Sinks ||
+							ss.Sources != statsA.Sources+statsB.Sources ||
+							ss.SourceRefs != statsA.SourceRefs+statsB.SourceRefs {
+							t.Fatalf("merged stats %+v are not the sum of %+v and %+v (dedup not exact)", ss, statsA, statsB)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestStoreNodeKilledMidRun is the chaos satellite: the store node dies mid-
+// run — the SPE query must fail with a descriptive store error instead of
+// deadlocking or silently dropping provenance, and a restarted node must
+// reopen its file log and answer queries for everything acked before the
+// kill.
+func TestStoreNodeKilledMidRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos.glprov")
+	spec, err := specFor(Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := provstore.CreateFileLog(path, spec.storeHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startStoreNode(t, be)
+
+	// FlushEvery(1) acks every ingest, so "acked before the kill" is exactly
+	// the results the run had delivered when the node died.
+	st := connectStore(t, addr, Q1, provstore.WithFlushEvery(1))
+	var delivered int
+	var killOnce sync.Once
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeGL, Inter
+	o.Store = st
+	o.OnProvenance = func(provenance.Result) {
+		delivered++
+		if delivered == 3 {
+			killOnce.Do(srv.Kill)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, runErr := Run(ctx, o)
+	if err := st.Close(); runErr == nil {
+		runErr = err
+	}
+	if runErr == nil {
+		t.Fatal("the query must fail when the store node dies mid-run")
+	}
+	if !strings.Contains(runErr.Error(), "provstore") {
+		t.Fatalf("query failed, but not with a store error: %v", runErr)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("query only failed via the timeout (deadlock until cancellation): %v", runErr)
+	}
+	if delivered < 3 {
+		t.Fatalf("only %d results delivered before the kill", delivered)
+	}
+
+	// Restart the node on the same log: everything acked before the kill —
+	// at least the 3 delivered results — is indexed and fully resolvable.
+	be2, err := provstore.OpenFileLogAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, addr2 := startStoreNode(t, be2)
+	defer srv2.Close()
+	c, err := provstore.DialQuery(context.Background(), addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Sinks < 3 {
+		t.Fatalf("restarted node holds %d sink entries, want at least the 3 acked before the kill", ss.Sinks)
+	}
+	sinks, err := c.List(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(sinks)) != ss.Sinks {
+		t.Fatalf("List returned %d entries, stats claim %d", len(sinks), ss.Sinks)
+	}
+	for _, sink := range sinks {
+		_, sources, err := c.Backward(sink.ID)
+		if err != nil {
+			t.Fatalf("Backward(%d) after restart: %v", sink.ID, err)
+		}
+		if len(sources) == 0 {
+			t.Fatalf("sink %d resolved to no sources after restart", sink.ID)
+		}
+	}
+
+	// The restarted node keeps ingesting: a fresh run against it succeeds and
+	// extends the same store.
+	st2 := connectStore(t, addr2, Q1, provstore.WithFlushEvery(1))
+	o2 := testOptions()
+	o2.Query, o2.Mode, o2.Deployment = Q1, ModeGL, Intra
+	o2.Store = st2
+	o2.OnProvenance = nil
+	if _, err := Run(context.Background(), o2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss2.Sinks <= ss.Sinks {
+		t.Fatalf("restarted node did not grow: %d sinks before, %d after a full run", ss.Sinks, ss2.Sinks)
+	}
+}
+
+// TestRetentionWarning is the ReEncoded satellite: an artificially short
+// horizon forces the store to re-encode sources whose dedup handles were
+// retired too early, and the harness surfaces that loudly — on the Result
+// and in the rendered report.
+func TestRetentionWarning(t *testing.T) {
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeGL, Intra
+	o.Store = provstore.NewMemory(provstore.Options{Horizon: 0})
+	res, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProvStoreReEncoded == 0 {
+		t.Fatal("a zero horizon on Q1 must re-encode shared sources")
+	}
+	warnings := res.Warnings()
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "retention horizon is too tight") {
+		t.Fatalf("Warnings() = %q, want the horizon warning", warnings)
+	}
+
+	// The figure report renders the warning next to the cell's store rows.
+	fig := &Figure{Title: "warning smoke", Cells: map[QueryID]map[Mode]Summaries{
+		Q1: {ModeNP: {}, ModeGL: {Last: res}, ModeBL: {}},
+		Q2: {}, Q3: {}, Q4: {},
+	}}
+	text := fig.Render()
+	if !strings.Contains(text, "WARNING") || !strings.Contains(text, "retention horizon is too tight") {
+		t.Fatalf("report does not surface the retention warning:\n%s", text)
+	}
+
+	// A correctly sized horizon stays silent.
+	o.Store = nil
+	o.StorePath = filepath.Join(t.TempDir(), "ok.glprov")
+	res, err = Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProvStoreReEncoded != 0 || len(res.Warnings()) != 0 {
+		t.Fatalf("spec horizon must not warn: reenc=%d warnings=%q", res.ProvStoreReEncoded, res.Warnings())
+	}
+}
+
+// TestRemoteStoreOption: the Options.RemoteStore knob (the path genealog-
+// bench -remote-store and spe-node -store take) connects, streams and
+// reports like a caller-owned connection.
+func TestRemoteStoreOption(t *testing.T) {
+	be := provstore.NewMemoryBackend(0)
+	srv, addr := startStoreNode(t, be)
+	defer srv.Close()
+
+	o := testOptions()
+	o.Query, o.Mode, o.Deployment = Q1, ModeGL, Intra
+	o.RemoteStore = addr
+	res, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteStore != addr {
+		t.Fatalf("Result.RemoteStore = %q, want %q", res.RemoteStore, addr)
+	}
+	if res.ProvStoreSinks == 0 || int64(be.SinkCount()) != res.ProvStoreSinks {
+		t.Fatalf("store node holds %d sinks, result reports %d", be.SinkCount(), res.ProvStoreSinks)
+	}
+
+	// NP assembles no provenance: requesting a remote store under NP fails.
+	o.Mode = ModeNP
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("RemoteStore under NP must fail")
+	}
+
+	// StorePath and RemoteStore are mutually exclusive.
+	o.Mode, o.StorePath = ModeGL, filepath.Join(t.TempDir(), "x.glprov")
+	if _, err := Run(context.Background(), o); err == nil {
+		t.Fatal("StorePath + RemoteStore must fail validation")
+	}
+}

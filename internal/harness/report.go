@@ -85,6 +85,16 @@ func cellStorePath(base string, q QueryID, m Mode, d Deployment) string {
 	return path
 }
 
+// cellRemoteStore blanks a remote store node address for NP cells (NP
+// assembles no provenance to stream); every other cell shares the one node,
+// which namespaces their streams per connection.
+func cellRemoteStore(addr string, m Mode) string {
+	if m == ModeNP {
+		return ""
+	}
+	return addr
+}
+
 // runFigure measures every query under every mode for the given deployment.
 func runFigure(ctx context.Context, base Options, deployment Deployment, runs int, title string) (*Figure, error) {
 	fig := &Figure{Title: title, Cells: make(map[QueryID]map[Mode]Summaries)}
@@ -96,6 +106,7 @@ func runFigure(ctx context.Context, base Options, deployment Deployment, runs in
 			o.Mode = m
 			o.Deployment = deployment
 			o.StorePath = cellStorePath(base.StorePath, q, m, deployment)
+			o.RemoteStore = cellRemoteStore(base.RemoteStore, m)
 			s, err := Repeat(ctx, o, runs)
 			if err != nil {
 				return nil, err
@@ -165,10 +176,21 @@ func (f *Figure) Render() string {
 		fmt.Fprintf(&sb, "  %-12s BL %d B (%d source tuples retained)\n", "BL store",
 			bl.Last.StoreBytes, bl.Last.StoreTuples)
 		if gl.Last.ProvStoreBytes > 0 || bl.Last.ProvStoreBytes > 0 {
-			fmt.Fprintf(&sb, "  %-12s GL %d B (%d sinks, %d sources, dedup %.2fx)  BL %d B (dedup %.2fx)\n",
+			remote := ""
+			if gl.Last.RemoteStore != "" {
+				remote = fmt.Sprintf("  [store node %s]", gl.Last.RemoteStore)
+			}
+			fmt.Fprintf(&sb, "  %-12s GL %d B (%d sinks, %d sources, dedup %.2fx)  BL %d B (dedup %.2fx)%s\n",
 				"Prov store",
 				gl.Last.ProvStoreBytes, gl.Last.ProvStoreSinks, gl.Last.ProvStoreSources, gl.Last.ProvStoreDedup,
-				bl.Last.ProvStoreBytes, bl.Last.ProvStoreDedup)
+				bl.Last.ProvStoreBytes, bl.Last.ProvStoreDedup, remote)
+		}
+		// Retention misconfiguration is loud: a horizon too tight for the
+		// query's windows silently costs duplicate encodings otherwise.
+		for _, m := range Modes {
+			for _, warn := range cells[m].Last.Warnings() {
+				fmt.Fprintf(&sb, "  %-12s %s: %s\n", "WARNING", m, warn)
+			}
 		}
 	}
 	return sb.String()

@@ -124,6 +124,18 @@ func specFor(id QueryID) (querySpec, error) {
 	}
 }
 
+// StoreHorizon returns the provenance store's retention horizon for q —
+// twice the sum of the query's stateful window spans, covering every open
+// window with slack. CLI deployments (spe-node -store) use it to open remote
+// store connections with the same horizon the harness would.
+func StoreHorizon(q QueryID) (int64, error) {
+	spec, err := specFor(q)
+	if err != nil {
+		return 0, err
+	}
+	return spec.storeHorizon, nil
+}
+
 func lrSource(o Options) (ops.SourceFunc, int, int) {
 	g := linearroad.NewGenerator(o.LR)
 	return g.SourceFunc(), g.Tuples(), (&linearroad.PositionReport{}).ApproxBytes()

@@ -158,10 +158,52 @@ func CreateFileLog(path string, horizon int64) (*FileLog, error) {
 		f.Close()
 		return nil, fmt.Errorf("provstore: write header: %w", err)
 	}
+	// Push the header to the OS immediately: a writer killed before its
+	// first flush must leave a valid (empty) log behind, not a 0-byte file
+	// OpenFileLogAppend would refuse — the store node's restart contract.
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("provstore: write header: %w", err)
+	}
 	return &FileLog{
 		ix: newIndex(), horizon: horizon, bytes: int64(hdr.Len()),
 		f: f, w: w, writable: true,
 	}, nil
+}
+
+// scanFileLog reads the header and every record of an open log file into a
+// fresh index, tolerating a torn final record (crash mid-append): everything
+// before it is indexed. It returns the rebuilt log (bytes set to the offset
+// just past the last intact record) and whether a torn tail was dropped.
+func scanFileLog(path string, f *os.File) (*FileLog, bool, error) {
+	fl := &FileLog{ix: newIndex()}
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, false, fmt.Errorf("provstore: %s: read header: %w", path, err)
+	}
+	if string(magic) != fileMagic {
+		return nil, false, fmt.Errorf("provstore: %s is not a provenance store (bad magic)", path)
+	}
+	h, err := readU64(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("provstore: %s: read horizon: %w", path, err)
+	}
+	fl.horizon = int64(h)
+	fl.bytes = int64(len(fileMagic)) + 8
+	for {
+		n, err := fl.readRecord(r)
+		if err == io.EOF {
+			return fl, false, nil
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fl, true, nil
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("provstore: %s: %w", path, err)
+		}
+		fl.bytes += n
+	}
 }
 
 // OpenFileLog opens an existing log read-only and rebuilds the ID index by
@@ -173,35 +215,37 @@ func OpenFileLog(path string) (*FileLog, error) {
 		return nil, fmt.Errorf("provstore: %w", err)
 	}
 	defer f.Close()
-	fl := &FileLog{ix: newIndex()}
-	r := bufio.NewReader(f)
-	magic := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("provstore: %s: read header: %w", path, err)
-	}
-	if string(magic) != fileMagic {
-		return nil, fmt.Errorf("provstore: %s is not a provenance store (bad magic)", path)
-	}
-	h, err := readU64(r)
+	fl, _, err := scanFileLog(path, f)
+	return fl, err
+}
+
+// OpenFileLogAppend reopens an existing log for further appends: the ID
+// index is rebuilt by scanning every record, a torn final record (crash
+// mid-append) is truncated away so new records start on a clean boundary,
+// and the write position resumes at the end of the last intact record. A
+// restarted store node (cmd/spe-node -store-listen) uses this to keep
+// serving — and extending — a log whose writer was killed.
+func OpenFileLogAppend(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return nil, fmt.Errorf("provstore: %s: read horizon: %w", path, err)
+		return nil, fmt.Errorf("provstore: %w", err)
 	}
-	fl.horizon = int64(h)
-	fl.bytes = int64(len(fileMagic)) + 8
-	for {
-		n, err := fl.readRecord(r)
-		if err == io.EOF {
-			break
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			// Torn final record: everything before it is indexed.
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("provstore: %s: %w", path, err)
-		}
-		fl.bytes += n
+	fl, tornTail, err := scanFileLog(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
+	if tornTail {
+		if err := f.Truncate(fl.bytes); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("provstore: %s: truncate torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(fl.bytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("provstore: %s: seek: %w", path, err)
+	}
+	fl.f, fl.w, fl.writable = f, bufio.NewWriter(f), true
 	return fl, nil
 }
 
@@ -242,58 +286,69 @@ func readStr32(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// readRecord decodes one record into the index and returns its encoded size.
-// An io.EOF on the kind byte is a clean end of log; a short read anywhere
+// record is one decoded log record; kind selects which field is meaningful.
+// The same framing crosses the remote store's wire protocol (remote.go), so
+// the decoder is shared between the file scan and the store server.
+type record struct {
+	kind      byte
+	source    SourceEntry
+	sink      SinkEntry
+	watermark int64
+}
+
+// decodeRecord reads one record and returns it with its encoded size. An
+// io.EOF on the kind byte is a clean end of stream; a short read anywhere
 // later surfaces as io.ErrUnexpectedEOF (torn record).
-func (fl *FileLog) readRecord(r *bufio.Reader) (int64, error) {
+func decodeRecord(r *bufio.Reader) (record, int64, error) {
 	kind, err := r.ReadByte()
 	if err != nil {
-		return 0, err // io.EOF: clean end
+		return record{}, 0, err // io.EOF: clean end
 	}
+	rec := record{kind: kind}
 	switch kind {
 	case recSource:
 		var e SourceEntry
 		id, err := readU64(r)
 		if err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		ts, err := readU64(r)
 		if err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		e.ID, e.Ts = id, int64(ts)
 		if e.Format, err = readStr16(r); err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		if e.Payload, err = readStr32(r); err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
-		fl.ix.addSource(e)
-		return sourceRecordSize(e), nil
+		rec.source = e
+		return rec, sourceRecordSize(e), nil
 	case recSink:
 		var e SinkEntry
 		id, err := readU64(r)
 		if err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		ts, err := readU64(r)
 		if err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		e.ID, e.Ts = id, int64(ts)
 		if e.Format, err = readStr16(r); err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		if e.Payload, err = readStr32(r); err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		var b [4]byte
 		if _, err := io.ReadFull(r, b[:]); err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
 		n := binary.LittleEndian.Uint32(b[:])
 		if n > maxSinkSources {
-			return 0, fmt.Errorf("sink entry %d references %d sources (limit %d)", e.ID, n, maxSinkSources)
+			return record{}, 0, fmt.Errorf("sink entry %d references %d sources (limit %d)", e.ID, n, maxSinkSources)
 		}
 		if n > 0 {
 			// Cap the up-front allocation: a corrupt count must not make a
@@ -304,22 +359,44 @@ func (fl *FileLog) readRecord(r *bufio.Reader) (int64, error) {
 		for i := uint32(0); i < n; i++ {
 			id, err := readU64(r)
 			if err != nil {
-				return 0, torn(err)
+				return record{}, 0, torn(err)
 			}
 			e.Sources = append(e.Sources, id)
 		}
-		fl.ix.addSink(e)
-		return sinkRecordSize(e), nil
+		rec.sink = e
+		return rec, sinkRecordSize(e), nil
 	case recWatermark:
 		ts, err := readU64(r)
 		if err != nil {
-			return 0, torn(err)
+			return record{}, 0, torn(err)
 		}
-		fl.ix.addWatermark(int64(ts))
-		return watermarkRecordSize, nil
+		rec.watermark = int64(ts)
+		return rec, watermarkRecordSize, nil
 	default:
-		return 0, fmt.Errorf("unknown record kind 0x%02x", kind)
+		return record{}, 0, fmt.Errorf("unknown record kind 0x%02x", kind)
 	}
+}
+
+// apply folds one decoded record into the index.
+func (ix *index) apply(rec record) {
+	switch rec.kind {
+	case recSource:
+		ix.addSource(rec.source)
+	case recSink:
+		ix.addSink(rec.sink)
+	case recWatermark:
+		ix.addWatermark(rec.watermark)
+	}
+}
+
+// readRecord decodes one record into the index and returns its encoded size.
+func (fl *FileLog) readRecord(r *bufio.Reader) (int64, error) {
+	rec, n, err := decodeRecord(r)
+	if err != nil {
+		return 0, err
+	}
+	fl.ix.apply(rec)
+	return n, nil
 }
 
 // torn maps a short read inside a record to io.ErrUnexpectedEOF so the open
@@ -419,6 +496,17 @@ func (fl *FileLog) Horizon() int64 { return fl.horizon }
 
 // Bytes implements Backend.
 func (fl *FileLog) Bytes() int64 { return fl.bytes }
+
+// Flush pushes buffered appends to the operating system, so records a store
+// server has acknowledged survive the server process being killed (the OS
+// page cache holds them even if the process never reaches Close). A no-op on
+// read-only logs.
+func (fl *FileLog) Flush() error {
+	if fl.w == nil {
+		return nil
+	}
+	return fl.w.Flush()
+}
 
 // Close flushes and closes the file. The in-memory index keeps answering
 // queries afterwards.

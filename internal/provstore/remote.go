@@ -1,0 +1,518 @@
+package provstore
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"genealog/internal/transport"
+)
+
+// The remote store protocol: several SPE instances stream their collectors'
+// ingestion to one store node, which merges the streams into a single
+// backend and answers Backward/Forward/Stats queries live over the same
+// kind of link. The record framing is the file log's GLPROV1 framing
+// (source/sink/watermark records, see filelog.go) wrapped in batch frames:
+//
+//	handshake (client → server):  8-byte magic "GLPROVR1" | role byte
+//	  role 'I' (ingest):          + horizon i64 (informational)
+//	  role 'Q' (query):           nothing more
+//	server ack:                   'A' | 'E' + str32 error message
+//
+//	ingest frames (client → server), each acked 'A'/'E'+str32:
+//	  'B' | count u32 | count x record          (record = 'S'/'K'/'W' framing)
+//
+//	query requests (client → server), each replied 'A'+body / 'E'+str32:
+//	  's'                → stats: 10 x u64 (Stats fields in declaration order)
+//	  'b' | sink-id u64  → sink record | count u32 | count x (source record | refs u32)
+//	  'f' | src-id  u64  → source record | refs u32 | count u32 | count x sink record
+//	  'l' | max i64      → count u32 | count x sink record (max < 0 = all)
+//
+// Appends are batched client-side and flushed — one 'B' frame, one ack —
+// when the batch fills, when a watermark is appended (the collector's flush
+// cadence) and at Close. The synchronous ack per flushed frame is what makes
+// store errors fail the query: the first nack (or broken link) surfaces as
+// an error from the Append call that triggered the flush, poisons the
+// backend, and the provenance collector propagates it.
+//
+// Entry IDs are namespaced per instance at the server: every connection's
+// source and sink IDs are remapped through per-connection tables onto global
+// sequential IDs, so streams from instances that numbered their tuples
+// identically (two intra-process runs both counting from 1, two deployments
+// both using SPE-instance number 1) merge without collisions, and each
+// instance's deduplication — sink records reference previously shipped
+// source IDs — carries over to the merged store exactly.
+const remoteMagic = "GLPROVR1"
+
+// Protocol roles, frames and acks.
+const (
+	roleIngest = 'I'
+	roleQuery  = 'Q'
+
+	frameBatch = 'B'
+
+	reqStats    = 's'
+	reqBackward = 'b'
+	reqForward  = 'f'
+	reqList     = 'l'
+
+	ackOK  = 'A'
+	ackErr = 'E'
+)
+
+// maxBatchRecords and maxBatchFrameBytes bound one ingest frame: a corrupt
+// count or a stream of maximum-size records must not make the server buffer
+// gigabytes before the frame is applied. The client flushes far below both
+// bounds (flushEvery records, or flushBatchBytes of encoded records,
+// whichever comes first); the server nacks a frame crossing
+// maxBatchFrameBytes mid-decode, overshooting by at most one record.
+const (
+	maxBatchRecords    = 1 << 16
+	maxBatchFrameBytes = 1 << 26 // 64 MiB
+	flushBatchBytes    = 1 << 24 // 16 MiB: client-side early-flush threshold
+)
+
+// DefaultFlushEvery is how many buffered records trigger a client flush when
+// no watermark forces one earlier.
+const DefaultFlushEvery = 128
+
+// Remote is the client Backend of a store node: every append updates a local
+// index mirror (so the owning Store's Backward/Forward/Stats keep working on
+// this instance's own contribution) and is streamed to the server in batched,
+// acknowledged frames. Wire and server errors are sticky: once a flush fails,
+// every later append returns the same error, failing the query.
+type Remote struct {
+	ix      *index
+	horizon int64
+	bytes   int64
+
+	conn io.Closer
+	w    *bufio.Writer
+	r    *bufio.Reader
+
+	batch      bytes.Buffer
+	pending    int
+	flushEvery int
+	err        error
+	closed     bool
+}
+
+var _ Backend = (*Remote)(nil)
+
+// RemoteOption configures a Remote backend.
+type RemoteOption func(*Remote)
+
+// WithFlushEvery sets how many buffered records trigger a flush (and its
+// synchronous ack). 1 acks every append — the chaos tests use it to pin down
+// exactly what the server holds; the default amortises the round trip.
+// Values above the wire frame bound (maxBatchRecords) are capped to it, so a
+// frame the server would reject is never produced.
+func WithFlushEvery(n int) RemoteOption {
+	return func(re *Remote) {
+		if n > 0 {
+			re.flushEvery = min(n, maxBatchRecords)
+		}
+	}
+}
+
+// NewRemote performs the ingest handshake over an established connection and
+// returns the remote backend. The horizon is this instance's retention
+// horizon (retention runs client-side, in the owning Store; the server only
+// records watermarks).
+func NewRemote(conn io.ReadWriteCloser, horizon int64, opts ...RemoteOption) (*Remote, error) {
+	re := &Remote{
+		ix: newIndex(), horizon: horizon, bytes: int64(len(fileMagic)) + 8,
+		conn: conn, w: bufio.NewWriter(conn), r: bufio.NewReader(conn),
+		flushEvery: DefaultFlushEvery,
+	}
+	for _, o := range opts {
+		o(re)
+	}
+	re.w.WriteString(remoteMagic)
+	re.w.WriteByte(roleIngest)
+	var hz [8]byte
+	putU64Buf(hz[:], uint64(horizon))
+	re.w.Write(hz[:])
+	if err := re.w.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("provstore: remote handshake: %w", err)
+	}
+	if err := readAck(re.r, "handshake"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return re, nil
+}
+
+// DialRemote connects to the store node at addr (retrying while its listener
+// comes up, like the tuple transport does) and performs the ingest handshake.
+func DialRemote(ctx context.Context, addr string, horizon int64, opts ...RemoteOption) (*Remote, error) {
+	conn, err := transport.DialConn(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("provstore: %w", err)
+	}
+	return NewRemote(conn, horizon, opts...)
+}
+
+// Connect returns a Store streaming its ingestion to the store node at addr:
+// the drop-in remote counterpart of NewMemory/Create for
+// query.WithProvenanceStore and harness Options.Store. Deduplication and
+// retention run locally (the Store pins live tuples on this instance);
+// the store node holds the merged durable entries of every instance.
+func Connect(ctx context.Context, addr string, opts Options, ropts ...RemoteOption) (*Store, error) {
+	be, err := DialRemote(ctx, addr, opts.Horizon, ropts...)
+	if err != nil {
+		return nil, err
+	}
+	return newStore(be, opts.Horizon), nil
+}
+
+func putU64Buf(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// readAck consumes one server ack; an 'E' reply carries the server's error.
+func readAck(r *bufio.Reader, op string) error {
+	b, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("provstore: remote %s: read ack: %w", op, err)
+	}
+	switch b {
+	case ackOK:
+		return nil
+	case ackErr:
+		msg, err := readStr32(r)
+		if err != nil {
+			return fmt.Errorf("provstore: remote %s: read error reply: %w", op, err)
+		}
+		return fmt.Errorf("provstore: remote %s: store node: %s", op, msg)
+	default:
+		return fmt.Errorf("provstore: remote %s: bad ack byte 0x%02x", op, b)
+	}
+}
+
+// add buffers one encoded record and flushes when the batch is full.
+func (re *Remote) add(rec []byte, size int64) error {
+	if re.err != nil {
+		return re.err
+	}
+	if re.closed {
+		return fmt.Errorf("provstore: remote store is closed")
+	}
+	re.batch.Write(rec)
+	re.pending++
+	re.bytes += size
+	if re.pending >= re.flushEvery || re.batch.Len() >= flushBatchBytes {
+		return re.flush()
+	}
+	return nil
+}
+
+// flush ships the pending batch as one 'B' frame and waits for the ack.
+func (re *Remote) flush() error {
+	if re.err != nil {
+		return re.err
+	}
+	if re.pending == 0 {
+		return nil
+	}
+	re.w.WriteByte(frameBatch)
+	writeU32(re.w, uint32(re.pending))
+	re.w.Write(re.batch.Bytes())
+	re.batch.Reset()
+	re.pending = 0
+	if err := re.w.Flush(); err != nil {
+		re.err = fmt.Errorf("provstore: remote flush: %w", err)
+		return re.err
+	}
+	if err := readAck(re.r, "ingest"); err != nil {
+		re.err = err
+		return re.err
+	}
+	return nil
+}
+
+// AppendSource implements Backend.
+func (re *Remote) AppendSource(e SourceEntry) error {
+	if err := checkEntryLimits("source", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	if err := re.add(encodeSourceRecord(e), sourceRecordSize(e)); err != nil {
+		return err
+	}
+	re.ix.addSource(e)
+	return nil
+}
+
+// AppendSink implements Backend.
+func (re *Remote) AppendSink(e SinkEntry) error {
+	if err := checkEntryLimits("sink", e.ID, e.Format, e.Payload); err != nil {
+		return err
+	}
+	if len(e.Sources) > maxSinkSources {
+		return fmt.Errorf("provstore: sink entry %d references %d sources (limit %d)",
+			e.ID, len(e.Sources), maxSinkSources)
+	}
+	if err := re.add(encodeSinkRecord(e), sinkRecordSize(e)); err != nil {
+		return err
+	}
+	re.ix.addSink(e)
+	return nil
+}
+
+// AppendWatermark implements Backend. Watermarks mark the collector's flush
+// cadence, so the batch is shipped (and acked) here.
+func (re *Remote) AppendWatermark(ts int64) error {
+	if err := re.add(encodeWatermarkRecord(ts), watermarkRecordSize); err != nil {
+		return err
+	}
+	re.ix.addWatermark(ts)
+	return re.flush()
+}
+
+// Source implements Backend (local mirror).
+func (re *Remote) Source(id uint64) (SourceEntry, bool) {
+	e, ok := re.ix.sources[id]
+	return e, ok
+}
+
+// Sink implements Backend (local mirror).
+func (re *Remote) Sink(id uint64) (SinkEntry, bool) {
+	e, ok := re.ix.sinks[id]
+	return e, ok
+}
+
+// SourceIDs implements Backend (local mirror).
+func (re *Remote) SourceIDs(max int) []uint64 { return headIDs(re.ix.srcOrder, max) }
+
+// SinkIDs implements Backend (local mirror).
+func (re *Remote) SinkIDs(max int) []uint64 { return headIDs(re.ix.sinkOrder, max) }
+
+// SourceCount implements Backend (local mirror).
+func (re *Remote) SourceCount() int { return len(re.ix.srcOrder) }
+
+// SinkCount implements Backend (local mirror).
+func (re *Remote) SinkCount() int { return len(re.ix.sinkOrder) }
+
+// SinksOf implements Backend (local mirror).
+func (re *Remote) SinksOf(sourceID uint64) []uint64 {
+	return append([]uint64(nil), re.ix.forward[sourceID]...)
+}
+
+// RefCount implements Backend (local mirror).
+func (re *Remote) RefCount(sourceID uint64) int { return len(re.ix.forward[sourceID]) }
+
+// Watermark implements Backend (local mirror).
+func (re *Remote) Watermark() int64 { return re.ix.watermark }
+
+// Horizon implements Backend.
+func (re *Remote) Horizon() int64 { return re.horizon }
+
+// Bytes implements Backend: the encoded volume this instance shipped
+// (file-log framing, comparable with the other backends).
+func (re *Remote) Bytes() int64 { return re.bytes }
+
+// Close flushes the pending batch, waits for its ack and closes the link
+// (the server observes a clean EOF). The local mirror keeps answering query
+// methods. A flush failure still closes the link and is returned.
+func (re *Remote) Close() error {
+	if re.closed {
+		return nil
+	}
+	re.closed = true
+	err := re.flush()
+	if cerr := re.conn.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("provstore: remote close: %w", cerr)
+	}
+	return err
+}
+
+// Client asks a running store node Backward/Forward/Stats/List questions
+// over one query connection — cmd/genealog-prov -connect uses it to query a
+// live deployment instead of a cold store file. Not safe for concurrent use;
+// open one Client per goroutine.
+type Client struct {
+	conn io.Closer
+	w    *bufio.Writer
+	r    *bufio.Reader
+}
+
+// NewQueryClient performs the query handshake over an established connection.
+func NewQueryClient(conn io.ReadWriteCloser) (*Client, error) {
+	c := &Client{conn: conn, w: bufio.NewWriter(conn), r: bufio.NewReader(conn)}
+	c.w.WriteString(remoteMagic)
+	c.w.WriteByte(roleQuery)
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("provstore: query handshake: %w", err)
+	}
+	if err := readAck(c.r, "handshake"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialQuery connects a query client to the store node at addr.
+func DialQuery(ctx context.Context, addr string) (*Client, error) {
+	conn, err := transport.DialConn(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("provstore: %w", err)
+	}
+	return NewQueryClient(conn)
+}
+
+// Close closes the query connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// request ships one framed request and consumes the reply status.
+func (c *Client) request(op string, frame []byte) error {
+	c.w.Write(frame)
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("provstore: remote %s: %w", op, err)
+	}
+	return readAck(c.r, op)
+}
+
+func (c *Client) readU32(op string) (uint32, error) {
+	v, err := readU32(c.r)
+	if err != nil {
+		return 0, fmt.Errorf("provstore: remote %s: read count: %w", op, err)
+	}
+	return v, nil
+}
+
+// readSource reads one source record (and, when withRefs, its trailing
+// reference count) from a reply.
+func (c *Client) readSource(op string, withRefs bool) (SourceEntry, error) {
+	rec, _, err := decodeRecord(c.r)
+	if err != nil {
+		return SourceEntry{}, fmt.Errorf("provstore: remote %s: read source record: %w", op, err)
+	}
+	if rec.kind != recSource {
+		return SourceEntry{}, fmt.Errorf("provstore: remote %s: unexpected record kind 0x%02x (want source)", op, rec.kind)
+	}
+	e := rec.source
+	if withRefs {
+		refs, err := c.readU32(op)
+		if err != nil {
+			return SourceEntry{}, err
+		}
+		e.Refs = int(refs)
+	}
+	return e, nil
+}
+
+func (c *Client) readSink(op string) (SinkEntry, error) {
+	rec, _, err := decodeRecord(c.r)
+	if err != nil {
+		return SinkEntry{}, fmt.Errorf("provstore: remote %s: read sink record: %w", op, err)
+	}
+	if rec.kind != recSink {
+		return SinkEntry{}, fmt.Errorf("provstore: remote %s: unexpected record kind 0x%02x (want sink)", op, rec.kind)
+	}
+	return rec.sink, nil
+}
+
+// Stats returns the store node's global accounting (every instance's merged
+// contribution; LiveSources/PeakLiveSources are zero — live dedup handles
+// exist only on the ingesting instances).
+func (c *Client) Stats() (Stats, error) {
+	if err := c.request("stats", []byte{reqStats}); err != nil {
+		return Stats{}, err
+	}
+	var vals [10]uint64
+	for i := range vals {
+		v, err := readU64(c.r)
+		if err != nil {
+			return Stats{}, fmt.Errorf("provstore: remote stats: %w", err)
+		}
+		vals[i] = v
+	}
+	return Stats{
+		Sinks: int64(vals[0]), Sources: int64(vals[1]), SourceRefs: int64(vals[2]),
+		LiveSources: int64(vals[3]), RetiredSources: int64(vals[4]), PeakLiveSources: int64(vals[5]),
+		ReEncoded: int64(vals[6]), Bytes: int64(vals[7]), Watermark: int64(vals[8]), Horizon: int64(vals[9]),
+	}, nil
+}
+
+// Backward returns the sink entry with the given global ID and its source
+// entries, like Store.Backward but against the store node's merged view.
+func (c *Client) Backward(sinkID uint64) (SinkEntry, []SourceEntry, error) {
+	frame := make([]byte, 9)
+	frame[0] = reqBackward
+	putU64Buf(frame[1:], sinkID)
+	if err := c.request("backward", frame); err != nil {
+		return SinkEntry{}, nil, err
+	}
+	sink, err := c.readSink("backward")
+	if err != nil {
+		return SinkEntry{}, nil, err
+	}
+	n, err := c.readU32("backward")
+	if err != nil {
+		return SinkEntry{}, nil, err
+	}
+	sources := make([]SourceEntry, 0, min(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		e, err := c.readSource("backward", true)
+		if err != nil {
+			return SinkEntry{}, nil, err
+		}
+		sources = append(sources, e)
+	}
+	return sink, sources, nil
+}
+
+// Forward returns the source entry with the given global ID and every sink
+// entry referencing it, like Store.Forward but against the merged view.
+func (c *Client) Forward(sourceID uint64) (SourceEntry, []SinkEntry, error) {
+	frame := make([]byte, 9)
+	frame[0] = reqForward
+	putU64Buf(frame[1:], sourceID)
+	if err := c.request("forward", frame); err != nil {
+		return SourceEntry{}, nil, err
+	}
+	src, err := c.readSource("forward", true)
+	if err != nil {
+		return SourceEntry{}, nil, err
+	}
+	n, err := c.readU32("forward")
+	if err != nil {
+		return SourceEntry{}, nil, err
+	}
+	sinks := make([]SinkEntry, 0, min(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		e, err := c.readSink("forward")
+		if err != nil {
+			return SourceEntry{}, nil, err
+		}
+		sinks = append(sinks, e)
+	}
+	return src, sinks, nil
+}
+
+// List returns up to max sink entries in global ingestion order (max < 0 =
+// all).
+func (c *Client) List(max int) ([]SinkEntry, error) {
+	frame := make([]byte, 9)
+	frame[0] = reqList
+	putU64Buf(frame[1:], uint64(int64(max)))
+	if err := c.request("list", frame); err != nil {
+		return nil, err
+	}
+	n, err := c.readU32("list")
+	if err != nil {
+		return nil, err
+	}
+	sinks := make([]SinkEntry, 0, min(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		e, err := c.readSink("list")
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, e)
+	}
+	return sinks, nil
+}

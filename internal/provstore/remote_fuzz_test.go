@@ -1,0 +1,228 @@
+package provstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+)
+
+// FuzzRemoteWire is the remote protocol's counterpart of
+// FuzzFileLogRoundTrip, in two phases.
+//
+// Phase 1 interprets the input as an append sequence and drives it through a
+// real client and server over an in-memory connection: every record type
+// must round-trip — the server's merged store must hold exactly the client
+// mirror's entries, remapped onto global IDs in shipping order — with no
+// loss, panic or hang.
+//
+// Phase 2 feeds the raw input to the server as a hostile byte stream, and to
+// the query client as a hostile reply stream: truncated, corrupt and
+// oversized frames must produce a descriptive error (or parse as a valid
+// exchange), never a panic or a hang.
+func FuzzRemoteWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add([]byte("source sink watermark source source"))
+	// A valid ingest hello with one batch frame, for phase 2 to mutate.
+	var valid bytes.Buffer
+	valid.WriteString(remoteMagic)
+	valid.WriteByte(roleIngest)
+	var hz [8]byte
+	valid.Write(hz[:])
+	valid.WriteByte(frameBatch)
+	binary.Write(&valid, binary.LittleEndian, uint32(2))
+	valid.Write(encodeSourceRecord(SourceEntry{ID: 1, Ts: 5, Payload: "a,b"}))
+	valid.Write(encodeSinkRecord(SinkEntry{ID: 1, Ts: 9, Payload: "c", Sources: []uint64{1}}))
+	f.Add(valid.Bytes())
+	// A query hello followed by requests.
+	var query bytes.Buffer
+	query.WriteString(remoteMagic)
+	query.WriteByte(roleQuery)
+	query.WriteByte(reqStats)
+	query.Write([]byte{reqBackward, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(query.Bytes())
+	// An oversized batch count.
+	var oversized bytes.Buffer
+	oversized.WriteString(remoteMagic)
+	oversized.WriteByte(roleIngest)
+	oversized.Write(hz[:])
+	oversized.WriteByte(frameBatch)
+	binary.Write(&oversized, binary.LittleEndian, uint32(1<<31))
+	f.Add(oversized.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data)
+		fuzzHostileServer(t, data)
+		fuzzHostileClient(t, data)
+	})
+}
+
+// fuzzRoundTrip drives the append sequence encoded by data through
+// client → wire → server and compares the merged store with the client's
+// local mirror.
+func fuzzRoundTrip(t *testing.T, data []byte) {
+	be := NewMemoryBackend(0)
+	srv := NewServer(be)
+	cliConn, srvConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(srvConn) }()
+	defer srvConn.Close()
+
+	re, err := NewRemote(cliConn, int64(len(data)), WithFlushEvery(3))
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+
+	in := bytes.NewReader(data)
+	nextByte := func() byte {
+		b, err := in.ReadByte()
+		if err != nil {
+			return 0
+		}
+		return b
+	}
+	nextU64 := func() uint64 {
+		var b [8]byte
+		in.Read(b[:])
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	nextString := func() string {
+		n := int(nextByte())
+		buf := make([]byte, n)
+		m, _ := in.Read(buf)
+		return string(buf[:m])
+	}
+
+	// The client Store never re-appends an entry ID and never references a
+	// source it did not append (its mirror is its dedup index), so the fuzz
+	// driver respects the same contract; everything else — lengths, contents,
+	// interleavings, batch boundaries — comes from the input.
+	usedSrc := make(map[uint64]bool)
+	usedSink := make(map[uint64]bool)
+	var srcIDs []uint64
+	for in.Len() > 0 {
+		switch nextByte() % 3 {
+		case 0:
+			e := SourceEntry{ID: nextU64(), Ts: int64(nextU64()), Format: nextString(), Payload: nextString()}
+			if usedSrc[e.ID] {
+				continue
+			}
+			usedSrc[e.ID] = true
+			srcIDs = append(srcIDs, e.ID)
+			if err := re.AppendSource(e); err != nil {
+				t.Fatalf("AppendSource(%+v): %v", e, err)
+			}
+		case 1:
+			e := SinkEntry{ID: nextU64(), Ts: int64(nextU64()), Format: nextString(), Payload: nextString()}
+			if usedSink[e.ID] {
+				continue
+			}
+			usedSink[e.ID] = true
+			for n := int(nextByte()) % 8; n > 0 && len(srcIDs) > 0; n-- {
+				e.Sources = append(e.Sources, srcIDs[int(nextU64())%len(srcIDs)])
+			}
+			if err := re.AppendSink(e); err != nil {
+				t.Fatalf("AppendSink(%+v): %v", e, err)
+			}
+		case 2:
+			if err := re.AppendWatermark(int64(nextU64())); err != nil {
+				t.Fatalf("AppendWatermark: %v", err)
+			}
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	// The merged store holds exactly the mirror's entries, remapped onto
+	// global sequential IDs in shipping order.
+	mirrorSrc, mergedSrc := re.SourceIDs(-1), be.SourceIDs(-1)
+	if len(mirrorSrc) != len(mergedSrc) {
+		t.Fatalf("server has %d sources, client shipped %d", len(mergedSrc), len(mirrorSrc))
+	}
+	srcMap := make(map[uint64]uint64, len(mirrorSrc))
+	for i, localID := range mirrorSrc {
+		local, _ := re.Source(localID)
+		merged, ok := be.Source(mergedSrc[i])
+		if !ok {
+			t.Fatalf("server lost source %d", mergedSrc[i])
+		}
+		if local.Ts != merged.Ts || local.Format != merged.Format || local.Payload != merged.Payload {
+			t.Fatalf("source %d: shipped %+v, stored %+v", localID, local, merged)
+		}
+		srcMap[localID] = merged.ID
+	}
+	mirrorSink, mergedSink := re.SinkIDs(-1), be.SinkIDs(-1)
+	if len(mirrorSink) != len(mergedSink) {
+		t.Fatalf("server has %d sinks, client shipped %d", len(mergedSink), len(mirrorSink))
+	}
+	for i, localID := range mirrorSink {
+		local, _ := re.Sink(localID)
+		merged, ok := be.Sink(mergedSink[i])
+		if !ok {
+			t.Fatalf("server lost sink %d", mergedSink[i])
+		}
+		if local.Ts != merged.Ts || local.Format != merged.Format || local.Payload != merged.Payload {
+			t.Fatalf("sink %d: shipped %+v, stored %+v", localID, local, merged)
+		}
+		if len(local.Sources) != len(merged.Sources) {
+			t.Fatalf("sink %d: shipped %d sources, stored %d", localID, len(local.Sources), len(merged.Sources))
+		}
+		for j, ref := range local.Sources {
+			if srcMap[ref] != merged.Sources[j] {
+				t.Fatalf("sink %d source %d: local %d maps to %d, stored %d",
+					localID, j, ref, srcMap[ref], merged.Sources[j])
+			}
+		}
+	}
+	if re.Watermark() != be.Watermark() {
+		t.Fatalf("watermark: shipped %d, stored %d", re.Watermark(), be.Watermark())
+	}
+}
+
+// fuzzHostileServer throws the raw bytes at a server connection handler.
+func fuzzHostileServer(t *testing.T, data []byte) {
+	srv := NewServer(NewMemoryBackend(0))
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(data), io.Discard}
+	// Any outcome but a panic is acceptable; errors must be descriptive.
+	if err := srv.ServeConn(rw); err != nil && err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// fuzzHostileClient throws the raw bytes at the query client's reply parser.
+func fuzzHostileClient(t *testing.T, data []byte) {
+	for i := 0; i < 3; i++ {
+		c := &Client{
+			conn: nopCloser{},
+			w:    bufio.NewWriter(io.Discard),
+			r:    bufio.NewReader(bytes.NewReader(data)),
+		}
+		var err error
+		switch i {
+		case 0:
+			_, err = c.Stats()
+		case 1:
+			_, _, err = c.Backward(1)
+		case 2:
+			_, err = c.List(-1)
+		}
+		if err != nil && err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package provstore
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// startServer runs a store node over be on an ephemeral port and returns its
+// address. The caller owns shutdown (many tests kill it deliberately).
+func startServer(t *testing.T, be Backend) (*Server, string) {
+	t.Helper()
+	srv := NewServer(be)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr.String()
+}
+
+func connect(t *testing.T, addr string, opts Options, ropts ...RemoteOption) *Store {
+	t.Helper()
+	st, err := Connect(context.Background(), addr, opts, ropts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRemoteIngestAndQuery(t *testing.T) {
+	be := NewMemoryBackend(100)
+	srv, addr := startServer(t, be)
+	defer srv.Close()
+
+	st := connect(t, addr, Options{Horizon: 100})
+	s1, s2, s3 := reading(1, 1, 5), reading(2, 2, 6), reading(3, 3, 7)
+	if _, err := st.Ingest(alert(10, 2), []core.Tuple{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ingest(alert(20, 2), []core.Tuple{s2, s3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client's local mirror answers its own queries.
+	local := st.Stats()
+	if local.Sinks != 2 || local.Sources != 3 || local.SourceRefs != 4 {
+		t.Fatalf("client stats = %+v, want 2 sinks, 3 sources, 4 refs", local)
+	}
+
+	// The merged store answers the same questions over a query connection.
+	c, err := DialQuery(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Sinks != 2 || ss.Sources != 3 || ss.SourceRefs != 4 {
+		t.Fatalf("server stats = %+v, want 2 sinks, 3 sources, 4 refs", ss)
+	}
+	if ss.Watermark != 20 {
+		t.Fatalf("server watermark = %d, want 20", ss.Watermark)
+	}
+	sinks, err := c.List(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) != 2 || sinks[0].ID != 1 || sinks[1].ID != 2 {
+		t.Fatalf("List = %+v, want global sink IDs 1, 2", sinks)
+	}
+	sink, sources, err := c.Backward(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Ts != 20 || len(sources) != 2 {
+		t.Fatalf("Backward(2) = ts %d with %d sources", sink.Ts, len(sources))
+	}
+	if sources[0].Payload != "2,2,6.0000" || sources[1].Payload != "3,3,7.0000" {
+		t.Fatalf("unexpected source payloads %q, %q", sources[0].Payload, sources[1].Payload)
+	}
+	if sources[0].Refs != 2 || sources[1].Refs != 1 {
+		t.Fatalf("refs = %d/%d, want 2/1", sources[0].Refs, sources[1].Refs)
+	}
+	src, fwd, err := c.Forward(sources[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Payload != sources[0].Payload || len(fwd) != 2 || fwd[0].ID != 1 || fwd[1].ID != 2 {
+		t.Fatalf("Forward(%d) = %d sinks %+v", sources[0].ID, len(fwd), fwd)
+	}
+
+	// Unknown IDs nack descriptively and keep the connection usable.
+	if _, _, err := c.Backward(999); err == nil || !strings.Contains(err.Error(), "no sink entry 999") {
+		t.Fatalf("Backward(999) = %v, want a descriptive error", err)
+	}
+	if _, _, err := c.Forward(999); err == nil || !strings.Contains(err.Error(), "no source entry 999") {
+		t.Fatalf("Forward(999) = %v, want a descriptive error", err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("Stats after a nacked request: %v", err)
+	}
+}
+
+// TestRemoteTwoInstancesNamespacing: two instances whose local entry IDs
+// collide (both number from 1) merge without collisions — the server holds
+// the union, each instance's dedup carried over exactly.
+func TestRemoteTwoInstancesNamespacing(t *testing.T) {
+	srv, addr := startServer(t, NewMemoryBackend(100))
+	defer srv.Close()
+
+	a := connect(t, addr, Options{Horizon: 100})
+	b := connect(t, addr, Options{Horizon: 100})
+	aShared := reading(1, 1, 5)
+	if _, err := a.Ingest(alert(10, 1), []core.Tuple{aShared}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(alert(20, 1), []core.Tuple{aShared}); err != nil {
+		t.Fatal(err)
+	}
+	// Instance B's meta-ID 1 collides with nothing: its namespace is its own.
+	if _, err := b.Ingest(alert(30, 1), []core.Tuple{readingID(2, 9, 7, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ss := srv.Stats()
+	if ss.Sinks != 3 || ss.Sources != 2 || ss.SourceRefs != 3 {
+		t.Fatalf("merged stats = %+v, want 3 sinks, 2 sources, 3 refs", ss)
+	}
+	c, err := DialQuery(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sinks, err := c.List(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) != 3 {
+		t.Fatalf("List = %d sinks, want 3", len(sinks))
+	}
+	// Every sink's contribution set resolves, and the two instances' sources
+	// stayed distinct entries.
+	seen := make(map[uint64]string)
+	for _, sink := range sinks {
+		_, sources, err := c.Backward(sink.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range sources {
+			seen[src.ID] = src.Payload
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("merged store resolves %d distinct sources, want 2: %v", len(seen), seen)
+	}
+}
+
+// errBackend fails every sink append, standing in for a store node whose
+// disk is broken.
+type errBackend struct{ *Memory }
+
+func (e errBackend) AppendSink(SinkEntry) error {
+	return fmt.Errorf("disk on fire")
+}
+
+// TestRemoteStoreErrorFailsIngest: a backend error on the store node nacks
+// the frame; the client surfaces it from the Append that triggered the
+// flush, and every later append returns the same sticky error.
+func TestRemoteStoreErrorFailsIngest(t *testing.T) {
+	srv, addr := startServer(t, errBackend{NewMemoryBackend(100)})
+	defer srv.Close()
+
+	st := connect(t, addr, Options{Horizon: 100}, WithFlushEvery(1))
+	_, err := st.Ingest(alert(10, 1), []core.Tuple{reading(1, 1, 5)})
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("Ingest = %v, want the store node's error", err)
+	}
+	if _, err2 := st.Ingest(alert(20, 1), []core.Tuple{reading(2, 2, 6)}); err2 == nil {
+		t.Fatal("ingest after a store error must keep failing")
+	}
+}
+
+// TestRemoteKillFailsIngest: killing the store node mid-ingestion surfaces a
+// descriptive error from the next flushed append instead of hanging.
+func TestRemoteKillFailsIngest(t *testing.T) {
+	srv, addr := startServer(t, NewMemoryBackend(100))
+	st := connect(t, addr, Options{Horizon: 100}, WithFlushEvery(1))
+	if _, err := st.Ingest(alert(10, 1), []core.Tuple{reading(1, 1, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Kill()
+	var err error
+	for ts := int64(20); ts < 200; ts += 10 {
+		if _, err = st.Ingest(alert(ts, 1), []core.Tuple{reading(ts-5, 2, 6)}); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = st.Close()
+	}
+	if err == nil || !strings.Contains(err.Error(), "provstore") {
+		t.Fatalf("ingest against a killed store node = %v, want a descriptive error", err)
+	}
+}
+
+// TestRemoteFileLogRestart: a store node killed mid-run loses nothing it
+// acked — a restarted node reopens the file log, answers queries for every
+// acked entry and keeps ingesting with fresh, non-colliding IDs.
+func TestRemoteFileLogRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "remote.glprov")
+	be, err := CreateFileLog(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, be)
+
+	// FlushEvery(1) acks every append, pinning down what the node must hold.
+	st := connect(t, addr, Options{Horizon: 100}, WithFlushEvery(1))
+	shared := reading(1, 1, 5)
+	if _, err := st.Ingest(alert(10, 2), []core.Tuple{shared, reading(2, 2, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Ingest(alert(20, 1), []core.Tuple{shared}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Kill() // no backend flush, no close: the process died
+
+	// Restart: reopen the same log for appends and serve again.
+	be2, err := OpenFileLogAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, addr2 := startServer(t, be2)
+	defer srv2.Close()
+	c, err := DialQuery(context.Background(), addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Sinks != 2 || ss.Sources != 2 || ss.SourceRefs != 3 {
+		t.Fatalf("restarted node stats = %+v, want the 2 acked sinks, 2 sources, 3 refs", ss)
+	}
+	sink, sources, err := c.Backward(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Ts != 20 || len(sources) != 1 || sources[0].Payload != "1,1,5.0000" {
+		t.Fatalf("Backward(2) after restart = %+v / %+v", sink, sources)
+	}
+
+	// New ingestion extends the same ID space without collisions.
+	st2 := connect(t, addr2, Options{Horizon: 100}, WithFlushEvery(1))
+	if _, err := st2.Ingest(alert(30, 1), []core.Tuple{reading(3, 3, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sinks, err := c.List(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks) != 3 || sinks[2].ID != 3 {
+		t.Fatalf("List after restart+ingest = %+v, want a third sink with ID 3", sinks)
+	}
+	if _, srcs, err := c.Backward(3); err != nil || len(srcs) != 1 || srcs[0].ID != 3 {
+		t.Fatalf("Backward(3) = %v / %+v, want the new source as entry 3", err, srcs)
+	}
+}
+
+// TestOpenFileLogAppendTruncatesTornTail: a partial final record (crash
+// mid-append) is cut away on reopen so new appends land on a clean boundary.
+func TestOpenFileLogAppendTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.glprov")
+	fl, err := CreateFileLog(path, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.AppendSource(SourceEntry{ID: 1, Ts: 1, Payload: "whole"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeSourceRecord(SourceEntry{ID: 2, Ts: 2, Payload: "torn"})[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileLogAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.SourceCount() != 1 {
+		t.Fatalf("reopened log has %d sources, want 1 (torn tail dropped)", re.SourceCount())
+	}
+	if err := re.AppendSource(SourceEntry{ID: 2, Ts: 2, Payload: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.SourceCount() != 2 {
+		t.Fatalf("final log has %d sources, want 2", ro.SourceCount())
+	}
+	if e, ok := ro.Source(2); !ok || e.Payload != "fresh" {
+		t.Fatalf("entry 2 = %+v, want the post-truncation append", e)
+	}
+}
+
+// TestOpenFileLogAppendHeaderOnly: a store node killed before its first
+// acked frame leaves a header-only log (the header is flushed at create);
+// a restarted node must reopen it, not refuse to start.
+func TestOpenFileLogAppendHeaderOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.glprov")
+	if _, err := CreateFileLog(path, 7); err != nil {
+		t.Fatal(err) // never flushed or closed: the writer "died" here
+	}
+	re, err := OpenFileLogAppend(path)
+	if err != nil {
+		t.Fatalf("header-only log must reopen: %v", err)
+	}
+	if re.Horizon() != 7 || re.SourceCount() != 0 {
+		t.Fatalf("reopened log: horizon %d, %d sources; want 7, 0", re.Horizon(), re.SourceCount())
+	}
+	if err := re.AppendSource(SourceEntry{ID: 1, Ts: 1, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeConnRejectsGarbage: a peer speaking the wrong protocol gets a
+// descriptive error, not a panic or a hang.
+func TestServeConnRejectsGarbage(t *testing.T) {
+	srv := NewServer(NewMemoryBackend(0))
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(server) }()
+	go func() {
+		client.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"))
+		client.Close()
+	}()
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("ServeConn on garbage = %v, want a bad-magic error", err)
+	}
+}

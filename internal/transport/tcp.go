@@ -50,11 +50,23 @@ func Listen(ctx context.Context, addr string, opts ...LinkOption) (*Link, error)
 // Dial connects to a peer's listener, retrying until it is up or ctx is
 // cancelled, and returns a link writing to it.
 func Dial(ctx context.Context, addr string, opts ...LinkOption) (*Link, error) {
+	conn, err := DialConn(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConnLink(conn, opts...), nil
+}
+
+// DialConn connects to a peer's TCP listener, retrying until it is up or ctx
+// is cancelled, and returns the raw connection. Dial wraps it in a tuple
+// link; the remote provenance store (internal/provstore) layers its own
+// record framing on top instead.
+func DialConn(ctx context.Context, addr string) (net.Conn, error) {
 	d := net.Dialer{Timeout: DialTimeout}
 	for {
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
-			return NewConnLink(conn, opts...), nil
+			return conn, nil
 		}
 		select {
 		case <-ctx.Done():
