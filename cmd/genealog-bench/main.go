@@ -21,15 +21,19 @@
 // The -throttle flag (bytes/second) models a constrained link, e.g.
 // -throttle 12500000 for the paper's 100 Mbps switch. The -parallelism flag
 // shard-parallelises every keyed stateful operator (1 = serial, 0 = auto:
-// choose from the CPU count); sink tuples and provenance match serial
-// execution at any level (aggregates byte for byte, joins as the same
-// timestamp-sorted multiset). The -batch flag moves tuples through operator
-// queues and links in vectors of up to that many, trading per-tuple latency
-// for throughput with byte-identical output. The -fuse flag (default on)
-// controls the physical planner: stateless operator chains fuse into single
-// goroutines and stateless prefixes of shard-parallel operators replicate
-// into the shard lanes; output and provenance are byte-identical either
-// way. -v prints each cell's physical plan before the runs. The -store flag
+// choose from the CPU count); sink tuples and provenance are byte-identical
+// to serial execution at any level (keyed joins order same-timestamp matches
+// by timestamp then join keys at every parallelism). The -batch flag moves
+// tuples through operator queues and links in vectors of up to that many,
+// trading per-tuple latency for throughput with byte-identical output. The
+// -fuse flag (default on) controls the physical planner: stateless operator
+// chains fuse into single goroutines and stateless prefixes of shard-parallel
+// operators replicate into the shard lanes; output and provenance are
+// byte-identical either way. The -vectorize flag (default on) controls the
+// planner's columnar pass: stateless segments whose stages declare typed
+// kernels run over struct-of-arrays batches instead of row-at-a-time
+// closures, again with byte-identical output and provenance. -v prints each
+// cell's physical plan before the runs. The -store flag
 // persists every cell's assembled provenance into durable store files (one
 // per query x mode cell, "-inter" suffix for the inter-process grid); after
 // the runs, cmd/genealog-prov answers backward/forward queries against them,
@@ -68,6 +72,7 @@ func run(args []string, out *os.File) error {
 	parallelism := fs.Int("parallelism", 1, "shard parallelism for keyed stateful operators: 1 = serial, n > 1 = n shards, 0 = auto (choose from the CPU count)")
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
+	vectorize := fs.Bool("vectorize", true, "columnar pass: run kernel-capable stateless segments as typed kernels over struct-of-arrays batches (false = row-at-a-time closures)")
 	storePath := fs.String("store", "", "persist each cell's assembled provenance into durable store files at this path prefix (suffix: -<query>-<mode>[-inter]); query them with genealog-prov")
 	remoteStore := fs.String("remote-store", "", "stream each cell's assembled provenance to the store node at this address (spe-node -store-listen); query it live with genealog-prov -connect")
 	verbose := fs.Bool("v", false, "print the physical plan of every (query, mode) cell before running")
@@ -105,6 +110,7 @@ func run(args []string, out *os.File) error {
 		BatchSize:           *batch,
 		UseBinaryCodec:      *codec == "binary",
 		NoFusion:            !*fuse,
+		NoVectorize:         !*vectorize,
 		StorePath:           *storePath,
 		RemoteStore:         *remoteStore,
 	}

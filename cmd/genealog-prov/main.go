@@ -158,6 +158,7 @@ func printStats(out io.Writer, name string, s provstore.Stats) {
 		s.Sources, s.SourceRefs, s.DedupRatio())
 	fmt.Fprintf(out, "  bytes           %d\n", s.Bytes)
 	fmt.Fprintf(out, "  watermark       %d (retention horizon %d)\n", s.Watermark, s.Horizon)
+	fmt.Fprintf(out, "  instances       %d (min watermark %d)\n", s.Instances, s.MinWatermark)
 	fmt.Fprintf(out, "  retired         %d source entries (live %d)\n", s.RetiredSources, s.LiveSources)
 }
 

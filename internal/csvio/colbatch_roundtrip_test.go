@@ -1,0 +1,177 @@
+package csvio_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/csvio"
+	"genealog/internal/linearroad"
+	"genealog/internal/ops"
+	"genealog/internal/smartgrid"
+)
+
+// fieldGens synthesizes varied CSV rows for every registered workload
+// format; the tuples under test come from each format's own registered
+// parser. i varies the payload so columns hold distinct values.
+var fieldGens = map[string]func(i int) []string{
+	"lr.position": func(i int) []string {
+		return []string{itoa(100 + i), itoa(i % 7), itoa(i % 3), itoa(40 + i)}
+	},
+	"lr.stopped": func(i int) []string {
+		return []string{itoa(200 + i), itoa(i), itoa(4), itoa(1 + i%2), itoa(50 + i)}
+	},
+	"lr.accident": func(i int) []string {
+		return []string{itoa(300 + i), itoa(60 + i), itoa(2 + i%3)}
+	},
+	"sg.reading": func(i int) []string {
+		return []string{itoa(400 + i), itoa(i % 11), fmt.Sprintf("%d.25", i)}
+	},
+	"sg.daily": func(i int) []string {
+		return []string{itoa(500 + i), itoa(i % 13), fmt.Sprintf("%d.5", i*3)}
+	},
+	"sg.blackout": func(i int) []string {
+		return []string{itoa(600 + i), itoa(i)}
+	},
+	"sg.anomaly": func(i int) []string {
+		return []string{itoa(700 + i), itoa(i % 5), fmt.Sprintf("%d.75", i*2)}
+	},
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// workloadSchemas merges the per-workload columnar schema maps, keyed by
+// csvio format name.
+func workloadSchemas() map[string]*ops.ColSchema {
+	out := make(map[string]*ops.ColSchema)
+	for name, s := range linearroad.Schemas() {
+		out[name] = s
+	}
+	for name, s := range smartgrid.Schemas() {
+		out[name] = s
+	}
+	return out
+}
+
+// TestColBatchRoundTripAllFormats is the columnar representation's
+// round-trip property over every registered workload tuple type: for each
+// csvio format, tuples built by its own parser — meta fields populated —
+// convert to a ColBatch whose typed columns agree with the schema's
+// extractors field by field, and convert back to the identical tuples,
+// meta-attributes, provenance links and all. The format enumeration keeps
+// the property total: registering a new workload format without a columnar
+// schema (or without a row generator here) fails the test instead of
+// silently staying row-only.
+func TestColBatchRoundTripAllFormats(t *testing.T) {
+	schemas := workloadSchemas()
+	for _, f := range csvio.Formats() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			gen, ok := fieldGens[f.Name]
+			if !ok {
+				t.Fatalf("format %q has no row generator in this test; add one", f.Name)
+			}
+			schema, ok := schemas[f.Name]
+			if !ok {
+				t.Fatalf("format %q has no columnar schema; declare it in the workload's columns.go", f.Name)
+			}
+			if err := schema.Validate(); err != nil {
+				t.Fatal(err)
+			}
+
+			const n = 64
+			batch := make(ops.Batch, 0, n)
+			anchor := core.NewBase(1) // provenance link target
+			for i := 0; i < n; i++ {
+				tup, err := f.Parse(gen(i))
+				if err != nil {
+					t.Fatalf("parse row %d: %v", i, err)
+				}
+				m := core.MetaOf(tup)
+				m.SetID(uint64(1000 + i))
+				m.SetStimulus(int64(i) * 17)
+				m.SetU1(&anchor)
+				batch = append(batch, tup)
+			}
+
+			cb := ops.ToColBatch(batch, schema)
+			if cb.Len() != n {
+				t.Fatalf("ColBatch.Len() = %d, want %d", cb.Len(), n)
+			}
+			ts := cb.Timestamps()
+			for i, tup := range batch {
+				if ts[i] != tup.Timestamp() {
+					t.Fatalf("Timestamps()[%d] = %d, want %d", i, ts[i], tup.Timestamp())
+				}
+			}
+			for fi, field := range schema.Fields {
+				for i, tup := range batch {
+					switch field.Kind {
+					case ops.ColInt64:
+						if got, want := cb.Int64s(fi)[i], field.Int(tup); got != want {
+							t.Fatalf("field %q row %d = %d, want %d", field.Name, i, got, want)
+						}
+					case ops.ColFloat64:
+						if got, want := cb.Float64s(fi)[i], field.Float(tup); got != want {
+							t.Fatalf("field %q row %d = %g, want %g", field.Name, i, got, want)
+						}
+					case ops.ColString:
+						if got, want := cb.Strings(fi)[i], field.Str(tup); got != want {
+							t.Fatalf("field %q row %d = %q, want %q", field.Name, i, got, want)
+						}
+					}
+				}
+			}
+
+			back := cb.ToRowBatch()
+			if len(back) != n {
+				t.Fatalf("round trip returned %d tuples, want %d", len(back), n)
+			}
+			for i := range batch {
+				if back[i] != batch[i] {
+					t.Fatalf("row %d: round trip returned a different tuple object", i)
+				}
+				m := core.MetaOf(back[i])
+				if m.ID() != uint64(1000+i) || m.Stimulus() != int64(i)*17 || m.U1() != core.Tuple(&anchor) {
+					t.Fatalf("row %d: meta fields disturbed: id=%d stim=%d", i, m.ID(), m.Stimulus())
+				}
+			}
+		})
+	}
+}
+
+// TestColBatchConcurrentExtraction drives the same schema from several
+// goroutines at once — the lazy slot index must be race-free (run under
+// -race to make this bite).
+func TestColBatchConcurrentExtraction(t *testing.T) {
+	schemas := workloadSchemas()
+	var wg sync.WaitGroup
+	for _, f := range csvio.Formats() {
+		gen := fieldGens[f.Name]
+		schema := schemas[f.Name]
+		if gen == nil || schema == nil {
+			continue // coverage enforced by TestColBatchRoundTripAllFormats
+		}
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(parse csvio.ParseFunc, gen func(int) []string, schema *ops.ColSchema) {
+				defer wg.Done()
+				batch := make(ops.Batch, 0, 32)
+				for i := 0; i < 32; i++ {
+					tup, err := parse(gen(i))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					batch = append(batch, tup)
+				}
+				cb := ops.ToColBatch(batch, schema)
+				if cb.Len() != 32 {
+					t.Errorf("Len() = %d, want 32", cb.Len())
+				}
+			}(f.Parse, gen, schema)
+		}
+	}
+	wg.Wait()
+}

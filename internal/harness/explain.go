@@ -20,6 +20,9 @@ type ExplainInfo struct {
 	FusedChains int
 	// HoistedPrefixes counts stateless prefixes replicated into shard lanes.
 	HoistedPrefixes int
+	// VectorizedSegments counts operator segments the planner's columnar
+	// pass runs as typed kernels over struct-of-arrays batches.
+	VectorizedSegments int
 }
 
 // Explain builds — without running — the queries a measured run of o would
@@ -43,6 +46,7 @@ func Explain(o Options) (ExplainInfo, error) {
 		sb.WriteString(q.Explain())
 		info.FusedChains += q.FusedChains()
 		info.HoistedPrefixes += q.HoistedPrefixes()
+		info.VectorizedSegments += q.VectorizedSegments()
 	}
 	info.Text = sb.String()
 	return info, nil

@@ -87,10 +87,9 @@ type Options struct {
 	// Parallelism shard-parallelises every keyed stateful operator
 	// (Aggregate with a group-by key, Join with equi-join keys) across this
 	// many instances; 0 or 1 selects serial execution. Sink tuples and
-	// provenance are the same at every level — byte-identical sequences for
-	// aggregates, the same timestamp-sorted multiset for joins (same-
-	// timestamp matches emit in key order rather than arrival order; see
-	// ops.ShardJoin) — only the core utilisation changes
+	// provenance are byte-identical at every level — keyed joins order
+	// same-timestamp matches by (timestamp, left key, right key) at every
+	// parallelism, see ops.ShardJoin — only the core utilisation changes
 	// (query.Builder.ParallelizeStateful).
 	Parallelism int
 	// BatchSize sets the stream batch size: tuples cross every operator
@@ -110,6 +109,20 @@ type Options struct {
 	// only the framework overhead changes. The zero value keeps the planner
 	// on (the engine default).
 	NoFusion bool
+	// NoVectorize disables the planner's columnar pass (query.WithVectorize):
+	// stateless segments whose stages declare typed kernels run as row-at-a-
+	// time closures instead of struct-of-arrays batches, and shard partitions
+	// extract routing keys per tuple instead of per batch. Sink tuples and
+	// provenance are byte-identical either way; only the per-tuple
+	// interpretation overhead changes. The zero value keeps vectorization on
+	// (the engine default).
+	NoVectorize bool
+	// StoreHorizon overrides the provenance store's retention horizon in
+	// event-time units (0 = derive it from the query graph's stateful window
+	// structure, which is always sufficient). Setting it tighter than the
+	// derived value trades working-set size for re-encoding (surfaced by
+	// Result.Warnings).
+	StoreHorizon int64
 	// StorePath, when non-empty, persists every assembled provenance result
 	// (GL's traversed contribution graphs, BL's store joins) into a durable
 	// provenance store — an internal/provstore append-only file log created
@@ -154,6 +167,9 @@ type Result struct {
 	// Fusion reports whether the run executed with the physical planner
 	// enabled (operator fusion + shard-prefix replication).
 	Fusion bool
+	// Vectorized reports whether the run executed with the planner's
+	// columnar pass enabled (typed kernels over struct-of-arrays batches).
+	Vectorized bool
 
 	// SourceTuples is the number of source tuples processed.
 	SourceTuples int64
@@ -266,6 +282,9 @@ func (o *Options) validate() error {
 	if o.StorePath != "" && o.RemoteStore != "" {
 		return fmt.Errorf("harness: StorePath and RemoteStore are mutually exclusive (got %q and %q)",
 			o.StorePath, o.RemoteStore)
+	}
+	if o.StoreHorizon < 0 {
+		return fmt.Errorf("harness: negative store horizon %d", o.StoreHorizon)
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"genealog/internal/linearroad"
+	"genealog/internal/smartgrid"
+)
+
+// TestDerivedStoreHorizons pins the graph-derived retention horizons to the
+// values the paper's window settings imply: twice the deepest summed window
+// span on any source-to-sink path. A change here means a query's window
+// structure changed — the store sizing follows automatically, which is the
+// point of deriving.
+func TestDerivedStoreHorizons(t *testing.T) {
+	want := map[QueryID]int64{
+		Q1: 2 * linearroad.Q1WindowSize,
+		Q2: 2 * (linearroad.Q1WindowSize + linearroad.Q2WindowSize),
+		Q3: 2 * (2 * smartgrid.HoursPerDay),
+		Q4: 2 * (smartgrid.HoursPerDay + smartgrid.Q4JoinWindow),
+	}
+	for _, q := range Queries {
+		got, err := StoreHorizon(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[q] {
+			t.Errorf("StoreHorizon(%s) = %d, want %d", q, got, want[q])
+		}
+	}
+}
+
+// TestStoreHorizonOverride: Options.StoreHorizon replaces the derived
+// horizon when set, and 0 keeps the derivation.
+func TestStoreHorizonOverride(t *testing.T) {
+	spec, err := specFor(Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := parallelTestOptions(Q1, ModeGL, 1)
+	o.StorePath = filepath.Join(t.TempDir(), "prov")
+	st, owned, err := o.openProvStore(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !owned {
+		t.Fatal("StorePath store should be run-owned")
+	}
+	if got := st.Stats().Horizon; got != 2*linearroad.Q1WindowSize {
+		t.Fatalf("derived horizon = %d, want %d", got, 2*linearroad.Q1WindowSize)
+	}
+	st.Close()
+
+	o.StorePath = filepath.Join(t.TempDir(), "prov-override")
+	o.StoreHorizon = 999
+	st, _, err = o.openProvStore(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Horizon; got != 999 {
+		t.Fatalf("overridden horizon = %d, want 999", got)
+	}
+	st.Close()
+
+	o.StoreHorizon = -1
+	if err := o.validate(); err == nil {
+		t.Fatal("negative StoreHorizon validated")
+	}
+}
+
+// TestDerivedHorizonNeverTooTight: with the derived horizon, no Q1-Q4 run
+// can re-encode a retired source — re-encoding means the horizon was tighter
+// than the query's windows, which the derivation makes impossible.
+func TestDerivedHorizonNeverTooTight(t *testing.T) {
+	for _, q := range Queries {
+		t.Run(string(q), func(t *testing.T) {
+			o := parallelTestOptions(q, ModeGL, 1)
+			o.StorePath = filepath.Join(t.TempDir(), "prov")
+			r, err := Run(context.Background(), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ProvStoreSinks == 0 {
+				t.Fatalf("%s: store holds no sink entries; workload too small", q)
+			}
+			if r.ProvStoreReEncoded != 0 {
+				t.Fatalf("%s: derived horizon re-encoded %d sources", q, r.ProvStoreReEncoded)
+			}
+			if w := r.Warnings(); len(w) != 0 {
+				t.Fatalf("%s: unexpected warnings: %v", q, w)
+			}
+		})
+	}
+}

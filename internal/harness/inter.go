@@ -97,7 +97,8 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion))
+		query.WithFusion(!o.NoFusion),
+		query.WithVectorize(!o.NoVectorize))
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	src.OnEmit = hooks.OnSourceEmit
@@ -155,7 +156,8 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion))
+		query.WithFusion(!o.NoFusion),
+		query.WithVectorize(!o.NoVectorize))
 	ins := make([]*query.Node, len(links.Main))
 	for i, l := range links.Main {
 		ins[i] = transport.AddReceive(b, fmt.Sprintf("recv-main-%d", i), l.Dec)
@@ -226,7 +228,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 			query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil)),
 			query.WithChannelCapacity(o.ChannelCapacity),
 			query.WithBatchSize(o.BatchSize),
-			query.WithFusion(!o.NoFusion)}
+			query.WithFusion(!o.NoFusion),
+			query.WithVectorize(!o.NoVectorize)}
 		if hooks.ProvStore != nil {
 			opts = append(opts, query.WithProvenanceStore(hooks.ProvStore))
 		}
@@ -250,7 +253,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 			query.WithInstrumenter(core.Noop{}),
 			query.WithChannelCapacity(o.ChannelCapacity),
 			query.WithBatchSize(o.BatchSize),
-			query.WithFusion(!o.NoFusion))
+			query.WithFusion(!o.NoFusion),
+			query.WithVectorize(!o.NoVectorize))
 		srcsIn := transport.AddReceive(b, "recv-sources", links.Sources.Dec)
 		storeDone := make(chan struct{})
 		addStoreIngest(b, "store-sink", srcsIn, hooks.Store, storeDone)
@@ -279,7 +283,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 // two instances, GL and BL add the provenance node.
 func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism,
-		BatchSize: o.BatchSize, Fusion: !o.NoFusion, RemoteStore: o.RemoteStore}
+		BatchSize: o.BatchSize, Fusion: !o.NoFusion, Vectorized: !o.NoVectorize,
+		RemoteStore: o.RemoteStore}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)

@@ -81,7 +81,8 @@ func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Qu
 	opts := []query.Option{query.WithInstrumenter(instr),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion)}
+		query.WithFusion(!o.NoFusion),
+		query.WithVectorize(!o.NoVectorize)}
 	if asm.provStore != nil {
 		opts = append(opts, query.WithProvenanceStore(asm.provStore))
 	}
@@ -112,7 +113,8 @@ func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Qu
 // runIntra deploys the whole query in one SPE instance (Fig. 12).
 func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism,
-		BatchSize: o.BatchSize, Fusion: !o.NoFusion, RemoteStore: o.RemoteStore}
+		BatchSize: o.BatchSize, Fusion: !o.NoFusion, Vectorized: !o.NoVectorize,
+		RemoteStore: o.RemoteStore}
 
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
@@ -235,8 +237,12 @@ func (o *Options) openProvStore(ctx context.Context, spec querySpec) (*provstore
 	if o.Store != nil {
 		return o.Store, false, nil
 	}
+	horizon := o.StoreHorizon
+	if horizon == 0 {
+		horizon = spec.storeHorizon()
+	}
 	if o.RemoteStore != "" {
-		st, err := provstore.Connect(ctx, o.RemoteStore, provstore.Options{Horizon: spec.storeHorizon})
+		st, err := provstore.Connect(ctx, o.RemoteStore, provstore.Options{Horizon: horizon})
 		if err != nil {
 			return nil, false, err
 		}
@@ -245,7 +251,7 @@ func (o *Options) openProvStore(ctx context.Context, spec querySpec) (*provstore
 	if o.StorePath == "" {
 		return nil, false, nil
 	}
-	st, err := provstore.Create(o.StorePath, provstore.Options{Horizon: spec.storeHorizon})
+	st, err := provstore.Create(o.StorePath, provstore.Options{Horizon: horizon})
 	if err != nil {
 		return nil, false, err
 	}

@@ -71,11 +71,12 @@ type captured struct {
 // instrumenter, same provenance plumbing — but records canonical sink and
 // provenance strings instead of metrics.
 func captureRun(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int) captured {
-	return captureRunFusion(t, id, mode, parallelism, batchSize, true)
+	return captureRunPlan(t, id, mode, parallelism, batchSize, true, true)
 }
 
-// captureRunFusion is captureRun with the physical planner switchable.
-func captureRunFusion(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int, fusion bool) captured {
+// captureRunPlan is captureRun with the physical planner and its columnar
+// pass switchable.
+func captureRunPlan(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int, fusion, vectorize bool) captured {
 	t.Helper()
 	o := parallelTestOptions(id, mode, parallelism)
 	spec, err := specFor(id)
@@ -92,7 +93,8 @@ func captureRunFusion(t *testing.T, id QueryID, mode Mode, parallelism, batchSiz
 
 	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr),
 		query.WithBatchSize(batchSize),
-		query.WithFusion(fusion))
+		query.WithFusion(fusion),
+		query.WithVectorize(vectorize))
 	src := b.AddSource("source", gen)
 	last := spec.addWhole(b, src)
 
@@ -151,10 +153,9 @@ func sortedCopy(ss []string) []string {
 // TestShardParallelEquivalence is the tentpole's acceptance test: for each
 // of Q1-Q4 under NP, GL and BL, execution with Parallelism(4) must yield
 // sink output and contribution-graph traversal results identical to
-// Parallelism(1). Aggregate-only queries (Q1-Q3) must match the serial sink
-// sequence byte for byte; Q4's join may permute same-timestamp outputs into
-// key order, so its sequences are compared as sorted multisets (both runs
-// are asserted timestamp-sorted by construction of the fan-in merge).
+// Parallelism(1). Every query — joins included — must match the serial sink
+// sequence byte for byte: keyed joins order same-timestamp matches by
+// (timestamp, left key, right key) at every parallelism (ops.ShardJoin).
 func TestShardParallelEquivalence(t *testing.T) {
 	for _, id := range Queries {
 		for _, mode := range Modes {
@@ -168,9 +169,6 @@ func TestShardParallelEquivalence(t *testing.T) {
 					t.Fatalf("sink count differs: parallel %d, serial %d", len(parallel.sinks), len(serial.sinks))
 				}
 				sser, spar := serial.sinks, parallel.sinks
-				if id == Q4 {
-					sser, spar = sortedCopy(sser), sortedCopy(spar)
-				}
 				for i := range sser {
 					if sser[i] != spar[i] {
 						t.Fatalf("sink tuple %d differs:\nserial:   %s\nparallel: %s", i, sser[i], spar[i])
@@ -247,11 +245,11 @@ func TestFusedPlanEquivalence(t *testing.T) {
 			for _, parallelism := range []int{1, 4} {
 				name := fmt.Sprintf("%s/%s/p%d", id, mode, parallelism)
 				t.Run(name, func(t *testing.T) {
-					unfused := captureRunFusion(t, id, mode, parallelism, 1, false)
+					unfused := captureRunPlan(t, id, mode, parallelism, 1, false, true)
 					if len(unfused.sinks) == 0 {
 						t.Fatalf("%s: unfused run produced no sink tuples; workload too small", name)
 					}
-					fused := captureRunFusion(t, id, mode, parallelism, 1, true)
+					fused := captureRunPlan(t, id, mode, parallelism, 1, true, true)
 					if len(fused.sinks) != len(unfused.sinks) {
 						t.Fatalf("sink count differs: fused %d, unfused %d", len(fused.sinks), len(unfused.sinks))
 					}
@@ -273,6 +271,51 @@ func TestFusedPlanEquivalence(t *testing.T) {
 						t.Fatalf("%s: no provenance results; workload too small", name)
 					}
 				})
+			}
+		}
+	}
+}
+
+// TestVectorizedPlanEquivalence is the columnar tentpole's acceptance test:
+// for each of Q1-Q4 under NP, GL and BL, at parallelism 1 and 4, fusion on
+// and off, batch 64, execution with the planner's columnar pass (typed
+// kernels over struct-of-arrays batches, batch-wise shard key extraction)
+// must yield sink output byte-identical to the row-at-a-time plan, and
+// identical traversed provenance.
+func TestVectorizedPlanEquivalence(t *testing.T) {
+	for _, id := range Queries {
+		for _, mode := range Modes {
+			for _, parallelism := range []int{1, 4} {
+				for _, fusion := range []bool{true, false} {
+					name := fmt.Sprintf("%s/%s/p%d/fusion=%v", id, mode, parallelism, fusion)
+					t.Run(name, func(t *testing.T) {
+						rows := captureRunPlan(t, id, mode, parallelism, 64, fusion, false)
+						if len(rows.sinks) == 0 {
+							t.Fatalf("%s: row-path run produced no sink tuples; workload too small", name)
+						}
+						vec := captureRunPlan(t, id, mode, parallelism, 64, fusion, true)
+						if len(vec.sinks) != len(rows.sinks) {
+							t.Fatalf("sink count differs: vectorized %d, rows %d", len(vec.sinks), len(rows.sinks))
+						}
+						for i := range rows.sinks {
+							if rows.sinks[i] != vec.sinks[i] {
+								t.Fatalf("sink tuple %d differs:\nrows:       %s\nvectorized: %s", i, rows.sinks[i], vec.sinks[i])
+							}
+						}
+						pr, pv := sortedCopy(rows.prov), sortedCopy(vec.prov)
+						if len(pr) != len(pv) {
+							t.Fatalf("provenance result count differs: vectorized %d, rows %d", len(pv), len(pr))
+						}
+						for i := range pr {
+							if pr[i] != pv[i] {
+								t.Fatalf("provenance result %d differs:\nrows:       %s\nvectorized: %s", i, pr[i], pv[i])
+							}
+						}
+						if mode != ModeNP && len(rows.prov) == 0 {
+							t.Fatalf("%s: no provenance results; workload too small", name)
+						}
+					})
+				}
 			}
 		}
 	}

@@ -37,7 +37,7 @@ func connectStore(t *testing.T, addr string, q QueryID, ropts ...provstore.Remot
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := provstore.Connect(context.Background(), addr, provstore.Options{Horizon: spec.storeHorizon}, ropts...)
+	st, err := provstore.Connect(context.Background(), addr, provstore.Options{Horizon: spec.storeHorizon()}, ropts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestStoreNodeKilledMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	be, err := provstore.CreateFileLog(path, spec.storeHorizon)
+	be, err := provstore.CreateFileLog(path, spec.storeHorizon())
 	if err != nil {
 		t.Fatal(err)
 	}

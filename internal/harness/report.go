@@ -150,6 +150,9 @@ func (f *Figure) Render() string {
 		if !np.Last.Fusion {
 			par += ", fusion off"
 		}
+		if !np.Last.Vectorized {
+			par += ", vectorize off"
+		}
 		fmt.Fprintf(&sb, "\n%s (source tuples: %d, sink tuples: NP=%d GL=%d BL=%d%s)\n",
 			q, np.Last.SourceTuples, np.Last.SinkTuples, gl.Last.SinkTuples, bl.Last.SinkTuples, par)
 		row := func(metric, unit string, pick func(Summaries) metrics.Summary) {

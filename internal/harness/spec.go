@@ -32,11 +32,6 @@ type querySpec struct {
 	// the stateful window sizes at the instance producing the derived
 	// stream.
 	muWindow int64
-	// storeHorizon is the provenance store's retention horizon: how far (in
-	// event time) behind the delivered watermark a source tuple can still be
-	// referenced by a future sink tuple. Twice the sum of the query's
-	// stateful window spans covers every open window with slack.
-	storeHorizon int64
 	// registerWire registers the workload's tuple types with the codec.
 	registerWire func()
 	// sized reports the approximate payload bytes of a tuple (provenance
@@ -60,7 +55,6 @@ func specFor(id QueryID) (querySpec, error) {
 				return linearroad.AddQ1Stage2(b, ins[0])
 			},
 			muWindow:     linearroad.MUWindowQ1,
-			storeHorizon: 2 * linearroad.Q1WindowSize,
 			registerWire: linearroad.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -78,7 +72,6 @@ func specFor(id QueryID) (querySpec, error) {
 				return linearroad.AddQ2Stage2(b, ins[0])
 			},
 			muWindow:     linearroad.MUWindowQ2,
-			storeHorizon: 2 * (linearroad.Q1WindowSize + linearroad.Q2WindowSize),
 			registerWire: linearroad.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -96,7 +89,6 @@ func specFor(id QueryID) (querySpec, error) {
 				return smartgrid.AddQ3Stage2(b, ins[0])
 			},
 			muWindow:     smartgrid.MUWindowQ3,
-			storeHorizon: 2 * (2 * smartgrid.HoursPerDay),
 			registerWire: smartgrid.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -115,7 +107,6 @@ func specFor(id QueryID) (querySpec, error) {
 				return smartgrid.AddQ4Stage2(b, smartgrid.Q4Stage1Outputs{Daily: ins[0], Midnight: ins[1]})
 			},
 			muWindow:     smartgrid.MUWindowQ4,
-			storeHorizon: 2 * (smartgrid.HoursPerDay + smartgrid.Q4JoinWindow),
 			registerWire: smartgrid.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
@@ -124,16 +115,31 @@ func specFor(id QueryID) (querySpec, error) {
 	}
 }
 
-// StoreHorizon returns the provenance store's retention horizon for q —
-// twice the sum of the query's stateful window spans, covering every open
-// window with slack. CLI deployments (spe-node -store) use it to open remote
-// store connections with the same horizon the harness would.
+// storeHorizon derives the provenance store's retention horizon from the
+// query graph: it assembles the whole query on a throwaway builder and asks
+// the planner how far (in event time) behind the delivered watermark a
+// source tuple can still be referenced by a future sink tuple
+// (query.Builder.ProvenanceHorizon). Deriving instead of hand-setting means
+// a query edit that deepens the window structure can never silently leave
+// the store retiring tuples a traversal still needs.
+func (s querySpec) storeHorizon() int64 {
+	b := query.New("horizon-probe")
+	src := b.AddSource("src", nil)
+	last := s.addWhole(b, src)
+	b.Connect(last, b.AddSink("sink", nil))
+	return b.ProvenanceHorizon()
+}
+
+// StoreHorizon returns the provenance store's retention horizon for q,
+// derived from the query graph's stateful window structure. CLI deployments
+// (spe-node -store) use it to open remote store connections with the same
+// horizon the harness would.
 func StoreHorizon(q QueryID) (int64, error) {
 	spec, err := specFor(q)
 	if err != nil {
 		return 0, err
 	}
-	return spec.storeHorizon, nil
+	return spec.storeHorizon(), nil
 }
 
 func lrSource(o Options) (ops.SourceFunc, int, int) {

@@ -34,7 +34,7 @@ func runWithStore(t *testing.T, o Options) (*provstore.Store, []provenance.Resul
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := provstore.NewMemory(provstore.Options{Horizon: spec.storeHorizon})
+	st := provstore.NewMemory(provstore.Options{Horizon: spec.storeHorizon()})
 	var results []provenance.Result
 	o.Store = st
 	o.OnProvenance = func(r provenance.Result) { results = append(results, r) }

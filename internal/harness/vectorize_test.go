@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDeclaredKernelsVectorize is the vet for the workload kernel
+// declarations: every Q1-Q4 operator that declares a columnar spec
+// (query.ColSpec in internal/linearroad and internal/smartgrid) must
+// actually come out of the planner vectorized — a declaration the planner
+// silently ignores (missing schema, kernel dropped by a refactor) fails
+// here instead of degrading to the row path unnoticed.
+func TestDeclaredKernelsVectorize(t *testing.T) {
+	// The declared kernel-capable stateless stages per query: Q1 zero-speed +
+	// stopped, Q2 adds accident, Q3 zero-cons + blackout, Q4 midnight +
+	// anomaly. At parallelism 1 each materialises as its own vectorized
+	// segment.
+	want := map[QueryID]int{Q1: 2, Q2: 3, Q3: 2, Q4: 2}
+	for _, q := range Queries {
+		o := parallelTestOptions(q, ModeNP, 1)
+		info, err := Explain(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.VectorizedSegments != want[q] {
+			t.Errorf("%s: %d vectorized segments, want %d:\n%s", q, info.VectorizedSegments, want[q], info.Text)
+		}
+		if !strings.Contains(info.Text, "vectorized") {
+			t.Errorf("%s: Explain text misses the vectorized marker:\n%s", q, info.Text)
+		}
+		o.NoVectorize = true
+		info, err = Explain(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.VectorizedSegments != 0 {
+			t.Errorf("%s: NoVectorize plan still vectorizes %d segments:\n%s", q, info.VectorizedSegments, info.Text)
+		}
+		if strings.Contains(info.Text, "vectorized") {
+			t.Errorf("%s: NoVectorize Explain text still marks vectorized segments:\n%s", q, info.Text)
+		}
+	}
+}
+
+// TestVectorizeResultDimension: a measured run reports the vectorize
+// dimension back in its result row, and NoVectorize switches it off.
+func TestVectorizeResultDimension(t *testing.T) {
+	o := parallelTestOptions(Q1, ModeNP, 1)
+	r, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Vectorized {
+		t.Fatal("Result.Vectorized = false, want true (the default)")
+	}
+	o.NoVectorize = true
+	if r, err = Run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if r.Vectorized {
+		t.Fatal("Result.Vectorized = true under Options.NoVectorize")
+	}
+	if r.SinkTuples == 0 {
+		t.Fatal("row-path harness run produced no sink tuples")
+	}
+}

@@ -1,0 +1,118 @@
+package linearroad
+
+import (
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// This file declares the columnar schemas and typed kernels of the Linear
+// Road tuple types, letting the planner run Q1/Q2's stateless stages on the
+// vectorized runtime (ops.ColChain) and extract shard routing keys
+// batch-wise. Each schema covers every payload field of its tuple type, so
+// one extraction pass serves any kernel over that type.
+
+// Field indices into PositionReportSchema.
+const (
+	posFieldCar = iota
+	posFieldSpeed
+	posFieldPos
+)
+
+// PositionReportSchema is the columnar schema of *PositionReport.
+var PositionReportSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "car", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*PositionReport).CarID) }},
+	{Name: "speed", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*PositionReport).Speed) }},
+	{Name: "pos", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*PositionReport).Pos) }},
+}}
+
+// Field indices into StoppedCarSchema.
+const (
+	stoppedFieldCar = iota
+	stoppedFieldCount
+	stoppedFieldDistinctPos
+	stoppedFieldLastPos
+)
+
+// StoppedCarSchema is the columnar schema of *StoppedCar.
+var StoppedCarSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "car", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*StoppedCar).CarID) }},
+	{Name: "count", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*StoppedCar).Count) }},
+	{Name: "distinct-pos", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*StoppedCar).DistinctPos) }},
+	{Name: "last-pos", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*StoppedCar).LastPos) }},
+}}
+
+// Field indices into AccidentAlertSchema.
+const (
+	accidentFieldPos = iota
+	accidentFieldCount
+)
+
+// AccidentAlertSchema is the columnar schema of *AccidentAlert.
+var AccidentAlertSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "pos", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*AccidentAlert).Pos) }},
+	{Name: "count", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*AccidentAlert).Count) }},
+}}
+
+// Schemas returns the columnar schema of every Linear Road tuple type, keyed
+// by its csvio format name.
+func Schemas() map[string]*ops.ColSchema {
+	return map[string]*ops.ColSchema{
+		"lr.position": PositionReportSchema,
+		"lr.stopped":  StoppedCarSchema,
+		"lr.accident": AccidentAlertSchema,
+	}
+}
+
+// filterZeroSpeed is the vectorized q1.zero-speed predicate.
+func filterZeroSpeed(c *ops.ColBatch, sel, dst []int) []int {
+	speed := c.Int64s(posFieldSpeed)
+	for _, i := range sel {
+		if speed[i] == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// filterStopped is the vectorized q1.stopped predicate.
+func filterStopped(c *ops.ColBatch, sel, dst []int) []int {
+	count := c.Int64s(stoppedFieldCount)
+	distinct := c.Int64s(stoppedFieldDistinctPos)
+	for _, i := range sel {
+		if count[i] == StopReports && distinct[i] == 1 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// filterAccident is the vectorized q2.accident predicate.
+func filterAccident(c *ops.ColBatch, sel, dst []int) []int {
+	count := c.Int64s(accidentFieldCount)
+	for _, i := range sel {
+		if count[i] >= AccidentCars {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// keyCarID is the vectorized q1.window group-by extraction.
+func keyCarID(c *ops.ColBatch, sel []int, dst []string) []string {
+	car := c.Int64s(posFieldCar)
+	for _, i := range sel {
+		dst = append(dst, strconv.Itoa(int(car[i])))
+	}
+	return dst
+}
+
+// keyLastPos is the vectorized q2.window group-by extraction.
+func keyLastPos(c *ops.ColBatch, sel []int, dst []string) []string {
+	pos := c.Int64s(stoppedFieldLastPos)
+	for _, i := range sel {
+		dst = append(dst, strconv.Itoa(int(pos[i])))
+	}
+	return dst
+}

@@ -14,7 +14,7 @@ import (
 func AddQ1Stage1(b *query.Builder, from *query.Node) *query.Node {
 	f := b.AddFilter("q1.zero-speed", func(t core.Tuple) bool {
 		return t.(*PositionReport).Speed == 0
-	})
+	}).Columnar(query.ColSpec{Schema: PositionReportSchema, Filter: filterZeroSpeed})
 	b.Connect(from, f)
 	return f
 }
@@ -40,11 +40,11 @@ func AddQ1Stage2(b *query.Builder, from *query.Node) *query.Node {
 			out.DistinctPos = int32(len(distinct))
 			return out
 		},
-	})
+	}).Columnar(query.ColSpec{Schema: PositionReportSchema, Key: keyCarID})
 	stopped := b.AddFilter("q1.stopped", func(t core.Tuple) bool {
 		s := t.(*StoppedCar)
 		return s.Count == StopReports && s.DistinctPos == 1
-	})
+	}).Columnar(query.ColSpec{Schema: StoppedCarSchema, Filter: filterStopped})
 	b.Connect(from, agg)
 	b.Connect(agg, stopped)
 	return stopped
@@ -75,10 +75,10 @@ func AddQ2Stage2(b *query.Builder, from *query.Node) *query.Node {
 			}
 			return out
 		},
-	})
+	}).Columnar(query.ColSpec{Schema: StoppedCarSchema, Key: keyLastPos})
 	accident := b.AddFilter("q2.accident", func(t core.Tuple) bool {
 		return t.(*AccidentAlert).Count >= AccidentCars
-	})
+	}).Columnar(query.ColSpec{Schema: AccidentAlertSchema, Filter: filterAccident})
 	b.Connect(from, agg)
 	b.Connect(agg, accident)
 	return accident

@@ -80,11 +80,12 @@ func (s AggregateSpec) validate() error {
 // each window output is linked to the window's first (U2) and last (U1)
 // tuples.
 type Aggregate struct {
-	name  string
-	in    *Stream
-	out   *Stream
-	spec  AggregateSpec
-	instr core.Instrumenter
+	name   string
+	in     *Stream
+	out    *Stream
+	spec   AggregateSpec
+	instr  core.Instrumenter
+	prefix []FusedStage
 
 	groups    map[string]*aggGroup
 	nextStart int64
@@ -105,8 +106,22 @@ var _ Operator = (*Aggregate)(nil)
 // NewAggregate returns an Aggregate operator; it panics if the spec is
 // invalid (a programming error caught at query-construction time).
 func NewAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter) *Aggregate {
+	return NewAggregateFused(name, in, out, spec, nil, instr)
+}
+
+// NewAggregateFused returns an Aggregate that first pushes its input tuples
+// through the given inlined stateless stages (may be empty) — the planner's
+// hoisted shard-lane prefix, run by direct calls in the aggregate's own input
+// loop instead of a per-lane FusedChain with its stream and goroutine. It
+// panics if the spec or a stage is invalid.
+func NewAggregateFused(name string, in, out *Stream, spec AggregateSpec, prefix []FusedStage, instr core.Instrumenter) *Aggregate {
 	if err := spec.validate(); err != nil {
 		panic(fmt.Sprintf("aggregate %q: %v", name, err))
+	}
+	for _, s := range prefix {
+		if err := s.validate(); err != nil {
+			panic(fmt.Sprintf("aggregate %q: %v", name, err))
+		}
 	}
 	if spec.OutputTs == 0 {
 		spec.OutputTs = WindowStartTs
@@ -117,6 +132,7 @@ func NewAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.I
 		out:    out,
 		spec:   spec,
 		instr:  instr,
+		prefix: prefix,
 		groups: make(map[string]*aggGroup),
 	}
 }
@@ -125,9 +141,29 @@ func NewAggregate(name string, in, out *Stream, spec AggregateSpec, instr core.I
 func (a *Aggregate) Name() string { return a.name }
 
 // Run implements Operator. The inner loop iterates input batches and
-// flushes the output once per batch, before blocking for more input.
+// flushes the output once per batch, before blocking for more input. With an
+// inlined prefix, each input tuple runs the prefix stages first; survivors
+// are processed exactly as direct inputs would be, and the watermarks of
+// dropped tuples still close due windows — the same sequence a FusedChain
+// feeding the aggregate through a stream produces.
 func (a *Aggregate) Run(ctx context.Context) error {
 	defer a.out.CloseSend(ctx)
+	var ap *stageApplier
+	if len(a.prefix) > 0 {
+		ap = newStageApplier(a.prefix, a.instr,
+			func(t core.Tuple) error {
+				if err := a.process(ctx, t); err != nil {
+					return err
+				}
+				return a.advertise(ctx, t.Timestamp())
+			},
+			func(ts int64) error {
+				if err := a.watermark(ctx, ts); err != nil {
+					return err
+				}
+				return a.advertise(ctx, ts)
+			})
+	}
 	for {
 		batch, ok, err := a.in.RecvBatch(ctx)
 		if err != nil {
@@ -140,10 +176,16 @@ func (a *Aggregate) Run(ctx context.Context) error {
 			return nil
 		}
 		for _, t := range batch {
-			if err := a.process(ctx, t); err != nil {
-				return fmt.Errorf("aggregate %q: %w", a.name, err)
+			if ap != nil {
+				if core.IsHeartbeat(t) {
+					err = ap.skip(t.Timestamp())
+				} else {
+					err = ap.run(t)
+				}
+			} else if err = a.process(ctx, t); err == nil {
+				err = a.advertise(ctx, t.Timestamp())
 			}
-			if err := a.advertise(ctx, t.Timestamp()); err != nil {
+			if err != nil {
 				return fmt.Errorf("aggregate %q: %w", a.name, err)
 			}
 		}
@@ -151,6 +193,15 @@ func (a *Aggregate) Run(ctx context.Context) error {
 			return fmt.Errorf("aggregate %q: %w", a.name, err)
 		}
 	}
+}
+
+// watermark advances the input watermark without a tuple (an inlined prefix
+// stage dropped it), closing due windows.
+func (a *Aggregate) watermark(ctx context.Context, ts int64) error {
+	if !a.started {
+		return nil
+	}
+	return a.closeDue(ctx, ts)
 }
 
 func (a *Aggregate) process(ctx context.Context, t core.Tuple) error {

@@ -1,0 +1,337 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"genealog/internal/core"
+)
+
+// ColKind identifies the physical type of a column in a ColSchema.
+type ColKind int
+
+// The supported column types. Narrower workload fields (int32 IDs,
+// positions) widen into int64 columns; timestamps have their own dedicated
+// column on every ColBatch and need no schema field.
+const (
+	ColInt64 ColKind = 1 + iota
+	ColFloat64
+	ColString
+)
+
+// String returns the kind's name.
+func (k ColKind) String() string {
+	switch k {
+	case ColInt64:
+		return "int64"
+	case ColFloat64:
+		return "float64"
+	case ColString:
+		return "string"
+	default:
+		return fmt.Sprintf("ColKind(%d)", int(k))
+	}
+}
+
+// ColField declares one typed column of a ColSchema: a name, a kind, and the
+// extractor for that kind, which reads the field out of a row tuple. Exactly
+// the extractor matching Kind must be set. Extractors typically type-assert
+// (`t.(*PositionReport).Speed`); like a row-path key function, an extractor
+// that panics on a foreign tuple fails the query with a descriptive error
+// rather than crashing the process wherever the row path already guards
+// (the shard partitioner), and must otherwise be total over the tuples the
+// declaring operator can observe.
+type ColField struct {
+	Name  string
+	Kind  ColKind
+	Int   func(core.Tuple) int64
+	Float func(core.Tuple) float64
+	Str   func(core.Tuple) string
+}
+
+// ColSchema is an ordered set of typed columns extracted from a row batch.
+// Kernels address columns by their index in Fields. A schema value is
+// immutable after first use and safe for concurrent extraction (shard lanes
+// share the workload schemas).
+type ColSchema struct {
+	Fields []ColField
+
+	once sync.Once
+	// slot maps a field index to its ordinal among the fields of its kind —
+	// the index into the per-kind column groups of a ColBatch.
+	slot               []int
+	nInt, nFloat, nStr int
+}
+
+// index precomputes the per-kind slot of every field, once.
+func (s *ColSchema) index() {
+	s.once.Do(func() {
+		s.slot = make([]int, len(s.Fields))
+		for i, f := range s.Fields {
+			switch f.Kind {
+			case ColInt64:
+				s.slot[i] = s.nInt
+				s.nInt++
+			case ColFloat64:
+				s.slot[i] = s.nFloat
+				s.nFloat++
+			case ColString:
+				s.slot[i] = s.nStr
+				s.nStr++
+			default:
+				panic(fmt.Sprintf("ops: schema field %q has invalid kind %v", f.Name, f.Kind))
+			}
+		}
+	})
+}
+
+// Validate checks that every field carries exactly the extractor its kind
+// requires.
+func (s *ColSchema) Validate() error {
+	for i, f := range s.Fields {
+		ok := false
+		switch f.Kind {
+		case ColInt64:
+			ok = f.Int != nil && f.Float == nil && f.Str == nil
+		case ColFloat64:
+			ok = f.Float != nil && f.Int == nil && f.Str == nil
+		case ColString:
+			ok = f.Str != nil && f.Int == nil && f.Float == nil
+		}
+		if !ok {
+			return fmt.Errorf("ops: schema field %d (%q): kind %v and its extractor do not match", i, f.Name, f.Kind)
+		}
+	}
+	return nil
+}
+
+// ColBatch is the struct-of-arrays form of a row Batch: a timestamp column,
+// the typed columns of the schema it is bound under, and the original row
+// tuples as the meta column — the tuples keep carrying the GeneaLog
+// meta-attributes (provenance, stimulus), so converting to columns and back
+// loses nothing. Columns are full-length and indexed by row position; a
+// kernel's selection vector lists the live positions (dead positions may
+// hold stale values).
+//
+// Columns materialize lazily: binding rows marks every column stale, and a
+// column's values are extracted the first time a kernel asks for it
+// (Int64s, Float64s, Strings, Timestamps) — only at the live positions. A
+// kernel that never reads a column never pays for its extraction; an
+// identity map or a Rows-only kernel costs nothing beyond its own loop.
+// Lazy filling makes a bound ColBatch single-goroutine; distinct ColBatch
+// values may share a schema concurrently.
+type ColBatch struct {
+	Rows []core.Tuple
+
+	schema *ColSchema
+	// sel lists the positions lazy fills must cover (nil = every position).
+	// Dead positions may hold tuples a later stage's extractors cannot
+	// read, so fills never touch them.
+	sel    []int
+	ts     []int64
+	tsOK   bool
+	filled []bool // per schema field
+	ints   [][]int64
+	floats [][]float64
+	strs   [][]string
+}
+
+// Len returns the number of row positions.
+func (c *ColBatch) Len() int { return len(c.Rows) }
+
+// Schema returns the schema the batch is currently bound under (nil before
+// the first bind).
+func (c *ColBatch) Schema() *ColSchema { return c.schema }
+
+// bind points c at rows under schema, with sel the live positions lazy
+// fills must cover (nil = all). Binding a different schema invalidates
+// every column; under the same schema, materialized columns stay valid —
+// narrowing sel never invalidates, filled columns cover a superset. The
+// caller must invalidate explicitly whenever the rows are new or mutated
+// in place: stream batches recycle their backing arrays, so ColBatch
+// cannot detect fresh contents behind a familiar pointer.
+func (c *ColBatch) bind(schema *ColSchema, rows []core.Tuple, sel []int) {
+	schema.index()
+	stale := c.schema != schema
+	c.schema, c.Rows, c.sel = schema, rows, sel
+	if stale {
+		c.invalidate()
+	}
+}
+
+// invalidate marks every column and the timestamp column stale; the next
+// accessor call re-extracts from the current rows.
+func (c *ColBatch) invalidate() {
+	c.tsOK = false
+	if cap(c.filled) < len(c.schema.Fields) {
+		c.filled = make([]bool, len(c.schema.Fields))
+		return
+	}
+	c.filled = c.filled[:len(c.schema.Fields)]
+	for i := range c.filled {
+		c.filled[i] = false
+	}
+}
+
+// Timestamps returns the event-time column, materializing it on first use.
+func (c *ColBatch) Timestamps() []int64 {
+	if !c.tsOK {
+		c.ts = ensureLen(c.ts, len(c.Rows))
+		if c.sel == nil {
+			for pos, t := range c.Rows {
+				c.ts[pos] = t.Timestamp()
+			}
+		} else {
+			for _, pos := range c.sel {
+				c.ts[pos] = c.Rows[pos].Timestamp()
+			}
+		}
+		c.tsOK = true
+	}
+	return c.ts
+}
+
+// Int64s returns the column of schema field `field`, which must be ColInt64,
+// materializing it on first use.
+func (c *ColBatch) Int64s(field int) []int64 {
+	if !c.filled[field] {
+		c.fill(field)
+	}
+	return c.ints[c.schema.slot[field]]
+}
+
+// Float64s returns the column of schema field `field`, which must be
+// ColFloat64, materializing it on first use.
+func (c *ColBatch) Float64s(field int) []float64 {
+	if !c.filled[field] {
+		c.fill(field)
+	}
+	return c.floats[c.schema.slot[field]]
+}
+
+// Strings returns the column of schema field `field`, which must be
+// ColString, materializing it on first use.
+func (c *ColBatch) Strings(field int) []string {
+	if !c.filled[field] {
+		c.fill(field)
+	}
+	return c.strs[c.schema.slot[field]]
+}
+
+// fill extracts one column at the live positions.
+func (c *ColBatch) fill(field int) {
+	s := c.schema
+	f, slot, n := s.Fields[field], s.slot[field], len(c.Rows)
+	switch f.Kind {
+	case ColInt64:
+		c.ints = ensureSlots(c.ints, s.nInt)
+		col := ensureLen(c.ints[slot], n)
+		c.ints[slot] = col
+		if c.sel == nil {
+			for pos, t := range c.Rows {
+				col[pos] = f.Int(t)
+			}
+		} else {
+			for _, pos := range c.sel {
+				col[pos] = f.Int(c.Rows[pos])
+			}
+		}
+	case ColFloat64:
+		c.floats = ensureSlots(c.floats, s.nFloat)
+		col := ensureLen(c.floats[slot], n)
+		c.floats[slot] = col
+		if c.sel == nil {
+			for pos, t := range c.Rows {
+				col[pos] = f.Float(t)
+			}
+		} else {
+			for _, pos := range c.sel {
+				col[pos] = f.Float(c.Rows[pos])
+			}
+		}
+	case ColString:
+		c.strs = ensureSlots(c.strs, s.nStr)
+		col := ensureLen(c.strs[slot], n)
+		c.strs[slot] = col
+		if c.sel == nil {
+			for pos, t := range c.Rows {
+				col[pos] = f.Str(t)
+			}
+		} else {
+			for _, pos := range c.sel {
+				col[pos] = f.Str(c.Rows[pos])
+			}
+		}
+	}
+	c.filled[field] = true
+}
+
+// ensureSlots grows a per-kind column group to want columns, keeping the
+// existing backing arrays.
+func ensureSlots[T any](cols [][]T, want int) [][]T {
+	for len(cols) < want {
+		cols = append(cols, nil)
+	}
+	return cols
+}
+
+// ensureLen reslices col to n entries, reusing its backing array.
+func ensureLen[T any](col []T, n int) []T {
+	if cap(col) < n {
+		return make([]T, n)
+	}
+	return col[:n]
+}
+
+// ToColBatch converts a row batch to columnar form under schema,
+// materializing every column at every position. The rows slice is
+// referenced, not copied: the Rows meta column IS the original tuples, so
+// ToColBatch(b, s).ToRowBatch() returns tuples identical to b —
+// meta-attributes, provenance and all. (The streaming runtime binds lazily
+// instead, see ColChain; ToColBatch is the eager boundary for tests and
+// one-shot conversions.)
+func ToColBatch(b Batch, schema *ColSchema) *ColBatch {
+	c := &ColBatch{}
+	c.bind(schema, b, nil)
+	c.Timestamps()
+	for i := range schema.Fields {
+		c.fill(i)
+	}
+	return c
+}
+
+// ToRowBatch converts back to row form: the meta column, unchanged.
+func (c *ColBatch) ToRowBatch() Batch { return c.Rows }
+
+// FilterKernel is the vectorized form of a Filter predicate: it appends to
+// dst the positions of sel whose rows pass, preserving order, and returns
+// dst. It must not reorder or invent positions. dst arrives with length 0
+// and the capacity of a previous call's result.
+type FilterKernel func(c *ColBatch, sel []int, dst []int) []int
+
+// MapKernel is the vectorized form of a strictly one-to-one Map: it appends
+// to dst exactly one output tuple per position of sel, in order, and returns
+// dst. Output i transforms the row at sel[i]; the runtime links provenance
+// (OnMap) and merges the stimulus exactly as the row path does. A Map whose
+// row function can emit zero or several tuples per input must not declare a
+// kernel — it keeps the row path.
+//
+// A kernel may instead return nil to declare that every selected row maps
+// to itself — the identity projection. The runtime then skips
+// materialisation entirely (the typed-kernel form makes a no-op map
+// statically elidable, which an opaque row closure never is) while still
+// reporting each self-map to the instrumenter. A kernel signalling
+// identity must not have mutated any row.
+type MapKernel func(c *ColBatch, sel []int, dst []core.Tuple) []core.Tuple
+
+// KeyKernel is the vectorized form of a routing/grouping key extractor: it
+// appends to dst exactly one key per position of sel, in order, and returns
+// dst. dst[i] must equal the row key function applied to the row at sel[i].
+type KeyKernel func(c *ColBatch, sel []int, dst []string) []string
+
+// ColKey pairs a key kernel with the schema it reads; the shard partitioner
+// uses it to extract a whole batch's routing keys in one pass.
+type ColKey struct {
+	Schema *ColSchema
+	Kernel KeyKernel
+}

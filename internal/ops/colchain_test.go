@@ -1,0 +1,311 @@
+package ops
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// vSchema is the columnar schema of the test tuple: its group key and value.
+func vSchema() *ColSchema {
+	return &ColSchema{Fields: []ColField{
+		{Name: "key", Kind: ColString, Str: func(t core.Tuple) string { return t.(*vTuple).Key }},
+		{Name: "val", Kind: ColInt64, Int: func(t core.Tuple) int64 { return t.(*vTuple).Val }},
+	}}
+}
+
+const (
+	vFieldKey = 0
+	vFieldVal = 1
+)
+
+// colChainStages is chainStages expressed as typed kernels: the doubling
+// Map, the odd-dropping Filter and the incrementing Map, all reading the
+// val column.
+func colChainStages(schema *ColSchema) []ColStage {
+	return []ColStage{
+		{Name: "double", Kind: StageMap, Schema: schema, Map: func(c *ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+			ts, vals, keys := c.Timestamps(), c.Int64s(vFieldVal), c.Strings(vFieldKey)
+			for _, pos := range sel {
+				dst = append(dst, vt(ts[pos], keys[pos], vals[pos]*2))
+			}
+			return dst
+		}},
+		{Name: "keep-even", Kind: StageFilter, Schema: schema, Filter: func(c *ColBatch, sel []int, dst []int) []int {
+			vals := c.Int64s(vFieldVal)
+			for _, pos := range sel {
+				if vals[pos]%4 == 0 {
+					dst = append(dst, pos)
+				}
+			}
+			return dst
+		}},
+		{Name: "inc", Kind: StageMap, Schema: schema, Map: func(c *ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+			ts, vals, keys := c.Timestamps(), c.Int64s(vFieldVal), c.Strings(vFieldKey)
+			for _, pos := range sel {
+				dst = append(dst, vt(ts[pos], keys[pos], vals[pos]+1))
+			}
+			return dst
+		}},
+	}
+}
+
+// runColChain runs the kernel stages as one ColChain.
+func runColChain(t *testing.T, in *Stream, instr core.Instrumenter) []core.Tuple {
+	t.Helper()
+	out := NewStream("out", 0)
+	cc := NewColChain("vec", in, out, colChainStages(vSchema()), instr)
+	if cc.Stages() != 3 {
+		t.Fatalf("Stages() = %d, want 3", cc.Stages())
+	}
+	done := make(chan []core.Tuple)
+	go func() { done <- drainAll(t, out) }()
+	runOps(t, cc)
+	return <-done
+}
+
+// TestColChainMatchesFusedChain: the vectorized chain must reproduce the
+// row-path FusedChain output stream exactly — data tuples AND watermark
+// heartbeats, in sequence — under NP and GL, across batch sizes. Under GL
+// the contribution graphs must match link for link: per-stage MAP links,
+// not shortcuts.
+func TestColChainMatchesFusedChain(t *testing.T) {
+	for _, mode := range []string{"NP", "GL"} {
+		for _, batch := range []int{1, 7, 64} {
+			t.Run(mode, func(t *testing.T) {
+				instr := func() core.Instrumenter {
+					if mode == "GL" {
+						return &core.Genealog{}
+					}
+					return core.Noop{}
+				}
+				row := runFusedChain(t, feedBatched(batch, chainInput()...), instr())
+				vec := runColChain(t, feedBatched(batch, chainInput()...), instr())
+				if len(row) == 0 || len(row) != len(vec) {
+					t.Fatalf("batch %d: %d row outputs, %d vectorized", batch, len(row), len(vec))
+				}
+				for i := range row {
+					if core.IsHeartbeat(row[i]) != core.IsHeartbeat(vec[i]) || row[i].Timestamp() != vec[i].Timestamp() {
+						t.Fatalf("batch %d output %d: row %v (hb=%v), vec %v (hb=%v)", batch, i,
+							row[i], core.IsHeartbeat(row[i]), vec[i], core.IsHeartbeat(vec[i]))
+					}
+					if core.IsHeartbeat(row[i]) {
+						continue
+					}
+					r, v := row[i].(*vTuple), vec[i].(*vTuple)
+					if r.Val != v.Val || r.Key != v.Key {
+						t.Fatalf("batch %d output %d: row %d/%s, vec %d/%s", batch, i, r.Val, r.Key, v.Val, v.Key)
+					}
+					if mode != "GL" {
+						continue
+					}
+					pr, pv := core.FindProvenance(row[i]), core.FindProvenance(vec[i])
+					if len(pr) != 1 || len(pv) != 1 || pr[0].(*vTuple).Val != pv[0].(*vTuple).Val {
+						t.Fatalf("output %d: provenance differs (row %d links, vec %d)", i, len(pr), len(pv))
+					}
+					m := core.MetaOf(vec[i])
+					if m.Kind() != core.KindMap {
+						t.Fatalf("output %d: kind = %v, want MAP", i, m.Kind())
+					}
+					mid := core.MetaOf(m.U1())
+					if mid == nil || mid.Kind() != core.KindMap {
+						t.Fatalf("output %d: intermediate MAP link missing — kernels must not shortcut stages", i)
+					}
+					if rm, vm := core.MetaOf(row[i]), core.MetaOf(vec[i]); rm.Stimulus() != vm.Stimulus() {
+						t.Fatalf("output %d: stimulus row %d, vec %d", i, rm.Stimulus(), vm.Stimulus())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestColChainIdentityKernelContract: a map kernel returning nil declares
+// the identity projection; the chain must then behave exactly like the row
+// path running an identity map — same objects delivered, instrumenter
+// links and stimulus intact — under NP and GL.
+func TestColChainIdentityKernelContract(t *testing.T) {
+	identityStages := func() []ColStage {
+		return []ColStage{
+			{Name: "pass", Kind: StageMap, Schema: vSchema(), Map: func(c *ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+				return nil
+			}},
+			{Name: "keep-even", Kind: StageFilter, Schema: vSchema(), Filter: func(c *ColBatch, sel []int, dst []int) []int {
+				vals := c.Int64s(vFieldVal)
+				for _, pos := range sel {
+					if vals[pos]%2 == 0 {
+						dst = append(dst, pos)
+					}
+				}
+				return dst
+			}},
+		}
+	}
+	rowStages := []FusedStage{
+		{Name: "pass", Kind: StageMap, Map: func(tp core.Tuple, emit func(core.Tuple)) { emit(tp) }},
+		{Name: "keep-even", Kind: StageFilter, Pred: func(tp core.Tuple) bool { return tp.(*vTuple).Val%2 == 0 }},
+	}
+	for _, mode := range []string{"NP", "GL"} {
+		t.Run(mode, func(t *testing.T) {
+			instr := func() core.Instrumenter {
+				if mode == "GL" {
+					return &core.Genealog{}
+				}
+				return core.Noop{}
+			}
+			runRow := func() []core.Tuple {
+				out := NewStream("out", 0)
+				fc := NewFusedChain("row", feedBatched(7, chainInput()...), out, rowStages, instr())
+				done := make(chan []core.Tuple)
+				go func() { done <- drainAll(t, out) }()
+				runOps(t, fc)
+				return <-done
+			}
+			runVec := func() []core.Tuple {
+				out := NewStream("out", 0)
+				cc := NewColChain("vec", feedBatched(7, chainInput()...), out, identityStages(), instr())
+				done := make(chan []core.Tuple)
+				go func() { done <- drainAll(t, out) }()
+				runOps(t, cc)
+				return <-done
+			}
+			row, vec := runRow(), runVec()
+			if len(row) == 0 || len(row) != len(vec) {
+				t.Fatalf("%d row outputs, %d vectorized", len(row), len(vec))
+			}
+			for i := range row {
+				if core.IsHeartbeat(row[i]) != core.IsHeartbeat(vec[i]) || row[i].Timestamp() != vec[i].Timestamp() {
+					t.Fatalf("output %d: row %v (hb=%v), vec %v (hb=%v)", i,
+						row[i], core.IsHeartbeat(row[i]), vec[i], core.IsHeartbeat(vec[i]))
+				}
+				if core.IsHeartbeat(row[i]) {
+					continue
+				}
+				if row[i].(*vTuple).Val != vec[i].(*vTuple).Val {
+					t.Fatalf("output %d: row val %d, vec val %d", i, row[i].(*vTuple).Val, vec[i].(*vTuple).Val)
+				}
+				if mode != "GL" {
+					continue
+				}
+				rm, vm := core.MetaOf(row[i]), core.MetaOf(vec[i])
+				if rm.Kind() != vm.Kind() || rm.Stimulus() != vm.Stimulus() {
+					t.Fatalf("output %d: kind/stimulus row %v/%d, vec %v/%d",
+						i, rm.Kind(), rm.Stimulus(), vm.Kind(), vm.Stimulus())
+				}
+				if (rm.U1() == nil) != (vm.U1() == nil) {
+					t.Fatalf("output %d: U1 link row %v, vec %v", i, rm.U1(), vm.U1())
+				}
+			}
+		})
+	}
+}
+
+// TestColChainSurvivorIdentity: filter survivors must be the very tuple
+// objects that entered the chain — vectorization may not copy rows.
+func TestColChainSurvivorIdentity(t *testing.T) {
+	in := []core.Tuple{vt(1, "k", 4), vt(2, "k", 5), vt(3, "k", 8)}
+	out := NewStream("out", 0)
+	cc := NewColChain("vec", feed(in...), out, []ColStage{
+		{Name: "keep-even", Kind: StageFilter, Schema: vSchema(), Filter: func(c *ColBatch, sel []int, dst []int) []int {
+			vals := c.Int64s(vFieldVal)
+			for _, pos := range sel {
+				if vals[pos]%2 == 0 {
+					dst = append(dst, pos)
+				}
+			}
+			return dst
+		}},
+	}, core.Noop{})
+	done := make(chan []core.Tuple)
+	go func() { done <- drain(t, out) }()
+	runOps(t, cc)
+	got := <-done
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[2] {
+		t.Fatalf("survivors are not the input objects: %v", got)
+	}
+}
+
+// TestColChainWatermarkOnDrop: kernel-dropped tuples advertise watermark
+// progress once per distinct event time, like the row path.
+func TestColChainWatermarkOnDrop(t *testing.T) {
+	out := NewStream("out", 0)
+	cc := NewColChain("vec", feed(vt(1, "k", 1), vt(1, "k", 3), vt(2, "k", 5), vt(3, "k", 4)), out,
+		[]ColStage{{Name: "drop-odd", Kind: StageFilter, Schema: vSchema(), Filter: func(c *ColBatch, sel []int, dst []int) []int {
+			vals := c.Int64s(vFieldVal)
+			for _, pos := range sel {
+				if vals[pos]%2 == 0 {
+					dst = append(dst, pos)
+				}
+			}
+			return dst
+		}}}, core.Noop{})
+	done := make(chan []core.Tuple)
+	go func() { done <- drainAll(t, out) }()
+	runOps(t, cc)
+	got := <-done
+	want := []struct {
+		ts int64
+		hb bool
+	}{{1, true}, {2, true}, {3, false}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs (%v), want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if got[i].Timestamp() != w.ts || core.IsHeartbeat(got[i]) != w.hb {
+			t.Fatalf("output %d = %v (hb=%v), want ts %d hb=%v", i, got[i], core.IsHeartbeat(got[i]), w.ts, w.hb)
+		}
+	}
+}
+
+// TestColChainMapArityError: a map kernel that is not one-to-one fails the
+// query with a descriptive error instead of silently corrupting the run.
+func TestColChainMapArityError(t *testing.T) {
+	out := NewStream("out", 0)
+	cc := NewColChain("vec", feed(vt(1, "k", 1), vt(2, "k", 2)), out,
+		[]ColStage{{Name: "lossy", Kind: StageMap, Schema: vSchema(), Map: func(c *ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+			return dst // zero outputs for len(sel) inputs
+		}}}, core.Noop{})
+	go func() {
+		for range out.ch {
+		}
+	}()
+	err := cc.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "one-to-one") {
+		t.Fatalf("Run err = %v, want one-to-one arity error", err)
+	}
+}
+
+// TestColChainValidation: construction rejects empty chains and broken
+// stages with a panic, like NewFusedChain.
+func TestColChainValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	in, out := NewStream("in", 0), NewStream("out", 0)
+	schema := vSchema()
+	expectPanic("empty", func() { NewColChain("c", in, out, nil, core.Noop{}) })
+	expectPanic("no schema", func() {
+		NewColChain("c", in, out, []ColStage{{Name: "f", Kind: StageFilter, Filter: func(c *ColBatch, sel, dst []int) []int { return dst }}}, core.Noop{})
+	})
+	expectPanic("map without kernel", func() {
+		NewColChain("c", in, out, []ColStage{{Name: "m", Kind: StageMap, Schema: schema}}, core.Noop{})
+	})
+	expectPanic("filter without kernel", func() {
+		NewColChain("c", in, out, []ColStage{{Name: "f", Kind: StageFilter, Schema: schema}}, core.Noop{})
+	})
+	expectPanic("bad kind", func() {
+		NewColChain("c", in, out, []ColStage{{Name: "x", Kind: StageMultiplex, Schema: schema}}, core.Noop{})
+	})
+	expectPanic("bad schema", func() {
+		bad := &ColSchema{Fields: []ColField{{Name: "val", Kind: ColInt64, Str: func(core.Tuple) string { return "" }}}}
+		NewColChain("c", in, out, []ColStage{{Name: "f", Kind: StageFilter, Schema: bad, Filter: func(c *ColBatch, sel, dst []int) []int { return dst }}}, core.Noop{})
+	})
+}

@@ -92,11 +92,6 @@ type FusedChain struct {
 	out    *Stream
 	stages []FusedStage
 	instr  core.Instrumenter
-
-	ctx      context.Context
-	err      error
-	lastOut  int64
-	haveLast bool
 }
 
 var _ Operator = (*FusedChain)(nil)
@@ -129,8 +124,9 @@ func (f *FusedChain) Stages() int { return len(f.stages) }
 // that caused them.
 func (f *FusedChain) Run(ctx context.Context) error {
 	defer f.out.CloseSend(ctx)
-	f.ctx = ctx
-	apply := f.compose()
+	ap := newStageApplier(f.stages, f.instr,
+		func(t core.Tuple) error { return f.out.Send(ctx, t) },
+		func(ts int64) error { return f.out.Send(ctx, core.NewHeartbeat(ts)) })
 	for {
 		batch, ok, err := f.in.RecvBatch(ctx)
 		if err != nil {
@@ -143,12 +139,12 @@ func (f *FusedChain) Run(ctx context.Context) error {
 			if core.IsHeartbeat(t) {
 				// Heartbeats bypass the stages; like Union, ones at or below
 				// the watermark already visible downstream are coalesced.
-				f.advertise(t.Timestamp())
+				err = ap.skip(t.Timestamp())
 			} else {
-				apply(t)
+				err = ap.run(t)
 			}
-			if f.err != nil {
-				return fmt.Errorf("fused chain %q: %w", f.name, f.err)
+			if err != nil {
+				return fmt.Errorf("fused chain %q: %w", f.name, err)
 			}
 		}
 		if err := f.out.Flush(ctx); err != nil {
@@ -157,38 +153,34 @@ func (f *FusedChain) Run(ctx context.Context) error {
 	}
 }
 
-// deliver sends a data tuple that survived every stage downstream.
-func (f *FusedChain) deliver(t core.Tuple) {
-	if f.err != nil {
-		return
-	}
-	f.lastOut, f.haveLast = t.Timestamp(), true
-	if err := f.out.Send(f.ctx, t); err != nil {
-		f.err = err
-	}
+// stageApplier pushes data tuples through a FusedStage list by direct
+// function calls, handing survivors to deliver (in order) and the watermarks
+// of dropped tuples to drop, coalesced once per distinct event time against
+// the last delivered timestamp. It is the per-tuple engine of FusedChain,
+// and host operators (Aggregate, Join, FanIn) reuse it to run a hoisted
+// prefix or a fused suffix inline in their own input loop — same semantics
+// as a FusedChain feeding them through a stream, minus the stream and the
+// goroutine.
+type stageApplier struct {
+	deliver func(core.Tuple) error
+	drop    func(int64) error
+	apply   func(core.Tuple)
+
+	err      error
+	lastOut  int64
+	haveLast bool
 }
 
-// advertise publishes watermark progress for a dropped tuple (or an incoming
-// heartbeat), once per distinct event time: any output at or past ts already
-// promises the same watermark, streams being timestamp-sorted.
-func (f *FusedChain) advertise(ts int64) {
-	if f.err != nil || (f.haveLast && ts <= f.lastOut) {
-		return
-	}
-	f.lastOut, f.haveLast = ts, true
-	if err := f.out.Send(f.ctx, core.NewHeartbeat(ts)); err != nil {
-		f.err = err
-	}
-}
-
-// compose builds the per-tuple pipeline back to front: each stage closure
-// processes one data tuple and hands its survivors to the next stage by a
-// direct call. The closures are allocated once per Run, not per tuple.
-func (f *FusedChain) compose() func(core.Tuple) {
-	apply := f.deliver
-	clone := f.instr.NeedsMultiplexClone()
-	for i := len(f.stages) - 1; i >= 0; i-- {
-		st := f.stages[i]
+// newStageApplier composes the per-tuple pipeline back to front: each stage
+// closure processes one data tuple and hands its survivors to the next stage
+// by a direct call. The closures are allocated once, not per tuple. An empty
+// stage list is legal and degenerates to deliver.
+func newStageApplier(stages []FusedStage, instr core.Instrumenter, deliver func(core.Tuple) error, drop func(int64) error) *stageApplier {
+	a := &stageApplier{deliver: deliver, drop: drop}
+	apply := a.send
+	clone := instr.NeedsMultiplexClone()
+	for i := len(stages) - 1; i >= 0; i-- {
+		st := stages[i]
 		next := apply
 		switch st.Kind {
 		case StageFilter:
@@ -198,7 +190,7 @@ func (f *FusedChain) compose() func(core.Tuple) {
 					next(t)
 					return
 				}
-				f.advertise(t.Timestamp())
+				a.advertise(t.Timestamp())
 			}
 		case StageMap:
 			fn := st.Map
@@ -207,13 +199,13 @@ func (f *FusedChain) compose() func(core.Tuple) {
 			var cur core.Tuple
 			var emitted bool
 			emit := func(out core.Tuple) {
-				if f.err != nil {
+				if a.err != nil {
 					return
 				}
 				if om, im := core.MetaOf(out), core.MetaOf(cur); om != nil && im != nil {
 					om.MergeStimulus(im.Stimulus())
 				}
-				f.instr.OnMap(out, cur)
+				instr.OnMap(out, cur)
 				emitted = true
 				next(out)
 			}
@@ -222,7 +214,7 @@ func (f *FusedChain) compose() func(core.Tuple) {
 				fn(t, emit)
 				if !emitted {
 					// A dropping Map creates sparsity, like Filter.
-					f.advertise(t.Timestamp())
+					a.advertise(t.Timestamp())
 				}
 			}
 		case StageMultiplex:
@@ -234,18 +226,57 @@ func (f *FusedChain) compose() func(core.Tuple) {
 			apply = func(t core.Tuple) {
 				c, ok := t.(core.Cloneable)
 				if !ok {
-					if f.err == nil {
-						f.err = fmt.Errorf("stage %q: %w (%T)", name, ErrNotCloneable, t)
+					if a.err == nil {
+						a.err = fmt.Errorf("stage %q: %w (%T)", name, ErrNotCloneable, t)
 					}
 					return
 				}
 				branch := c.CloneTuple()
-				f.instr.OnMultiplex(branch, t)
+				instr.OnMultiplex(branch, t)
 				next(branch)
 			}
 		case StagePass:
 			apply = next
 		}
 	}
-	return apply
+	a.apply = apply
+	return a
+}
+
+// send delivers a data tuple that survived every stage.
+func (a *stageApplier) send(t core.Tuple) {
+	if a.err != nil {
+		return
+	}
+	a.lastOut, a.haveLast = t.Timestamp(), true
+	if err := a.deliver(t); err != nil {
+		a.err = err
+	}
+}
+
+// advertise publishes watermark progress for a dropped tuple (or an incoming
+// heartbeat), once per distinct event time: any output at or past ts already
+// promises the same watermark, streams being timestamp-sorted.
+func (a *stageApplier) advertise(ts int64) {
+	if a.err != nil || (a.haveLast && ts <= a.lastOut) {
+		return
+	}
+	a.lastOut, a.haveLast = ts, true
+	if err := a.drop(ts); err != nil {
+		a.err = err
+	}
+}
+
+// run pushes one data tuple through the stages; it returns the first error
+// latched by the delivery callbacks (or a non-cloneable tuple at a cloning
+// stage), after which the applier is inert.
+func (a *stageApplier) run(t core.Tuple) error {
+	a.apply(t)
+	return a.err
+}
+
+// skip advertises an incoming heartbeat's watermark, bypassing the stages.
+func (a *stageApplier) skip(ts int64) error {
+	a.advertise(ts)
+	return a.err
 }

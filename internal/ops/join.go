@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"genealog/internal/core"
 )
@@ -19,11 +20,14 @@ type JoinSpec struct {
 	// overwrites its timestamp with max(l.ts, r.ts) (keeping the output
 	// sorted) and merges the pair's stimuli; Combine only fills the payload.
 	Combine func(l, r core.Tuple) core.Tuple
-	// LeftKey and RightKey extract the equi-join key of each side. A serial
-	// Join ignores them; shard-parallel execution (ShardJoin) requires both
-	// and partitions each input by its key, so the Predicate must only match
-	// pairs whose keys are equal — pairs spanning different keys would land
-	// on different shards and never meet.
+	// LeftKey and RightKey extract the equi-join key of each side.
+	// Shard-parallel execution (ShardJoin) requires both and partitions each
+	// input by its key, so the Predicate must only match pairs whose keys are
+	// equal — pairs spanning different keys would land on different shards
+	// and never meet. A keyed Join additionally emits same-timestamp outputs
+	// in (left key, right key) order rather than match order, which makes
+	// its output byte-identical — not just the same timestamp-sorted
+	// multiset — across serial, shard-parallel, fused and vectorized plans.
 	LeftKey  func(t core.Tuple) string
 	RightKey func(t core.Tuple) string
 }
@@ -38,22 +42,47 @@ func (s JoinSpec) validate() error {
 	return nil
 }
 
+// pendingJoinOut is one same-timestamp output held back for the keyed
+// (timestamp, left key, right key) emission-order tie-break.
+type pendingJoinOut struct {
+	out    core.Tuple
+	lk, rk string
+}
+
 // Join produces one output tuple for every pair of left/right tuples within
 // event-time distance WS that satisfies the predicate (paper §2). The two
 // inputs are consumed through the deterministic timestamp-sorted merge, so
 // the match order — and therefore the output — is deterministic. Each output
 // is linked to its two contributors through the instrumenter (U1 = the more
 // recent, U2 = the older, Type=JOIN; paper §4.1).
+//
+// A keyed Join (both LeftKey and RightKey set) defers its same-timestamp
+// outputs and emits them sorted by (left key, right key) once the merged
+// watermark passes their timestamp: the serial operator then produces
+// exactly the sequence a shard-parallel deployment's (timestamp, key)
+// fan-in reconstructs, so joins are byte-identical across plans.
+//
+// The planner can inline a hoisted stateless prefix per side (NewJoinFused):
+// the stages run against each side's tuples inside the merge loop, exactly
+// as a per-lane FusedChain would, minus the stream and goroutine. Join
+// prefixes must preserve timestamps, which the planner guarantees by only
+// hoisting Map-free chains above join partitions.
 type Join struct {
-	name  string
-	left  *Stream
-	right *Stream
-	out   *Stream
-	spec  JoinSpec
-	instr core.Instrumenter
+	name    string
+	left    *Stream
+	right   *Stream
+	out     *Stream
+	spec    JoinSpec
+	instr   core.Instrumenter
+	prefixL []FusedStage
+	prefixR []FusedStage
 
-	bufL []core.Tuple
-	bufR []core.Tuple
+	keyed bool
+	bufL  []core.Tuple
+	bufR  []core.Tuple
+
+	pending   []pendingJoinOut
+	pendingTs int64
 
 	lastOut  int64 // watermark already visible downstream (tuple or heartbeat)
 	haveLast bool
@@ -64,10 +93,26 @@ var _ Operator = (*Join)(nil)
 // NewJoin returns a Join operator; it panics if the spec is invalid (a
 // programming error caught at query-construction time).
 func NewJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter) *Join {
+	return NewJoinFused(name, left, right, out, spec, nil, nil, instr)
+}
+
+// NewJoinFused returns a Join that first pushes each side's tuples through
+// the given inlined stateless stages (either may be empty). It panics if the
+// spec or a stage is invalid.
+func NewJoinFused(name string, left, right, out *Stream, spec JoinSpec, prefixL, prefixR []FusedStage, instr core.Instrumenter) *Join {
 	if err := spec.validate(); err != nil {
 		panic(fmt.Sprintf("join %q: %v", name, err))
 	}
-	return &Join{name: name, left: left, right: right, out: out, spec: spec, instr: instr}
+	for _, s := range append(append([]FusedStage(nil), prefixL...), prefixR...) {
+		if err := s.validate(); err != nil {
+			panic(fmt.Sprintf("join %q: %v", name, err))
+		}
+	}
+	return &Join{
+		name: name, left: left, right: right, out: out, spec: spec, instr: instr,
+		prefixL: prefixL, prefixR: prefixR,
+		keyed: spec.LeftKey != nil && spec.RightKey != nil,
+	}
 }
 
 // Name implements Operator.
@@ -76,6 +121,17 @@ func (j *Join) Name() string { return j.name }
 // Run implements Operator.
 func (j *Join) Run(ctx context.Context) error {
 	defer j.out.CloseSend(ctx)
+	var apL, apR *stageApplier
+	if len(j.prefixL) > 0 {
+		apL = newStageApplier(j.prefixL, j.instr,
+			func(t core.Tuple) error { return j.step(ctx, t, true) },
+			func(ts int64) error { return j.watermark(ctx, ts) })
+	}
+	if len(j.prefixR) > 0 {
+		apR = newStageApplier(j.prefixR, j.instr,
+			func(t core.Tuple) error { return j.step(ctx, t, false) },
+			func(ts int64) error { return j.watermark(ctx, ts) })
+	}
 	merge := newTSMerge([]*Stream{j.left, j.right})
 	merge.onStarve = j.out.Flush
 	for {
@@ -84,69 +140,143 @@ func (j *Join) Run(ctx context.Context) error {
 			return fmt.Errorf("join %q: %w", j.name, err)
 		}
 		if !ok {
+			err := j.flushPending(ctx)
 			j.bufL, j.bufR = nil, nil
+			if err != nil {
+				return fmt.Errorf("join %q: %w", j.name, err)
+			}
 			return nil
 		}
-		// The watermark (t.ts) bounds every future tuple's timestamp from
-		// below, so tuples older than ts-WS on either side can never match
-		// again.
-		horizon := t.Timestamp() - j.spec.WS
-		j.bufL = purgeBefore(j.bufL, horizon)
-		j.bufR = purgeBefore(j.bufR, horizon)
-		if core.IsHeartbeat(t) {
-			// Forward watermark progress: every future output has an event
-			// time at or after the merged watermark.
-			if err := j.advertise(ctx, t.Timestamp()); err != nil {
-				return fmt.Errorf("join %q: %w", j.name, err)
-			}
-			continue
-		}
 		fromLeft := input == 0
-		opposite := j.bufR
+		ap := apL
 		if !fromLeft {
-			opposite = j.bufL
+			ap = apR
 		}
-		for _, o := range opposite {
-			l, r := t, o
-			if fromLeft {
-				l, r = t, o
+		switch {
+		case core.IsHeartbeat(t):
+			// The watermark (t.ts) bounds every future tuple's timestamp
+			// from below, so tuples older than ts-WS on either side can
+			// never match again.
+			horizon := t.Timestamp() - j.spec.WS
+			j.bufL = purgeBefore(j.bufL, horizon)
+			j.bufR = purgeBefore(j.bufR, horizon)
+			if ap != nil {
+				err = ap.skip(t.Timestamp())
 			} else {
-				l, r = o, t
+				err = j.watermark(ctx, t.Timestamp())
 			}
-			if !j.spec.Predicate(l, r) {
-				continue
-			}
-			out := j.spec.Combine(l, r)
-			if out == nil {
-				continue
-			}
-			if m := core.MetaOf(out); m != nil {
-				m.SetTimestamp(maxInt64(l.Timestamp(), r.Timestamp()))
-				if lm := core.MetaOf(l); lm != nil {
-					m.MergeStimulus(lm.Stimulus())
-				}
-				if rm := core.MetaOf(r); rm != nil {
-					m.MergeStimulus(rm.Stimulus())
-				}
-			}
-			// The incoming tuple t is at least as recent as the buffered o.
-			j.instr.OnJoin(out, t, o)
-			j.lastOut, j.haveLast = out.Timestamp(), true
-			if err := j.out.Send(ctx, out); err != nil {
-				return fmt.Errorf("join %q: %w", j.name, err)
-			}
+		case ap != nil:
+			err = ap.run(t)
+		default:
+			err = j.step(ctx, t, fromLeft)
 		}
-		if fromLeft {
-			j.bufL = append(j.bufL, t)
-		} else {
-			j.bufR = append(j.bufR, t)
-		}
-		// A join between matches creates sparsity; keep downstream merges
-		// informed of the watermark.
-		if err := j.advertise(ctx, t.Timestamp()); err != nil {
+		if err != nil {
 			return fmt.Errorf("join %q: %w", j.name, err)
 		}
 	}
+}
+
+// step processes one data tuple that reached the join proper: probe the
+// opposite buffer in arrival order, emit the matches, insert, advertise.
+func (j *Join) step(ctx context.Context, t core.Tuple, fromLeft bool) error {
+	ts := t.Timestamp()
+	if len(j.pending) > 0 && ts > j.pendingTs {
+		if err := j.flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	horizon := ts - j.spec.WS
+	j.bufL = purgeBefore(j.bufL, horizon)
+	j.bufR = purgeBefore(j.bufR, horizon)
+	opposite := j.bufR
+	if !fromLeft {
+		opposite = j.bufL
+	}
+	for _, o := range opposite {
+		l, r := t, o
+		if !fromLeft {
+			l, r = o, t
+		}
+		if !j.spec.Predicate(l, r) {
+			continue
+		}
+		out := j.spec.Combine(l, r)
+		if out == nil {
+			continue
+		}
+		if m := core.MetaOf(out); m != nil {
+			m.SetTimestamp(maxInt64(l.Timestamp(), r.Timestamp()))
+			if lm := core.MetaOf(l); lm != nil {
+				m.MergeStimulus(lm.Stimulus())
+			}
+			if rm := core.MetaOf(r); rm != nil {
+				m.MergeStimulus(rm.Stimulus())
+			}
+		}
+		// The incoming tuple t is at least as recent as the buffered o.
+		j.instr.OnJoin(out, t, o)
+		if j.keyed {
+			// Hold same-timestamp outputs for the (left key, right key)
+			// tie-break; the merge delivers in timestamp order, so every
+			// output of this step carries t's timestamp.
+			j.pending = append(j.pending, pendingJoinOut{out: out, lk: j.spec.LeftKey(l), rk: j.spec.RightKey(r)})
+			j.pendingTs = out.Timestamp()
+			continue
+		}
+		j.lastOut, j.haveLast = out.Timestamp(), true
+		if err := j.out.Send(ctx, out); err != nil {
+			return err
+		}
+	}
+	if fromLeft {
+		j.bufL = append(j.bufL, t)
+	} else {
+		j.bufR = append(j.bufR, t)
+	}
+	// A join between matches creates sparsity; keep downstream merges
+	// informed of the watermark.
+	return j.watermark(ctx, ts)
+}
+
+// watermark advances the downstream watermark to ts, first flushing any
+// pending keyed outputs it strictly passes. While outputs are pending at ts
+// itself, the advance is withheld — later merge deliveries at the same
+// timestamp may still add same-timestamp matches that must sort with them.
+func (j *Join) watermark(ctx context.Context, ts int64) error {
+	if len(j.pending) > 0 {
+		if ts <= j.pendingTs {
+			return nil
+		}
+		if err := j.flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	return j.advertise(ctx, ts)
+}
+
+// flushPending emits the held same-timestamp outputs sorted by (left key,
+// right key). The sort is stable, so outputs sharing both keys keep their
+// deterministic match order.
+func (j *Join) flushPending(ctx context.Context) error {
+	if len(j.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(j.pending, func(a, b int) bool {
+		pa, pb := j.pending[a], j.pending[b]
+		if pa.lk != pb.lk {
+			return pa.lk < pb.lk
+		}
+		return pa.rk < pb.rk
+	})
+	for i, p := range j.pending {
+		j.lastOut, j.haveLast = p.out.Timestamp(), true
+		if err := j.out.Send(ctx, p.out); err != nil {
+			return err
+		}
+		j.pending[i] = pendingJoinOut{}
+	}
+	j.pending = j.pending[:0]
+	return nil
 }
 
 // advertise emits a Heartbeat once per watermark advance: every future

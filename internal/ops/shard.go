@@ -83,16 +83,22 @@ func shardKeyOf(t core.Tuple) string {
 // re-serialises emissions deterministically — it only coarsens heartbeat
 // traffic from O(n) per tuple to O(n / batch size).
 type Partition struct {
-	name string
-	in   *Stream
-	outs []*Stream
-	key  func(core.Tuple) string
+	name   string
+	in     *Stream
+	outs   []*Stream
+	key    func(core.Tuple) string
+	colKey *ColKey
 
 	lastWM int64
 	haveWM bool
 	// shardWM[i] is the highest event time delivered to shard i (data or
 	// heartbeat); shards at the current watermark need no marker.
 	shardWM []int64
+
+	// Scratch for batch-wise key extraction (colKey != nil).
+	cb   ColBatch
+	sel  []int
+	keys []string
 }
 
 var _ Operator = (*Partition)(nil)
@@ -100,6 +106,16 @@ var _ Operator = (*Partition)(nil)
 // NewPartition returns a Partition routing in across outs by key.
 func NewPartition(name string, in *Stream, outs []*Stream, key func(core.Tuple) string) *Partition {
 	return &Partition{name: name, in: in, outs: outs, key: key}
+}
+
+// NewPartitionCol returns a Partition that extracts each input batch's
+// routing keys in one vectorized pass with colKey's kernel instead of calling
+// key per tuple. The kernel must compute exactly the key function's value for
+// every data tuple of the input stream; key remains the declared row
+// equivalent (plan dumps, debugging). A nil colKey degenerates to
+// NewPartition.
+func NewPartitionCol(name string, in *Stream, outs []*Stream, key func(core.Tuple) string, colKey *ColKey) *Partition {
+	return &Partition{name: name, in: in, outs: outs, key: key, colKey: colKey}
 }
 
 // Name implements Operator.
@@ -130,6 +146,11 @@ func (p *Partition) Run(ctx context.Context) (err error) {
 		if !ok {
 			return nil
 		}
+		keys, err := p.extractKeys(batch)
+		if err != nil {
+			return fmt.Errorf("partition %q: %w", p.name, err)
+		}
+		ki := 0
 		for _, t := range batch {
 			ts := t.Timestamp()
 			if !p.haveWM || ts > p.lastWM {
@@ -138,7 +159,14 @@ func (p *Partition) Run(ctx context.Context) (err error) {
 			if core.IsHeartbeat(t) {
 				continue // folded into the batch-boundary broadcast
 			}
-			shard := shardIndex(p.key(t), len(p.outs))
+			var key string
+			if keys != nil {
+				key = keys[ki]
+				ki++
+			} else {
+				key = p.key(t)
+			}
+			shard := shardIndex(key, len(p.outs))
 			if ts > p.shardWM[shard] {
 				p.shardWM[shard] = ts
 			}
@@ -176,6 +204,32 @@ func (p *Partition) broadcast(ctx context.Context) error {
 	return nil
 }
 
+// extractKeys computes the routing key of every data tuple in batch with the
+// vectorized key kernel, in batch order; it returns nil when the partitioner
+// has no ColKey (row-path key extraction).
+func (p *Partition) extractKeys(batch Batch) ([]string, error) {
+	if p.colKey == nil {
+		return nil, nil
+	}
+	p.sel = p.sel[:0]
+	for pos, t := range batch {
+		if !core.IsHeartbeat(t) {
+			p.sel = append(p.sel, pos)
+		}
+	}
+	p.keys = p.keys[:0]
+	if len(p.sel) == 0 {
+		return p.keys, nil
+	}
+	p.cb.bind(p.colKey.Schema, batch, p.sel)
+	p.cb.invalidate() // every batch is fresh rows behind a possibly recycled buffer
+	p.keys = p.colKey.Kernel(&p.cb, p.sel, p.keys)
+	if len(p.keys) != len(p.sel) {
+		return nil, fmt.Errorf("key kernel returned %d keys for %d tuples (kernels are strictly one-to-one)", len(p.keys), len(p.sel))
+	}
+	return p.keys, nil
+}
+
 // FanIn merges the timestamp-sorted outputs of the shard instances back into
 // one stream. Like tsMerge it blocks until every open input has a head, but
 // ties are broken by partition key rather than input index: a serial keyed
@@ -185,20 +239,36 @@ func (p *Partition) broadcast(ctx context.Context) error {
 // makes shard-parallel execution observably identical to Parallelism(1).
 // Tagged outputs are unwrapped before forwarding; redundant heartbeats are
 // coalesced as in Union.
+//
+// The planner can fold the stateless chain that follows the shard subgraph
+// into the fan-in (NewFanInFused): the merged tuples run the suffix stages by
+// direct calls in the merge loop, exactly as a downstream FusedChain would,
+// minus the stream and goroutine.
 type FanIn struct {
-	name string
-	ins  []*Stream
-	out  *Stream
-
-	lastOut  int64
-	haveLast bool
+	name   string
+	ins    []*Stream
+	out    *Stream
+	suffix []FusedStage
+	instr  core.Instrumenter
 }
 
 var _ Operator = (*FanIn)(nil)
 
 // NewFanIn returns a FanIn merging ins into out.
 func NewFanIn(name string, ins []*Stream, out *Stream) *FanIn {
-	return &FanIn{name: name, ins: ins, out: out}
+	return NewFanInFused(name, ins, out, nil, core.Noop{})
+}
+
+// NewFanInFused returns a FanIn that pushes the merged tuples through the
+// given inlined stateless stages (may be empty) before forwarding. It panics
+// if a stage is invalid.
+func NewFanInFused(name string, ins []*Stream, out *Stream, suffix []FusedStage, instr core.Instrumenter) *FanIn {
+	for _, s := range suffix {
+		if err := s.validate(); err != nil {
+			panic(fmt.Sprintf("fan-in %q: %v", name, err))
+		}
+	}
+	return &FanIn{name: name, ins: ins, out: out, suffix: suffix, instr: instr}
 }
 
 // Name implements Operator.
@@ -207,6 +277,9 @@ func (f *FanIn) Name() string { return f.name }
 // Run implements Operator.
 func (f *FanIn) Run(ctx context.Context) error {
 	defer f.out.CloseSend(ctx)
+	ap := newStageApplier(f.suffix, f.instr,
+		func(t core.Tuple) error { return f.out.Send(ctx, t) },
+		func(ts int64) error { return f.out.Send(ctx, core.NewHeartbeat(ts)) })
 	heads := make([]core.Tuple, len(f.ins))
 	has := make([]bool, len(f.ins))
 	done := make([]bool, len(f.ins))
@@ -246,21 +319,16 @@ func (f *FanIn) Run(ctx context.Context) error {
 		}
 		t := heads[best]
 		heads[best], has[best] = nil, false
+		var err error
 		if core.IsHeartbeat(t) {
-			if f.haveLast && t.Timestamp() <= f.lastOut {
-				continue // watermark already visible downstream
+			err = ap.skip(t.Timestamp())
+		} else {
+			if tagged, ok := t.(*shardTagged); ok {
+				t = tagged.inner
 			}
-			f.lastOut, f.haveLast = t.Timestamp(), true
-			if err := f.out.Send(ctx, t); err != nil {
-				return fmt.Errorf("fan-in %q: %w", f.name, err)
-			}
-			continue
+			err = ap.run(t)
 		}
-		f.lastOut, f.haveLast = t.Timestamp(), true
-		if tagged, ok := t.(*shardTagged); ok {
-			t = tagged.inner
-		}
-		if err := f.out.Send(ctx, t); err != nil {
+		if err != nil {
 			return fmt.Errorf("fan-in %q: %w", f.name, err)
 		}
 	}
@@ -323,16 +391,74 @@ func (p *ShardPrefix) routeKey(specKey func(core.Tuple) string) func(core.Tuple)
 	return specKey
 }
 
-// lane prepends the prefix's FusedChain replica to shard lane i: it returns
-// the stream the partitioner must feed and appends the chain operator, if
-// any, to operators. laneIn is the stateful instance's input stream.
-func (p *ShardPrefix) lane(name string, i int, laneIn *Stream, instr core.Instrumenter, chanCap, batchSize int, operators []Operator) (*Stream, []Operator) {
+// stages returns the prefix's stage list (nil for no prefix), for inlining
+// into each shard instance's input loop.
+func (p *ShardPrefix) stages() []FusedStage {
 	if p == nil {
-		return laneIn, operators
+		return nil
 	}
-	in := NewBatchedStream(fmt.Sprintf("%s/part->%s/%s#%d", name, name, p.Name, i), chanCap, batchSize)
-	chain := NewFusedChain(fmt.Sprintf("%s/%s#%d", name, p.Name, i), in, laneIn, p.Stages, instr)
-	return in, append(operators, chain)
+	return p.Stages
+}
+
+// ShardSuffix describes a fused stateless suffix folded into a shard
+// subgraph's fan-in: the merged output runs the suffix stages inside the
+// FanIn's loop instead of a separate FusedChain downstream of it (the
+// planner's pass on shard-adjacent chains).
+type ShardSuffix struct {
+	// Name names the fused suffix (plan dumps).
+	Name string
+	// Stages are the suffix's logical stages, upstream first.
+	Stages []FusedStage
+}
+
+func (s *ShardSuffix) validate() error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Stages) == 0 {
+		return errors.New("shard suffix: no stages")
+	}
+	for _, st := range s.Stages {
+		if err := st.validate(); err != nil {
+			return fmt.Errorf("shard suffix: %w", err)
+		}
+	}
+	return nil
+}
+
+// stages returns the suffix's stage list (nil for no suffix).
+func (s *ShardSuffix) stages() []FusedStage {
+	if s == nil {
+		return nil
+	}
+	return s.Stages
+}
+
+// ShardConfig bundles the planner-derived physical options of a sharded
+// Aggregate subgraph.
+type ShardConfig struct {
+	// Prefix is the hoisted stateless chain replicated into every lane.
+	Prefix *ShardPrefix
+	// Suffix is the stateless chain folded into the fan-in.
+	Suffix *ShardSuffix
+	// ColKey, when non-nil, extracts each input batch's routing keys in one
+	// vectorized pass at the partitioner. Its kernel must compute exactly the
+	// value of the routing key function (ShardPrefix.routeKey) on every input
+	// tuple.
+	ColKey *ColKey
+}
+
+// ShardJoinConfig bundles the planner-derived physical options of a sharded
+// Join subgraph.
+type ShardJoinConfig struct {
+	// Left and Right are the hoisted per-side stateless chains replicated
+	// into every lane.
+	Left, Right *ShardPrefix
+	// Suffix is the stateless chain folded into the fan-in.
+	Suffix *ShardSuffix
+	// LeftColKey and RightColKey vectorize the per-side routing key
+	// extraction, like ShardConfig.ColKey.
+	LeftColKey, RightColKey *ColKey
 }
 
 // ShardAggregate expands a keyed Aggregate into parallelism independent
@@ -354,13 +480,21 @@ func ShardAggregate(name string, in, out *Stream, spec AggregateSpec, instr core
 }
 
 // ShardAggregatePrefixed is ShardAggregate with an optional fused stateless
-// prefix replicated into every shard lane (see ShardPrefix): the partitioner
-// consumes the pre-prefix stream and each lane runs prefix stages and then
-// its Aggregate instance. Every shard still receives exactly the serial
-// prefix output restricted to its keys, in order, so output and provenance
-// remain identical to the serial chain — the prefix work just runs on
-// parallelism goroutines instead of one.
+// prefix replicated into every shard lane (see ShardPrefix).
 func ShardAggregatePrefixed(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, prefix *ShardPrefix) ([]Operator, error) {
+	return ShardAggregateCfg(name, in, out, spec, instr, parallelism, chanCap, batchSize, ShardConfig{Prefix: prefix})
+}
+
+// ShardAggregateCfg is ShardAggregate with the full set of planner-derived
+// physical options (see ShardConfig): the partitioner consumes the pre-prefix
+// stream (extracting routing keys batch-wise when a ColKey is declared), each
+// lane's Aggregate instance runs the prefix stages inline in its own input
+// loop, and the fan-in runs the suffix stages inline in its merge loop.
+// Every shard still receives exactly the serial prefix output restricted to
+// its keys, in order, so output and provenance remain identical to the serial
+// chain — the stateless work just runs on parallelism goroutines (prefix) or
+// fused into the merge (suffix) instead of on dedicated chain goroutines.
+func ShardAggregateCfg(name string, in, out *Stream, spec AggregateSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, cfg ShardConfig) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded aggregate: parallelism must be at least 2")
 	}
@@ -370,7 +504,10 @@ func ShardAggregatePrefixed(name string, in, out *Stream, spec AggregateSpec, in
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("sharded aggregate: %w", err)
 	}
-	if err := prefix.validate(); err != nil {
+	if err := cfg.Prefix.validate(); err != nil {
+		return nil, fmt.Errorf("sharded aggregate: %w", err)
+	}
+	if err := cfg.Suffix.validate(); err != nil {
 		return nil, fmt.Errorf("sharded aggregate: %w", err)
 	}
 	fold := spec.Fold
@@ -382,18 +519,17 @@ func ShardAggregatePrefixed(name string, in, out *Stream, spec AggregateSpec, in
 		}
 		return &shardTagged{inner: t, key: key}
 	}
-	operators := make([]Operator, 0, 2*parallelism+2)
+	operators := make([]Operator, 0, parallelism+2)
 	shardIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range shardIns {
-		aggIn := NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
+		shardIns[i] = NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		shardIns[i], operators = prefix.lane(name, i, aggIn, instr, chanCap, batchSize, operators)
-		operators = append(operators, NewAggregate(fmt.Sprintf("%s#%d", name, i), aggIn, shardOuts[i], shardSpec, instr))
+		operators = append(operators, NewAggregateFused(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, cfg.Prefix.stages(), instr))
 	}
 	operators = append(operators,
-		NewPartition(name+"/part", in, shardIns, prefix.routeKey(spec.Key)),
-		NewFanIn(name+"/merge", shardOuts, out))
+		NewPartitionCol(name+"/part", in, shardIns, cfg.Prefix.routeKey(spec.Key), cfg.ColKey),
+		NewFanInFused(name+"/merge", shardOuts, out, cfg.Suffix.stages(), instr))
 	return operators, nil
 }
 
@@ -404,19 +540,29 @@ func ShardAggregatePrefixed(name string, in, out *Stream, spec AggregateSpec, in
 // with equal keys — pairs spanning different keys would be routed to
 // different shards and silently lost.
 //
-// Unlike the Aggregate expansion, same-timestamp outputs under different
-// keys are emitted in key order rather than the serial operator's arrival
-// order; the output is an identical timestamp-sorted multiset with a
-// deterministic order for every parallelism level.
+// The serial keyed Join already emits same-timestamp outputs in (left key,
+// right key) order (see Join), and the FanIn's (timestamp, key) merge
+// reconstructs exactly that sequence from the shard subsequences, so the
+// sharded output is byte-identical to Parallelism(1), like the Aggregate
+// expansion.
 func ShardJoin(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int) ([]Operator, error) {
 	return ShardJoinPrefixed(name, left, right, out, spec, instr, parallelism, chanCap, batchSize, nil, nil)
 }
 
 // ShardJoinPrefixed is ShardJoin with an optional fused stateless prefix per
-// input side, replicated into every shard lane (see ShardPrefix): each side's
-// partitioner consumes the pre-prefix stream and every lane runs that side's
-// prefix stages in front of its Join instance.
+// input side, replicated into every shard lane (see ShardPrefix).
 func ShardJoinPrefixed(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, leftPrefix, rightPrefix *ShardPrefix) ([]Operator, error) {
+	return ShardJoinCfg(name, left, right, out, spec, instr, parallelism, chanCap, batchSize, ShardJoinConfig{Left: leftPrefix, Right: rightPrefix})
+}
+
+// ShardJoinCfg is ShardJoin with the full set of planner-derived physical
+// options (see ShardJoinConfig): each side's partitioner consumes the
+// pre-prefix stream, every lane's Join instance runs that side's prefix
+// stages inline in its merge loop, and the fan-in runs the suffix stages
+// inline. Join lane prefixes must preserve timestamps (the lane merge orders
+// the pre-prefix streams), which the planner guarantees by only hoisting
+// Map-free chains above join partitions.
+func ShardJoinCfg(name string, left, right, out *Stream, spec JoinSpec, instr core.Instrumenter, parallelism, chanCap, batchSize int, cfg ShardJoinConfig) ([]Operator, error) {
 	if parallelism < 2 {
 		return nil, errors.New("sharded join: parallelism must be at least 2")
 	}
@@ -426,11 +572,14 @@ func ShardJoinPrefixed(name string, left, right, out *Stream, spec JoinSpec, ins
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("sharded join: %w", err)
 	}
-	if err := leftPrefix.validate(); err != nil {
+	if err := cfg.Left.validate(); err != nil {
 		return nil, fmt.Errorf("sharded join: left %w", err)
 	}
-	if err := rightPrefix.validate(); err != nil {
+	if err := cfg.Right.validate(); err != nil {
 		return nil, fmt.Errorf("sharded join: right %w", err)
+	}
+	if err := cfg.Suffix.validate(); err != nil {
+		return nil, fmt.Errorf("sharded join: %w", err)
 	}
 	combine := spec.Combine
 	leftKey := spec.LeftKey
@@ -442,21 +591,19 @@ func ShardJoinPrefixed(name string, left, right, out *Stream, spec JoinSpec, ins
 		}
 		return &shardTagged{inner: t, key: leftKey(l)}
 	}
-	operators := make([]Operator, 0, 3*parallelism+3)
+	operators := make([]Operator, 0, parallelism+3)
 	leftIns := make([]*Stream, parallelism)
 	rightIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range leftIns {
-		joinL := NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
-		joinR := NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
+		leftIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
+		rightIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		leftIns[i], operators = leftPrefix.lane(name, i, joinL, instr, chanCap, batchSize, operators)
-		rightIns[i], operators = rightPrefix.lane(name, i, joinR, instr, chanCap, batchSize, operators)
-		operators = append(operators, NewJoin(fmt.Sprintf("%s#%d", name, i), joinL, joinR, shardOuts[i], shardSpec, instr))
+		operators = append(operators, NewJoinFused(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, cfg.Left.stages(), cfg.Right.stages(), instr))
 	}
 	operators = append(operators,
-		NewPartition(name+"/part-l", left, leftIns, leftPrefix.routeKey(spec.LeftKey)),
-		NewPartition(name+"/part-r", right, rightIns, rightPrefix.routeKey(spec.RightKey)),
-		NewFanIn(name+"/merge", shardOuts, out))
+		NewPartitionCol(name+"/part-l", left, leftIns, cfg.Left.routeKey(spec.LeftKey), cfg.LeftColKey),
+		NewPartitionCol(name+"/part-r", right, rightIns, cfg.Right.routeKey(spec.RightKey), cfg.RightColKey),
+		NewFanInFused(name+"/merge", shardOuts, out, cfg.Suffix.stages(), instr))
 	return operators, nil
 }

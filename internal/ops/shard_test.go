@@ -2,7 +2,6 @@ package ops
 
 import (
 	"context"
-	"sort"
 	"strconv"
 	"testing"
 
@@ -163,10 +162,14 @@ func TestShardAggregateMatchesSerialByteForByte(t *testing.T) {
 	}
 }
 
-func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
-	// An equi-join sharded by key must produce the same timestamp-sorted
-	// multiset of outputs as the serial join (same-timestamp outputs under
-	// different keys may permute into key order).
+func TestShardJoinMatchesSerialExactly(t *testing.T) {
+	// An equi-join sharded by key must reproduce the serial join's output
+	// sequence byte for byte: the serial join orders same-timestamp matches
+	// by (timestamp, left key, right key), each shard emits an
+	// ascending-key subsequence of that, and the fan-in's (timestamp,
+	// partition key) merge re-interleaves them into exactly the serial
+	// sequence. Regression test for the same-timestamp emission-order
+	// parity that keeps Q4 byte-identical across all plans.
 	buildSide := func(side int64) []core.Tuple {
 		var tuples []core.Tuple
 		for ts := int64(0); ts < 30; ts++ {
@@ -187,13 +190,12 @@ func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
 			return vt(0, l.(*vTuple).Key, l.(*vTuple).Val*10000+r.(*vTuple).Val)
 		},
 	}
-	canon := func(tuples []core.Tuple) []string {
+	render := func(tuples []core.Tuple) []string {
 		out := make([]string, len(tuples))
 		for i, tp := range tuples {
 			v := tp.(*vTuple)
 			out[i] = strconv.FormatInt(v.Timestamp(), 10) + "/" + v.Key + "/" + strconv.FormatInt(v.Val, 10)
 		}
-		sort.Strings(out)
 		return out
 	}
 
@@ -206,28 +208,21 @@ func TestShardJoinMatchesSerialAsMultiset(t *testing.T) {
 		}
 		return drain(t, out)
 	}()
-	wantCanon := canon(serial)
+	want := render(serial)
 
 	for _, parallelism := range []int{2, 4} {
 		left, right := feed(buildSide(1)...), feed(buildSide(2)...)
 		out := NewStream("out", 1<<14)
 		operators, err := ShardJoin("join", left, right, out, spec, core.Noop{}, parallelism, 64, 1)
 		runShardSubgraph(t, operators, err)
-		got := drain(t, out)
-		gotCanon := canon(got)
-		if len(gotCanon) != len(wantCanon) {
-			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(gotCanon), len(wantCanon))
+		got := render(drain(t, out))
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(got), len(want))
 		}
-		for i := range gotCanon {
-			if gotCanon[i] != wantCanon[i] {
-				t.Fatalf("parallelism %d: multiset mismatch at %d: got %s, want %s",
-					parallelism, i, gotCanon[i], wantCanon[i])
-			}
-		}
-		// The sharded output must itself be timestamp-sorted.
-		for i := 1; i < len(got); i++ {
-			if got[i].Timestamp() < got[i-1].Timestamp() {
-				t.Fatalf("parallelism %d: output not timestamp-sorted at %d", parallelism, i)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: sequence diverges from serial at %d: got %s, want %s",
+					parallelism, i, got[i], want[i])
 			}
 		}
 	}
@@ -316,7 +311,8 @@ func TestShardAggregatePrefixedMatchesSerial(t *testing.T) {
 }
 
 // TestShardJoinPrefixedMatchesSerial: per-side fused prefixes replicated
-// into the join lanes must reproduce the serial prefix+join multiset.
+// into the join lanes must reproduce the serial prefix+join output sequence
+// byte for byte.
 func TestShardJoinPrefixedMatchesSerial(t *testing.T) {
 	buildSide := func(side int64) []core.Tuple {
 		var tuples []core.Tuple
@@ -342,13 +338,12 @@ func TestShardJoinPrefixedMatchesSerial(t *testing.T) {
 			return vt(0, l.(*vTuple).Key, l.(*vTuple).Val*10000+r.(*vTuple).Val)
 		},
 	}
-	canon := func(tuples []core.Tuple) []string {
+	render := func(tuples []core.Tuple) []string {
 		out := make([]string, len(tuples))
 		for i, tp := range tuples {
 			v := tp.(*vTuple)
 			out[i] = strconv.FormatInt(v.Timestamp(), 10) + "/" + v.Key + "/" + strconv.FormatInt(v.Val, 10)
 		}
-		sort.Strings(out)
 		return out
 	}
 
@@ -367,7 +362,7 @@ func TestShardJoinPrefixedMatchesSerial(t *testing.T) {
 	if len(serial) == 0 {
 		t.Fatal("serial prefixed join produced no outputs")
 	}
-	wantCanon := canon(serial)
+	want := render(serial)
 
 	for _, parallelism := range []int{2, 4} {
 		left := feed(buildSide(1)...)
@@ -376,14 +371,14 @@ func TestShardJoinPrefixedMatchesSerial(t *testing.T) {
 		prefix := &ShardPrefix{Name: "evens", Stages: rightStages()} // filter-only: route by RightKey
 		operators, err := ShardJoinPrefixed("join", left, right, out, spec, core.Noop{}, parallelism, 64, 1, nil, prefix)
 		runShardSubgraph(t, operators, err)
-		gotCanon := canon(drain(t, out))
-		if len(gotCanon) != len(wantCanon) {
-			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(gotCanon), len(wantCanon))
+		got := render(drain(t, out))
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d outputs, want %d", parallelism, len(got), len(want))
 		}
-		for i := range gotCanon {
-			if gotCanon[i] != wantCanon[i] {
-				t.Fatalf("parallelism %d: multiset mismatch at %d: got %s, want %s",
-					parallelism, i, gotCanon[i], wantCanon[i])
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: sequence diverges from serial at %d: got %s, want %s",
+					parallelism, i, got[i], want[i])
 			}
 		}
 	}

@@ -141,6 +141,91 @@ func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
 	return nil
 }
 
+// SendRun delivers a run of timestamp-sorted data tuples in one call,
+// exactly as the equivalent sequence of Send calls would — same pending
+// accumulation, same flush boundaries, same coalescing of a trailing
+// pending heartbeat into the run's first tuple — minus the per-tuple call
+// and bookkeeping overhead. The run must not contain heartbeats. The
+// vectorized ColChain uses it to deliver each materialised survivor
+// stretch; tuple-at-a-time producers keep Send.
+func (s *Stream) SendRun(ctx context.Context, run []core.Tuple) error {
+	if len(run) == 0 {
+		return nil
+	}
+	if n := len(s.pending); n > 0 && core.IsHeartbeat(s.pending[n-1]) && s.pending[n-1].Timestamp() <= run[0].Timestamp() {
+		s.pending[n-1] = run[0]
+		run = run[1:]
+	}
+	for len(run) > 0 {
+		if len(s.pending) >= s.max {
+			if err := s.Flush(ctx); err != nil {
+				return err
+			}
+		}
+		if s.pending == nil {
+			select {
+			case b := <-s.free:
+				s.pending = b
+			default:
+				s.pending = make(Batch, 0, s.nextCap)
+			}
+		}
+		take := s.max - len(s.pending)
+		if take > len(run) {
+			take = len(run)
+		}
+		s.pending = append(s.pending, run[:take]...)
+		run = run[take:]
+	}
+	if len(s.pending) >= s.max {
+		return s.Flush(ctx)
+	}
+	return nil
+}
+
+// SendGather delivers rows[sel[0]], rows[sel[1]], ... exactly as the
+// equivalent sequence of Send calls would, gathering the selected tuples
+// straight into the pending batch with no intermediate buffer. The same
+// contract as SendRun applies: selected tuples must be timestamp-sorted
+// data tuples, never heartbeats. The vectorized ColChain uses it to
+// materialise filter survivors from a run's selection vector.
+func (s *Stream) SendGather(ctx context.Context, rows []core.Tuple, sel []int) error {
+	if len(sel) == 0 {
+		return nil
+	}
+	if n := len(s.pending); n > 0 && core.IsHeartbeat(s.pending[n-1]) && s.pending[n-1].Timestamp() <= rows[sel[0]].Timestamp() {
+		s.pending[n-1] = rows[sel[0]]
+		sel = sel[1:]
+	}
+	for len(sel) > 0 {
+		if len(s.pending) >= s.max {
+			if err := s.Flush(ctx); err != nil {
+				return err
+			}
+		}
+		if s.pending == nil {
+			select {
+			case b := <-s.free:
+				s.pending = b
+			default:
+				s.pending = make(Batch, 0, s.nextCap)
+			}
+		}
+		take := s.max - len(s.pending)
+		if take > len(sel) {
+			take = len(sel)
+		}
+		for _, i := range sel[:take] {
+			s.pending = append(s.pending, rows[i])
+		}
+		sel = sel[take:]
+	}
+	if len(s.pending) >= s.max {
+		return s.Flush(ctx)
+	}
+	return nil
+}
+
 // Flush publishes the pending batch, if any. Operators call it after
 // processing each input batch and before blocking for more input, so every
 // tuple an operator has produced is visible downstream whenever the

@@ -50,6 +50,14 @@ type Stats struct {
 	Bytes     int64
 	Watermark int64
 	Horizon   int64
+	// Instances counts the SPE instances that have ingested into the store:
+	// 1 for a local store, the number of distinct ingest connections for a
+	// store node. MinWatermark is the slowest instance's delivered
+	// watermark — the event time up to which EVERY instance's provenance has
+	// arrived, and hence how far a global traversal can trust the merged
+	// view. A local store's MinWatermark equals Watermark.
+	Instances    int64
+	MinWatermark int64
 }
 
 // DedupRatio returns source references per stored source entry (1.0 = no
@@ -421,5 +429,7 @@ func (s *Store) Stats() Stats {
 		Bytes:           s.be.Bytes(),
 		Watermark:       s.wm,
 		Horizon:         s.horizon,
+		Instances:       1,
+		MinWatermark:    s.wm,
 	}
 }

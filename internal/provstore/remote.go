@@ -26,7 +26,7 @@ import (
 //	  'B' | count u32 | count x record          (record = 'S'/'K'/'W' framing)
 //
 //	query requests (client → server), each replied 'A'+body / 'E'+str32:
-//	  's'                → stats: 10 x u64 (Stats fields in declaration order)
+//	  's'                → stats: 12 x u64 (Stats fields in declaration order)
 //	  'b' | sink-id u64  → sink record | count u32 | count x (source record | refs u32)
 //	  'f' | src-id  u64  → source record | refs u32 | count u32 | count x sink record
 //	  'l' | max i64      → count u32 | count x sink record (max < 0 = all)
@@ -417,12 +417,14 @@ func (c *Client) readSink(op string) (SinkEntry, error) {
 
 // Stats returns the store node's global accounting (every instance's merged
 // contribution; LiveSources/PeakLiveSources are zero — live dedup handles
-// exist only on the ingesting instances).
+// exist only on the ingesting instances). Instances counts the node's
+// ingest connections and MinWatermark is the slowest one's delivered
+// watermark — the event time up to which the merged view is complete.
 func (c *Client) Stats() (Stats, error) {
 	if err := c.request("stats", []byte{reqStats}); err != nil {
 		return Stats{}, err
 	}
-	var vals [10]uint64
+	var vals [12]uint64
 	for i := range vals {
 		v, err := readU64(c.r)
 		if err != nil {
@@ -434,6 +436,7 @@ func (c *Client) Stats() (Stats, error) {
 		Sinks: int64(vals[0]), Sources: int64(vals[1]), SourceRefs: int64(vals[2]),
 		LiveSources: int64(vals[3]), RetiredSources: int64(vals[4]), PeakLiveSources: int64(vals[5]),
 		ReEncoded: int64(vals[6]), Bytes: int64(vals[7]), Watermark: int64(vals[8]), Horizon: int64(vals[9]),
+		Instances: int64(vals[10]), MinWatermark: int64(vals[11]),
 	}, nil
 }
 

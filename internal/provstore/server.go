@@ -24,6 +24,12 @@ type Server struct {
 	refs     int64
 	nextSrc  uint64
 	nextSink uint64
+	// instWM tracks each ingest connection's last shipped watermark, keyed
+	// by a per-connection instance number. Entries outlive their connection:
+	// a disconnected instance's data is still in the store, so its last
+	// watermark still bounds how far the merged view can be trusted.
+	instWM   map[int64]int64
+	nextInst int64
 
 	connMu sync.Mutex
 	ln     net.Listener
@@ -37,7 +43,7 @@ type Server struct {
 // ID assignment resumes above everything the backend already holds, so a
 // restarted node reopening its file log keeps extending the same ID space.
 func NewServer(be Backend) *Server {
-	s := &Server{be: be, conns: make(map[io.Closer]struct{})}
+	s := &Server{be: be, conns: make(map[io.Closer]struct{}), instWM: make(map[int64]int64)}
 	for _, id := range be.SourceIDs(-1) {
 		if id > s.nextSrc {
 			s.nextSrc = id
@@ -152,11 +158,23 @@ func (s *Server) Stats() Stats {
 
 func (s *Server) statsLocked() Stats {
 	n := int64(s.be.SourceCount())
-	return Stats{
+	st := Stats{
 		Sinks: int64(s.be.SinkCount()), Sources: n, SourceRefs: s.refs,
 		RetiredSources: n, Bytes: s.be.Bytes(),
 		Watermark: s.be.Watermark(), Horizon: s.be.Horizon(),
+		Instances: int64(len(s.instWM)), MinWatermark: s.be.Watermark(),
 	}
+	// The slowest instance's watermark bounds how far the merged view can be
+	// trusted; with no ingest connections yet the backend watermark (e.g. a
+	// reopened file log's) is all there is.
+	first := true
+	for _, wm := range s.instWM {
+		if first || wm < st.MinWatermark {
+			st.MinWatermark = wm
+			first = false
+		}
+	}
+	return st
 }
 
 // ServeConn serves one client connection over any byte stream (exported so
@@ -228,6 +246,14 @@ func (s *Server) nack(w *bufio.Writer, err error) {
 func (s *Server) serveIngest(r *bufio.Reader, w *bufio.Writer) error {
 	srcMap := make(map[uint64]uint64)
 	sinkMap := make(map[uint64]uint64)
+	// Register the connection as an SPE instance. It starts at watermark 0 —
+	// nothing of this instance's stream is delivered yet — and pins the
+	// merged view's MinWatermark there until its first watermark record.
+	s.mu.Lock()
+	s.nextInst++
+	inst := s.nextInst
+	s.instWM[inst] = 0
+	s.mu.Unlock()
 	for {
 		kind, err := r.ReadByte()
 		if err == io.EOF {
@@ -275,7 +301,7 @@ func (s *Server) serveIngest(r *bufio.Reader, w *bufio.Writer) error {
 		var ingestErr error
 		s.mu.Lock()
 		for _, rec := range recs {
-			if ingestErr = s.applyLocked(rec, srcMap, sinkMap); ingestErr != nil {
+			if ingestErr = s.applyLocked(rec, inst, srcMap, sinkMap); ingestErr != nil {
 				break
 			}
 		}
@@ -293,8 +319,9 @@ func (s *Server) serveIngest(r *bufio.Reader, w *bufio.Writer) error {
 	}
 }
 
-// applyLocked folds one remapped record into the backend.
-func (s *Server) applyLocked(rec record, srcMap, sinkMap map[uint64]uint64) error {
+// applyLocked folds one remapped record into the backend. inst identifies
+// the ingesting instance (per-instance watermark tracking).
+func (s *Server) applyLocked(rec record, inst int64, srcMap, sinkMap map[uint64]uint64) error {
 	switch rec.kind {
 	case recSource:
 		e := rec.source
@@ -327,6 +354,9 @@ func (s *Server) applyLocked(rec record, srcMap, sinkMap map[uint64]uint64) erro
 		s.refs += int64(len(remapped))
 		return nil
 	case recWatermark:
+		if rec.watermark > s.instWM[inst] {
+			s.instWM[inst] = rec.watermark
+		}
 		return s.be.AppendWatermark(rec.watermark)
 	default:
 		return fmt.Errorf("unknown record kind 0x%02x", rec.kind)
@@ -361,7 +391,8 @@ func (s *Server) serveQuery(r *bufio.Reader, w *bufio.Writer) error {
 			s.mu.Unlock()
 			w.WriteByte(ackOK)
 			for _, v := range []int64{st.Sinks, st.Sources, st.SourceRefs, st.LiveSources,
-				st.RetiredSources, st.PeakLiveSources, st.ReEncoded, st.Bytes, st.Watermark, st.Horizon} {
+				st.RetiredSources, st.PeakLiveSources, st.ReEncoded, st.Bytes, st.Watermark, st.Horizon,
+				st.Instances, st.MinWatermark} {
 				writeU64(w, uint64(v))
 			}
 			if err := w.Flush(); err != nil {

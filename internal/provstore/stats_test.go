@@ -1,0 +1,88 @@
+package provstore
+
+import (
+	"context"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// TestStatsInstancesAndMinWatermark: the store node reports how many SPE
+// instances have ingested into it and the slowest instance's delivered
+// watermark — the event time up to which the merged view is complete — and
+// both survive the wire protocol. A local store is its own single instance.
+func TestStatsInstancesAndMinWatermark(t *testing.T) {
+	srv, addr := startServer(t, NewMemoryBackend(100))
+	defer srv.Close()
+
+	a := connect(t, addr, Options{Horizon: 100})
+	b := connect(t, addr, Options{Horizon: 100})
+	if _, err := a.Ingest(alert(20, 1), []core.Tuple{reading(1, 1, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Ingest(alert(30, 1), []core.Tuple{reading(2, 2, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // ships instance A's final watermark: 20
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // ships instance B's final watermark: 30
+		t.Fatal(err)
+	}
+
+	ss := srv.Stats()
+	if ss.Instances != 2 {
+		t.Fatalf("server Instances = %d, want 2", ss.Instances)
+	}
+	if ss.Watermark != 30 {
+		t.Fatalf("server Watermark = %d, want 30 (the newest instance's)", ss.Watermark)
+	}
+	if ss.MinWatermark != 20 {
+		t.Fatalf("server MinWatermark = %d, want 20 (the slowest instance's)", ss.MinWatermark)
+	}
+
+	// The same fields cross the query protocol.
+	c, err := DialQuery(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Instances != 2 || rs.MinWatermark != 20 || rs.Watermark != 30 {
+		t.Fatalf("remote stats = instances %d, min watermark %d, watermark %d; want 2, 20, 30",
+			rs.Instances, rs.MinWatermark, rs.Watermark)
+	}
+
+	// An instance that connected but delivered nothing pins MinWatermark at 0.
+	idle := connect(t, addr, Options{Horizon: 100})
+	defer idle.Close()
+	if _, err := idle.Ingest(alert(40, 1), []core.Tuple{reading(3, 3, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	ss = srv.Stats()
+	if ss.Instances != 3 || ss.MinWatermark != 0 {
+		t.Fatalf("with an undelivered instance: instances %d, min watermark %d; want 3, 0", ss.Instances, ss.MinWatermark)
+	}
+}
+
+// TestLocalStoreStatsInstance: a local store is one instance whose min
+// watermark is its own.
+func TestLocalStoreStatsInstance(t *testing.T) {
+	st := NewMemory(Options{Horizon: 100})
+	if _, err := st.Ingest(alert(20, 1), []core.Tuple{reading(1, 1, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss := st.Stats()
+	if ss.Instances != 1 {
+		t.Fatalf("local Instances = %d, want 1", ss.Instances)
+	}
+	if ss.MinWatermark != ss.Watermark {
+		t.Fatalf("local MinWatermark = %d, want Watermark %d", ss.MinWatermark, ss.Watermark)
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 // This file is the physical query planner: after the builder's DAG
 // validation and before streams and operators are materialised, the logical
-// graph is rewritten into a physical plan. Two passes run when fusion is
+// graph is rewritten into a physical plan. Three passes run when fusion is
 // enabled (the default):
 //
 //  1. Fusion — maximal linear chains of stateless nodes (Map, Filter, and
@@ -20,17 +20,32 @@ import (
 //     Instrumenter hooks still fire once per logical stage, so contribution
 //     graphs and sink bytes are identical to the unfused plan.
 //
-//  2. Parallel prefix replication — a stateless chain feeding a Parallel(n)
-//     Aggregate or Join is absorbed into the shard subgraph: the partitioner
-//     hoists upstream of the chain and a fused replica of the chain runs in
-//     every shard lane, so the whole pipeline scales across cores instead of
-//     only the stateful stage. Hoisting routes the pre-prefix tuples with
-//     the stateful operator's own key when every chain stage forwards the
-//     tuple object (no Map in the chain); a chain containing a Map is only
-//     hoisted when its first node declares Node.ShardKey.
+//  2. Parallel prefix/suffix absorption — a stateless chain feeding a
+//     Parallel(n) Aggregate or Join is absorbed into the shard subgraph: the
+//     partitioner hoists upstream of the chain and each lane's stateful
+//     instance runs the chain's stages inline in its own input loop, so the
+//     prefix work scales across cores instead of serialising on one
+//     goroutine. Hoisting routes the pre-prefix tuples with the stateful
+//     operator's own key when every chain stage forwards the tuple object
+//     (no Map in the chain); a chain containing a Map is only hoisted onto
+//     an aggregate whose first node declares Node.ShardKey, and never onto a
+//     join (a lane join merges the pre-prefix streams by timestamp, so its
+//     prefixes must preserve timestamps). Symmetrically, the stateless chain
+//     consuming a shard subgraph's output is folded into its fan-in, running
+//     inline in the merge loop.
+//
+//  3. Vectorization — physical segments whose every stage declares a
+//     kernel-capable ColSpec (Filter/Map kernels plus a schema) execute as
+//     ops.ColChain operators over struct-of-arrays column batches instead of
+//     tuple-at-a-time closures, and sharded aggregates with a declared Key
+//     kernel extract batch routing keys vectorized at the partitioner. This
+//     pass runs whenever WithVectorize is on — also with fusion off, where
+//     lone declared operators still vectorize individually.
 //
 // With fusion disabled every logical node materialises as its own operator,
-// the pre-planner behaviour.
+// the pre-planner behaviour; with vectorization disabled every segment keeps
+// the row path. All passes are purely physical: sink bytes and contribution
+// graphs never change.
 
 // physKind classifies a physical plan node.
 type physKind uint8
@@ -52,9 +67,15 @@ type physNode struct {
 	node  *Node   // the logical node (single/shard); the chain head (fused)
 	chain []*Node // fused: the stage nodes, upstream first
 
+	// vec marks a fused chain or single stateless node selected for the
+	// columnar runtime (pass 3).
+	vec bool
+
 	// shard only: hoisted prefix chains by input port (PortDefault for
-	// aggregates, PortLeft/PortRight for joins).
+	// aggregates, PortLeft/PortRight for joins), and the stateless suffix
+	// chain folded into the fan-in.
 	prefix map[string][]*Node
+	suffix []*Node
 }
 
 // name returns the physical node's display name (stream names, plan dumps).
@@ -66,7 +87,19 @@ func (p *physNode) name() string {
 	for i, n := range p.chain {
 		names[i] = n.name
 	}
+	if p.vec {
+		return "vec[" + strings.Join(names, "+") + "]"
+	}
 	return "fused[" + strings.Join(names, "+") + "]"
+}
+
+// stageNodes returns the logical nodes a vectorized segment executes: the
+// chain (fused) or the lone node (single).
+func (p *physNode) stageNodes() []*Node {
+	if p.kind == physFused {
+		return p.chain
+	}
+	return []*Node{p.node}
 }
 
 // physEdge is one stream of the physical plan.
@@ -81,8 +114,10 @@ type physPlan struct {
 	edges []physEdge
 	owner map[*Node]*physNode
 
-	fusedChains     int // standalone FusedChain operators
-	hoistedPrefixes int // chains replicated into shard lanes
+	fusedChains        int // standalone FusedChain operators
+	hoistedPrefixes    int // chains replicated into shard lanes
+	fusedSuffixes      int // chains folded into shard fan-ins
+	vectorizedSegments int // segments selected for the columnar runtime
 }
 
 // plan rewrites the validated logical graph into a physical plan.
@@ -139,6 +174,38 @@ func (b *Builder) plan() *physPlan {
 		}
 	}
 
+	// Pass 2.5: fold the stateless chain consuming a shard subgraph's output
+	// into its fan-in. Prefix absorption ran first and wins — a chain between
+	// two shard-parallel stateful nodes hoists into the downstream one's
+	// lanes (where it parallelises) rather than fusing into the upstream
+	// fan-in (where it would serialise).
+	if b.fusion {
+		chainByHead := make(map[*Node][]*Node, len(chainByTail))
+		for _, c := range chainByTail {
+			chainByHead[c[0]] = c
+		}
+		for _, n := range b.nodes {
+			pn := shardNodes[n]
+			if pn == nil || len(outE[n]) != 1 {
+				continue
+			}
+			e := outE[n][0]
+			if e.port != PortDefault {
+				continue
+			}
+			c := chainByHead[e.to]
+			if c == nil {
+				continue
+			}
+			pn.suffix = c
+			pl.fusedSuffixes++
+			for _, m := range c {
+				absorbed[m] = pn
+			}
+			delete(chainByTail, c[len(c)-1])
+		}
+	}
+
 	// Assign every logical node to its physical node, in b.nodes order.
 	fusedByHead := make(map[*Node][]*Node)
 	inChain := make(map[*Node]bool)
@@ -178,6 +245,24 @@ func (b *Builder) plan() *physPlan {
 		pl.nodes = append(pl.nodes, pn)
 	}
 
+	// Pass 3: select the columnar runtime for fully kernel-capable segments.
+	if b.vectorize {
+		for _, pn := range pl.nodes {
+			switch pn.kind {
+			case physFused:
+				if allColCapable(pn.chain) {
+					pn.vec = true
+					pl.vectorizedSegments++
+				}
+			case physSingle:
+				if colCapable(pn.node) {
+					pn.vec = true
+					pl.vectorizedSegments++
+				}
+			}
+		}
+	}
+
 	// Physical edges: logical edges between distinct physical nodes. An edge
 	// into an absorbed chain head feeds the shard subgraph directly and takes
 	// over the chain's original input port on the stateful node.
@@ -193,6 +278,32 @@ func (b *Builder) plan() *physPlan {
 		pl.edges = append(pl.edges, physEdge{from: from, to: to, port: port})
 	}
 	return pl
+}
+
+// colCapable reports whether a logical node declares the vectorized kernel
+// its kind needs (see ColSpec).
+func colCapable(n *Node) bool {
+	if n.colSpec == nil || n.colSpec.Schema == nil {
+		return false
+	}
+	switch n.kind {
+	case KindMap:
+		return n.colSpec.Map != nil
+	case KindFilter:
+		return n.colSpec.Filter != nil
+	default:
+		return false
+	}
+}
+
+// allColCapable reports whether every node of a chain can vectorize.
+func allColCapable(c []*Node) bool {
+	for _, n := range c {
+		if !colCapable(n) {
+			return false
+		}
+	}
+	return true
 }
 
 // fusible reports whether a logical node can be a fused chain stage: a
@@ -270,22 +381,29 @@ func hoistPort(n *Node, eport string, c []*Node) (port string, ok bool) {
 	if specKey == nil {
 		return "", false // unkeyed: not shardable, Build will reject it
 	}
-	if c[0].ShardKey != nil {
-		// The head declares the partition key of its own input stream: the
-		// partitioner can route by it whatever the chain contains.
-		return port, true
-	}
 	for _, m := range c {
-		if m.kind == KindMap {
-			// A Map creates new tuples the stateful key function may not
-			// apply to; without a declared head key the partitioner cannot
-			// move above it.
+		if m.kind != KindMap {
+			continue
+		}
+		// A Map creates new tuples: the stateful key function may not apply
+		// to the pre-prefix stream, and the new tuples may carry new
+		// timestamps. A join lane merges its two pre-prefix streams by
+		// timestamp, so a timestamp-shifting prefix would reorder its
+		// matches — Maps never hoist onto a join.
+		if n.kind == KindJoin {
 			return "", false
 		}
+		// Onto an aggregate, only with the head declaring the pre-prefix
+		// partition key.
+		if c[0].ShardKey == nil {
+			return "", false
+		}
+		return port, true
 	}
 	// Filter and pass-through stages forward the tuple object (or a
-	// payload-identical clone), so the stateful operator's key applies
-	// unchanged to the pre-prefix stream.
+	// payload-identical clone) with its timestamp, so the chain hoists —
+	// routed by the declared head key if any, else by the stateful
+	// operator's own key applied to the pre-prefix stream.
 	return port, true
 }
 
@@ -314,6 +432,30 @@ func stagesFor(c []*Node) []ops.FusedStage {
 	return stages
 }
 
+// colStageFor translates a declared logical chain node into its columnar
+// stage.
+func colStageFor(n *Node) ops.ColStage {
+	st := ops.ColStage{Name: n.name, Schema: n.colSpec.Schema}
+	switch n.kind {
+	case KindMap:
+		st.Kind, st.Map = ops.StageMap, n.colSpec.Map
+	case KindFilter:
+		st.Kind, st.Filter = ops.StageFilter, n.colSpec.Filter
+	default:
+		panic(fmt.Sprintf("planner: node %q (%s) is not a vectorizable stage", n.name, n.kind))
+	}
+	return st
+}
+
+// colStagesFor translates a vectorized segment into its columnar stage list.
+func colStagesFor(c []*Node) []ops.ColStage {
+	stages := make([]ops.ColStage, len(c))
+	for i, n := range c {
+		stages[i] = colStageFor(n)
+	}
+	return stages
+}
+
 // shardPrefixFor builds the ops.ShardPrefix for one hoisted chain (nil when
 // the port has none).
 func (p *physNode) shardPrefixFor(port string) *ops.ShardPrefix {
@@ -334,14 +476,34 @@ func (p *physNode) shardPrefixFor(port string) *ops.ShardPrefix {
 	}
 }
 
+// shardSuffix builds the ops.ShardSuffix of the chain folded into the
+// fan-in (nil when there is none).
+func (p *physNode) shardSuffix() *ops.ShardSuffix {
+	if len(p.suffix) == 0 {
+		return nil
+	}
+	names := make([]string, len(p.suffix))
+	for i, n := range p.suffix {
+		names[i] = n.name
+	}
+	return &ops.ShardSuffix{
+		Name:   strings.Join(names, "+"),
+		Stages: stagesFor(p.suffix),
+	}
+}
+
 // render formats the physical plan as the Query.Explain dump.
-func (pl *physPlan) render(queryName string, fusion bool) string {
+func (pl *physPlan) render(queryName string, fusion, vectorize bool) string {
 	var sb strings.Builder
 	state := "on"
 	if !fusion {
 		state = "off"
 	}
-	fmt.Fprintf(&sb, "physical plan %q (fusion %s, %d operator groups)\n", queryName, state, len(pl.nodes))
+	vstate := "on"
+	if !vectorize {
+		vstate = "off"
+	}
+	fmt.Fprintf(&sb, "physical plan %q (fusion %s, vectorize %s, %d operator groups)\n", queryName, state, vstate, len(pl.nodes))
 	width := 0
 	for _, pn := range pl.nodes {
 		if n := len(pn.name()); n > width {
@@ -362,31 +524,45 @@ func (p *physNode) describe() string {
 		for i, n := range p.chain {
 			parts[i] = fmt.Sprintf("%s %s", n.kind, n.name)
 		}
+		if p.vec {
+			return "vectorized chain: " + strings.Join(parts, " => ")
+		}
 		return "fused chain: " + strings.Join(parts, " => ")
 	case physShard:
 		n := p.node
-		if len(p.prefix) == 0 {
-			return fmt.Sprintf("%s x%d: partition -> %d instances -> merge", n.kind, n.Parallelism, n.Parallelism)
-		}
-		var hoists []string
-		for _, port := range []string{PortDefault, PortLeft, PortRight} {
-			c, ok := p.prefix[port]
-			if !ok {
-				continue
+		desc := fmt.Sprintf("%s x%d: partition -> %d instances -> merge", n.kind, n.Parallelism, n.Parallelism)
+		if len(p.prefix) > 0 {
+			var hoists []string
+			for _, port := range []string{PortDefault, PortLeft, PortRight} {
+				c, ok := p.prefix[port]
+				if !ok {
+					continue
+				}
+				names := make([]string, len(c))
+				for i, m := range c {
+					names[i] = m.name
+				}
+				label := strings.Join(names, "+")
+				if port != PortDefault {
+					label = port + ": " + label
+				}
+				hoists = append(hoists, label)
 			}
-			names := make([]string, len(c))
-			for i, m := range c {
+			desc = fmt.Sprintf("%s x%d: partition(hoisted above %s) -> %d x (prefix => %s) -> merge",
+				n.kind, n.Parallelism, strings.Join(hoists, "; "), n.Parallelism, n.name)
+		}
+		if len(p.suffix) > 0 {
+			names := make([]string, len(p.suffix))
+			for i, m := range p.suffix {
 				names[i] = m.name
 			}
-			label := strings.Join(names, "+")
-			if port != PortDefault {
-				label = port + ": " + label
-			}
-			hoists = append(hoists, label)
+			desc += fmt.Sprintf(" => inline suffix %s", strings.Join(names, "+"))
 		}
-		return fmt.Sprintf("%s x%d: partition(hoisted above %s) -> %d x (prefix => %s) -> merge",
-			n.kind, n.Parallelism, strings.Join(hoists, "; "), n.Parallelism, n.name)
+		return desc
 	default:
+		if p.vec {
+			return p.node.kind.String() + " (vectorized)"
+		}
 		return p.node.kind.String()
 	}
 }

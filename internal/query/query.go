@@ -71,6 +71,28 @@ const (
 // materialised its input and output streams (in connection order).
 type CustomFactory func(ins, outs []*ops.Stream) (ops.Operator, error)
 
+// ColSpec declares a node's vectorized (columnar) execution capability: the
+// column schema its kernels read, plus the kernel matching the node's kind —
+// Filter for a Filter node, Map for a (strictly one-to-one) Map node, Key for
+// the group-by extraction of a shard-parallel Aggregate. A node without a
+// ColSpec (or with an incomplete one) simply keeps the row path; declaring
+// one never changes the sink-observable output or any contribution graph,
+// only how the planner executes the node (see WithVectorize).
+type ColSpec struct {
+	// Schema declares the typed columns the kernels read.
+	Schema *ops.ColSchema
+	// Filter is the vectorized predicate of a Filter node.
+	Filter ops.FilterKernel
+	// Map is the vectorized projection of a one-to-one Map node. A Map whose
+	// row function can emit zero or several tuples per input must not declare
+	// one.
+	Map ops.MapKernel
+	// Key is the vectorized group-by extraction of a keyed Aggregate node:
+	// the shard partitioner uses it to extract a whole batch's routing keys
+	// in one pass. It must compute exactly aggSpec.Key's value per tuple.
+	Key ops.KeyKernel
+}
+
 // Node is an operator under construction. Exported fields may be set between
 // Add* and Build.
 type Node struct {
@@ -103,6 +125,9 @@ type Node struct {
 	// group-by Key and Join nodes with LeftKey/RightKey support it; Build
 	// rejects it elsewhere.
 	Parallelism int
+	// colSpec is the node's declared vectorized capability (see ColSpec and
+	// the Columnar chainer).
+	colSpec *ColSpec
 	// ShardKey, on a stateless node heading a chain that feeds a
 	// shard-parallel stateful node, declares the partition key of the
 	// tuples *entering* this node: routing them by ShardKey must land every
@@ -128,6 +153,13 @@ func (n *Node) Parallel(p int) *Node {
 // returns the node for chaining: b.AddMap(...).ShardKeyed(key).
 func (n *Node) ShardKeyed(key func(core.Tuple) string) *Node {
 	n.ShardKey = key
+	return n
+}
+
+// Columnar declares the node's vectorized kernels (see ColSpec) and returns
+// the node for chaining: b.AddFilter(...).Columnar(spec).
+func (n *Node) Columnar(spec ColSpec) *Node {
+	n.colSpec = &spec
 	return n
 }
 
@@ -162,6 +194,7 @@ type Builder struct {
 	chanCap   int
 	batchSize int
 	fusion    bool
+	vectorize bool
 	provStore ProvenanceStore
 	nodes     []*Node
 	byName    map[string]*Node
@@ -224,6 +257,19 @@ func WithFusion(on bool) Option {
 	return func(b *Builder) { b.fusion = on }
 }
 
+// WithVectorize enables or disables the planner's columnar runtime selection
+// (default enabled): physical segments — fused chains and standalone
+// operators — whose every stage declares a kernel-capable ColSpec execute as
+// vectorized ops.ColChain operators over struct-of-arrays batches instead of
+// tuple-at-a-time closures, and shard partitioners whose routing key has a
+// declared Key kernel extract each batch's keys in one pass. Like fusion the
+// choice is purely physical: sink bytes and every contribution graph are
+// byte-identical either way. Vectorization is independent of WithFusion —
+// with fusion off, single declared operators still vectorize individually.
+func WithVectorize(on bool) Option {
+	return func(b *Builder) { b.vectorize = on }
+}
+
 // WithProvenanceStore attaches a durable provenance store to the query:
 // every provenance collector added to the builder tees the (sink tuple,
 // originating tuples) pairs it assembles into the store and drives the
@@ -237,10 +283,11 @@ func WithProvenanceStore(ps ProvenanceStore) Option {
 // New returns a Builder for a query with the given name.
 func New(name string, opts ...Option) *Builder {
 	b := &Builder{
-		name:   name,
-		instr:  core.Noop{},
-		fusion: true,
-		byName: make(map[string]*Node),
+		name:      name,
+		instr:     core.Noop{},
+		fusion:    true,
+		vectorize: true,
+		byName:    make(map[string]*Node),
 	}
 	for _, o := range opts {
 		o(b)
@@ -340,9 +387,11 @@ type Query struct {
 	name      string
 	operators []ops.Operator
 
-	explain         string
-	fusedChains     int
-	hoistedPrefixes int
+	explain            string
+	fusedChains        int
+	hoistedPrefixes    int
+	fusedSuffixes      int
+	vectorizedSegments int
 }
 
 // Name returns the query's name.
@@ -363,6 +412,14 @@ func (q *Query) FusedChains() int { return q.fusedChains }
 // HoistedPrefixes returns how many stateless prefixes the plan replicated
 // into shard-parallel subgraphs.
 func (q *Query) HoistedPrefixes() int { return q.hoistedPrefixes }
+
+// FusedSuffixes returns how many stateless chains the plan folded into the
+// fan-in of a shard-parallel subgraph.
+func (q *Query) FusedSuffixes() int { return q.fusedSuffixes }
+
+// VectorizedSegments returns how many physical segments (fused chains and
+// standalone stateless operators) execute on the columnar runtime.
+func (q *Query) VectorizedSegments() int { return q.vectorizedSegments }
 
 // Build validates the DAG, plans the physical graph (operator fusion and
 // shard-prefix replication, unless disabled with WithFusion(false)) and
@@ -399,20 +456,28 @@ func (b *Builder) Build() (*Query, error) {
 		}
 	}
 	q := &Query{
-		name:            b.name,
-		explain:         pl.render(b.name, b.fusion),
-		fusedChains:     pl.fusedChains,
-		hoistedPrefixes: pl.hoistedPrefixes,
+		name:               b.name,
+		explain:            pl.render(b.name, b.fusion, b.vectorize),
+		fusedChains:        pl.fusedChains,
+		hoistedPrefixes:    pl.hoistedPrefixes,
+		fusedSuffixes:      pl.fusedSuffixes,
+		vectorizedSegments: pl.vectorizedSegments,
 	}
 	for _, pn := range pl.nodes {
-		switch pn.kind {
-		case physShard:
+		switch {
+		case pn.kind == physShard:
 			expanded, err := b.materialiseShard(pn, ins[pn], outs[pn], inPorts[pn])
 			if err != nil {
 				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.node.name, err)
 			}
 			q.operators = append(q.operators, expanded...)
-		case physFused:
+		case pn.vec:
+			op, err := b.materialiseVectorized(pn, ins[pn], outs[pn])
+			if err != nil {
+				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.name(), err)
+			}
+			q.operators = append(q.operators, op)
+		case pn.kind == physFused:
 			op, err := b.materialiseFused(pn, ins[pn], outs[pn])
 			if err != nil {
 				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.name(), err)
@@ -459,9 +524,19 @@ func (b *Builder) materialiseFused(pn *physNode, in, out []*ops.Stream) (ops.Ope
 	return ops.NewFusedChain(pn.name(), in[0], out[0], stagesFor(pn.chain), b.instr), nil
 }
 
+// materialiseVectorized builds the ColChain of a vectorized segment: a fused
+// chain whose every stage declared a kernel-capable ColSpec, or a lone
+// declared Map/Filter node.
+func (b *Builder) materialiseVectorized(pn *physNode, in, out []*ops.Stream) (ops.Operator, error) {
+	if len(in) != 1 || len(out) != 1 {
+		return nil, fmt.Errorf("vectorized chain needs 1 input and 1 output, has %d/%d", len(in), len(out))
+	}
+	return ops.NewColChain(pn.name(), in[0], out[0], colStagesFor(pn.stageNodes()), b.instr), nil
+}
+
 // materialiseShard expands a node with Parallelism > 1 into its shard
-// subgraph (partitioner, shard instances with optional hoisted prefixes,
-// fan-in).
+// subgraph (partitioner, shard instances with inlined hoisted prefixes,
+// fan-in with inlined suffix).
 func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports map[string]*ops.Stream) ([]ops.Operator, error) {
 	n := pn.node
 	switch n.kind {
@@ -469,8 +544,12 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 		if len(in) != 1 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
 		}
-		return ops.ShardAggregatePrefixed(n.name, in[0], out[0], n.aggSpec, b.instr,
-			n.Parallelism, b.chanCap, b.batchSize, pn.shardPrefixFor(PortDefault))
+		cfg := ops.ShardConfig{Prefix: pn.shardPrefixFor(PortDefault), Suffix: pn.shardSuffix()}
+		if b.vectorize {
+			cfg.ColKey = colKeyFor(n, cfg.Prefix)
+		}
+		return ops.ShardAggregateCfg(n.name, in[0], out[0], n.aggSpec, b.instr,
+			n.Parallelism, b.chanCap, b.batchSize, cfg)
 	case KindJoin:
 		if len(in) != 2 || len(out) != 1 {
 			return nil, fmt.Errorf("%s needs 2 inputs and 1 output, has %d/%d", n.kind, len(in), len(out))
@@ -479,11 +558,30 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 		if left == nil || right == nil {
 			return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
 		}
-		return ops.ShardJoinPrefixed(n.name, left, right, out[0], n.joinSpec, b.instr,
-			n.Parallelism, b.chanCap, b.batchSize, pn.shardPrefixFor(PortLeft), pn.shardPrefixFor(PortRight))
+		cfg := ops.ShardJoinConfig{
+			Left:   pn.shardPrefixFor(PortLeft),
+			Right:  pn.shardPrefixFor(PortRight),
+			Suffix: pn.shardSuffix(),
+		}
+		return ops.ShardJoinCfg(n.name, left, right, out[0], n.joinSpec, b.instr,
+			n.Parallelism, b.chanCap, b.batchSize, cfg)
 	default:
 		return nil, fmt.Errorf("parallelism is only supported on aggregate and join nodes, not %s", n.kind)
 	}
+}
+
+// colKeyFor returns the vectorized routing-key extraction of a sharded
+// aggregate: the node's declared Key kernel, usable only when the partitioner
+// routes by the aggregate's own key function (no head-declared ShardKey
+// overriding it).
+func colKeyFor(n *Node, prefix *ops.ShardPrefix) *ops.ColKey {
+	if prefix != nil && prefix.Key != nil {
+		return nil
+	}
+	if n.colSpec == nil || n.colSpec.Key == nil || n.colSpec.Schema == nil {
+		return nil
+	}
+	return &ops.ColKey{Schema: n.colSpec.Schema, Kernel: n.colSpec.Key}
 }
 
 // ParallelizeStateful applies shard parallelism p to every stateful node
@@ -508,6 +606,63 @@ func (b *Builder) ParallelizeStateful(p int) {
 			}
 		}
 	}
+}
+
+// ProvenanceHorizon derives the provenance retention horizon of the
+// assembled graph: how far (in event-time units) a durable provenance
+// store's watermark may trail the newest sink delivery while tuples
+// contributing to not-yet-delivered results are still in flight. Along any
+// path from a node to a sink, a tuple can be held by each windowed operator
+// (Aggregate, Join) for up to its window span before the derived result
+// moves on, so the in-flight depth of the graph is the maximum over nodes of
+// the summed window spans on any downstream path. The returned horizon is
+// twice that depth — one depth for how old a contributing tuple's event time
+// can be relative to its result, and one more as slack for watermark
+// coarsening (watermarks advance per batch/window, not per tuple). Stateless
+// graphs (depth 0) get a horizon of 0, meaning "retire immediately behind
+// the watermark"; callers wanting unbounded retention should not set a
+// horizon at all.
+//
+// The graph must be acyclic (Build validates this; calling earlier on a
+// cyclic graph panics on stack exhaustion).
+func (b *Builder) ProvenanceHorizon() int64 {
+	succ := make(map[*Node][]*Node, len(b.nodes))
+	for _, e := range b.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	span := func(n *Node) int64 {
+		switch n.kind {
+		case KindAggregate:
+			return n.aggSpec.WS
+		case KindJoin:
+			return n.joinSpec.WS
+		default:
+			return 0
+		}
+	}
+	memo := make(map[*Node]int64, len(b.nodes))
+	var depth func(n *Node) int64
+	depth = func(n *Node) int64 {
+		if d, ok := memo[n]; ok {
+			return d
+		}
+		var below int64
+		for _, s := range succ[n] {
+			if d := depth(s); d > below {
+				below = d
+			}
+		}
+		d := span(n) + below
+		memo[n] = d
+		return d
+	}
+	var max int64
+	for _, n := range b.nodes {
+		if d := depth(n); d > max {
+			max = d
+		}
+	}
+	return 2 * max
 }
 
 func (b *Builder) materialise(n *Node, in, out []*ops.Stream, ports map[string]*ops.Stream) (ops.Operator, error) {

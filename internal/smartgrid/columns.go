@@ -1,0 +1,124 @@
+package smartgrid
+
+import (
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// This file declares the columnar schemas and typed kernels of the Smart
+// Grid tuple types, letting the planner run Q3/Q4's stateless stages on the
+// vectorized runtime (ops.ColChain) and extract shard routing keys
+// batch-wise. Each schema covers every payload field of its tuple type, so
+// one extraction pass serves any kernel over that type.
+
+// Field indices into MeterReadingSchema.
+const (
+	readingFieldMeter = iota
+	readingFieldCons
+)
+
+// MeterReadingSchema is the columnar schema of *MeterReading.
+var MeterReadingSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "meter", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*MeterReading).MeterID) }},
+	{Name: "cons", Kind: ops.ColFloat64, Float: func(t core.Tuple) float64 { return t.(*MeterReading).Cons }},
+}}
+
+// Field indices into DailyConsSchema.
+const (
+	dailyFieldMeter = iota
+	dailyFieldConsSum
+)
+
+// DailyConsSchema is the columnar schema of *DailyCons.
+var DailyConsSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "meter", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*DailyCons).MeterID) }},
+	{Name: "cons-sum", Kind: ops.ColFloat64, Float: func(t core.Tuple) float64 { return t.(*DailyCons).ConsSum }},
+}}
+
+// Field index into BlackoutAlertSchema.
+const blackoutFieldCount = 0
+
+// BlackoutAlertSchema is the columnar schema of *BlackoutAlert.
+var BlackoutAlertSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "count", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*BlackoutAlert).Count) }},
+}}
+
+// Field indices into AnomalyAlertSchema.
+const (
+	anomalyFieldMeter = iota
+	anomalyFieldConsDiff
+)
+
+// AnomalyAlertSchema is the columnar schema of *AnomalyAlert.
+var AnomalyAlertSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "meter", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*AnomalyAlert).MeterID) }},
+	{Name: "cons-diff", Kind: ops.ColFloat64, Float: func(t core.Tuple) float64 { return t.(*AnomalyAlert).ConsDiff }},
+}}
+
+// Schemas returns the columnar schema of every Smart Grid tuple type, keyed
+// by its csvio format name.
+func Schemas() map[string]*ops.ColSchema {
+	return map[string]*ops.ColSchema{
+		"sg.reading":  MeterReadingSchema,
+		"sg.daily":    DailyConsSchema,
+		"sg.blackout": BlackoutAlertSchema,
+		"sg.anomaly":  AnomalyAlertSchema,
+	}
+}
+
+// filterZeroCons is the vectorized q3.zero-cons predicate.
+func filterZeroCons(c *ops.ColBatch, sel, dst []int) []int {
+	sum := c.Float64s(dailyFieldConsSum)
+	for _, i := range sel {
+		if sum[i] == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// filterBlackout is the vectorized q3.blackout predicate.
+func filterBlackout(c *ops.ColBatch, sel, dst []int) []int {
+	count := c.Int64s(blackoutFieldCount)
+	for _, i := range sel {
+		if count[i] > BlackoutMeterThreshold {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// filterMidnight is the vectorized q4.midnight predicate; it reads only the
+// dedicated timestamp column.
+func filterMidnight(c *ops.ColBatch, sel, dst []int) []int {
+	ts := c.Timestamps()
+	for _, i := range sel {
+		if ts[i]%HoursPerDay == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// filterAnomaly is the vectorized q4.anomaly predicate.
+func filterAnomaly(c *ops.ColBatch, sel, dst []int) []int {
+	diff := c.Float64s(anomalyFieldConsDiff)
+	for _, i := range sel {
+		if diff[i] > AnomalyThreshold {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// keyMeterReading is the vectorized daily-sum group-by extraction; it equals
+// meterKey on every *MeterReading.
+func keyMeterReading(c *ops.ColBatch, sel []int, dst []string) []string {
+	meter := c.Int64s(readingFieldMeter)
+	for _, i := range sel {
+		dst = append(dst, strconv.Itoa(int(meter[i])))
+	}
+	return dst
+}

@@ -40,7 +40,7 @@ func addDailySum(b *query.Builder, name string, from *query.Node, outputTs ops.O
 			}
 			return out
 		},
-	})
+	}).Columnar(query.ColSpec{Schema: MeterReadingSchema, Key: keyMeterReading})
 	b.Connect(from, agg)
 	return agg
 }
@@ -58,7 +58,7 @@ func AddQ3Stage1(b *query.Builder, from *query.Node) *query.Node {
 func AddQ3Stage2(b *query.Builder, from *query.Node) *query.Node {
 	zero := b.AddFilter("q3.zero-cons", func(t core.Tuple) bool {
 		return t.(*DailyCons).ConsSum == 0
-	})
+	}).Columnar(query.ColSpec{Schema: DailyConsSchema, Filter: filterZeroCons})
 	count := b.AddAggregate("q3.daily-count", ops.AggregateSpec{
 		WS: HoursPerDay,
 		WA: HoursPerDay,
@@ -70,7 +70,7 @@ func AddQ3Stage2(b *query.Builder, from *query.Node) *query.Node {
 	})
 	alert := b.AddFilter("q3.blackout", func(t core.Tuple) bool {
 		return t.(*BlackoutAlert).Count > BlackoutMeterThreshold
-	})
+	}).Columnar(query.ColSpec{Schema: BlackoutAlertSchema, Filter: filterBlackout})
 	b.Connect(from, zero)
 	b.Connect(zero, count)
 	b.Connect(count, alert)
@@ -102,7 +102,7 @@ func AddQ4Stage1(b *query.Builder, from *query.Node) Q4Stage1Outputs {
 	daily := addDailySum(b, "q4.daily-sum", mux, ops.WindowEndTs)
 	midnight := b.AddFilter("q4.midnight", func(t core.Tuple) bool {
 		return t.(*MeterReading).Timestamp()%HoursPerDay == 0
-	})
+	}).Columnar(query.ColSpec{Schema: MeterReadingSchema, Filter: filterMidnight})
 	b.Connect(mux, midnight)
 	return Q4Stage1Outputs{Daily: daily, Midnight: midnight}
 }
@@ -135,7 +135,7 @@ func AddQ4Stage2(b *query.Builder, in Q4Stage1Outputs) *query.Node {
 	b.ConnectPort(in.Midnight, join, query.PortRight)
 	alert := b.AddFilter("q4.anomaly", func(t core.Tuple) bool {
 		return t.(*AnomalyAlert).ConsDiff > AnomalyThreshold
-	})
+	}).Columnar(query.ColSpec{Schema: AnomalyAlertSchema, Filter: filterAnomaly})
 	b.Connect(join, alert)
 	return alert
 }
