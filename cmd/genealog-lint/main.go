@@ -1,0 +1,21 @@
+// Command genealog-lint runs the genealog static analyzers. It works both
+// standalone and as a vet tool:
+//
+//	genealog-lint ./...                                  # standalone
+//	genealog-lint -json ./...                            # CI annotations
+//	go vet -vettool=$(which genealog-lint) ./...         # via the go command
+//
+// See internal/lint for the analyzers and internal/lint/doc.go for how to
+// write a new one.
+package main
+
+import (
+	"os"
+
+	"genealog/internal/lint"
+	"genealog/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(lint.All()))
+}

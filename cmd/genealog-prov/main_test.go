@@ -106,7 +106,7 @@ func startStoreNode(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(func() { _ = srv.Close() })
 	st, err := provstore.Connect(context.Background(), addr.String(), provstore.Options{Horizon: 48})
 	if err != nil {
 		t.Fatal(err)

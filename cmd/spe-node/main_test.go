@@ -100,7 +100,9 @@ func TestStoreNodeServesIngestionAndQueries(t *testing.T) {
 	if len(sinks) != 1 {
 		t.Fatalf("store node lists %d sinks, want 1", len(sinks))
 	}
-	c.Close()
+	if err := c.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
 
 	if err := <-done; err != nil {
 		t.Fatalf("store node exit: %v", err)

@@ -250,14 +250,19 @@ func TestRecordStreamCompatibility(t *testing.T) {
 	var results []provenance.Result
 	c := &provenance.Collector{OnResult: func(r provenance.Result) { results = append(results, r) }}
 	for _, src := range (Resolver{Store: st}).Resolve(sink) {
-		c.Add(&provenance.Record{
+		err := c.Add(&provenance.Record{
 			Base:   core.NewBase(sink.Timestamp()),
 			SinkID: core.MetaOf(sink).ID(),
 			Sink:   sink,
 			Orig:   src,
 		})
+		if err != nil {
+			t.Fatalf("Collector.Add: %v", err)
+		}
 	}
-	c.Flush()
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Collector.Flush: %v", err)
+	}
 	if len(results) != 1 || len(results[0].Sources) != 1 {
 		t.Fatalf("collector results = %v", results)
 	}

@@ -51,7 +51,9 @@ func TestStoreHorizonOverride(t *testing.T) {
 	if got := st.Stats().Horizon; got != 2*linearroad.Q1WindowSize {
 		t.Fatalf("derived horizon = %d, want %d", got, 2*linearroad.Q1WindowSize)
 	}
-	st.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
 
 	o.StorePath = filepath.Join(t.TempDir(), "prov-override")
 	o.StoreHorizon = 999
@@ -62,7 +64,9 @@ func TestStoreHorizonOverride(t *testing.T) {
 	if got := st.Stats().Horizon; got != 999 {
 		t.Fatalf("overridden horizon = %d, want 999", got)
 	}
-	st.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
 
 	o.StoreHorizon = -1
 	if err := o.validate(); err == nil {

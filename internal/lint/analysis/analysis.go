@@ -1,0 +1,60 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of the
+// golang.org/x/tools/go/analysis surface this repository's custom analyzers
+// are written against. The repository deliberately has zero module
+// dependencies, so instead of importing x/tools we mirror the small part of
+// its contract we need: an Analyzer is a named check, a Pass hands it one
+// type-checked package, and Report emits position-anchored diagnostics. The
+// drivers in internal/lint/driver (standalone and `go vet -vettool`
+// unitchecker modes) and the test harness in internal/lint/analysistest run
+// the same Analyzer values, so a new analyzer written against this package
+// works everywhere at once — and would port to the real x/tools API by
+// changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a vet-style pass over a single
+// type-checked package. Analyzers must be stateless across passes — the
+// drivers run one Analyzer value over many packages (and analysistest over
+// testdata packages), concurrently in the standalone driver.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags (-<name>=false
+	// disables it) and JSON output. By convention it is a single lowercase
+	// word.
+	Name string
+	// Doc is the analyzer's long documentation: first line a one-sentence
+	// summary, then the invariant it enforces and why it exists.
+	Doc string
+	// Run applies the check to one package. Diagnostics go through
+	// pass.Report; the error return is for operational failures only (it
+	// aborts the whole run, it is not a finding).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is one application of one analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report emits one diagnostic. The drivers install it; analyzers call
+	// Reportf instead for convenience.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

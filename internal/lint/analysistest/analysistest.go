@@ -1,0 +1,191 @@
+// Package analysistest runs an analyzer over seeded testdata packages and
+// checks its diagnostics against `// want` annotations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	s.Send(ctx, t)
+//	t.Speed = 0 // want `tuple .* mutated after .*Send`
+//
+// Each quoted or backquoted string after `want` is a regular expression that
+// must match the message of one diagnostic reported on that line; lines
+// without annotations must produce no diagnostics. Testdata packages import
+// the real genealog packages — dependencies are type-checked from compiler
+// export data produced once per test binary by `go list -deps -export` at
+// the module root — so positive cases exercise exactly the API surface the
+// analyzers match against.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/load"
+)
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// exports builds (once per test binary) the export-data map covering the
+// whole module and the standard-library packages testdata may import.
+func exports() (map[string]string, error) {
+	exportOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportMap, exportErr = load.ExportMap(load.ModuleDir(wd),
+			"./...", "fmt", "context", "errors", "strconv", "strings", "sort")
+	})
+	return exportMap, exportErr
+}
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to each named package under testdata and reports any
+// mismatch between its diagnostics and the packages' // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	exp, err := exports()
+	if err != nil {
+		t.Fatalf("building export data: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("%s: no Go files", dir)
+		}
+		fset := token.NewFileSet()
+		syntax, tpkg, info, err := load.Check(fset, pkg, files, load.Importer(fset, exp), "")
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", dir, err)
+		}
+
+		var wants []*expectation
+		for _, f := range syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws, err := parseWants(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", fset.Position(c.Pos()), err)
+					}
+					for _, rx := range ws {
+						posn := fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, rx: rx})
+					}
+				}
+			}
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     syntax,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, pkg, err)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+		for _, d := range diags {
+			posn := fset.Position(d.Pos)
+			found := false
+			for _, w := range wants {
+				if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.rx.MatchString(d.Message) {
+					w.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// parseWants extracts the regexps of a `// want "rx" `+"`rx`"+` ...`
+// comment, or nil when the comment carries no annotation.
+func parseWants(comment string) ([]*regexp.Regexp, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") && text != "want" {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var out []*regexp.Regexp
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("want: unterminated %q", rest)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("want: %v in %q", err, rest)
+			}
+			lit, rest = s, strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("want: unterminated %q", rest)
+			}
+			lit, rest = rest[1:end+1], strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want: expected string literal, got %q", rest)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want: bad regexp %q: %v", lit, err)
+		}
+		out = append(out, rx)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package analysisutil holds the type- and AST-resolution helpers the
+// genealog-lint analyzers share: resolving a call's static callee, matching
+// methods by (package, receiver, name), and canonicalising the access path
+// of an expression so flow-sensitive checks can track "the tuple held in
+// rec.Orig" rather than whole variables.
+package analysisutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee returns the static callee of call as a *types.Func, or nil when the
+// callee is not statically known (a call through a function-typed variable,
+// a conversion, a builtin).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			// Package-qualified call: pkg.Fn(...).
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Receiver returns the named type of fn's receiver with pointers stripped,
+// or nil for plain functions.
+func Receiver(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsMethod reports whether fn is a method named name whose receiver's named
+// type is pkgPath.typeName (pointer receivers match too). An interface
+// method matches when the interface itself is the named type.
+func IsMethod(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	named := Receiver(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == typeName
+}
+
+// IsNamedType reports whether t (pointers stripped) is the named type
+// pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// Imports reports whether pkg directly imports path — the cheap bail-out
+// that lets an analyzer skip packages that cannot possibly use the API it
+// checks (the vettool runs over every dependency, standard library
+// included).
+func Imports(pkg *types.Package, path string) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Path canonicalises the access path of expr relative to a root variable:
+// `t` becomes (obj(t), ""), `rec.Orig` becomes (obj(rec), ".Orig"),
+// `c.outs[i]` becomes (obj(c), ".outs[]"). Parentheses and dereferences are
+// transparent, and the two provenance-metadata accessors that only change
+// the view of the same tuple — core.MetaOf(t) and t.ProvMeta() — are
+// followed through, so a write via core.MetaOf(t).SetKind(...) still roots
+// at t. The root is nil when the expression does not start at a variable
+// (a call result, a literal).
+func Path(info *types.Info, expr ast.Expr) (root types.Object, path string) {
+	var walk func(e ast.Expr) (types.Object, string, bool)
+	walk = func(e ast.Expr) (types.Object, string, bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return nil, "", false
+			}
+			return obj, "", true
+		case *ast.ParenExpr:
+			return walk(e.X)
+		case *ast.StarExpr:
+			return walk(e.X)
+		case *ast.TypeAssertExpr:
+			return walk(e.X) // a type assertion views the same object
+		case *ast.SelectorExpr:
+			if obj, p, ok := walk(e.X); ok {
+				return obj, p + "." + e.Sel.Name, true
+			}
+			return nil, "", false
+		case *ast.IndexExpr:
+			if obj, p, ok := walk(e.X); ok {
+				return obj, p + "[]", true
+			}
+			return nil, "", false
+		case *ast.SliceExpr:
+			if obj, p, ok := walk(e.X); ok {
+				return obj, p, true // reslicing views the same backing array
+			}
+			return nil, "", false
+		case *ast.CallExpr:
+			// Follow the meta-view accessors through to the tuple.
+			fn := Callee(info, e)
+			if fn == nil {
+				return nil, "", false
+			}
+			if fn.Name() == "MetaOf" && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/core") && len(e.Args) == 1 {
+				return walk(e.Args[0])
+			}
+			if fn.Name() == "ProvMeta" {
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					return walk(sel.X)
+				}
+			}
+			return nil, "", false
+		default:
+			return nil, "", false
+		}
+	}
+	obj, p, ok := walk(expr)
+	if !ok {
+		return nil, ""
+	}
+	return obj, p
+}
+
+// HasPrefix reports whether access path q reaches into (or is exactly) the
+// value at path p on the same root: p == q, or q extends p by a selector or
+// index step.
+func HasPrefix(q, p string) bool {
+	if !strings.HasPrefix(q, p) {
+		return false
+	}
+	rest := q[len(p):]
+	return rest == "" || rest[0] == '.' || rest[0] == '['
+}

@@ -1,0 +1,55 @@
+// Package lint: how to write a new genealog analyzer.
+//
+// # Anatomy
+//
+// An analyzer lives in its own package under internal/lint/<name> and
+// exports a single
+//
+//	var Analyzer = &analysis.Analyzer{Name: "<name>", Doc: ..., Run: run}
+//
+// using the internal/lint/analysis mini-framework, which mirrors the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic,
+// Reportf) with the standard library only — the module deliberately has no
+// dependencies. Porting an analyzer to the real x/tools framework is a
+// matter of changing the import path.
+//
+// Run receives a Pass with the package's parsed files (Pass.Files), the
+// type-checked package (Pass.Pkg) and full type information
+// (Pass.TypesInfo: Types, Defs, Uses, Selections, Implicits, Scopes).
+// Report findings with Pass.Reportf(pos, format, ...). The shared helpers
+// in internal/lint/analysisutil resolve static callees, match methods by
+// (package, receiver, name), and canonicalize access paths ("rec.Orig",
+// "c.outs[]") for flow-sensitive tracking.
+//
+// # Ground rules
+//
+//   - Bail out early. The vet driver runs every analyzer over every
+//     package, standard library included; start Run with an
+//     analysisutil.Imports check for the package whose API the analyzer
+//     constrains, and return nil for everything else.
+//   - Under-approximate. Analyze branch bodies under a copy of any
+//     order-based state so a freeze/close in one arm does not leak past
+//     the join; a missed violation is recoverable, a false positive
+//     teaches people to ignore the tool. When real code legitimately
+//     triggers a rule (see the partitioner's heartbeat fold, or SetNext
+//     chain building), refine the analyzer rather than annotate the code.
+//   - Make every diagnostic say why. The message must name the runtime
+//     contract being broken and what goes wrong at runtime, not just the
+//     syntax that matched.
+//   - Stay fact-free. The driver's vetx outputs are empty placeholders;
+//     an analyzer must not need results from dependency packages.
+//
+// # Checklist
+//
+//  1. Create internal/lint/<name>/<name>.go with the Analyzer and a
+//     package comment stating the contract it enforces.
+//  2. Register it in All() (internal/lint/lint.go). The driver derives a
+//     -<name> opt-out flag automatically.
+//  3. Add internal/lint/<name>/testdata/a/a.go with at least one positive
+//     (`// want "regexp"`) and one negative case per distinct diagnostic,
+//     importing the real genealog packages, plus a <name>_test.go calling
+//     analysistest.Run.
+//  4. Run the suite over the tree (`go run ./cmd/genealog-lint -tests
+//     ./...`) and fix or triage every hit before wiring it into CI — a
+//     new analyzer that fails the existing build blocks everyone.
+package lint

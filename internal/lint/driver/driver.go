@@ -1,0 +1,343 @@
+// Package driver runs the genealog-lint analyzers in the two modes the
+// cmd/genealog-lint binary supports:
+//
+//   - standalone: `genealog-lint [-json] [-tests] ./...` loads packages
+//     itself (internal/lint/load) and analyzes them — the mode CI uses to
+//     annotate findings and developers use directly;
+//   - unitchecker: when the go tool invokes the binary as a vet tool
+//     (`go vet -vettool=$(which genealog-lint) ./...`), it passes a single
+//     *.cfg JSON argument describing one package unit — source files plus
+//     compiler export data for every dependency. The driver mirrors the
+//     x/tools unitchecker protocol with the standard library only: -V=full
+//     prints the content-hashed version line the go command uses as the
+//     tool's build ID, -flags advertises the supported flags, and each cfg
+//     run type-checks the unit and exits 0 (clean), 1 (operational error)
+//     or 2 (diagnostics), writing facts output as an empty placeholder
+//     (the analyzers are fact-free).
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/load"
+)
+
+// options are the parsed command-line flags.
+type options struct {
+	jsonOut bool
+	tests   bool
+	enabled map[string]*bool
+}
+
+// Main is the entry point shared by cmd/genealog-lint. It returns the
+// process exit code: 0 clean, 1 operational error, 2 diagnostics reported.
+func Main(analyzers []*analysis.Analyzer) int {
+	fs := flag.NewFlagSet("genealog-lint", flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version and exit (-V=full for the go command's tool ID)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet protocol)")
+	opt := &options{enabled: make(map[string]*bool)}
+	fs.BoolVar(&opt.jsonOut, "json", false, "emit diagnostics as JSON on stdout (exit 0)")
+	fs.BoolVar(&opt.tests, "tests", false, "standalone mode: also analyze _test.go files")
+	for _, a := range analyzers {
+		summary := a.Doc
+		if i := strings.IndexByte(summary, '\n'); i >= 0 {
+			summary = summary[:i]
+		}
+		opt.enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+summary)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+
+	if *vFlag != "" {
+		return printVersion(*vFlag)
+	}
+	if *flagsFlag {
+		return printFlags(fs)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *opt.enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitchecker(args[0], active, opt)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return standalone(args, active, opt)
+}
+
+// printVersion implements -V; with -V=full the go command records the
+// output as the vet tool's build ID, so it must change whenever the binary
+// does — we hash the executable, like x/tools' unitchecker.
+func printVersion(v string) int {
+	progname := "genealog-lint"
+	if exe, err := os.Executable(); err == nil {
+		progname = strings.TrimSuffix(exe[strings.LastIndexByte(exe, '/')+1:], ".exe")
+	}
+	if v != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// printFlags implements -flags: the go command queries the tool's flag set
+// before forwarding user-provided vet flags.
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	return 0
+}
+
+// diagnostic is one finding with its position resolved, ready to print.
+type diagnostic struct {
+	Posn     string `json:"posn"`
+	Analyzer string `json:"-"`
+	Message  string `json:"message"`
+}
+
+// runAnalyzers applies each analyzer to one type-checked package.
+func runAnalyzers(analyzers []*analysis.Analyzer, pkg *load.Package) ([]diagnostic, error) {
+	var out []diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, diagnostic{
+				Posn:     pkg.Fset.Position(d.Pos).String(),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Posn < out[j].Posn })
+	return out, nil
+}
+
+// emit prints diagnostics grouped per package: vet-style plain lines on
+// stderr, or the vet -json object shape on stdout.
+func emit(opt *options, perPkg map[string][]diagnostic) int {
+	if opt.jsonOut {
+		tree := make(map[string]map[string][]diagnostic)
+		for pkg, diags := range perPkg {
+			byAnalyzer := make(map[string][]diagnostic)
+			for _, d := range diags {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+			}
+			tree[pkg] = byAnalyzer
+		}
+		data, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		os.Stdout.Write(data)
+		os.Stdout.Write([]byte("\n"))
+		return 0
+	}
+	n := 0
+	var pkgs []string
+	for pkg := range perPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		for _, d := range perPkg[pkg] {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+			n++
+		}
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standalone loads the packages matching the patterns and analyzes them.
+func standalone(patterns []string, analyzers []*analysis.Analyzer, opt *options) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := load.Packages(load.ModuleDir(wd), opt.tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	perPkg := make(map[string][]diagnostic)
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(analyzers, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			perPkg[pkg.ImportPath] = diags
+		}
+	}
+	return emit(opt, perPkg)
+}
+
+// vetConfig is the JSON the go command passes a vet tool for one package
+// unit (the x/tools unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitchecker analyzes the single package unit described by cfgFile.
+func unitchecker(cfgFile string, analyzers []*analysis.Analyzer, opt *options) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "genealog-lint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The analyzers are fact-free, so dependencies have nothing to compute;
+	// the facts output must still exist for the go command's cache.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+	if cfg.VetxOnly {
+		if err := writeVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := unitImporter(fset, &cfg)
+	files := cfg.GoFiles
+	syntax, tpkg, info, err := load.Check(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "genealog-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := runAnalyzers(analyzers, &load.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	perPkg := map[string][]diagnostic{cfg.ImportPath: diags}
+	return emit(opt, perPkg)
+}
+
+// unitImporter resolves the unit's imports through the config's import map
+// and per-package export data files.
+func unitImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	underlying := load.Importer(fset, exports)
+	mapped := func(path string) (*types.Package, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return underlying.Import(path)
+	}
+	return importerFunc(mapped)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

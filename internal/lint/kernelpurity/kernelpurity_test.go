@@ -1,0 +1,12 @@
+package kernelpurity_test
+
+import (
+	"testing"
+
+	"genealog/internal/lint/analysistest"
+	"genealog/internal/lint/kernelpurity"
+)
+
+func TestKernelPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", kernelpurity.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Seeded cases for the kernelpurity analyzer.
+package a
+
+import (
+	"context"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+var schema = &ops.ColSchema{Fields: []ops.ColField{{
+	Name: "v", Kind: ops.ColInt64,
+	Int: func(t core.Tuple) int64 { return t.Timestamp() },
+}}}
+
+var calls int64
+
+var badField = ops.ColField{
+	Name: "c", Kind: ops.ColInt64,
+	Int: func(t core.Tuple) int64 {
+		calls++ // want `columnar kernel writes non-local state calls`
+		return 0
+	},
+}
+
+var leaked []int64
+
+func impureFilter(c *ops.ColBatch, sel []int, dst []int) []int {
+	xs := c.Int64s(0)
+	leaked = xs // want `columnar kernel writes non-local state leaked`
+	for _, i := range sel {
+		xs[i] = 0 // want `columnar kernel writes into the column returned by Int64s`
+		if xs[i] > 0 {
+			dst = append(dst, i)
+		}
+	}
+	c.Rows[0] = nil // want `columnar kernel mutates its ColBatch \(c.Rows\[\]\)`
+	return dst
+}
+
+var badSpec = query.ColSpec{Schema: schema, Filter: impureFilter}
+
+// A second binding of an already-analyzed kernel must not duplicate reports.
+var converted = ops.FilterKernel(impureFilter)
+
+func retainingMap(c *ops.ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+	return c.Rows // want `columnar kernel returns the batch-owned slice c.Rows`
+}
+
+var badMapSpec = query.ColSpec{Schema: schema, Map: retainingMap}
+
+func chattyStage(s *ops.Stream) ops.ColStage {
+	return ops.ColStage{
+		Name: "chatty", Kind: ops.StageFilter, Schema: schema,
+		Filter: func(c *ops.ColBatch, sel []int, dst []int) []int {
+			go func() {}()              // want `columnar kernel starts a goroutine`
+			_ = s.Flush(context.TODO()) // want `columnar kernel calls Stream.Flush`
+			return dst
+		},
+	}
+}
+
+func pureFilter(c *ops.ColBatch, sel []int, dst []int) []int {
+	xs := c.Timestamps()
+	for _, i := range sel {
+		if xs[i] > 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+var goodSpec = query.ColSpec{Schema: schema, Filter: pureFilter}
+
+func identityMap(c *ops.ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+	return nil // identity: every selected row maps to itself
+}
+
+var goodMapSpec = query.ColSpec{Schema: schema, Map: identityMap}
+
+// unbound looks impure but is never bound as a kernel: out of scope.
+func unbound(c *ops.ColBatch, sel []int, dst []int) []int {
+	leaked = c.Int64s(0)
+	return dst
+}

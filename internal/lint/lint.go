@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/kernelpurity"
+	"genealog/internal/lint/provcheck"
+	"genealog/internal/lint/streamproto"
+	"genealog/internal/lint/tuplealias"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		kernelpurity.Analyzer,
+		provcheck.Analyzer,
+		streamproto.Analyzer,
+		tuplealias.Analyzer,
+	}
+}

@@ -1,0 +1,261 @@
+// Package load type-checks packages for the genealog-lint analyzers without
+// depending on golang.org/x/tools/go/packages: it shells out to the go tool
+// (`go list -deps -export -json`) to resolve the package graph and produce
+// compiler export data, parses the target packages from source, and
+// type-checks them with go/types importing every dependency from that
+// export data — the same division of labour as `go vet`, where the build
+// system compiles dependencies and the analysis tool sees only the target's
+// syntax.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// run executes the go tool in dir and returns its stdout.
+func run(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// list decodes the JSON stream of one `go list` invocation.
+func list(dir string, args ...string) ([]*listEntry, error) {
+	out, err := run(dir, append([]string{"list"}, args...)...)
+	if err != nil {
+		return nil, err
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// ExportMap builds export data for the packages matching patterns in dir and
+// every dependency, and returns importPath -> export data file. extra
+// patterns (e.g. stdlib packages testdata files import) may be appended.
+func ExportMap(dir string, patterns ...string) (map[string]string, error) {
+	entries, err := list(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// Importer returns a types.Importer resolving import paths through the
+// export map. "unsafe" resolves to types.Unsafe.
+func Importer(fset *token.FileSet, exports map[string]string) types.Importer {
+	return ImporterLookup(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+}
+
+// ImporterLookup returns a types.Importer resolving import paths to export
+// data files through lookup. One call builds ONE gc importer with one
+// package cache, so every dependency — imported directly or reached through
+// another package's export data — resolves to the identical *types.Package;
+// per-import importer instances would make `core.IDGen` from two routes two
+// distinct types.
+func ImporterLookup(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	compiler := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiler.(types.ImporterFrom).ImportFrom(path, "", 0)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Check parses the given source files and type-checks them as one package
+// with the given import path, importing dependencies through imp. goVersion
+// ("go1.24", may be empty) bounds the language version, as the go command
+// reports it for vet units.
+func Check(fset *token.FileSet, importPath string, files []string, imp types.Importer, goVersion string) ([]*ast.File, *types.Package, *types.Info, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return syntax, pkg, info, nil
+}
+
+// Packages loads, parses and type-checks the packages matching patterns in
+// module directory dir. With tests true, each package's in-package _test.go
+// files are included (the test variant go vet analyzes); external _test
+// packages are loaded as their own entries.
+func Packages(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	listArgs := []string{"-deps", "-export", "-json=ImportPath,Export,Standard,DepOnly,Dir,GoFiles,TestGoFiles"}
+	if tests {
+		listArgs = append([]string{"-test"}, listArgs...)
+	}
+	entries, err := list(dir, append(listArgs, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	variants := make(map[string]bool) // base paths that have a test variant
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if i := strings.IndexByte(e.ImportPath, ' '); i >= 0 && !e.DepOnly {
+			variants[e.ImportPath[:i]] = true
+		}
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		// Skip the synthesized test-main package ("pkg.test") and, when a
+		// test variant of a package is being analyzed, the plain package it
+		// duplicates.
+		if strings.HasSuffix(e.ImportPath, ".test") || variants[e.ImportPath] {
+			continue
+		}
+		fset := token.NewFileSet()
+		// A test variant ("p [p.test]") resolves its imports against the
+		// variant export data of its group where present; a single importer
+		// per unit keeps dependency package identity consistent.
+		variant := ""
+		if i := strings.IndexByte(e.ImportPath, ' '); i >= 0 {
+			variant = e.ImportPath[i:] // " [p.test]"
+		}
+		imp := ImporterLookup(fset, func(path string) (string, bool) {
+			if variant != "" {
+				if f, ok := exports[path+variant]; ok {
+					return f, true
+				}
+			}
+			f, ok := exports[path]
+			return f, ok
+		})
+		var files []string
+		for _, f := range e.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(e.Dir, f)
+			}
+			files = append(files, f)
+		}
+		importPath := e.ImportPath
+		if i := strings.IndexByte(importPath, ' '); i >= 0 {
+			importPath = importPath[:i]
+		}
+		syntax, tpkg, info, err := Check(fset, importPath, files, imp, "")
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      syntax,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// ModuleDir locates the enclosing module root of dir (the directory holding
+// go.mod), falling back to dir itself.
+func ModuleDir(dir string) string {
+	d := dir
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,120 @@
+// Package provcheck is an errcheck-style pass for the provenance-durability
+// API: every error returned by a provstore.Backend method, a provstore
+// package function, or a provenance.Collector Add/Flush/emit must be
+// consumed. These errors are the only signal that a provenance record was
+// NOT durably appended — dropping one silently turns "provenance capture"
+// into "provenance sampling", which invalidates every backward-trace answer
+// built on the store.
+//
+// Accepted ways to consume the error:
+//
+//   - use the call in an expression context (assignment to a checked
+//     variable, argument, condition, return value);
+//   - explicitly discard with `_ = call(...)` — the opt-out that documents
+//     intent and is greppable;
+//   - `defer x.Close()` — the harness idiom keeps a deferred Close as a
+//     safety net behind an error-checked close on the success path, and a
+//     deferred call's error is unrecoverable anyway.
+//
+// Flagged: an error-returning provenance call as a bare statement, inside
+// `go`, or deferred (other than Close).
+package provcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/analysisutil"
+)
+
+const (
+	provstorePath  = "genealog/internal/provstore"
+	provenancePath = "genealog/internal/provenance"
+)
+
+// collectorMethods are the provenance.Collector methods whose error return
+// reports a failed provenance append or flush.
+var collectorMethods = map[string]bool{
+	"Add": true, "Flush": true, "flushBefore": true, "emit": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "provcheck",
+	Doc: "flags discarded error returns from provstore and provenance.Collector calls\n\n" +
+		"A dropped error from AppendSource/Add/Flush/Close means a provenance record\n" +
+		"may not be durable; backward traces built on the store silently lose lineage.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := pass.Pkg.Path()
+	if pkg != provstorePath && pkg != provenancePath &&
+		!analysisutil.Imports(pass.Pkg, provstorePath) && !analysisutil.Imports(pass.Pkg, provenancePath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, n.X, "discarded")
+			case *ast.GoStmt:
+				check(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				if fn := analysisutil.Callee(pass.TypesInfo, n.Call); fn != nil && fn.Name() == "Close" {
+					return true // deferred Close is the documented safety-net idiom
+				}
+				check(pass, n.Call, "discarded by defer")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check reports call (if it is a provenance call returning an error) whose
+// result is dropped in the given way.
+func check(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysisutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !returnsError(fn) || !isProvCall(fn) {
+		return
+	}
+	target := fn.Name()
+	if recv := analysisutil.Receiver(fn); recv != nil {
+		target = recv.Obj().Name() + "." + target
+	}
+	pass.Reportf(call.Pos(), "error returned by %s is %s: a failed provenance append/flush is silent data loss (handle it or write `_ = ...` to opt out)", target, how)
+}
+
+// isProvCall reports whether fn belongs to the provenance-durability API:
+// anything in internal/provstore (package functions, Backend and Store
+// methods, client/server plumbing) or a Collector method in
+// internal/provenance.
+func isProvCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case provstorePath:
+		return true
+	case provenancePath:
+		recv := analysisutil.Receiver(fn)
+		return recv != nil && recv.Obj().Name() == "Collector" && collectorMethods[fn.Name()]
+	}
+	return false
+}
+
+// returnsError reports whether fn's last result is the builtin error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

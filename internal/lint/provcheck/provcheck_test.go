@@ -1,0 +1,12 @@
+package provcheck_test
+
+import (
+	"testing"
+
+	"genealog/internal/lint/analysistest"
+	"genealog/internal/lint/provcheck"
+)
+
+func TestProvCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", provcheck.Analyzer, "a")
+}

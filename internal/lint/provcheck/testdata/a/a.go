@@ -1,0 +1,45 @@
+// Seeded cases for the provcheck analyzer.
+package a
+
+import (
+	"genealog/internal/provenance"
+	"genealog/internal/provstore"
+)
+
+func bareAppend(be *provstore.Memory) {
+	be.AppendSource(provstore.SourceEntry{}) // want `error returned by Memory.AppendSource is discarded`
+}
+
+func bareCollector(c *provenance.Collector, r *provenance.Record) {
+	c.Add(r)  // want `error returned by Collector.Add is discarded`
+	c.Flush() // want `error returned by Collector.Flush is discarded`
+}
+
+func inGoroutine(st *provstore.Store) {
+	go st.Close() // want `error returned by Store.Close is discarded by go statement`
+}
+
+func deferredFlush(c *provenance.Collector) {
+	defer c.Flush() // want `error returned by Collector.Flush is discarded by defer`
+}
+
+func deferredClose(st *provstore.Store) {
+	defer st.Close() // the documented safety-net idiom: allowed
+}
+
+func checked(be *provstore.Memory) error {
+	if err := be.AppendSink(provstore.SinkEntry{}); err != nil {
+		return err
+	}
+	return be.AppendWatermark(0)
+}
+
+func optedOut(be *provstore.Memory) {
+	_ = be.AppendWatermark(0) // explicit discard: allowed
+}
+
+func nonProvCall(fns []func() error) {
+	for _, fn := range fns {
+		fn() // not a provenance API: out of scope
+	}
+}

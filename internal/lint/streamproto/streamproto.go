@@ -1,0 +1,534 @@
+// Package streamproto enforces the ops.Stream producer protocol:
+//
+//  1. no Send/SendRun/SendGather/Flush on a stream after CloseSend (and no
+//     double close) — CloseSend flushes and closes the underlying channel,
+//     so a later producer call panics or silently drops tuples;
+//  2. an Operator's Run method that produces on streams must close them on
+//     every return path — the contract on ops.Operator says "Run ...
+//     closes every output stream before returning", because a consumer
+//     blocked in Recv on an unclosed stream deadlocks the whole query;
+//     a deferred CloseSend (or ops.closeAll) covers all paths at once;
+//  3. a Recv loop in a producing operator must not silently discard
+//     heartbeats: `if core.IsHeartbeat(t) { continue }` with no other
+//     statement drops the watermark on the floor, stalling every
+//     downstream merge, window close and provenance-retention pass that
+//     waits for time to advance. Forward the heartbeat (or record it and
+//     re-emit a watermark) before continuing.
+//
+// Like the other genealog-lint analyzers, the checks are function-local and
+// order-based: branch bodies run under a copy of the tracked state, so the
+// analyzer under-approximates rather than report spurious violations.
+package streamproto
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/analysisutil"
+)
+
+const (
+	opsPath  = "genealog/internal/ops"
+	corePath = "genealog/internal/core"
+)
+
+// produceMethods are the Stream methods only a live (unclosed) producer may
+// call; sendMethods are the subset that actually delivers tuples.
+var (
+	produceMethods = map[string]bool{"Send": true, "SendRun": true, "SendGather": true, "Flush": true}
+	sendMethods    = map[string]bool{"Send": true, "SendRun": true, "SendGather": true}
+	closeMethods   = map[string]bool{"CloseSend": true, "Close": true}
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "streamproto",
+	Doc: "enforces the ops.Stream producer protocol: no send after CloseSend, close every output stream on return, never silently drop heartbeats\n\n" +
+		"A stream producer that sends after close panics; one that returns without\n" +
+		"closing deadlocks its consumer; one that swallows heartbeats stalls every\n" +
+		"downstream watermark.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != opsPath && !analysisutil.Imports(pass.Pkg, opsPath) {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Body)
+					if isOperatorRun(pass.TypesInfo, n) {
+						c.checkRunCloses(n)
+					}
+				}
+			case *ast.FuncLit:
+				c.checkFunc(n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// streamMethod resolves call to an ops.Stream method name, or "".
+func (c *checker) streamMethod(call *ast.CallExpr) (string, ast.Expr) {
+	fn := analysisutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return "", nil
+	}
+	recv := analysisutil.Receiver(fn)
+	if recv == nil || recv.Obj().Pkg() == nil ||
+		recv.Obj().Pkg().Path() != opsPath || recv.Obj().Name() != "Stream" {
+		return "", nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	return fn.Name(), sel.X
+}
+
+// ---- check 1: use after close (and double close), order-based ----
+
+type key struct {
+	root types.Object
+	path string
+}
+
+type state map[key]bool // closed stream paths
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// checkFunc runs the use-after-close walk and the heartbeat-drop scan over
+// one function body (function literals are separate scopes).
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	c.walkStmts(body.List, make(state))
+	c.checkHeartbeatDrops(body)
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, st state) {
+	for _, s := range stmts {
+		c.walkStmt(s, st)
+	}
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, st state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if root, path := analysisutil.Path(c.pass.TypesInfo, lhs); root != nil {
+				for k := range st {
+					if k.root == root && analysisutil.HasPrefix(k.path, path) {
+						delete(st, k) // reassigned: a different stream now
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, st)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st)
+		c.walkStmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.walkStmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		body := st.clone()
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		c.walkStmts(s.Body.List, st.clone())
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				branch := st.clone()
+				if clause.Comm != nil {
+					c.walkStmt(clause.Comm, branch)
+				}
+				c.walkStmts(clause.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/asynchronous calls run at another time; the Run-close
+		// check accounts for deferred closes.
+	}
+}
+
+func (c *checker) checkExpr(e ast.Expr, st state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recvExpr := c.streamMethod(call)
+		if name == "" {
+			return true
+		}
+		root, path := analysisutil.Path(c.pass.TypesInfo, recvExpr)
+		if root == nil {
+			return true
+		}
+		k := key{root, path}
+		switch {
+		case closeMethods[name]:
+			if st[k] {
+				c.pass.Reportf(call.Pos(), "stream %s%s closed twice (CloseSend must be called exactly once, by the single producer)", root.Name(), k.path)
+			}
+			st[k] = true
+		case produceMethods[name]:
+			if st[k] {
+				c.pass.Reportf(call.Pos(), "%s on stream %s%s after CloseSend (the stream's channel is closed; this panics or drops tuples)", name, root.Name(), k.path)
+			}
+		}
+		return true
+	})
+}
+
+// ---- check 2: Run must close every produced stream on every return ----
+
+// isOperatorRun reports whether decl is a method Run(context.Context) error
+// — the ops.Operator contract shape.
+func isOperatorRun(info *types.Info, decl *ast.FuncDecl) bool {
+	if decl.Name.Name != "Run" || decl.Recv == nil {
+		return false
+	}
+	fn, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !analysisutil.IsNamedType(sig.Params().At(0).Type(), "context", "Context") {
+		return false
+	}
+	rt, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && rt.Obj().Name() == "error" && rt.Obj().Pkg() == nil
+}
+
+// checkRunCloses verifies that a Run method producing on streams closes
+// them before every return. A deferred close (CloseSend/Close on a stream,
+// or any deferred call whose name contains "close", like ops.closeAll)
+// covers every path; otherwise each return statement must be preceded, in
+// straight-line order, by closes covering every stream the method sends on
+// anywhere — the output streams exist for the whole run, so even an early
+// error return leaves a consumer blocked if they stay open.
+func (c *checker) checkRunCloses(decl *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+
+	// Gather produced streams and whether any defer closes (outside nested
+	// function literals, which are their own producers).
+	produced := make(map[key]string) // -> rendered name
+	deferredClose := false
+	var inspectBody func(n ast.Node) bool
+	inspectBody = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if deferCloses(info, n.Call) {
+				deferredClose = true
+			}
+			return false
+		case *ast.CallExpr:
+			if name, recvExpr := c.streamMethod(n); sendMethods[name] {
+				if root, path := analysisutil.Path(info, recvExpr); root != nil {
+					produced[key{root, path}] = root.Name() + path
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, inspectBody)
+	if len(produced) == 0 || deferredClose {
+		return
+	}
+
+	// No deferred close: walk the body, tracking closes seen so far, and
+	// report returns that leave a produced stream open.
+	closed := make(state)
+	var walk func(stmts []ast.Stmt, closed state)
+	walkStmt := func(stmt ast.Stmt, closed state) {}
+	walk = func(stmts []ast.Stmt, closed state) {
+		for _, s := range stmts {
+			walkStmt(s, closed)
+		}
+	}
+	walkStmt = func(stmt ast.Stmt, closed state) {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			var open []string
+			for k, name := range produced {
+				if !closed[k] {
+					open = append(open, name)
+				}
+			}
+			if len(open) > 0 {
+				c.pass.Reportf(s.Pos(), "Run returns without closing produced stream(s) %s; the consumer blocks in Recv forever (defer CloseSend, or close on every path)",
+					strings.Join(sortedUnique(open), ", "))
+			}
+		case *ast.ExprStmt:
+			markCloses(c, s.X, closed)
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				markCloses(c, rhs, closed)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmt(s.Init, closed)
+			}
+			walk(s.Body.List, closed.clone())
+			if s.Else != nil {
+				walkStmt(s.Else, closed.clone())
+			}
+		case *ast.ForStmt:
+			walk(s.Body.List, closed.clone())
+		case *ast.RangeStmt:
+			walk(s.Body.List, closed.clone())
+		case *ast.BlockStmt:
+			walk(s.List, closed)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CaseClause); ok {
+					walk(clause.Body, closed.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CaseClause); ok {
+					walk(clause.Body, closed.clone())
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CommClause); ok {
+					branch := closed.clone()
+					if clause.Comm != nil {
+						walkStmt(clause.Comm, branch)
+					}
+					walk(clause.Body, branch)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, closed)
+		}
+	}
+	walk(decl.Body.List, closed)
+}
+
+// markCloses records CloseSend/Close calls found in e into closed.
+func markCloses(c *checker, e ast.Expr, closed state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, recvExpr := c.streamMethod(call); closeMethods[name] {
+			if root, path := analysisutil.Path(c.pass.TypesInfo, recvExpr); root != nil {
+				closed[key{root, path}] = true
+			}
+		}
+		return true
+	})
+}
+
+// deferCloses reports whether a deferred call closes streams: a Stream
+// close method, a function whose name mentions close (ops.closeAll and
+// friends), or a function literal containing either.
+func deferCloses(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok && deferCloses(info, inner) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "close")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "close")
+	}
+	return false
+}
+
+// ---- check 3: silently dropped heartbeats ----
+
+// checkHeartbeatDrops reports `if core.IsHeartbeat(x) { continue }` bodies
+// that do nothing else, in functions that send on streams (i.e. have a
+// downstream to starve). Reading x.Timestamp() anywhere in the function
+// suppresses the report: recording the heartbeat's time and re-broadcasting
+// a watermark later (the partitioner's batch-boundary fold) is the legal
+// drop-and-re-emit pattern.
+func (c *checker) checkHeartbeatDrops(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	hasSends := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, _ := c.streamMethod(call); sendMethods[name] {
+				hasSends = true
+			}
+		}
+		return !hasSends
+	})
+	if !hasSends {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(ifStmt.Cond).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysisutil.Callee(info, call)
+		if fn == nil || fn.Name() != "IsHeartbeat" || fn.Pkg() == nil || fn.Pkg().Path() != corePath {
+			return true
+		}
+		if len(ifStmt.Body.List) != 1 {
+			return true
+		}
+		br, ok := ifStmt.Body.List[0].(*ast.BranchStmt)
+		if !ok || br.Tok.String() != "continue" {
+			return true
+		}
+		if len(call.Args) == 1 {
+			if root, _ := analysisutil.Path(info, call.Args[0]); root != nil && readsTimestamp(c, body, root) {
+				return true // watermark recorded for later re-broadcast
+			}
+		}
+		c.pass.Reportf(ifStmt.Pos(), "heartbeat silently dropped: this operator sends downstream but discards watermark progress, stalling merges, window closes and provenance retention (forward the heartbeat or re-emit a watermark)")
+		return true
+	})
+}
+
+// readsTimestamp reports whether body reads root.Timestamp() (outside
+// nested function literals) — the sign that the operator folds heartbeat
+// time into its own watermark instead of discarding it.
+func readsTimestamp(c *checker, body *ast.BlockStmt, root types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := analysisutil.Callee(c.pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "Timestamp" {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if r, _ := analysisutil.Path(c.pass.TypesInfo, sel.X); r == root {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedUnique sorts and dedups a small string slice.
+func sortedUnique(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

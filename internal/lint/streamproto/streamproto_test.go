@@ -1,0 +1,12 @@
+package streamproto_test
+
+import (
+	"testing"
+
+	"genealog/internal/lint/analysistest"
+	"genealog/internal/lint/streamproto"
+)
+
+func TestStreamProto(t *testing.T) {
+	analysistest.Run(t, "testdata", streamproto.Analyzer, "a")
+}

@@ -1,0 +1,112 @@
+// Seeded cases for the streamproto analyzer.
+package a
+
+import (
+	"context"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+func sendAfterClose(ctx context.Context, s *ops.Stream, t core.Tuple) {
+	s.CloseSend(ctx)
+	_ = s.Send(ctx, t) // want `Send on stream s after CloseSend`
+}
+
+func flushAfterClose(ctx context.Context, s *ops.Stream) {
+	s.CloseSend(ctx)
+	_ = s.Flush(ctx) // want `Flush on stream s after CloseSend`
+}
+
+func doubleClose(ctx context.Context, s *ops.Stream) {
+	s.CloseSend(ctx)
+	s.CloseSend(ctx) // want `stream s closed twice`
+}
+
+func branchClose(ctx context.Context, s *ops.Stream, t core.Tuple, done bool) {
+	if done {
+		s.CloseSend(ctx)
+		return
+	}
+	_ = s.Send(ctx, t) // the closing branch returned; this path never closed
+}
+
+func reassignedStream(ctx context.Context, s *ops.Stream, t core.Tuple, next *ops.Stream) {
+	s.CloseSend(ctx)
+	s = next
+	_ = s.Send(ctx, t) // a different stream now
+}
+
+// badOp sends on its output but returns without closing it on two paths.
+type badOp struct {
+	in, out *ops.Stream
+}
+
+func (o *badOp) Name() string { return "bad" }
+
+func (o *badOp) Run(ctx context.Context) error {
+	for {
+		t, ok, err := o.in.Recv(ctx)
+		if err != nil {
+			return err // want `Run returns without closing produced stream\(s\) o.out`
+		}
+		if !ok {
+			o.out.CloseSend(ctx)
+			return nil
+		}
+		if err := o.out.Send(ctx, t); err != nil {
+			return err // want `Run returns without closing produced stream\(s\) o.out`
+		}
+	}
+}
+
+// goodOp closes by defer, records heartbeat time before dropping, and
+// forwards data tuples.
+type goodOp struct {
+	in, out *ops.Stream
+}
+
+func (o *goodOp) Name() string { return "good" }
+
+func (o *goodOp) Run(ctx context.Context) error {
+	defer o.out.CloseSend(ctx)
+	var wm int64
+	for {
+		t, ok, err := o.in.Recv(ctx)
+		if err != nil || !ok {
+			return err
+		}
+		if ts := t.Timestamp(); ts > wm {
+			wm = ts
+		}
+		if core.IsHeartbeat(t) {
+			continue // folded into wm, re-broadcast elsewhere
+		}
+		if err := o.out.Send(ctx, t); err != nil {
+			return err
+		}
+	}
+}
+
+// dropOp discards heartbeats without observing their timestamp.
+type dropOp struct {
+	in, out *ops.Stream
+}
+
+func (o *dropOp) Name() string { return "drop" }
+
+func (o *dropOp) Run(ctx context.Context) error {
+	defer o.out.CloseSend(ctx)
+	for {
+		t, ok, err := o.in.Recv(ctx)
+		if err != nil || !ok {
+			return err
+		}
+		if core.IsHeartbeat(t) { // want `heartbeat silently dropped`
+			continue
+		}
+		if err := o.out.Send(ctx, t); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Seeded cases for the tuplealias analyzer: each `want` line is a positive
+// case (the analyzer must report there), every other line is a negative
+// case (reporting there fails the test).
+package a
+
+import (
+	"context"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+type rec struct {
+	core.Base
+	Speed int64
+}
+
+func writeAfterSend(ctx context.Context, s *ops.Stream, t *rec) {
+	_ = s.Send(ctx, t)
+	t.Speed = 1 // want `tuple t is written after it was sent downstream by Stream.Send`
+}
+
+func setterAfterSend(ctx context.Context, s *ops.Stream, t *rec) {
+	_ = s.Send(ctx, t)
+	t.SetKind(core.KindMap) // want `SetKind called on tuple t after it was sent downstream by Stream.Send`
+}
+
+func metaOfAfterSend(ctx context.Context, s *ops.Stream, t *rec) {
+	_ = s.Send(ctx, t)
+	core.MetaOf(t).SetStimulus(9) // want `SetStimulus called on tuple t after it was sent downstream by Stream.Send`
+}
+
+func writeAfterCapture(g *core.Genealog, out, in *rec) {
+	g.OnMap(out, in)
+	in.Speed = 2  // want `tuple in is written after it was captured into a contribution graph by OnMap`
+	out.Speed = 3 // the output tuple stays mutable until it is sent
+}
+
+func writeAfterJoinCapture(g *core.Genealog, out, newer, older *rec) {
+	g.OnJoin(out, newer, older)
+	older.Speed = 4 // want `tuple older is written after it was captured into a contribution graph by OnJoin`
+}
+
+func writeAfterLink(out, u *rec) {
+	out.SetU1(u)
+	u.Speed = 1 // want `tuple u is written after it was linked as a provenance contributor by SetU1`
+}
+
+func writeFieldPath(ctx context.Context, s *ops.Stream, pair *struct{ Left, Right *rec }) {
+	_ = s.Send(ctx, pair.Left)
+	pair.Left.Speed = 1  // want `tuple pair.Left is written after it was sent downstream by Stream.Send`
+	pair.Right.Speed = 2 // a sibling path is untouched by the freeze
+}
+
+func writeBeforeSend(ctx context.Context, s *ops.Stream, t *rec) {
+	t.Speed = 1
+	t.SetKind(core.KindSource)
+	_ = s.Send(ctx, t)
+}
+
+func reassignedAfterSend(ctx context.Context, s *ops.Stream, t *rec) {
+	_ = s.Send(ctx, t)
+	t = &rec{Base: core.NewBase(1)}
+	t.Speed = 1 // a fresh object, not the sent one
+}
+
+func branchSend(ctx context.Context, s *ops.Stream, t *rec, done bool) {
+	if done {
+		_ = s.Send(ctx, t)
+		return
+	}
+	t.Speed = 4 // not sent on this path
+}
+
+func chainBuild(out, a, b *rec) {
+	out.SetU1(a)
+	a.SetNext(b) // chain continuation: contributors link front to back
+	b.SetNext(nil)
+}

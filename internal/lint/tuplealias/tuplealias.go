@@ -1,0 +1,359 @@
+// Package tuplealias flags writes to a tuple after the tuple has been
+// shared: passed to ops.Stream.Send, or captured into another tuple's
+// contribution graph by an instrumenter hook or a core.Meta link setter.
+//
+// GeneaLog's whole low-overhead claim rests on aliasing discipline (paper
+// §4): provenance is carried by sharing the *identical* tuple objects —
+// across batches, fused chains, columnar meta columns and the provenance
+// store — instead of copying annotations. The moment a producer mutates a
+// tuple it has already sent (or linked as a contributor), every downstream
+// contribution graph that pins the object silently changes under the
+// traverser, a corruption only the expensive end-to-end equivalence grids
+// can catch, after the fact. The zero-copy batch and ColBatch paths make
+// this class of bug catastrophic, so it is checked at vet time.
+//
+// The analysis is per-function and order-based: within each function body it
+// tracks, per access path (t, rec.Orig, ...), the first point the value is
+// sent or captured, and reports any later write into the value — a field
+// assignment, or a call to one of core.Meta's setters (directly, through an
+// embedded core.Base, or via core.MetaOf). Assigning a new value to the
+// variable itself ends tracking, since the path no longer holds the shared
+// object. Branch bodies are analyzed under a copy of the state and do not
+// leak freezes past their join point, so the checker under-approximates
+// (it misses cross-iteration aliasing) but does not cry wolf.
+package tuplealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/analysisutil"
+)
+
+const (
+	opsPath      = "genealog/internal/ops"
+	corePath     = "genealog/internal/core"
+	baselinePath = "genealog/internal/baseline"
+)
+
+// metaSetters are the core.Meta methods that write provenance or payload
+// metadata; calling one on a tuple that was already shared is a mutation.
+var metaSetters = map[string]bool{
+	"SetTimestamp": true, "SetStimulus": true, "MergeStimulus": true,
+	"SetKind": true, "SetU1": true, "SetU2": true, "SetNext": true,
+	"SetID": true, "SetAnnotation": true, "ResetProvenance": true,
+}
+
+// captures maps an instrumenter hook to the indices of the arguments it
+// links into a contribution graph (the tuples that become some other
+// tuple's U1/U2/N and must be immutable from then on). The hook's output
+// tuple is not frozen — operators may keep filling its payload until they
+// send it.
+var captures = map[string][]int{
+	"OnMap":           {1},
+	"OnMultiplex":     {1},
+	"OnJoin":          {1, 2},
+	"OnAggregateLink": {0, 1},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tuplealias",
+	Doc: "flags writes to a tuple after it was sent or captured into a contribution graph\n\n" +
+		"Sent tuples are shared by identity with downstream operators, batches and\n" +
+		"contribution graphs; mutating one corrupts provenance silently.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := pass.Pkg.Path()
+	if pkg != opsPath && pkg != corePath &&
+		!analysisutil.Imports(pass.Pkg, opsPath) && !analysisutil.Imports(pass.Pkg, corePath) {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.walkStmts(n.Body.List, make(state))
+				}
+			case *ast.FuncLit:
+				c.walkStmts(n.Body.List, make(state))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// key identifies a tracked value: a root variable plus the access path that
+// reaches the tuple (e.g. rec + ".Orig").
+type key struct {
+	root types.Object
+	path string
+}
+
+// event records how and where a value became shared. linkOnly marks a
+// freeze by a Meta link setter: a later SetNext on such a tuple is chain
+// continuation (u1 -> next -> next is built front to back), not mutation.
+type event struct {
+	pos      token.Pos
+	verb     string
+	linkOnly bool
+}
+
+type state map[key]*event
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, st state) {
+	for _, s := range stmts {
+		c.walkStmt(s, st)
+	}
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, st state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			c.checkWrite(lhs, st)
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, st)
+		}
+	case *ast.DeferStmt:
+		c.checkExpr(s.Call, st)
+	case *ast.GoStmt:
+		c.checkExpr(s.Call, st)
+	case *ast.SendStmt:
+		c.checkExpr(s.Value, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st)
+		c.walkStmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.walkStmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		body := st.clone()
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		body := st.clone()
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				if root, path := analysisutil.Path(c.pass.TypesInfo, e); root != nil {
+					kill(body, key{root, path})
+				}
+			}
+		}
+		c.walkStmts(s.Body.List, body)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				branch := st.clone()
+				if clause.Comm != nil {
+					c.walkStmt(clause.Comm, branch)
+				}
+				c.walkStmts(clause.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st)
+	}
+}
+
+// checkWrite handles one assignment target: a plain variable (or a path
+// that is itself frozen) ends tracking for everything it held, while a
+// write that reaches *into* a frozen value is a violation.
+func (c *checker) checkWrite(lhs ast.Expr, st state) {
+	root, path := analysisutil.Path(c.pass.TypesInfo, lhs)
+	if root == nil {
+		return
+	}
+	for k, ev := range st {
+		if k.root != root {
+			continue
+		}
+		if analysisutil.HasPrefix(k.path, path) {
+			// The written location holds (or contains) the tracked value:
+			// the path no longer refers to the shared object.
+			delete(st, k)
+			continue
+		}
+		if analysisutil.HasPrefix(path, k.path) {
+			c.pass.Reportf(lhs.Pos(), "tuple %s%s is written after it was %s (shared by identity with downstream contribution graphs; copy it or finish it before sharing)",
+				root.Name(), k.path, ev.verb)
+		}
+	}
+}
+
+// checkExpr scans an expression for sends, captures and setter-call
+// mutations. Function literals are skipped: they run at another time and
+// are analyzed as their own scope.
+func (c *checker) checkExpr(e ast.Expr, st state) {
+	info := c.pass.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysisutil.Callee(info, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		recv := analysisutil.Receiver(fn)
+		recvPkg := ""
+		if recv != nil && recv.Obj().Pkg() != nil {
+			recvPkg = recv.Obj().Pkg().Path()
+		}
+
+		// ops.Stream.Send(ctx, t): t is now shared downstream.
+		if recvPkg == opsPath && recv.Obj().Name() == "Stream" && name == "Send" && len(call.Args) == 2 {
+			c.freeze(call.Args[1], st, "sent downstream by Stream.Send", false)
+		}
+
+		// Instrumenter hooks: contributor arguments are linked into another
+		// tuple's contribution graph.
+		if idx, ok := captures[name]; ok && (recvPkg == corePath || recvPkg == baselinePath) {
+			for _, i := range idx {
+				if i < len(call.Args) {
+					c.freeze(call.Args[i], st, "captured into a contribution graph by "+name, false)
+				}
+			}
+		}
+
+		// core.Meta link setters: the argument becomes this tuple's
+		// U1/U2/N; the receiver, if already shared, is being mutated. The
+		// receiver is checked before the argument freezes so a chain link
+		// a.SetNext(b) with a collapsed index path (win[], win[]) does not
+		// flag itself.
+		if recvPkg == corePath && (recv.Obj().Name() == "Meta" || recv.Obj().Name() == "Base") {
+			if metaSetters[name] {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					c.checkMutatingCall(sel.X, name, call.Pos(), st)
+				}
+			}
+			if name == "SetU1" || name == "SetU2" || name == "SetNext" {
+				if len(call.Args) == 1 {
+					c.freeze(call.Args[0], st, "linked as a provenance contributor by "+name, true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMutatingCall reports a setter invoked on (or within) a frozen value.
+// SetNext on a tuple frozen only by a link setter is allowed: contribution
+// chains are built front to back, each contributor's next pointer written
+// once after the tuple is linked.
+func (c *checker) checkMutatingCall(recvExpr ast.Expr, method string, pos token.Pos, st state) {
+	root, path := analysisutil.Path(c.pass.TypesInfo, recvExpr)
+	if root == nil {
+		return
+	}
+	for k, ev := range st {
+		if method == "SetNext" && ev.linkOnly {
+			continue
+		}
+		if k.root == root && analysisutil.HasPrefix(path, k.path) {
+			c.pass.Reportf(pos, "%s called on tuple %s%s after it was %s (shared by identity with downstream contribution graphs; provenance metadata is written exactly once, before sharing)",
+				method, root.Name(), k.path, ev.verb)
+		}
+	}
+}
+
+// freeze starts tracking the value held at the argument's access path.
+func (c *checker) freeze(arg ast.Expr, st state, verb string, linkOnly bool) {
+	root, path := analysisutil.Path(c.pass.TypesInfo, arg)
+	if root == nil {
+		return
+	}
+	k := key{root, path}
+	if ev, ok := st[k]; ok {
+		if !linkOnly {
+			ev.linkOnly = false // a stronger freeze revokes the chain allowance
+		}
+		return
+	}
+	st[k] = &event{pos: arg.Pos(), verb: verb, linkOnly: linkOnly}
+}
+
+// kill removes k and every tracked path it contains.
+func kill(st state, k key) {
+	for kk := range st {
+		if kk.root == k.root && analysisutil.HasPrefix(kk.path, k.path) {
+			delete(st, kk)
+		}
+	}
+}

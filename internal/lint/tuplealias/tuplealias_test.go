@@ -1,0 +1,12 @@
+package tuplealias_test
+
+import (
+	"testing"
+
+	"genealog/internal/lint/analysistest"
+	"genealog/internal/lint/tuplealias"
+)
+
+func TestTupleAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", tuplealias.Analyzer, "a")
+}

@@ -28,6 +28,20 @@ func (t *evTuple) CloneTuple() core.Tuple {
 	return &cp
 }
 
+func mustAdd(t *testing.T, c *Collector, r *Record) {
+	t.Helper()
+	if err := c.Add(r); err != nil {
+		t.Fatalf("Collector.Add: %v", err)
+	}
+}
+
+func mustFlush(t *testing.T, c *Collector) {
+	t.Helper()
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Collector.Flush: %v", err)
+	}
+}
+
 var registerOnce sync.Once
 
 func registerWire() {
@@ -149,10 +163,10 @@ func TestCollectorDeduplicatesByOrigKey(t *testing.T) {
 	c := &Collector{OnResult: func(r Result) { results = append(results, r) }}
 	sink := ev(10, "sink", 0)
 	s1, s2 := ev(1, "a", 0), ev(2, "b", 0)
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 100, OrigID: 1, Sink: sink, Orig: s1})
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 100, OrigID: 2, Sink: sink, Orig: s2})
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 100, OrigID: 1, Sink: sink, Orig: s1}) // dup
-	c.Flush()
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 100, OrigID: 1, Sink: sink, Orig: s1})
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 100, OrigID: 2, Sink: sink, Orig: s2})
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 100, OrigID: 1, Sink: sink, Orig: s1}) // dup
+	mustFlush(t, c)
 	if len(results) != 1 {
 		t.Fatalf("got %d results, want 1", len(results))
 	}
@@ -165,10 +179,10 @@ func TestCollectorGroupsInterleavedSinks(t *testing.T) {
 	var results []Result
 	c := &Collector{OnResult: func(r Result) { results = append(results, r) }, Horizon: 100}
 	sa, sb := ev(10, "a", 0), ev(11, "b", 0)
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 1, OrigID: 11, Sink: sa, Orig: ev(1, "x", 0)})
-	c.Add(&Record{Base: core.NewBase(11), SinkID: 2, OrigID: 21, Sink: sb, Orig: ev(2, "y", 0)})
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 1, OrigID: 12, Sink: sa, Orig: ev(3, "z", 0)})
-	c.Flush()
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 1, OrigID: 11, Sink: sa, Orig: ev(1, "x", 0)})
+	mustAdd(t, c, &Record{Base: core.NewBase(11), SinkID: 2, OrigID: 21, Sink: sb, Orig: ev(2, "y", 0)})
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 1, OrigID: 12, Sink: sa, Orig: ev(3, "z", 0)})
+	mustFlush(t, c)
 	if len(results) != 2 {
 		t.Fatalf("got %d results, want 2", len(results))
 	}
@@ -180,16 +194,16 @@ func TestCollectorGroupsInterleavedSinks(t *testing.T) {
 func TestCollectorHorizonFlushes(t *testing.T) {
 	var results []Result
 	c := &Collector{OnResult: func(r Result) { results = append(results, r) }, Horizon: 5}
-	c.Add(&Record{Base: core.NewBase(0), SinkID: 1, OrigID: 1, Sink: ev(0, "a", 0), Orig: ev(0, "x", 0)})
+	mustAdd(t, c, &Record{Base: core.NewBase(0), SinkID: 1, OrigID: 1, Sink: ev(0, "a", 0), Orig: ev(0, "x", 0)})
 	if len(results) != 0 {
 		t.Fatal("group must not flush before the horizon")
 	}
 	// Watermark 10 passes 0+5: the first group must flush.
-	c.Add(&Record{Base: core.NewBase(10), SinkID: 2, OrigID: 2, Sink: ev(10, "b", 0), Orig: ev(9, "y", 0)})
+	mustAdd(t, c, &Record{Base: core.NewBase(10), SinkID: 2, OrigID: 2, Sink: ev(10, "b", 0), Orig: ev(9, "y", 0)})
 	if len(results) != 1 {
 		t.Fatalf("got %d results after horizon, want 1", len(results))
 	}
-	c.Flush()
+	mustFlush(t, c)
 	if len(results) != 2 {
 		t.Fatalf("got %d results after Flush, want 2", len(results))
 	}
