@@ -16,6 +16,7 @@
 //	genealog-bench -experiment fig12 -fuse=false     # planner off: one goroutine per operator
 //	genealog-bench -experiment fig12 -v              # print every cell's physical plan
 //	genealog-bench -experiment fig12 -store /tmp/prov  # persist per-cell provenance stores
+//	genealog-bench -experiment fig12 -json > bench.json # machine-readable per-cell results
 //	genealog-bench -experiment fig12 -remote-store 127.0.0.1:7432  # stream provenance to a store node
 //
 // The -throttle flag (bytes/second) models a constrained link, e.g.
@@ -43,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -73,6 +75,7 @@ func run(args []string, out *os.File) error {
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
 	vectorize := fs.Bool("vectorize", true, "columnar pass: run kernel-capable stateless segments as typed kernels over struct-of-arrays batches (false = row-at-a-time closures)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell results as a JSON document instead of the rendered figures (plans and notes go to stderr)")
 	storePath := fs.String("store", "", "persist each cell's assembled provenance into durable store files at this path prefix (suffix: -<query>-<mode>[-inter]); query them with genealog-prov")
 	remoteStore := fs.String("remote-store", "", "stream each cell's assembled provenance to the store node at this address (spe-node -store-listen); query it live with genealog-prov -connect")
 	verbose := fs.Bool("v", false, "print the physical plan of every (query, mode) cell before running")
@@ -125,8 +128,18 @@ func run(args []string, out *os.File) error {
 	defer cancel()
 
 	want := func(name string) bool { return *experiment == name || *experiment == "all" }
-	if err := reportPlans(out, base, *experiment, *verbose, *fuse && fuseExplicit); err != nil {
+	planOut := out
+	if *jsonOut {
+		// Keep stdout a single valid JSON document; plans and planner notes
+		// remain available on stderr.
+		planOut = os.Stderr
+	}
+	if err := reportPlans(planOut, base, *experiment, *verbose, *fuse && fuseExplicit); err != nil {
 		return err
+	}
+	doc := benchDoc{
+		Experiment: *experiment, Runs: *runs, Scale: *scale,
+		Parallelism: p, Batch: *batch, Fuse: *fuse, Vectorize: *vectorize, Codec: *codec,
 	}
 	ran := false
 	if want("fig12") {
@@ -135,7 +148,11 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, fig.Render())
+		if *jsonOut {
+			doc.Cells = append(doc.Cells, fig.JSONCells("fig12")...)
+		} else {
+			fmt.Fprintln(out, fig.Render())
+		}
 	}
 	if want("fig13") {
 		ran = true
@@ -143,7 +160,11 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, fig.Render())
+		if *jsonOut {
+			doc.Cells = append(doc.Cells, fig.JSONCells("fig13")...)
+		} else {
+			fmt.Fprintln(out, fig.Render())
+		}
 	}
 	if want("fig14") {
 		ran = true
@@ -151,7 +172,11 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, fig.Render())
+		if *jsonOut {
+			doc.Cells = append(doc.Cells, fig.JSONCells()...)
+		} else {
+			fmt.Fprintln(out, fig.Render())
+		}
 	}
 	if want("size") {
 		ran = true
@@ -159,12 +184,35 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, rep.Render())
+		if *jsonOut {
+			doc.Cells = append(doc.Cells, rep.JSONCells()...)
+		} else {
+			fmt.Fprintln(out, rep.Render())
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want fig12, fig13, fig14, size or all)", *experiment)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
 	return nil
+}
+
+// benchDoc is the top-level document -json emits: the invocation's resolved
+// configuration plus every measured cell.
+type benchDoc struct {
+	Experiment  string             `json:"experiment"`
+	Runs        int                `json:"runs"`
+	Scale       int                `json:"scale"`
+	Parallelism int                `json:"parallelism"`
+	Batch       int                `json:"batch"`
+	Fuse        bool               `json:"fuse"`
+	Vectorize   bool               `json:"vectorize"`
+	Codec       string             `json:"codec"`
+	Cells       []harness.CellJSON `json:"cells"`
 }
 
 // reportPlans inspects the physical plan of every (query, mode) cell the

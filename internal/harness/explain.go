@@ -21,8 +21,13 @@ type ExplainInfo struct {
 	// HoistedPrefixes counts stateless prefixes replicated into shard lanes.
 	HoistedPrefixes int
 	// VectorizedSegments counts operator segments the planner's columnar
-	// pass runs as typed kernels over struct-of-arrays batches.
+	// pass runs as typed kernels over struct-of-arrays batches — stateless
+	// chains and stateful (ColAggregate/ColJoin) segments alike.
 	VectorizedSegments int
+	// VectorizedStatefulSegments counts the stateful subset: aggregates and
+	// joins whose window state lives in typed columns (serial operators or
+	// whole shard subgraphs, each counted once).
+	VectorizedStatefulSegments int
 }
 
 // Explain builds — without running — the queries a measured run of o would
@@ -47,6 +52,7 @@ func Explain(o Options) (ExplainInfo, error) {
 		info.FusedChains += q.FusedChains()
 		info.HoistedPrefixes += q.HoistedPrefixes()
 		info.VectorizedSegments += q.VectorizedSegments()
+		info.VectorizedStatefulSegments += q.VectorizedStatefulSegments()
 	}
 	info.Text = sb.String()
 	return info, nil

@@ -276,45 +276,50 @@ func TestFusedPlanEquivalence(t *testing.T) {
 	}
 }
 
-// TestVectorizedPlanEquivalence is the columnar tentpole's acceptance test:
+// TestVectorizedPlanEquivalence is the columnar runtime's acceptance test:
 // for each of Q1-Q4 under NP, GL and BL, at parallelism 1 and 4, fusion on
-// and off, batch 64, execution with the planner's columnar pass (typed
-// kernels over struct-of-arrays batches, batch-wise shard key extraction)
-// must yield sink output byte-identical to the row-at-a-time plan, and
-// identical traversed provenance.
+// and off, batch 1 and 64, execution with the planner's columnar pass (typed
+// kernels over struct-of-arrays batches, columnar window state for the
+// stateful operators, batch-wise shard key extraction) must yield sink
+// output byte-identical to the row-at-a-time plan, and identical traversed
+// provenance. Batch 1 exercises the degenerate single-tuple runs of the
+// columnar ingest; batch 64 the vectorized fast path.
 func TestVectorizedPlanEquivalence(t *testing.T) {
 	for _, id := range Queries {
 		for _, mode := range Modes {
 			for _, parallelism := range []int{1, 4} {
 				for _, fusion := range []bool{true, false} {
-					name := fmt.Sprintf("%s/%s/p%d/fusion=%v", id, mode, parallelism, fusion)
-					t.Run(name, func(t *testing.T) {
-						rows := captureRunPlan(t, id, mode, parallelism, 64, fusion, false)
-						if len(rows.sinks) == 0 {
-							t.Fatalf("%s: row-path run produced no sink tuples; workload too small", name)
-						}
-						vec := captureRunPlan(t, id, mode, parallelism, 64, fusion, true)
-						if len(vec.sinks) != len(rows.sinks) {
-							t.Fatalf("sink count differs: vectorized %d, rows %d", len(vec.sinks), len(rows.sinks))
-						}
-						for i := range rows.sinks {
-							if rows.sinks[i] != vec.sinks[i] {
-								t.Fatalf("sink tuple %d differs:\nrows:       %s\nvectorized: %s", i, rows.sinks[i], vec.sinks[i])
+					for _, batch := range []int{1, 64} {
+						fusion, batch := fusion, batch
+						name := fmt.Sprintf("%s/%s/p%d/fusion=%v/batch=%d", id, mode, parallelism, fusion, batch)
+						t.Run(name, func(t *testing.T) {
+							rows := captureRunPlan(t, id, mode, parallelism, batch, fusion, false)
+							if len(rows.sinks) == 0 {
+								t.Fatalf("%s: row-path run produced no sink tuples; workload too small", name)
 							}
-						}
-						pr, pv := sortedCopy(rows.prov), sortedCopy(vec.prov)
-						if len(pr) != len(pv) {
-							t.Fatalf("provenance result count differs: vectorized %d, rows %d", len(pv), len(pr))
-						}
-						for i := range pr {
-							if pr[i] != pv[i] {
-								t.Fatalf("provenance result %d differs:\nrows:       %s\nvectorized: %s", i, pr[i], pv[i])
+							vec := captureRunPlan(t, id, mode, parallelism, batch, fusion, true)
+							if len(vec.sinks) != len(rows.sinks) {
+								t.Fatalf("sink count differs: vectorized %d, rows %d", len(vec.sinks), len(rows.sinks))
 							}
-						}
-						if mode != ModeNP && len(rows.prov) == 0 {
-							t.Fatalf("%s: no provenance results; workload too small", name)
-						}
-					})
+							for i := range rows.sinks {
+								if rows.sinks[i] != vec.sinks[i] {
+									t.Fatalf("sink tuple %d differs:\nrows:       %s\nvectorized: %s", i, rows.sinks[i], vec.sinks[i])
+								}
+							}
+							pr, pv := sortedCopy(rows.prov), sortedCopy(vec.prov)
+							if len(pr) != len(pv) {
+								t.Fatalf("provenance result count differs: vectorized %d, rows %d", len(pv), len(pr))
+							}
+							for i := range pr {
+								if pr[i] != pv[i] {
+									t.Fatalf("provenance result %d differs:\nrows:       %s\nvectorized: %s", i, pr[i], pv[i])
+								}
+							}
+							if mode != ModeNP && len(rows.prov) == 0 {
+								t.Fatalf("%s: no provenance results; workload too small", name)
+							}
+						})
+					}
 				}
 			}
 		}

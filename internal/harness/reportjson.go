@@ -1,0 +1,130 @@
+package harness
+
+import "genealog/internal/metrics"
+
+// CellJSON is one machine-readable benchmark cell — the JSON twin of a
+// rendered figure row, emitted by genealog-bench -json so CI can accumulate
+// a perf trajectory (BENCH_*.json artifacts) instead of scraping text.
+//
+// Figure cells (fig12/fig13) carry throughput/latency/memory summaries and
+// the provenance overhead relative to the same query's NP cell; traversal
+// cells (fig14) carry the per-sink traversal cost (one entry intra-process,
+// one per SPE instance inter-process); size cells carry the
+// provenance-to-source volume ratio. Unused metrics are omitted.
+type CellJSON struct {
+	Experiment string `json:"experiment"`
+	Query      string `json:"query"`
+	Mode       string `json:"mode,omitempty"`
+	Deployment string `json:"deployment,omitempty"`
+
+	// Config actually in effect for the cell (auto parallelism resolved).
+	Parallelism int  `json:"parallelism,omitempty"`
+	BatchSize   int  `json:"batch,omitempty"`
+	Fusion      bool `json:"fusion"`
+	Vectorized  bool `json:"vectorized"`
+
+	SourceTuples int64 `json:"source_tuples,omitempty"`
+	SinkTuples   int64 `json:"sink_tuples,omitempty"`
+
+	ThroughputTPS  float64 `json:"throughput_tps,omitempty"`
+	ThroughputCI95 float64 `json:"throughput_ci95,omitempty"`
+	// OverheadPct is the throughput delta vs the same query's NP cell
+	// (negative = slower than NP); 0 for NP cells themselves.
+	OverheadPct float64 `json:"overhead_pct"`
+	LatencyMs   float64 `json:"latency_ms,omitempty"`
+	AvgMemMB    float64 `json:"avg_mem_mb,omitempty"`
+	MaxMemMB    float64 `json:"max_mem_mb,omitempty"`
+
+	// TraversalMs is fig14's per-sink traversal cost: one entry
+	// intra-process, one per SPE instance inter-process.
+	TraversalMs []float64 `json:"traversal_ms,omitempty"`
+
+	SourceBytes  int64   `json:"source_bytes,omitempty"`
+	ProvBytes    int64   `json:"prov_bytes,omitempty"`
+	ProvRatioPct float64 `json:"prov_ratio_pct,omitempty"`
+}
+
+// JSONCells flattens the figure grid into cells under the given experiment
+// name, computing each GL/BL cell's throughput overhead against its NP cell.
+func (f *Figure) JSONCells(experiment string) []CellJSON {
+	var cells []CellJSON
+	for _, q := range Queries {
+		np := f.Cells[q][ModeNP]
+		for _, m := range Modes {
+			s := f.Cells[q][m]
+			c := CellJSON{
+				Experiment:     experiment,
+				Query:          string(q),
+				Mode:           string(m),
+				Deployment:     s.Last.Deployment.String(),
+				Parallelism:    s.Last.Parallelism,
+				BatchSize:      s.Last.BatchSize,
+				Fusion:         s.Last.Fusion,
+				Vectorized:     s.Last.Vectorized,
+				SourceTuples:   s.Last.SourceTuples,
+				SinkTuples:     s.Last.SinkTuples,
+				ThroughputTPS:  s.Throughput.Mean,
+				ThroughputCI95: s.Throughput.CI95,
+				LatencyMs:      s.Latency.Mean,
+				AvgMemMB:       s.AvgMem.Mean,
+				MaxMemMB:       s.MaxMem.Mean,
+			}
+			if m != ModeNP {
+				c.OverheadPct = metrics.PercentDelta(np.Throughput.Mean, s.Throughput.Mean)
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// JSONCells flattens Figure 14's two panels into traversal cells.
+func (f *Fig14Result) JSONCells() []CellJSON {
+	var cells []CellJSON
+	for _, q := range Queries {
+		s := f.Intra[q]
+		cells = append(cells, CellJSON{
+			Experiment:  "fig14",
+			Query:       string(q),
+			Mode:        string(ModeGL),
+			Deployment:  Intra.String(),
+			TraversalMs: []float64{s.Mean},
+		})
+		var per []float64
+		for _, spe := range f.Inter[q] {
+			per = append(per, spe.Mean)
+		}
+		cells = append(cells, CellJSON{
+			Experiment:  "fig14",
+			Query:       string(q),
+			Mode:        string(ModeGL),
+			Deployment:  Inter.String(),
+			TraversalMs: per,
+		})
+	}
+	return cells
+}
+
+// JSONCells flattens the size report into volume cells.
+func (s *SizeReport) JSONCells() []CellJSON {
+	var cells []CellJSON
+	for _, q := range Queries {
+		r := s.Rows[q]
+		cells = append(cells, CellJSON{
+			Experiment:   "size",
+			Query:        string(q),
+			Mode:         string(ModeGL),
+			Deployment:   Intra.String(),
+			Parallelism:  r.Parallelism,
+			BatchSize:    r.BatchSize,
+			Fusion:       r.Fusion,
+			Vectorized:   r.Vectorized,
+			SourceTuples: r.SourceTuples,
+			SinkTuples:   r.SinkTuples,
+			SourceBytes:  r.SourceBytes,
+			ProvBytes:    r.ProvBytes,
+			ProvRatioPct: 100 * r.ProvRatio(),
+		})
+	}
+	return cells
+}

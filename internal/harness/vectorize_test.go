@@ -13,19 +13,25 @@ import (
 // silently ignores (missing schema, kernel dropped by a refactor) fails
 // here instead of degrading to the row path unnoticed.
 func TestDeclaredKernelsVectorize(t *testing.T) {
-	// The declared kernel-capable stateless stages per query: Q1 zero-speed +
-	// stopped, Q2 adds accident, Q3 zero-cons + blackout, Q4 midnight +
-	// anomaly. At parallelism 1 each materialises as its own vectorized
-	// segment.
-	want := map[QueryID]int{Q1: 2, Q2: 3, Q3: 2, Q4: 2}
+	// The declared kernel-capable segments per query at parallelism 1: the
+	// stateless stages (Q1 zero-speed + stopped, Q2 adds accident, Q3
+	// zero-cons + blackout, Q4 midnight + anomaly) each materialise as their
+	// own vectorized segment, plus the stateful operators with declared
+	// fold/probe kernels (Q1 window; Q2 both windows; Q3 daily-sum +
+	// daily-count; Q4 daily-sum + join).
+	wantTotal := map[QueryID]int{Q1: 3, Q2: 5, Q3: 4, Q4: 4}
+	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2}
 	for _, q := range Queries {
 		o := parallelTestOptions(q, ModeNP, 1)
 		info, err := Explain(o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if info.VectorizedSegments != want[q] {
-			t.Errorf("%s: %d vectorized segments, want %d:\n%s", q, info.VectorizedSegments, want[q], info.Text)
+		if info.VectorizedSegments != wantTotal[q] {
+			t.Errorf("%s: %d vectorized segments, want %d:\n%s", q, info.VectorizedSegments, wantTotal[q], info.Text)
+		}
+		if info.VectorizedStatefulSegments != wantStateful[q] {
+			t.Errorf("%s: %d vectorized stateful segments, want %d:\n%s", q, info.VectorizedStatefulSegments, wantStateful[q], info.Text)
 		}
 		if !strings.Contains(info.Text, "vectorized") {
 			t.Errorf("%s: Explain text misses the vectorized marker:\n%s", q, info.Text)
@@ -38,8 +44,33 @@ func TestDeclaredKernelsVectorize(t *testing.T) {
 		if info.VectorizedSegments != 0 {
 			t.Errorf("%s: NoVectorize plan still vectorizes %d segments:\n%s", q, info.VectorizedSegments, info.Text)
 		}
-		if strings.Contains(info.Text, "vectorized") {
+		if info.VectorizedStatefulSegments != 0 {
+			t.Errorf("%s: NoVectorize plan still vectorizes %d stateful segments:\n%s", q, info.VectorizedStatefulSegments, info.Text)
+		}
+		if strings.Contains(info.Text, "vectorized") || strings.Contains(info.Text, "vec[") {
 			t.Errorf("%s: NoVectorize Explain text still marks vectorized segments:\n%s", q, info.Text)
+		}
+	}
+}
+
+// TestStatefulKernelsVectorizeSharded: at parallelism > 1 the stateful
+// operators keep their columnar window state inside every shard lane — the
+// plan marks the lanes vec[...] and the stateful count is unchanged (a shard
+// subgraph counts once, like the serial operator it replaces).
+func TestStatefulKernelsVectorizeSharded(t *testing.T) {
+	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2}
+	for _, q := range Queries {
+		o := parallelTestOptions(q, ModeNP, 4)
+		info, err := Explain(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.VectorizedStatefulSegments != wantStateful[q] {
+			t.Errorf("%s: %d vectorized stateful segments at parallelism 4, want %d:\n%s",
+				q, info.VectorizedStatefulSegments, wantStateful[q], info.Text)
+		}
+		if !strings.Contains(info.Text, "vec[") {
+			t.Errorf("%s: sharded Explain text misses the vec[...] lane marker:\n%s", q, info.Text)
 		}
 	}
 }

@@ -9,7 +9,8 @@ import (
 
 // This file declares the columnar schemas and typed kernels of the Linear
 // Road tuple types, letting the planner run Q1/Q2's stateless stages on the
-// vectorized runtime (ops.ColChain) and extract shard routing keys
+// vectorized runtime (ops.ColChain), fold their aggregate windows over
+// columnar window state (ops.ColAggregate), and extract shard routing keys
 // batch-wise. Each schema covers every payload field of its tuple type, so
 // one extraction pass serves any kernel over that type.
 
@@ -115,4 +116,32 @@ func keyLastPos(c *ops.ColBatch, sel []int, dst []string) []string {
 		dst = append(dst, strconv.Itoa(int(pos[i])))
 	}
 	return dst
+}
+
+// foldStoppedCar is the vectorized q1.window fold: one *StoppedCar per
+// (car, window), computed from the window's car and pos columns exactly as
+// the row Fold computes it from the tuple slice.
+func foldStoppedCar(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	out := &StoppedCar{Base: core.NewBase(start)}
+	car := seg.Int64s(posFieldCar)
+	pos := seg.Int64s(posFieldPos)
+	out.Count = int32(seg.Len())
+	out.CarID = int32(car[len(car)-1])
+	out.LastPos = int32(pos[len(pos)-1])
+	distinct := make(map[int64]struct{}, 2)
+	for _, p := range pos {
+		distinct[p] = struct{}{}
+	}
+	out.DistinctPos = int32(len(distinct))
+	return out
+}
+
+// foldAccidentAlert is the vectorized q2.window fold: the stopped-car count
+// per (position, window).
+func foldAccidentAlert(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	out := &AccidentAlert{Base: core.NewBase(start)}
+	pos := seg.Int64s(stoppedFieldLastPos)
+	out.Count = int32(seg.Len())
+	out.Pos = int32(pos[len(pos)-1])
+	return out
 }

@@ -40,7 +40,7 @@ func AddQ1Stage2(b *query.Builder, from *query.Node) *query.Node {
 			out.DistinctPos = int32(len(distinct))
 			return out
 		},
-	}).Columnar(query.ColSpec{Schema: PositionReportSchema, Key: keyCarID})
+	}).ColumnarAgg(query.AggColSpec{Schema: PositionReportSchema, Key: keyCarID, Fold: foldStoppedCar})
 	stopped := b.AddFilter("q1.stopped", func(t core.Tuple) bool {
 		s := t.(*StoppedCar)
 		return s.Count == StopReports && s.DistinctPos == 1
@@ -75,7 +75,7 @@ func AddQ2Stage2(b *query.Builder, from *query.Node) *query.Node {
 			}
 			return out
 		},
-	}).Columnar(query.ColSpec{Schema: StoppedCarSchema, Key: keyLastPos})
+	}).ColumnarAgg(query.AggColSpec{Schema: StoppedCarSchema, Key: keyLastPos, Fold: foldAccidentAlert})
 	accident := b.AddFilter("q2.accident", func(t core.Tuple) bool {
 		return t.(*AccidentAlert).Count >= AccidentCars
 	}).Columnar(query.ColSpec{Schema: AccidentAlertSchema, Filter: filterAccident})

@@ -1,0 +1,12 @@
+package colkind_test
+
+import (
+	"testing"
+
+	"genealog/internal/lint/analysistest"
+	"genealog/internal/lint/colkind"
+)
+
+func TestColKind(t *testing.T) {
+	analysistest.Run(t, "testdata", colkind.Analyzer, "a")
+}

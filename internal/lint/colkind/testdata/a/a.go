@@ -1,0 +1,98 @@
+// Seeded cases for the colkind analyzer.
+package a
+
+import (
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+const (
+	fieldSpeed = iota // ColFloat64
+	fieldLane         // ColInt64
+	fieldWay          // ColString
+)
+
+var road = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "speed", Kind: ops.ColFloat64, Float: func(t core.Tuple) float64 { return 0 }},
+	{Name: "lane", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return 0 }},
+	{Name: "way", Kind: ops.ColString, Str: func(t core.Tuple) string { return "" }},
+}}
+
+func goodFilter(c *ops.ColBatch, sel []int, dst []int) []int {
+	speeds := c.Float64s(fieldSpeed)
+	lanes := c.Int64s(fieldLane)
+	for _, i := range sel {
+		if speeds[i] > 0 && lanes[i] == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+var goodSpec = query.ColSpec{Schema: road, Filter: goodFilter}
+
+func mistypedFilter(c *ops.ColBatch, sel []int, dst []int) []int {
+	lanes := c.Int64s(fieldSpeed) // want `kernel reads Int64s\(0\) but schema road field "speed" is ColFloat64 \(want ColInt64\)`
+	for _, i := range sel {
+		if lanes[i] == 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+var badSpec = query.ColSpec{Schema: road, Filter: mistypedFilter}
+
+var outOfRangeStage = ops.ColStage{
+	Name: "oob", Kind: ops.StageFilter, Schema: road,
+	Filter: func(c *ops.ColBatch, sel []int, dst []int) []int {
+		_ = c.Float64s(3) // want `kernel reads Float64s\(3\) but schema road declares only 3 fields`
+		return dst
+	},
+}
+
+// Stateful bindings: the fold reads the aggregate's own schema...
+func badFold(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	_ = seg.Strings(fieldLane) // want `kernel reads Strings\(1\) but schema road field "lane" is ColInt64 \(want ColString\)`
+	return nil
+}
+
+var badAgg = query.AggColSpec{Schema: road, Fold: badFold}
+
+// ...while a join residual probes the opposite side's window state:
+// ResidualL's candidates are the right buffer, ResidualR's the left.
+var leftCols = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "lv", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return 0 }},
+}}
+
+var rightCols = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "rv", Kind: ops.ColFloat64, Float: func(t core.Tuple) float64 { return 0 }},
+}}
+
+func probeRight(t core.Tuple, cand *ops.ColSeg, sel []int, dst []int) []int {
+	_ = cand.Int64s(0) // want `kernel reads Int64s\(0\) but schema rightCols field "rv" is ColFloat64 \(want ColInt64\)`
+	return dst
+}
+
+func probeLeft(t core.Tuple, cand *ops.ColSeg, sel []int, dst []int) []int {
+	_ = cand.Int64s(0) // fine: the left buffer's field 0 is ColInt64
+	return dst
+}
+
+var joinSpec = query.JoinColSpec{
+	Left: leftCols, Right: rightCols,
+	ResidualL: probeRight, ResidualR: probeLeft,
+}
+
+// A schema reassigned after its declaration is no longer statically known;
+// kernels bound with it are out of scope (under-approximation, no report).
+var mutable = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "v", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return 0 }},
+}}
+
+func init() {
+	mutable = road
+}
+
+var unresolvable = query.ColSpec{Schema: mutable, Filter: mistypedFilter}

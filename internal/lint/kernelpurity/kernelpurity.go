@@ -1,7 +1,8 @@
 // Package kernelpurity enforces the purity contract on columnar kernels —
 // the functions bound as query.ColSpec / ops.ColStage stage funcs
-// (FilterKernel, MapKernel, KeyKernel), ops.ColKey kernels, and ColField
-// extractors.
+// (FilterKernel, MapKernel, KeyKernel), ops.ColKey kernels, ColField
+// extractors, and the stateful kernels bound in AggColSpec (Key, Fold) and
+// JoinColSpec (LeftKey, RightKey, ResidualL, ResidualR).
 //
 // The vectorized runtime makes three assumptions a kernel must not break:
 //
@@ -10,7 +11,9 @@
 //     positions — a kernel that writes into a column, mutates the Rows meta
 //     column, returns a batch-owned slice, or stashes one in captured or
 //     package-level state observes garbage on the next run (or corrupts the
-//     tuples every downstream contribution graph pins by identity);
+//     tuples every downstream contribution graph pins by identity); ColSeg
+//     columns (fold and probe kernels) are views over window state recycled
+//     as windows slide, with the same rules;
 //   - kernels run inside the operator loop, possibly on several shard lanes
 //     at once over shared schemas — writing non-local state is a data race;
 //   - kernels compute, operators communicate — a kernel that performs
@@ -42,13 +45,23 @@ var kernelFields = map[string]map[string]bool{
 	"ColStage": {"Filter": true, "Map": true},
 	"ColKey":   {"Kernel": true},
 	"ColField": {"Int": true, "Float": true, "Str": true},
+	// Stateful binding sites: ops.AggColSpec/query.AggColSpec and
+	// ops.JoinColSpec/query.JoinColSpec share field names, so one entry
+	// covers both levels (fields a level lacks simply never match).
+	"AggColSpec":  {"Key": true, "Fold": true},
+	"JoinColSpec": {"LeftKey": true, "RightKey": true, "ResidualL": true, "ResidualR": true},
 }
 
 // kernelTypes are the named kernel types a conversion can bind a function to.
-var kernelTypes = map[string]bool{"FilterKernel": true, "MapKernel": true, "KeyKernel": true}
+var kernelTypes = map[string]bool{
+	"FilterKernel": true, "MapKernel": true, "KeyKernel": true,
+	"AggKernel": true, "ProbeKernel": true,
+}
 
-// accessors are the ColBatch methods returning batch-owned column slices.
-var accessors = map[string]bool{"Timestamps": true, "Int64s": true, "Float64s": true, "Strings": true}
+// accessors are the ColBatch/ColSeg methods returning runtime-owned column
+// slices. Rows is a field on ColBatch (caught by the path check) but a method
+// on ColSeg.
+var accessors = map[string]bool{"Rows": true, "Timestamps": true, "Int64s": true, "Float64s": true, "Strings": true}
 
 // streamMethods are the ops.Stream methods a kernel must never call.
 var streamMethods = map[string]bool{
@@ -179,13 +192,16 @@ func (c *checker) checkKernelExpr(e ast.Expr) {
 func (c *checker) checkKernel(fnNode ast.Node, ftype *ast.FuncType, body *ast.BlockStmt) {
 	info := c.pass.TypesInfo
 
-	// The ColBatch parameter, if the kernel has one (extractors do not).
+	// The ColBatch or ColSeg parameter, if the kernel has one (extractors do
+	// not; fold and probe kernels receive a window segment instead of a
+	// batch, with identical ownership rules).
 	var batch types.Object
 	if ftype.Params != nil {
 		for _, field := range ftype.Params.List {
 			for _, name := range field.Names {
 				obj := info.Defs[name]
-				if obj != nil && analysisutil.IsNamedType(obj.Type(), opsPath, "ColBatch") {
+				if obj != nil && (analysisutil.IsNamedType(obj.Type(), opsPath, "ColBatch") ||
+					analysisutil.IsNamedType(obj.Type(), opsPath, "ColSeg")) {
 					batch = obj
 				}
 			}
@@ -310,15 +326,16 @@ func (c *checker) batchOwned(e ast.Expr, batch types.Object, colAliases map[type
 	return ""
 }
 
-// accessorCall describes call if it is a ColBatch column accessor on batch.
+// accessorCall describes call if it is a ColBatch or ColSeg column accessor
+// on batch.
 func (c *checker) accessorCall(call *ast.CallExpr, batch types.Object) string {
 	fn := analysisutil.Callee(c.pass.TypesInfo, call)
 	if fn == nil || !accessors[fn.Name()] {
 		return ""
 	}
 	recv := analysisutil.Receiver(fn)
-	if recv == nil || recv.Obj().Pkg() == nil ||
-		recv.Obj().Pkg().Path() != opsPath || recv.Obj().Name() != "ColBatch" {
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != opsPath ||
+		(recv.Obj().Name() != "ColBatch" && recv.Obj().Name() != "ColSeg") {
 		return ""
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)

@@ -84,3 +84,35 @@ func unbound(c *ops.ColBatch, sel []int, dst []int) []int {
 	leaked = c.Int64s(0)
 	return dst
 }
+
+// Stateful kernels: fold and probe kernels receive a ColSeg whose columns
+// are window state recycled as windows slide — same ownership rules.
+
+var winLeaked []int64
+
+func impureFold(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	winLeaked = seg.Int64s(0) // want `columnar kernel writes non-local state winLeaked`
+	seg.Int64s(0)[0] = 9      // want `columnar kernel writes into the column returned by Int64s`
+	return nil
+}
+
+var badAggSpec = query.AggColSpec{Schema: schema, Fold: impureFold}
+
+func impureProbe(t core.Tuple, cand *ops.ColSeg, sel []int, dst []int) []int {
+	rows := cand.Rows()
+	rows[0] = nil // want `columnar kernel writes into the column returned by Rows`
+	return dst
+}
+
+var badJoinSpec = query.JoinColSpec{ResidualL: impureProbe, ResidualR: impureProbe}
+
+func pureFold(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	var sum int64
+	for _, v := range seg.Int64s(0) {
+		sum += v
+	}
+	_ = sum
+	return nil
+}
+
+var goodAggSpec = ops.AggColSpec{Schema: schema, Fold: pureFold}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"genealog/internal/lint/analysis"
+	"genealog/internal/lint/colkind"
 	"genealog/internal/lint/kernelpurity"
 	"genealog/internal/lint/provcheck"
 	"genealog/internal/lint/streamproto"
@@ -11,6 +12,7 @@ import (
 // All returns every registered analyzer, in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		colkind.Analyzer,
 		kernelpurity.Analyzer,
 		provcheck.Analyzer,
 		streamproto.Analyzer,

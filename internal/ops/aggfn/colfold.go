@@ -1,0 +1,106 @@
+package aggfn
+
+import (
+	"math"
+
+	"genealog/internal/ops"
+)
+
+// This file provides the columnar twins of the row fold building blocks: a
+// ColFold reduces one window's column segment (ops.ColSeg) instead of a tuple
+// slice, addressing the aggregated feature by schema field index instead of
+// an Extract closure. Paired with the row folds they make it easy to declare
+// an AggColSpec whose kernel computes exactly what the row Fold computes —
+// each ColFold iterates the segment in row order, so even float reductions
+// are bit-identical to their row counterparts over the same window.
+
+// ColFold reduces a window segment (timestamp-ordered, never empty) to one
+// value. Like every kernel it must treat the segment as immutable and retain
+// nothing from it.
+type ColFold func(seg *ops.ColSeg) float64
+
+// ColCount returns the number of rows in the segment.
+func ColCount() ColFold {
+	return func(s *ops.ColSeg) float64 { return float64(s.Len()) }
+}
+
+// ColSum adds the ColFloat64 field over the segment, in row order.
+func ColSum(field int) ColFold {
+	return func(s *ops.ColSeg) float64 {
+		var sum float64
+		for _, v := range s.Float64s(field) {
+			sum += v
+		}
+		return sum
+	}
+}
+
+// ColAvg averages the ColFloat64 field over the segment.
+func ColAvg(field int) ColFold {
+	sum := ColSum(field)
+	return func(s *ops.ColSeg) float64 { return sum(s) / float64(s.Len()) }
+}
+
+// ColMin returns the smallest value of the ColFloat64 field in the segment.
+func ColMin(field int) ColFold {
+	return func(s *ops.ColSeg) float64 {
+		m := math.Inf(1)
+		for _, v := range s.Float64s(field) {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// ColMax returns the largest value of the ColFloat64 field in the segment.
+func ColMax(field int) ColFold {
+	return func(s *ops.ColSeg) float64 {
+		m := math.Inf(-1)
+		for _, v := range s.Float64s(field) {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// ColFirst returns the ColFloat64 field of the earliest row in the segment.
+func ColFirst(field int) ColFold {
+	return func(s *ops.ColSeg) float64 { return s.Float64s(field)[0] }
+}
+
+// ColLast returns the ColFloat64 field of the latest row in the segment.
+func ColLast(field int) ColFold {
+	return func(s *ops.ColSeg) float64 {
+		col := s.Float64s(field)
+		return col[len(col)-1]
+	}
+}
+
+// ColDistinctInt counts the distinct values of the ColInt64 field over the
+// segment (e.g. Q1's distinct(pos) over the pos column).
+func ColDistinctInt(field int) ColFold {
+	return func(s *ops.ColSeg) float64 {
+		col := s.Int64s(field)
+		seen := make(map[int64]struct{}, len(col))
+		for _, v := range col {
+			seen[v] = struct{}{}
+		}
+		return float64(len(seen))
+	}
+}
+
+// ColCombine evaluates several columnar folds over the same segment in one
+// call, returning the results in order.
+func ColCombine(folds ...ColFold) func(seg *ops.ColSeg) []float64 {
+	return func(s *ops.ColSeg) []float64 {
+		out := make([]float64, len(folds))
+		for i, f := range folds {
+			out[i] = f(s)
+		}
+		return out
+	}
+}

@@ -1,0 +1,104 @@
+package aggfn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// The test schema extracts vTuple.Val as a float column (field 0) and its
+// integer truncation as an int column (field 1).
+const (
+	fieldVal = iota
+	fieldValInt
+)
+
+var colSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "val", Kind: ops.ColFloat64, Float: val},
+	{Name: "val-int", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(val(t)) }},
+}}
+
+func seg(vals ...float64) ops.ColSeg {
+	return ops.NewColSeg(colSchema, window(vals...))
+}
+
+func TestColFolds(t *testing.T) {
+	s := seg(3, 1, 4, 1, 5)
+	cases := []struct {
+		name string
+		fold ColFold
+		want float64
+	}{
+		{"count", ColCount(), 5},
+		{"sum", ColSum(fieldVal), 14},
+		{"avg", ColAvg(fieldVal), 2.8},
+		{"min", ColMin(fieldVal), 1},
+		{"max", ColMax(fieldVal), 5},
+		{"first", ColFirst(fieldVal), 3},
+		{"last", ColLast(fieldVal), 5},
+		{"distinct-int", ColDistinctInt(fieldValInt), 4},
+	}
+	for _, c := range cases {
+		if got := c.fold(&s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestColCombine(t *testing.T) {
+	s := seg(2, 4)
+	got := ColCombine(ColCount(), ColSum(fieldVal), ColMax(fieldVal))(&s)
+	want := []float64{2, 6, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("combine = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestColFoldsMatchRowFolds: over any window, each columnar fold must return
+// bit-identical results to its row twin — the property that lets an
+// AggColSpec built from these blocks replace a row Fold without changing a
+// single sink byte.
+func TestColFoldsMatchRowFolds(t *testing.T) {
+	pairs := []struct {
+		name string
+		row  Fold
+		col  ColFold
+	}{
+		{"count", Count(), ColCount()},
+		{"sum", Sum(val), ColSum(fieldVal)},
+		{"avg", Avg(val), ColAvg(fieldVal)},
+		{"min", Min(val), ColMin(fieldVal)},
+		{"max", Max(val), ColMax(fieldVal)},
+		{"first", First(val), ColFirst(fieldVal)},
+		{"last", Last(val), ColLast(fieldVal)},
+		{"distinct", DistinctCount(func(tp core.Tuple) string {
+			return strconv.FormatInt(int64(val(tp)), 10)
+		}), ColDistinctInt(fieldValInt)},
+	}
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		w := window(vals...)
+		s := ops.NewColSeg(colSchema, w)
+		for _, p := range pairs {
+			if p.row(w) != p.col(&s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -311,7 +311,7 @@ func (a *Aggregate) emitDue(ctx context.Context) error {
 				}
 			}
 		}
-		a.instrumentEmit(out, e.win)
+		instrumentAggEmit(a.instr, a.spec.Contributors, out, e.win)
 		a.lastEmit, a.haveEmit = out.Timestamp(), true
 		if err := a.out.Send(ctx, out); err != nil {
 			return err
@@ -320,18 +320,19 @@ func (a *Aggregate) emitDue(ctx context.Context) error {
 	return nil
 }
 
-// instrumentEmit links a window output to its contributing tuples. With the
-// default semantics every window tuple contributes and the group buffer's N
-// chain is reused. With a Contributors selector, a fresh chain of linkTuple
-// wrappers (one MAP-typed wrapper per selected tuple) is built instead, so
-// traversal — and memory retention — covers exactly the selected subset
-// even though the group chain runs through non-contributing tuples.
-func (a *Aggregate) instrumentEmit(out core.Tuple, win []core.Tuple) {
-	if a.spec.Contributors == nil {
-		a.instr.OnAggregateEmit(out, win)
+// instrumentAggEmit links a window output to its contributing tuples — the
+// shared emission instrumentation of the row and columnar aggregates. With
+// the default semantics every window tuple contributes and the group
+// buffer's N chain is reused. With a Contributors selector, a fresh chain of
+// linkTuple wrappers (one MAP-typed wrapper per selected tuple) is built
+// instead, so traversal — and memory retention — covers exactly the selected
+// subset even though the group chain runs through non-contributing tuples.
+func instrumentAggEmit(instr core.Instrumenter, contributors func([]core.Tuple) []core.Tuple, out core.Tuple, win []core.Tuple) {
+	if contributors == nil {
+		instr.OnAggregateEmit(out, win)
 		return
 	}
-	subset := a.spec.Contributors(win)
+	subset := contributors(win)
 	if len(subset) == 0 {
 		return
 	}
@@ -339,14 +340,14 @@ func (a *Aggregate) instrumentEmit(out core.Tuple, win []core.Tuple) {
 	var prev core.Tuple
 	for i, s := range subset {
 		w := &linkTuple{Base: core.NewBase(s.Timestamp())}
-		a.instr.OnMap(w, s)
+		instr.OnMap(w, s)
 		if prev != nil {
-			a.instr.OnAggregateLink(prev, w)
+			instr.OnAggregateLink(prev, w)
 		}
 		chain[i] = w
 		prev = w
 	}
-	a.instr.OnAggregateEmit(out, chain)
+	instr.OnAggregateEmit(out, chain)
 }
 
 // linkTuple is a provenance-only wrapper used by selective aggregate

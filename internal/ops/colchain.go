@@ -163,18 +163,6 @@ func (c *ColChain) Run(ctx context.Context) error {
 	}
 }
 
-// fullSel returns the identity selection of length n, grown once with an
-// exact allocation.
-func (c *ColChain) fullSel(n int) []int {
-	if cap(c.iota) < n {
-		c.iota = make([]int, 0, n)
-	}
-	for len(c.iota) < n {
-		c.iota = append(c.iota, len(c.iota))
-	}
-	return c.iota[:n]
-}
-
 // processRun pushes one run of data tuples through the kernels and
 // materialises the result in row order: live positions deliver, dead
 // positions advertise the timestamp the tuple carried when its filter
@@ -186,7 +174,7 @@ func (c *ColChain) processRun(rows []core.Tuple) {
 	// sel holds the live positions, in row order, throughout the chain.
 	// Filter kernels alternate between the two swap buffers, never writing
 	// into the slice they read.
-	sel := c.fullSel(len(rows))
+	sel := growIota(&c.iota, len(rows))
 	if cap(c.selBuf[0]) < len(rows) {
 		c.selBuf[0] = make([]int, 0, len(rows))
 		c.selBuf[1] = make([]int, 0, len(rows))
@@ -201,7 +189,16 @@ func (c *ColChain) processRun(rows []core.Tuple) {
 		// kernel reads it, and columns already extracted for an earlier
 		// stage of this run under the same schema stay valid. The first
 		// bind of a run invalidates — the batch buffer may be recycled.
-		c.cb.bind(st.Schema, rows, sel)
+		// While the selection is still full (sel is a prefix of the
+		// identity covering every row) bind with a nil fill selection:
+		// lazy fills then range the rows directly instead of walking the
+		// selection vector — the per-run extraction fixed cost that
+		// dominates small batches.
+		fillSel := sel
+		if len(sel) == len(rows) {
+			fillSel = nil
+		}
+		c.cb.bind(st.Schema, rows, fillSel)
 		if fresh {
 			c.cb.invalidate()
 			fresh = false
@@ -270,6 +267,11 @@ func (c *ColChain) processRun(rows []core.Tuple) {
 				c.cb.invalidate()
 			}
 		}
+	}
+	// Every row survived: one bulk gather, no merge-walk.
+	if len(sel) == len(rows) {
+		c.deliverGather(rows, sel)
+		return
 	}
 	// Materialise by merge-walking rows against the (ascending) survivor
 	// positions. Survivors accumulate into a pending segment of sel that is

@@ -1,0 +1,321 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"genealog/internal/core"
+)
+
+// JoinColSpec declares the columnar execution of a keyed Join: hash-probed
+// window state instead of a full-buffer predicate scan. The contract tying
+// it to the row spec is that the row Predicate must be exactly
+//
+//	LeftKey(l) == RightKey(r)  &&  residual(l, r)
+//
+// — the key equality a sharded join already requires, plus an optional
+// residual condition. The hash probe enforces the key equality; the residual
+// kernels, when declared, filter the same-key candidates over typed columns.
+// A pure equi-join (like Q4's meter match) declares no residual and the
+// probe's candidate list is the final match list.
+type JoinColSpec struct {
+	// Left and Right declare the columns buffered per side's window state;
+	// required only when the residual kernels read them (both may be nil for
+	// a pure equi-join).
+	Left, Right *ColSchema
+	// ResidualL filters candidates when the incoming tuple is a left tuple
+	// (cand is the right buffer, under the Right schema); ResidualR when it
+	// is a right tuple (cand is the left buffer, under Left). Both or
+	// neither must be set.
+	ResidualL, ResidualR ProbeKernel
+}
+
+func (c JoinColSpec) validate(row JoinSpec) error {
+	if row.LeftKey == nil || row.RightKey == nil {
+		return errors.New("columnar join requires a keyed spec (LeftKey and RightKey)")
+	}
+	if (c.ResidualL != nil) != (c.ResidualR != nil) {
+		return errors.New("columnar join: ResidualL and ResidualR must be set together")
+	}
+	if c.ResidualL != nil {
+		if c.Left == nil || c.Right == nil {
+			return errors.New("columnar join: residual kernels need the Left and Right schemas")
+		}
+		if err := c.Left.Validate(); err != nil {
+			return err
+		}
+		if err := c.Right.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emptyColSchema backs the window state of a join side with no declared
+// columns: rows, timestamps and keys only.
+var emptyColSchema = &ColSchema{}
+
+// colJoinBuf is one side's window state: a ColWindow for the rows,
+// timestamps and typed columns, the precomputed equi-join keys, and a hash
+// index from key to buffered positions in arrival order. Positions in the
+// index are logical (monotonic since stream start); base maps them to the
+// current physical offsets, so purges never rewrite the index — they pop
+// each purged row's entry off the head of its key's list, which holds
+// because purges remove a global arrival-order prefix.
+type colJoinBuf struct {
+	w     *ColWindow
+	keys  []string
+	base  int
+	index map[string][]int
+}
+
+func newColJoinBuf(schema *ColSchema) colJoinBuf {
+	if schema == nil {
+		schema = emptyColSchema
+	}
+	return colJoinBuf{w: newColWindow(schema), index: make(map[string][]int)}
+}
+
+// append buffers one tuple under its equi-join key.
+func (b *colJoinBuf) append(t core.Tuple, ts int64, key string) {
+	b.index[key] = append(b.index[key], b.base+b.w.Len())
+	b.keys = append(b.keys, key)
+	b.w.appendRow(t, ts)
+}
+
+// purge drops the (timestamp-ordered) prefix strictly older than horizon
+// from the window state and the hash index.
+func (b *colJoinBuf) purge(horizon int64) {
+	ts := b.w.liveTs()
+	n := 0
+	for n < len(ts) && ts[n] < horizon {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		key := b.keys[i]
+		list := b.index[key]
+		if len(list) == 1 {
+			delete(b.index, key)
+		} else {
+			b.index[key] = list[1:]
+		}
+	}
+	// Advance the slice header like ColWindow.purge — O(1), with the dead
+	// prefix reclaimed on a later growing append.
+	for i := 0; i < n; i++ {
+		b.keys[i] = ""
+	}
+	b.keys = b.keys[n:]
+	b.w.purge(n)
+	b.base += n
+}
+
+// release drops the whole window state at end-of-stream.
+func (b *colJoinBuf) release() {
+	b.w = nil
+	b.keys = nil
+	b.index = nil
+}
+
+// ColJoin is the vectorized twin of a keyed Join: the same deterministic
+// timestamp-sorted merge, match order, provenance hooks and (timestamp,
+// left key, right key) emission tie-break, but each side's window state is a
+// hash-indexed colJoinBuf, so a probe touches exactly the buffered tuples
+// sharing the incoming tuple's equi-join key instead of scanning the whole
+// window with the predicate closure.
+//
+// Equivalence: the row path probes the opposite buffer in arrival order and
+// only same-key pairs can match (the JoinColSpec contract), so the per-key
+// candidate list — also in arrival order — yields the same matches in the
+// same relative order; and because a keyed join sorts same-timestamp
+// outputs by (left key, right key) with a stable sort before emitting, the
+// downstream byte sequence is identical. Purges keep every buffered
+// candidate within the WS window (the merge delivers in timestamp order),
+// so the hash probe never needs a per-pair window check.
+type ColJoin struct {
+	joinEmitter
+
+	name    string
+	left    *Stream
+	right   *Stream
+	spec    JoinSpec
+	col     JoinColSpec
+	instr   core.Instrumenter
+	prefixL []FusedStage
+	prefixR []FusedStage
+
+	bufL colJoinBuf
+	bufR colJoinBuf
+
+	// Probe scratch: phys holds the candidates' physical positions, res the
+	// residual kernel's output buffer.
+	phys []int
+	res  []int
+}
+
+var _ Operator = (*ColJoin)(nil)
+
+// NewColJoin returns a vectorized keyed Join applying each side's inlined
+// prefix (either may be empty) before the merge; it panics if the row spec,
+// the columnar spec or a stage is invalid (a programming error caught at
+// query-construction time). Prefixes stay row stages: the merge consumes
+// tuple-at-a-time, so there is no run for a columnar prefix to batch over.
+func NewColJoin(name string, left, right, out *Stream, spec JoinSpec, col JoinColSpec, prefixL, prefixR []FusedStage, instr core.Instrumenter) *ColJoin {
+	if err := spec.validate(); err != nil {
+		panic(fmt.Sprintf("join %q: %v", name, err))
+	}
+	if err := col.validate(spec); err != nil {
+		panic(fmt.Sprintf("join %q: %v", name, err))
+	}
+	for _, s := range append(append([]FusedStage(nil), prefixL...), prefixR...) {
+		if err := s.validate(); err != nil {
+			panic(fmt.Sprintf("join %q: %v", name, err))
+		}
+	}
+	return &ColJoin{
+		joinEmitter: joinEmitter{out: out},
+		name:        name, left: left, right: right, spec: spec, col: col, instr: instr,
+		prefixL: prefixL, prefixR: prefixR,
+		bufL: newColJoinBuf(col.Left), bufR: newColJoinBuf(col.Right),
+	}
+}
+
+// Name implements Operator.
+func (j *ColJoin) Name() string { return j.name }
+
+// Run implements Operator; the loop structure mirrors the row Join exactly.
+func (j *ColJoin) Run(ctx context.Context) error {
+	defer j.out.CloseSend(ctx)
+	var apL, apR *stageApplier
+	if len(j.prefixL) > 0 {
+		apL = newStageApplier(j.prefixL, j.instr,
+			func(t core.Tuple) error { return j.step(ctx, t, true) },
+			func(ts int64) error { return j.watermark(ctx, ts) })
+	}
+	if len(j.prefixR) > 0 {
+		apR = newStageApplier(j.prefixR, j.instr,
+			func(t core.Tuple) error { return j.step(ctx, t, false) },
+			func(ts int64) error { return j.watermark(ctx, ts) })
+	}
+	merge := newTSMerge([]*Stream{j.left, j.right})
+	merge.onStarve = j.out.Flush
+	for {
+		t, input, ok, err := merge.Next(ctx)
+		if err != nil {
+			return fmt.Errorf("join %q: %w", j.name, err)
+		}
+		if !ok {
+			err := j.flushPending(ctx)
+			j.bufL.release()
+			j.bufR.release()
+			if err != nil {
+				return fmt.Errorf("join %q: %w", j.name, err)
+			}
+			return nil
+		}
+		fromLeft := input == 0
+		ap := apL
+		if !fromLeft {
+			ap = apR
+		}
+		switch {
+		case core.IsHeartbeat(t):
+			horizon := t.Timestamp() - j.spec.WS
+			j.bufL.purge(horizon)
+			j.bufR.purge(horizon)
+			if ap != nil {
+				err = ap.skip(t.Timestamp())
+			} else {
+				err = j.watermark(ctx, t.Timestamp())
+			}
+		case ap != nil:
+			err = ap.run(t)
+		default:
+			err = j.step(ctx, t, fromLeft)
+		}
+		if err != nil {
+			return fmt.Errorf("join %q: %w", j.name, err)
+		}
+	}
+}
+
+// step processes one data tuple: purge, hash-probe the opposite buffer's
+// same-key candidates in arrival order, emit the matches, insert, advertise.
+func (j *ColJoin) step(ctx context.Context, t core.Tuple, fromLeft bool) error {
+	ts := t.Timestamp()
+	if len(j.pending) > 0 && ts > j.pendingTs {
+		if err := j.flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	horizon := ts - j.spec.WS
+	j.bufL.purge(horizon)
+	j.bufR.purge(horizon)
+	var key string
+	var opp *colJoinBuf
+	residual := j.col.ResidualL
+	if fromLeft {
+		key = j.spec.LeftKey(t)
+		opp = &j.bufR
+	} else {
+		key = j.spec.RightKey(t)
+		opp = &j.bufL
+		residual = j.col.ResidualR
+	}
+	phys := j.phys[:0]
+	for _, lp := range opp.index[key] {
+		phys = append(phys, lp-opp.base)
+	}
+	j.phys = phys
+	if residual != nil && len(phys) > 0 {
+		seg := opp.w.seg(0, opp.w.Len())
+		j.res = residual(t, &seg, phys, j.res[:0])
+		phys = j.res
+	}
+	tm := core.MetaOf(t)
+	oppRows, oppMetas, oppTs := opp.w.liveRows(), opp.w.liveMetas(), opp.w.liveTs()
+	for _, i := range phys {
+		o := oppRows[i]
+		l, r := t, o
+		lk, rk := key, opp.keys[i]
+		if !fromLeft {
+			l, r = o, t
+			lk, rk = opp.keys[i], key
+		}
+		out := j.spec.Combine(l, r)
+		if out == nil {
+			continue
+		}
+		if m := core.MetaOf(out); m != nil {
+			// The buffered side's meta and timestamp come from the window
+			// columns extracted at append; t's meta is asserted once per
+			// probe, not once per match.
+			m.SetTimestamp(maxInt64(ts, oppTs[i]))
+			lm, rm := tm, oppMetas[i]
+			if !fromLeft {
+				lm, rm = rm, lm
+			}
+			if lm != nil {
+				m.MergeStimulus(lm.Stimulus())
+			}
+			if rm != nil {
+				m.MergeStimulus(rm.Stimulus())
+			}
+		}
+		// The incoming tuple t is at least as recent as the buffered o.
+		j.instr.OnJoin(out, t, o)
+		j.hold(out, lk, rk)
+	}
+	if fromLeft {
+		j.bufL.append(t, ts, key)
+	} else {
+		j.bufR.append(t, ts, key)
+	}
+	// A join between matches creates sparsity; keep downstream merges
+	// informed of the watermark.
+	return j.watermark(ctx, ts)
+}

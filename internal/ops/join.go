@@ -49,6 +49,79 @@ type pendingJoinOut struct {
 	lk, rk string
 }
 
+// joinEmitter is the output side shared by the row and columnar joins: the
+// keyed same-timestamp tie-break buffer and the coalesced watermark
+// advertisements. Both operators feed it the same match sequence, so their
+// downstream-visible output is byte-identical by construction.
+type joinEmitter struct {
+	out *Stream
+
+	pending   []pendingJoinOut
+	pendingTs int64
+
+	lastOut  int64 // watermark already visible downstream (tuple or heartbeat)
+	haveLast bool
+}
+
+// hold defers a keyed output for the (left key, right key) tie-break.
+func (e *joinEmitter) hold(out core.Tuple, lk, rk string) {
+	e.pending = append(e.pending, pendingJoinOut{out: out, lk: lk, rk: rk})
+	e.pendingTs = out.Timestamp()
+}
+
+// watermark advances the downstream watermark to ts, first flushing any
+// pending keyed outputs it strictly passes. While outputs are pending at ts
+// itself, the advance is withheld — later merge deliveries at the same
+// timestamp may still add same-timestamp matches that must sort with them.
+func (e *joinEmitter) watermark(ctx context.Context, ts int64) error {
+	if len(e.pending) > 0 {
+		if ts <= e.pendingTs {
+			return nil
+		}
+		if err := e.flushPending(ctx); err != nil {
+			return err
+		}
+	}
+	return e.advertise(ctx, ts)
+}
+
+// flushPending emits the held same-timestamp outputs sorted by (left key,
+// right key). The sort is stable, so outputs sharing both keys keep their
+// deterministic match order.
+func (e *joinEmitter) flushPending(ctx context.Context) error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(e.pending, func(a, b int) bool {
+		pa, pb := e.pending[a], e.pending[b]
+		if pa.lk != pb.lk {
+			return pa.lk < pb.lk
+		}
+		return pa.rk < pb.rk
+	})
+	for i, p := range e.pending {
+		e.lastOut, e.haveLast = p.out.Timestamp(), true
+		if err := e.out.Send(ctx, p.out); err != nil {
+			return err
+		}
+		e.pending[i] = pendingJoinOut{}
+	}
+	e.pending = e.pending[:0]
+	return nil
+}
+
+// advertise emits a Heartbeat once per watermark advance: every future
+// output pairs the incoming side's tuple (timestamp >= the merged watermark)
+// with a buffered one, so its event time — the pair maximum — cannot precede
+// the watermark.
+func (e *joinEmitter) advertise(ctx context.Context, watermark int64) error {
+	if e.haveLast && watermark <= e.lastOut {
+		return nil
+	}
+	e.lastOut, e.haveLast = watermark, true
+	return e.out.Send(ctx, core.NewHeartbeat(watermark))
+}
+
 // Join produces one output tuple for every pair of left/right tuples within
 // event-time distance WS that satisfies the predicate (paper §2). The two
 // inputs are consumed through the deterministic timestamp-sorted merge, so
@@ -68,10 +141,11 @@ type pendingJoinOut struct {
 // prefixes must preserve timestamps, which the planner guarantees by only
 // hoisting Map-free chains above join partitions.
 type Join struct {
+	joinEmitter
+
 	name    string
 	left    *Stream
 	right   *Stream
-	out     *Stream
 	spec    JoinSpec
 	instr   core.Instrumenter
 	prefixL []FusedStage
@@ -80,12 +154,6 @@ type Join struct {
 	keyed bool
 	bufL  []core.Tuple
 	bufR  []core.Tuple
-
-	pending   []pendingJoinOut
-	pendingTs int64
-
-	lastOut  int64 // watermark already visible downstream (tuple or heartbeat)
-	haveLast bool
 }
 
 var _ Operator = (*Join)(nil)
@@ -109,7 +177,8 @@ func NewJoinFused(name string, left, right, out *Stream, spec JoinSpec, prefixL,
 		}
 	}
 	return &Join{
-		name: name, left: left, right: right, out: out, spec: spec, instr: instr,
+		joinEmitter: joinEmitter{out: out},
+		name:        name, left: left, right: right, spec: spec, instr: instr,
 		prefixL: prefixL, prefixR: prefixR,
 		keyed: spec.LeftKey != nil && spec.RightKey != nil,
 	}
@@ -219,8 +288,7 @@ func (j *Join) step(ctx context.Context, t core.Tuple, fromLeft bool) error {
 			// Hold same-timestamp outputs for the (left key, right key)
 			// tie-break; the merge delivers in timestamp order, so every
 			// output of this step carries t's timestamp.
-			j.pending = append(j.pending, pendingJoinOut{out: out, lk: j.spec.LeftKey(l), rk: j.spec.RightKey(r)})
-			j.pendingTs = out.Timestamp()
+			j.hold(out, j.spec.LeftKey(l), j.spec.RightKey(r))
 			continue
 		}
 		j.lastOut, j.haveLast = out.Timestamp(), true
@@ -236,59 +304,6 @@ func (j *Join) step(ctx context.Context, t core.Tuple, fromLeft bool) error {
 	// A join between matches creates sparsity; keep downstream merges
 	// informed of the watermark.
 	return j.watermark(ctx, ts)
-}
-
-// watermark advances the downstream watermark to ts, first flushing any
-// pending keyed outputs it strictly passes. While outputs are pending at ts
-// itself, the advance is withheld — later merge deliveries at the same
-// timestamp may still add same-timestamp matches that must sort with them.
-func (j *Join) watermark(ctx context.Context, ts int64) error {
-	if len(j.pending) > 0 {
-		if ts <= j.pendingTs {
-			return nil
-		}
-		if err := j.flushPending(ctx); err != nil {
-			return err
-		}
-	}
-	return j.advertise(ctx, ts)
-}
-
-// flushPending emits the held same-timestamp outputs sorted by (left key,
-// right key). The sort is stable, so outputs sharing both keys keep their
-// deterministic match order.
-func (j *Join) flushPending(ctx context.Context) error {
-	if len(j.pending) == 0 {
-		return nil
-	}
-	sort.SliceStable(j.pending, func(a, b int) bool {
-		pa, pb := j.pending[a], j.pending[b]
-		if pa.lk != pb.lk {
-			return pa.lk < pb.lk
-		}
-		return pa.rk < pb.rk
-	})
-	for i, p := range j.pending {
-		j.lastOut, j.haveLast = p.out.Timestamp(), true
-		if err := j.out.Send(ctx, p.out); err != nil {
-			return err
-		}
-		j.pending[i] = pendingJoinOut{}
-	}
-	j.pending = j.pending[:0]
-	return nil
-}
-
-// advertise emits a Heartbeat once per watermark advance: every future
-// output pairs the incoming side's tuple (timestamp >= the merged watermark)
-// with a buffered one, so its event time — the pair maximum — cannot precede
-// the watermark.
-func (j *Join) advertise(ctx context.Context, watermark int64) error {
-	if j.haveLast && watermark <= j.lastOut {
-		return nil
-	}
-	j.lastOut, j.haveLast = watermark, true
-	return j.out.Send(ctx, core.NewHeartbeat(watermark))
 }
 
 // purgeBefore drops the (timestamp-ordered) prefix of buf strictly older

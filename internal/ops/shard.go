@@ -446,6 +446,14 @@ type ShardConfig struct {
 	// value of the routing key function (ShardPrefix.routeKey) on every input
 	// tuple.
 	ColKey *ColKey
+	// Agg, when non-nil, runs every lane as a ColAggregate: columnar window
+	// state with the declared fold kernel instead of the row Fold closure.
+	Agg *AggColSpec
+	// VecPrefix carries the hoisted prefix as columnar stages when Agg is
+	// set; it must mirror Prefix.Stages one-to-one (same logical operators,
+	// kernel form), so each lane runs the whole prefix→aggregate span over
+	// columns.
+	VecPrefix []ColStage
 }
 
 // ShardJoinConfig bundles the planner-derived physical options of a sharded
@@ -459,6 +467,11 @@ type ShardJoinConfig struct {
 	// LeftColKey and RightColKey vectorize the per-side routing key
 	// extraction, like ShardConfig.ColKey.
 	LeftColKey, RightColKey *ColKey
+	// Join, when non-nil, runs every lane as a ColJoin: hash-probed window
+	// state (with optional residual kernels) instead of the row predicate
+	// scan. Lane prefixes stay row stages either way — the join's merge
+	// consumes tuple-at-a-time.
+	Join *JoinColSpec
 }
 
 // ShardAggregate expands a keyed Aggregate into parallelism independent
@@ -510,6 +523,12 @@ func ShardAggregateCfg(name string, in, out *Stream, spec AggregateSpec, instr c
 	if err := cfg.Suffix.validate(); err != nil {
 		return nil, fmt.Errorf("sharded aggregate: %w", err)
 	}
+	if cfg.Agg == nil && cfg.VecPrefix != nil {
+		return nil, errors.New("sharded aggregate: VecPrefix requires a columnar Agg spec")
+	}
+	if cfg.Agg != nil && len(cfg.VecPrefix) != len(cfg.Prefix.stages()) {
+		return nil, errors.New("sharded aggregate: VecPrefix must mirror the hoisted prefix stage for stage")
+	}
 	fold := spec.Fold
 	shardSpec := spec
 	shardSpec.Fold = func(w []core.Tuple, start, end int64, key string) core.Tuple {
@@ -519,13 +538,29 @@ func ShardAggregateCfg(name string, in, out *Stream, spec AggregateSpec, instr c
 		}
 		return &shardTagged{inner: t, key: key}
 	}
+	var shardCol AggColSpec
+	if cfg.Agg != nil {
+		colFold := cfg.Agg.Fold
+		shardCol = *cfg.Agg
+		shardCol.Fold = func(seg *ColSeg, start, end int64, key string) core.Tuple {
+			t := colFold(seg, start, end, key)
+			if t == nil {
+				return nil
+			}
+			return &shardTagged{inner: t, key: key}
+		}
+	}
 	operators := make([]Operator, 0, parallelism+2)
 	shardIns := make([]*Stream, parallelism)
 	shardOuts := make([]*Stream, parallelism)
 	for i := range shardIns {
 		shardIns[i] = NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		operators = append(operators, NewAggregateFused(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, cfg.Prefix.stages(), instr))
+		if cfg.Agg != nil {
+			operators = append(operators, NewColAggregate(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, shardCol, cfg.VecPrefix, instr))
+		} else {
+			operators = append(operators, NewAggregateFused(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, cfg.Prefix.stages(), instr))
+		}
 	}
 	operators = append(operators,
 		NewPartitionCol(name+"/part", in, shardIns, cfg.Prefix.routeKey(spec.Key), cfg.ColKey),
@@ -599,7 +634,11 @@ func ShardJoinCfg(name string, left, right, out *Stream, spec JoinSpec, instr co
 		leftIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
 		rightIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
-		operators = append(operators, NewJoinFused(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, cfg.Left.stages(), cfg.Right.stages(), instr))
+		if cfg.Join != nil {
+			operators = append(operators, NewColJoin(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, *cfg.Join, cfg.Left.stages(), cfg.Right.stages(), instr))
+		} else {
+			operators = append(operators, NewJoinFused(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, cfg.Left.stages(), cfg.Right.stages(), instr))
+		}
 	}
 	operators = append(operators,
 		NewPartitionCol(name+"/part-l", left, leftIns, cfg.Left.routeKey(spec.LeftKey), cfg.LeftColKey),

@@ -37,10 +37,14 @@ import (
 //  3. Vectorization — physical segments whose every stage declares a
 //     kernel-capable ColSpec (Filter/Map kernels plus a schema) execute as
 //     ops.ColChain operators over struct-of-arrays column batches instead of
-//     tuple-at-a-time closures, and sharded aggregates with a declared Key
-//     kernel extract batch routing keys vectorized at the partitioner. This
-//     pass runs whenever WithVectorize is on — also with fusion off, where
-//     lone declared operators still vectorize individually.
+//     tuple-at-a-time closures; stateful nodes with a declared AggColSpec or
+//     JoinColSpec execute as ColAggregate/ColJoin — columnar window state
+//     with typed fold/probe kernels — serially or inside every shard lane,
+//     where an aggregate's hoisted prefix joins the columnar span when it is
+//     itself fully kernel-capable; and partitioners whose routing key has a
+//     declared Key kernel extract batch routing keys vectorized. This pass
+//     runs whenever WithVectorize is on — also with fusion off, where lone
+//     declared operators still vectorize individually.
 //
 // With fusion disabled every logical node materialises as its own operator,
 // the pre-planner behaviour; with vectorization disabled every segment keeps
@@ -67,8 +71,9 @@ type physNode struct {
 	node  *Node   // the logical node (single/shard); the chain head (fused)
 	chain []*Node // fused: the stage nodes, upstream first
 
-	// vec marks a fused chain or single stateless node selected for the
-	// columnar runtime (pass 3).
+	// vec marks a segment selected for the columnar runtime (pass 3): a
+	// fused chain, a single declared stateless node, or a stateful node
+	// (serial or sharded) with a declared fold/probe spec.
 	vec bool
 
 	// shard only: hoisted prefix chains by input port (PortDefault for
@@ -118,6 +123,7 @@ type physPlan struct {
 	hoistedPrefixes    int // chains replicated into shard lanes
 	fusedSuffixes      int // chains folded into shard fan-ins
 	vectorizedSegments int // segments selected for the columnar runtime
+	vectorizedStateful int // of which stateful (ColAggregate/ColJoin state)
 }
 
 // plan rewrites the validated logical graph into a physical plan.
@@ -246,6 +252,12 @@ func (b *Builder) plan() *physPlan {
 	}
 
 	// Pass 3: select the columnar runtime for fully kernel-capable segments.
+	// Stateful nodes with a declared fold/probe spec vectorize too — serial
+	// ones as standalone ColAggregate/ColJoin operators, sharded ones lane by
+	// lane. A sharded aggregate's hoisted prefix runs *inside* the columnar
+	// operator, so it must itself be fully kernel-capable (or absent) for the
+	// lane to vectorize; join lane prefixes stay row stages (the join's merge
+	// consumes tuple-at-a-time) and never block vectorization.
 	if b.vectorize {
 		for _, pn := range pl.nodes {
 			switch pn.kind {
@@ -255,10 +267,27 @@ func (b *Builder) plan() *physPlan {
 					pl.vectorizedSegments++
 				}
 			case physSingle:
-				if colCapable(pn.node) {
+				switch {
+				case colCapable(pn.node):
 					pn.vec = true
 					pl.vectorizedSegments++
+				case statefulColCapable(pn.node):
+					pn.vec = true
+					pl.vectorizedSegments++
+					pl.vectorizedStateful++
 				}
+			case physShard:
+				if !statefulColCapable(pn.node) {
+					continue
+				}
+				if pn.node.kind == KindAggregate {
+					if c := pn.prefix[PortDefault]; len(c) > 0 && !allColCapable(c) {
+						continue
+					}
+				}
+				pn.vec = true
+				pl.vectorizedSegments++
+				pl.vectorizedStateful++
 			}
 		}
 	}
@@ -291,6 +320,34 @@ func colCapable(n *Node) bool {
 		return n.colSpec.Map != nil
 	case KindFilter:
 		return n.colSpec.Filter != nil
+	default:
+		return false
+	}
+}
+
+// statefulColCapable reports whether a stateful logical node declares a
+// columnar spec its kind can execute (see AggColSpec/JoinColSpec). The checks
+// mirror the ops-level validation so the planner falls back to the row path
+// on an incomplete spec instead of panicking at materialisation.
+func statefulColCapable(n *Node) bool {
+	switch n.kind {
+	case KindAggregate:
+		c := n.aggCol
+		if c == nil || c.Schema == nil || c.Fold == nil {
+			return false
+		}
+		// A keyed spec needs the vectorized key; an unkeyed one must not
+		// declare it.
+		return (n.aggSpec.Key != nil) == (c.Key != nil)
+	case KindJoin:
+		c := n.joinCol
+		if c == nil || n.joinSpec.LeftKey == nil || n.joinSpec.RightKey == nil {
+			return false
+		}
+		if (c.ResidualL != nil) != (c.ResidualR != nil) {
+			return false
+		}
+		return c.ResidualL == nil || (c.Left != nil && c.Right != nil)
 	default:
 		return false
 	}
@@ -531,6 +588,9 @@ func (p *physNode) describe() string {
 	case physShard:
 		n := p.node
 		desc := fmt.Sprintf("%s x%d: partition -> %d instances -> merge", n.kind, n.Parallelism, n.Parallelism)
+		if p.vec {
+			desc = fmt.Sprintf("%s x%d: partition -> %d x vec[%s] -> merge", n.kind, n.Parallelism, n.Parallelism, n.name)
+		}
 		if len(p.prefix) > 0 {
 			var hoists []string
 			for _, port := range []string{PortDefault, PortLeft, PortRight} {
@@ -548,8 +608,20 @@ func (p *physNode) describe() string {
 				}
 				hoists = append(hoists, label)
 			}
-			desc = fmt.Sprintf("%s x%d: partition(hoisted above %s) -> %d x (prefix => %s) -> merge",
-				n.kind, n.Parallelism, strings.Join(hoists, "; "), n.Parallelism, n.name)
+			// The lane rendering shows how far the columnar span reaches: an
+			// aggregate lane runs prefix and window state inside one vec[...]
+			// operator; a join lane keeps row prefixes in front of the
+			// vectorized window state.
+			lane := "(prefix => " + n.name + ")"
+			if p.vec {
+				if n.kind == KindAggregate {
+					lane = "vec[prefix => " + n.name + "]"
+				} else {
+					lane = "(prefix => vec[" + n.name + "])"
+				}
+			}
+			desc = fmt.Sprintf("%s x%d: partition(hoisted above %s) -> %d x %s -> merge",
+				n.kind, n.Parallelism, strings.Join(hoists, "; "), n.Parallelism, lane)
 		}
 		if len(p.suffix) > 0 {
 			names := make([]string, len(p.suffix))

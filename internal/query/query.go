@@ -90,7 +90,59 @@ type ColSpec struct {
 	// Key is the vectorized group-by extraction of a keyed Aggregate node:
 	// the shard partitioner uses it to extract a whole batch's routing keys
 	// in one pass. It must compute exactly aggSpec.Key's value per tuple.
+	//
+	// Deprecated for aggregates: declare the whole AggColSpec with
+	// Node.ColumnarAgg instead, which vectorizes the window state and fold as
+	// well as the routing-key extraction.
 	Key ops.KeyKernel
+}
+
+// AggColSpec declares an Aggregate node's vectorized execution: columnar
+// window state (ops.ColWindow) folded by a typed kernel instead of the row
+// Fold closure over []core.Tuple. Fold must compute exactly the row Fold's
+// output for every window, and Key (required iff the row spec has a group-by
+// Key) must compute exactly the row key per tuple — the shard partitioner
+// also uses it to extract whole batches' routing keys in one pass. A node
+// without a complete spec keeps the row path; declaring one never changes the
+// sink-observable output or any contribution graph.
+type AggColSpec struct {
+	// Schema declares the typed columns the window state buffers and the
+	// kernels read.
+	Schema *ops.ColSchema
+	// Key is the vectorized group-by extraction (required iff the row spec is
+	// keyed).
+	Key ops.KeyKernel
+	// Fold computes one window's output from its columnar segment.
+	Fold ops.AggKernel
+}
+
+func (c *AggColSpec) ops() ops.AggColSpec {
+	return ops.AggColSpec{Schema: c.Schema, Key: c.Key, Fold: c.Fold}
+}
+
+// JoinColSpec declares a keyed Join node's vectorized execution: hash-probed
+// columnar window state instead of a full-buffer predicate scan. The contract
+// is the one ops.JoinColSpec documents — the row Predicate must be exactly
+// key equality plus the optional residual the kernels compute. LeftKey and
+// RightKey, when declared with their schemas, additionally vectorize the
+// shard partitioners' routing-key extraction (they must compute exactly the
+// row LeftKey/RightKey per tuple). A node without a spec keeps the row path;
+// declaring one never changes the sink-observable output or any contribution
+// graph.
+type JoinColSpec struct {
+	// Left and Right declare the columns buffered per side; required only
+	// when the residual kernels (or the key kernels) read them.
+	Left, Right *ops.ColSchema
+	// LeftKey and RightKey vectorize the per-side routing-key extraction at
+	// the shard partitioners (optional).
+	LeftKey, RightKey ops.KeyKernel
+	// ResidualL and ResidualR filter the same-key candidates over typed
+	// columns (both or neither; nil for a pure equi-join).
+	ResidualL, ResidualR ops.ProbeKernel
+}
+
+func (c *JoinColSpec) ops() ops.JoinColSpec {
+	return ops.JoinColSpec{Left: c.Left, Right: c.Right, ResidualL: c.ResidualL, ResidualR: c.ResidualR}
 }
 
 // Node is an operator under construction. Exported fields may be set between
@@ -128,6 +180,10 @@ type Node struct {
 	// colSpec is the node's declared vectorized capability (see ColSpec and
 	// the Columnar chainer).
 	colSpec *ColSpec
+	// aggCol and joinCol are the declared stateful vectorized capabilities
+	// (see AggColSpec/JoinColSpec and the ColumnarAgg/ColumnarJoin chainers).
+	aggCol  *AggColSpec
+	joinCol *JoinColSpec
 	// ShardKey, on a stateless node heading a chain that feeds a
 	// shard-parallel stateful node, declares the partition key of the
 	// tuples *entering* this node: routing them by ShardKey must land every
@@ -160,6 +216,22 @@ func (n *Node) ShardKeyed(key func(core.Tuple) string) *Node {
 // the node for chaining: b.AddFilter(...).Columnar(spec).
 func (n *Node) Columnar(spec ColSpec) *Node {
 	n.colSpec = &spec
+	return n
+}
+
+// ColumnarAgg declares an Aggregate node's vectorized execution (see
+// AggColSpec) and returns the node for chaining:
+// b.AddAggregate(...).ColumnarAgg(spec).
+func (n *Node) ColumnarAgg(spec AggColSpec) *Node {
+	n.aggCol = &spec
+	return n
+}
+
+// ColumnarJoin declares a keyed Join node's vectorized execution (see
+// JoinColSpec) and returns the node for chaining:
+// b.AddJoin(...).ColumnarJoin(spec).
+func (n *Node) ColumnarJoin(spec JoinColSpec) *Node {
+	n.joinCol = &spec
 	return n
 }
 
@@ -261,8 +333,11 @@ func WithFusion(on bool) Option {
 // (default enabled): physical segments — fused chains and standalone
 // operators — whose every stage declares a kernel-capable ColSpec execute as
 // vectorized ops.ColChain operators over struct-of-arrays batches instead of
-// tuple-at-a-time closures, and shard partitioners whose routing key has a
-// declared Key kernel extract each batch's keys in one pass. Like fusion the
+// tuple-at-a-time closures; stateful nodes with a declared AggColSpec or
+// JoinColSpec keep their window state in typed columns and fold/probe it with
+// kernels (ops.ColAggregate/ColJoin), serially or inside every shard lane;
+// and shard partitioners whose routing key has a declared Key kernel extract
+// each batch's keys in one pass. Like fusion the
 // choice is purely physical: sink bytes and every contribution graph are
 // byte-identical either way. Vectorization is independent of WithFusion —
 // with fusion off, single declared operators still vectorize individually.
@@ -387,11 +462,12 @@ type Query struct {
 	name      string
 	operators []ops.Operator
 
-	explain            string
-	fusedChains        int
-	hoistedPrefixes    int
-	fusedSuffixes      int
-	vectorizedSegments int
+	explain                    string
+	fusedChains                int
+	hoistedPrefixes            int
+	fusedSuffixes              int
+	vectorizedSegments         int
+	vectorizedStatefulSegments int
 }
 
 // Name returns the query's name.
@@ -417,9 +493,15 @@ func (q *Query) HoistedPrefixes() int { return q.hoistedPrefixes }
 // fan-in of a shard-parallel subgraph.
 func (q *Query) FusedSuffixes() int { return q.fusedSuffixes }
 
-// VectorizedSegments returns how many physical segments (fused chains and
-// standalone stateless operators) execute on the columnar runtime.
+// VectorizedSegments returns how many physical segments — fused chains,
+// standalone stateless operators, and stateful operators (serial or shard
+// subgraphs) — execute on the columnar runtime.
 func (q *Query) VectorizedSegments() int { return q.vectorizedSegments }
+
+// VectorizedStatefulSegments returns how many of the vectorized segments are
+// stateful (ColAggregate/ColJoin window state, serial or shard-parallel); it
+// is included in VectorizedSegments.
+func (q *Query) VectorizedStatefulSegments() int { return q.vectorizedStatefulSegments }
 
 // Build validates the DAG, plans the physical graph (operator fusion and
 // shard-prefix replication, unless disabled with WithFusion(false)) and
@@ -456,12 +538,13 @@ func (b *Builder) Build() (*Query, error) {
 		}
 	}
 	q := &Query{
-		name:               b.name,
-		explain:            pl.render(b.name, b.fusion, b.vectorize),
-		fusedChains:        pl.fusedChains,
-		hoistedPrefixes:    pl.hoistedPrefixes,
-		fusedSuffixes:      pl.fusedSuffixes,
-		vectorizedSegments: pl.vectorizedSegments,
+		name:                       b.name,
+		explain:                    pl.render(b.name, b.fusion, b.vectorize),
+		fusedChains:                pl.fusedChains,
+		hoistedPrefixes:            pl.hoistedPrefixes,
+		fusedSuffixes:              pl.fusedSuffixes,
+		vectorizedSegments:         pl.vectorizedSegments,
+		vectorizedStatefulSegments: pl.vectorizedStateful,
 	}
 	for _, pn := range pl.nodes {
 		switch {
@@ -472,7 +555,7 @@ func (b *Builder) Build() (*Query, error) {
 			}
 			q.operators = append(q.operators, expanded...)
 		case pn.vec:
-			op, err := b.materialiseVectorized(pn, ins[pn], outs[pn])
+			op, err := b.materialiseVectorized(pn, ins[pn], outs[pn], inPorts[pn])
 			if err != nil {
 				return nil, fmt.Errorf("query %q: node %q: %w", b.name, pn.name(), err)
 			}
@@ -524,10 +607,30 @@ func (b *Builder) materialiseFused(pn *physNode, in, out []*ops.Stream) (ops.Ope
 	return ops.NewFusedChain(pn.name(), in[0], out[0], stagesFor(pn.chain), b.instr), nil
 }
 
-// materialiseVectorized builds the ColChain of a vectorized segment: a fused
-// chain whose every stage declared a kernel-capable ColSpec, or a lone
-// declared Map/Filter node.
-func (b *Builder) materialiseVectorized(pn *physNode, in, out []*ops.Stream) (ops.Operator, error) {
+// materialiseVectorized builds the columnar operator of a vectorized
+// segment: a ColChain for a fused chain whose every stage declared a
+// kernel-capable ColSpec (or a lone declared Map/Filter node), a
+// ColAggregate/ColJoin for a serial stateful node with a declared fold/probe
+// spec.
+func (b *Builder) materialiseVectorized(pn *physNode, in, out []*ops.Stream, ports map[string]*ops.Stream) (ops.Operator, error) {
+	if pn.kind == physSingle {
+		switch n := pn.node; n.kind {
+		case KindAggregate:
+			if len(in) != 1 || len(out) != 1 {
+				return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
+			}
+			return ops.NewColAggregate(n.name, in[0], out[0], n.aggSpec, n.aggCol.ops(), nil, b.instr), nil
+		case KindJoin:
+			if len(in) != 2 || len(out) != 1 {
+				return nil, fmt.Errorf("%s needs 2 inputs and 1 output, has %d/%d", n.kind, len(in), len(out))
+			}
+			left, right := ports[PortLeft], ports[PortRight]
+			if left == nil || right == nil {
+				return nil, errors.New("join inputs must be connected with PortLeft and PortRight")
+			}
+			return ops.NewColJoin(n.name, left, right, out[0], n.joinSpec, n.joinCol.ops(), nil, nil, b.instr), nil
+		}
+	}
 	if len(in) != 1 || len(out) != 1 {
 		return nil, fmt.Errorf("vectorized chain needs 1 input and 1 output, has %d/%d", len(in), len(out))
 	}
@@ -548,6 +651,13 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 		if b.vectorize {
 			cfg.ColKey = colKeyFor(n, cfg.Prefix)
 		}
+		if pn.vec {
+			spec := n.aggCol.ops()
+			cfg.Agg = &spec
+			if c := pn.prefix[PortDefault]; len(c) > 0 {
+				cfg.VecPrefix = colStagesFor(c)
+			}
+		}
 		return ops.ShardAggregateCfg(n.name, in[0], out[0], n.aggSpec, b.instr,
 			n.Parallelism, b.chanCap, b.batchSize, cfg)
 	case KindJoin:
@@ -562,6 +672,13 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 			Left:   pn.shardPrefixFor(PortLeft),
 			Right:  pn.shardPrefixFor(PortRight),
 			Suffix: pn.shardSuffix(),
+		}
+		if b.vectorize {
+			cfg.LeftColKey, cfg.RightColKey = joinColKeysFor(n, cfg.Left, cfg.Right)
+		}
+		if pn.vec {
+			spec := n.joinCol.ops()
+			cfg.Join = &spec
 		}
 		return ops.ShardJoinCfg(n.name, left, right, out[0], n.joinSpec, b.instr,
 			n.Parallelism, b.chanCap, b.batchSize, cfg)
@@ -578,10 +695,33 @@ func colKeyFor(n *Node, prefix *ops.ShardPrefix) *ops.ColKey {
 	if prefix != nil && prefix.Key != nil {
 		return nil
 	}
+	if c := n.aggCol; c != nil && c.Key != nil && c.Schema != nil {
+		return &ops.ColKey{Schema: c.Schema, Kernel: c.Key}
+	}
 	if n.colSpec == nil || n.colSpec.Key == nil || n.colSpec.Schema == nil {
 		return nil
 	}
 	return &ops.ColKey{Schema: n.colSpec.Schema, Kernel: n.colSpec.Key}
+}
+
+// joinColKeysFor returns the vectorized per-side routing-key extractions of a
+// sharded join: the node's declared LeftKey/RightKey kernels, each usable
+// only when its partitioner routes by the join's own key function (no
+// head-declared ShardKey on that side's prefix). Join prefixes are Map-free
+// (the planner never hoists a Map onto a join), so the declared schemas apply
+// to the pre-prefix stream the partitioners consume.
+func joinColKeysFor(n *Node, leftPrefix, rightPrefix *ops.ShardPrefix) (l, r *ops.ColKey) {
+	c := n.joinCol
+	if c == nil {
+		return nil, nil
+	}
+	if (leftPrefix == nil || leftPrefix.Key == nil) && c.LeftKey != nil && c.Left != nil {
+		l = &ops.ColKey{Schema: c.Left, Kernel: c.LeftKey}
+	}
+	if (rightPrefix == nil || rightPrefix.Key == nil) && c.RightKey != nil && c.Right != nil {
+		r = &ops.ColKey{Schema: c.Right, Kernel: c.RightKey}
+	}
+	return l, r
 }
 
 // ParallelizeStateful applies shard parallelism p to every stateful node

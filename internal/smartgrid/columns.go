@@ -9,9 +9,11 @@ import (
 
 // This file declares the columnar schemas and typed kernels of the Smart
 // Grid tuple types, letting the planner run Q3/Q4's stateless stages on the
-// vectorized runtime (ops.ColChain) and extract shard routing keys
-// batch-wise. Each schema covers every payload field of its tuple type, so
-// one extraction pass serves any kernel over that type.
+// vectorized runtime (ops.ColChain), fold their aggregate windows and probe
+// Q4's join over columnar window state (ops.ColAggregate/ColJoin), and
+// extract shard routing keys batch-wise. Each schema covers every payload
+// field of its tuple type, so one extraction pass serves any kernel over
+// that type.
 
 // Field indices into MeterReadingSchema.
 const (
@@ -121,4 +123,38 @@ func keyMeterReading(c *ops.ColBatch, sel []int, dst []string) []string {
 		dst = append(dst, strconv.Itoa(int(meter[i])))
 	}
 	return dst
+}
+
+// keyDailyCons is the vectorized q4.join left-side routing-key extraction; it
+// equals meterKey on every *DailyCons.
+func keyDailyCons(c *ops.ColBatch, sel []int, dst []string) []string {
+	meter := c.Int64s(dailyFieldMeter)
+	for _, i := range sel {
+		dst = append(dst, strconv.Itoa(int(meter[i])))
+	}
+	return dst
+}
+
+// foldDailyCons is the vectorized daily-sum fold shared by Q3 and Q4: the
+// per-meter consumption sum over the window's cons column, added in row order
+// so the float result is bit-identical to the row Fold's.
+func foldDailyCons(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	out := &DailyCons{Base: core.NewBase(start)}
+	meter := seg.Int64s(readingFieldMeter)
+	cons := seg.Float64s(readingFieldCons)
+	out.MeterID = int32(meter[len(meter)-1])
+	var sum float64
+	for _, c := range cons {
+		sum += c
+	}
+	out.ConsSum = sum
+	return out
+}
+
+// foldBlackoutCount is the vectorized q3.daily-count fold: the count of
+// zero-consumption daily sums in the (unkeyed) window; it reads no columns.
+func foldBlackoutCount(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	out := &BlackoutAlert{Base: core.NewBase(start)}
+	out.Count = int32(seg.Len())
+	return out
 }

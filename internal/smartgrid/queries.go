@@ -40,7 +40,7 @@ func addDailySum(b *query.Builder, name string, from *query.Node, outputTs ops.O
 			}
 			return out
 		},
-	}).Columnar(query.ColSpec{Schema: MeterReadingSchema, Key: keyMeterReading})
+	}).ColumnarAgg(query.AggColSpec{Schema: MeterReadingSchema, Key: keyMeterReading, Fold: foldDailyCons})
 	b.Connect(from, agg)
 	return agg
 }
@@ -67,7 +67,7 @@ func AddQ3Stage2(b *query.Builder, from *query.Node) *query.Node {
 			out.Count = int32(len(w))
 			return out
 		},
-	})
+	}).ColumnarAgg(query.AggColSpec{Schema: DailyConsSchema, Fold: foldBlackoutCount})
 	alert := b.AddFilter("q3.blackout", func(t core.Tuple) bool {
 		return t.(*BlackoutAlert).Count > BlackoutMeterThreshold
 	}).Columnar(query.ColSpec{Schema: BlackoutAlertSchema, Filter: filterBlackout})
@@ -130,6 +130,12 @@ func AddQ4Stage2(b *query.Builder, in Q4Stage1Outputs) *query.Node {
 				ConsDiff: math.Abs(d.ConsSum - m.Cons),
 			}
 		},
+		// The predicate is exactly the key equality, so the columnar join is
+		// a pure equi-join: the hash probe is the whole match step, no
+		// residual kernels.
+	}).ColumnarJoin(query.JoinColSpec{
+		Left: DailyConsSchema, Right: MeterReadingSchema,
+		LeftKey: keyDailyCons, RightKey: keyMeterReading,
 	})
 	b.ConnectPort(in.Daily, join, query.PortLeft)
 	b.ConnectPort(in.Midnight, join, query.PortRight)
