@@ -27,6 +27,7 @@ import (
 	"genealog/internal/provenance"
 	"genealog/internal/query"
 	"genealog/internal/smartgrid"
+	"genealog/internal/telemetry"
 	"genealog/internal/transport"
 )
 
@@ -365,7 +366,7 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 				var tput float64
 				var sinks int
 				for i := 0; i < b.N; i++ {
-					tput, sinks = runBatchedPipeline(b, p, batch, true, true)
+					tput, sinks = runBatchedPipeline(b, p, batch, true, true, nil)
 				}
 				if serialSinks == -1 {
 					serialSinks = sinks
@@ -399,7 +400,7 @@ func BenchmarkFusedThroughput(b *testing.B) {
 						var tput float64
 						var sinks int
 						for i := 0; i < b.N; i++ {
-							tput, sinks = runBatchedPipeline(b, p, batch, fused, vec)
+							tput, sinks = runBatchedPipeline(b, p, batch, fused, vec, nil)
 						}
 						if serialSinks == -1 {
 							serialSinks = sinks
@@ -415,6 +416,45 @@ func BenchmarkFusedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures what live telemetry costs the batched
+// map -> filter -> keyed-aggregate pipeline at batch 64: off (the default nil
+// hook pointers — one dead branch per batch) versus on (a registry attached,
+// every stream and segment counting). The off cell is the regression guard:
+// it must stay within noise of the telemetry-free engine, since disabled
+// telemetry is a single nil check per batch and nothing per tuple. Run with
+//
+//	go test -bench BenchmarkTelemetryOverhead -benchtime 1x
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	offSinks := -1
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("telemetry-%v", on), func(b *testing.B) {
+			var tput float64
+			var sinks int
+			for i := 0; i < b.N; i++ {
+				var telem *telemetry.Registry
+				if on {
+					telem = telemetry.NewRegistry()
+				}
+				tput, sinks = runBatchedPipeline(b, 1, 64, true, true, telem)
+				if on {
+					// The registry must have seen the traffic it claims to
+					// measure, or the "on" cell benchmarks nothing.
+					snap := telem.Snapshot()
+					if len(snap.Queries) != 1 || len(snap.Queries[0].Streams) == 0 {
+						b.Fatalf("telemetry-on run registered %d queries", len(snap.Queries))
+					}
+				}
+			}
+			if offSinks == -1 {
+				offSinks = sinks
+			} else if sinks != offSinks {
+				b.Fatalf("telemetry=%v produced %d sink tuples, off %d", on, sinks, offSinks)
+			}
+			b.ReportMetric(tput, "tuples/s")
+		})
+	}
+}
+
 // runBatchedPipeline runs source -> map -> filter -> keyed aggregate ->
 // sink over keys x steps tuples, the transport-dominated workload of
 // BenchmarkBatchedThroughput and BenchmarkFusedThroughput, returning
@@ -424,7 +464,7 @@ func BenchmarkFusedThroughput(b *testing.B) {
 // pass: map, filter and the aggregate's group-by key all declare typed
 // kernels, so with fusion the map+filter prefix runs as a ColChain and the
 // shard partitioner extracts routing keys batch-at-a-time.
-func runBatchedPipeline(b *testing.B, parallelism, batch int, fuse, vectorize bool) (float64, int) {
+func runBatchedPipeline(b *testing.B, parallelism, batch int, fuse, vectorize bool, telem *telemetry.Registry) (float64, int) {
 	const (
 		keys  = 64
 		steps = 400
@@ -433,8 +473,12 @@ func runBatchedPipeline(b *testing.B, parallelism, batch int, fuse, vectorize bo
 	for k := range keyNames {
 		keyNames[k] = "k" + strconv.Itoa(k)
 	}
-	qb := query.New("batched", query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch),
-		query.WithFusion(fuse), query.WithVectorize(vectorize))
+	opts := []query.Option{query.WithInstrumenter(core.Noop{}), query.WithBatchSize(batch),
+		query.WithFusion(fuse), query.WithVectorize(vectorize)}
+	if telem != nil {
+		opts = append(opts, query.WithTelemetry(telem))
+	}
+	qb := query.New("batched", opts...)
 	src := qb.AddSource("src", func(ctx context.Context, emit func(core.Tuple) error) error {
 		for ts := 0; ts < steps; ts++ {
 			for k := 0; k < keys; k++ {

@@ -1,0 +1,191 @@
+// Command genealog-top is a live per-operator view of a running node — top
+// for a GeneaLog deployment. It polls the JSON snapshot a node serves with
+// `-telemetry-listen` (spe-node, examples/distributed) and renders a
+// refreshing table of every operator's throughput, queue occupancy, batch
+// fill and event-time watermark lag, plus the byte volume on each
+// inter-process link and the provenance store's ingest/dedup counters.
+//
+// The snapshot's counters are cumulative since process start; rates are
+// derived from the delta between consecutive polls, so the first frame shows
+// lifetime averages and every later frame shows the last interval.
+//
+// Usage:
+//
+//	genealog-top -addr 127.0.0.1:7070               # refresh every second
+//	genealog-top -addr 127.0.0.1:7070 -interval 250ms
+//	genealog-top -addr 127.0.0.1:7070 -once         # one plain frame (no ANSI)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"genealog/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genealog-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("genealog-top", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "telemetry address of the node (spe-node -telemetry-listen)")
+	interval := fs.Duration("interval", time.Second, "poll period")
+	once := fs.Bool("once", false, "print one frame and exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("interval must be positive (got %v)", *interval)
+	}
+	url := "http://" + *addr + "/telemetry.json"
+
+	snap, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if *once {
+		render(w, *addr, snap, nil)
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	prev := &snap
+	fmt.Fprint(w, "\x1b[2J") // clear once; frames repaint from the home position
+	render(w, *addr, snap, nil)
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-ticker.C:
+		}
+		next, err := fetch(url)
+		if err != nil {
+			// The node may be between runs or shutting down; say so and
+			// keep polling rather than dying mid-watch.
+			fmt.Fprintf(w, "\x1b[H\x1b[2Jgenealog-top: %v (retrying every %v)\n", err, *interval)
+			continue
+		}
+		render(w, *addr, next, prev)
+		prev = &next
+	}
+}
+
+func fetch(url string) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// render paints one frame. prev, when non-nil, is the previous poll: rates
+// are computed from the counter deltas over the snapshots' own timestamps;
+// with prev == nil the whole uptime is the window (lifetime averages).
+func render(w io.Writer, addr string, snap telemetry.Snapshot, prev *telemetry.Snapshot) {
+	var sb strings.Builder
+	if prev != nil {
+		sb.WriteString("\x1b[H\x1b[2J") // home + clear: repaint in place
+	}
+	fmt.Fprintf(&sb, "genealog-top  %s  up %s  %s\n\n",
+		addr, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second),
+		time.Unix(0, snap.TakenUnixNano).Format("15:04:05"))
+
+	window := snap.UptimeSeconds
+	prevOps := map[string]telemetry.OperatorSnapshot{}
+	if prev != nil {
+		window = float64(snap.TakenUnixNano-prev.TakenUnixNano) / float64(time.Second)
+		for _, q := range prev.Queries {
+			for _, o := range q.Operators {
+				prevOps[q.Name+"\x00"+o.Name] = o
+			}
+		}
+	}
+	if window <= 0 {
+		window = 1
+	}
+
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "QUERY\tOPERATOR\tKIND\tIN/s\tOUT/s\tTUPLES OUT\tQUEUE\tFILL%\tWM\tLAG")
+	for _, q := range snap.Queries {
+		for _, o := range q.Operators {
+			base := prevOps[q.Name+"\x00"+o.Name] // zero value on first frame
+			wm, lag := "-", "-"
+			if o.WatermarkOK {
+				wm = fmt.Sprintf("%d", o.Watermark)
+				lag = fmt.Sprintf("%d", o.WatermarkLag)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d/%d\t%.0f\t%s\t%s\n",
+				q.Name, o.Name, o.Kind,
+				rate(o.TuplesIn-base.TuplesIn, window),
+				rate(o.TuplesOut-base.TuplesOut, window),
+				o.TuplesOut, o.QueueLen, o.QueueCap, 100*o.FillRatio, wm, lag)
+		}
+	}
+	tw.Flush()
+
+	if len(snap.Stores) > 0 {
+		sb.WriteByte('\n')
+		st := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(st, "STORE\tSINKS\tSOURCES\tLIVE\tRETIRED\tDEDUP\tBYTES\tMIN WM")
+		for _, s := range snap.Stores {
+			fmt.Fprintf(st, "%s\t%d\t%d\t%d\t%d\t%.2f\t%d\t%d\n",
+				s.Name, s.Sinks, s.Sources, s.LiveSources, s.RetiredSources,
+				s.DedupRatio, s.Bytes, s.MinWatermark)
+		}
+		st.Flush()
+	}
+
+	if len(snap.Gauges) > 0 {
+		sb.WriteByte('\n')
+		gt := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(gt, "GAUGE\tLABELS\tVALUE")
+		for _, g := range snap.Gauges {
+			parts := make([]string, 0, len(g.Labels))
+			for _, l := range g.Labels {
+				parts = append(parts, l.Name+"="+l.Value)
+			}
+			fmt.Fprintf(gt, "%s\t%s\t%.0f\n", g.Name, strings.Join(parts, ","), g.Value)
+		}
+		gt.Flush()
+	}
+	io.WriteString(w, sb.String())
+}
+
+// rate formats events-per-second compactly (12.3k above 10k).
+func rate(delta int64, window float64) string {
+	if delta < 0 { // a replaced registration reset the counters
+		delta = 0
+	}
+	v := float64(delta) / window
+	if v >= 10_000 {
+		return fmt.Sprintf("%.1fk", v/1000)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -30,6 +30,13 @@
 // The store node runs until SIGINT/SIGTERM (or -timeout) and then flushes
 // and closes its file log; a restarted node reopens the log — keeping every
 // acknowledged entry — and continues serving and ingesting.
+//
+// Every role — SPE instances and the store node alike — additionally serves
+// live telemetry with `-telemetry-listen addr`: Prometheus text at /metrics,
+// a JSON snapshot at /telemetry.json (the feed of cmd/genealog-top), pprof
+// at /debug/pprof and expvar at /debug/vars. SPE roles expose per-operator
+// throughput, queue occupancy and watermark lag plus per-link byte gauges;
+// the store node exposes the merged store's ingest/retire/dedup counters.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"genealog/internal/provenance"
 	"genealog/internal/provstore"
 	"genealog/internal/smartgrid"
+	"genealog/internal/telemetry"
 	"genealog/internal/transport"
 )
 
@@ -83,6 +91,7 @@ func run(args []string) error {
 	storeListen := fs.String("store-listen", "", "run as a shared provenance store node on this address instead of an SPE role")
 	storePath := fs.String("store-path", "", "store node: durable file log path (created, or reopened for appends; empty = in-memory)")
 	storeHorizon := fs.Int64("store-horizon", 0, "store node: retention horizon recorded in a newly created file log")
+	telemetryListen := fs.String("telemetry-listen", "", "serve /metrics, /telemetry.json, /debug/pprof and /debug/vars on this address (empty = off)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline (a store node defaults to none: it serves until SIGINT/SIGTERM)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,7 +115,7 @@ func run(args []string) error {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		return runStoreNode(ctx, *storeListen, *storePath, *storeHorizon)
+		return runStoreNode(ctx, *storeListen, *storePath, *storeHorizon, *telemetryListen)
 	}
 	if *storePath != "" || *storeHorizon != 0 {
 		return errors.New("-store-path and -store-horizon configure a store node; they need -store-listen")
@@ -145,12 +154,43 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown codec %q (want gob or binary)", *codec)
 	}
-	addr := func(host string, off int) string { return fmt.Sprintf("%s:%d", host, *basePort+off) }
-	listen := func(off int) (*transport.Link, error) {
-		return transport.Listen(ctx, addr("0.0.0.0", off), linkOpts...)
+	var telem *telemetry.Registry
+	if *telemetryListen != "" {
+		telem = telemetry.NewRegistry()
+		o.Telemetry = telem
+		tsrv, err := telem.Listen(*telemetryListen)
+		if err != nil {
+			return err
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s (/metrics, /telemetry.json, /debug/pprof)\n", tsrv.Addr())
+		// Counted links feed the per-link byte gauges below.
+		linkOpts = append(linkOpts, transport.WithCounting())
 	}
-	dial := func(host string, off int) (*transport.Link, error) {
-		return transport.Dial(ctx, addr(host, off), linkOpts...)
+
+	addr := func(host string, off int) string { return fmt.Sprintf("%s:%d", host, *basePort+off) }
+	observe := func(l *transport.Link) *transport.Link {
+		if telem != nil && l.Count != nil {
+			count := l.Count
+			telem.RegisterGauge("genealog_link_bytes",
+				[]telemetry.Label{{Name: "link", Value: l.Name}},
+				func() float64 { return float64(count.Bytes()) })
+		}
+		return l
+	}
+	listen := func(name string, off int) (*transport.Link, error) {
+		l, err := transport.Listen(ctx, addr("0.0.0.0", off), append(linkOpts, transport.WithName(name))...)
+		if err != nil {
+			return nil, err
+		}
+		return observe(l), nil
+	}
+	dial := func(name, host string, off int) (*transport.Link, error) {
+		l, err := transport.Dial(ctx, addr(host, off), append(linkOpts, transport.WithName(name))...)
+		if err != nil {
+			return nil, err
+		}
+		return observe(l), nil
 	}
 
 	links := harness.InterLinks{}
@@ -161,7 +201,7 @@ func run(args []string) error {
 	switch *role {
 	case 1:
 		for i := 0; i < nMain; i++ {
-			l, err := dial(*spe2, portMain+i)
+			l, err := dial(fmt.Sprintf("main-%d", i), *spe2, portMain+i)
 			if err != nil {
 				return err
 			}
@@ -170,14 +210,14 @@ func run(args []string) error {
 		switch o.Mode {
 		case harness.ModeGL:
 			for i := 0; i < nMain; i++ {
-				l, err := dial(*spe3, portU1+i)
+				l, err := dial(fmt.Sprintf("u1-%d", i), *spe3, portU1+i)
 				if err != nil {
 					return err
 				}
 				links.U1 = append(links.U1, l)
 			}
 		case harness.ModeBL:
-			if links.Sources, err = dial(*spe3, portSources); err != nil {
+			if links.Sources, err = dial("sources", *spe3, portSources); err != nil {
 				return err
 			}
 		}
@@ -192,7 +232,7 @@ func run(args []string) error {
 		fmt.Printf("spe1: %d source tuples shipped in %v\n", srcTuples, time.Since(begin).Round(time.Millisecond))
 	case 2:
 		for i := 0; i < nMain; i++ {
-			l, err := listen(portMain + i)
+			l, err := listen(fmt.Sprintf("main-%d", i), portMain+i)
 			if err != nil {
 				return err
 			}
@@ -200,11 +240,11 @@ func run(args []string) error {
 		}
 		switch o.Mode {
 		case harness.ModeGL:
-			if links.Derived, err = dial(*spe3, portDerived); err != nil {
+			if links.Derived, err = dial("derived", *spe3, portDerived); err != nil {
 				return err
 			}
 		case harness.ModeBL:
-			if links.Sinks, err = dial(*spe3, portSinks); err != nil {
+			if links.Sinks, err = dial("sinks", *spe3, portSinks); err != nil {
 				return err
 			}
 		}
@@ -227,20 +267,20 @@ func run(args []string) error {
 		switch o.Mode {
 		case harness.ModeGL:
 			for i := 0; i < nMain; i++ {
-				l, err := listen(portU1 + i)
+				l, err := listen(fmt.Sprintf("u1-%d", i), portU1+i)
 				if err != nil {
 					return err
 				}
 				links.U1 = append(links.U1, l)
 			}
-			if links.Derived, err = listen(portDerived); err != nil {
+			if links.Derived, err = listen("derived", portDerived); err != nil {
 				return err
 			}
 		case harness.ModeBL:
-			if links.Sources, err = listen(portSources); err != nil {
+			if links.Sources, err = listen("sources", portSources); err != nil {
 				return err
 			}
-			if links.Sinks, err = listen(portSinks); err != nil {
+			if links.Sinks, err = listen("sinks", portSinks); err != nil {
 				return err
 			}
 			hooks.Store = baseline.NewStore()
@@ -259,6 +299,11 @@ func run(args []string) error {
 				return err
 			}
 			hooks.ProvStore = remoteStore
+			if telem != nil {
+				telem.RegisterStore("provstore", func() telemetry.StoreStats {
+					return storeTelemetry(remoteStore.Stats())
+				})
+			}
 		}
 		q, err := harness.BuildSPE3(o, links, hooks)
 		if err != nil {
@@ -292,7 +337,7 @@ func run(args []string) error {
 // a crash or restart — reopened for appends with every acknowledged entry
 // intact). It serves until SIGINT/SIGTERM or the deadline, then flushes and
 // closes the backend.
-func runStoreNode(ctx context.Context, listen, path string, horizon int64) error {
+func runStoreNode(ctx context.Context, listen, path string, horizon int64, telemetryListen string) error {
 	var (
 		be  provstore.Backend
 		err error
@@ -315,6 +360,18 @@ func runStoreNode(ctx context.Context, listen, path string, horizon int64) error
 	if err != nil {
 		return err
 	}
+	if telemetryListen != "" {
+		telem := telemetry.NewRegistry()
+		telem.RegisterStore("store-node", func() telemetry.StoreStats {
+			return storeTelemetry(srv.Stats())
+		})
+		tsrv, err := telem.Listen(telemetryListen)
+		if err != nil {
+			return err
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s (/metrics, /telemetry.json, /debug/pprof)\n", tsrv.Addr())
+	}
 	backing := "in-memory"
 	if path != "" {
 		backing = "file log " + path
@@ -336,4 +393,24 @@ func runStoreNode(ctx context.Context, listen, path string, horizon int64) error
 	fmt.Printf("store node: %d sink entries, %d source entries (referenced %d times), %d bytes\n",
 		ss.Sinks, ss.Sources, ss.SourceRefs, ss.Bytes)
 	return err
+}
+
+// storeTelemetry converts provstore accounting into the telemetry exposition
+// shape (the telemetry package cannot import provstore).
+func storeTelemetry(s provstore.Stats) telemetry.StoreStats {
+	return telemetry.StoreStats{
+		Sinks:           s.Sinks,
+		Sources:         s.Sources,
+		SourceRefs:      s.SourceRefs,
+		LiveSources:     s.LiveSources,
+		RetiredSources:  s.RetiredSources,
+		PeakLiveSources: s.PeakLiveSources,
+		ReEncoded:       s.ReEncoded,
+		Bytes:           s.Bytes,
+		Watermark:       s.Watermark,
+		Horizon:         s.Horizon,
+		Instances:       s.Instances,
+		MinWatermark:    s.MinWatermark,
+		DedupRatio:      s.DedupRatio(),
+	}
 }

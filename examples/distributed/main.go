@@ -21,6 +21,14 @@
 //	go run ./examples/distributed -store 127.0.0.1:7432
 //	genealog-prov -connect 127.0.0.1:7432 -stats -list 3
 //
+// With -telemetry, all three instances register live per-operator metrics in
+// one registry served over HTTP for the run's duration — Prometheus text at
+// /metrics, a JSON snapshot at /telemetry.json, pprof at /debug/pprof.
+// Watch it with cmd/genealog-top:
+//
+//	go run ./examples/distributed -telemetry 127.0.0.1:7070
+//	genealog-top -addr 127.0.0.1:7070    # another shell
+//
 // For a real three-process TCP deployment of the same topology, see
 // cmd/spe-node.
 package main
@@ -40,11 +48,14 @@ import (
 	"genealog/internal/provenance"
 	"genealog/internal/provstore"
 	"genealog/internal/query"
+	"genealog/internal/telemetry"
 	"genealog/internal/transport"
 )
 
 func main() {
 	storeAddr := flag.String("store", "", "stream SPE 3's provenance to the store node at this address (spe-node -store-listen) and query it live after the run")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /telemetry.json and /debug/pprof on this address during the run (watch with genealog-top)")
+	rate := flag.Float64("rate", 0, "pace the source in tuples/second (0 = full speed; a full-speed run finishes in milliseconds, so pace it to watch telemetry live)")
 	flag.Parse()
 	o := harness.Options{
 		Query:      harness.Q1,
@@ -53,13 +64,31 @@ func main() {
 		LR: linearroad.Config{
 			Cars: 20, Steps: 120, StopEvery: 10, StopDuration: 6, Seed: 42,
 		},
+		SourceRate: *rate,
 	}
 
 	// One in-memory serialising link per directed stream of Fig. 7.
 	links := harness.InterLinks{
-		Main:    []*transport.Link{transport.NewLink(transport.WithCounting())},
-		U1:      []*transport.Link{transport.NewLink(transport.WithCounting())},
-		Derived: transport.NewLink(transport.WithCounting()),
+		Main: []*transport.Link{transport.NewLink(
+			transport.WithCounting(), transport.WithName("main-0"))},
+		U1: []*transport.Link{transport.NewLink(
+			transport.WithCounting(), transport.WithName("u1-0"))},
+		Derived: transport.NewLink(
+			transport.WithCounting(), transport.WithName("derived")),
+	}
+
+	if *telemetryAddr != "" {
+		o.Telemetry = telemetry.NewRegistry()
+		for _, l := range []*transport.Link{links.Main[0], links.U1[0], links.Derived} {
+			count := l.Count
+			o.Telemetry.RegisterGauge("genealog_link_bytes",
+				[]telemetry.Label{{Name: "link", Value: l.Name}},
+				func() float64 { return float64(count.Bytes()) })
+		}
+		tsrv, err := o.Telemetry.Listen(*telemetryAddr)
+		must(err)
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s (try: genealog-top -addr %s)\n", tsrv.Addr(), tsrv.Addr())
 	}
 
 	var mu sync.Mutex

@@ -14,6 +14,7 @@ import (
 	"genealog/internal/provenance"
 	"genealog/internal/provstore"
 	"genealog/internal/smartgrid"
+	"genealog/internal/telemetry"
 	"genealog/internal/transport"
 )
 
@@ -151,6 +152,13 @@ type Options struct {
 	// OnProvenance, when non-nil, observes every assembled provenance
 	// result, in delivery order, under any mode.
 	OnProvenance func(provenance.Result)
+	// Telemetry, when non-nil, receives live per-operator metrics from every
+	// query the run builds (one registration per SPE instance in the
+	// inter-process case, named "<query>-spe<n>") plus the provenance
+	// store's ingest/retire/dedup counters when the run opens one. The
+	// registry serves the figures over HTTP (telemetry.Registry.Listen);
+	// nil — the default — keeps the hot path's telemetry pointers nil.
+	Telemetry *telemetry.Registry
 }
 
 // Result is the outcome of one measured run.

@@ -13,6 +13,7 @@ import (
 	"genealog/internal/ops"
 	"genealog/internal/provenance"
 	"genealog/internal/query"
+	"genealog/internal/telemetry"
 	"genealog/internal/transport"
 )
 
@@ -93,12 +94,16 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	provenance.RegisterWire()
 	gen, _, _ := spec.source(o)
 
-	b := query.New(string(o.Query)+"-spe1",
+	opts := []query.Option{
 		query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
 		query.WithFusion(!o.NoFusion),
-		query.WithVectorize(!o.NoVectorize))
+		query.WithVectorize(!o.NoVectorize)}
+	if o.Telemetry != nil {
+		opts = append(opts, query.WithTelemetry(o.Telemetry))
+	}
+	b := query.New(string(o.Query)+"-spe1", opts...)
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
 	src.OnEmit = hooks.OnSourceEmit
@@ -152,12 +157,16 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	spec.registerWire()
 	provenance.RegisterWire()
 
-	b := query.New(string(o.Query)+"-spe2",
+	opts := []query.Option{
 		query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil)),
 		query.WithChannelCapacity(o.ChannelCapacity),
 		query.WithBatchSize(o.BatchSize),
 		query.WithFusion(!o.NoFusion),
-		query.WithVectorize(!o.NoVectorize))
+		query.WithVectorize(!o.NoVectorize)}
+	if o.Telemetry != nil {
+		opts = append(opts, query.WithTelemetry(o.Telemetry))
+	}
+	b := query.New(string(o.Query)+"-spe2", opts...)
 	ins := make([]*query.Node, len(links.Main))
 	for i, l := range links.Main {
 		ins[i] = transport.AddReceive(b, fmt.Sprintf("recv-main-%d", i), l.Dec)
@@ -233,6 +242,9 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		if hooks.ProvStore != nil {
 			opts = append(opts, query.WithProvenanceStore(hooks.ProvStore))
 		}
+		if o.Telemetry != nil {
+			opts = append(opts, query.WithTelemetry(o.Telemetry))
+		}
 		b := query.New(string(o.Query)+"-spe3", opts...)
 		ups := make([]*query.Node, len(links.U1))
 		for i, l := range links.U1 {
@@ -249,12 +261,16 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		if hooks.Store == nil || links.Sources == nil || links.Sinks == nil {
 			return nil, errors.New("harness: BL SPE3 needs a Store and Sources/Sinks links")
 		}
-		b := query.New(string(o.Query)+"-spe3",
+		blOpts := []query.Option{
 			query.WithInstrumenter(core.Noop{}),
 			query.WithChannelCapacity(o.ChannelCapacity),
 			query.WithBatchSize(o.BatchSize),
 			query.WithFusion(!o.NoFusion),
-			query.WithVectorize(!o.NoVectorize))
+			query.WithVectorize(!o.NoVectorize)}
+		if o.Telemetry != nil {
+			blOpts = append(blOpts, query.WithTelemetry(o.Telemetry))
+		}
+		b := query.New(string(o.Query)+"-spe3", blOpts...)
 		srcsIn := transport.AddReceive(b, "recv-sources", links.Sources.Dec)
 		storeDone := make(chan struct{})
 		addStoreIngest(b, "store-sink", srcsIn, hooks.Store, storeDone)
@@ -297,8 +313,8 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 		linkOpts = append(linkOpts, transport.WithCodec(transport.BinaryCodec{}))
 	}
 	var all []*transport.Link
-	newLink := func() *transport.Link {
-		l := transport.NewLink(linkOpts...)
+	newLink := func(name string) *transport.Link {
+		l := transport.NewLink(append(linkOpts, transport.WithName(name))...)
 		all = append(all, l)
 		return l
 	}
@@ -309,17 +325,25 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	}
 	links := InterLinks{}
 	for i := 0; i < nMain; i++ {
-		links.Main = append(links.Main, newLink())
+		links.Main = append(links.Main, newLink(fmt.Sprintf("main-%d", i)))
 	}
 	switch o.Mode {
 	case ModeGL:
 		for i := 0; i < nMain; i++ {
-			links.U1 = append(links.U1, newLink())
+			links.U1 = append(links.U1, newLink(fmt.Sprintf("u1-%d", i)))
 		}
-		links.Derived = newLink()
+		links.Derived = newLink("derived")
 	case ModeBL:
-		links.Sources = newLink()
-		links.Sinks = newLink()
+		links.Sources = newLink("sources")
+		links.Sinks = newLink("sinks")
+	}
+	if o.Telemetry != nil {
+		for _, l := range all {
+			count := l.Count
+			o.Telemetry.RegisterGauge("genealog_link_bytes",
+				[]telemetry.Label{{Name: "link", Value: l.Name}},
+				func() float64 { return float64(count.Bytes()) })
+		}
 	}
 
 	var store *baseline.Store
@@ -334,6 +358,11 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 		// Flush and release the file log on every error path too;
 		// finishProvStore closes first on success (re-Close is a no-op).
 		defer provStore.Close()
+	}
+	if o.Telemetry != nil && provStore != nil {
+		o.Telemetry.RegisterStore("provstore", func() telemetry.StoreStats {
+			return storeStats(provStore.Stats())
+		})
 	}
 	account := &provAccount{spec: spec}
 	observe := func(r provenance.Result) {

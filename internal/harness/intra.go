@@ -12,6 +12,7 @@ import (
 	"genealog/internal/provenance"
 	"genealog/internal/provstore"
 	"genealog/internal/query"
+	"genealog/internal/telemetry"
 )
 
 // Run executes one measured run and returns its metrics.
@@ -86,6 +87,9 @@ func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Qu
 	if asm.provStore != nil {
 		opts = append(opts, query.WithProvenanceStore(asm.provStore))
 	}
+	if o.Telemetry != nil {
+		opts = append(opts, query.WithTelemetry(o.Telemetry))
+	}
 	b := query.New(string(o.Query), opts...)
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
@@ -132,6 +136,11 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 		// Flush and release the file log on every error path too;
 		// finishProvStore closes first on success (re-Close is a no-op).
 		defer provStore.Close()
+	}
+	if o.Telemetry != nil && provStore != nil {
+		o.Telemetry.RegisterStore("provstore", func() telemetry.StoreStats {
+			return storeStats(provStore.Stats())
+		})
 	}
 
 	var srcCount metrics.Counter
@@ -279,4 +288,26 @@ func finishProvStore(st *provstore.Store, owned bool, res *Result) error {
 	res.ProvStoreDedup = ss.DedupRatio()
 	res.ProvStoreReEncoded = ss.ReEncoded
 	return nil
+}
+
+// storeStats converts a provenance store's accounting into the telemetry
+// exposition shape. The conversion lives here — not in internal/telemetry —
+// so the telemetry package stays free of provstore imports (it is linked
+// into every binary, including ones that never open a store).
+func storeStats(s provstore.Stats) telemetry.StoreStats {
+	return telemetry.StoreStats{
+		Sinks:           s.Sinks,
+		Sources:         s.Sources,
+		SourceRefs:      s.SourceRefs,
+		LiveSources:     s.LiveSources,
+		RetiredSources:  s.RetiredSources,
+		PeakLiveSources: s.PeakLiveSources,
+		ReEncoded:       s.ReEncoded,
+		Bytes:           s.Bytes,
+		Watermark:       s.Watermark,
+		Horizon:         s.Horizon,
+		Instances:       s.Instances,
+		MinWatermark:    s.MinWatermark,
+		DedupRatio:      s.DedupRatio(),
+	}
 }

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"genealog/internal/telemetry"
+)
+
+// TestTelemetryQ4ParallelFusedPlan runs the full distributed (Inter) Q4
+// deployment at parallelism 4 with the planner on and a live telemetry
+// registry attached, scraping both exposition endpoints concurrently with
+// the run (so the per-batch hooks race a real scraper under -race) and then
+// checking the final exposition:
+//
+//   - /telemetry.json decodes into telemetry.Snapshot and carries all three
+//     SPE instances' queries,
+//   - registry names — operators and streams — are unique within each
+//     query's plan, including the shard-internal partition/merge lanes and
+//     the fused/vec chain nodes,
+//   - the counters saw the run's traffic (tuples out, segment batches,
+//     source watermarks),
+//   - /metrics serves parseable Prometheus families for throughput, queue
+//     occupancy and watermark lag.
+func TestTelemetryQ4ParallelFusedPlan(t *testing.T) {
+	o := parallelTestOptions(Q4, ModeGL, 4)
+	o.Deployment = Inter
+	o.BatchSize = 64
+	reg := telemetry.NewRegistry()
+	o.Telemetry = reg
+	srv, err := reg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Scrape while the query runs: the value here is the data race that
+	// isn't — atomic counters and scrape-time queue sampling against the
+	// hot path — plus proof the endpoints answer mid-run.
+	stop := make(chan struct{})
+	scraped := make(chan error, 1)
+	go func() {
+		var last error
+		for {
+			select {
+			case <-stop:
+				scraped <- last
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/telemetry.json"} {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					last = err
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					last = fmt.Errorf("GET %s: %s", path, resp.Status)
+				} else {
+					last = nil
+				}
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, o)
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SinkTuples == 0 {
+		t.Fatal("run produced no sink tuples")
+	}
+	if err := <-scraped; err != nil {
+		t.Fatalf("mid-run scrape: %v", err)
+	}
+
+	resp, err := http.Get(base + "/telemetry.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]bool{"Q4-spe1": false, "Q4-spe2": false, "Q4-spe3": false}
+	var shardLanes, segOps int
+	var tuplesOut int64
+	for _, q := range snap.Queries {
+		if _, ok := want[q.Name]; !ok {
+			t.Errorf("unexpected query %q in snapshot", q.Name)
+			continue
+		}
+		want[q.Name] = true
+
+		opSeen := map[string]bool{}
+		for _, op := range q.Operators {
+			if opSeen[op.Name] {
+				t.Errorf("%s: duplicate operator name %q", q.Name, op.Name)
+			}
+			opSeen[op.Name] = true
+			if strings.Contains(op.Name, "#") || strings.Contains(op.Name, "/part") {
+				shardLanes++
+			}
+			if op.SegBatches > 0 {
+				segOps++
+			}
+			tuplesOut += op.TuplesOut
+		}
+		streamSeen := map[string]bool{}
+		for _, s := range q.Streams {
+			if streamSeen[s.Name] {
+				t.Errorf("%s: duplicate stream name %q", q.Name, s.Name)
+			}
+			streamSeen[s.Name] = true
+			if s.QueueCap <= 0 {
+				t.Errorf("%s: stream %q has queue capacity %d", q.Name, s.Name, s.QueueCap)
+			}
+		}
+		if len(q.Streams) == 0 {
+			t.Errorf("%s: no streams registered", q.Name)
+		}
+		if !q.SourceWatermarkOK {
+			t.Errorf("%s: no source watermark after a complete run", q.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("query %q missing from snapshot", name)
+		}
+	}
+	if shardLanes == 0 {
+		t.Error("parallelism 4 registered no shard-internal lanes")
+	}
+	if segOps == 0 {
+		t.Error("fused/vectorized plan registered no segment counters")
+	}
+	if tuplesOut == 0 {
+		t.Error("telemetry saw no published tuples")
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"# TYPE genealog_operator_tuples_out_total counter",
+		"# TYPE genealog_operator_queue_length gauge",
+		"# TYPE genealog_operator_watermark_lag gauge",
+		"# TYPE genealog_segment_batches_total counter",
+		`query="Q4-spe2"`,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+}

@@ -31,12 +31,21 @@ func (c *Counter) Mark(now int64) {
 // Count returns the number of events.
 func (c *Counter) Count() int64 { return c.n.Load() }
 
-// Rate returns events per second between the first and last Mark.
+// Rate returns events per second between the first and last Mark. A burst
+// whose Marks all share one timestamp (n >= 2, end == start — events
+// arriving faster than the clock source ticks) is rated against the wall
+// clock elapsed since the first Mark instead of reporting 0.
 func (c *Counter) Rate() float64 {
 	n := c.n.Load()
 	start, end := c.start.Load(), c.end.Load()
-	if n < 2 || end <= start {
+	if n < 2 {
 		return 0
+	}
+	if end <= start {
+		end = time.Now().UnixNano()
+		if end <= start {
+			return 0
+		}
 	}
 	return float64(n) / (time.Duration(end - start)).Seconds()
 }

@@ -34,6 +34,26 @@ func TestCounterRateDegenerate(t *testing.T) {
 	}
 }
 
+func TestCounterRateBurst(t *testing.T) {
+	// A burst whose Marks all share one timestamp (events faster than the
+	// clock ticks) must rate against the wall clock since the first Mark,
+	// not report 0.
+	var c Counter
+	now := time.Now().UnixNano()
+	for i := 0; i < 1000; i++ {
+		c.Mark(now)
+	}
+	time.Sleep(10 * time.Millisecond)
+	r := c.Rate()
+	if r <= 0 {
+		t.Fatalf("rate = %f after a one-timestamp burst, want > 0", r)
+	}
+	// 1000 events over >= 10ms of wall clock: at most 100k/s.
+	if r > 100_000 {
+		t.Fatalf("rate = %f, want <= 100000 (>=10ms elapsed)", r)
+	}
+}
+
 func TestCounterConcurrentMarks(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"genealog/internal/core"
+	"genealog/internal/telemetry"
 )
 
 // ColStage is one logical stateless operator of a ColChain, expressed as a
@@ -90,6 +91,11 @@ type ColChain struct {
 	// construction so map stages skip the per-tuple dynamic call — the
 	// batch-level devirtualization a vectorized runtime affords.
 	noopInstr bool
+
+	// Seg, when non-nil, counts the batches, tuple slots and contiguous
+	// data runs absorbed by the vectorized segment. Set before Run
+	// (query.Build does); one nil check per batch plus one per run.
+	Seg *telemetry.SegStats
 }
 
 var _ Operator = (*ColChain)(nil)
@@ -137,6 +143,9 @@ func (c *ColChain) Run(ctx context.Context) error {
 		if !ok {
 			return nil
 		}
+		if c.Seg != nil {
+			c.Seg.NoteBatch(len(batch))
+		}
 		// The chain owns the received batch until the next RecvBatch, so
 		// runs are processed as in-place subslices; a Map stage rewrites
 		// survivor positions directly.
@@ -149,6 +158,9 @@ func (c *ColChain) Run(ctx context.Context) error {
 				j := i + 1
 				for j < len(batch) && !core.IsHeartbeat(batch[j]) {
 					j++
+				}
+				if c.Seg != nil {
+					c.Seg.NoteRun()
 				}
 				c.processRun(batch[i:j])
 				i = j

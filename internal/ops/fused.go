@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"genealog/internal/core"
+	"genealog/internal/telemetry"
 )
 
 // StageKind identifies the per-tuple behaviour of one stage of a FusedChain.
@@ -92,6 +93,11 @@ type FusedChain struct {
 	out    *Stream
 	stages []FusedStage
 	instr  core.Instrumenter
+
+	// Seg, when non-nil, counts the batches and tuple slots absorbed by the
+	// fused segment — how much traffic fusion kept off intermediate streams.
+	// Set before Run (query.Build does); one nil check per batch.
+	Seg *telemetry.SegStats
 }
 
 var _ Operator = (*FusedChain)(nil)
@@ -134,6 +140,9 @@ func (f *FusedChain) Run(ctx context.Context) error {
 		}
 		if !ok {
 			return nil
+		}
+		if f.Seg != nil {
+			f.Seg.NoteBatch(len(batch))
 		}
 		for _, t := range batch {
 			if core.IsHeartbeat(t) {

@@ -454,6 +454,11 @@ type ShardConfig struct {
 	// kernel form), so each lane runs the whole prefix→aggregate span over
 	// columns.
 	VecPrefix []ColStage
+	// Observe, when non-nil, is called once for every internal stream of the
+	// subgraph (partition lanes and merge lanes) at construction time, before
+	// any operator runs. Telemetry uses it to attach per-batch counters to
+	// streams the query builder never sees.
+	Observe func(*Stream)
 }
 
 // ShardJoinConfig bundles the planner-derived physical options of a sharded
@@ -472,6 +477,9 @@ type ShardJoinConfig struct {
 	// scan. Lane prefixes stay row stages either way — the join's merge
 	// consumes tuple-at-a-time.
 	Join *JoinColSpec
+	// Observe, when non-nil, is called once for every internal stream of the
+	// subgraph at construction time (see ShardConfig.Observe).
+	Observe func(*Stream)
 }
 
 // ShardAggregate expands a keyed Aggregate into parallelism independent
@@ -556,6 +564,10 @@ func ShardAggregateCfg(name string, in, out *Stream, spec AggregateSpec, instr c
 	for i := range shardIns {
 		shardIns[i] = NewBatchedStream(fmt.Sprintf("%s/part->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
+		if cfg.Observe != nil {
+			cfg.Observe(shardIns[i])
+			cfg.Observe(shardOuts[i])
+		}
 		if cfg.Agg != nil {
 			operators = append(operators, NewColAggregate(fmt.Sprintf("%s#%d", name, i), shardIns[i], shardOuts[i], shardSpec, shardCol, cfg.VecPrefix, instr))
 		} else {
@@ -634,6 +646,11 @@ func ShardJoinCfg(name string, left, right, out *Stream, spec JoinSpec, instr co
 		leftIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-l->%s#%d", name, name, i), chanCap, batchSize)
 		rightIns[i] = NewBatchedStream(fmt.Sprintf("%s/part-r->%s#%d", name, name, i), chanCap, batchSize)
 		shardOuts[i] = NewBatchedStream(fmt.Sprintf("%s#%d->%s/merge", name, i, name), chanCap, batchSize)
+		if cfg.Observe != nil {
+			cfg.Observe(leftIns[i])
+			cfg.Observe(rightIns[i])
+			cfg.Observe(shardOuts[i])
+		}
 		if cfg.Join != nil {
 			operators = append(operators, NewColJoin(fmt.Sprintf("%s#%d", name, i), leftIns[i], rightIns[i], shardOuts[i], shardSpec, *cfg.Join, cfg.Left.stages(), cfg.Right.stages(), instr))
 		} else {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"genealog/internal/core"
+	"genealog/internal/telemetry"
 )
 
 // DefaultStreamCapacity is the channel capacity used when a stream is created
@@ -71,6 +72,12 @@ type Stream struct {
 	rqi   int
 	lent  Batch
 	ended bool
+
+	// telem, when non-nil, receives one producer-side note per published
+	// batch and one consumer-side note per dequeued batch. It is the
+	// telemetry subsystem's only hot-path presence: disabled streams pay a
+	// single nil check per batch, never anything per tuple.
+	telem *telemetry.StreamStats
 }
 
 // NewStream returns an unbatched stream (batch size 1) with the given name
@@ -108,6 +115,19 @@ func (s *Stream) PendingLen() int { return len(s.pending) }
 
 // BatchSize returns the stream's maximum batch size.
 func (s *Stream) BatchSize() int { return s.max }
+
+// SetTelemetry attaches per-batch counters to the stream. Call it before
+// the query starts (query.Build does); attaching mid-run would race the
+// producer and consumer goroutines.
+func (s *Stream) SetTelemetry(st *telemetry.StreamStats) { s.telem = st }
+
+// QueueLen returns the number of batches currently buffered in the
+// stream's channel. Safe to call from any goroutine at any time; telemetry
+// samples it at scrape time.
+func (s *Stream) QueueLen() int { return len(s.ch) }
+
+// QueueCap returns the capacity of the stream's channel, in batches.
+func (s *Stream) QueueCap() int { return cap(s.ch) }
 
 // Send delivers t downstream, blocking while the stream is full. With a
 // batch size above one, t is first accumulated into the pending batch and
@@ -249,6 +269,11 @@ func (s *Stream) Flush(ctx context.Context) error {
 			s.nextCap = s.max
 		}
 	}
+	if st := s.telem; st != nil {
+		// Before the send: once published, the consumer may recycle the
+		// batch's backing array concurrently.
+		st.NoteFlush(b)
+	}
 	select {
 	case s.ch <- b:
 		return nil
@@ -327,6 +352,9 @@ func (s *Stream) recvBatch(ctx context.Context) (b Batch, ok bool, err error) {
 			s.ended = true
 			return nil, false, nil
 		}
+		if st := s.telem; st != nil {
+			st.NoteRecv(b)
+		}
 		return b, true, nil
 	default:
 	}
@@ -335,6 +363,9 @@ func (s *Stream) recvBatch(ctx context.Context) (b Batch, ok bool, err error) {
 		if !ok {
 			s.ended = true
 			return nil, false, nil
+		}
+		if st := s.telem; st != nil {
+			st.NoteRecv(b)
 		}
 		return b, true, nil
 	case <-ctx.Done():
@@ -376,6 +407,9 @@ func (s *Stream) CanRecv() bool {
 		if !ok {
 			s.ended = true
 			return true
+		}
+		if st := s.telem; st != nil {
+			st.NoteRecv(b)
 		}
 		s.rq, s.rqi = b, 0
 		return true

@@ -16,6 +16,7 @@ import (
 
 	"genealog/internal/core"
 	"genealog/internal/ops"
+	"genealog/internal/telemetry"
 )
 
 // NodeKind identifies the operator type of a query node.
@@ -268,10 +269,15 @@ type Builder struct {
 	fusion    bool
 	vectorize bool
 	provStore ProvenanceStore
-	nodes     []*Node
-	byName    map[string]*Node
-	edges     []edge
-	err       error
+	telem     *telemetry.Registry
+	// qtel is the current Build's telemetry bucket (set per Build call when
+	// telem is non-nil); the materialise helpers read it to attach counters
+	// to streams and segments the edge loop never sees.
+	qtel   *telemetry.QueryTelemetry
+	nodes  []*Node
+	byName map[string]*Node
+	edges  []edge
+	err    error
 }
 
 // Option configures a Builder.
@@ -353,6 +359,17 @@ func WithVectorize(on bool) Option {
 // paper's evaluation.
 func WithProvenanceStore(ps ProvenanceStore) Option {
 	return func(b *Builder) { b.provStore = ps }
+}
+
+// WithTelemetry attaches a live metrics registry to the query: Build
+// registers every physical plan node (under the same ids Explain prints)
+// and attaches per-batch counters to every materialised stream, including
+// the internal lanes of shard-parallel subgraphs. The registry serves the
+// figures over HTTP (telemetry.Registry.Listen). The default is nil — no
+// registration, and the streams' telemetry pointers stay nil, so the hot
+// path pays exactly one never-taken branch per batch.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(b *Builder) { b.telem = r }
 }
 
 // New returns a Builder for a query with the given name.
@@ -520,11 +537,20 @@ func (b *Builder) Build() (*Query, error) {
 		return nil, fmt.Errorf("query %q: %w", b.name, err)
 	}
 	pl := b.plan()
+	if b.telem != nil {
+		b.qtel = b.telem.Register(b.name)
+		for _, pn := range pl.nodes {
+			b.qtel.Operator(pn.name(), kindLabel(pn), pn.kind == physSingle && pn.node.kind == KindSource)
+		}
+	}
 	ins := make(map[*physNode][]*ops.Stream)
 	outs := make(map[*physNode][]*ops.Stream)
 	inPorts := make(map[*physNode]map[string]*ops.Stream)
 	for _, e := range pl.edges {
 		s := ops.NewBatchedStream(fmt.Sprintf("%s->%s", e.from.name(), e.to.name()), b.chanCap, b.batchSize)
+		if b.qtel != nil {
+			s.SetTelemetry(b.qtel.Stream(s.Name(), e.from.name(), e.to.name(), s.BatchSize(), queueProbe(s)))
+		}
 		outs[e.from] = append(outs[e.from], s)
 		ins[e.to] = append(ins[e.to], s)
 		if e.port != PortDefault {
@@ -577,6 +603,40 @@ func (b *Builder) Build() (*Query, error) {
 	return q, nil
 }
 
+// kindLabel renders a physical node's kind for telemetry: the logical
+// operator kind, the chain flavour, or the shard expansion's shape.
+func kindLabel(pn *physNode) string {
+	switch pn.kind {
+	case physFused:
+		if pn.vec {
+			return "vec-chain"
+		}
+		return "fused-chain"
+	case physShard:
+		label := fmt.Sprintf("%s x%d", pn.node.kind, pn.node.Parallelism)
+		if pn.vec {
+			label += " vec"
+		}
+		return label
+	default:
+		if pn.vec {
+			return pn.node.kind.String() + " vec"
+		}
+		return pn.node.kind.String()
+	}
+}
+
+// queueProbe returns the scrape-time channel occupancy sampler of a stream.
+func queueProbe(s *ops.Stream) func() (int, int) {
+	return func() (int, int) { return s.QueueLen(), s.QueueCap() }
+}
+
+// observeShardStream attaches telemetry to one internal stream of a shard
+// subgraph; the producer/consumer ids come from the stream's name.
+func (b *Builder) observeShardStream(s *ops.Stream) {
+	s.SetTelemetry(b.qtel.StreamNamed(s.Name(), s.BatchSize(), queueProbe(s)))
+}
+
 // checkRegistered rejects edges to *Node values that were never added to
 // this builder (e.g. nodes of another builder, or hand-constructed ones):
 // their streams would have no operator draining them and the query would
@@ -604,7 +664,11 @@ func (b *Builder) materialiseFused(pn *physNode, in, out []*ops.Stream) (ops.Ope
 	if len(in) != 1 || len(out) != 1 {
 		return nil, fmt.Errorf("fused chain needs 1 input and 1 output, has %d/%d", len(in), len(out))
 	}
-	return ops.NewFusedChain(pn.name(), in[0], out[0], stagesFor(pn.chain), b.instr), nil
+	fc := ops.NewFusedChain(pn.name(), in[0], out[0], stagesFor(pn.chain), b.instr)
+	if b.qtel != nil {
+		fc.Seg = b.qtel.Segment(pn.name())
+	}
+	return fc, nil
 }
 
 // materialiseVectorized builds the columnar operator of a vectorized
@@ -634,7 +698,11 @@ func (b *Builder) materialiseVectorized(pn *physNode, in, out []*ops.Stream, por
 	if len(in) != 1 || len(out) != 1 {
 		return nil, fmt.Errorf("vectorized chain needs 1 input and 1 output, has %d/%d", len(in), len(out))
 	}
-	return ops.NewColChain(pn.name(), in[0], out[0], colStagesFor(pn.stageNodes()), b.instr), nil
+	cc := ops.NewColChain(pn.name(), in[0], out[0], colStagesFor(pn.stageNodes()), b.instr)
+	if b.qtel != nil {
+		cc.Seg = b.qtel.Segment(pn.name())
+	}
+	return cc, nil
 }
 
 // materialiseShard expands a node with Parallelism > 1 into its shard
@@ -648,6 +716,9 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
 		}
 		cfg := ops.ShardConfig{Prefix: pn.shardPrefixFor(PortDefault), Suffix: pn.shardSuffix()}
+		if b.qtel != nil {
+			cfg.Observe = b.observeShardStream
+		}
 		if b.vectorize {
 			cfg.ColKey = colKeyFor(n, cfg.Prefix)
 		}
@@ -672,6 +743,9 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 			Left:   pn.shardPrefixFor(PortLeft),
 			Right:  pn.shardPrefixFor(PortRight),
 			Suffix: pn.shardSuffix(),
+		}
+		if b.qtel != nil {
+			cfg.Observe = b.observeShardStream
 		}
 		if b.vectorize {
 			cfg.LeftColKey, cfg.RightColKey = joinColKeysFor(n, cfg.Left, cfg.Right)

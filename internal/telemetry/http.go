@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux returns the exposition mux: Prometheus text at /metrics, the JSON
+// snapshot at /telemetry.json, the runtime profiler under /debug/pprof/,
+// and expvar at /debug/vars. Handlers snapshot at request time; the mux
+// can be mounted before any query registers.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, r.Snapshot()); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "genealog telemetry\n\n/metrics\n/telemetry.json\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+// Server is one listening exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Listen starts serving the registry's Mux on addr (e.g. ":9414" or
+// "127.0.0.1:0") in a background goroutine.
+func (r *Registry) Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per metric family,
+// every sample of a family contiguous under its header, label values
+// escaped per the format's rules. Counters carry the _total suffix;
+// sampled values (queue occupancy, fill ratio, watermarks) are gauges.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	p := promWriter{w: w}
+
+	p.family("genealog_uptime_seconds", "gauge", "Seconds since the telemetry registry was created.")
+	p.sample("genealog_uptime_seconds", nil, fmtFloat(snap.UptimeSeconds))
+
+	type opSample struct {
+		q  string
+		op OperatorSnapshot
+	}
+	var ops []opSample
+	for _, q := range snap.Queries {
+		for _, o := range q.Operators {
+			ops = append(ops, opSample{q.Name, o})
+		}
+	}
+
+	opCounter := func(name, help string, val func(OperatorSnapshot) int64) {
+		p.family(name, "counter", help)
+		for _, s := range ops {
+			p.sample(name, opLabels(s.q, s.op.Name), fmtInt(val(s.op)))
+		}
+	}
+	opGauge := func(name, help string, every bool, val func(OperatorSnapshot) (float64, bool)) {
+		p.family(name, "gauge", help)
+		for _, s := range ops {
+			if v, ok := val(s.op); ok || every {
+				p.sample(name, opLabels(s.q, s.op.Name), fmtFloat(v))
+			}
+		}
+	}
+
+	opCounter("genealog_operator_tuples_in_total", "Data tuples and heartbeats dequeued by the operator.",
+		func(o OperatorSnapshot) int64 { return o.TuplesIn })
+	opCounter("genealog_operator_tuples_out_total", "Data tuples published by the operator (heartbeats excluded).",
+		func(o OperatorSnapshot) int64 { return o.TuplesOut })
+	opCounter("genealog_operator_batches_in_total", "Batches dequeued by the operator.",
+		func(o OperatorSnapshot) int64 { return o.BatchesIn })
+	opCounter("genealog_operator_batches_out_total", "Batches published by the operator.",
+		func(o OperatorSnapshot) int64 { return o.BatchesOut })
+	opCounter("genealog_operator_heartbeats_out_total", "Heartbeats published by the operator.",
+		func(o OperatorSnapshot) int64 { return o.HeartbeatsOut })
+	opGauge("genealog_operator_queue_length", "Tuples buffered in the operator's inbound channels (sampled).", true,
+		func(o OperatorSnapshot) (float64, bool) { return float64(o.QueueLen), true })
+	opGauge("genealog_operator_queue_capacity", "Capacity of the operator's inbound channels.", true,
+		func(o OperatorSnapshot) (float64, bool) { return float64(o.QueueCap), true })
+	opGauge("genealog_operator_batch_fill_ratio", "Published slots per batch over the configured batch size.", true,
+		func(o OperatorSnapshot) (float64, bool) { return o.FillRatio, true })
+	opGauge("genealog_operator_watermark", "Event-time watermark the operator last published.", false,
+		func(o OperatorSnapshot) (float64, bool) { return float64(o.Watermark), o.WatermarkOK })
+	opGauge("genealog_operator_watermark_lag", "Event-time distance behind the query's most advanced source.", false,
+		func(o OperatorSnapshot) (float64, bool) { return float64(o.WatermarkLag), o.WatermarkOK })
+
+	segAny := false
+	for _, s := range ops {
+		if s.op.SegBatches > 0 || s.op.SegTuples > 0 || s.op.SegRuns > 0 {
+			segAny = true
+			break
+		}
+	}
+	if segAny {
+		seg := func(name, help string, val func(OperatorSnapshot) int64) {
+			p.family(name, "counter", help)
+			for _, s := range ops {
+				if s.op.SegBatches > 0 || s.op.SegTuples > 0 || s.op.SegRuns > 0 {
+					p.sample(name, opLabels(s.q, s.op.Name), fmtInt(val(s.op)))
+				}
+			}
+		}
+		seg("genealog_segment_batches_total", "Batches processed by the fused or vectorized segment.",
+			func(o OperatorSnapshot) int64 { return o.SegBatches })
+		seg("genealog_segment_tuples_total", "Tuple slots processed by the fused or vectorized segment.",
+			func(o OperatorSnapshot) int64 { return o.SegTuples })
+		seg("genealog_segment_runs_total", "Contiguous data runs processed by the vectorized segment.",
+			func(o OperatorSnapshot) int64 { return o.SegRuns })
+	}
+
+	p.family("genealog_stream_queue_length", "gauge", "Tuples buffered in the stream's channel (sampled).")
+	for _, q := range snap.Queries {
+		for _, s := range q.Streams {
+			p.sample("genealog_stream_queue_length", streamLabels(q.Name, s.Name), fmtInt(int64(s.QueueLen)))
+		}
+	}
+	p.family("genealog_stream_queue_capacity", "gauge", "Capacity of the stream's channel.")
+	for _, q := range snap.Queries {
+		for _, s := range q.Streams {
+			p.sample("genealog_stream_queue_capacity", streamLabels(q.Name, s.Name), fmtInt(int64(s.QueueCap)))
+		}
+	}
+
+	if len(snap.Stores) > 0 {
+		storeMetric := func(name, typ, help string, val func(StoreSnapshot) float64) {
+			p.family(name, typ, help)
+			for _, st := range snap.Stores {
+				p.sample(name, []Label{{"store", st.Name}}, fmtFloat(val(st)))
+			}
+		}
+		storeMetric("genealog_store_sink_entries_total", "counter", "Sink tuples ingested by the provenance store.",
+			func(s StoreSnapshot) float64 { return float64(s.Sinks) })
+		storeMetric("genealog_store_source_entries", "gauge", "Distinct source tuples currently held.",
+			func(s StoreSnapshot) float64 { return float64(s.Sources) })
+		storeMetric("genealog_store_source_refs_total", "counter", "Source references ingested (pre-deduplication).",
+			func(s StoreSnapshot) float64 { return float64(s.SourceRefs) })
+		storeMetric("genealog_store_live_sources", "gauge", "Source tuples not yet retired by the watermark.",
+			func(s StoreSnapshot) float64 { return float64(s.LiveSources) })
+		storeMetric("genealog_store_retired_sources_total", "counter", "Source tuples retired past the horizon.",
+			func(s StoreSnapshot) float64 { return float64(s.RetiredSources) })
+		storeMetric("genealog_store_peak_live_sources", "gauge", "High-water mark of live source tuples.",
+			func(s StoreSnapshot) float64 { return float64(s.PeakLiveSources) })
+		storeMetric("genealog_store_reencoded_total", "counter", "Payloads re-encoded on ingest.",
+			func(s StoreSnapshot) float64 { return float64(s.ReEncoded) })
+		storeMetric("genealog_store_bytes", "gauge", "Approximate bytes held by the store.",
+			func(s StoreSnapshot) float64 { return float64(s.Bytes) })
+		storeMetric("genealog_store_watermark", "gauge", "Maximum watermark advertised to the store.",
+			func(s StoreSnapshot) float64 { return float64(s.Watermark) })
+		storeMetric("genealog_store_min_watermark", "gauge", "Minimum watermark across reporting instances.",
+			func(s StoreSnapshot) float64 { return float64(s.MinWatermark) })
+		storeMetric("genealog_store_instances", "gauge", "Distinct SPE instances reporting watermarks.",
+			func(s StoreSnapshot) float64 { return float64(s.Instances) })
+		storeMetric("genealog_store_dedup_ratio", "gauge", "Source references per distinct stored source.",
+			func(s StoreSnapshot) float64 { return s.DedupRatio })
+	}
+
+	// Free-form gauges grouped by name so families stay contiguous.
+	done := map[string]bool{}
+	for _, g := range snap.Gauges {
+		if done[g.Name] {
+			continue
+		}
+		done[g.Name] = true
+		p.family(g.Name, "gauge", "Registered gauge.")
+		for _, h := range snap.Gauges {
+			if h.Name == g.Name {
+				p.sample(h.Name, h.Labels, fmtFloat(h.Value))
+			}
+		}
+	}
+	return p.err
+}
+
+func opLabels(query, op string) []Label {
+	return []Label{{"query", query}, {"op", op}}
+}
+
+func streamLabels(query, stream string) []Label {
+	return []Label{{"query", query}, {"stream", stream}}
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) family(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name string, labels []Label, value string) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+	_, p.err = io.WriteString(p.w, sb.String())
+}
+
+// escapeLabel applies the text format's label-value escaping: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func fmtInt(v int64) string { return fmt.Sprintf("%d", v) }
+
+func fmtFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}

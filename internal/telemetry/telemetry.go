@@ -1,0 +1,536 @@
+// Package telemetry is the engine's live observability substrate: a
+// process-wide registry of per-operator and per-stream counters that a
+// running node exposes over HTTP as Prometheus text and a JSON snapshot
+// (plus pprof and expvar on the same mux).
+//
+// The design splits cleanly into a hot half and a cold half. The hot half
+// is StreamStats and SegStats: plain structs of atomic counters that the
+// stream transport and the fused/columnar chains bump once per *batch*
+// behind a single nil-pointer check — when telemetry is off the pointer is
+// nil and the cost is one predictable branch per batch, never per tuple.
+// The cold half runs only at scrape time: queue occupancy is sampled
+// through closures over channel length, per-operator figures are derived
+// by summing the stream-end counters of each operator's inbound and
+// outbound streams, and watermark lag is the distance from the query's
+// most advanced source watermark.
+//
+// Streams are the unit of instrumentation because every materialised edge
+// already carries a "producer->consumer" name taken from the physical
+// plan (the same ids Explain prints: operator names, "fused[a+b]",
+// "vec[a+b]", and the shard-internal "op/part", "op#i", "op/merge"
+// instances), so operator attribution falls out of the plumbing that
+// exists rather than new per-operator hooks in every inner loop.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genealog/internal/core"
+)
+
+// StreamStats is the per-stream hook struct. A Stream holds at most one,
+// attached at Build time; both halves are updated lock-free.
+//
+// The producer side (NoteFlush) runs when a pending batch is published:
+// it counts the batch, splits data tuples from heartbeats, and records the
+// batch's maximum timestamp — batches are timestamp-sorted, so the last
+// slot is the watermark this stream has advertised downstream. The
+// consumer side (NoteRecv) runs when a batch is dequeued.
+type StreamStats struct {
+	batchesOut    atomic.Int64
+	tuplesOut     atomic.Int64 // data tuples published (heartbeats excluded)
+	heartbeatsOut atomic.Int64
+	slotsOut      atomic.Int64 // all slots published, the fill-ratio numerator
+	batchesIn     atomic.Int64
+	tuplesIn      atomic.Int64 // all slots dequeued, heartbeats included
+	watermark     atomic.Int64
+	wmSet         atomic.Bool
+}
+
+// NoteFlush records one published batch. The heartbeat scan runs only when
+// telemetry is attached; the disabled path never reaches it.
+func (s *StreamStats) NoteFlush(b []core.Tuple) {
+	n := len(b)
+	if n == 0 {
+		return
+	}
+	hb := 0
+	for _, t := range b {
+		if core.IsHeartbeat(t) {
+			hb++
+		}
+	}
+	s.batchesOut.Add(1)
+	s.slotsOut.Add(int64(n))
+	s.tuplesOut.Add(int64(n - hb))
+	if hb > 0 {
+		s.heartbeatsOut.Add(int64(hb))
+	}
+	s.watermark.Store(b[n-1].Timestamp())
+	s.wmSet.Store(true)
+}
+
+// NoteRecv records one dequeued batch.
+func (s *StreamStats) NoteRecv(b []core.Tuple) {
+	s.batchesIn.Add(1)
+	s.tuplesIn.Add(int64(len(b)))
+}
+
+// Watermark returns the maximum timestamp published on the stream and
+// whether any batch has been published yet.
+func (s *StreamStats) Watermark() (int64, bool) {
+	if !s.wmSet.Load() {
+		return 0, false
+	}
+	return s.watermark.Load(), true
+}
+
+// SegStats counts batches and tuples through one fused or vectorized
+// segment ("fused[a+b]" / "vec[a+b]"): how much traffic the planner's
+// fusion and columnar passes actually absorbed. Runs counts the
+// contiguous data runs a columnar segment processed (row segments leave
+// it at zero).
+type SegStats struct {
+	batches atomic.Int64
+	tuples  atomic.Int64
+	runs    atomic.Int64
+}
+
+// NoteBatch records one batch of n slots entering the segment.
+func (s *SegStats) NoteBatch(n int) {
+	s.batches.Add(1)
+	s.tuples.Add(int64(n))
+}
+
+// NoteRun records one contiguous data run processed by a columnar segment.
+func (s *SegStats) NoteRun() {
+	s.runs.Add(1)
+}
+
+// StoreStats is a point-in-time view of a provenance store, mirroring
+// provstore.Stats field-for-field (telemetry cannot import provstore — the
+// conversion happens where the store is opened).
+type StoreStats struct {
+	Sinks           int64   `json:"sinks"`
+	Sources         int64   `json:"sources"`
+	SourceRefs      int64   `json:"source_refs"`
+	LiveSources     int64   `json:"live_sources"`
+	RetiredSources  int64   `json:"retired_sources"`
+	PeakLiveSources int64   `json:"peak_live_sources"`
+	ReEncoded       int64   `json:"re_encoded"`
+	Bytes           int64   `json:"bytes"`
+	Watermark       int64   `json:"watermark"`
+	Horizon         int64   `json:"horizon"`
+	Instances       int64   `json:"instances"`
+	MinWatermark    int64   `json:"min_watermark"`
+	DedupRatio      float64 `json:"dedup_ratio"`
+}
+
+// Registry is the process-wide root: queries, stores and free-form gauges
+// registered under it are visible to every exposition endpoint. The zero
+// value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	start   time.Time
+	queries map[string]*QueryTelemetry
+	qOrder  []string
+	stores  map[string]func() StoreStats
+	sOrder  []string
+	gauges  []gaugeFunc
+}
+
+type gaugeFunc struct {
+	name   string
+	labels []Label
+	fn     func() float64
+}
+
+// Label is one exposition label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// NewRegistry returns an empty registry; uptime is measured from this call.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:   time.Now(),
+		queries: make(map[string]*QueryTelemetry),
+		stores:  make(map[string]func() StoreStats),
+	}
+}
+
+// Register creates the telemetry bucket for one built query, replacing any
+// previous registration under the same name — re-building a query (the
+// harness re-runs the same spec) supersedes the stale instance rather than
+// accumulating dead streams.
+func (r *Registry) Register(query string) *QueryTelemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.queries[query]; !ok {
+		r.qOrder = append(r.qOrder, query)
+	}
+	qt := &QueryTelemetry{name: query, ops: make(map[string]*opEntry)}
+	r.queries[query] = qt
+	return qt
+}
+
+// RegisterStore exposes a provenance store's live Stats under the given
+// name; the collector runs at scrape time only. A second registration
+// under the same name replaces the first.
+func (r *Registry) RegisterStore(name string, fn func() StoreStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.stores[name]; !ok {
+		r.sOrder = append(r.sOrder, name)
+	}
+	r.stores[name] = fn
+}
+
+// RegisterGauge exposes one free-form scrape-time gauge (e.g. transport
+// link byte counts) under a fully-qualified metric name.
+func (r *Registry) RegisterGauge(name string, labels []Label, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeFunc{name: name, labels: labels, fn: fn})
+}
+
+// QueryTelemetry collects one query's registrations: its operators (plan
+// node ids), its streams, and the fused/vec segment counters.
+type QueryTelemetry struct {
+	mu      sync.Mutex
+	name    string
+	ops     map[string]*opEntry
+	opOrder []string
+	streams []*streamEntry
+}
+
+type opEntry struct {
+	name   string
+	kind   string
+	source bool
+	seg    *SegStats
+}
+
+type streamEntry struct {
+	name      string
+	from, to  string
+	batchSize int
+	stats     *StreamStats
+	queue     func() (length, capacity int)
+}
+
+// Operator records one plan node: its Explain id, a human kind label, and
+// whether it is a source (sources anchor the watermark-lag baseline).
+func (q *QueryTelemetry) Operator(name, kind string, source bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.ops[name]; ok {
+		e.kind, e.source = kind, source
+		return
+	}
+	q.ops[name] = &opEntry{name: name, kind: kind, source: source}
+	q.opOrder = append(q.opOrder, name)
+}
+
+// Segment attaches hit counters to a fused or vectorized plan node and
+// returns the hook struct the chain bumps per batch.
+func (q *QueryTelemetry) Segment(op string) *SegStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.ops[op]
+	if !ok {
+		e = &opEntry{name: op}
+		q.ops[op] = e
+		q.opOrder = append(q.opOrder, op)
+	}
+	if e.seg == nil {
+		e.seg = new(SegStats)
+	}
+	return e.seg
+}
+
+// Stream registers one materialised stream. from and to are the plan node
+// ids of the producer and consumer ends; queue samples the channel's
+// length and capacity at scrape time. Returns the hook struct the stream's
+// Flush/Recv paths bump per batch.
+func (q *QueryTelemetry) Stream(name, from, to string, batchSize int, queue func() (int, int)) *StreamStats {
+	st := new(StreamStats)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.streams = append(q.streams, &streamEntry{
+		name: name, from: from, to: to, batchSize: batchSize, stats: st, queue: queue,
+	})
+	return st
+}
+
+// StreamNamed registers a stream whose ends are parsed from its
+// "producer->consumer" name — the convention every materialised stream
+// follows, including the shard-internal partition and merge lanes.
+func (q *QueryTelemetry) StreamNamed(name string, batchSize int, queue func() (int, int)) *StreamStats {
+	from, to, _ := strings.Cut(name, "->")
+	return q.Stream(name, from, to, batchSize, queue)
+}
+
+// Snapshot is the JSON document served at /telemetry.json; genealog-top
+// decodes into the same type. All counters are cumulative since process
+// start — pollers derive rates from deltas.
+type Snapshot struct {
+	TakenUnixNano int64           `json:"taken_unix_nano"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Queries       []QuerySnapshot `json:"queries"`
+	Stores        []StoreSnapshot `json:"stores,omitempty"`
+	Gauges        []GaugeSnapshot `json:"gauges,omitempty"`
+}
+
+// QuerySnapshot is one query's operators and streams. SourceWatermark is
+// the maximum watermark any source operator has published — the baseline
+// operator lag is measured against.
+type QuerySnapshot struct {
+	Name              string             `json:"name"`
+	SourceWatermark   int64              `json:"source_watermark"`
+	SourceWatermarkOK bool               `json:"source_watermark_ok"`
+	Operators         []OperatorSnapshot `json:"operators"`
+	Streams           []StreamSnapshot   `json:"streams"`
+}
+
+// OperatorSnapshot aggregates one plan node's stream ends: in-counters sum
+// its inbound streams' consumer sides, out-counters its outbound streams'
+// producer sides, queue figures sample its inbound channels.
+type OperatorSnapshot struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind,omitempty"`
+	Source        bool    `json:"source,omitempty"`
+	TuplesIn      int64   `json:"tuples_in"`
+	TuplesOut     int64   `json:"tuples_out"`
+	BatchesIn     int64   `json:"batches_in"`
+	BatchesOut    int64   `json:"batches_out"`
+	HeartbeatsOut int64   `json:"heartbeats_out"`
+	QueueLen      int     `json:"queue_len"`
+	QueueCap      int     `json:"queue_cap"`
+	FillRatio     float64 `json:"fill_ratio"`
+	Watermark     int64   `json:"watermark"`
+	WatermarkOK   bool    `json:"watermark_ok"`
+	WatermarkLag  int64   `json:"watermark_lag"`
+	SegBatches    int64   `json:"seg_batches,omitempty"`
+	SegTuples     int64   `json:"seg_tuples,omitempty"`
+	SegRuns       int64   `json:"seg_runs,omitempty"`
+}
+
+// StreamSnapshot is one edge's raw counters, for consumers that want the
+// un-aggregated view.
+type StreamSnapshot struct {
+	Name          string `json:"name"`
+	From          string `json:"from"`
+	To            string `json:"to"`
+	BatchSize     int    `json:"batch_size"`
+	QueueLen      int    `json:"queue_len"`
+	QueueCap      int    `json:"queue_cap"`
+	BatchesOut    int64  `json:"batches_out"`
+	TuplesOut     int64  `json:"tuples_out"`
+	HeartbeatsOut int64  `json:"heartbeats_out"`
+	BatchesIn     int64  `json:"batches_in"`
+	TuplesIn      int64  `json:"tuples_in"`
+	Watermark     int64  `json:"watermark"`
+	WatermarkOK   bool   `json:"watermark_ok"`
+}
+
+// StoreSnapshot is one provenance store's StoreStats plus its name.
+type StoreSnapshot struct {
+	Name string `json:"name"`
+	StoreStats
+}
+
+// GaugeSnapshot is one free-form gauge sample.
+type GaugeSnapshot struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Snapshot samples every registration. Queue closures run here, so a
+// scrape observes channel occupancy at this instant; counters are whatever
+// the hot path has accumulated.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	qNames := append([]string(nil), r.qOrder...)
+	queries := make([]*QueryTelemetry, 0, len(qNames))
+	for _, n := range qNames {
+		queries = append(queries, r.queries[n])
+	}
+	sNames := append([]string(nil), r.sOrder...)
+	stores := make([]func() StoreStats, 0, len(sNames))
+	for _, n := range sNames {
+		stores = append(stores, r.stores[n])
+	}
+	gauges := append([]gaugeFunc(nil), r.gauges...)
+	start := r.start
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		TakenUnixNano: time.Now().UnixNano(),
+		UptimeSeconds: time.Since(start).Seconds(),
+		// Non-nil so an idle registry serves "queries": [] — pollers can
+		// rely on the key holding an array.
+		Queries: make([]QuerySnapshot, 0, len(queries)),
+	}
+	for _, qt := range queries {
+		snap.Queries = append(snap.Queries, qt.snapshot())
+	}
+	for i, fn := range stores {
+		snap.Stores = append(snap.Stores, StoreSnapshot{Name: sNames[i], StoreStats: fn()})
+	}
+	for _, g := range gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: g.name, Labels: g.labels, Value: g.fn()})
+	}
+	return snap
+}
+
+func (q *QueryTelemetry) snapshot() QuerySnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	qs := QuerySnapshot{Name: q.name}
+
+	// Sample streams once; operator figures are derived from these.
+	type sSample struct {
+		e  *streamEntry
+		ss StreamSnapshot
+	}
+	samples := make([]sSample, 0, len(q.streams))
+	for _, e := range q.streams {
+		ql, qc := 0, 0
+		if e.queue != nil {
+			ql, qc = e.queue()
+		}
+		wm, ok := e.stats.Watermark()
+		samples = append(samples, sSample{e, StreamSnapshot{
+			Name: e.name, From: e.from, To: e.to, BatchSize: e.batchSize,
+			QueueLen: ql, QueueCap: qc,
+			BatchesOut:    e.stats.batchesOut.Load(),
+			TuplesOut:     e.stats.tuplesOut.Load(),
+			HeartbeatsOut: e.stats.heartbeatsOut.Load(),
+			BatchesIn:     e.stats.batchesIn.Load(),
+			TuplesIn:      e.stats.tuplesIn.Load(),
+			Watermark:     wm, WatermarkOK: ok,
+		}})
+	}
+
+	// Operators in registration order, then any stream ends the planner
+	// never registered explicitly (shard-internal instances) in stream
+	// order, so "op/part", "op#0" ... "op/merge" group together.
+	order := append([]string(nil), q.opOrder...)
+	known := make(map[string]bool, len(order))
+	for _, n := range order {
+		known[n] = true
+	}
+	for _, s := range samples {
+		for _, end := range [2]string{s.ss.From, s.ss.To} {
+			if end != "" && !known[end] {
+				known[end] = true
+				order = append(order, end)
+			}
+		}
+	}
+
+	opSnaps := make([]OperatorSnapshot, 0, len(order))
+	for _, name := range order {
+		os := OperatorSnapshot{Name: name}
+		if e, ok := q.ops[name]; ok {
+			os.Kind, os.Source = e.kind, e.source
+			if e.seg != nil {
+				os.SegBatches = e.seg.batches.Load()
+				os.SegTuples = e.seg.tuples.Load()
+				os.SegRuns = e.seg.runs.Load()
+			}
+		}
+		var slotsOut, capSlots int64
+		for _, s := range samples {
+			if s.ss.To == name { // inbound: consumer side + queue occupancy
+				os.TuplesIn += s.ss.TuplesIn
+				os.BatchesIn += s.ss.BatchesIn
+				os.QueueLen += s.ss.QueueLen
+				os.QueueCap += s.ss.QueueCap
+			}
+			if s.ss.From == name { // outbound: producer side + watermark
+				os.TuplesOut += s.ss.TuplesOut
+				os.BatchesOut += s.ss.BatchesOut
+				os.HeartbeatsOut += s.ss.HeartbeatsOut
+				slotsOut += s.e.stats.slotsOut.Load()
+				capSlots += s.ss.BatchesOut * int64(s.ss.BatchSize)
+				if s.ss.WatermarkOK && (!os.WatermarkOK || s.ss.Watermark > os.Watermark) {
+					os.Watermark, os.WatermarkOK = s.ss.Watermark, true
+				}
+			}
+		}
+		if !os.WatermarkOK { // sinks: fall back to what was published to them
+			for _, s := range samples {
+				if s.ss.To == name && s.ss.WatermarkOK && (!os.WatermarkOK || s.ss.Watermark > os.Watermark) {
+					os.Watermark, os.WatermarkOK = s.ss.Watermark, true
+				}
+			}
+		}
+		if capSlots > 0 {
+			os.FillRatio = float64(slotsOut) / float64(capSlots)
+		}
+		opSnaps = append(opSnaps, os)
+	}
+
+	// Watermark lag: distance from the most advanced source watermark. A
+	// query with no source operator (a downstream SPE instance fed over
+	// links) measures against its own frontier — the most advanced
+	// watermark any of its operators has published.
+	for _, os := range opSnaps {
+		if e, ok := q.ops[os.Name]; ok && e.source && os.WatermarkOK && (!qs.SourceWatermarkOK || os.Watermark > qs.SourceWatermark) {
+			qs.SourceWatermark, qs.SourceWatermarkOK = os.Watermark, true
+		}
+	}
+	if !qs.SourceWatermarkOK {
+		for _, os := range opSnaps {
+			if os.WatermarkOK && (!qs.SourceWatermarkOK || os.Watermark > qs.SourceWatermark) {
+				qs.SourceWatermark, qs.SourceWatermarkOK = os.Watermark, true
+			}
+		}
+	}
+	if qs.SourceWatermarkOK {
+		for i := range opSnaps {
+			if opSnaps[i].WatermarkOK {
+				if lag := qs.SourceWatermark - opSnaps[i].Watermark; lag > 0 {
+					opSnaps[i].WatermarkLag = lag
+				}
+			}
+		}
+	}
+
+	qs.Operators = opSnaps
+	qs.Streams = make([]StreamSnapshot, 0, len(samples))
+	for _, s := range samples {
+		qs.Streams = append(qs.Streams, s.ss)
+	}
+	return qs
+}
+
+// OperatorNames returns the registered plan node ids, sorted — test
+// support for asserting registry-name uniqueness across a plan.
+func (q *QueryTelemetry) OperatorNames() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	names := append([]string(nil), q.opOrder...)
+	sort.Strings(names)
+	return names
+}
+
+// StreamNames returns the registered stream names in registration order.
+func (q *QueryTelemetry) StreamNames() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	names := make([]string, 0, len(q.streams))
+	for _, e := range q.streams {
+		names = append(names, e.name)
+	}
+	return names
+}

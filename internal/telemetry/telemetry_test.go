@@ -1,0 +1,400 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+type testTuple struct{ core.Base }
+
+func (t *testTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+func tt(ts int64) core.Tuple { return &testTuple{Base: core.NewBase(ts)} }
+
+// TestStreamStatsCounting exercises both ends of the per-stream hook struct
+// and the operator aggregation the snapshot derives from them.
+func TestStreamStatsCounting(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("src", "source", true)
+	qt.Operator("agg", "aggregate", false)
+	st := qt.Stream("src->agg", "src", "agg", 4, func() (int, int) { return 2, 8 })
+
+	st.NoteFlush([]core.Tuple{tt(10), tt(20), core.NewHeartbeat(30)})
+	st.NoteFlush([]core.Tuple{tt(40)})
+	st.NoteRecv([]core.Tuple{tt(10), tt(20), core.NewHeartbeat(30)})
+
+	snap := r.Snapshot()
+	if len(snap.Queries) != 1 {
+		t.Fatalf("got %d queries, want 1", len(snap.Queries))
+	}
+	q := snap.Queries[0]
+	byName := map[string]OperatorSnapshot{}
+	for _, o := range q.Operators {
+		byName[o.Name] = o
+	}
+
+	src := byName["src"]
+	if src.TuplesOut != 3 || src.BatchesOut != 2 || src.HeartbeatsOut != 1 {
+		t.Errorf("src out: tuples=%d batches=%d heartbeats=%d, want 3/2/1",
+			src.TuplesOut, src.BatchesOut, src.HeartbeatsOut)
+	}
+	if !src.WatermarkOK || src.Watermark != 40 {
+		t.Errorf("src watermark = %d (ok=%v), want 40", src.Watermark, src.WatermarkOK)
+	}
+	// 4 slots published over 2 batches of size 4.
+	if src.FillRatio != 0.5 {
+		t.Errorf("src fill ratio = %v, want 0.5", src.FillRatio)
+	}
+
+	agg := byName["agg"]
+	if agg.TuplesIn != 3 || agg.BatchesIn != 1 {
+		t.Errorf("agg in: tuples=%d batches=%d, want 3/1", agg.TuplesIn, agg.BatchesIn)
+	}
+	if agg.QueueLen != 2 || agg.QueueCap != 8 {
+		t.Errorf("agg queue = %d/%d, want 2/8", agg.QueueLen, agg.QueueCap)
+	}
+	// agg has published nothing; its watermark falls back to what reached
+	// it, and it lags the source by 0 only if caught up — here both report
+	// the stream's high watermark.
+	if !agg.WatermarkOK || agg.Watermark != 40 {
+		t.Errorf("agg watermark = %d (ok=%v), want fallback 40", agg.Watermark, agg.WatermarkOK)
+	}
+	if !q.SourceWatermarkOK || q.SourceWatermark != 40 {
+		t.Errorf("source watermark = %d (ok=%v), want 40", q.SourceWatermark, q.SourceWatermarkOK)
+	}
+}
+
+// TestWatermarkLag pins the lag computation: operators behind the most
+// advanced source watermark report the positive distance, never negative.
+func TestWatermarkLag(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("src", "source", true)
+	fast := qt.Stream("src->a", "src", "a", 1, nil)
+	slow := qt.Stream("a->b", "a", "b", 1, nil)
+	fast.NoteFlush([]core.Tuple{tt(100)})
+	slow.NoteFlush([]core.Tuple{tt(70)})
+
+	q := r.Snapshot().Queries[0]
+	lags := map[string]int64{}
+	for _, o := range q.Operators {
+		lags[o.Name] = o.WatermarkLag
+	}
+	if lags["src"] != 0 {
+		t.Errorf("src lag = %d, want 0", lags["src"])
+	}
+	if lags["a"] != 30 {
+		t.Errorf("a lag = %d, want 30", lags["a"])
+	}
+}
+
+// TestSegmentAndSyntheticOperators checks segment counters surface on the
+// fused node and that shard-internal stream ends the planner never
+// registered are synthesized into the operator list.
+func TestSegmentAndSyntheticOperators(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("vec[map+filter]", "vec-chain", false)
+	seg := qt.Segment("vec[map+filter]")
+	seg.NoteBatch(64)
+	seg.NoteBatch(64)
+	seg.NoteRun()
+	// A shard-internal lane stream, attributed by name parsing alone.
+	lane := qt.StreamNamed("agg/part->agg#0", 4, nil)
+	lane.NoteFlush([]core.Tuple{tt(5)})
+
+	q := r.Snapshot().Queries[0]
+	byName := map[string]OperatorSnapshot{}
+	for _, o := range q.Operators {
+		byName[o.Name] = o
+	}
+	v := byName["vec[map+filter]"]
+	if v.SegBatches != 2 || v.SegTuples != 128 || v.SegRuns != 1 {
+		t.Errorf("segment counters = %d/%d/%d, want 2/128/1", v.SegBatches, v.SegTuples, v.SegRuns)
+	}
+	if _, ok := byName["agg/part"]; !ok {
+		t.Error("synthetic operator agg/part missing")
+	}
+	if got := byName["agg#0"]; got.TuplesIn != 0 || got.BatchesIn != 0 {
+		t.Errorf("agg#0 in-counters = %d/%d before any recv, want 0/0", got.TuplesIn, got.BatchesIn)
+	}
+}
+
+// TestRegisterReplaces pins the re-registration semantics the harness relies
+// on: re-building a query under the same name supersedes the old bucket.
+func TestRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	old := r.Register("q")
+	old.Operator("stale", "map", false)
+	fresh := r.Register("q")
+	fresh.Operator("live", "map", false)
+
+	snap := r.Snapshot()
+	if len(snap.Queries) != 1 {
+		t.Fatalf("got %d queries, want 1", len(snap.Queries))
+	}
+	ops := snap.Queries[0].Operators
+	if len(ops) != 1 || ops[0].Name != "live" {
+		t.Fatalf("operators after re-register = %+v, want only live", ops)
+	}
+}
+
+// TestJSONSnapshotSchema pins the exposition's JSON key set: genealog-top
+// and any external poller decode these names, so a rename is a breaking
+// change this test makes loud.
+func TestJSONSnapshotSchema(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("src", "source", true)
+	st := qt.Stream("src->sink", "src", "sink", 2, func() (int, int) { return 0, 4 })
+	st.NoteFlush([]core.Tuple{tt(1)})
+	st.NoteRecv([]core.Tuple{tt(1)})
+	r.RegisterStore("store", func() StoreStats { return StoreStats{Sinks: 3} })
+	r.RegisterGauge("genealog_link_bytes", []Label{{Name: "link", Value: "main-0"}}, func() float64 { return 7 })
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"taken_unix_nano", "uptime_seconds", "queries", "stores", "gauges"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	q := doc["queries"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "source_watermark", "source_watermark_ok", "operators", "streams"} {
+		if _, ok := q[key]; !ok {
+			t.Errorf("query key %q missing", key)
+		}
+	}
+	op := q["operators"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "tuples_in", "tuples_out", "batches_in", "batches_out",
+		"heartbeats_out", "queue_len", "queue_cap", "fill_ratio", "watermark", "watermark_ok", "watermark_lag"} {
+		if _, ok := op[key]; !ok {
+			t.Errorf("operator key %q missing", key)
+		}
+	}
+	s := q["streams"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "from", "to", "batch_size", "queue_len", "queue_cap",
+		"batches_out", "tuples_out", "heartbeats_out", "batches_in", "tuples_in", "watermark", "watermark_ok"} {
+		if _, ok := s[key]; !ok {
+			t.Errorf("stream key %q missing", key)
+		}
+	}
+	store := doc["stores"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "sinks", "sources", "source_refs", "live_sources",
+		"retired_sources", "peak_live_sources", "re_encoded", "bytes", "watermark", "horizon",
+		"instances", "min_watermark", "dedup_ratio"} {
+		if _, ok := store[key]; !ok {
+			t.Errorf("store key %q missing", key)
+		}
+	}
+	g := doc["gauges"].([]any)[0].(map[string]any)
+	if g["name"] != "genealog_link_bytes" || g["value"].(float64) != 7 {
+		t.Errorf("gauge = %v, want genealog_link_bytes 7", g)
+	}
+}
+
+// TestEmptyRegistryJSON pins that an idle registry serves "queries": [] —
+// not null — so pollers can range without a nil check.
+func TestEmptyRegistryJSON(t *testing.T) {
+	raw, err := json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"queries":[]`) {
+		t.Errorf("idle snapshot = %s, want queries to be []", raw)
+	}
+}
+
+// TestPrometheusGolden renders a fixed snapshot and compares against the
+// expected text verbatim: format drift (family headers, label order,
+// escaping, value formatting) fails loudly here before any scraper sees it.
+func TestPrometheusGolden(t *testing.T) {
+	snap := Snapshot{
+		UptimeSeconds: 1.5,
+		Queries: []QuerySnapshot{{
+			Name: "q", SourceWatermark: 40, SourceWatermarkOK: true,
+			Operators: []OperatorSnapshot{
+				{Name: "src", Kind: "source", Source: true, TuplesOut: 3, BatchesOut: 2,
+					HeartbeatsOut: 1, FillRatio: 0.5, Watermark: 40, WatermarkOK: true},
+				{Name: `esc"ape\`, TuplesIn: 3, BatchesIn: 1, QueueLen: 2, QueueCap: 8,
+					Watermark: 10, WatermarkOK: true, WatermarkLag: 30,
+					SegBatches: 2, SegTuples: 128, SegRuns: 1},
+			},
+			Streams: []StreamSnapshot{{Name: "src->agg", From: "src", To: "agg",
+				BatchSize: 4, QueueLen: 2, QueueCap: 8}},
+		}},
+		Stores: []StoreSnapshot{{Name: "store", StoreStats: StoreStats{Sinks: 3, DedupRatio: 1.25}}},
+		Gauges: []GaugeSnapshot{{Name: "genealog_link_bytes",
+			Labels: []Label{{Name: "link", Value: "main-0"}}, Value: 7}},
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	for _, want := range []string{
+		"# TYPE genealog_uptime_seconds gauge\ngenealog_uptime_seconds 1.5\n",
+		`genealog_operator_tuples_out_total{query="q",op="src"} 3`,
+		`genealog_operator_heartbeats_out_total{query="q",op="src"} 1`,
+		`genealog_operator_queue_length{query="q",op="esc\"ape\\"} 2`,
+		`genealog_operator_batch_fill_ratio{query="q",op="src"} 0.5`,
+		`genealog_operator_watermark{query="q",op="src"} 40`,
+		`genealog_operator_watermark_lag{query="q",op="esc\"ape\\"} 30`,
+		`genealog_segment_tuples_total{query="q",op="esc\"ape\\"} 128`,
+		`genealog_stream_queue_length{query="q",stream="src->agg"} 2`,
+		`genealog_store_sink_entries_total{store="store"} 3`,
+		`genealog_store_dedup_ratio{store="store"} 1.25`,
+		`genealog_link_bytes{link="main-0"} 7`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, got)
+		}
+	}
+	checkPrometheusText(t, got)
+}
+
+// TestPrometheusParsesCleanly round-trips a live registry's exposition
+// through the minimal parser.
+func TestPrometheusParsesCleanly(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("src", "source", true)
+	st := qt.Stream("src->sink", "src", "sink", 2, func() (int, int) { return 1, 4 })
+	st.NoteFlush([]core.Tuple{tt(1), core.NewHeartbeat(2)})
+	st.NoteRecv([]core.Tuple{tt(1)})
+	r.RegisterStore("store", func() StoreStats { return StoreStats{Sinks: 1} })
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheusText(t, sb.String())
+}
+
+// checkPrometheusText is a minimal text-format (0.0.4) parser: every sample
+// line must be `name{label="value",...} number` with its family declared by
+// a preceding # TYPE, families must be contiguous, and no (name, labelset)
+// may repeat.
+func checkPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	var family string
+	closed := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge") {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			if typed[name] != "" {
+				t.Fatalf("line %d: family %s declared twice", ln+1, name)
+			}
+			if family != "" {
+				closed[family] = true
+			}
+			if closed[name] {
+				t.Fatalf("line %d: family %s reopened — samples not contiguous", ln+1, name)
+			}
+			typed[name], family = typ, name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if typed[name] == "" {
+			t.Fatalf("line %d: sample %q has no # TYPE", ln+1, name)
+		}
+		if name != family {
+			t.Fatalf("line %d: sample %q inside family %q — not contiguous", ln+1, name, family)
+		}
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			var ok bool
+			labels, rest, ok = parseLabels(rest)
+			if !ok {
+				t.Fatalf("line %d: malformed label set in %q", ln+1, line)
+			}
+		}
+		if seen[name+labels] {
+			t.Fatalf("line %d: duplicate sample %s%s", ln+1, name, labels)
+		}
+		seen[name+labels] = true
+		value := strings.TrimSpace(rest)
+		if value == "" || strings.ContainsAny(value, " \t") {
+			t.Fatalf("line %d: bad value %q", ln+1, value)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: value %q is not a number: %v", ln+1, value, err)
+		}
+		if strings.HasSuffix(name, "_total") && typed[name] != "counter" {
+			t.Fatalf("_total metric %s typed %s", name, typed[name])
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("exposition contained no samples")
+	}
+}
+
+// parseLabels consumes a `{name="value",...}` prefix of s, honouring the
+// format's backslash escapes inside values, and returns the consumed label
+// block, the remainder, and whether the block was well-formed.
+func parseLabels(s string) (labels, rest string, ok bool) {
+	i := 1 // past '{'
+	for {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 || j == 0 {
+			return "", "", false
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return "", "", false
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++ // escaped char
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", false
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return s[:i+1], s[i+1:], true
+		}
+		return "", "", false
+	}
+}

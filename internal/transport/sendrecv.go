@@ -172,6 +172,9 @@ type Link struct {
 	// Count, when the link was built with WithCounting, reports the bytes
 	// that crossed the link.
 	Count *CountingWriter
+	// Name labels the link in telemetry expositions (WithName); "" for
+	// links nobody observes.
+	Name string
 }
 
 // LinkOption configures NewLink.
@@ -182,6 +185,7 @@ type linkConfig struct {
 	bufBytes    int
 	bytesPerSec float64
 	counting    bool
+	name        string
 }
 
 // WithCodec selects the tuple codec (default GobCodec).
@@ -199,6 +203,10 @@ func WithThrottle(bytesPerSec float64) LinkOption {
 // WithCounting records the byte volume crossing the link.
 func WithCounting() LinkOption { return func(l *linkConfig) { l.counting = true } }
 
+// WithName labels the link for telemetry expositions (the harness and
+// spe-node register per-link byte gauges under it).
+func WithName(name string) LinkOption { return func(l *linkConfig) { l.name = name } }
+
 // NewLink returns an in-memory serialising link between two SPE instances
 // hosted by the same process. Tuples still cross a full encode/decode
 // boundary, so provenance pointers die exactly as they would over TCP.
@@ -209,7 +217,7 @@ func NewLink(opts ...LinkOption) *Link {
 	}
 	pipe := NewPipe(cfg.bufBytes)
 	var w io.Writer = pipe
-	link := &Link{Closer: pipe}
+	link := &Link{Closer: pipe, Name: cfg.name}
 	if cfg.counting {
 		link.Count = NewCountingWriter(w)
 		w = link.Count
@@ -230,7 +238,7 @@ func NewConnLink(conn io.ReadWriteCloser, opts ...LinkOption) *Link {
 		o(&cfg)
 	}
 	var w io.Writer = conn
-	link := &Link{Closer: conn}
+	link := &Link{Closer: conn, Name: cfg.name}
 	if cfg.counting {
 		link.Count = NewCountingWriter(w)
 		w = link.Count
