@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
@@ -43,6 +44,9 @@ func benchOptions() harness.Options {
 			Meters: 60, Days: 40, BlackoutEvery: 7,
 			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 1,
 			AnomalyEvery:   5, AnomalyValue: 300, Seed: 7,
+		},
+		CS: clickstream.Config{
+			Users: 60, Windows: 40, HotEvery: 5, Pages: 100, Seed: 23,
 		},
 		MemSampleEvery: 2 * time.Millisecond,
 	}
@@ -169,6 +173,57 @@ func q4Graph() core.Tuple {
 	out.SetU1(midnight)
 	out.SetU2(daily)
 	return out
+}
+
+// BenchmarkAdaptiveBatch measures the adaptive batch-sizing controller on
+// the bursty clickstream workload: the Q5 source alternates between a fast
+// burst phase and a near-idle phase, the regime where no fixed batch size
+// wins — batch 1 keeps idle-phase latency low but throttles the bursts,
+// batch 64 absorbs the bursts but holds tuples hostage in half-empty
+// batches while the source trickles. The adaptive cell lets the AIMD
+// controller resize live from queue occupancy and batch fill. The
+// acceptance targets: adaptive throughput within 10% of fixed-64, adaptive
+// p99 latency below fixed-64 (which pays the batch-linger tail in the idle
+// phase). Run with
+//
+//	go test -bench BenchmarkAdaptiveBatch -benchtime 1x
+func BenchmarkAdaptiveBatch(b *testing.B) {
+	cells := []struct {
+		name string
+		set  func(o *harness.Options)
+	}{
+		{"fixed-1", func(o *harness.Options) { o.BatchSize = 1 }},
+		{"fixed-64", func(o *harness.Options) { o.BatchSize = 64 }},
+		{"adaptive", func(o *harness.Options) { o.AdaptiveBatch = true }},
+	}
+	refSinks := int64(-1)
+	for _, c := range cells {
+		b.Run(c.name, func(b *testing.B) {
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Query, o.Mode, o.Deployment = harness.Q5, harness.ModeNP, harness.Intra
+				o.SourceBurst = &ops.BurstPacing{
+					BurstRate: 200_000, IdleRate: 1_000,
+					BurstFor: 20 * time.Millisecond, IdleFor: 40 * time.Millisecond,
+				}
+				c.set(&o)
+				r, err := harness.Run(context.Background(), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			if refSinks == -1 {
+				refSinks = last.SinkTuples
+			} else if last.SinkTuples != refSinks {
+				b.Fatalf("%s produced %d sink tuples, reference %d", c.name, last.SinkTuples, refSinks)
+			}
+			b.ReportMetric(last.ThroughputTPS, "tuples/s")
+			b.ReportMetric(last.P99LatencyMs, "p99-ms")
+			b.ReportMetric(last.P50LatencyMs, "p50-ms")
+		})
+	}
 }
 
 // BenchmarkSizeReport regenerates the §7 provenance-volume remark: GL

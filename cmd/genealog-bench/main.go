@@ -1,8 +1,8 @@
 // Command genealog-bench reproduces the paper's evaluation (§7). It runs
-// the four use-case queries under NP (no provenance), GL (GeneaLog) and BL
-// (the Ariadne-style baseline), intra-process and across three SPE
-// instances, and prints the rows of Figures 12, 13 and 14 plus the
-// provenance-volume report.
+// the use-case queries (Linear Road Q1-Q2, Smart Grid Q3-Q4, clickstream
+// Q5) under NP (no provenance), GL (GeneaLog) and BL (the Ariadne-style
+// baseline), intra-process and across three SPE instances, and prints the
+// rows of Figures 12, 13 and 14 plus the provenance-volume report.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 //	genealog-bench -experiment all -scale 4     # everything, 4x workload
 //	genealog-bench -experiment fig12 -parallelism 4  # shard-parallel keyed operators
 //	genealog-bench -experiment fig12 -parallelism 0 -batch 64  # auto shards, batched streams
+//	genealog-bench -experiment fig12 -adaptive       # AIMD controller sizes batches live
 //	genealog-bench -experiment fig12 -fuse=false     # planner off: one goroutine per operator
 //	genealog-bench -experiment fig12 -v              # print every cell's physical plan
 //	genealog-bench -experiment fig12 -store /tmp/prov  # persist per-cell provenance stores
@@ -33,7 +34,12 @@
 // byte-identical either way. The -vectorize flag (default on) controls the
 // planner's columnar pass: stateless segments whose stages declare typed
 // kernels run over struct-of-arrays batches instead of row-at-a-time
-// closures, again with byte-identical output and provenance. -v prints each
+// closures, again with byte-identical output and provenance. The -adaptive
+// flag (with -adaptive-min/-adaptive-max bounds) closes the telemetry
+// feedback loop: an AIMD controller samples every stream's queue occupancy
+// and batch fill and resizes its batch size live, growing under load and
+// shrinking when queues drain — sink output and provenance stay
+// byte-identical to any fixed batch size. -v prints each
 // cell's physical plan before the runs. The -store flag
 // persists every cell's assembled provenance into durable store files (one
 // per query x mode cell, "-inter" suffix for the inter-process grid); after
@@ -51,6 +57,7 @@ import (
 	"runtime"
 	"time"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
@@ -75,6 +82,9 @@ func run(args []string, out *os.File) error {
 	batch := fs.Int("batch", 1, "stream batch size: tuples per channel/wire operation (0/1 = unbatched)")
 	fuse := fs.Bool("fuse", true, "physical planner: fuse stateless operator chains and replicate stateless prefixes into shard lanes (false = one goroutine per logical operator)")
 	vectorize := fs.Bool("vectorize", true, "columnar pass: run kernel-capable stateless segments as typed kernels over struct-of-arrays batches (false = row-at-a-time closures)")
+	adaptive := fs.Bool("adaptive", false, "adaptive batch sizing: an AIMD controller resizes every stream's batch size live from queue occupancy and batch fill (output stays byte-identical to any fixed size)")
+	adaptiveMin := fs.Int("adaptive-min", 1, "adaptive batch sizing: smallest batch size the controller may shrink to")
+	adaptiveMax := fs.Int("adaptive-max", harness.DefaultAdaptiveMaxBatch, "adaptive batch sizing: largest batch size the controller may grow to")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-cell results as a JSON document instead of the rendered figures (plans and notes go to stderr)")
 	storePath := fs.String("store", "", "persist each cell's assembled provenance into durable store files at this path prefix (suffix: -<query>-<mode>[-inter]); query them with genealog-prov")
 	remoteStore := fs.String("remote-store", "", "stream each cell's assembled provenance to the store node at this address (spe-node -store-listen); query it live with genealog-prov -connect")
@@ -107,10 +117,14 @@ func run(args []string, out *os.File) error {
 	base := harness.Options{
 		LR:                  lrConfig(*scale),
 		SG:                  sgConfig(*scale),
+		CS:                  csConfig(*scale),
 		ThrottleBytesPerSec: *throttle,
 		SourceRate:          *rate,
 		Parallelism:         p,
 		BatchSize:           *batch,
+		AdaptiveBatch:       *adaptive,
+		AdaptiveMinBatch:    *adaptiveMin,
+		AdaptiveMaxBatch:    *adaptiveMax,
 		UseBinaryCodec:      *codec == "binary",
 		NoFusion:            !*fuse,
 		NoVectorize:         !*vectorize,
@@ -140,6 +154,7 @@ func run(args []string, out *os.File) error {
 	doc := benchDoc{
 		Experiment: *experiment, Runs: *runs, Scale: *scale,
 		Parallelism: p, Batch: *batch, Fuse: *fuse, Vectorize: *vectorize, Codec: *codec,
+		Adaptive: *adaptive, AdaptiveMin: *adaptiveMin, AdaptiveMax: *adaptiveMax,
 	}
 	ran := false
 	if want("fig12") {
@@ -211,6 +226,9 @@ type benchDoc struct {
 	Batch       int                `json:"batch"`
 	Fuse        bool               `json:"fuse"`
 	Vectorize   bool               `json:"vectorize"`
+	Adaptive    bool               `json:"adaptive"`
+	AdaptiveMin int                `json:"adaptive_min,omitempty"`
+	AdaptiveMax int                `json:"adaptive_max,omitempty"`
 	Codec       string             `json:"codec"`
 	Cells       []harness.CellJSON `json:"cells"`
 }
@@ -296,5 +314,17 @@ func sgConfig(scale int) smartgrid.Config {
 		AnomalyEvery:   5,
 		AnomalyValue:   300,
 		Seed:           7,
+	}
+}
+
+// csConfig scales the clickstream workload: more users keeps the hot-session
+// density fixed while increasing volume.
+func csConfig(scale int) clickstream.Config {
+	return clickstream.Config{
+		Users:    100 * scale,
+		Windows:  120,
+		HotEvery: 5,
+		Pages:    200,
+		Seed:     23,
 	}
 }

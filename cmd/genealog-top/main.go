@@ -1,9 +1,11 @@
 // Command genealog-top is a live per-operator view of a running node — top
 // for a GeneaLog deployment. It polls the JSON snapshot a node serves with
 // `-telemetry-listen` (spe-node, examples/distributed) and renders a
-// refreshing table of every operator's throughput, queue occupancy, batch
-// fill and event-time watermark lag, plus the byte volume on each
-// inter-process link and the provenance store's ingest/dedup counters.
+// refreshing table of every operator's throughput, queue occupancy, live
+// batch size (the AIMD controller's current setting under adaptive
+// batching), batch fill and event-time watermark lag, plus the byte volume
+// on each inter-process link and the provenance store's ingest/dedup
+// counters.
 //
 // The snapshot's counters are cumulative since process start; rates are
 // derived from the delta between consecutive polls, so the first frame shows
@@ -132,7 +134,7 @@ func render(w io.Writer, addr string, snap telemetry.Snapshot, prev *telemetry.S
 	}
 
 	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "QUERY\tOPERATOR\tKIND\tIN/s\tOUT/s\tTUPLES OUT\tQUEUE\tFILL%\tWM\tLAG")
+	fmt.Fprintln(tw, "QUERY\tOPERATOR\tKIND\tIN/s\tOUT/s\tTUPLES OUT\tQUEUE\tBATCH\tFILL%\tWM\tLAG")
 	for _, q := range snap.Queries {
 		for _, o := range q.Operators {
 			base := prevOps[q.Name+"\x00"+o.Name] // zero value on first frame
@@ -141,11 +143,15 @@ func render(w io.Writer, addr string, snap telemetry.Snapshot, prev *telemetry.S
 				wm = fmt.Sprintf("%d", o.Watermark)
 				lag = fmt.Sprintf("%d", o.WatermarkLag)
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d/%d\t%.0f\t%s\t%s\n",
+			batch := "-"
+			if o.BatchSize > 0 {
+				batch = fmt.Sprintf("%d", o.BatchSize)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d/%d\t%s\t%.0f\t%s\t%s\n",
 				q.Name, o.Name, o.Kind,
 				rate(o.TuplesIn-base.TuplesIn, window),
 				rate(o.TuplesOut-base.TuplesOut, window),
-				o.TuplesOut, o.QueueLen, o.QueueCap, 100*o.FillRatio, wm, lag)
+				o.TuplesOut, o.QueueLen, o.QueueCap, batch, 100*o.FillRatio, wm, lag)
 		}
 	}
 	tw.Flush()

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"genealog/internal/baseline"
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/harness"
 	"genealog/internal/linearroad"
@@ -79,7 +80,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("spe-node", flag.ContinueOnError)
-	queryID := fs.String("query", "Q1", "Q1 | Q2 | Q3 | Q4")
+	queryID := fs.String("query", "Q1", "Q1 | Q2 | Q3 | Q4 | Q5")
 	mode := fs.String("mode", "GL", "NP | GL | BL")
 	role := fs.Int("role", 0, "SPE instance role: 1, 2 or 3")
 	basePort := fs.Int("base-port", 7400, "base TCP port for the deployment's links")
@@ -87,6 +88,8 @@ func run(args []string) error {
 	spe3 := fs.String("spe3", "127.0.0.1", "host of SPE instance 3 (used by roles 1 and 2)")
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	codec := fs.String("codec", "gob", "link codec: gob | binary (all roles must agree)")
+	adaptive := fs.Bool("adaptive", false, "adaptive batch sizing: an AIMD controller resizes this instance's stream batch sizes live (all roles must agree so link framing matches)")
+	adaptiveMax := fs.Int("adaptive-max", harness.DefaultAdaptiveMaxBatch, "adaptive batch sizing: largest batch size the controller may grow to")
 	storeAddr := fs.String("store", "", "role 3: stream assembled provenance to the store node at this address (spe-node -store-listen)")
 	storeListen := fs.String("store-listen", "", "run as a shared provenance store node on this address instead of an SPE role")
 	storePath := fs.String("store-path", "", "store node: durable file log path (created, or reopened for appends; empty = in-memory)")
@@ -137,6 +140,12 @@ func run(args []string) error {
 			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 1,
 			AnomalyEvery:   5, AnomalyValue: 300, Seed: 7,
 		},
+		CS: clickstream.Config{
+			Users: 50 * *scale, Windows: 60, HotEvery: 5,
+			Pages: 100, Seed: 23,
+		},
+		AdaptiveBatch:    *adaptive,
+		AdaptiveMaxBatch: *adaptiveMax,
 	}
 	nMain, err := harness.MainLinkCount(o.Query)
 	if err != nil {

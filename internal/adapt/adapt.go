@@ -1,0 +1,166 @@
+// Package adapt closes the feedback loop between the telemetry counters
+// (internal/telemetry) and the streams' live batch size (ops.SetBatchSize):
+// an AIMD controller samples queue occupancy and batch fill per stream at a
+// fixed cadence and resizes each stream independently — growing toward the
+// configured maximum while its queue is deep and its batches run full
+// (throughput phases, where batching amortises per-tuple framework cost),
+// and shrinking toward the minimum while occupancy is low (latency phases,
+// where a waiting batch is pure delay).
+//
+// The controller only changes how tuples are grouped, never what is
+// delivered: batch boundaries carry no meaning by the stream contract, so
+// adaptive and fixed-batch executions of the same query are byte-identical
+// at the sinks (the harness's equivalence grid pins this).
+package adapt
+
+import (
+	"context"
+	"time"
+
+	"genealog/internal/ops"
+	"genealog/internal/telemetry"
+)
+
+// Config is the controller law's knobs. The zero value is not useful;
+// start from Defaults.
+type Config struct {
+	// Min and Max bound every stream's batch size. Shrinking stops at Min
+	// (1 = effectively unbatched); growth stops at Max, which also becomes
+	// each stream's static batch-size limit at build time.
+	Min, Max int
+	// Interval is the sampling cadence of the controller loop.
+	Interval time.Duration
+	// Step is the additive increase per tick while growing.
+	Step int
+	// DeepQueue is the queue-occupancy fraction at or above which the
+	// stream is considered congested; LowQueue the fraction at or below
+	// which it is considered idle. Between the two the size holds.
+	DeepQueue, LowQueue float64
+	// FullFill is the batch fill ratio that, together with a deep queue,
+	// triggers growth: a deep queue of partial batches means the producer
+	// is flush-bound, and a bigger batch would not help.
+	FullFill float64
+}
+
+// Defaults returns the controller configuration used when callers specify
+// only the [min, max] bounds.
+func Defaults(min, max int) Config {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	step := max / 8
+	if step < 1 {
+		step = 1
+	}
+	return Config{
+		Min:       min,
+		Max:       max,
+		Interval:  2 * time.Millisecond,
+		Step:      step,
+		DeepQueue: 0.5,
+		LowQueue:  0.125,
+		FullFill:  0.75,
+	}
+}
+
+// Sample is one tick's observation of a stream: Occupancy is buffered
+// tuples over capacity, Fill is published slots over capacity-at-flush for
+// the batches flushed since the previous tick (0 when none were).
+type Sample struct {
+	Occupancy float64
+	Fill      float64
+}
+
+// Decide is the pure controller law: the next batch size for a stream
+// currently at cur, given one sample. Additive increase while the queue is
+// deep and batches run full; multiplicative (halving) decrease while the
+// queue is low — including while the stream is idle, so a burst's end
+// drains the batch size back down and the next lull runs unbatched.
+func Decide(cfg Config, cur int, s Sample) int {
+	switch {
+	case s.Occupancy >= cfg.DeepQueue && s.Fill >= cfg.FullFill:
+		cur += cfg.Step
+	case s.Occupancy <= cfg.LowQueue:
+		cur /= 2
+	}
+	if cur < cfg.Min {
+		cur = cfg.Min
+	}
+	if cur > cfg.Max {
+		cur = cfg.Max
+	}
+	return cur
+}
+
+// Target is one stream under control. Stats must be the StreamStats
+// attached to the stream (the controller reads its flush counters for the
+// fill signal); queries without a telemetry registry attach a private one.
+type Target struct {
+	Name   string
+	Stream *ops.Stream
+	Stats  *telemetry.StreamStats
+}
+
+// Controller drives every target stream of one query. It is built at query
+// build time and runs on its own goroutine for the life of the query run.
+type Controller struct {
+	cfg     Config
+	targets []Target
+	// Per-target cumulative counters at the previous tick, for the fill
+	// delta. Indexed in step with targets; touched only by the controller
+	// goroutine.
+	lastSlots []int64
+	lastCap   []int64
+}
+
+// NewController returns a controller over the given streams. Each target's
+// batch size is clamped into [cfg.Min, cfg.Max] immediately so the run
+// starts inside the controller's bounds.
+func NewController(cfg Config, targets []Target) *Controller {
+	c := &Controller{
+		cfg:       cfg,
+		targets:   targets,
+		lastSlots: make([]int64, len(targets)),
+		lastCap:   make([]int64, len(targets)),
+	}
+	for _, t := range targets {
+		t.Stream.SetBatchSize(t.Stream.BatchSize())
+	}
+	return c
+}
+
+// Tick samples every target once and applies the law. Exported so tests
+// drive the controller deterministically against scripted counters.
+func (c *Controller) Tick() {
+	for i, t := range c.targets {
+		var s Sample
+		if qc := t.Stream.QueueCap(); qc > 0 {
+			s.Occupancy = float64(t.Stream.QueueLen()) / float64(qc)
+		}
+		slots, caps := t.Stats.SlotsOut(), t.Stats.CapSlotsOut()
+		if dc := caps - c.lastCap[i]; dc > 0 {
+			s.Fill = float64(slots-c.lastSlots[i]) / float64(dc)
+		}
+		c.lastSlots[i], c.lastCap[i] = slots, caps
+		if next := Decide(c.cfg, t.Stream.BatchSize(), s); next != t.Stream.BatchSize() {
+			t.Stream.SetBatchSize(next)
+		}
+	}
+}
+
+// Run ticks at the configured cadence until ctx is cancelled.
+func (c *Controller) Run(ctx context.Context) {
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			c.Tick()
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package adapt
+
+import (
+	"context"
+	"testing"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/telemetry"
+)
+
+type testTuple struct{ core.Base }
+
+func (t *testTuple) CloneTuple() core.Tuple {
+	cp := *t
+	cp.ResetProvenance()
+	return &cp
+}
+
+func tt(ts int64) core.Tuple { return &testTuple{Base: core.NewBase(ts)} }
+
+// TestDecide pins the controller law on scripted samples: additive growth
+// only under a deep queue of full batches, halving under a low queue, hold
+// in between, and hard clamping at both bounds.
+func TestDecide(t *testing.T) {
+	cfg := Config{Min: 1, Max: 64, Step: 8, DeepQueue: 0.5, LowQueue: 0.125, FullFill: 0.75}
+	cases := []struct {
+		name string
+		cur  int
+		s    Sample
+		want int
+	}{
+		{"grow on deep full queue", 8, Sample{Occupancy: 0.6, Fill: 0.8}, 16},
+		{"hold on deep partial batches", 8, Sample{Occupancy: 0.6, Fill: 0.5}, 8},
+		{"shrink on low occupancy", 8, Sample{Occupancy: 0.05, Fill: 1}, 4},
+		{"shrink while idle", 8, Sample{}, 4},
+		{"hold mid occupancy", 8, Sample{Occupancy: 0.3, Fill: 1}, 8},
+		{"growth clamps at max", 60, Sample{Occupancy: 1, Fill: 1}, 64},
+		{"shrink clamps at min", 1, Sample{}, 1},
+		{"odd size shrinks past half", 3, Sample{}, 1},
+	}
+	for _, c := range cases {
+		if got := Decide(cfg, c.cur, c.s); got != c.want {
+			t.Errorf("%s: Decide(%d, %+v) = %d, want %d", c.name, c.cur, c.s, got, c.want)
+		}
+	}
+}
+
+// TestControllerScriptedTrace drives a controller over a real stream
+// through a scripted burst: deep full traffic grows the batch size, a
+// stall (deep queue, no fresh flushes) holds it, and a drained queue
+// shrinks it back to the minimum.
+func TestControllerScriptedTrace(t *testing.T) {
+	ctx := context.Background()
+	s := ops.NewBatchedStream("src->op", 16, 8)
+	s.SetBatchSize(1)
+	st := new(telemetry.StreamStats)
+	s.SetTelemetry(st)
+	cfg := Config{Min: 1, Max: 8, Step: 2, DeepQueue: 0.5, LowQueue: 0.125, FullFill: 0.75}
+	c := NewController(cfg, []Target{{Name: s.Name(), Stream: s, Stats: st}})
+
+	// Burst: 12 tuples at batch size 1 publish 12 full batches and leave
+	// the queue at 12/16 occupancy.
+	for i := 1; i <= 12; i++ {
+		if err := s.Send(ctx, tt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Tick()
+	if got := s.BatchSize(); got != 3 {
+		t.Fatalf("after deep full tick: batch size = %d, want 1+Step = 3", got)
+	}
+
+	// Stall: the queue is still deep but nothing flushed since the last
+	// tick, so the fill delta is 0 — growth must not continue on stale
+	// cumulative counters.
+	c.Tick()
+	if got := s.BatchSize(); got != 3 {
+		t.Fatalf("after stalled tick: batch size = %d, want held at 3", got)
+	}
+
+	// Drain: consuming everything drops occupancy to 0; successive ticks
+	// halve the size down to Min and no further.
+	for i := 0; i < 12; i++ {
+		if _, ok, err := s.Recv(ctx); !ok || err != nil {
+			t.Fatalf("recv %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	c.Tick()
+	if got := s.BatchSize(); got != 1 {
+		t.Fatalf("after drain tick: batch size = %d, want halved to 1", got)
+	}
+	c.Tick()
+	if got := s.BatchSize(); got != 1 {
+		t.Fatalf("after idle tick at floor: batch size = %d, want clamped at Min 1", got)
+	}
+}
+
+// TestControllerRespectsStreamLimit pins that growth never pushes a stream
+// past its static batch-size limit, whatever Max the config claims.
+func TestControllerRespectsStreamLimit(t *testing.T) {
+	ctx := context.Background()
+	s := ops.NewBatchedStream("src->op", 64, 4) // limit 4
+	st := new(telemetry.StreamStats)
+	s.SetTelemetry(st)
+	cfg := Config{Min: 1, Max: 32, Step: 16, DeepQueue: 0.5, LowQueue: 0.125, FullFill: 0.75}
+	c := NewController(cfg, []Target{{Name: s.Name(), Stream: s, Stats: st}})
+
+	for i := 1; i <= 40; i++ {
+		if err := s.Send(ctx, tt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Tick()
+	if got := s.BatchSize(); got != 4 {
+		t.Fatalf("batch size = %d, want clamped at stream limit 4", got)
+	}
+}
+
+// TestDefaults pins the derived knobs callers rely on when they configure
+// only the bounds.
+func TestDefaults(t *testing.T) {
+	cfg := Defaults(0, 64)
+	if cfg.Min != 1 || cfg.Max != 64 || cfg.Step != 8 {
+		t.Errorf("Defaults(0, 64) = min %d max %d step %d, want 1/64/8", cfg.Min, cfg.Max, cfg.Step)
+	}
+	if cfg.Interval <= 0 {
+		t.Error("default interval must be positive")
+	}
+	small := Defaults(1, 4)
+	if small.Step != 1 {
+		t.Errorf("Defaults(1, 4) step = %d, want floor of 1", small.Step)
+	}
+	inverted := Defaults(8, 2)
+	if inverted.Max != 8 {
+		t.Errorf("Defaults(8, 2) max = %d, want raised to min 8", inverted.Max)
+	}
+}

@@ -1,0 +1,196 @@
+package clickstream
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"genealog/internal/baseline"
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/provenance"
+	"genealog/internal/query"
+)
+
+func runQuery(t *testing.T, gen ops.SourceFunc, instr core.Instrumenter,
+	addQuery func(*query.Builder, *query.Node) *query.Node) ([]core.Tuple, []provenance.Result) {
+	t.Helper()
+	b := query.New("cs", query.WithInstrumenter(instr))
+	src := b.AddSource("src", gen)
+	last := addQuery(b, src)
+	so, u := provenance.AddSU(b, "su", last, provenance.SUConfig{})
+	var sunk []core.Tuple
+	b.Connect(so, b.AddSink("k", func(tp core.Tuple) error { sunk = append(sunk, tp); return nil }))
+	var results []provenance.Result
+	provenance.AddCollector(b, "prov", u, func(r provenance.Result) { results = append(results, r) })
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sunk, results
+}
+
+// hotScenario: `users` users over `windows` session windows; user 1 is
+// engaged for exactly `engaged` of its clicks in window 1 and nobody else
+// ever dwells past the threshold.
+func hotScenario(users, windows, engaged int) ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		for w := 0; w < windows; w++ {
+			for sec := 0; sec < SessionWindow; sec++ {
+				ts := int64(w)*SessionWindow + int64(sec)
+				for u := 0; u < users; u++ {
+					dwell := int64(10)
+					if w == 1 && u == 1 && sec < engaged {
+						dwell = EngagedDwellMs + 500
+					}
+					if err := emit(NewClickEvent(ts, int32(u), int32(u), dwell)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func TestQ5DetectsHotSession(t *testing.T) {
+	sunk, results := runQuery(t, hotScenario(5, 4, HotSessionClicks), &core.Genealog{}, AddQ5)
+	if len(sunk) != 1 {
+		t.Fatalf("Q5 alerts = %d, want 1", len(sunk))
+	}
+	alert := sunk[0].(*SessionCount)
+	if alert.UserID != 1 {
+		t.Fatalf("alert user = %d, want 1", alert.UserID)
+	}
+	if alert.Clicks != HotSessionClicks {
+		t.Fatalf("alert clicks = %d, want %d", alert.Clicks, HotSessionClicks)
+	}
+	if alert.Timestamp() != SessionWindow {
+		t.Fatalf("alert ts = %d, want window 1 start", alert.Timestamp())
+	}
+	if len(results) != 1 {
+		t.Fatalf("provenance results = %d, want 1", len(results))
+	}
+	// The contribution graph is exactly the engaged clicks of the window.
+	if len(results[0].Sources) != HotSessionClicks {
+		t.Fatalf("provenance size = %d, want %d", len(results[0].Sources), HotSessionClicks)
+	}
+	for _, s := range results[0].Sources {
+		c := s.(*ClickEvent)
+		if c.UserID != 1 || c.DwellMs < EngagedDwellMs {
+			t.Fatalf("unexpected contributing click %+v", c)
+		}
+		if w := c.Timestamp() / SessionWindow; w != 1 {
+			t.Fatalf("contributing click from window %d, want 1", w)
+		}
+	}
+}
+
+func TestQ5NoAlertBelowThreshold(t *testing.T) {
+	sunk, _ := runQuery(t, hotScenario(5, 4, HotSessionClicks-1), &core.Genealog{}, AddQ5)
+	if len(sunk) != 0 {
+		t.Fatalf("Q5 alerts = %d, want 0 below the threshold", len(sunk))
+	}
+}
+
+func TestGeneratorDeterministicAndSorted(t *testing.T) {
+	collect := func() []string {
+		g := NewGenerator(Config{Users: 6, Windows: 5, HotEvery: 3, Pages: 10, Seed: 11})
+		var out []string
+		last := int64(-1)
+		err := g.SourceFunc()(context.Background(), func(tp core.Tuple) error {
+			c := tp.(*ClickEvent)
+			if c.Timestamp() < last {
+				t.Fatalf("timestamps regress at %d", c.Timestamp())
+			}
+			last = c.Timestamp()
+			out = append(out, fmt.Sprintf("%d/%d/%d/%d", c.Timestamp(), c.UserID, c.PageID, c.DwellMs))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 6*5*SessionWindow {
+		t.Fatalf("generated %d tuples, want %d", len(a), 6*5*SessionWindow)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGeneratorHotSessionSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	g := NewGenerator(cfg)
+	sunk, results := runQuery(t, g.SourceFunc(), &core.Genealog{}, AddQ5)
+	if len(sunk) != g.Alerts() {
+		t.Fatalf("Q5 alerts = %d, want %d", len(sunk), g.Alerts())
+	}
+	if len(sunk) == 0 {
+		t.Fatal("default workload must produce Q5 alerts")
+	}
+	for _, r := range results {
+		if len(r.Sources) != HotSessionClicks {
+			t.Fatalf("provenance size = %d, want %d", len(r.Sources), HotSessionClicks)
+		}
+	}
+}
+
+func canonical(results []provenance.Result) []string {
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		var ids []string
+		for _, s := range r.Sources {
+			c := s.(*ClickEvent)
+			ids = append(ids, fmt.Sprintf("%d/%d", c.Timestamp(), c.UserID))
+		}
+		sort.Strings(ids)
+		out = append(out, fmt.Sprintf("%d/%d:%v", r.Sink.Timestamp(), r.Sink.(*SessionCount).UserID, ids))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQ5GenealogMatchesBaseline(t *testing.T) {
+	_, glResults := runQuery(t, NewGenerator(DefaultConfig()).SourceFunc(), &core.Genealog{}, AddQ5)
+
+	store := baseline.NewStore()
+	blInstr := &baseline.Instrumenter{IDs: core.NewIDGen(1), Store: store}
+	b := query.New("bl", query.WithInstrumenter(blInstr))
+	src := b.AddSource("src", NewGenerator(DefaultConfig()).SourceFunc())
+	last := AddQ5(b, src)
+	var blResults []provenance.Result
+	b.Connect(last, b.AddSink("k", func(tp core.Tuple) error {
+		srcs := baseline.Resolver{Store: store}.Resolve(tp)
+		blResults = append(blResults, provenance.Result{Sink: tp, Sources: srcs})
+		return nil
+	}))
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	gl, bl := canonical(glResults), canonical(blResults)
+	if len(gl) == 0 {
+		t.Fatal("no provenance results to compare")
+	}
+	if len(gl) != len(bl) {
+		t.Fatalf("GL %d results, BL %d", len(gl), len(bl))
+	}
+	for i := range gl {
+		if gl[i] != bl[i] {
+			t.Fatalf("provenance mismatch at %d:\nGL: %s\nBL: %s", i, gl[i], bl[i])
+		}
+	}
+}

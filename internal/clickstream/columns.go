@@ -1,0 +1,117 @@
+package clickstream
+
+import (
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// This file declares the columnar schemas and typed kernels of the
+// clickstream tuple types, letting the planner run Q5's stateless stages on
+// the vectorized runtime (ops.ColChain), fold its session windows over
+// columnar window state (ops.ColAggregate), and extract shard routing keys
+// batch-wise. Each schema covers every payload field of its tuple type, so
+// one extraction pass serves any kernel over that type.
+
+// Field indices into ClickEventSchema.
+const (
+	clickFieldUser = iota
+	clickFieldPage
+	clickFieldDwell
+)
+
+// ClickEventSchema is the columnar schema of *ClickEvent.
+var ClickEventSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "user", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*ClickEvent).UserID) }},
+	{Name: "page", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*ClickEvent).PageID) }},
+	{Name: "dwell", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return t.(*ClickEvent).DwellMs }},
+}}
+
+// Field indices into EngagedClickSchema.
+const (
+	engagedFieldUser = iota
+	engagedFieldPage
+)
+
+// EngagedClickSchema is the columnar schema of *EngagedClick.
+var EngagedClickSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "user", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*EngagedClick).UserID) }},
+	{Name: "page", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*EngagedClick).PageID) }},
+}}
+
+// Field indices into SessionCountSchema.
+const (
+	sessionFieldUser = iota
+	sessionFieldClicks
+)
+
+// SessionCountSchema is the columnar schema of *SessionCount.
+var SessionCountSchema = &ops.ColSchema{Fields: []ops.ColField{
+	{Name: "user", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*SessionCount).UserID) }},
+	{Name: "clicks", Kind: ops.ColInt64, Int: func(t core.Tuple) int64 { return int64(t.(*SessionCount).Clicks) }},
+}}
+
+// Schemas returns the columnar schema of every clickstream tuple type,
+// keyed by its csvio format name.
+func Schemas() map[string]*ops.ColSchema {
+	return map[string]*ops.ColSchema{
+		"cs.click":   ClickEventSchema,
+		"cs.engaged": EngagedClickSchema,
+		"cs.count":   SessionCountSchema,
+	}
+}
+
+// filterEngaged is the vectorized q5.engaged predicate.
+func filterEngaged(c *ops.ColBatch, sel, dst []int) []int {
+	dwell := c.Int64s(clickFieldDwell)
+	for _, i := range sel {
+		if dwell[i] >= EngagedDwellMs {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// mapProject is the vectorized q5.project projection: one *EngagedClick per
+// selected click, in order, matching the row Map exactly.
+func mapProject(c *ops.ColBatch, sel []int, dst []core.Tuple) []core.Tuple {
+	ts := c.Timestamps()
+	user := c.Int64s(clickFieldUser)
+	page := c.Int64s(clickFieldPage)
+	for _, i := range sel {
+		dst = append(dst, &EngagedClick{Base: core.NewBase(ts[i]), UserID: int32(user[i]), PageID: int32(page[i])})
+	}
+	return dst
+}
+
+// filterHot is the vectorized q5.hot predicate.
+func filterHot(c *ops.ColBatch, sel, dst []int) []int {
+	clicks := c.Int64s(sessionFieldClicks)
+	for _, i := range sel {
+		if clicks[i] >= HotSessionClicks {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// keyEngagedClick is the vectorized session-count group-by extraction; it
+// equals userKey on every *EngagedClick.
+func keyEngagedClick(c *ops.ColBatch, sel []int, dst []string) []string {
+	user := c.Int64s(engagedFieldUser)
+	for _, i := range sel {
+		dst = append(dst, strconv.Itoa(int(user[i])))
+	}
+	return dst
+}
+
+// foldSessionCount is the vectorized session-count fold: the engaged-click
+// count of one user's window.
+func foldSessionCount(seg *ops.ColSeg, start, end int64, key string) core.Tuple {
+	out := &SessionCount{Base: core.NewBase(start)}
+	user := seg.Int64s(engagedFieldUser)
+	out.UserID = int32(user[len(user)-1])
+	out.Clicks = int32(seg.Len())
+	return out
+}

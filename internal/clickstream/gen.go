@@ -1,0 +1,115 @@
+package clickstream
+
+import (
+	"context"
+	"math/rand"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+)
+
+// Config parameterises the deterministic clickstream generator. Timestamps
+// are seconds; each user clicks once per second, so a session window holds
+// SessionWindow clicks per user. Hot sessions — (user, window) pairs with
+// exactly HotSessionClicks engaged clicks — are injected on a fixed
+// schedule; every other pair gets strictly fewer, so exactly the injected
+// pairs alert and each alert's contribution graph is exactly
+// HotSessionClicks source tuples.
+type Config struct {
+	// Users is the number of concurrent users.
+	Users int
+	// Windows is the number of session windows
+	// (Users*Windows*SessionWindow source tuples).
+	Windows int
+	// HotEvery makes every HotEvery-th (user, window) pair hot
+	// (0 disables injection; no pair alerts).
+	HotEvery int
+	// Pages is the size of the page-id space.
+	Pages int
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+// DefaultConfig returns the workload used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Users:    24,
+		Windows:  16,
+		HotEvery: 4,
+		Pages:    50,
+		Seed:     13,
+	}
+}
+
+// Generator produces the per-second click stream.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator returns a generator for the given configuration. Zero or
+// negative core fields fall back to DefaultConfig values.
+func NewGenerator(cfg Config) *Generator {
+	def := DefaultConfig()
+	if cfg.Users <= 0 {
+		cfg.Users = def.Users
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = def.Windows
+	}
+	if cfg.Pages <= 0 {
+		cfg.Pages = def.Pages
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Tuples returns the total number of source tuples the generator emits.
+func (g *Generator) Tuples() int { return g.cfg.Users * g.cfg.Windows * SessionWindow }
+
+// Alerts returns the number of hot (user, window) pairs the configuration
+// injects — the exact Q5 alert count.
+func (g *Generator) Alerts() int {
+	if g.cfg.HotEvery <= 0 {
+		return 0
+	}
+	pairs := g.cfg.Users * g.cfg.Windows
+	return (pairs + g.cfg.HotEvery - 1) / g.cfg.HotEvery
+}
+
+// SourceFunc returns the ops.SourceFunc emitting the timestamp-sorted
+// clicks.
+func (g *Generator) SourceFunc() ops.SourceFunc {
+	return func(ctx context.Context, emit func(core.Tuple) error) error {
+		rng := rand.New(rand.NewSource(g.cfg.Seed))
+		// Per-user engagement plan for the current window: how many of the
+		// user's SessionWindow clicks are engaged, spread from a rotated
+		// start so engaged clicks land at different seconds per user.
+		engaged := make([]int, g.cfg.Users)
+		rot := make([]int, g.cfg.Users)
+		for w := 0; w < g.cfg.Windows; w++ {
+			for u := 0; u < g.cfg.Users; u++ {
+				if g.cfg.HotEvery > 0 && (w*g.cfg.Users+u)%g.cfg.HotEvery == 0 {
+					engaged[u] = HotSessionClicks
+				} else {
+					engaged[u] = rng.Intn(HotSessionClicks)
+				}
+				rot[u] = rng.Intn(SessionWindow)
+			}
+			for sec := 0; sec < SessionWindow; sec++ {
+				ts := int64(w)*SessionWindow + int64(sec)
+				for u := 0; u < g.cfg.Users; u++ {
+					page := int32(rng.Intn(g.cfg.Pages))
+					var dwell int64
+					if (sec+SessionWindow-rot[u])%SessionWindow < engaged[u] {
+						dwell = EngagedDwellMs + rng.Int63n(4000)
+					} else {
+						dwell = rng.Int63n(EngagedDwellMs)
+					}
+					if err := emit(NewClickEvent(ts, int32(u), page, dwell)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}

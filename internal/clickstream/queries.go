@@ -1,0 +1,70 @@
+package clickstream
+
+import (
+	"strconv"
+
+	"genealog/internal/core"
+	"genealog/internal/ops"
+	"genealog/internal/query"
+)
+
+// userKey is the group-by extractor of the session-count Aggregate.
+func userKey(t core.Tuple) string {
+	switch v := t.(type) {
+	case *ClickEvent:
+		return strconv.Itoa(int(v.UserID))
+	case *EngagedClick:
+		return strconv.Itoa(int(v.UserID))
+	default:
+		return ""
+	}
+}
+
+// AddQ5Stage1 appends Q5's first stage — the engaged-dwell Filter and the
+// dwell-dropping projection Map — which the distributed deployment runs at
+// SPE instance 1, shrinking every tuple before it crosses the wire.
+func AddQ5Stage1(b *query.Builder, from *query.Node) *query.Node {
+	eng := b.AddFilter("q5.engaged", func(t core.Tuple) bool {
+		return t.(*ClickEvent).DwellMs >= EngagedDwellMs
+	}).Columnar(query.ColSpec{Schema: ClickEventSchema, Filter: filterEngaged})
+	proj := b.AddMap("q5.project", func(t core.Tuple, emit func(core.Tuple)) {
+		c := t.(*ClickEvent)
+		emit(&EngagedClick{Base: core.NewBase(c.Timestamp()), UserID: c.UserID, PageID: c.PageID})
+	}).Columnar(query.ColSpec{Schema: ClickEventSchema, Map: mapProject})
+	b.Connect(from, eng)
+	b.Connect(eng, proj)
+	return proj
+}
+
+// AddQ5Stage2 appends Q5's second stage — the per-user session-count
+// Aggregate and the >= HotSessionClicks Filter — producing *SessionCount
+// sink tuples. The distributed deployment runs it at SPE instance 2.
+func AddQ5Stage2(b *query.Builder, from *query.Node) *query.Node {
+	count := b.AddAggregate("q5.session-count", ops.AggregateSpec{
+		WS:  SessionWindow,
+		WA:  SessionWindow,
+		Key: userKey,
+		Fold: func(w []core.Tuple, start, end int64, key string) core.Tuple {
+			out := &SessionCount{Base: core.NewBase(start)}
+			for _, t := range w {
+				out.UserID = t.(*EngagedClick).UserID
+			}
+			out.Clicks = int32(len(w))
+			return out
+		},
+	}).ColumnarAgg(query.AggColSpec{Schema: EngagedClickSchema, Key: keyEngagedClick, Fold: foldSessionCount})
+	hot := b.AddFilter("q5.hot", func(t core.Tuple) bool {
+		return t.(*SessionCount).Clicks >= HotSessionClicks
+	}).Columnar(query.ColSpec{Schema: SessionCountSchema, Filter: filterHot})
+	b.Connect(from, count)
+	b.Connect(count, hot)
+	return hot
+}
+
+// AddQ5 appends the whole hot-session query and returns its final node,
+// which emits *SessionCount sink tuples. Each alert's provenance is the
+// engaged clicks of its session window — exactly HotSessionClicks source
+// tuples under the generator's injection scheme.
+func AddQ5(b *query.Builder, from *query.Node) *query.Node {
+	return AddQ5Stage2(b, AddQ5Stage1(b, from))
+}

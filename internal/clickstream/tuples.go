@@ -1,0 +1,112 @@
+// Package clickstream implements the bursty clickstream use case built to
+// exercise adaptive batching: a deterministic sessionized click generator
+// whose arrival process alternates bursts and idle valleys, and the query
+// Q5 — hot-session detection — counting a user's engaged clicks per session
+// window and alerting when the count reaches HotSessionClicks. Like the
+// paper's use cases it ships intra-process and distributed deployments and
+// exact contribution-graph shapes.
+package clickstream
+
+import (
+	"sync"
+
+	"genealog/internal/core"
+	"genealog/internal/transport"
+)
+
+// SessionWindow is the tumbling-window size of the session aggregation;
+// timestamps are in seconds (one click per user per second).
+const SessionWindow = 8
+
+// Query parameters.
+const (
+	// EngagedDwellMs: a click counts as engaged when the user dwelt on the
+	// page at least this long (milliseconds).
+	EngagedDwellMs = 1000
+	// HotSessionClicks: an alert is raised when a user's engaged clicks in
+	// one session window reach this count. The generator gives hot
+	// (user, window) pairs exactly this many engaged clicks, so each
+	// alert's contribution graph has exactly HotSessionClicks source
+	// tuples.
+	HotSessionClicks = 6
+)
+
+// MUWindowQ5 covers SPE instance 2's session-count Aggregate in the
+// distributed deployment (§6.1).
+const MUWindowQ5 = SessionWindow
+
+// ClickEvent is the source tuple: ⟨ts, user_id, page_id, dwell_ms⟩, one
+// click per user per second. ts is in seconds since the epoch.
+type ClickEvent struct {
+	core.Base
+	UserID  int32
+	PageID  int32
+	DwellMs int64
+}
+
+// NewClickEvent returns a click at event time ts (seconds).
+func NewClickEvent(ts int64, user, page int32, dwellMs int64) *ClickEvent {
+	return &ClickEvent{Base: core.NewBase(ts), UserID: user, PageID: page, DwellMs: dwellMs}
+}
+
+// CloneTuple implements core.Cloneable.
+func (c *ClickEvent) CloneTuple() core.Tuple {
+	cp := *c
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (c *ClickEvent) ApproxBytes() int { return 8 + 4 + 4 + 8 }
+
+// EngagedClick is the projection of an engaged ClickEvent produced by Q5's
+// first stage — the dwell time has served its purpose and is dropped before
+// the tuple crosses to the stateful stage.
+type EngagedClick struct {
+	core.Base
+	UserID int32
+	PageID int32
+}
+
+// CloneTuple implements core.Cloneable.
+func (e *EngagedClick) CloneTuple() core.Tuple {
+	cp := *e
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (e *EngagedClick) ApproxBytes() int { return 8 + 4 + 4 }
+
+// SessionCount is Q5's sink tuple: a user's engaged-click count over one
+// session window. Only counts reaching HotSessionClicks survive to the sink.
+type SessionCount struct {
+	core.Base
+	UserID int32
+	Clicks int32
+}
+
+// CloneTuple implements core.Cloneable.
+func (s *SessionCount) CloneTuple() core.Tuple {
+	cp := *s
+	cp.ResetProvenance()
+	return &cp
+}
+
+// ApproxBytes implements baseline.Sized.
+func (s *SessionCount) ApproxBytes() int { return 8 + 4 + 4 }
+
+var registerOnce sync.Once
+
+// RegisterWire registers the package's tuple types with both transport
+// codecs (gob and binary). Safe to call multiple times.
+func RegisterWire() {
+	registerOnce.Do(func() {
+		transport.Register(&ClickEvent{})
+		transport.Register(&EngagedClick{})
+		transport.Register(&SessionCount{})
+		transport.RegisterBinary(tagClickEvent, func() transport.WireTuple { return &ClickEvent{} })
+		transport.RegisterBinary(tagEngagedClick, func() transport.WireTuple { return &EngagedClick{} })
+		transport.RegisterBinary(tagSessionCount, func() transport.WireTuple { return &SessionCount{} })
+	})
+}

@@ -1,0 +1,74 @@
+package clickstream
+
+import (
+	"genealog/internal/transport"
+)
+
+// Binary wire tags for the clickstream tuple types (20-29 reserved for this
+// package).
+const (
+	tagClickEvent   uint16 = 20
+	tagEngagedClick uint16 = 21
+	tagSessionCount uint16 = 22
+)
+
+var (
+	_ transport.WireTuple = (*ClickEvent)(nil)
+	_ transport.WireTuple = (*EngagedClick)(nil)
+	_ transport.WireTuple = (*SessionCount)(nil)
+)
+
+// MarshalWire implements transport.WireTuple.
+func (c *ClickEvent) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, c.UserID)
+	buf = transport.AppendInt32(buf, c.PageID)
+	buf = transport.AppendInt64(buf, c.DwellMs)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (c *ClickEvent) UnmarshalWire(data []byte) error {
+	var err error
+	if c.UserID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	if c.PageID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	c.DwellMs, _, err = transport.ReadInt64(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (e *EngagedClick) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, e.UserID)
+	buf = transport.AppendInt32(buf, e.PageID)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (e *EngagedClick) UnmarshalWire(data []byte) error {
+	var err error
+	if e.UserID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	e.PageID, _, err = transport.ReadInt32(data)
+	return err
+}
+
+// MarshalWire implements transport.WireTuple.
+func (s *SessionCount) MarshalWire(buf []byte) ([]byte, error) {
+	buf = transport.AppendInt32(buf, s.UserID)
+	buf = transport.AppendInt32(buf, s.Clicks)
+	return buf, nil
+}
+
+// UnmarshalWire implements transport.WireTuple.
+func (s *SessionCount) UnmarshalWire(data []byte) error {
+	var err error
+	if s.UserID, data, err = transport.ReadInt32(data); err != nil {
+		return err
+	}
+	s.Clicks, _, err = transport.ReadInt32(data)
+	return err
+}

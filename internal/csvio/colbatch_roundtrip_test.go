@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/csvio"
 	"genealog/internal/linearroad"
@@ -37,6 +38,15 @@ var fieldGens = map[string]func(i int) []string{
 	"sg.anomaly": func(i int) []string {
 		return []string{itoa(700 + i), itoa(i % 5), fmt.Sprintf("%d.75", i*2)}
 	},
+	"cs.click": func(i int) []string {
+		return []string{itoa(800 + i), itoa(i % 9), itoa(i % 17), itoa(500 + i*31)}
+	},
+	"cs.engaged": func(i int) []string {
+		return []string{itoa(900 + i), itoa(i % 9), itoa(i % 17)}
+	},
+	"cs.count": func(i int) []string {
+		return []string{itoa(1000 + i), itoa(i % 9), itoa(1 + i%8)}
+	},
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }
@@ -49,6 +59,9 @@ func workloadSchemas() map[string]*ops.ColSchema {
 		out[name] = s
 	}
 	for name, s := range smartgrid.Schemas() {
+		out[name] = s
+	}
+	for name, s := range clickstream.Schemas() {
 		out[name] = s
 	}
 	return out

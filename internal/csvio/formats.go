@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
@@ -20,6 +21,9 @@ func init() {
 	RegisterFormat("sg.daily", &smartgrid.DailyCons{}, ParseDailyCons, FormatDailyCons)
 	RegisterFormat("sg.blackout", &smartgrid.BlackoutAlert{}, ParseBlackoutAlert, FormatBlackoutAlert)
 	RegisterFormat("sg.anomaly", &smartgrid.AnomalyAlert{}, ParseAnomalyAlert, FormatAnomalyAlert)
+	RegisterFormat("cs.click", &clickstream.ClickEvent{}, ParseClickEvent, FormatClickEvent)
+	RegisterFormat("cs.engaged", &clickstream.EngagedClick{}, ParseEngagedClick, FormatEngagedClick)
+	RegisterFormat("cs.count", &clickstream.SessionCount{}, ParseSessionCount, FormatSessionCount)
 }
 
 // ParsePositionReport parses the lr-gen format: ts,car_id,speed,pos.
@@ -241,5 +245,100 @@ func FormatAnomalyAlert(t core.Tuple) ([]string, error) {
 		strconv.FormatInt(a.Timestamp(), 10),
 		strconv.Itoa(int(a.MeterID)),
 		strconv.FormatFloat(a.ConsDiff, 'f', 4, 64),
+	}, nil
+}
+
+// ParseClickEvent parses the cs-gen format: ts,user_id,page_id,dwell_ms.
+func ParseClickEvent(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	user, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	page, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	dwell, err := Int64Field(fields, 3)
+	if err != nil {
+		return nil, err
+	}
+	return clickstream.NewClickEvent(ts, user, page, dwell), nil
+}
+
+// FormatClickEvent renders the cs-gen format.
+func FormatClickEvent(t core.Tuple) ([]string, error) {
+	c, ok := t.(*clickstream.ClickEvent)
+	if !ok {
+		return nil, fmt.Errorf("want *clickstream.ClickEvent, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(c.Timestamp(), 10),
+		strconv.Itoa(int(c.UserID)),
+		strconv.Itoa(int(c.PageID)),
+		strconv.FormatInt(c.DwellMs, 10),
+	}, nil
+}
+
+// ParseEngagedClick parses Q5's intermediate tuple: ts,user_id,page_id.
+func ParseEngagedClick(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	user, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	page, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &clickstream.EngagedClick{Base: core.NewBase(ts), UserID: user, PageID: page}, nil
+}
+
+// FormatEngagedClick renders Q5's intermediate tuple.
+func FormatEngagedClick(t core.Tuple) ([]string, error) {
+	e, ok := t.(*clickstream.EngagedClick)
+	if !ok {
+		return nil, fmt.Errorf("want *clickstream.EngagedClick, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(e.Timestamp(), 10),
+		strconv.Itoa(int(e.UserID)),
+		strconv.Itoa(int(e.PageID)),
+	}, nil
+}
+
+// ParseSessionCount parses Q5's sink tuple: ts,user_id,clicks.
+func ParseSessionCount(fields []string) (core.Tuple, error) {
+	ts, err := Int64Field(fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	user, err := Int32Field(fields, 1)
+	if err != nil {
+		return nil, err
+	}
+	clicks, err := Int32Field(fields, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &clickstream.SessionCount{Base: core.NewBase(ts), UserID: user, Clicks: clicks}, nil
+}
+
+// FormatSessionCount renders Q5's sink tuple.
+func FormatSessionCount(t core.Tuple) ([]string, error) {
+	s, ok := t.(*clickstream.SessionCount)
+	if !ok {
+		return nil, fmt.Errorf("want *clickstream.SessionCount, got %T", t)
+	}
+	return []string{
+		strconv.FormatInt(s.Timestamp(), 10),
+		strconv.Itoa(int(s.UserID)),
+		strconv.Itoa(int(s.Clicks)),
 	}, nil
 }

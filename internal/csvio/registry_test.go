@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
@@ -49,6 +50,21 @@ var generators = map[string]func(r *rand.Rand) core.Tuple{
 		return &smartgrid.AnomalyAlert{
 			Base:    core.NewBase(r.Int63n(1e9)),
 			MeterID: int32(r.Intn(1e6)), ConsDiff: quantized(r),
+		}
+	},
+	"cs.click": func(r *rand.Rand) core.Tuple {
+		return clickstream.NewClickEvent(r.Int63n(1e9), int32(r.Intn(1e6)), int32(r.Intn(1e4)), r.Int63n(60000))
+	},
+	"cs.engaged": func(r *rand.Rand) core.Tuple {
+		return &clickstream.EngagedClick{
+			Base:   core.NewBase(r.Int63n(1e9)),
+			UserID: int32(r.Intn(1e6)), PageID: int32(r.Intn(1e4)),
+		}
+	},
+	"cs.count": func(r *rand.Rand) core.Tuple {
+		return &clickstream.SessionCount{
+			Base:   core.NewBase(r.Int63n(1e9)),
+			UserID: int32(r.Intn(1e6)), Clicks: int32(1 + r.Intn(100)),
 		}
 	},
 }

@@ -1,16 +1,19 @@
 // Package harness orchestrates the paper's evaluation (§7): it deploys the
-// four use-case queries (Q1/Q2 Linear Road, Q3/Q4 Smart Grid) under the
-// three provenance techniques (NP = none, GL = GeneaLog, BL = Ariadne-style
-// baseline), intra-process and across three SPE instances, measures
-// throughput, latency, memory, contribution-graph traversal time and
-// provenance volume, and renders the rows of Figures 12, 13 and 14.
+// evaluation queries (Q1/Q2 Linear Road, Q3/Q4 Smart Grid, Q5 bursty
+// clickstream) under the three provenance techniques (NP = none, GL =
+// GeneaLog, BL = Ariadne-style baseline), intra-process and across three
+// SPE instances, measures throughput, latency, memory, contribution-graph
+// traversal time and provenance volume, and renders the rows of Figures 12,
+// 13 and 14.
 package harness
 
 import (
 	"fmt"
 	"time"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/linearroad"
+	"genealog/internal/ops"
 	"genealog/internal/provenance"
 	"genealog/internal/provstore"
 	"genealog/internal/smartgrid"
@@ -31,19 +34,21 @@ const (
 // Modes lists the techniques in the paper's plotting order.
 var Modes = []Mode{ModeNP, ModeGL, ModeBL}
 
-// QueryID identifies one of the four evaluation queries.
+// QueryID identifies one of the evaluation queries.
 type QueryID string
 
-// Evaluation queries.
+// Evaluation queries. Q1-Q4 are the paper's use cases; Q5 is the bursty
+// clickstream workload added to exercise adaptive batching.
 const (
 	Q1 QueryID = "Q1"
 	Q2 QueryID = "Q2"
 	Q3 QueryID = "Q3"
 	Q4 QueryID = "Q4"
+	Q5 QueryID = "Q5"
 )
 
 // Queries lists the evaluation queries in the paper's order.
-var Queries = []QueryID{Q1, Q2, Q3, Q4}
+var Queries = []QueryID{Q1, Q2, Q3, Q4, Q5}
 
 // Deployment selects intra-process (Fig. 12) or inter-process (Fig. 13)
 // execution.
@@ -66,15 +71,33 @@ func (d Deployment) String() string {
 	}
 }
 
+// DefaultAdaptiveMaxBatch is the adaptive controller's upper batch-size
+// bound when Options.AdaptiveMaxBatch is zero.
+const DefaultAdaptiveMaxBatch = 64
+
+// adaptiveBounds resolves the adaptive controller's batch-size bounds with
+// defaults applied (1 and DefaultAdaptiveMaxBatch).
+func adaptiveBounds(o Options) (lo, hi int) {
+	lo, hi = o.AdaptiveMinBatch, o.AdaptiveMaxBatch
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = DefaultAdaptiveMaxBatch
+	}
+	return lo, hi
+}
+
 // Options configures one measured run.
 type Options struct {
 	Query      QueryID
 	Mode       Mode
 	Deployment Deployment
-	// LR and SG parameterise the workload generators; zero values select the
-	// package defaults.
+	// LR, SG and CS parameterise the workload generators; zero values select
+	// the package defaults.
 	LR linearroad.Config
 	SG smartgrid.Config
+	CS clickstream.Config
 	// MemSampleEvery is the heap sampling period (default 5 ms).
 	MemSampleEvery time.Duration
 	// ThrottleBytesPerSec throttles every inter-process link (0 =
@@ -85,6 +108,11 @@ type Options struct {
 	// SourceRate paces the sources in tuples/second (0 = as fast as
 	// possible, measuring peak sustainable throughput).
 	SourceRate float64
+	// SourceBurst, when non-nil, replaces the fixed SourceRate with an
+	// on/off duty cycle (see ops.BurstPacing) — the workload shape the
+	// adaptive batching controller is built for. Pacing only changes
+	// arrival times; sink tuples and provenance stay byte-identical.
+	SourceBurst *ops.BurstPacing
 	// Parallelism shard-parallelises every keyed stateful operator
 	// (Aggregate with a group-by key, Join with equi-join keys) across this
 	// many instances; 0 or 1 selects serial execution. Sink tuples and
@@ -100,6 +128,17 @@ type Options struct {
 	// byte-identical at every batch size; only throughput and per-tuple
 	// latency change.
 	BatchSize int
+	// AdaptiveBatch turns on the AIMD batch-size controller
+	// (internal/adapt): every stream's batch size is resized at runtime
+	// from queue occupancy and batch fill, between AdaptiveMinBatch and
+	// AdaptiveMaxBatch. BatchSize then only seeds the initial size. Sink
+	// tuples and provenance are byte-identical with and without the
+	// controller; only throughput and latency change.
+	AdaptiveBatch bool
+	// AdaptiveMinBatch and AdaptiveMaxBatch bound the controller
+	// (defaults 1 and DefaultAdaptiveMaxBatch).
+	AdaptiveMinBatch int
+	AdaptiveMaxBatch int
 	// UseBinaryCodec switches inter-process links from the gob codec to the
 	// hand-rolled binary codec (the serialisation ablation).
 	UseBinaryCodec bool
@@ -170,8 +209,14 @@ type Result struct {
 	// serial).
 	Parallelism int
 	// BatchSize is the stream batch size the run executed with (0/1 =
-	// unbatched).
+	// unbatched). Under AdaptiveBatch it is only the initial size.
 	BatchSize int
+	// AdaptiveBatch reports whether the run executed with the AIMD
+	// batch-size controller; AdaptiveMinBatch and AdaptiveMaxBatch are its
+	// bounds (zero without the controller).
+	AdaptiveBatch    bool
+	AdaptiveMinBatch int
+	AdaptiveMaxBatch int
 	// Fusion reports whether the run executed with the physical planner
 	// enabled (operator fusion + shard-prefix replication).
 	Fusion bool
@@ -263,7 +308,7 @@ func (r Result) ProvRatio() float64 {
 
 func (o *Options) validate() error {
 	switch o.Query {
-	case Q1, Q2, Q3, Q4:
+	case Q1, Q2, Q3, Q4, Q5:
 	default:
 		return fmt.Errorf("harness: unknown query %q", o.Query)
 	}
@@ -286,6 +331,16 @@ func (o *Options) validate() error {
 	if o.BatchSize > transport.MaxBatchFrameTuples {
 		return fmt.Errorf("harness: batch size %d exceeds the wire frame bound %d",
 			o.BatchSize, transport.MaxBatchFrameTuples)
+	}
+	if o.AdaptiveBatch {
+		min, max := adaptiveBounds(*o)
+		if min > max {
+			return fmt.Errorf("harness: adaptive batch bounds [%d, %d] are inverted", min, max)
+		}
+		if max > transport.MaxBatchFrameTuples {
+			return fmt.Errorf("harness: adaptive max batch %d exceeds the wire frame bound %d",
+				max, transport.MaxBatchFrameTuples)
+		}
 	}
 	if o.StorePath != "" && o.RemoteStore != "" {
 		return fmt.Errorf("harness: StorePath and RemoteStore are mutually exclusive (got %q and %q)",

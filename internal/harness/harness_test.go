@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
 )
@@ -20,6 +21,9 @@ func testOptions() Options {
 		SG: smartgrid.Config{
 			Meters: 12, Days: 8, BlackoutEvery: 3, BlackoutMeters: 8,
 			AnomalyEvery: 3, AnomalyValue: 300, Seed: 2,
+		},
+		CS: clickstream.Config{
+			Users: 8, Windows: 6, HotEvery: 5, Pages: 10, Seed: 3,
 		},
 		MemSampleEvery: time.Millisecond,
 	}
@@ -44,6 +48,7 @@ var expectedGraphSizes = map[QueryID]int64{
 	Q2: int64(linearroad.AccidentCars * linearroad.StopReports), // 8
 	Q3: int64(8 * smartgrid.HoursPerDay),                        // 192
 	Q4: int64(smartgrid.HoursPerDay + 1),                        // 24 in the paper; 25 here
+	Q5: int64(clickstream.HotSessionClicks),                     // 6
 }
 
 func TestGraphShapes(t *testing.T) {

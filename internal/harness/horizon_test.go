@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"genealog/internal/clickstream"
 	"genealog/internal/linearroad"
 	"genealog/internal/smartgrid"
 )
@@ -20,6 +21,7 @@ func TestDerivedStoreHorizons(t *testing.T) {
 		Q2: 2 * (linearroad.Q1WindowSize + linearroad.Q2WindowSize),
 		Q3: 2 * (2 * smartgrid.HoursPerDay),
 		Q4: 2 * (smartgrid.HoursPerDay + smartgrid.Q4JoinWindow),
+		Q5: 2 * clickstream.SessionWindow,
 	}
 	for _, q := range Queries {
 		got, err := StoreHorizon(q)
@@ -74,7 +76,7 @@ func TestStoreHorizonOverride(t *testing.T) {
 	}
 }
 
-// TestDerivedHorizonNeverTooTight: with the derived horizon, no Q1-Q4 run
+// TestDerivedHorizonNeverTooTight: with the derived horizon, no query run
 // can re-encode a retired source — re-encoding means the horizon was tighter
 // than the query's windows, which the derivation makes impossible.
 func TestDerivedHorizonNeverTooTight(t *testing.T) {

@@ -72,7 +72,7 @@ type InterHooks struct {
 // stage 2 (Q4 ships two: the daily sums and the midnight readings).
 func MainLinkCount(q QueryID) (int, error) {
 	switch q {
-	case Q1, Q2, Q3:
+	case Q1, Q2, Q3, Q5:
 		return 1, nil
 	case Q4:
 		return 2, nil
@@ -94,18 +94,12 @@ func BuildSPE1(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	provenance.RegisterWire()
 	gen, _, _ := spec.source(o)
 
-	opts := []query.Option{
-		query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil)),
-		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion),
-		query.WithVectorize(!o.NoVectorize)}
-	if o.Telemetry != nil {
-		opts = append(opts, query.WithTelemetry(o.Telemetry))
-	}
+	opts := append([]query.Option{query.WithInstrumenter(instrumenterFor(o.Mode, 1, nil))},
+		commonQueryOptions(o)...)
 	b := query.New(string(o.Query)+"-spe1", opts...)
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
+	src.Burst = o.SourceBurst
 	src.OnEmit = hooks.OnSourceEmit
 
 	stage1From := src
@@ -157,15 +151,8 @@ func BuildSPE2(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	spec.registerWire()
 	provenance.RegisterWire()
 
-	opts := []query.Option{
-		query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil)),
-		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion),
-		query.WithVectorize(!o.NoVectorize)}
-	if o.Telemetry != nil {
-		opts = append(opts, query.WithTelemetry(o.Telemetry))
-	}
+	opts := append([]query.Option{query.WithInstrumenter(instrumenterFor(o.Mode, 2, nil))},
+		commonQueryOptions(o)...)
 	b := query.New(string(o.Query)+"-spe2", opts...)
 	ins := make([]*query.Node, len(links.Main))
 	for i, l := range links.Main {
@@ -233,17 +220,10 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 	}
 	switch o.Mode {
 	case ModeGL:
-		opts := []query.Option{
-			query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil)),
-			query.WithChannelCapacity(o.ChannelCapacity),
-			query.WithBatchSize(o.BatchSize),
-			query.WithFusion(!o.NoFusion),
-			query.WithVectorize(!o.NoVectorize)}
+		opts := append([]query.Option{query.WithInstrumenter(instrumenterFor(o.Mode, 3, nil))},
+			commonQueryOptions(o)...)
 		if hooks.ProvStore != nil {
 			opts = append(opts, query.WithProvenanceStore(hooks.ProvStore))
-		}
-		if o.Telemetry != nil {
-			opts = append(opts, query.WithTelemetry(o.Telemetry))
 		}
 		b := query.New(string(o.Query)+"-spe3", opts...)
 		ups := make([]*query.Node, len(links.U1))
@@ -261,15 +241,8 @@ func BuildSPE3(o Options, links InterLinks, hooks InterHooks) (*query.Query, err
 		if hooks.Store == nil || links.Sources == nil || links.Sinks == nil {
 			return nil, errors.New("harness: BL SPE3 needs a Store and Sources/Sinks links")
 		}
-		blOpts := []query.Option{
-			query.WithInstrumenter(core.Noop{}),
-			query.WithChannelCapacity(o.ChannelCapacity),
-			query.WithBatchSize(o.BatchSize),
-			query.WithFusion(!o.NoFusion),
-			query.WithVectorize(!o.NoVectorize)}
-		if o.Telemetry != nil {
-			blOpts = append(blOpts, query.WithTelemetry(o.Telemetry))
-		}
+		blOpts := append([]query.Option{query.WithInstrumenter(core.Noop{})},
+			commonQueryOptions(o)...)
 		b := query.New(string(o.Query)+"-spe3", blOpts...)
 		srcsIn := transport.AddReceive(b, "recv-sources", links.Sources.Dec)
 		storeDone := make(chan struct{})
@@ -301,6 +274,10 @@ func runInter(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Inter, Parallelism: o.Parallelism,
 		BatchSize: o.BatchSize, Fusion: !o.NoFusion, Vectorized: !o.NoVectorize,
 		RemoteStore: o.RemoteStore}
+	if o.AdaptiveBatch {
+		res.AdaptiveBatch = true
+		res.AdaptiveMinBatch, res.AdaptiveMaxBatch = adaptiveBounds(o)
+	}
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)
 	res.SourceBytes = int64(total) * int64(perTuple)

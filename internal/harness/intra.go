@@ -72,6 +72,27 @@ type intraAssembly struct {
 	onProv func(provenance.Result)
 }
 
+// commonQueryOptions returns the builder options shared by every query a
+// run assembles, whatever the SPE instance: the execution knobs plus — when
+// the run asks for them — the adaptive batching controller and the
+// telemetry registry.
+func commonQueryOptions(o Options) []query.Option {
+	opts := []query.Option{
+		query.WithChannelCapacity(o.ChannelCapacity),
+		query.WithBatchSize(o.BatchSize),
+		query.WithFusion(!o.NoFusion),
+		query.WithVectorize(!o.NoVectorize),
+	}
+	if o.AdaptiveBatch {
+		lo, hi := adaptiveBounds(o)
+		opts = append(opts, query.WithAdaptiveBatching(lo, hi))
+	}
+	if o.Telemetry != nil {
+		opts = append(opts, query.WithTelemetry(o.Telemetry))
+	}
+	return opts
+}
+
 // assembleIntraQuery builds the whole intra-process query of o (Fig. 12's
 // deployment): the workload source, the evaluation query, the
 // mode-dependent provenance plumbing (GL: SU + collector; BL/NP: plain
@@ -79,20 +100,14 @@ type intraAssembly struct {
 func assembleIntraQuery(o Options, spec querySpec, asm intraAssembly) (*query.Query, error) {
 	gen, _, _ := spec.source(o)
 	instr := instrumenterFor(o.Mode, 0, asm.store)
-	opts := []query.Option{query.WithInstrumenter(instr),
-		query.WithChannelCapacity(o.ChannelCapacity),
-		query.WithBatchSize(o.BatchSize),
-		query.WithFusion(!o.NoFusion),
-		query.WithVectorize(!o.NoVectorize)}
+	opts := append([]query.Option{query.WithInstrumenter(instr)}, commonQueryOptions(o)...)
 	if asm.provStore != nil {
 		opts = append(opts, query.WithProvenanceStore(asm.provStore))
-	}
-	if o.Telemetry != nil {
-		opts = append(opts, query.WithTelemetry(o.Telemetry))
 	}
 	b := query.New(string(o.Query), opts...)
 	src := b.AddSource("source", gen)
 	src.Rate = o.SourceRate
+	src.Burst = o.SourceBurst
 	src.OnEmit = asm.onEmit
 
 	last := spec.addWhole(b, src)
@@ -119,6 +134,10 @@ func runIntra(ctx context.Context, o Options, spec querySpec) (Result, error) {
 	res := Result{Query: o.Query, Mode: o.Mode, Deployment: Intra, Parallelism: o.Parallelism,
 		BatchSize: o.BatchSize, Fusion: !o.NoFusion, Vectorized: !o.NoVectorize,
 		RemoteStore: o.RemoteStore}
+	if o.AdaptiveBatch {
+		res.AdaptiveBatch = true
+		res.AdaptiveMinBatch, res.AdaptiveMaxBatch = adaptiveBounds(o)
+	}
 
 	_, total, perTuple := spec.source(o)
 	res.SourceTuples = int64(total)

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"genealog/internal/baseline"
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/linearroad"
+	"genealog/internal/ops"
 	"genealog/internal/provenance"
 	"genealog/internal/query"
 	"genealog/internal/smartgrid"
@@ -32,6 +34,9 @@ func parallelTestOptions(id QueryID, mode Mode, parallelism int) Options {
 			Meters: 23, Days: 10, BlackoutEvery: 3,
 			BlackoutMeters: smartgrid.BlackoutMeterThreshold + 2,
 			AnomalyEvery:   4, AnomalyValue: 250, Seed: 5,
+		},
+		CS: clickstream.Config{
+			Users: 20, Windows: 12, HotEvery: 4, Pages: 16, Seed: 9,
 		},
 		MemSampleEvery: time.Second,
 	}
@@ -55,6 +60,12 @@ func renderPayload(t core.Tuple) string {
 		return fmt.Sprintf("ba/%d/%d", v.Timestamp(), v.Count)
 	case *smartgrid.AnomalyAlert:
 		return fmt.Sprintf("an/%d/%d/%g", v.Timestamp(), v.MeterID, v.ConsDiff)
+	case *clickstream.ClickEvent:
+		return fmt.Sprintf("ce/%d/%d/%d/%d", v.Timestamp(), v.UserID, v.PageID, v.DwellMs)
+	case *clickstream.EngagedClick:
+		return fmt.Sprintf("ec/%d/%d/%d", v.Timestamp(), v.UserID, v.PageID)
+	case *clickstream.SessionCount:
+		return fmt.Sprintf("scnt/%d/%d/%d", v.Timestamp(), v.UserID, v.Clicks)
 	default:
 		return fmt.Sprintf("%T/%d", t, t.Timestamp())
 	}
@@ -75,8 +86,9 @@ func captureRun(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int)
 }
 
 // captureRunPlan is captureRun with the physical planner and its columnar
-// pass switchable.
-func captureRunPlan(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int, fusion, vectorize bool) captured {
+// pass switchable, plus any extra builder options (the adaptive-batching
+// equivalence runs pass query.WithAdaptiveBatching).
+func captureRunPlan(t *testing.T, id QueryID, mode Mode, parallelism, batchSize int, fusion, vectorize bool, extra ...query.Option) captured {
 	t.Helper()
 	o := parallelTestOptions(id, mode, parallelism)
 	spec, err := specFor(id)
@@ -91,10 +103,11 @@ func captureRunPlan(t *testing.T, id QueryID, mode Mode, parallelism, batchSize 
 	}
 	instr := instrumenterFor(mode, 0, store)
 
-	b := query.New(string(id)+"-capture", query.WithInstrumenter(instr),
+	opts := append([]query.Option{query.WithInstrumenter(instr),
 		query.WithBatchSize(batchSize),
 		query.WithFusion(fusion),
-		query.WithVectorize(vectorize))
+		query.WithVectorize(vectorize)}, extra...)
+	b := query.New(string(id)+"-capture", opts...)
 	src := b.AddSource("source", gen)
 	last := spec.addWhole(b, src)
 
@@ -322,6 +335,83 @@ func TestVectorizedPlanEquivalence(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestAdaptiveBatchEquivalence is the adaptive-batching acceptance test:
+// for every query (bursty clickstream included) under NP, GL and BL, at
+// parallelism 1 and 4, execution with the AIMD batch-size controller live —
+// resizing every stream's batch size mid-run — must yield sink output and
+// contribution-graph traversal results byte-identical to a fixed batch
+// size. The controller may only move work between batches, never reorder,
+// drop or duplicate a tuple.
+func TestAdaptiveBatchEquivalence(t *testing.T) {
+	for _, id := range Queries {
+		for _, mode := range Modes {
+			for _, parallelism := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/p%d", id, mode, parallelism)
+				t.Run(name, func(t *testing.T) {
+					fixed := captureRun(t, id, mode, parallelism, 64)
+					if len(fixed.sinks) == 0 {
+						t.Fatalf("%s: fixed-batch run produced no sink tuples; workload too small", name)
+					}
+					// A tight min and a batch-1 start maximise live resizes:
+					// the controller has to grow from 1 toward 64 and shrink
+					// back as queues drain.
+					adaptive := captureRunPlan(t, id, mode, parallelism, 1, true, true,
+						query.WithAdaptiveBatching(1, 64))
+					if len(adaptive.sinks) != len(fixed.sinks) {
+						t.Fatalf("sink count differs: adaptive %d, fixed %d", len(adaptive.sinks), len(fixed.sinks))
+					}
+					for i := range fixed.sinks {
+						if fixed.sinks[i] != adaptive.sinks[i] {
+							t.Fatalf("sink tuple %d differs:\nfixed:    %s\nadaptive: %s", i, fixed.sinks[i], adaptive.sinks[i])
+						}
+					}
+					pf, pa := sortedCopy(fixed.prov), sortedCopy(adaptive.prov)
+					if len(pf) != len(pa) {
+						t.Fatalf("provenance result count differs: adaptive %d, fixed %d", len(pa), len(pf))
+					}
+					for i := range pf {
+						if pf[i] != pa[i] {
+							t.Fatalf("provenance result %d differs:\nfixed:    %s\nadaptive: %s", i, pf[i], pa[i])
+						}
+					}
+					if mode != ModeNP && len(fixed.prov) == 0 {
+						t.Fatalf("%s: no provenance results; workload too small", name)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHarnessAdaptiveDimension: a measured harness run accepts the adaptive
+// batching dimension — intra- and inter-process, bursty source included —
+// and reports it back in its result row.
+func TestHarnessAdaptiveDimension(t *testing.T) {
+	o := parallelTestOptions(Q5, ModeGL, 1)
+	o.AdaptiveBatch = true
+	o.SourceBurst = &ops.BurstPacing{
+		BurstRate: 500_000, IdleRate: 1000,
+		BurstFor: 20 * time.Millisecond, IdleFor: 5 * time.Millisecond,
+	}
+	for _, d := range []Deployment{Intra, Inter} {
+		o.Deployment = d
+		r, err := Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if !r.AdaptiveBatch {
+			t.Fatalf("%s: Result.AdaptiveBatch = false, want true", d)
+		}
+		if r.AdaptiveMinBatch != 1 || r.AdaptiveMaxBatch != DefaultAdaptiveMaxBatch {
+			t.Fatalf("%s: adaptive bounds = [%d, %d], want defaults [1, %d]",
+				d, r.AdaptiveMinBatch, r.AdaptiveMaxBatch, DefaultAdaptiveMaxBatch)
+		}
+		if r.SinkTuples == 0 {
+			t.Fatalf("%s: adaptive bursty run produced no sink tuples", d)
 		}
 	}
 }

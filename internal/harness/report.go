@@ -147,6 +147,10 @@ func (f *Figure) Render() string {
 		if np.Last.BatchSize > 1 {
 			par += fmt.Sprintf(", batch %d", np.Last.BatchSize)
 		}
+		if np.Last.AdaptiveBatch {
+			par += fmt.Sprintf(", adaptive batch [%d, %d]",
+				np.Last.AdaptiveMinBatch, np.Last.AdaptiveMaxBatch)
+		}
 		if !np.Last.Fusion {
 			par += ", fusion off"
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"genealog/internal/baseline"
+	"genealog/internal/clickstream"
 	"genealog/internal/core"
 	"genealog/internal/linearroad"
 	"genealog/internal/ops"
@@ -110,6 +111,23 @@ func specFor(id QueryID) (querySpec, error) {
 			registerWire: smartgrid.RegisterWire,
 			sized:        sizedBytes,
 		}, nil
+	case Q5:
+		return querySpec{
+			id:     Q5,
+			source: csSource,
+			addWhole: func(b *query.Builder, src *query.Node) *query.Node {
+				return clickstream.AddQ5(b, src)
+			},
+			addStage1: func(b *query.Builder, src *query.Node) []*query.Node {
+				return []*query.Node{clickstream.AddQ5Stage1(b, src)}
+			},
+			addStage2: func(b *query.Builder, ins []*query.Node) *query.Node {
+				return clickstream.AddQ5Stage2(b, ins[0])
+			},
+			muWindow:     clickstream.MUWindowQ5,
+			registerWire: clickstream.RegisterWire,
+			sized:        sizedBytes,
+		}, nil
 	default:
 		return querySpec{}, fmt.Errorf("harness: unknown query %q", id)
 	}
@@ -150,6 +168,11 @@ func lrSource(o Options) (ops.SourceFunc, int, int) {
 func sgSource(o Options) (ops.SourceFunc, int, int) {
 	g := smartgrid.NewGenerator(o.SG)
 	return g.SourceFunc(), g.Tuples(), (&smartgrid.MeterReading{}).ApproxBytes()
+}
+
+func csSource(o Options) (ops.SourceFunc, int, int) {
+	g := clickstream.NewGenerator(o.CS)
+	return g.SourceFunc(), g.Tuples(), (&clickstream.ClickEvent{}).ApproxBytes()
 }
 
 func sizedBytes(t core.Tuple) int {

@@ -7,20 +7,22 @@ import (
 )
 
 // TestDeclaredKernelsVectorize is the vet for the workload kernel
-// declarations: every Q1-Q4 operator that declares a columnar spec
-// (query.ColSpec in internal/linearroad and internal/smartgrid) must
+// declarations: every workload operator that declares a columnar spec
+// (query.ColSpec in internal/linearroad, internal/smartgrid and
+// internal/clickstream) must
 // actually come out of the planner vectorized — a declaration the planner
 // silently ignores (missing schema, kernel dropped by a refactor) fails
 // here instead of degrading to the row path unnoticed.
 func TestDeclaredKernelsVectorize(t *testing.T) {
 	// The declared kernel-capable segments per query at parallelism 1: the
 	// stateless stages (Q1 zero-speed + stopped, Q2 adds accident, Q3
-	// zero-cons + blackout, Q4 midnight + anomaly) each materialise as their
-	// own vectorized segment, plus the stateful operators with declared
-	// fold/probe kernels (Q1 window; Q2 both windows; Q3 daily-sum +
-	// daily-count; Q4 daily-sum + join).
-	wantTotal := map[QueryID]int{Q1: 3, Q2: 5, Q3: 4, Q4: 4}
-	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2}
+	// zero-cons + blackout, Q4 midnight + anomaly, Q5 engaged+project +
+	// hot) each materialise as their own vectorized segment, plus the
+	// stateful operators with declared fold/probe kernels (Q1 window; Q2
+	// both windows; Q3 daily-sum + daily-count; Q4 daily-sum + join; Q5
+	// session-count).
+	wantTotal := map[QueryID]int{Q1: 3, Q2: 5, Q3: 4, Q4: 4, Q5: 3}
+	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2, Q5: 1}
 	for _, q := range Queries {
 		o := parallelTestOptions(q, ModeNP, 1)
 		info, err := Explain(o)
@@ -58,7 +60,7 @@ func TestDeclaredKernelsVectorize(t *testing.T) {
 // plan marks the lanes vec[...] and the stateful count is unchanged (a shard
 // subgraph counts once, like the serial operator it replaces).
 func TestStatefulKernelsVectorizeSharded(t *testing.T) {
-	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2}
+	wantStateful := map[QueryID]int{Q1: 1, Q2: 2, Q3: 2, Q4: 2, Q5: 1}
 	for _, q := range Queries {
 		o := parallelTestOptions(q, ModeNP, 4)
 		info, err := Explain(o)

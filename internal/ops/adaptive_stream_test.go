@@ -1,0 +1,190 @@
+package ops
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"genealog/internal/core"
+)
+
+// TestStreamBlocksAtSameTupleDepth pins the buffering bugfix: capacity
+// counts buffered tuples, so a producer against a stuck consumer blocks at
+// the same depth whatever the batch size. Before the fix capacity counted
+// batches, silently scaling effective buffering by the batch size (64x
+// between batch 1 and batch 64 — and drifting continuously once the
+// adaptive controller resizes batches mid-run).
+func TestStreamBlocksAtSameTupleDepth(t *testing.T) {
+	const capacity = 128
+	for _, batch := range []int{1, 64} {
+		// A cancelled context: Send prefers progress over reporting
+		// cancellation, so every send with buffering space succeeds and
+		// the first send that would block fails immediately instead.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		s := NewBatchedStream("s", capacity, batch)
+		sent := 0
+		var err error
+		for {
+			if err = s.Send(ctx, vt(int64(sent+1), "k", 0)); err != nil {
+				break
+			}
+			sent++
+			if sent > 10*capacity {
+				t.Fatalf("batch %d: producer never blocked", batch)
+			}
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch %d: send err = %v, want context.Canceled", batch, err)
+		}
+		if got := s.QueueLen(); got != capacity {
+			t.Errorf("batch %d: blocked at %d buffered tuples, want capacity %d", batch, got, capacity)
+		}
+	}
+}
+
+// TestStreamOversizedBatchProgress: a batch larger than the whole buffering
+// capacity is admitted alone into an empty stream rather than deadlocking
+// the producer.
+func TestStreamOversizedBatchProgress(t *testing.T) {
+	ctx := context.Background()
+	s := NewBatchedStream("s", 4, 16)
+	for i := 1; i <= 16; i++ {
+		if err := s.Send(ctx, vt(int64(i), "k", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.QueueLen(); got != 16 {
+		t.Fatalf("queue len = %d, want the whole oversized batch (16)", got)
+	}
+	s.CloseSend(ctx)
+	if got := len(drain(t, s)); got != 16 {
+		t.Fatalf("drained %d tuples, want 16", got)
+	}
+}
+
+// TestStreamShrinkThenFlush pins the resize bugfix on the flush path: after
+// a downward resize, subsequent flushes publish at the new size even though
+// the free list still holds arrays of the old capacity — a recycled
+// oversized array must not make a shrunken stream keep publishing old-size
+// batches.
+func TestStreamShrinkThenFlush(t *testing.T) {
+	ctx := context.Background()
+	s := NewBatchedStream("s", 64, 8)
+
+	// A full batch at size 8, drained so its size-8 backing array lands on
+	// the free list.
+	for i := 1; i <= 8; i++ {
+		if err := s.Send(ctx, vt(int64(i), "k", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, err := s.Recv(ctx); !ok || err != nil {
+			t.Fatalf("recv: ok=%v err=%v", ok, err)
+		}
+	}
+
+	s.SetBatchSize(2)
+	go func() {
+		for i := 9; i <= 14; i++ {
+			if err := s.Send(ctx, vt(int64(i), "k", 0)); err != nil {
+				panic(err)
+			}
+		}
+		s.CloseSend(ctx)
+	}()
+	var sizes []int
+	for {
+		b, ok, err := s.RecvBatch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(b))
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("got batches %v, want 3 batches of 2 after shrink", sizes)
+	}
+	for i, n := range sizes {
+		if n != 2 {
+			t.Errorf("batch %d has %d tuples, want the post-shrink size 2 (batches %v)", i, n, sizes)
+		}
+	}
+}
+
+// TestStreamResizeSemantics pins SetBatchSize's contract: clamping into
+// [1, limit], an oversized pending batch flushing whole after a shrink, and
+// the static limit gating what SetBatchSize can reach.
+func TestStreamResizeSemantics(t *testing.T) {
+	ctx := context.Background()
+	s := NewBatchedStream("s", 64, 8)
+	if got := s.BatchSizeLimit(); got != 8 {
+		t.Fatalf("limit = %d, want construction batch 8", got)
+	}
+	s.SetBatchSize(100)
+	if got := s.BatchSize(); got != 8 {
+		t.Errorf("SetBatchSize(100) = %d, want clamp to limit 8", got)
+	}
+	s.SetBatchSize(0)
+	if got := s.BatchSize(); got != 1 {
+		t.Errorf("SetBatchSize(0) = %d, want clamp to 1", got)
+	}
+	s.SetBatchSizeLimit(32)
+	s.SetBatchSize(16)
+	if got := s.BatchSize(); got != 16 {
+		t.Errorf("after raising limit, batch size = %d, want 16", got)
+	}
+	s.SetBatchSizeLimit(4)
+	if got := s.BatchSize(); got != 4 {
+		t.Errorf("lowering the limit below the live size leaves size %d, want 4", got)
+	}
+
+	// Accumulate 4 pending tuples, shrink to 1: the pending batch flushes
+	// whole on the next send — resizing regroups, never reorders or drops.
+	s.SetBatchSize(4)
+	for i := 1; i <= 3; i++ {
+		if err := s.Send(ctx, vt(int64(i), "k", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetBatchSize(1)
+	if err := s.Send(ctx, vt(4, "k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := s.RecvBatch(ctx)
+	if !ok || err != nil {
+		t.Fatalf("recv: ok=%v err=%v", ok, err)
+	}
+	if len(b) != 4 {
+		t.Errorf("post-shrink first batch has %d tuples, want the whole pending 4", len(b))
+	}
+	var got []int64
+	for _, tup := range b {
+		got = append(got, tup.Timestamp())
+	}
+	if !int64sEqual(got, []int64{1, 2, 3, 4}) {
+		t.Errorf("tuples across resize = %v, want 1..4 in order", got)
+	}
+}
+
+// TestStreamHeartbeatCoalescingSurvivesResize: the trailing-heartbeat
+// coalescing rule is independent of the live batch size.
+func TestStreamHeartbeatCoalescingSurvivesResize(t *testing.T) {
+	ctx := context.Background()
+	s := NewBatchedStream("s", 64, 8)
+	if err := s.Send(ctx, core.NewHeartbeat(5)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBatchSize(2)
+	if err := s.Send(ctx, vt(7, "k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseSend(ctx)
+	out := drainAll(t, s)
+	if len(out) != 1 || core.IsHeartbeat(out[0]) || out[0].Timestamp() != 7 {
+		t.Fatalf("out = %v, want the single data tuple subsuming the heartbeat", out)
+	}
+}

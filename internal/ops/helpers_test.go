@@ -62,17 +62,17 @@ func feedBatched(batch int, tuples ...core.Tuple) *Stream {
 }
 
 // drain collects everything from s (the producer must already be running or
-// the stream pre-filled).
+// the stream pre-filled). It consumes through Recv so the stream's tuple
+// budget is released as it goes — a raw channel read would leave a running
+// producer blocked on backpressure.
 func drain(t *testing.T, s *Stream) []core.Tuple {
 	t.Helper()
 	var out []core.Tuple
-	for batch := range s.ch {
-		for _, tup := range batch {
-			if core.IsHeartbeat(tup) {
-				continue
-			}
-			out = append(out, tup)
+	for _, tup := range drainAll(t, s) {
+		if core.IsHeartbeat(tup) {
+			continue
 		}
+		out = append(out, tup)
 	}
 	return out
 }
@@ -80,11 +80,18 @@ func drain(t *testing.T, s *Stream) []core.Tuple {
 // drainAll collects everything from s, watermark heartbeats included.
 func drainAll(t *testing.T, s *Stream) []core.Tuple {
 	t.Helper()
+	ctx := context.Background()
 	var out []core.Tuple
-	for batch := range s.ch {
-		out = append(out, batch...)
+	for {
+		tup, ok, err := s.Recv(ctx)
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, tup)
 	}
-	return out
 }
 
 // collectSink returns a sink function appending to the returned slice. The

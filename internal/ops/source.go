@@ -32,6 +32,11 @@ type Source struct {
 
 	// Rate, when > 0, paces emission to about Rate tuples per second.
 	Rate float64
+	// Burst, when non-nil, replaces the fixed Rate with an on/off duty
+	// cycle: BurstFor at BurstRate, then IdleFor at IdleRate, repeating.
+	// It affects only pacing — tuple content and order are exactly those
+	// of the unpaced generator.
+	Burst *BurstPacing
 	// Now supplies the wall clock for stimulus stamping; defaults to
 	// time.Now().UnixNano. Tests inject deterministic clocks.
 	Now func() int64
@@ -57,8 +62,10 @@ func (s *Source) Run(ctx context.Context) error {
 	if now == nil {
 		now = func() int64 { return time.Now().UnixNano() }
 	}
-	var pacer *rateLimiter
-	if s.Rate > 0 {
+	var pacer emitPacer
+	if s.Burst != nil {
+		pacer = newBurstLimiter(*s.Burst)
+	} else if s.Rate > 0 {
 		pacer = newRateLimiter(s.Rate)
 	}
 	// The stimulus clock is read once per output batch: tuples sharing a
@@ -98,6 +105,14 @@ func (s *Source) Run(ctx context.Context) error {
 	return nil
 }
 
+// emitPacer is the Source's pacing abstraction: reserve advances a virtual
+// emission schedule by one event and returns how far ahead of it the caller
+// is — how long sleep would pause.
+type emitPacer interface {
+	reserve() time.Duration
+	sleep(ctx context.Context, d time.Duration) error
+}
+
 // rateLimiter paces emissions to a fixed average rate using a virtual
 // schedule: the i-th event is due at start + i/rate. Sleeping only when more
 // than a millisecond ahead keeps high rates cheap.
@@ -113,15 +128,17 @@ func newRateLimiter(perSecond float64) *rateLimiter {
 	}
 }
 
-// reserve advances the virtual schedule by one event and returns how far
-// ahead of it the caller is — how long sleep would pause.
 func (r *rateLimiter) reserve() time.Duration {
 	r.next = r.next.Add(r.interval)
 	return time.Until(r.next)
 }
 
-// sleep pauses for d (a duration returned by reserve).
 func (r *rateLimiter) sleep(ctx context.Context, d time.Duration) error {
+	return pacerSleep(ctx, d)
+}
+
+// pacerSleep pauses for d (a duration returned by reserve).
+func pacerSleep(ctx context.Context, d time.Duration) error {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -130,6 +147,76 @@ func (r *rateLimiter) sleep(ctx context.Context, d time.Duration) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// BurstPacing describes an on/off duty cycle for a Source: BurstFor at
+// BurstRate tuples per second, then IdleFor at IdleRate, repeating. An
+// IdleRate of 0 makes the idle phase silent. It is the workload shape the
+// adaptive batching controller is built for — sustained bursts deep enough
+// to grow batches, idle valleys that shrink them back down.
+type BurstPacing struct {
+	BurstRate float64
+	IdleRate  float64
+	BurstFor  time.Duration
+	IdleFor   time.Duration
+}
+
+// burstLimiter extends the rate limiter's virtual schedule with phase
+// flipping: events are laid out at the current phase's interval until they
+// would cross the phase boundary, at which point the schedule jumps to the
+// boundary and the other phase's rate takes over. Like rateLimiter it never
+// drops events — only their due times change — so pacing cannot alter what
+// the generator emits.
+type burstLimiter struct {
+	cfg      BurstPacing
+	bursting bool
+	interval time.Duration // current phase's per-event spacing; 0 = silent
+	phaseEnd time.Time
+	next     time.Time
+}
+
+func newBurstLimiter(cfg BurstPacing) *burstLimiter {
+	if cfg.BurstFor <= 0 {
+		cfg.BurstFor = 100 * time.Millisecond
+	}
+	if cfg.IdleFor <= 0 {
+		cfg.IdleFor = 100 * time.Millisecond
+	}
+	now := time.Now()
+	b := &burstLimiter{cfg: cfg, bursting: true, phaseEnd: now.Add(cfg.BurstFor), next: now}
+	if cfg.BurstRate > 0 {
+		b.interval = time.Duration(float64(time.Second) / cfg.BurstRate)
+	}
+	return b
+}
+
+func (b *burstLimiter) reserve() time.Duration {
+	for {
+		if b.interval > 0 {
+			if next := b.next.Add(b.interval); !next.After(b.phaseEnd) {
+				b.next = next
+				return time.Until(next)
+			}
+		}
+		// The current phase has no further events — it is silent, or its
+		// next due time falls past the boundary. Jump to the boundary and
+		// flip to the other phase's rate.
+		b.next = b.phaseEnd
+		b.bursting = !b.bursting
+		rate, dur := b.cfg.IdleRate, b.cfg.IdleFor
+		if b.bursting {
+			rate, dur = b.cfg.BurstRate, b.cfg.BurstFor
+		}
+		b.interval = 0
+		if rate > 0 {
+			b.interval = time.Duration(float64(time.Second) / rate)
+		}
+		b.phaseEnd = b.phaseEnd.Add(dur)
+	}
+}
+
+func (b *burstLimiter) sleep(ctx context.Context, d time.Duration) error {
+	return pacerSleep(ctx, d)
 }
 
 // SliceSource returns a SourceFunc that replays the given tuples in order.

@@ -232,7 +232,9 @@ func TestStreamSendRecvCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := NewStream("s", 1)
-	s.ch <- Batch{vt(0, "k", 0)} // fill to capacity so Send must block
+	if err := s.Send(context.Background(), vt(0, "k", 0)); err != nil {
+		t.Fatal(err) // fill to capacity so the next Send must block
+	}
 	if err := s.Send(ctx, vt(1, "k", 0)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("send err = %v, want context.Canceled", err)
 	}

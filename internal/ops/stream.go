@@ -9,17 +9,19 @@ package ops
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"genealog/internal/core"
 	"genealog/internal/telemetry"
 )
 
-// DefaultStreamCapacity is the channel capacity used when a stream is created
+// DefaultStreamCapacity is the buffering budget used when a stream is created
 // without an explicit capacity. Streams are the inter-operator queues of an
 // SPE instance (paper §2); they need slack for pipelining, unlike the
 // signalling channels for which idiomatic Go prefers capacity one or none.
-// The capacity counts batches, not tuples, so a batched stream holds up to
-// capacity x batch size tuples.
+// The capacity counts buffered *tuples*, not batches, so backpressure engages
+// at the same depth whatever the batch size — and keeps doing so when the
+// adaptive controller resizes batches mid-run.
 const DefaultStreamCapacity = 256
 
 // Batch is a vector of tuples moved across a stream in one channel
@@ -47,7 +49,26 @@ type Batch []core.Tuple
 type Stream struct {
 	name string
 	ch   chan Batch
-	max  int
+
+	// max is the live batch size: the flush threshold every Send/SendRun/
+	// SendGather call loads exactly once per flush decision. It is atomic so
+	// the adaptive controller (internal/adapt) can resize a running stream;
+	// limit is the static ceiling SetBatchSize clamps against, fixed at
+	// construction (or raised by SetBatchSizeLimit before the query runs) so
+	// decisions that must not flap with the live size — wire batch framing,
+	// frame-bound validation — key off it instead.
+	max   atomic.Int64
+	limit int
+
+	// capTuples bounds the tuples buffered in the channel; buffered tracks
+	// them (producer adds at publish, consumer subtracts at dequeue) and
+	// space wakes a producer blocked on a full stream. The channel's slot
+	// capacity equals capTuples — every batch holds at least one tuple, so
+	// the tuple budget is the binding constraint and the channel send after
+	// an admitted budget reservation never blocks.
+	capTuples int
+	buffered  atomic.Int64
+	space     chan struct{}
 
 	// pending is the producer-side accumulating batch; owned by the single
 	// producer goroutine, so it needs no lock. nextCap adapts the capacity
@@ -87,8 +108,8 @@ func NewStream(name string, capacity int) *Stream {
 	return NewBatchedStream(name, capacity, 1)
 }
 
-// NewBatchedStream returns a stream with the given name, channel capacity
-// (in batches; <= 0 selects DefaultStreamCapacity) and batch size (<= 0
+// NewBatchedStream returns a stream with the given name, buffering capacity
+// (in tuples; <= 0 selects DefaultStreamCapacity) and batch size (<= 0
 // selects 1, i.e. unbatched).
 func NewBatchedStream(name string, capacity, batch int) *Stream {
 	if capacity <= 0 {
@@ -97,13 +118,17 @@ func NewBatchedStream(name string, capacity, batch int) *Stream {
 	if batch <= 0 {
 		batch = 1
 	}
-	return &Stream{
-		name:    name,
-		ch:      make(chan Batch, capacity),
-		max:     batch,
-		nextCap: batch,
-		free:    make(chan Batch, 8),
+	s := &Stream{
+		name:      name,
+		ch:        make(chan Batch, capacity),
+		limit:     batch,
+		capTuples: capacity,
+		space:     make(chan struct{}, 1),
+		nextCap:   batch,
+		free:      make(chan Batch, 8),
 	}
+	s.max.Store(int64(batch))
+	return s
 }
 
 // Name returns the stream's name.
@@ -113,21 +138,56 @@ func (s *Stream) Name() string { return s.name }
 // pending batch (0 right after a flush). Only the producer may call it.
 func (s *Stream) PendingLen() int { return len(s.pending) }
 
-// BatchSize returns the stream's maximum batch size.
-func (s *Stream) BatchSize() int { return s.max }
+// BatchSize returns the stream's current batch size. Safe from any
+// goroutine; the adaptive controller may change it at any time.
+func (s *Stream) BatchSize() int { return int(s.max.Load()) }
+
+// SetBatchSize resizes the stream's live batch size, clamped to
+// [1, BatchSizeLimit]. Safe from any goroutine at any time: the producer
+// loads the size once per flush decision, so a resize takes effect at its
+// next Send/Flush. An already-accumulated pending batch larger than the new
+// size flushes whole on the next Send — batch boundaries carry no meaning,
+// so resizing never changes what is delivered, only how it is grouped.
+func (s *Stream) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.limit {
+		n = s.limit
+	}
+	s.max.Store(int64(n))
+}
+
+// BatchSizeLimit returns the static ceiling SetBatchSize clamps against.
+// Unlike the live size it never changes while the query runs, so both ends
+// of a transport link can key their wire framing off it.
+func (s *Stream) BatchSizeLimit() int { return s.limit }
+
+// SetBatchSizeLimit raises (or lowers) the resize ceiling. Call it before
+// the query starts (query.Build does, for adaptive queries); it is not
+// synchronised with a running producer.
+func (s *Stream) SetBatchSizeLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.limit = n
+	if int(s.max.Load()) > n {
+		s.max.Store(int64(n))
+	}
+}
 
 // SetTelemetry attaches per-batch counters to the stream. Call it before
 // the query starts (query.Build does); attaching mid-run would race the
 // producer and consumer goroutines.
 func (s *Stream) SetTelemetry(st *telemetry.StreamStats) { s.telem = st }
 
-// QueueLen returns the number of batches currently buffered in the
-// stream's channel. Safe to call from any goroutine at any time; telemetry
-// samples it at scrape time.
-func (s *Stream) QueueLen() int { return len(s.ch) }
+// QueueLen returns the number of tuples currently buffered in the stream's
+// channel. Safe to call from any goroutine at any time; telemetry samples
+// it at scrape time and the adaptive controller reads occupancy from it.
+func (s *Stream) QueueLen() int { return int(s.buffered.Load()) }
 
-// QueueCap returns the capacity of the stream's channel, in batches.
-func (s *Stream) QueueCap() int { return cap(s.ch) }
+// QueueCap returns the stream's buffering capacity, in tuples.
+func (s *Stream) QueueCap() int { return s.capTuples }
 
 // Send delivers t downstream, blocking while the stream is full. With a
 // batch size above one, t is first accumulated into the pending batch and
@@ -155,7 +215,7 @@ func (s *Stream) Send(ctx context.Context, t core.Tuple) error {
 		}
 		s.pending = append(s.pending, t)
 	}
-	if len(s.pending) >= s.max {
+	if len(s.pending) >= int(s.max.Load()) {
 		return s.Flush(ctx)
 	}
 	return nil
@@ -176,8 +236,9 @@ func (s *Stream) SendRun(ctx context.Context, run []core.Tuple) error {
 		s.pending[n-1] = run[0]
 		run = run[1:]
 	}
+	max := int(s.max.Load())
 	for len(run) > 0 {
-		if len(s.pending) >= s.max {
+		if len(s.pending) >= max {
 			if err := s.Flush(ctx); err != nil {
 				return err
 			}
@@ -190,14 +251,14 @@ func (s *Stream) SendRun(ctx context.Context, run []core.Tuple) error {
 				s.pending = make(Batch, 0, s.nextCap)
 			}
 		}
-		take := s.max - len(s.pending)
+		take := max - len(s.pending)
 		if take > len(run) {
 			take = len(run)
 		}
 		s.pending = append(s.pending, run[:take]...)
 		run = run[take:]
 	}
-	if len(s.pending) >= s.max {
+	if len(s.pending) >= max {
 		return s.Flush(ctx)
 	}
 	return nil
@@ -217,8 +278,9 @@ func (s *Stream) SendGather(ctx context.Context, rows []core.Tuple, sel []int) e
 		s.pending[n-1] = rows[sel[0]]
 		sel = sel[1:]
 	}
+	max := int(s.max.Load())
 	for len(sel) > 0 {
-		if len(s.pending) >= s.max {
+		if len(s.pending) >= max {
 			if err := s.Flush(ctx); err != nil {
 				return err
 			}
@@ -231,7 +293,7 @@ func (s *Stream) SendGather(ctx context.Context, rows []core.Tuple, sel []int) e
 				s.pending = make(Batch, 0, s.nextCap)
 			}
 		}
-		take := s.max - len(s.pending)
+		take := max - len(s.pending)
 		if take > len(sel) {
 			take = len(sel)
 		}
@@ -240,7 +302,7 @@ func (s *Stream) SendGather(ctx context.Context, rows []core.Tuple, sel []int) e
 		}
 		sel = sel[take:]
 	}
-	if len(s.pending) >= s.max {
+	if len(s.pending) >= max {
 		return s.Flush(ctx)
 	}
 	return nil
@@ -257,34 +319,52 @@ func (s *Stream) Flush(ctx context.Context) error {
 	}
 	b := s.pending
 	s.pending = nil
-	if s.max > 1 {
-		// The next batch will likely be about this size; cap the fresh
-		// allocation accordingly (append still grows it when traffic
-		// bursts past the estimate).
-		s.nextCap = len(b)
-		if s.nextCap < 4 {
-			s.nextCap = 4
+	max := int(s.max.Load())
+	// The next batch will likely be about this size; cap the fresh
+	// allocation accordingly (append still grows it when traffic bursts
+	// past the estimate). Clamping against the live size — not the size at
+	// construction — is what makes a downward resize stick: a shrunken
+	// stream stops sizing fresh arrays for the old batch size.
+	s.nextCap = len(b)
+	if lo := min(4, max); s.nextCap < lo {
+		s.nextCap = lo
+	}
+	if s.nextCap > max {
+		s.nextCap = max
+	}
+	// Reserve tuple budget before publishing. A batch is admitted when it
+	// fits under capTuples — or, so a batch larger than the whole capacity
+	// can still make progress, when the stream is empty. The channel has
+	// one slot per capacity tuple and every batch holds at least one tuple,
+	// so the send after an admitted reservation never blocks.
+	n := int64(len(b))
+	for {
+		cur := s.buffered.Load()
+		if cur == 0 || cur+n <= int64(s.capTuples) {
+			if s.buffered.CompareAndSwap(cur, cur+n) {
+				break
+			}
+			continue
 		}
-		if s.nextCap > s.max {
-			s.nextCap = s.max
+		// Drain a stale wake-up signal, then wait for the consumer.
+		select {
+		case <-s.space:
+			continue
+		default:
+		}
+		select {
+		case <-s.space:
+		case <-ctx.Done():
+			return fmt.Errorf("stream %q: send: %w", s.name, ctx.Err())
 		}
 	}
 	if st := s.telem; st != nil {
 		// Before the send: once published, the consumer may recycle the
 		// batch's backing array concurrently.
-		st.NoteFlush(b)
+		st.NoteFlush(b, max)
 	}
-	select {
-	case s.ch <- b:
-		return nil
-	default:
-	}
-	select {
-	case s.ch <- b:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("stream %q: send: %w", s.name, ctx.Err())
-	}
+	s.ch <- b
+	return nil
 }
 
 // Recv returns the next tuple. ok is false when the stream has ended.
@@ -352,9 +432,7 @@ func (s *Stream) recvBatch(ctx context.Context) (b Batch, ok bool, err error) {
 			s.ended = true
 			return nil, false, nil
 		}
-		if st := s.telem; st != nil {
-			st.NoteRecv(b)
-		}
+		s.release(b)
 		return b, true, nil
 	default:
 	}
@@ -364,12 +442,25 @@ func (s *Stream) recvBatch(ctx context.Context) (b Batch, ok bool, err error) {
 			s.ended = true
 			return nil, false, nil
 		}
-		if st := s.telem; st != nil {
-			st.NoteRecv(b)
-		}
+		s.release(b)
 		return b, true, nil
 	case <-ctx.Done():
 		return nil, false, fmt.Errorf("stream %q: recv: %w", s.name, ctx.Err())
+	}
+}
+
+// release returns a dequeued batch's tuple budget to the producer and notes
+// the dequeue for telemetry. Called at every dequeue point — the batch has
+// left the channel, so its tuples no longer occupy buffering capacity even
+// though the consumer is still draining them.
+func (s *Stream) release(b Batch) {
+	s.buffered.Add(-int64(len(b)))
+	select {
+	case s.space <- struct{}{}:
+	default:
+	}
+	if st := s.telem; st != nil {
+		st.NoteRecv(b)
 	}
 }
 
@@ -408,9 +499,7 @@ func (s *Stream) CanRecv() bool {
 			s.ended = true
 			return true
 		}
-		if st := s.telem; st != nil {
-			st.NoteRecv(b)
-		}
+		s.release(b)
 		s.rq, s.rqi = b, 0
 		return true
 	default:

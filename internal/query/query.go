@@ -12,8 +12,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
+	"genealog/internal/adapt"
 	"genealog/internal/core"
 	"genealog/internal/ops"
 	"genealog/internal/telemetry"
@@ -164,6 +166,9 @@ type Node struct {
 
 	// Rate paces a Source to about Rate tuples per second (0 = unlimited).
 	Rate float64
+	// Burst replaces a Source's fixed Rate with an on/off duty cycle
+	// (see ops.BurstPacing).
+	Burst *ops.BurstPacing
 	// Now overrides the wall clock of a Source or Sink (tests).
 	Now func() int64
 	// OnEmit observes every tuple emitted by a Source (metrics hook).
@@ -273,11 +278,17 @@ type Builder struct {
 	// qtel is the current Build's telemetry bucket (set per Build call when
 	// telem is non-nil); the materialise helpers read it to attach counters
 	// to streams and segments the edge loop never sees.
-	qtel   *telemetry.QueryTelemetry
-	nodes  []*Node
-	byName map[string]*Node
-	edges  []edge
-	err    error
+	qtel *telemetry.QueryTelemetry
+	// adaptMin/adaptMax bound the adaptive batching controller; adaptMax > 0
+	// means adaptive batching is on. adaptTargets collects every stream the
+	// current Build materialises (set per Build call), including the internal
+	// lanes of shard subgraphs, for the controller to drive.
+	adaptMin, adaptMax int
+	adaptTargets       []adapt.Target
+	nodes              []*Node
+	byName             map[string]*Node
+	edges              []edge
+	err                error
 }
 
 // Option configures a Builder.
@@ -289,8 +300,10 @@ func WithInstrumenter(in core.Instrumenter) Option {
 	return func(b *Builder) { b.instr = in }
 }
 
-// WithChannelCapacity sets the capacity of every stream the builder creates
-// (in batches — a batched stream holds up to capacity x batch size tuples).
+// WithChannelCapacity sets the capacity of every stream the builder creates,
+// in tuples: backpressure engages at the same buffered depth whatever the
+// batch size, and keeps doing so when adaptive batching resizes batches
+// mid-run.
 func WithChannelCapacity(n int) Option {
 	return func(b *Builder) { b.chanCap = n }
 }
@@ -310,6 +323,28 @@ func WithChannelCapacity(n int) Option {
 // n-1 tuples can sit unpublished while it blocks.
 func WithBatchSize(n int) Option {
 	return func(b *Builder) { b.batchSize = n }
+}
+
+// WithAdaptiveBatching puts every stream the builder creates — including the
+// internal lanes of shard-parallel subgraphs — under an AIMD controller
+// (internal/adapt) that resizes batch sizes at runtime within [min, max]:
+// growing while a stream's queue is deep and its batches run full, shrinking
+// toward min while occupancy is low. The initial size is WithBatchSize's
+// value clamped into the bounds. Like batching itself, adaptation never
+// changes the sink-observable output or any tuple's contribution graph —
+// batch boundaries carry no meaning — it only moves each stream along the
+// latency/throughput trade-off as the load changes. The controller goroutine
+// starts with Query.Run and stops when the run ends.
+func WithAdaptiveBatching(min, max int) Option {
+	return func(b *Builder) {
+		if min < 1 {
+			min = 1
+		}
+		if max < min {
+			max = min
+		}
+		b.adaptMin, b.adaptMax = min, max
+	}
 }
 
 // WithFusion enables or disables the physical planner (default enabled):
@@ -478,6 +513,10 @@ func (b *Builder) ConnectPort(from, to *Node, port string) {
 type Query struct {
 	name      string
 	operators []ops.Operator
+	// controller, when non-nil, is the adaptive batching controller driving
+	// every stream's batch size; Run gives it a goroutine for the duration
+	// of the run.
+	controller *adapt.Controller
 
 	explain                    string
 	fusedChains                int
@@ -537,6 +576,7 @@ func (b *Builder) Build() (*Query, error) {
 		return nil, fmt.Errorf("query %q: %w", b.name, err)
 	}
 	pl := b.plan()
+	b.qtel, b.adaptTargets = nil, nil
 	if b.telem != nil {
 		b.qtel = b.telem.Register(b.name)
 		for _, pn := range pl.nodes {
@@ -548,9 +588,7 @@ func (b *Builder) Build() (*Query, error) {
 	inPorts := make(map[*physNode]map[string]*ops.Stream)
 	for _, e := range pl.edges {
 		s := ops.NewBatchedStream(fmt.Sprintf("%s->%s", e.from.name(), e.to.name()), b.chanCap, b.batchSize)
-		if b.qtel != nil {
-			s.SetTelemetry(b.qtel.Stream(s.Name(), e.from.name(), e.to.name(), s.BatchSize(), queueProbe(s)))
-		}
+		b.observeStream(s, e.from.name(), e.to.name())
 		outs[e.from] = append(outs[e.from], s)
 		ins[e.to] = append(ins[e.to], s)
 		if e.port != PortDefault {
@@ -600,6 +638,9 @@ func (b *Builder) Build() (*Query, error) {
 			q.operators = append(q.operators, op)
 		}
 	}
+	if b.adaptMax > 0 && len(b.adaptTargets) > 0 {
+		q.controller = adapt.NewController(adapt.Defaults(b.adaptMin, b.adaptMax), b.adaptTargets)
+	}
 	return q, nil
 }
 
@@ -631,10 +672,45 @@ func queueProbe(s *ops.Stream) func() (int, int) {
 	return func() (int, int) { return s.QueueLen(), s.QueueCap() }
 }
 
-// observeShardStream attaches telemetry to one internal stream of a shard
-// subgraph; the producer/consumer ids come from the stream's name.
+// observeStream attaches telemetry counters to one materialised stream and,
+// when adaptive batching is on, raises the stream's batch-size limit to the
+// controller's maximum, clamps its starting size into the controller's
+// bounds, and registers it as a controller target. Adaptive queries without
+// a telemetry registry still get per-stream counters — the controller's
+// fill signal needs them — they just aren't exported anywhere.
+func (b *Builder) observeStream(s *ops.Stream, from, to string) {
+	var st *telemetry.StreamStats
+	if b.qtel != nil {
+		st = b.qtel.Stream(s.Name(), from, to, s.BatchSize, queueProbe(s))
+		s.SetTelemetry(st)
+	}
+	if b.adaptMax <= 0 {
+		return
+	}
+	if st == nil {
+		st = new(telemetry.StreamStats)
+		s.SetTelemetry(st)
+	}
+	if b.adaptMax > s.BatchSizeLimit() {
+		s.SetBatchSizeLimit(b.adaptMax)
+	}
+	bs := s.BatchSize()
+	if bs < b.adaptMin {
+		bs = b.adaptMin
+	}
+	if bs > b.adaptMax {
+		bs = b.adaptMax
+	}
+	s.SetBatchSize(bs)
+	b.adaptTargets = append(b.adaptTargets, adapt.Target{Name: s.Name(), Stream: s, Stats: st})
+}
+
+// observeShardStream attaches telemetry (and the adaptive controller) to one
+// internal stream of a shard subgraph; the producer/consumer ids come from
+// the stream's name.
 func (b *Builder) observeShardStream(s *ops.Stream) {
-	s.SetTelemetry(b.qtel.StreamNamed(s.Name(), s.BatchSize(), queueProbe(s)))
+	from, to, _ := strings.Cut(s.Name(), "->")
+	b.observeStream(s, from, to)
 }
 
 // checkRegistered rejects edges to *Node values that were never added to
@@ -716,7 +792,7 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 			return nil, fmt.Errorf("%s needs 1 input and 1 output, has %d/%d", n.kind, len(in), len(out))
 		}
 		cfg := ops.ShardConfig{Prefix: pn.shardPrefixFor(PortDefault), Suffix: pn.shardSuffix()}
-		if b.qtel != nil {
+		if b.qtel != nil || b.adaptMax > 0 {
 			cfg.Observe = b.observeShardStream
 		}
 		if b.vectorize {
@@ -744,7 +820,7 @@ func (b *Builder) materialiseShard(pn *physNode, in, out []*ops.Stream, ports ma
 			Right:  pn.shardPrefixFor(PortRight),
 			Suffix: pn.shardSuffix(),
 		}
-		if b.qtel != nil {
+		if b.qtel != nil || b.adaptMax > 0 {
 			cfg.Observe = b.observeShardStream
 		}
 		if b.vectorize {
@@ -896,6 +972,7 @@ func (b *Builder) materialise(n *Node, in, out []*ops.Stream, ports map[string]*
 		}
 		src := ops.NewSource(n.name, n.srcFn, out[0], b.instr)
 		src.Rate = n.Rate
+		src.Burst = n.Burst
 		src.Now = n.Now
 		src.OnEmit = n.OnEmit
 		return src, nil
@@ -997,6 +1074,21 @@ func (b *Builder) checkAcyclic() error {
 func (q *Query) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if q.controller != nil {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			q.controller.Run(ctx)
+		}()
+		// Cancel before waiting: this defer runs before the outer
+		// `defer cancel()`, so it must stop the controller itself or the
+		// wait never returns. Waiting matters so no tick races a re-run of
+		// the same query.
+		defer func() {
+			cancel()
+			<-done
+		}()
+	}
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex

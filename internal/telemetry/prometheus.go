@@ -57,7 +57,7 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 		func(o OperatorSnapshot) (float64, bool) { return float64(o.QueueLen), true })
 	opGauge("genealog_operator_queue_capacity", "Capacity of the operator's inbound channels.", true,
 		func(o OperatorSnapshot) (float64, bool) { return float64(o.QueueCap), true })
-	opGauge("genealog_operator_batch_fill_ratio", "Published slots per batch over the configured batch size.", true,
+	opGauge("genealog_operator_batch_fill_ratio", "Published slots over the batch capacity in effect at each flush.", true,
 		func(o OperatorSnapshot) (float64, bool) { return o.FillRatio, true })
 	opGauge("genealog_operator_watermark", "Event-time watermark the operator last published.", false,
 		func(o OperatorSnapshot) (float64, bool) { return float64(o.Watermark), o.WatermarkOK })
@@ -94,10 +94,16 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 			p.sample("genealog_stream_queue_length", streamLabels(q.Name, s.Name), fmtInt(int64(s.QueueLen)))
 		}
 	}
-	p.family("genealog_stream_queue_capacity", "gauge", "Capacity of the stream's channel.")
+	p.family("genealog_stream_queue_capacity", "gauge", "Capacity of the stream's channel, in tuples.")
 	for _, q := range snap.Queries {
 		for _, s := range q.Streams {
 			p.sample("genealog_stream_queue_capacity", streamLabels(q.Name, s.Name), fmtInt(int64(s.QueueCap)))
+		}
+	}
+	p.family("genealog_stream_batch_size", "gauge", "Current batch size of the stream; adaptive batching may change it at runtime.")
+	for _, q := range snap.Queries {
+		for _, s := range q.Streams {
+			p.sample("genealog_stream_batch_size", streamLabels(q.Name, s.Name), fmtInt(int64(s.BatchSize)))
 		}
 	}
 

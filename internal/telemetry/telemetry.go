@@ -45,15 +45,20 @@ type StreamStats struct {
 	tuplesOut     atomic.Int64 // data tuples published (heartbeats excluded)
 	heartbeatsOut atomic.Int64
 	slotsOut      atomic.Int64 // all slots published, the fill-ratio numerator
+	capSlotsOut   atomic.Int64 // sum of capacity-at-flush, the fill-ratio denominator
 	batchesIn     atomic.Int64
 	tuplesIn      atomic.Int64 // all slots dequeued, heartbeats included
 	watermark     atomic.Int64
 	wmSet         atomic.Bool
 }
 
-// NoteFlush records one published batch. The heartbeat scan runs only when
-// telemetry is attached; the disabled path never reaches it.
-func (s *StreamStats) NoteFlush(b []core.Tuple) {
+// NoteFlush records one published batch and the batch capacity in effect at
+// the moment of the flush. Recording the capacity here — rather than
+// multiplying batch count by a nominal batch size at scrape time — keeps
+// the fill ratio correct when the adaptive controller resizes the stream
+// mid-run. The heartbeat scan runs only when telemetry is attached; the
+// disabled path never reaches it.
+func (s *StreamStats) NoteFlush(b []core.Tuple, capacity int) {
 	n := len(b)
 	if n == 0 {
 		return
@@ -66,6 +71,12 @@ func (s *StreamStats) NoteFlush(b []core.Tuple) {
 	}
 	s.batchesOut.Add(1)
 	s.slotsOut.Add(int64(n))
+	if capacity < n {
+		// An oversized pending batch (accumulated before a downward
+		// resize) flushes whole; it fills more than one nominal capacity.
+		capacity = n
+	}
+	s.capSlotsOut.Add(int64(capacity))
 	s.tuplesOut.Add(int64(n - hb))
 	if hb > 0 {
 		s.heartbeatsOut.Add(int64(hb))
@@ -79,6 +90,14 @@ func (s *StreamStats) NoteRecv(b []core.Tuple) {
 	s.batchesIn.Add(1)
 	s.tuplesIn.Add(int64(len(b)))
 }
+
+// SlotsOut returns the cumulative published slots (the fill-ratio
+// numerator); the adaptive controller reads per-tick deltas from it.
+func (s *StreamStats) SlotsOut() int64 { return s.slotsOut.Load() }
+
+// CapSlotsOut returns the cumulative capacity-at-flush sum (the fill-ratio
+// denominator).
+func (s *StreamStats) CapSlotsOut() int64 { return s.capSlotsOut.Load() }
 
 // Watermark returns the maximum timestamp published on the stream and
 // whether any batch has been published yet.
@@ -217,11 +236,14 @@ type opEntry struct {
 }
 
 type streamEntry struct {
-	name      string
-	from, to  string
-	batchSize int
-	stats     *StreamStats
-	queue     func() (length, capacity int)
+	name     string
+	from, to string
+	// batch samples the stream's live batch size at scrape time — a
+	// closure, not a number, because the adaptive controller may resize
+	// the stream while the query runs.
+	batch func() int
+	stats *StreamStats
+	queue func() (length, capacity int)
 }
 
 // Operator records one plan node: its Explain id, a human kind label, and
@@ -255,15 +277,16 @@ func (q *QueryTelemetry) Segment(op string) *SegStats {
 }
 
 // Stream registers one materialised stream. from and to are the plan node
-// ids of the producer and consumer ends; queue samples the channel's
-// length and capacity at scrape time. Returns the hook struct the stream's
-// Flush/Recv paths bump per batch.
-func (q *QueryTelemetry) Stream(name, from, to string, batchSize int, queue func() (int, int)) *StreamStats {
+// ids of the producer and consumer ends; batch samples the stream's live
+// batch size and queue samples the channel's length and capacity, both at
+// scrape time. Returns the hook struct the stream's Flush/Recv paths bump
+// per batch.
+func (q *QueryTelemetry) Stream(name, from, to string, batch func() int, queue func() (int, int)) *StreamStats {
 	st := new(StreamStats)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.streams = append(q.streams, &streamEntry{
-		name: name, from: from, to: to, batchSize: batchSize, stats: st, queue: queue,
+		name: name, from: from, to: to, batch: batch, stats: st, queue: queue,
 	})
 	return st
 }
@@ -271,9 +294,9 @@ func (q *QueryTelemetry) Stream(name, from, to string, batchSize int, queue func
 // StreamNamed registers a stream whose ends are parsed from its
 // "producer->consumer" name — the convention every materialised stream
 // follows, including the shard-internal partition and merge lanes.
-func (q *QueryTelemetry) StreamNamed(name string, batchSize int, queue func() (int, int)) *StreamStats {
+func (q *QueryTelemetry) StreamNamed(name string, batch func() int, queue func() (int, int)) *StreamStats {
 	from, to, _ := strings.Cut(name, "->")
-	return q.Stream(name, from, to, batchSize, queue)
+	return q.Stream(name, from, to, batch, queue)
 }
 
 // Snapshot is the JSON document served at /telemetry.json; genealog-top
@@ -312,6 +335,7 @@ type OperatorSnapshot struct {
 	HeartbeatsOut int64   `json:"heartbeats_out"`
 	QueueLen      int     `json:"queue_len"`
 	QueueCap      int     `json:"queue_cap"`
+	BatchSize     int     `json:"batch_size,omitempty"` // max live batch size over outbound streams
 	FillRatio     float64 `json:"fill_ratio"`
 	Watermark     int64   `json:"watermark"`
 	WatermarkOK   bool    `json:"watermark_ok"`
@@ -407,9 +431,13 @@ func (q *QueryTelemetry) snapshot() QuerySnapshot {
 		if e.queue != nil {
 			ql, qc = e.queue()
 		}
+		bs := 0
+		if e.batch != nil {
+			bs = e.batch()
+		}
 		wm, ok := e.stats.Watermark()
 		samples = append(samples, sSample{e, StreamSnapshot{
-			Name: e.name, From: e.from, To: e.to, BatchSize: e.batchSize,
+			Name: e.name, From: e.from, To: e.to, BatchSize: bs,
 			QueueLen: ql, QueueCap: qc,
 			BatchesOut:    e.stats.batchesOut.Load(),
 			TuplesOut:     e.stats.tuplesOut.Load(),
@@ -461,7 +489,13 @@ func (q *QueryTelemetry) snapshot() QuerySnapshot {
 				os.BatchesOut += s.ss.BatchesOut
 				os.HeartbeatsOut += s.ss.HeartbeatsOut
 				slotsOut += s.e.stats.slotsOut.Load()
-				capSlots += s.ss.BatchesOut * int64(s.ss.BatchSize)
+				// Capacity-at-flush, recorded on the hot path — not
+				// batches x nominal size, which misattributes capacity
+				// the moment the batch size changes mid-run.
+				capSlots += s.e.stats.capSlotsOut.Load()
+				if s.ss.BatchSize > os.BatchSize {
+					os.BatchSize = s.ss.BatchSize
+				}
 				if s.ss.WatermarkOK && (!os.WatermarkOK || s.ss.Watermark > os.Watermark) {
 					os.Watermark, os.WatermarkOK = s.ss.Watermark, true
 				}

@@ -26,10 +26,10 @@ func TestStreamStatsCounting(t *testing.T) {
 	qt := r.Register("q")
 	qt.Operator("src", "source", true)
 	qt.Operator("agg", "aggregate", false)
-	st := qt.Stream("src->agg", "src", "agg", 4, func() (int, int) { return 2, 8 })
+	st := qt.Stream("src->agg", "src", "agg", func() int { return 4 }, func() (int, int) { return 2, 8 })
 
-	st.NoteFlush([]core.Tuple{tt(10), tt(20), core.NewHeartbeat(30)})
-	st.NoteFlush([]core.Tuple{tt(40)})
+	st.NoteFlush([]core.Tuple{tt(10), tt(20), core.NewHeartbeat(30)}, 4)
+	st.NoteFlush([]core.Tuple{tt(40)}, 4)
 	st.NoteRecv([]core.Tuple{tt(10), tt(20), core.NewHeartbeat(30)})
 
 	snap := r.Snapshot()
@@ -73,16 +73,80 @@ func TestStreamStatsCounting(t *testing.T) {
 	}
 }
 
+// TestFillRatioAfterResize pins the fill-ratio semantics under adaptive
+// batching: the denominator is the capacity in effect at each flush,
+// recorded on the hot path, so resizing a stream mid-run cannot
+// misattribute capacity to batches flushed under a different size.
+func TestFillRatioAfterResize(t *testing.T) {
+	r := NewRegistry()
+	qt := r.Register("q")
+	qt.Operator("src", "source", true)
+	live := 64
+	st := qt.Stream("src->sink", "src", "sink", func() int { return live }, nil)
+
+	// Two full batches at size 64, then a resize to 4 and two full batches
+	// at the new size: 136 slots over 136 capacity = fill ratio 1.0. The
+	// old BatchesOut x BatchSize formula would report 136/(4 x live) and
+	// drift with whatever size the scrape happens to observe.
+	full := func(n int) []core.Tuple {
+		b := make([]core.Tuple, n)
+		for i := range b {
+			b[i] = tt(int64(i + 1))
+		}
+		return b
+	}
+	st.NoteFlush(full(64), 64)
+	st.NoteFlush(full(64), 64)
+	live = 4
+	st.NoteFlush(full(4), 4)
+	st.NoteFlush(full(4), 4)
+
+	q := r.Snapshot().Queries[0]
+	var src OperatorSnapshot
+	for _, o := range q.Operators {
+		if o.Name == "src" {
+			src = o
+		}
+	}
+	if src.FillRatio != 1.0 {
+		t.Errorf("fill ratio after resize = %v, want 1.0", src.FillRatio)
+	}
+	if src.BatchSize != 4 {
+		t.Errorf("operator batch size = %d, want live value 4", src.BatchSize)
+	}
+
+	// A half-full batch at the small size moves the ratio by the small
+	// capacity, not the large one: 138/140.
+	st.NoteFlush(full(2), 4)
+	q = r.Snapshot().Queries[0]
+	for _, o := range q.Operators {
+		if o.Name == "src" {
+			src = o
+		}
+	}
+	if want := float64(138) / 140; src.FillRatio != want {
+		t.Errorf("fill ratio after partial flush = %v, want %v", src.FillRatio, want)
+	}
+
+	// An oversized batch (pending accumulated before a downward resize)
+	// counts its own length as capacity rather than reporting fill > 1.
+	over := new(StreamStats)
+	over.NoteFlush(full(10), 4)
+	if s, c := over.SlotsOut(), over.CapSlotsOut(); s != 10 || c != 10 {
+		t.Errorf("oversized flush slots/cap = %d/%d, want 10/10", s, c)
+	}
+}
+
 // TestWatermarkLag pins the lag computation: operators behind the most
 // advanced source watermark report the positive distance, never negative.
 func TestWatermarkLag(t *testing.T) {
 	r := NewRegistry()
 	qt := r.Register("q")
 	qt.Operator("src", "source", true)
-	fast := qt.Stream("src->a", "src", "a", 1, nil)
-	slow := qt.Stream("a->b", "a", "b", 1, nil)
-	fast.NoteFlush([]core.Tuple{tt(100)})
-	slow.NoteFlush([]core.Tuple{tt(70)})
+	fast := qt.Stream("src->a", "src", "a", nil, nil)
+	slow := qt.Stream("a->b", "a", "b", nil, nil)
+	fast.NoteFlush([]core.Tuple{tt(100)}, 1)
+	slow.NoteFlush([]core.Tuple{tt(70)}, 1)
 
 	q := r.Snapshot().Queries[0]
 	lags := map[string]int64{}
@@ -109,8 +173,8 @@ func TestSegmentAndSyntheticOperators(t *testing.T) {
 	seg.NoteBatch(64)
 	seg.NoteRun()
 	// A shard-internal lane stream, attributed by name parsing alone.
-	lane := qt.StreamNamed("agg/part->agg#0", 4, nil)
-	lane.NoteFlush([]core.Tuple{tt(5)})
+	lane := qt.StreamNamed("agg/part->agg#0", func() int { return 4 }, nil)
+	lane.NoteFlush([]core.Tuple{tt(5)}, 4)
 
 	q := r.Snapshot().Queries[0]
 	byName := map[string]OperatorSnapshot{}
@@ -155,8 +219,8 @@ func TestJSONSnapshotSchema(t *testing.T) {
 	r := NewRegistry()
 	qt := r.Register("q")
 	qt.Operator("src", "source", true)
-	st := qt.Stream("src->sink", "src", "sink", 2, func() (int, int) { return 0, 4 })
-	st.NoteFlush([]core.Tuple{tt(1)})
+	st := qt.Stream("src->sink", "src", "sink", func() int { return 2 }, func() (int, int) { return 0, 4 })
+	st.NoteFlush([]core.Tuple{tt(1)}, 2)
 	st.NoteRecv([]core.Tuple{tt(1)})
 	r.RegisterStore("store", func() StoreStats { return StoreStats{Sinks: 3} })
 	r.RegisterGauge("genealog_link_bytes", []Label{{Name: "link", Value: "main-0"}}, func() float64 { return 7 })
@@ -275,8 +339,8 @@ func TestPrometheusParsesCleanly(t *testing.T) {
 	r := NewRegistry()
 	qt := r.Register("q")
 	qt.Operator("src", "source", true)
-	st := qt.Stream("src->sink", "src", "sink", 2, func() (int, int) { return 1, 4 })
-	st.NoteFlush([]core.Tuple{tt(1), core.NewHeartbeat(2)})
+	st := qt.Stream("src->sink", "src", "sink", func() int { return 2 }, func() (int, int) { return 1, 4 })
+	st.NoteFlush([]core.Tuple{tt(1), core.NewHeartbeat(2)}, 2)
 	st.NoteRecv([]core.Tuple{tt(1)})
 	r.RegisterStore("store", func() StoreStats { return StoreStats{Sinks: 1} })
 

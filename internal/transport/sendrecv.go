@@ -48,7 +48,11 @@ func (s *Send) Run(ctx context.Context) error {
 		}
 	}()
 	var batchEnc BatchEncoder
-	if s.in.BatchSize() > 1 {
+	// Key framing off the static batch-size limit, not the live size: the
+	// adaptive controller may resize either end's streams independently at
+	// runtime, and both link ends must agree on the wire format for the
+	// whole connection.
+	if s.in.BatchSizeLimit() > 1 {
 		batchEnc, _ = s.enc.(BatchEncoder)
 	}
 	for {
@@ -103,11 +107,13 @@ func (r *Receive) Name() string { return r.name }
 // and re-published as one stream batch; each decoded batch is flushed
 // immediately, since the next frame may be arbitrarily far away. The
 // framing mode mirrors Send's: batch frames only when this instance runs
-// batched (the output stream's batch size is above one).
+// batched (the output stream's batch-size limit is above one).
 func (r *Receive) Run(ctx context.Context) error {
 	defer r.out.CloseSend(ctx)
 	var batchDec BatchDecoder
-	if r.out.BatchSize() > 1 {
+	// Mirrors Send: framing keys off the static limit so both ends agree
+	// even when adaptive controllers resize live batch sizes mid-run.
+	if r.out.BatchSizeLimit() > 1 {
 		batchDec, _ = r.dec.(BatchDecoder)
 	}
 	for {
